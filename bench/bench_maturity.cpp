@@ -1,0 +1,86 @@
+// E4 — regenerates the Appendix A maturity grids (questions 5F, 6D, 8E,
+// 9F) and renders the per-experiment assessments from the example
+// interviews, plus interview serialization throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "interview/interview.h"
+#include "interview/maturity.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+using namespace daspos;
+using namespace daspos::interview;
+
+namespace {
+
+void BM_InterviewJsonRoundTrip(benchmark::State& state) {
+  DataInterview interview = ExampleInterviews()[2];
+  for (auto _ : state) {
+    auto restored = DataInterview::FromJson(interview.ToJson());
+    benchmark::DoNotOptimize(restored);
+  }
+}
+BENCHMARK(BM_InterviewJsonRoundTrip);
+
+void BM_RenderReport(benchmark::State& state) {
+  DataInterview interview = ExampleInterviews()[1];
+  for (auto _ : state) {
+    std::string report = interview.RenderReport();
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_RenderReport);
+
+void PrintGrids() {
+  // The appendix grids themselves: one table per axis, levels 1..5.
+  for (MaturityAxis axis : kAllMaturityAxes) {
+    TextTable grid;
+    grid.SetTitle("\nMaturity grid: " + std::string(MaturityAxisName(axis)));
+    grid.SetHeader({"level", "description (Appendix A wording)"});
+    for (int level = 1; level <= 5; ++level) {
+      auto description = MaturityLevelDescription(axis, level);
+      grid.AddRow({std::to_string(level), std::string(*description)});
+    }
+    std::printf("%s", grid.Render().c_str());
+  }
+
+  // Per-experiment assessment matrix.
+  auto interviews = ExampleInterviews();
+  TextTable matrix;
+  matrix.SetTitle("\nSelf-assessments of the four experiments:");
+  std::vector<std::string> header = {"axis"};
+  for (const DataInterview& interview : interviews) {
+    header.push_back(std::string(ExperimentName(interview.experiment)));
+  }
+  matrix.SetHeader(header);
+  for (MaturityAxis axis : kAllMaturityAxes) {
+    std::vector<std::string> row = {std::string(MaturityAxisName(axis))};
+    for (const DataInterview& interview : interviews) {
+      row.push_back(std::to_string(interview.maturity.Level(axis)));
+    }
+    matrix.AddRow(row);
+  }
+  std::vector<std::string> overall = {"OVERALL"};
+  for (const DataInterview& interview : interviews) {
+    overall.push_back(FormatDouble(interview.maturity.Overall(), 2));
+  }
+  matrix.AddRow(overall);
+  std::printf("%s\n", matrix.Render().c_str());
+  std::printf(
+      "Shape to reproduce (§4): experiments with approved public-data\n"
+      "policies (CMS, LHCb) self-assess higher on sharing than those still\n"
+      "in discussion (Alice, Atlas).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== E4: Appendix A maturity grids ====\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintGrids();
+  return 0;
+}

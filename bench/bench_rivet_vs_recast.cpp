@@ -1,0 +1,129 @@
+// E3 — quantifies the §2.4 RIVET-vs-RECAST comparison on the Z'
+// reinterpretation: the truth-level bridge (RIVET-style) vs the full
+// detector-simulation back end (RECAST-style), as (a) signal efficiency,
+// (b) resulting upper limits, and (c) CPU cost per event. Expected shape:
+// truth-level over-estimates efficiency (no detector losses) and is much
+// cheaper; the gap is the price of fidelity.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/bridge.h"
+#include "event/pdg.h"
+#include "recast/backend.h"
+#include "support/strings.h"
+#include "support/table.h"
+#include "workflow/steps.h"
+
+using namespace daspos;
+using namespace daspos::recast;
+
+namespace {
+
+RecastRequest MakeRequest(const std::string& search, double mass,
+                          size_t events) {
+  GeneratorConfig model;
+  model.process = Process::kZPrimeToLL;
+  model.zprime_mass = mass;
+  model.zprime_width = 0.03 * mass;
+  model.lepton_flavor = pdg::kMuon;
+  model.seed = 314159;
+
+  RecastRequest request;
+  request.search_name = search;
+  request.requester = "bench";
+  request.model = GeneratorConfigToJson(model);
+  request.model_cross_section_pb = 0.05;
+  request.event_count = events;
+  return request;
+}
+
+void BM_TruthBridgeProcess(benchmark::State& state) {
+  RivetBridgeBackEnd bridge;
+  (void)bridge.RegisterSearch(DileptonResonanceTruthSearch());
+  RecastRequest request =
+      MakeRequest("DASPOS_EXO_14_001_RIVET", 1000.0, 200);
+  for (auto _ : state) {
+    auto result = bridge.Process(request);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 200);
+  state.SetLabel("truth-level (RIVET bridge)");
+}
+BENCHMARK(BM_TruthBridgeProcess)->Unit(benchmark::kMillisecond);
+
+void BM_FullSimProcess(benchmark::State& state) {
+  RecastBackEnd backend;
+  (void)backend.RegisterSearch(DileptonResonanceSearch());
+  RecastRequest request = MakeRequest("DASPOS_EXO_14_001", 1000.0, 200);
+  for (auto _ : state) {
+    auto result = backend.Process(request);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 200);
+  state.SetLabel("full-sim (RECAST back end)");
+}
+BENCHMARK(BM_FullSimProcess)->Unit(benchmark::kMillisecond);
+
+void PrintComparison() {
+  RivetBridgeBackEnd bridge;
+  (void)bridge.RegisterSearch(DileptonResonanceTruthSearch());
+  RecastBackEnd full_sim;
+  (void)full_sim.RegisterSearch(DileptonResonanceSearch());
+
+  TextTable table;
+  table.SetTitle(
+      "\nZ' (sigma = 0.05 pb) reinterpretation: truth level vs full "
+      "simulation, SR_mll_800:");
+  table.SetHeader({"m(Z') [GeV]", "eff truth", "eff full-sim",
+                   "eff ratio", "mu95 truth", "mu95 full-sim"});
+  const size_t events = 600;
+  for (double mass : {600.0, 800.0, 1000.0, 1200.0, 1400.0}) {
+    auto truth =
+        bridge.Process(MakeRequest("DASPOS_EXO_14_001_RIVET", mass, events));
+    auto sim =
+        full_sim.Process(MakeRequest("DASPOS_EXO_14_001", mass, events));
+    if (!truth.ok() || !sim.ok()) {
+      std::fprintf(stderr, "processing failed\n");
+      std::exit(1);
+    }
+    auto region_of = [](const RecastResult& result, const char* name) {
+      for (const RegionResult& region : result.regions) {
+        if (region.region == name) return region;
+      }
+      return RegionResult{};
+    };
+    RegionResult truth_region = region_of(*truth, "SR_mll_800");
+    RegionResult sim_region = region_of(*sim, "SR_mll_800");
+    double ratio = sim_region.efficiency > 0.0
+                       ? truth_region.efficiency / sim_region.efficiency
+                       : 0.0;
+    table.AddRow({FormatDouble(mass, 4),
+                  FormatDouble(truth_region.efficiency, 3),
+                  FormatDouble(sim_region.efficiency, 3),
+                  ratio > 0.0 ? FormatDouble(ratio, 3) : "-",
+                  FormatDouble(truth_region.upper_limit_mu, 3),
+                  FormatDouble(sim_region.upper_limit_mu, 3)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Shape to reproduce (§2.4): the RIVET-style path cannot 'include a\n"
+      "detector simulation'. Above the region threshold its efficiency\n"
+      "bounds full-sim from above (detector losses) and its limits are\n"
+      "optimistic; right AT the threshold (600 GeV) full-sim exceeds truth\n"
+      "because resolution smears events INTO the region — exactly the\n"
+      "migration effect a truth-only framework cannot model. The timings\n"
+      "show the full chain costing several times more CPU per event — the\n"
+      "trade the RECAST<->RIVET bridge (§5) lets users pick per use case.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== E3: RIVET (truth) vs RECAST (full simulation) ====\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintComparison();
+  return 0;
+}

@@ -1,0 +1,161 @@
+// E1 — regenerates the paper's Table 1 (outreach features of the four LHC
+// experiments) from the implemented Level-2 dialects, measures per-dialect
+// codec throughput, and prints the interoperability matrix that motivates
+// the common-format converter architecture (§2.1).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "detsim/simulation.h"
+#include "event/pdg.h"
+#include "level2/dialects.h"
+#include "level2/outreach.h"
+#include "mc/generator.h"
+#include "reco/reconstruction.h"
+#include "support/table.h"
+
+using namespace daspos;
+using namespace daspos::level2;
+
+namespace {
+
+CommonEvent MakeEvent() {
+  GeneratorConfig gen_config;
+  gen_config.process = Process::kZToLL;
+  gen_config.lepton_flavor = pdg::kMuon;
+  gen_config.seed = 5;
+  EventGenerator generator(gen_config);
+  SimulationConfig sim_config;
+  sim_config.seed = 6;
+  DetectorSimulation simulation(sim_config);
+  ReconstructionConfig reco_config;
+  reco_config.geometry = sim_config.geometry;
+  reco_config.calib = sim_config.calib;
+  Reconstructor reconstructor(reco_config);
+  return CommonEvent::FromReco(
+      reconstructor.Reconstruct(simulation.Simulate(generator.Generate(), 1)));
+}
+
+void BM_DialectEncode(benchmark::State& state) {
+  Experiment experiment = static_cast<Experiment>(state.range(0));
+  CommonEvent event = MakeEvent();
+  const Level2Codec& codec = CodecFor(experiment);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string encoded = codec.Encode(event);
+    bytes += encoded.size();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+  state.SetLabel(std::string(ExperimentName(experiment)));
+}
+BENCHMARK(BM_DialectEncode)->DenseRange(0, 3);
+
+void BM_DialectDecode(benchmark::State& state) {
+  Experiment experiment = static_cast<Experiment>(state.range(0));
+  const Level2Codec& codec = CodecFor(experiment);
+  std::string encoded = codec.Encode(MakeEvent());
+  for (auto _ : state) {
+    auto decoded = codec.Decode(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(encoded.size()));
+  state.SetLabel(std::string(ExperimentName(experiment)));
+}
+BENCHMARK(BM_DialectDecode)->DenseRange(0, 3);
+
+void BM_ConvertViaCommon(benchmark::State& state) {
+  std::string encoded = CodecFor(Experiment::kAtlas).Encode(MakeEvent());
+  for (auto _ : state) {
+    auto converted =
+        ConvertBetween(Experiment::kAtlas, encoded, Experiment::kCms);
+    benchmark::DoNotOptimize(converted);
+  }
+  state.SetLabel("Atlas->common->CMS");
+}
+BENCHMARK(BM_ConvertViaCommon);
+
+void PrintTable1() {
+  auto profiles = AllOutreachProfiles();
+  TextTable table;
+  table.SetTitle(
+      "\nTable 1 (regenerated): outreach features of the four LHC "
+      "experiments");
+  table.SetHeader({"", "Alice", "Atlas", "CMS", "LHCb"});
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (const OutreachProfile& profile : profiles) {
+      cells.push_back(getter(profile));
+    }
+    table.AddRow(cells);
+  };
+  row("Event display", [](const OutreachProfile& p) { return p.event_display; });
+  row("Geometry description",
+      [](const OutreachProfile& p) { return p.geometry_format; });
+  row("Analysis tools",
+      [](const OutreachProfile& p) { return p.analysis_tools; });
+  row("Data format (implemented)",
+      [](const OutreachProfile& p) { return p.data_format; });
+  row("self-documenting?", [](const OutreachProfile& p) {
+    return std::string(p.self_documenting ? "Y" : "N");
+  });
+  row("Master class uses",
+      [](const OutreachProfile& p) { return p.master_class_uses; });
+  row("Comments", [](const OutreachProfile& p) { return p.comments; });
+  std::printf("%s\n", table.Render().c_str());
+
+  // Per-dialect document size for the same event.
+  CommonEvent event = MakeEvent();
+  TextTable sizes;
+  sizes.SetTitle("Same event, each dialect:");
+  sizes.SetHeader({"experiment", "bytes", "decodable by other dialects?"});
+  for (Experiment experiment : kAllExperiments) {
+    std::string encoded = CodecFor(experiment).Encode(event);
+    int foreign_ok = 0;
+    for (Experiment other : kAllExperiments) {
+      if (other == experiment) continue;
+      if (DecodableAs(other, encoded)) ++foreign_ok;
+    }
+    sizes.AddRow({std::string(ExperimentName(experiment)),
+                  std::to_string(encoded.size()),
+                  foreign_ok == 0 ? "no (0/3)" :
+                      std::to_string(foreign_ok) + "/3"});
+  }
+  std::printf("%s\n", sizes.Render().c_str());
+
+  // Interop matrix: direct vs via common format.
+  TextTable interop;
+  interop.SetTitle(
+      "Interoperability (paper's point: none direct, all via the common "
+      "format):");
+  interop.SetHeader({"from \\ to", "Alice", "Atlas", "CMS", "LHCb"});
+  for (Experiment from : kAllExperiments) {
+    std::vector<std::string> cells = {std::string(ExperimentName(from))};
+    std::string encoded = CodecFor(from).Encode(event);
+    for (Experiment to : kAllExperiments) {
+      if (from == to) {
+        cells.push_back("-");
+        continue;
+      }
+      bool direct = DecodableAs(to, encoded);
+      bool via_common = ConvertBetween(from, encoded, to).ok();
+      cells.push_back(std::string(direct ? "direct" : "") +
+                      (via_common ? "via-common" : "FAIL"));
+    }
+    interop.AddRow(cells);
+  }
+  std::printf("%s", interop.Render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== E1: Table 1 regeneration + Level-2 codec benchmarks "
+              "====\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintTable1();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// E5 — prices provenance capture (§3.2: "an external structure to capture
+// that provenance chain will need to be created"): chain execution with vs
+// without capture, the size of the captured chain, and the gap-detection
+// query that finds derived files with missing parentage.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "conditions/store.h"
+#include "event/pdg.h"
+#include "support/strings.h"
+#include "support/table.h"
+#include "workflow/steps.h"
+
+using namespace daspos;
+
+namespace {
+
+constexpr int kEvents = 60;
+
+Workflow BuildChain() {
+  GeneratorConfig gen_config;
+  gen_config.process = Process::kZToLL;
+  gen_config.lepton_flavor = pdg::kMuon;
+  gen_config.seed = 21;
+  SimulationConfig sim_config;
+  sim_config.seed = 22;
+
+  Workflow workflow;
+  (void)workflow.AddStep(
+      std::make_shared<GenerationStep>(gen_config, kEvents, "gen"), {},
+      "gen");
+  (void)workflow.AddStep(
+      std::make_shared<SimulationStep>(sim_config, 7, "raw"), {"gen"},
+      "raw");
+  (void)workflow.AddStep(
+      std::make_shared<ReconstructionStep>(sim_config.geometry, "reco"),
+      {"raw"}, "reco");
+  (void)workflow.AddStep(std::make_shared<AodReductionStep>("aod"), {"reco"},
+                         "aod");
+  (void)workflow.AddStep(
+      std::make_shared<DerivationStep>(
+          SkimSpec::RequireObjects(ObjectType::kMuon, 2, 15.0),
+          SlimSpec::LeptonsOnly(15.0), "derived"),
+      {"aod"}, "derived");
+  return workflow;
+}
+
+ConditionsDb MakeConditions() {
+  ConditionsDb conditions;
+  CalibrationSet calib;
+  (void)conditions.Append(kCalibrationTag, 1, calib.ToPayload());
+  return conditions;
+}
+
+void BM_ChainWithoutProvenance(benchmark::State& state) {
+  Workflow workflow = BuildChain();
+  ConditionsDb conditions = MakeConditions();
+  for (auto _ : state) {
+    WorkflowContext context;
+    context.set_conditions(&conditions);
+    auto report = workflow.Execute(&context);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kEvents);
+}
+BENCHMARK(BM_ChainWithoutProvenance)->Unit(benchmark::kMillisecond);
+
+void BM_ChainWithProvenance(benchmark::State& state) {
+  Workflow workflow = BuildChain();
+  ConditionsDb conditions = MakeConditions();
+  for (auto _ : state) {
+    WorkflowContext context;
+    context.set_conditions(&conditions);
+    ProvenanceStore provenance;
+    auto report = workflow.Execute(&context, &provenance);
+    benchmark::DoNotOptimize(provenance);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kEvents);
+}
+BENCHMARK(BM_ChainWithProvenance)->Unit(benchmark::kMillisecond);
+
+void BM_AncestryQuery(benchmark::State& state) {
+  Workflow workflow = BuildChain();
+  ConditionsDb conditions = MakeConditions();
+  WorkflowContext context;
+  context.set_conditions(&conditions);
+  ProvenanceStore provenance;
+  (void)workflow.Execute(&context, &provenance);
+  for (auto _ : state) {
+    auto ancestry = provenance.Ancestry("derived");
+    benchmark::DoNotOptimize(ancestry);
+  }
+}
+BENCHMARK(BM_AncestryQuery);
+
+void PrintProvenanceReport() {
+  Workflow workflow = BuildChain();
+  ConditionsDb conditions = MakeConditions();
+  WorkflowContext context;
+  context.set_conditions(&conditions);
+  ProvenanceStore provenance;
+  (void)workflow.Execute(&context, &provenance);
+
+  std::string serialized = provenance.Serialize();
+  TextTable table;
+  table.SetTitle("\nCaptured provenance chain:");
+  table.SetHeader({"dataset", "producer", "parents", "events", "bytes"});
+  for (const std::string& dataset : provenance.Datasets()) {
+    auto record = provenance.Get(dataset);
+    table.AddRow({record->dataset, record->producer,
+                  Join(record->parents, ","),
+                  std::to_string(record->output_events),
+                  FormatBytes(record->output_bytes)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("provenance store: %zu records, %s serialized (%.2f%% of the "
+              "data volume it describes)\n",
+              provenance.size(), FormatBytes(serialized.size()).c_str(),
+              100.0 * static_cast<double>(serialized.size()) /
+                  static_cast<double>(context.TotalBytes()));
+
+  // Gap detection: simulate a legacy file whose parent was produced
+  // without capture.
+  ProvenanceStore broken;
+  auto derived = provenance.Get("derived");
+  ProvenanceRecord orphan = *derived;
+  (void)broken.Add(orphan);
+  auto missing = broken.MissingParents();
+  std::printf("\ngap detection on a partial store: %zu missing parent(s): ",
+              missing.size());
+  for (const std::string& parent : missing) std::printf("%s ", parent.c_str());
+  std::printf("\n(the §3.2 failure mode an external provenance structure "
+              "must catch)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== E5: provenance capture cost + gap detection ====\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintProvenanceReport();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// The Les Houches recommendations in action (§2.3): a phenomenology
+// community maintains a common analysis database of declarative analysis
+// descriptions ("object definitions, cuts, and all other information
+// necessary to reproduce or use the results"). A preserved search is
+// deposited once; anyone can later retrieve it, inspect it as text, and run
+// the exact cutflow over new model samples — no experiment code base
+// required.
+#include <cstdio>
+
+#include "detsim/simulation.h"
+#include "event/pdg.h"
+#include "lhada/database.h"
+#include "mc/generator.h"
+#include "reco/reconstruction.h"
+#include "tiers/dataset.h"
+
+using namespace daspos;
+
+namespace {
+
+constexpr char kSearchDescription[] = R"(
+# Dimuon resonance search, preserved as a Les Houches analysis description.
+analysis dimuon_resonance_2014
+
+object muons
+  take muon
+  select pt > 25
+  select abseta < 2.5
+
+cut preselection
+  select count(muons) >= 2
+
+cut opposite_sign
+  require preselection
+  select oppositecharge(muons[0], muons[1])
+
+cut sr_mll_400
+  require opposite_sign
+  select mass(muons[0], muons[1]) > 400
+)";
+
+std::vector<AodEvent> MakeSample(Process process, double zprime_mass,
+                                 int n) {
+  GeneratorConfig gen_config;
+  gen_config.process = process;
+  gen_config.zprime_mass = zprime_mass;
+  gen_config.zprime_width = 0.03 * zprime_mass;
+  gen_config.lepton_flavor = pdg::kMuon;
+  gen_config.seed = 31415;
+  EventGenerator generator(gen_config);
+  SimulationConfig sim_config;
+  sim_config.seed = 27182;
+  DetectorSimulation simulation(sim_config);
+  ReconstructionConfig reco_config;
+  reco_config.geometry = sim_config.geometry;
+  reco_config.calib = sim_config.calib;
+  Reconstructor reconstructor(reco_config);
+  std::vector<AodEvent> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(AodEvent::FromReco(
+        reconstructor.Reconstruct(simulation.Simulate(generator.Generate(), 1))));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Common analysis database (Les Houches Rec. 1b) ===\n\n");
+
+  // The experiment (or the original analysts) submit the description once.
+  lhada::AnalysisDatabase database;
+  auto name = database.Submit(kSearchDescription);
+  if (!name.ok()) {
+    std::printf("submission rejected: %s\n",
+                name.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("submitted '%s'; database now holds: ", name->c_str());
+  for (const std::string& entry : database.Names()) {
+    std::printf("%s ", entry.c_str());
+  }
+  std::printf("\n\n");
+
+  // A phenomenologist finds it by keyword and reads the canonical text.
+  auto hits = database.Search("resonance");
+  std::printf("search 'resonance' -> %zu hit(s)\n", hits.size());
+  auto document = database.GetDocument(hits.front());
+  std::printf("--- canonical preserved description ---\n%s"
+              "---------------------------------------\n\n",
+              document->c_str());
+
+  // Run the exact preserved cutflow over three samples.
+  auto analysis = database.GetAnalysis(hits.front());
+  if (!analysis.ok()) {
+    std::printf("parse failed: %s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  struct Scenario {
+    const char* label;
+    Process process;
+    double mass;
+  };
+  for (const Scenario& scenario :
+       {Scenario{"Standard Model Z (background)", Process::kZToLL, 0.0},
+        Scenario{"Z' at 600 GeV", Process::kZPrimeToLL, 600.0},
+        Scenario{"Z' at 1200 GeV", Process::kZPrimeToLL, 1200.0}}) {
+    auto sample = MakeSample(scenario.process, scenario.mass, 300);
+    lhada::Cutflow cutflow = analysis->Run(sample);
+    std::printf("%s\n%s\n", scenario.label, cutflow.Render().c_str());
+  }
+  std::printf(
+      "The SM background is fully rejected while resonances populate the\n"
+      "signal region; at very high mass the opposite-sign efficiency drops —\n"
+      "nearly straight TeV tracks suffer charge confusion, a detector effect\n"
+      "the cutflow exposes. All reproduced from a text document alone.\n");
+  return 0;
+}

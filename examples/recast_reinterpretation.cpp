@@ -1,0 +1,109 @@
+// The RECAST use case (§2.3): a theorist submits a new-physics model (a
+// heavy Z' at several masses) to the experiment's preserved dimuon search
+// through the front end; the closed back end re-runs the full preserved
+// chain; the experiment approves; the theorist reads exclusion limits.
+#include <cstdio>
+
+#include "core/bridge.h"
+#include "event/pdg.h"
+#include "recast/frontend.h"
+#include "support/table.h"
+#include "workflow/steps.h"
+
+using namespace daspos;
+using namespace daspos::recast;
+
+namespace {
+
+RecastRequest MakeRequest(const std::string& search, double mass,
+                          double xsec_pb) {
+  GeneratorConfig model;
+  model.process = Process::kZPrimeToLL;
+  model.zprime_mass = mass;
+  model.zprime_width = 0.03 * mass;
+  model.lepton_flavor = pdg::kMuon;
+  model.seed = 20140321;
+
+  RecastRequest request;
+  request.search_name = search;
+  request.requester = "theorist@pheno.example";
+  request.model = GeneratorConfigToJson(model);
+  request.model_cross_section_pb = xsec_pb;
+  request.event_count = 400;
+  return request;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== RECAST reinterpretation of a preserved dimuon search ===\n\n");
+
+  // Experiment side: install the preserved search in the closed back end.
+  RecastBackEnd backend;
+  if (auto s = backend.RegisterSearch(DileptonResonanceSearch()); !s.ok()) {
+    std::printf("backend setup failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  RecastFrontEnd frontend(&backend);
+  std::printf("public catalog: ");
+  for (const std::string& name : frontend.Catalog()) {
+    std::printf("%s ", name.c_str());
+  }
+  std::printf("\n\n");
+
+  // Theorist side: scan Z' masses at a fixed model cross section.
+  const double xsec_pb = 0.05;
+  std::vector<std::string> ids;
+  for (double mass : {500.0, 700.0, 900.0, 1100.0, 1300.0}) {
+    auto id = frontend.Submit(
+        MakeRequest("DASPOS_EXO_14_001", mass, xsec_pb));
+    if (!id.ok()) {
+      std::printf("submit failed: %s\n", id.status().ToString().c_str());
+      return 1;
+    }
+    ids.push_back(*id);
+  }
+  std::printf("submitted %zu requests (sigma = %.3f pb each)\n", ids.size(),
+              xsec_pb);
+
+  // Experiment side: process the queue and approve the releases.
+  (void)frontend.ProcessQueue();
+  for (const std::string& id : ids) (void)frontend.Approve(id);
+  std::printf("back end simulated %llu full-chain events\n\n",
+              static_cast<unsigned long long>(backend.events_simulated()));
+
+  // Theorist side: read the released limits.
+  TextTable table;
+  table.SetTitle("Z' exclusion scan (full-simulation RECAST back end)");
+  table.SetHeader({"m(Z') [GeV]", "best region", "efficiency", "mu95",
+                   "excluded at sigma=0.05pb?"});
+  double masses[] = {500.0, 700.0, 900.0, 1100.0, 1300.0};
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto result = frontend.GetResult(ids[i]);
+    if (!result.ok()) {
+      std::printf("result %s withheld: %s\n", ids[i].c_str(),
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    const RegionResult* best = nullptr;
+    for (const RegionResult& region : result->regions) {
+      if (region.upper_limit_mu <= 0.0) continue;
+      if (best == nullptr || region.upper_limit_mu < best->upper_limit_mu) {
+        best = &region;
+      }
+    }
+    char mass_text[32], eff_text[32], limit_text[32];
+    std::snprintf(mass_text, sizeof(mass_text), "%.0f", masses[i]);
+    std::snprintf(eff_text, sizeof(eff_text), "%.3f",
+                  best != nullptr ? best->efficiency : 0.0);
+    std::snprintf(limit_text, sizeof(limit_text), "%.3f",
+                  result->BestUpperLimit());
+    table.AddRow({mass_text, best != nullptr ? best->region : "-", eff_text,
+                  limit_text, result->Excluded() ? "YES" : "no"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "mu95 < 1 means the model at its nominal cross section is excluded\n"
+      "by the preserved data; the analysis never left the experiment.\n");
+  return 0;
+}

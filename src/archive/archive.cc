@@ -1,0 +1,218 @@
+#include "archive/archive.h"
+
+namespace daspos {
+
+Result<std::string> Archive::Deposit(const SubmissionPackage& submission) {
+  if (submission.title.empty()) {
+    return Status::InvalidArgument("deposit requires a title");
+  }
+  if (submission.files.empty()) {
+    return Status::InvalidArgument("deposit requires at least one file");
+  }
+
+  Json manifest = Json::Object();
+  manifest["aip_version"] = 1;
+  manifest["title"] = submission.title;
+  manifest["creator"] = submission.creator;
+  manifest["description"] = submission.description;
+  Json keywords = Json::Array();
+  for (const std::string& keyword : submission.keywords) {
+    keywords.push_back(keyword);
+  }
+  manifest["keywords"] = std::move(keywords);
+  manifest["context"] = submission.context;
+
+  Json files = Json::Array();
+  for (const PackageFile& file : submission.files) {
+    if (file.logical_name.empty()) {
+      return Status::InvalidArgument("package file needs a logical name");
+    }
+    DASPOS_ASSIGN_OR_RETURN(std::string object_id, store_->Put(file.bytes));
+    Json entry = Json::Object();
+    entry["name"] = file.logical_name;
+    entry["media_type"] = file.media_type;
+    entry["bytes"] = static_cast<uint64_t>(file.bytes.size());
+    entry["sha256"] = object_id;
+    files.push_back(std::move(entry));
+  }
+  manifest["files"] = std::move(files);
+
+  DASPOS_ASSIGN_OR_RETURN(std::string archive_id,
+                          store_->Put(manifest.Dump(2)));
+  // A byte-identical re-deposit maps to the same AIP; don't double-list it.
+  if (sequences_.count(archive_id) > 0) return archive_id;
+  sequences_[archive_id] = next_sequence_++;
+  catalog_.push_back(archive_id);
+  return archive_id;
+}
+
+Result<size_t> Archive::RecoverCatalog() {
+  size_t found = 0;
+  for (const std::string& id : store_->Ids()) {
+    DASPOS_ASSIGN_OR_RETURN(std::string bytes, store_->Get(id));
+    // AIP manifests are JSON objects with aip_version + files; anything
+    // else in the store is package payload.
+    auto json = Json::Parse(bytes);
+    if (!json.ok() || !json->is_object() || !json->Has("aip_version") ||
+        !json->Has("files")) {
+      continue;
+    }
+    ++found;
+    if (sequences_.count(id) == 0) {
+      sequences_[id] = next_sequence_++;
+      catalog_.push_back(id);
+    }
+  }
+  return found;
+}
+
+Result<Json> Archive::LoadManifest(const std::string& archive_id) const {
+  DASPOS_ASSIGN_OR_RETURN(std::string manifest_text, store_->Get(archive_id));
+  DASPOS_ASSIGN_OR_RETURN(Json manifest, Json::Parse(manifest_text));
+  if (!manifest.Has("files")) {
+    return Status::Corruption("AIP manifest without file list: " + archive_id);
+  }
+  return manifest;
+}
+
+Result<DisseminationPackage> Archive::Retrieve(
+    const std::string& archive_id) const {
+  DASPOS_ASSIGN_OR_RETURN(Json manifest, LoadManifest(archive_id));
+
+  DisseminationPackage package;
+  package.archive_id = archive_id;
+  package.content.title = manifest.Get("title").as_string();
+  package.content.creator = manifest.Get("creator").as_string();
+  package.content.description = manifest.Get("description").as_string();
+  const Json& keywords = manifest.Get("keywords");
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    package.content.keywords.push_back(keywords.at(i).as_string());
+  }
+  package.content.context = manifest.Get("context");
+
+  const Json& files = manifest.Get("files");
+  for (size_t i = 0; i < files.size(); ++i) {
+    const Json& entry = files.at(i);
+    std::string object_id = entry.Get("sha256").as_string();
+    DASPOS_RETURN_IF_ERROR(store_->Verify(object_id));
+    DASPOS_ASSIGN_OR_RETURN(std::string bytes, store_->Get(object_id));
+    PackageFile file;
+    file.logical_name = entry.Get("name").as_string();
+    file.media_type = entry.Get("media_type").as_string();
+    file.bytes = std::move(bytes);
+    package.content.files.push_back(std::move(file));
+  }
+  return package;
+}
+
+std::vector<HoldingSummary> Archive::Holdings() const {
+  std::vector<HoldingSummary> out;
+  for (const std::string& archive_id : catalog_) {
+    auto manifest = LoadManifest(archive_id);
+    if (!manifest.ok()) continue;  // surfaced by AuditFixity instead
+    HoldingSummary summary;
+    summary.archive_id = archive_id;
+    summary.title = manifest->Get("title").as_string();
+    auto seq = sequences_.find(archive_id);
+    summary.deposit_sequence = seq != sequences_.end() ? seq->second : 0;
+    const Json& files = manifest->Get("files");
+    summary.file_count = files.size();
+    for (size_t i = 0; i < files.size(); ++i) {
+      summary.total_bytes +=
+          static_cast<uint64_t>(files.at(i).Get("bytes").as_int());
+    }
+    summary.migrated_from = manifest->Get("migrated_from").as_string();
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+FixityReport Archive::AuditFixity() const {
+  FixityReport report;
+  for (const std::string& archive_id : catalog_) {
+    // The manifest itself is an object too.
+    ++report.objects_checked;
+    Status manifest_status = store_->Verify(archive_id);
+    if (manifest_status.IsNotFound()) {
+      report.missing_objects.push_back(archive_id);
+      continue;
+    }
+    if (!manifest_status.ok()) {
+      report.corrupted_objects.push_back(archive_id);
+      continue;
+    }
+    auto manifest = LoadManifest(archive_id);
+    if (!manifest.ok()) {
+      report.corrupted_objects.push_back(archive_id);
+      continue;
+    }
+    const Json& files = manifest->Get("files");
+    for (size_t i = 0; i < files.size(); ++i) {
+      std::string object_id = files.at(i).Get("sha256").as_string();
+      ++report.objects_checked;
+      Status status = store_->Verify(object_id);
+      if (status.IsNotFound()) {
+        report.missing_objects.push_back(object_id);
+      } else if (!status.ok()) {
+        report.corrupted_objects.push_back(object_id);
+      }
+    }
+  }
+  return report;
+}
+
+Result<std::string> Archive::Migrate(const std::string& archive_id,
+                                     const FileTransform& transform,
+                                     const std::string& migration_note) {
+  DASPOS_ASSIGN_OR_RETURN(DisseminationPackage original,
+                          Retrieve(archive_id));
+
+  SubmissionPackage migrated;
+  migrated.title = original.content.title;
+  migrated.creator = original.content.creator;
+  migrated.description = original.content.description;
+  migrated.keywords = original.content.keywords;
+  migrated.context = original.content.context;
+  for (const PackageFile& file : original.content.files) {
+    DASPOS_ASSIGN_OR_RETURN(PackageFile transformed, transform(file));
+    migrated.files.push_back(std::move(transformed));
+  }
+
+  // Deposit, then rewrite the manifest with migration lineage. Simplest
+  // correct path: build the manifest via Deposit semantics but add the
+  // lineage fields first — so we inline a tweaked deposit here.
+  Json manifest = Json::Object();
+  manifest["aip_version"] = 1;
+  manifest["title"] = migrated.title;
+  manifest["creator"] = migrated.creator;
+  manifest["description"] = migrated.description;
+  Json keywords = Json::Array();
+  for (const std::string& keyword : migrated.keywords) {
+    keywords.push_back(keyword);
+  }
+  manifest["keywords"] = std::move(keywords);
+  manifest["context"] = migrated.context;
+  manifest["migrated_from"] = archive_id;
+  manifest["migration_note"] = migration_note;
+
+  Json files = Json::Array();
+  for (const PackageFile& file : migrated.files) {
+    DASPOS_ASSIGN_OR_RETURN(std::string object_id, store_->Put(file.bytes));
+    Json entry = Json::Object();
+    entry["name"] = file.logical_name;
+    entry["media_type"] = file.media_type;
+    entry["bytes"] = static_cast<uint64_t>(file.bytes.size());
+    entry["sha256"] = object_id;
+    files.push_back(std::move(entry));
+  }
+  manifest["files"] = std::move(files);
+
+  DASPOS_ASSIGN_OR_RETURN(std::string new_id, store_->Put(manifest.Dump(2)));
+  if (sequences_.count(new_id) == 0) {
+    sequences_[new_id] = next_sequence_++;
+    catalog_.push_back(new_id);
+  }
+  return new_id;
+}
+
+}  // namespace daspos

@@ -1,0 +1,142 @@
+#include "archive/object_store.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "support/io.h"
+#include "support/sha256.h"
+
+namespace daspos {
+
+namespace fs = std::filesystem;
+
+// --------------------------------------------------------- MemoryObjectStore
+
+Result<std::string> MemoryObjectStore::Put(std::string_view bytes) {
+  std::string id = Sha256::HashHex(bytes);
+  // Overwrite unconditionally: Put must guarantee Get(id) == bytes even if
+  // a previously stored copy has rotted (re-putting good bytes heals).
+  objects_.insert_or_assign(id, std::string(bytes));
+  return id;
+}
+
+Result<std::string> MemoryObjectStore::Get(const std::string& id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + id + " not in store");
+  }
+  return it->second;
+}
+
+bool MemoryObjectStore::Has(const std::string& id) const {
+  return objects_.count(id) > 0;
+}
+
+Status MemoryObjectStore::Verify(const std::string& id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + id + " not in store");
+  }
+  if (Sha256::HashHex(it->second) != id) {
+    return Status::Corruption("fixity mismatch for object " + id);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> MemoryObjectStore::Ids() const {
+  std::vector<std::string> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, bytes] : objects_) {
+    (void)bytes;
+    out.push_back(id);
+  }
+  return out;
+}
+
+uint64_t MemoryObjectStore::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, bytes] : objects_) {
+    (void)id;
+    total += bytes.size();
+  }
+  return total;
+}
+
+Status MemoryObjectStore::CorruptForTesting(const std::string& id,
+                                            size_t byte_index) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + id + " not in store");
+  }
+  if (byte_index >= it->second.size()) {
+    return Status::OutOfRange("byte index past object size");
+  }
+  it->second[byte_index] = static_cast<char>(it->second[byte_index] ^ 0x40);
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- FileObjectStore
+
+std::string FileObjectStore::PathFor(const std::string& id) const {
+  return root_ + "/" + id.substr(0, 2) + "/" + id.substr(2);
+}
+
+Result<std::string> FileObjectStore::Put(std::string_view bytes) {
+  std::string id = Sha256::HashHex(bytes);
+  std::string path = PathFor(id);
+  // Skip the write only when the existing copy is intact, so re-putting
+  // good bytes heals a rotted object.
+  if (FileExists(path) && Verify(id).ok()) return id;
+  DASPOS_RETURN_IF_ERROR(WriteStringToFile(path, bytes));
+  return id;
+}
+
+Result<std::string> FileObjectStore::Get(const std::string& id) const {
+  if (id.size() < 3) return Status::InvalidArgument("malformed object id");
+  auto read = ReadFileToString(PathFor(id));
+  if (!read.ok()) return Status::NotFound("object " + id + " not in store");
+  return read;
+}
+
+bool FileObjectStore::Has(const std::string& id) const {
+  return id.size() >= 3 && FileExists(PathFor(id));
+}
+
+Status FileObjectStore::Verify(const std::string& id) const {
+  DASPOS_ASSIGN_OR_RETURN(std::string bytes, Get(id));
+  if (Sha256::HashHex(bytes) != id) {
+    return Status::Corruption("fixity mismatch for object " + id);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> FileObjectStore::Ids() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& shard : fs::directory_iterator(root_, ec)) {
+    if (!shard.is_directory()) continue;
+    std::string prefix = shard.path().filename().string();
+    for (const auto& entry : fs::directory_iterator(shard.path(), ec)) {
+      if (!entry.is_regular_file()) continue;
+      out.push_back(prefix + entry.path().filename().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t FileObjectStore::TotalBytes() const {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& shard : fs::directory_iterator(root_, ec)) {
+    if (!shard.is_directory()) continue;
+    for (const auto& entry : fs::directory_iterator(shard.path(), ec)) {
+      if (entry.is_regular_file()) {
+        total += static_cast<uint64_t>(entry.file_size(ec));
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace daspos

@@ -1,0 +1,72 @@
+// Content-addressed object storage: objects are keyed by the SHA-256 of
+// their bytes, so identity, deduplication, and fixity verification are all
+// the same operation — the foundation of the preservation archive.
+#ifndef DASPOS_ARCHIVE_OBJECT_STORE_H_
+#define DASPOS_ARCHIVE_OBJECT_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+
+namespace daspos {
+
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  /// Stores `bytes` and returns their content id (64 hex chars).
+  /// Re-putting identical bytes is a no-op returning the same id.
+  virtual Result<std::string> Put(std::string_view bytes) = 0;
+
+  virtual Result<std::string> Get(const std::string& id) const = 0;
+  virtual bool Has(const std::string& id) const = 0;
+
+  /// Re-hashes the stored bytes and compares with the id; Corruption on
+  /// mismatch (bit rot), NotFound if absent.
+  virtual Status Verify(const std::string& id) const = 0;
+
+  /// All stored ids (sorted).
+  virtual std::vector<std::string> Ids() const = 0;
+
+  virtual uint64_t TotalBytes() const = 0;
+};
+
+/// In-memory backend (tests, benches).
+class MemoryObjectStore : public ObjectStore {
+ public:
+  Result<std::string> Put(std::string_view bytes) override;
+  Result<std::string> Get(const std::string& id) const override;
+  bool Has(const std::string& id) const override;
+  Status Verify(const std::string& id) const override;
+  std::vector<std::string> Ids() const override;
+  uint64_t TotalBytes() const override;
+
+  /// Test hook: silently corrupt a stored object (fixity must catch it).
+  Status CorruptForTesting(const std::string& id, size_t byte_index);
+
+ private:
+  std::map<std::string, std::string> objects_;
+};
+
+/// Filesystem backend: objects live at <root>/<id[0:2]>/<id[2:]>.
+class FileObjectStore : public ObjectStore {
+ public:
+  explicit FileObjectStore(std::string root) : root_(std::move(root)) {}
+
+  Result<std::string> Put(std::string_view bytes) override;
+  Result<std::string> Get(const std::string& id) const override;
+  bool Has(const std::string& id) const override;
+  Status Verify(const std::string& id) const override;
+  std::vector<std::string> Ids() const override;
+  uint64_t TotalBytes() const override;
+
+ private:
+  std::string PathFor(const std::string& id) const;
+  std::string root_;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_ARCHIVE_OBJECT_STORE_H_

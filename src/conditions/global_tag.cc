@@ -1,0 +1,99 @@
+#include "conditions/global_tag.h"
+
+#include "support/strings.h"
+
+namespace daspos {
+
+std::string GlobalTag::Serialize() const {
+  std::string out = "globaltag: " + name + "\n";
+  for (const auto& [role, tag] : roles) {
+    out += role + " = " + tag + "\n";
+  }
+  return out;
+}
+
+Result<GlobalTag> GlobalTag::Parse(const std::string& text) {
+  GlobalTag tag;
+  bool saw_name = false;
+  for (const std::string& line : Split(text, '\n')) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (StartsWith(trimmed, "globaltag:")) {
+      tag.name = std::string(Trim(trimmed.substr(10)));
+      saw_name = true;
+      continue;
+    }
+    size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::Corruption("global-tag line without '=': " +
+                                std::string(trimmed));
+    }
+    std::string role(Trim(trimmed.substr(0, eq)));
+    std::string underlying(Trim(trimmed.substr(eq + 1)));
+    if (role.empty() || underlying.empty()) {
+      return Status::Corruption("empty role or tag in global tag");
+    }
+    tag.roles[role] = underlying;
+  }
+  if (!saw_name || tag.name.empty()) {
+    return Status::Corruption("global tag missing 'globaltag:' header");
+  }
+  return tag;
+}
+
+Status GlobalTagRegistry::Define(GlobalTag tag) {
+  if (tag.name.empty()) {
+    return Status::InvalidArgument("global tag needs a name");
+  }
+  if (tag.roles.empty()) {
+    return Status::InvalidArgument("global tag '" + tag.name +
+                                   "' maps no roles");
+  }
+  if (tags_.count(tag.name) > 0) {
+    return Status::AlreadyExists(
+        "global tag '" + tag.name +
+        "' already defined (definitions are immutable)");
+  }
+  order_.push_back(tag.name);
+  tags_.emplace(tag.name, std::move(tag));
+  return Status::OK();
+}
+
+Result<GlobalTag> GlobalTagRegistry::Get(const std::string& name) const {
+  auto it = tags_.find(name);
+  if (it == tags_.end()) {
+    return Status::NotFound("no global tag '" + name + "'");
+  }
+  return it->second;
+}
+
+bool GlobalTagRegistry::Has(const std::string& name) const {
+  return tags_.count(name) > 0;
+}
+
+std::vector<std::string> GlobalTagRegistry::Names() const { return order_; }
+
+Result<ConditionsSnapshot> CaptureByGlobalTag(const ConditionsProvider& source,
+                                              uint32_t run,
+                                              const GlobalTag& tag) {
+  std::vector<std::string> tags;
+  tags.reserve(tag.roles.size());
+  for (const auto& [role, underlying] : tag.roles) {
+    (void)role;
+    tags.push_back(underlying);
+  }
+  return ConditionsSnapshot::Capture(source, run, tags);
+}
+
+Result<std::string> GetPayloadByRole(const ConditionsProvider& source,
+                                     const GlobalTag& tag,
+                                     const std::string& role, uint32_t run) {
+  auto it = tag.roles.find(role);
+  if (it == tag.roles.end()) {
+    return Status::NotFound("global tag '" + tag.name + "' has no role '" +
+                            role + "'");
+  }
+  return source.GetPayload(it->second, run);
+}
+
+}  // namespace daspos

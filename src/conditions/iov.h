@@ -1,0 +1,39 @@
+// Interval of validity: the run range over which a conditions payload is
+// the correct one to use.
+#ifndef DASPOS_CONDITIONS_IOV_H_
+#define DASPOS_CONDITIONS_IOV_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace daspos {
+
+/// Inclusive run interval [first_run, last_run].
+struct RunRange {
+  uint32_t first_run = 0;
+  uint32_t last_run = std::numeric_limits<uint32_t>::max();
+
+  /// Open-ended range starting at `first`.
+  static RunRange From(uint32_t first) { return {first, kMaxRun}; }
+  static constexpr uint32_t kMaxRun = std::numeric_limits<uint32_t>::max();
+
+  bool Contains(uint32_t run) const {
+    return run >= first_run && run <= last_run;
+  }
+  bool Overlaps(const RunRange& other) const {
+    return first_run <= other.last_run && other.first_run <= last_run;
+  }
+  bool Valid() const { return first_run <= last_run; }
+
+  std::string ToString() const {
+    return "[" + std::to_string(first_run) + "," +
+           (last_run == kMaxRun ? std::string("inf")
+                                : std::to_string(last_run)) +
+           "]";
+  }
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_CONDITIONS_IOV_H_

@@ -1,0 +1,30 @@
+// Read interface for conditions access. §3.2 records two strategies among
+// the experiments: live database access during processing, and Alice-style
+// text files "that can easily be shipped around with the data". Both are
+// implemented behind this interface (store.h, snapshot.h) so downstream
+// processing code cannot tell them apart — which is precisely the
+// preservation-relevant property.
+#ifndef DASPOS_CONDITIONS_PROVIDER_H_
+#define DASPOS_CONDITIONS_PROVIDER_H_
+
+#include <string>
+
+#include "support/result.h"
+
+namespace daspos {
+
+class ConditionsProvider {
+ public:
+  virtual ~ConditionsProvider() = default;
+
+  /// Returns the payload for `tag` valid at `run`, or NotFound.
+  virtual Result<std::string> GetPayload(const std::string& tag,
+                                         uint32_t run) const = 0;
+
+  /// Human-readable backend description (for provenance capture).
+  virtual std::string BackendName() const = 0;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_CONDITIONS_PROVIDER_H_

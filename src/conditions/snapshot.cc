@@ -1,0 +1,107 @@
+#include "conditions/snapshot.h"
+
+#include "support/strings.h"
+
+namespace daspos {
+
+Result<ConditionsSnapshot> ConditionsSnapshot::Capture(
+    const ConditionsProvider& source, uint32_t run,
+    const std::vector<std::string>& tags) {
+  ConditionsSnapshot snapshot;
+  snapshot.run_ = run;
+  snapshot.source_ = source.BackendName();
+  for (const std::string& tag : tags) {
+    DASPOS_ASSIGN_OR_RETURN(std::string payload, source.GetPayload(tag, run));
+    snapshot.payloads_[tag] = std::move(payload);
+  }
+  return snapshot;
+}
+
+std::string ConditionsSnapshot::Serialize() const {
+  std::string out = "# daspos conditions snapshot\n";
+  out += "run: " + std::to_string(run_) + "\n";
+  out += "source: " + source_ + "\n";
+  for (const auto& [tag, payload] : payloads_) {
+    out += "tag: " + tag + " bytes: " + std::to_string(payload.size()) + "\n";
+    out += payload;
+    out += "\n";
+  }
+  return out;
+}
+
+Result<ConditionsSnapshot> ConditionsSnapshot::Parse(const std::string& text) {
+  ConditionsSnapshot snapshot;
+  size_t pos = 0;
+  bool saw_run = false;
+
+  auto next_line = [&]() -> Result<std::string> {
+    if (pos >= text.size()) return Status::Corruption("snapshot truncated");
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    return line;
+  };
+
+  while (pos < text.size()) {
+    DASPOS_ASSIGN_OR_RETURN(std::string line, next_line());
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (StartsWith(trimmed, "run:")) {
+      DASPOS_ASSIGN_OR_RETURN(uint64_t run, ParseU64(trimmed.substr(4)));
+      snapshot.run_ = static_cast<uint32_t>(run);
+      saw_run = true;
+    } else if (StartsWith(trimmed, "source:")) {
+      snapshot.source_ = std::string(Trim(trimmed.substr(7)));
+    } else if (StartsWith(trimmed, "tag:")) {
+      // "tag: <name> bytes: <n>"
+      size_t bytes_pos = trimmed.find(" bytes: ");
+      if (bytes_pos == std::string_view::npos) {
+        return Status::Corruption("snapshot tag line missing 'bytes:'");
+      }
+      std::string tag(Trim(trimmed.substr(4, bytes_pos - 4)));
+      DASPOS_ASSIGN_OR_RETURN(uint64_t count,
+                              ParseU64(trimmed.substr(bytes_pos + 8)));
+      if (pos + count > text.size()) {
+        return Status::Corruption("snapshot payload for tag '" + tag +
+                                  "' truncated");
+      }
+      snapshot.payloads_[tag] = text.substr(pos, count);
+      pos += count;
+      // Consume the trailing newline after the payload block.
+      if (pos < text.size() && text[pos] == '\n') ++pos;
+    } else {
+      return Status::Corruption("unrecognized snapshot line: " +
+                                std::string(trimmed));
+    }
+  }
+  if (!saw_run) return Status::Corruption("snapshot missing 'run:' header");
+  return snapshot;
+}
+
+Result<std::string> ConditionsSnapshot::GetPayload(const std::string& tag,
+                                                   uint32_t run) const {
+  ++lookup_count_;
+  if (run != run_) {
+    return Status::FailedPrecondition(
+        "snapshot captured for run " + std::to_string(run_) +
+        " cannot serve run " + std::to_string(run));
+  }
+  auto it = payloads_.find(tag);
+  if (it == payloads_.end()) {
+    return Status::NotFound("tag '" + tag + "' not in snapshot");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ConditionsSnapshot::Tags() const {
+  std::vector<std::string> out;
+  out.reserve(payloads_.size());
+  for (const auto& [tag, payload] : payloads_) {
+    (void)payload;
+    out.push_back(tag);
+  }
+  return out;
+}
+
+}  // namespace daspos

@@ -1,0 +1,60 @@
+// The conditions database backend: tagged payloads with non-overlapping
+// intervals of validity, resolved by run number.
+#ifndef DASPOS_CONDITIONS_STORE_H_
+#define DASPOS_CONDITIONS_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "conditions/iov.h"
+#include "conditions/provider.h"
+#include "support/status.h"
+
+namespace daspos {
+
+/// In-memory conditions database. Models the "database access from
+/// processing" strategy: every lookup goes to the (simulated) service and is
+/// counted — the E7 bench uses the counters to contrast with snapshots.
+class ConditionsDb : public ConditionsProvider {
+ public:
+  /// Registers a payload for `tag` over `range`. Fails on invalid ranges or
+  /// IOV overlap within the tag (conditions must be unambiguous).
+  Status Put(const std::string& tag, const RunRange& range,
+             std::string payload);
+
+  /// Closes the open-ended latest IOV of `tag` at `last_run` and appends a
+  /// new open-ended payload starting at `last_run + 1` — the typical
+  /// calibration-update operation.
+  Status Append(const std::string& tag, uint32_t first_run,
+                std::string payload);
+
+  // ConditionsProvider:
+  Result<std::string> GetPayload(const std::string& tag,
+                                 uint32_t run) const override;
+  std::string BackendName() const override { return "conditions-db"; }
+
+  /// All registered tags, sorted.
+  std::vector<std::string> Tags() const;
+
+  /// IOVs registered under one tag, ordered by first_run.
+  std::vector<RunRange> Intervals(const std::string& tag) const;
+
+  /// Number of GetPayload calls served so far (the external-dependency
+  /// footprint the paper asks workflows to enumerate).
+  uint64_t lookup_count() const { return lookup_count_; }
+
+ private:
+  struct Entry {
+    RunRange range;
+    std::string payload;
+  };
+  // Per tag, entries sorted by first_run (non-overlapping).
+  std::map<std::string, std::vector<Entry>> tags_;
+  mutable uint64_t lookup_count_ = 0;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_CONDITIONS_STORE_H_

@@ -1,0 +1,136 @@
+#include "core/bridge.h"
+
+#include "event/pdg.h"
+#include "mc/generator.h"
+#include "rivet/projections.h"
+#include "stats/limits.h"
+#include "workflow/steps.h"
+
+namespace daspos {
+
+namespace {
+
+/// Truth dimuon mass with the same kinematic cuts as the preserved
+/// detector-level search (pt > 25, |eta| < 2.5), or -1.
+double TruthDimuonMass(const GenEvent& event) {
+  auto pair = rivet::FindDilepton(event, pdg::kMuon, 1000.0, 0.0, 1e9,
+                                  rivet::Cuts{25.0, 2.5});
+  return pair ? pair->mass : -1.0;
+}
+
+}  // namespace
+
+BridgedSearch DileptonResonanceTruthSearch() {
+  BridgedSearch search;
+  search.name = "DASPOS_EXO_14_001_RIVET";
+  search.description =
+      "truth-level bridge rendering of the dimuon resonance search";
+  search.luminosity_pb = 20000.0;
+  search.rivet_analysis = "DASPOS_2014_ZLL";
+
+  BridgedRegion sr_low;
+  sr_low.name = "SR_mll_400";
+  sr_low.observed = 24.0;
+  sr_low.background = 22.5;
+  sr_low.truth_selection = [](const GenEvent& event) {
+    double mass = TruthDimuonMass(event);
+    return mass >= 400.0 && mass < 800.0;
+  };
+  search.regions.push_back(sr_low);
+
+  BridgedRegion sr_high;
+  sr_high.name = "SR_mll_800";
+  sr_high.observed = 3.0;
+  sr_high.background = 2.4;
+  sr_high.truth_selection = [](const GenEvent& event) {
+    return TruthDimuonMass(event) >= 800.0;
+  };
+  search.regions.push_back(sr_high);
+  return search;
+}
+
+Status RivetBridgeBackEnd::RegisterSearch(BridgedSearch search) {
+  if (search.name.empty()) {
+    return Status::InvalidArgument("bridged search needs a name");
+  }
+  if (search.regions.empty()) {
+    return Status::InvalidArgument("bridged search '" + search.name +
+                                   "' has no regions");
+  }
+  auto [it, inserted] = searches_.emplace(search.name, std::move(search));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("bridged search already registered");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> RivetBridgeBackEnd::SearchNames() const {
+  std::vector<std::string> out;
+  out.reserve(searches_.size());
+  for (const auto& [name, search] : searches_) {
+    (void)search;
+    out.push_back(name);
+  }
+  return out;
+}
+
+Result<recast::RecastResult> RivetBridgeBackEnd::Process(
+    const recast::RecastRequest& request) {
+  auto it = searches_.find(request.search_name);
+  if (it == searches_.end()) {
+    return Status::NotFound("no bridged search '" + request.search_name +
+                            "'");
+  }
+  if (request.model_cross_section_pb <= 0.0) {
+    return Status::InvalidArgument(
+        "request must state the model cross section");
+  }
+  if (request.event_count == 0) {
+    return Status::InvalidArgument("request must ask for at least one event");
+  }
+  const BridgedSearch& search = it->second;
+
+  DASPOS_ASSIGN_OR_RETURN(GeneratorConfig model,
+                          GeneratorConfigFromJson(request.model));
+  EventGenerator generator(model);
+
+  std::vector<uint64_t> passed(search.regions.size(), 0);
+  for (size_t i = 0; i < request.event_count; ++i) {
+    GenEvent truth = generator.Generate();
+    for (size_t r = 0; r < search.regions.size(); ++r) {
+      if (search.regions[r].truth_selection(truth)) ++passed[r];
+    }
+  }
+  events_generated_ += request.event_count;
+
+  recast::RecastResult result;
+  result.search_name = search.name;
+  result.events_processed = request.event_count;
+  for (size_t r = 0; r < search.regions.size(); ++r) {
+    const BridgedRegion& region = search.regions[r];
+    recast::RegionResult region_result;
+    region_result.region = region.name;
+    region_result.efficiency =
+        static_cast<double>(passed[r]) / request.event_count;
+    region_result.signal_per_mu = region_result.efficiency *
+                                  request.model_cross_section_pb *
+                                  search.luminosity_pb;
+    region_result.observed = region.observed;
+    region_result.background = region.background;
+    if (region_result.signal_per_mu > 0.0) {
+      CountingExperiment experiment;
+      experiment.observed = region.observed;
+      experiment.background = region.background;
+      experiment.signal_per_mu = region_result.signal_per_mu;
+      DASPOS_ASSIGN_OR_RETURN(region_result.upper_limit_mu,
+                              UpperLimit(experiment));
+      DASPOS_ASSIGN_OR_RETURN(region_result.expected_limit_mu,
+                              ExpectedLimit(experiment));
+    }
+    result.regions.push_back(std::move(region_result));
+  }
+  return result;
+}
+
+}  // namespace daspos

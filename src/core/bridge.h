@@ -1,0 +1,65 @@
+// The RECAST <-> RIVET bridge: "It should be relatively straightforward to
+// create a 'back end' for RECAST such that any analysis implemented in
+// RIVET could be subject to the RECAST framework" (§2.4; §5 reports the
+// DASPOS project to build it is underway). This back end serves the same
+// front end as the full-simulation one, but evaluates signal regions at
+// truth level — cheap, open, and detector-blind, which is exactly the E3
+// trade-off.
+#ifndef DASPOS_CORE_BRIDGE_H_
+#define DASPOS_CORE_BRIDGE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "event/truth.h"
+#include "recast/backend.h"
+
+namespace daspos {
+
+/// A truth-level rendering of a search's signal region.
+struct BridgedRegion {
+  std::string name;
+  std::function<bool(const GenEvent&)> truth_selection;
+  double observed = 0.0;
+  double background = 0.0;
+};
+
+/// A search exposed through the bridge.
+struct BridgedSearch {
+  std::string name;
+  std::string description;
+  double luminosity_pb = 0.0;
+  /// Optional: a registered rivet analysis run alongside for histograms.
+  std::string rivet_analysis;
+  std::vector<BridgedRegion> regions;
+};
+
+/// Truth-level bridge rendering of the shipped dilepton-resonance search
+/// (the counterpart of recast::DileptonResonanceSearch()).
+BridgedSearch DileptonResonanceTruthSearch();
+
+/// The bridge back end. Implements the same interface as the full-sim
+/// RecastBackEnd, so a RecastFrontEnd can mediate to either.
+class RivetBridgeBackEnd : public recast::BackEnd {
+ public:
+  Status RegisterSearch(BridgedSearch search);
+
+  std::vector<std::string> SearchNames() const override;
+
+  /// Generates truth events for the requested model and evaluates the
+  /// truth-level selections — no detector simulation, no reconstruction.
+  Result<recast::RecastResult> Process(
+      const recast::RecastRequest& request) override;
+
+  uint64_t events_generated() const { return events_generated_; }
+
+ private:
+  std::map<std::string, BridgedSearch> searches_;
+  uint64_t events_generated_ = 0;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_CORE_BRIDGE_H_

@@ -1,0 +1,81 @@
+// The DASPOS capstone API: capture a complete analysis — configuration,
+// provenance chain, conditions snapshot, reference results, and the
+// documentation interview — as one preservation package; deposit it in the
+// archive; retrieve it; and *re-execute* it against the preserved reference
+// ("the analysis can be re-run at any time ... for validation purposes",
+// §2.4).
+#ifndef DASPOS_CORE_PRESERVED_ANALYSIS_H_
+#define DASPOS_CORE_PRESERVED_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "hist/histo1d.h"
+#include "mc/generator.h"
+#include "serialize/json.h"
+#include "support/result.h"
+
+namespace daspos {
+
+/// Everything needed to re-run and validate an analysis decades later.
+struct PreservedAnalysis {
+  std::string name;
+  std::string version = "1";
+  std::string physics_summary;
+
+  /// The registered analysis implementing the physics (rivet/registry.h).
+  std::string rivet_analysis;
+  /// Generator configuration of the preserved input sample.
+  GeneratorConfig generator_config;
+  size_t event_count = 0;
+
+  /// Reference histograms produced at preservation time (YODA text).
+  std::string reference_yoda;
+  /// Provenance chain of the preserved datasets (workflow/provenance.h
+  /// JSON document; may be empty).
+  std::string provenance_json;
+  /// Conditions snapshot text (conditions/snapshot.h; may be empty).
+  std::string conditions_snapshot;
+  /// The documentation interview (interview/interview.h JSON; may be null).
+  Json interview = Json();
+
+  /// Packages into an archive submission (one file per ingredient).
+  SubmissionPackage ToSubmission() const;
+  /// Rebuilds from a retrieved package.
+  static Result<PreservedAnalysis> FromPackage(
+      const DisseminationPackage& package);
+};
+
+/// Runs the preserved analysis now and compares against the preserved
+/// reference histograms.
+struct ReexecutionReport {
+  uint64_t events_generated = 0;
+  int histograms_compared = 0;
+  double worst_reduced_chi2 = 0.0;
+  /// True when every histogram reproduces within tolerance — for an exact
+  /// re-execution (same seed), bit-identical, so chi2 = 0.
+  bool validated = false;
+};
+
+/// Re-executes `analysis` from its captured configuration and validates
+/// against its stored reference.
+Result<ReexecutionReport> Reexecute(const PreservedAnalysis& analysis,
+                                    double max_reduced_chi2 = 3.0);
+
+/// Convenience: capture = run the analysis once and store its output as
+/// the reference.
+Result<PreservedAnalysis> CaptureAnalysis(const std::string& name,
+                                          const std::string& rivet_analysis,
+                                          const GeneratorConfig& config,
+                                          size_t event_count);
+
+/// Deposit into / retrieve from the preservation archive.
+Result<std::string> DepositAnalysis(Archive* archive,
+                                    const PreservedAnalysis& analysis);
+Result<PreservedAnalysis> RetrieveAnalysis(const Archive& archive,
+                                           const std::string& archive_id);
+
+}  // namespace daspos
+
+#endif  // DASPOS_CORE_PRESERVED_ANALYSIS_H_

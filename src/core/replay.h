@@ -1,0 +1,45 @@
+// Chain replay from provenance: rebuilds every processing step of a
+// dataset's ancestry from the configurations captured in its provenance
+// records and re-executes them. This is DASPOS's central claim made
+// executable — a preserved provenance chain IS the workflow, not merely a
+// description of it. Deterministic substrates make the replay
+// byte-identical to the original production.
+#ifndef DASPOS_CORE_REPLAY_H_
+#define DASPOS_CORE_REPLAY_H_
+
+#include <string>
+
+#include "workflow/engine.h"
+#include "workflow/provenance.h"
+
+namespace daspos {
+
+/// Rebuilds a WorkflowStep from one provenance record. Fails with
+/// Unimplemented for producers whose configuration is not machine-
+/// reconstructible (hand-written analyst code — §3.2's "direct
+/// preservation ... is likely the only way" case).
+Result<std::shared_ptr<WorkflowStep>> RebuildStep(
+    const ProvenanceRecord& record);
+
+struct ReplayReport {
+  /// Steps re-executed, in order.
+  std::vector<std::string> steps;
+  /// Datasets whose replayed bytes matched the `expected` context exactly
+  /// (only populated when `expected` is supplied to ReplayChain).
+  int datasets_identical = 0;
+  int datasets_differing = 0;
+};
+
+/// Re-executes the full ancestry of `target` (ancestors first) into
+/// `context`. Each dataset must have a provenance record; external
+/// services (conditions) must be attached to `context` by the caller.
+/// If `expected` is non-null, every replayed dataset is byte-compared
+/// against the same-named dataset there.
+Result<ReplayReport> ReplayChain(const ProvenanceStore& provenance,
+                                 const std::string& target,
+                                 WorkflowContext* context,
+                                 const WorkflowContext* expected = nullptr);
+
+}  // namespace daspos
+
+#endif  // DASPOS_CORE_REPLAY_H_

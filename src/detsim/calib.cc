@@ -1,0 +1,71 @@
+#include "detsim/calib.h"
+
+#include <cstdio>
+
+#include "support/strings.h"
+
+namespace daspos {
+
+std::string CalibrationSet::ToPayload() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "version = %u\n"
+                "ecal_gain = %.17g\n"
+                "hcal_gain = %.17g\n"
+                "tracker_phi_offset = %.17g\n"
+                "ecal_noise_adc = %.17g\n"
+                "ecal_zs_threshold = %u\n",
+                version, ecal_gain, hcal_gain, tracker_phi_offset,
+                ecal_noise_adc, ecal_zs_threshold);
+  return buf;
+}
+
+Result<CalibrationSet> CalibrationSet::FromPayload(
+    const std::string& payload) {
+  CalibrationSet calib;
+  bool saw_version = false;
+  for (const std::string& line : Split(payload, '\n')) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::Corruption("calibration payload line without '=': " +
+                                std::string(trimmed));
+    }
+    std::string_view key = Trim(trimmed.substr(0, eq));
+    std::string_view value = Trim(trimmed.substr(eq + 1));
+    if (key == "version") {
+      DASPOS_ASSIGN_OR_RETURN(uint64_t v, ParseU64(value));
+      calib.version = static_cast<uint32_t>(v);
+      saw_version = true;
+    } else if (key == "ecal_gain") {
+      DASPOS_ASSIGN_OR_RETURN(calib.ecal_gain, ParseDouble(value));
+    } else if (key == "hcal_gain") {
+      DASPOS_ASSIGN_OR_RETURN(calib.hcal_gain, ParseDouble(value));
+    } else if (key == "tracker_phi_offset") {
+      DASPOS_ASSIGN_OR_RETURN(calib.tracker_phi_offset, ParseDouble(value));
+    } else if (key == "ecal_noise_adc") {
+      DASPOS_ASSIGN_OR_RETURN(calib.ecal_noise_adc, ParseDouble(value));
+    } else if (key == "ecal_zs_threshold") {
+      DASPOS_ASSIGN_OR_RETURN(uint64_t v, ParseU64(value));
+      calib.ecal_zs_threshold = static_cast<uint16_t>(v);
+    } else {
+      // Unknown keys are tolerated for forward compatibility of preserved
+      // payloads.
+    }
+  }
+  if (!saw_version) {
+    return Status::Corruption("calibration payload missing 'version'");
+  }
+  return calib;
+}
+
+bool CalibrationSet::operator==(const CalibrationSet& other) const {
+  return version == other.version && ecal_gain == other.ecal_gain &&
+         hcal_gain == other.hcal_gain &&
+         tracker_phi_offset == other.tracker_phi_offset &&
+         ecal_noise_adc == other.ecal_noise_adc &&
+         ecal_zs_threshold == other.ecal_zs_threshold;
+}
+
+}  // namespace daspos

@@ -1,0 +1,43 @@
+// Calibration constants: the payload that flows from the conditions
+// database into digitization and reconstruction. §3.2: "the Reconstruction
+// step requires ... databases that store all manner of calibration
+// constants, conditions data, etc." — reconstructing with the wrong set
+// visibly degrades physics, which the E7 bench demonstrates.
+#ifndef DASPOS_DETSIM_CALIB_H_
+#define DASPOS_DETSIM_CALIB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "support/result.h"
+
+namespace daspos {
+
+/// One coherent set of detector calibration constants.
+struct CalibrationSet {
+  /// Monotonically increasing calibration version.
+  uint32_t version = 1;
+  /// EM calorimeter gain, GeV per ADC count.
+  double ecal_gain = 0.02;
+  /// Hadronic calorimeter gain, GeV per ADC count.
+  double hcal_gain = 0.05;
+  /// Global tracker azimuthal misalignment, radians. Digitization applies
+  /// it; reconstruction must subtract the same value.
+  double tracker_phi_offset = 0.0;
+  /// ECAL electronics noise, ADC counts (mean of fired noise cells).
+  double ecal_noise_adc = 3.0;
+  /// ECAL zero-suppression threshold, ADC counts.
+  uint16_t ecal_zs_threshold = 8;
+
+  /// Serializes to the conditions-payload text form (key = value lines) —
+  /// the same representation works for both the database backend and the
+  /// Alice-style text-file snapshot (§3.2).
+  std::string ToPayload() const;
+  static Result<CalibrationSet> FromPayload(const std::string& payload);
+
+  bool operator==(const CalibrationSet& other) const;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_DETSIM_CALIB_H_

@@ -1,0 +1,178 @@
+#include "detsim/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daspos {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kTwoPi = 2.0 * kPi;
+
+int ClampCell(int cell, int n) { return std::clamp(cell, 0, n - 1); }
+
+int EtaToCell(double eta, double eta_max, int cells) {
+  double u = (eta + eta_max) / (2.0 * eta_max);
+  return ClampCell(static_cast<int>(u * cells), cells);
+}
+
+double CellToEta(int cell, double eta_max, int cells) {
+  return -eta_max + (cell + 0.5) * (2.0 * eta_max / cells);
+}
+
+int PhiToCell(double phi, int cells) {
+  double wrapped = std::fmod(phi, kTwoPi);
+  if (wrapped < 0) wrapped += kTwoPi;
+  return ClampCell(static_cast<int>(wrapped / kTwoPi * cells), cells);
+}
+
+double CellToPhi(int cell, int cells) {
+  double phi = (cell + 0.5) * kTwoPi / cells;
+  return phi > kPi ? phi - kTwoPi : phi;  // back to (-pi, pi]
+}
+
+}  // namespace
+
+uint32_t DetectorGeometry::TrackerChannel(int layer, int eta_cell,
+                                          int phi_cell) const {
+  return (static_cast<uint32_t>(layer) * tracker_eta_cells + eta_cell) *
+             tracker_phi_cells +
+         phi_cell;
+}
+
+void DetectorGeometry::DecodeTrackerChannel(uint32_t channel, int* layer,
+                                            int* eta_cell,
+                                            int* phi_cell) const {
+  *phi_cell = static_cast<int>(channel % tracker_phi_cells);
+  uint32_t rest = channel / tracker_phi_cells;
+  *eta_cell = static_cast<int>(rest % tracker_eta_cells);
+  *layer = static_cast<int>(rest / tracker_eta_cells);
+}
+
+uint32_t DetectorGeometry::EcalChannel(int eta_cell, int phi_cell) const {
+  return static_cast<uint32_t>(eta_cell) * ecal_phi_cells + phi_cell;
+}
+
+void DetectorGeometry::DecodeEcalChannel(uint32_t channel, int* eta_cell,
+                                         int* phi_cell) const {
+  *phi_cell = static_cast<int>(channel % ecal_phi_cells);
+  *eta_cell = static_cast<int>(channel / ecal_phi_cells);
+}
+
+uint32_t DetectorGeometry::HcalChannel(int eta_cell, int phi_cell) const {
+  return static_cast<uint32_t>(eta_cell) * hcal_phi_cells + phi_cell;
+}
+
+void DetectorGeometry::DecodeHcalChannel(uint32_t channel, int* eta_cell,
+                                         int* phi_cell) const {
+  *phi_cell = static_cast<int>(channel % hcal_phi_cells);
+  *eta_cell = static_cast<int>(channel / hcal_phi_cells);
+}
+
+uint32_t DetectorGeometry::MuonChannel(int layer, int eta_cell,
+                                       int phi_cell) const {
+  return (static_cast<uint32_t>(layer) * muon_eta_cells + eta_cell) *
+             muon_phi_cells +
+         phi_cell;
+}
+
+void DetectorGeometry::DecodeMuonChannel(uint32_t channel, int* layer,
+                                         int* eta_cell, int* phi_cell) const {
+  *phi_cell = static_cast<int>(channel % muon_phi_cells);
+  uint32_t rest = channel / muon_phi_cells;
+  *eta_cell = static_cast<int>(rest % muon_eta_cells);
+  *layer = static_cast<int>(rest / muon_eta_cells);
+}
+
+int DetectorGeometry::TrackerEtaCell(double eta) const {
+  return EtaToCell(eta, tracker_eta_max, tracker_eta_cells);
+}
+int DetectorGeometry::TrackerPhiCell(double phi) const {
+  return PhiToCell(phi, tracker_phi_cells);
+}
+double DetectorGeometry::TrackerEtaCellCenter(int cell) const {
+  return CellToEta(cell, tracker_eta_max, tracker_eta_cells);
+}
+double DetectorGeometry::TrackerPhiCellCenter(int cell) const {
+  return CellToPhi(cell, tracker_phi_cells);
+}
+int DetectorGeometry::EcalEtaCell(double eta) const {
+  return EtaToCell(eta, ecal_eta_max, ecal_eta_cells);
+}
+int DetectorGeometry::EcalPhiCell(double phi) const {
+  return PhiToCell(phi, ecal_phi_cells);
+}
+double DetectorGeometry::EcalEtaCellCenter(int cell) const {
+  return CellToEta(cell, ecal_eta_max, ecal_eta_cells);
+}
+double DetectorGeometry::EcalPhiCellCenter(int cell) const {
+  return CellToPhi(cell, ecal_phi_cells);
+}
+int DetectorGeometry::HcalEtaCell(double eta) const {
+  return EtaToCell(eta, hcal_eta_max, hcal_eta_cells);
+}
+int DetectorGeometry::HcalPhiCell(double phi) const {
+  return PhiToCell(phi, hcal_phi_cells);
+}
+double DetectorGeometry::HcalEtaCellCenter(int cell) const {
+  return CellToEta(cell, hcal_eta_max, hcal_eta_cells);
+}
+double DetectorGeometry::HcalPhiCellCenter(int cell) const {
+  return CellToPhi(cell, hcal_phi_cells);
+}
+int DetectorGeometry::MuonEtaCell(double eta) const {
+  return EtaToCell(eta, muon_eta_max, muon_eta_cells);
+}
+int DetectorGeometry::MuonPhiCell(double phi) const {
+  return PhiToCell(phi, muon_phi_cells);
+}
+double DetectorGeometry::MuonEtaCellCenter(int cell) const {
+  return CellToEta(cell, muon_eta_max, muon_eta_cells);
+}
+double DetectorGeometry::MuonPhiCellCenter(int cell) const {
+  return CellToPhi(cell, muon_phi_cells);
+}
+
+DetectorGeometry DetectorGeometry::Preset(Experiment experiment) {
+  DetectorGeometry g;
+  g.name = std::string(ExperimentName(experiment));
+  switch (experiment) {
+    case Experiment::kAlice:
+      // TPC-like: many tracking layers, low field, central acceptance.
+      g.tracker_layers = 14;
+      g.field_tesla = 0.5;
+      g.tracker_eta_max = 0.9;
+      g.tracker_eta_cells = 180;
+      g.ecal_eta_max = 0.9;
+      g.ecal_eta_cells = 36;
+      g.muon_eta_max = 0.9;
+      break;
+    case Experiment::kAtlas:
+      g.tracker_layers = 10;
+      g.field_tesla = 2.0;
+      g.ecal_stochastic = 0.10;
+      g.hcal_stochastic = 0.50;
+      break;
+    case Experiment::kCms:
+      // Stronger solenoid, finer EM crystals.
+      g.tracker_layers = 12;
+      g.field_tesla = 3.8;
+      g.ecal_stochastic = 0.03;
+      g.ecal_constant = 0.005;
+      g.ecal_eta_cells = 170;
+      g.ecal_phi_cells = 180;
+      g.hcal_stochastic = 0.85;
+      break;
+    case Experiment::kLhcb:
+      // Forward spectrometer: model as one-sided eta coverage.
+      g.tracker_layers = 9;
+      g.field_tesla = 1.0;
+      g.tracker_eta_max = 4.9;  // forward acceptance (|eta| 2-5 in reality)
+      g.ecal_eta_max = 4.9;
+      g.muon_eta_max = 4.9;
+      break;
+  }
+  return g;
+}
+
+}  // namespace daspos

@@ -1,0 +1,100 @@
+// Parameterized detector description: a cylindrical tracker in a solenoid
+// field, EM and hadronic calorimeters, and muon chambers. Channel ids encode
+// (layer, eta-cell, phi-cell) densely; decoding them is the first step of
+// reconstruction ("pattern-recognition ... convert the raw binary data into
+// recognizable objects", §3.2).
+#ifndef DASPOS_DETSIM_GEOMETRY_H_
+#define DASPOS_DETSIM_GEOMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "event/experiment.h"
+#include "event/raw.h"
+
+namespace daspos {
+
+/// Geometric + granularity description of one detector. The four experiment
+/// presets differ in acceptance, field, layer count, and calorimeter
+/// granularity — enough to make their raw formats genuinely incompatible,
+/// as in the paper's Table 1.
+struct DetectorGeometry {
+  std::string name = "generic";
+
+  // Tracker.
+  int tracker_layers = 10;
+  double tracker_inner_radius_m = 0.05;
+  double tracker_layer_spacing_m = 0.10;
+  double tracker_eta_max = 2.5;
+  int tracker_eta_cells = 500;
+  int tracker_phi_cells = 12566;  // ~0.5 mrad
+  double field_tesla = 2.0;
+  double tracker_hit_efficiency = 0.97;
+
+  // EM calorimeter.
+  double ecal_eta_max = 2.5;
+  int ecal_eta_cells = 100;
+  int ecal_phi_cells = 126;
+  double ecal_stochastic = 0.10;  // sigma_E/E = stoch/sqrt(E) (+) const
+  double ecal_constant = 0.01;
+
+  // Hadronic calorimeter.
+  double hcal_eta_max = 3.0;
+  int hcal_eta_cells = 60;
+  int hcal_phi_cells = 63;
+  double hcal_stochastic = 0.60;
+  double hcal_constant = 0.05;
+
+  // Muon system.
+  int muon_layers = 4;
+  double muon_eta_max = 2.4;
+  int muon_eta_cells = 48;
+  int muon_phi_cells = 63;
+  double muon_hit_efficiency = 0.95;
+
+  /// Radius of tracker layer l, metres.
+  double TrackerLayerRadius(int layer) const {
+    return tracker_inner_radius_m + tracker_layer_spacing_m * layer;
+  }
+
+  // --- channel encoding -----------------------------------------------
+  // Tracker: channel = ((layer * eta_cells) + eta_cell) * phi_cells + phi.
+  uint32_t TrackerChannel(int layer, int eta_cell, int phi_cell) const;
+  void DecodeTrackerChannel(uint32_t channel, int* layer, int* eta_cell,
+                            int* phi_cell) const;
+  // Calorimeters: channel = eta_cell * phi_cells + phi_cell.
+  uint32_t EcalChannel(int eta_cell, int phi_cell) const;
+  void DecodeEcalChannel(uint32_t channel, int* eta_cell,
+                         int* phi_cell) const;
+  uint32_t HcalChannel(int eta_cell, int phi_cell) const;
+  void DecodeHcalChannel(uint32_t channel, int* eta_cell,
+                         int* phi_cell) const;
+  uint32_t MuonChannel(int layer, int eta_cell, int phi_cell) const;
+  void DecodeMuonChannel(uint32_t channel, int* layer, int* eta_cell,
+                         int* phi_cell) const;
+
+  // --- cell <-> coordinate helpers -------------------------------------
+  int TrackerEtaCell(double eta) const;
+  int TrackerPhiCell(double phi) const;
+  double TrackerEtaCellCenter(int cell) const;
+  double TrackerPhiCellCenter(int cell) const;
+  int EcalEtaCell(double eta) const;
+  int EcalPhiCell(double phi) const;
+  double EcalEtaCellCenter(int cell) const;
+  double EcalPhiCellCenter(int cell) const;
+  int HcalEtaCell(double eta) const;
+  int HcalPhiCell(double phi) const;
+  double HcalEtaCellCenter(int cell) const;
+  double HcalPhiCellCenter(int cell) const;
+  int MuonEtaCell(double eta) const;
+  int MuonPhiCell(double phi) const;
+  double MuonEtaCellCenter(int cell) const;
+  double MuonPhiCellCenter(int cell) const;
+
+  /// Detector preset for one of the Table 1 experiments.
+  static DetectorGeometry Preset(Experiment experiment);
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_DETSIM_GEOMETRY_H_

@@ -1,0 +1,75 @@
+// Detector simulation: turns generator truth into raw detector data.
+// This is the parameterized substitute for a full GEANT-style simulation
+// (see DESIGN.md §5): particles deposit quantized hits in tracker layers,
+// calorimeter cells, and muon chambers, with per-technology resolution,
+// efficiency, noise, and the calibration constants applied in reverse
+// (reconstruction must undo them).
+#ifndef DASPOS_DETSIM_SIMULATION_H_
+#define DASPOS_DETSIM_SIMULATION_H_
+
+#include <cstdint>
+
+#include "detsim/calib.h"
+#include "detsim/geometry.h"
+#include "event/raw.h"
+#include "event/truth.h"
+#include "support/rng.h"
+
+namespace daspos {
+
+/// Trigger line bit assignments (RawEvent::trigger_bits).
+struct TriggerBits {
+  static constexpr uint32_t kEGamma = 1u << 0;  // e/gamma ET > threshold
+  static constexpr uint32_t kMuon = 1u << 1;    // muon pT > threshold
+  static constexpr uint32_t kJetHt = 1u << 2;   // scalar hadronic sum
+  static constexpr uint32_t kMinBias = 1u << 3; // prescaled pass-through
+};
+
+/// Everything that determines the detector response.
+struct SimulationConfig {
+  DetectorGeometry geometry;
+  CalibrationSet calib;
+  uint64_t seed = 1;
+  /// Mean number of ECAL noise cells per event (above zero suppression).
+  double noise_cells_mean = 40.0;
+  // Trigger thresholds (GeV).
+  double trig_egamma_et = 18.0;
+  double trig_muon_pt = 8.0;
+  double trig_ht = 60.0;
+  /// Min-bias prescale: one in N events fires the min-bias line.
+  uint32_t minbias_prescale = 1000;
+};
+
+/// Simulates events independently and deterministically: the response of
+/// event N depends only on (config, truth event), not on call order.
+class DetectorSimulation {
+ public:
+  explicit DetectorSimulation(const SimulationConfig& config)
+      : config_(config) {}
+
+  /// Digitizes one truth event into a raw event.
+  RawEvent Simulate(const GenEvent& truth, uint32_t run_number) const;
+
+  const SimulationConfig& config() const { return config_; }
+
+ private:
+  void SimulateTracker(const GenEvent& truth, Rng* rng,
+                       RawEvent* raw) const;
+  void SimulateCalorimeters(const GenEvent& truth, Rng* rng,
+                            RawEvent* raw) const;
+  void SimulateMuonSystem(const GenEvent& truth, Rng* rng,
+                          RawEvent* raw) const;
+  void AddNoise(Rng* rng, RawEvent* raw) const;
+  uint32_t ComputeTrigger(const GenEvent& truth, Rng* rng) const;
+
+  /// Signed transverse impact parameter (metres) of a particle produced at
+  /// the displaced vertex its mother's flight defines.
+  double ImpactParameter(const GenEvent& truth,
+                         const GenParticle& particle) const;
+
+  SimulationConfig config_;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_DETSIM_SIMULATION_H_

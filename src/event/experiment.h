@@ -1,0 +1,35 @@
+// The four LHC experiments of the paper's Table 1. Used to parameterize
+// detector dialects (detsim), Level-2 outreach formats (level2), and
+// interview profiles (interview) — the per-experiment divergence the paper
+// documents is modeled by configuration, not separate code bases.
+#ifndef DASPOS_EVENT_EXPERIMENT_H_
+#define DASPOS_EVENT_EXPERIMENT_H_
+
+#include <array>
+#include <string_view>
+
+namespace daspos {
+
+enum class Experiment { kAlice = 0, kAtlas = 1, kCms = 2, kLhcb = 3 };
+
+inline constexpr std::array<Experiment, 4> kAllExperiments = {
+    Experiment::kAlice, Experiment::kAtlas, Experiment::kCms,
+    Experiment::kLhcb};
+
+constexpr std::string_view ExperimentName(Experiment e) {
+  switch (e) {
+    case Experiment::kAlice:
+      return "Alice";
+    case Experiment::kAtlas:
+      return "Atlas";
+    case Experiment::kCms:
+      return "CMS";
+    case Experiment::kLhcb:
+      return "LHCb";
+  }
+  return "unknown";
+}
+
+}  // namespace daspos
+
+#endif  // DASPOS_EVENT_EXPERIMENT_H_

@@ -1,0 +1,55 @@
+#include "event/fourvector.h"
+
+#include <algorithm>
+
+namespace daspos {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kMaxEta = 20.0;
+}  // namespace
+
+FourVector FourVector::FromPtEtaPhiM(double pt, double eta, double phi,
+                                     double mass) {
+  double px = pt * std::cos(phi);
+  double py = pt * std::sin(phi);
+  double pz = pt * std::sinh(eta);
+  double e = std::sqrt(px * px + py * py + pz * pz + mass * mass);
+  return FourVector(px, py, pz, e);
+}
+
+double FourVector::Eta() const {
+  double pt = Pt();
+  if (pt <= 0.0) return pz_ >= 0.0 ? kMaxEta : -kMaxEta;
+  double eta = std::asinh(pz_ / pt);
+  return std::clamp(eta, -kMaxEta, kMaxEta);
+}
+
+double FourVector::Mass() const {
+  double m2 = e_ * e_ - px_ * px_ - py_ * py_ - pz_ * pz_;
+  return m2 > 0.0 ? std::sqrt(m2) : 0.0;
+}
+
+double FourVector::Et() const {
+  double p = P();
+  if (p <= 0.0) return 0.0;
+  return e_ * Pt() / p;
+}
+
+double DeltaPhi(const FourVector& a, const FourVector& b) {
+  double dphi = std::fabs(a.Phi() - b.Phi());
+  if (dphi > kPi) dphi = 2.0 * kPi - dphi;
+  return dphi;
+}
+
+double DeltaR(const FourVector& a, const FourVector& b) {
+  double deta = a.Eta() - b.Eta();
+  double dphi = DeltaPhi(a, b);
+  return std::sqrt(deta * deta + dphi * dphi);
+}
+
+double InvariantMass(const FourVector& a, const FourVector& b) {
+  return (a + b).Mass();
+}
+
+}  // namespace daspos

@@ -1,0 +1,53 @@
+// Truth-level (generator) event record, HepMC-like: the exchange format the
+// RIVET-analog consumes ("any Monte Carlo output can be juxtaposed with the
+// data, as long as it can produce output in HepMC format", §2.3).
+#ifndef DASPOS_EVENT_TRUTH_H_
+#define DASPOS_EVENT_TRUTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "event/fourvector.h"
+#include "serialize/binary.h"
+#include "support/result.h"
+
+namespace daspos {
+
+/// One generator particle. `status` follows the HepMC convention subset we
+/// use: 1 = final state, 2 = decayed, 3 = hard process.
+struct GenParticle {
+  int pdg_id = 0;
+  int status = 1;
+  /// Index of the mother particle within the event, or -1 for beam-level.
+  int mother = -1;
+  FourVector momentum;
+  /// Production vertex displacement from the beamline, in millimetres —
+  /// carries lifetime information (D-meson master class).
+  double vertex_mm = 0.0;
+
+  bool IsFinalState() const { return status == 1; }
+};
+
+/// One generated collision.
+struct GenEvent {
+  uint64_t event_number = 0;
+  /// Which physics process produced the event (mc/process.h ids).
+  int process_id = 0;
+  /// Generator weight (cross-section normalization happens downstream).
+  double weight = 1.0;
+  std::vector<GenParticle> particles;
+
+  /// Final-state (status 1) particles.
+  std::vector<GenParticle> FinalState() const;
+
+  /// Binary record round-trip for container storage.
+  void Serialize(BinaryWriter* writer) const;
+  static Result<GenEvent> Deserialize(BinaryReader* reader);
+  std::string ToRecord() const;
+  static Result<GenEvent> FromRecord(std::string_view record);
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_EVENT_TRUTH_H_

@@ -1,0 +1,212 @@
+#include "hepdata/record.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/strings.h"
+
+namespace daspos {
+namespace hepdata {
+
+DataTable DataTable::FromHistogram(const Histo1D& histogram, std::string name,
+                                   std::string independent,
+                                   std::string dependent) {
+  DataTable table;
+  table.name = std::move(name);
+  table.independent_variable = std::move(independent);
+  table.dependent_variable = std::move(dependent);
+  const Axis& axis = histogram.axis();
+  table.points.reserve(static_cast<size_t>(axis.nbins()));
+  for (int i = 0; i < axis.nbins(); ++i) {
+    DataPoint point;
+    point.x_lo = axis.BinLow(i);
+    point.x_hi = axis.BinHigh(i);
+    point.y = histogram.BinContent(i);
+    point.y_err = histogram.BinError(i);
+    table.points.push_back(point);
+  }
+  return table;
+}
+
+Result<Histo1D> DataTable::ToHistogram(const std::string& path) const {
+  if (points.empty()) {
+    return Status::InvalidArgument("table '" + name + "' has no points");
+  }
+  double width = points[0].x_hi - points[0].x_lo;
+  if (width <= 0.0) {
+    return Status::InvalidArgument("table '" + name + "' has non-positive bin width");
+  }
+  for (const DataPoint& point : points) {
+    if (std::fabs((point.x_hi - point.x_lo) - width) > 1e-9 * width) {
+      return Status::InvalidArgument(
+          "table '" + name + "' has non-uniform binning");
+    }
+  }
+  Histo1D histogram(path, static_cast<int>(points.size()), points[0].x_lo,
+                    points.back().x_hi);
+  for (size_t i = 0; i < points.size(); ++i) {
+    histogram.SetBin(static_cast<int>(i), points[i].y,
+                     points[i].y_err * points[i].y_err);
+  }
+  return histogram;
+}
+
+Json DataTable::ToJson() const {
+  Json json = Json::Object();
+  json["name"] = name;
+  json["independent_variable"] = independent_variable;
+  json["dependent_variable"] = dependent_variable;
+  Json rows = Json::Array();
+  for (const DataPoint& point : points) {
+    Json row = Json::Array();
+    row.push_back(point.x_lo);
+    row.push_back(point.x_hi);
+    row.push_back(point.y);
+    row.push_back(point.y_err);
+    rows.push_back(std::move(row));
+  }
+  json["points"] = std::move(rows);
+  return json;
+}
+
+Result<DataTable> DataTable::FromJson(const Json& json) {
+  DataTable table;
+  table.name = json.Get("name").as_string();
+  table.independent_variable = json.Get("independent_variable").as_string();
+  table.dependent_variable = json.Get("dependent_variable").as_string();
+  const Json& rows = json.Get("points");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Json& row = rows.at(i);
+    if (row.size() != 4) {
+      return Status::Corruption("data point row must have 4 entries");
+    }
+    DataPoint point;
+    point.x_lo = row.at(0).as_number();
+    point.x_hi = row.at(1).as_number();
+    point.y = row.at(2).as_number();
+    point.y_err = row.at(3).as_number();
+    table.points.push_back(point);
+  }
+  return table;
+}
+
+Json HepDataRecord::ToJson() const {
+  Json json = Json::Object();
+  json["id"] = id;
+  json["title"] = title;
+  json["experiment"] = experiment;
+  json["year"] = year;
+  json["reaction"] = reaction;
+  Json keyword_list = Json::Array();
+  for (const std::string& keyword : keywords) keyword_list.push_back(keyword);
+  json["keywords"] = std::move(keyword_list);
+  Json table_list = Json::Array();
+  for (const DataTable& table : tables) table_list.push_back(table.ToJson());
+  json["tables"] = std::move(table_list);
+  return json;
+}
+
+Result<HepDataRecord> HepDataRecord::FromJson(const Json& json) {
+  HepDataRecord record;
+  record.id = json.Get("id").as_string();
+  record.title = json.Get("title").as_string();
+  record.experiment = json.Get("experiment").as_string();
+  record.year = static_cast<int>(json.Get("year").as_int());
+  record.reaction = json.Get("reaction").as_string();
+  const Json& keywords = json.Get("keywords");
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    record.keywords.push_back(keywords.at(i).as_string());
+  }
+  const Json& tables = json.Get("tables");
+  for (size_t i = 0; i < tables.size(); ++i) {
+    DASPOS_ASSIGN_OR_RETURN(DataTable table,
+                            DataTable::FromJson(tables.at(i)));
+    record.tables.push_back(std::move(table));
+  }
+  return record;
+}
+
+Status HepDataArchive::Submit(HepDataRecord record) {
+  if (record.id.empty()) {
+    return Status::InvalidArgument("record needs an id");
+  }
+  if (records_.count(record.id) > 0) {
+    return Status::AlreadyExists("record '" + record.id + "' exists");
+  }
+  if (record.tables.empty()) {
+    return Status::InvalidArgument("record '" + record.id +
+                                   "' has no data tables");
+  }
+  for (const DataTable& table : record.tables) {
+    if (table.points.empty()) {
+      return Status::InvalidArgument("table '" + table.name + "' is empty");
+    }
+    for (const DataPoint& point : table.points) {
+      if (point.x_hi <= point.x_lo) {
+        return Status::InvalidArgument("table '" + table.name +
+                                       "' has an inverted bin");
+      }
+      if (point.y_err < 0.0) {
+        return Status::InvalidArgument("table '" + table.name +
+                                       "' has a negative uncertainty");
+      }
+    }
+  }
+  order_.push_back(record.id);
+  records_.emplace(record.id, std::move(record));
+  return Status::OK();
+}
+
+Result<HepDataRecord> HepDataArchive::Get(const std::string& id) const {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("no record '" + id + "'");
+  }
+  return it->second;
+}
+
+bool HepDataArchive::Has(const std::string& id) const {
+  return records_.count(id) > 0;
+}
+
+std::vector<std::string> HepDataArchive::Search(
+    const std::string& query) const {
+  std::string needle = ToLower(query);
+  std::vector<std::string> out;
+  for (const std::string& id : order_) {
+    const HepDataRecord& record = records_.at(id);
+    auto matches = [&](const std::string& text) {
+      return ToLower(text).find(needle) != std::string::npos;
+    };
+    bool hit = matches(record.title) || matches(record.reaction) ||
+               matches(record.experiment);
+    for (const std::string& keyword : record.keywords) {
+      hit = hit || matches(keyword);
+    }
+    if (hit) out.push_back(id);
+  }
+  return out;
+}
+
+Status HepDataArchive::LinkInspire(const std::string& inspire_id,
+                                   const std::string& record_id) {
+  if (!Has(record_id)) {
+    return Status::NotFound("no record '" + record_id + "' to link");
+  }
+  auto& linked = inspire_links_[inspire_id];
+  for (const std::string& existing : linked) {
+    if (existing == record_id) return Status::OK();  // idempotent
+  }
+  linked.push_back(record_id);
+  return Status::OK();
+}
+
+std::vector<std::string> HepDataArchive::RecordsForInspire(
+    const std::string& inspire_id) const {
+  auto it = inspire_links_.find(inspire_id);
+  return it != inspire_links_.end() ? it->second
+                                    : std::vector<std::string>{};
+}
+
+}  // namespace hepdata
+}  // namespace daspos

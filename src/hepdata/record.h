@@ -1,0 +1,95 @@
+// The HepData-analog (§2.3): a "Reactions Database" of published numerical
+// results — data tables with reaction strings and keywords, searchable, and
+// cross-linked from INSPIRE-like literature ids. It preserves *results*,
+// not code ("it does not usually preserve the code necessary to reproduce
+// the analysis").
+#ifndef DASPOS_HEPDATA_RECORD_H_
+#define DASPOS_HEPDATA_RECORD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hist/histo1d.h"
+#include "serialize/json.h"
+#include "support/result.h"
+
+namespace daspos {
+namespace hepdata {
+
+/// One row of a data table: x bin and measured value with uncertainty.
+struct DataPoint {
+  double x_lo = 0.0;
+  double x_hi = 0.0;
+  double y = 0.0;
+  double y_err = 0.0;
+};
+
+/// One table of a record (e.g. a differential cross section, or an
+/// acceptance grid row for a SUSY search — the §2.3 examples).
+struct DataTable {
+  std::string name;
+  std::string independent_variable;  // "M(mu+mu-) [GeV]"
+  std::string dependent_variable;    // "d(sigma)/dM [pb/GeV]"
+  std::vector<DataPoint> points;
+
+  /// Builds a table from a histogram (bin edges + contents + errors).
+  static DataTable FromHistogram(const Histo1D& histogram, std::string name,
+                                 std::string independent,
+                                 std::string dependent);
+  /// Reconstructs a histogram when the binning is uniform; fails otherwise.
+  Result<Histo1D> ToHistogram(const std::string& path) const;
+
+  Json ToJson() const;
+  static Result<DataTable> FromJson(const Json& json);
+};
+
+/// One published record.
+struct HepDataRecord {
+  /// Record id, conventionally "ins<number>" mirroring the INSPIRE id.
+  std::string id;
+  std::string title;
+  std::string experiment;
+  int year = 0;
+  /// Reaction string ("P P --> Z0 < MU+ MU- > X").
+  std::string reaction;
+  std::vector<std::string> keywords;
+  std::vector<DataTable> tables;
+
+  Json ToJson() const;
+  static Result<HepDataRecord> FromJson(const Json& json);
+};
+
+/// The archive: submission, retrieval, search, and literature links.
+class HepDataArchive {
+ public:
+  /// Validates and stores a record: unique id, at least one table, every
+  /// table non-empty with coherent bin edges.
+  Status Submit(HepDataRecord record);
+
+  Result<HepDataRecord> Get(const std::string& id) const;
+  bool Has(const std::string& id) const;
+  size_t size() const { return records_.size(); }
+
+  /// Case-insensitive substring search over title, reaction, experiment,
+  /// and keywords. Returns matching ids in submission order.
+  std::vector<std::string> Search(const std::string& query) const;
+
+  /// Links an INSPIRE literature id to a record (both directions queryable,
+  /// mirroring "INSPIRE entries often contain links to entries ... in the
+  /// HepData archive").
+  Status LinkInspire(const std::string& inspire_id,
+                     const std::string& record_id);
+  std::vector<std::string> RecordsForInspire(
+      const std::string& inspire_id) const;
+
+ private:
+  std::map<std::string, HepDataRecord> records_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::vector<std::string>> inspire_links_;
+};
+
+}  // namespace hepdata
+}  // namespace daspos
+
+#endif  // DASPOS_HEPDATA_RECORD_H_

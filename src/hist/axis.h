@@ -1,0 +1,55 @@
+// Uniform binned axis shared by the histogram types.
+#ifndef DASPOS_HIST_AXIS_H_
+#define DASPOS_HIST_AXIS_H_
+
+#include <cassert>
+#include <cmath>
+
+namespace daspos {
+
+/// A uniform axis over [lo, hi) with `nbins` bins. Bin indices are
+/// 0..nbins-1; kUnderflow / kOverflow are returned for out-of-range values.
+class Axis {
+ public:
+  static constexpr int kUnderflow = -1;
+  static constexpr int kOverflow = -2;
+
+  Axis() : nbins_(1), lo_(0.0), hi_(1.0) {}
+  Axis(int nbins, double lo, double hi) : nbins_(nbins), lo_(lo), hi_(hi) {
+    assert(nbins > 0 && hi > lo);
+  }
+
+  int nbins() const { return nbins_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double width() const { return (hi_ - lo_) / nbins_; }
+
+  /// Bin index for x, or kUnderflow/kOverflow. NaN maps to kOverflow.
+  int Index(double x) const {
+    if (std::isnan(x)) return kOverflow;
+    if (x < lo_) return kUnderflow;
+    if (x >= hi_) return kOverflow;
+    int idx = static_cast<int>((x - lo_) / (hi_ - lo_) * nbins_);
+    // Guard against floating rounding right at the upper edge.
+    if (idx >= nbins_) idx = nbins_ - 1;
+    return idx;
+  }
+
+  /// Lower edge / center of bin i (0 <= i < nbins).
+  double BinLow(int i) const { return lo_ + width() * i; }
+  double BinCenter(int i) const { return lo_ + width() * (i + 0.5); }
+  double BinHigh(int i) const { return lo_ + width() * (i + 1); }
+
+  bool operator==(const Axis& other) const {
+    return nbins_ == other.nbins_ && lo_ == other.lo_ && hi_ == other.hi_;
+  }
+
+ private:
+  int nbins_;
+  double lo_;
+  double hi_;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_HIST_AXIS_H_

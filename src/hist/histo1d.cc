@@ -1,0 +1,98 @@
+#include "hist/histo1d.h"
+
+#include <cmath>
+
+namespace daspos {
+
+void Histo1D::Fill(double x, double weight) {
+  ++entries_;
+  int idx = axis_.Index(x);
+  if (idx == Axis::kUnderflow) {
+    underflow_ += weight;
+    return;
+  }
+  if (idx == Axis::kOverflow) {
+    overflow_ += weight;
+    return;
+  }
+  sumw_[static_cast<size_t>(idx)] += weight;
+  sumw2_[static_cast<size_t>(idx)] += weight * weight;
+  sumwx_ += weight * x;
+  sumwx2_ += weight * x * x;
+}
+
+double Histo1D::BinError(int i) const {
+  return std::sqrt(sumw2_[static_cast<size_t>(i)]);
+}
+
+double Histo1D::Integral(bool width_weighted) const {
+  double total = 0.0;
+  for (double w : sumw_) total += w;
+  return width_weighted ? total * axis_.width() : total;
+}
+
+double Histo1D::Mean() const {
+  double total = Integral(false);
+  return total != 0.0 ? sumwx_ / total : 0.0;
+}
+
+double Histo1D::StdDev() const {
+  double total = Integral(false);
+  if (total == 0.0) return 0.0;
+  double mean = sumwx_ / total;
+  double var = sumwx2_ / total - mean * mean;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void Histo1D::Scale(double factor) {
+  for (double& w : sumw_) w *= factor;
+  for (double& w2 : sumw2_) w2 *= factor * factor;
+  underflow_ *= factor;
+  overflow_ *= factor;
+  sumwx_ *= factor;
+  sumwx2_ *= factor;
+}
+
+void Histo1D::Normalize() {
+  double integral = Integral(true);
+  if (integral != 0.0) Scale(1.0 / integral);
+}
+
+Status Histo1D::Add(const Histo1D& other) {
+  if (!(axis_ == other.axis_)) {
+    return Status::InvalidArgument("histogram binning mismatch: " + path_ +
+                                   " vs " + other.path_);
+  }
+  for (size_t i = 0; i < sumw_.size(); ++i) {
+    sumw_[i] += other.sumw_[i];
+    sumw2_[i] += other.sumw2_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  entries_ += other.entries_;
+  sumwx_ += other.sumwx_;
+  sumwx2_ += other.sumwx2_;
+  return Status::OK();
+}
+
+void Histo1D::Reset() {
+  for (double& w : sumw_) w = 0.0;
+  for (double& w2 : sumw2_) w2 = 0.0;
+  underflow_ = overflow_ = 0.0;
+  entries_ = 0;
+  sumwx_ = sumwx2_ = 0.0;
+}
+
+void Histo1D::SetBin(int i, double sumw, double sumw2) {
+  sumw_[static_cast<size_t>(i)] = sumw;
+  sumw2_[static_cast<size_t>(i)] = sumw2;
+}
+
+void Histo1D::SetOutOfRange(double underflow, double overflow,
+                            uint64_t entries) {
+  underflow_ = underflow;
+  overflow_ = overflow;
+  entries_ = entries;
+}
+
+}  // namespace daspos

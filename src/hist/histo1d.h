@@ -1,0 +1,82 @@
+// One-dimensional weighted histogram — the basic observable container of the
+// analysis-preservation frameworks (RIVET-analog, HepData tables, master
+// classes). Tracks sum-of-weights and sum-of-squared-weights per bin so
+// statistical errors survive scaling and merging.
+#ifndef DASPOS_HIST_HISTO1D_H_
+#define DASPOS_HIST_HISTO1D_H_
+
+#include <string>
+#include <vector>
+
+#include "hist/axis.h"
+#include "support/status.h"
+
+namespace daspos {
+
+class Histo1D {
+ public:
+  Histo1D() = default;
+  /// `path` is the YODA-style identifier ("/ANALYSIS/obs1").
+  Histo1D(std::string path, int nbins, double lo, double hi)
+      : path_(std::move(path)),
+        axis_(nbins, lo, hi),
+        sumw_(static_cast<size_t>(nbins), 0.0),
+        sumw2_(static_cast<size_t>(nbins), 0.0) {}
+
+  const std::string& path() const { return path_; }
+  void set_path(std::string path) { path_ = std::move(path); }
+  const Axis& axis() const { return axis_; }
+
+  /// Adds an entry at x with the given weight.
+  void Fill(double x, double weight = 1.0);
+
+  /// Per-bin accessors (i in [0, nbins)).
+  double BinContent(int i) const { return sumw_[static_cast<size_t>(i)]; }
+  double BinError(int i) const;
+  double BinCenter(int i) const { return axis_.BinCenter(i); }
+
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+  uint64_t entries() const { return entries_; }
+
+  /// Sum of in-range weights (optionally times bin width).
+  double Integral(bool width_weighted = false) const;
+
+  /// Weighted mean / standard deviation of the filled x values (in-range).
+  double Mean() const;
+  double StdDev() const;
+
+  /// Multiplies all contents (and errors accordingly) by `factor`.
+  void Scale(double factor);
+
+  /// Scales so the width-weighted integral is 1; no-op on empty histograms.
+  void Normalize();
+
+  /// Adds another histogram bin-by-bin; fails unless binning matches.
+  Status Add(const Histo1D& other);
+
+  /// Resets contents, keeping the binning.
+  void Reset();
+
+  /// Direct access used by IO and tests.
+  const std::vector<double>& sumw() const { return sumw_; }
+  const std::vector<double>& sumw2() const { return sumw2_; }
+  void SetBin(int i, double sumw, double sumw2);
+  void SetOutOfRange(double underflow, double overflow, uint64_t entries);
+
+ private:
+  std::string path_;
+  Axis axis_;
+  std::vector<double> sumw_;
+  std::vector<double> sumw2_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  uint64_t entries_ = 0;
+  // First/second moments of in-range fills, for Mean/StdDev.
+  double sumwx_ = 0.0;
+  double sumwx2_ = 0.0;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_HIST_HISTO1D_H_

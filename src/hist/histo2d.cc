@@ -1,0 +1,64 @@
+#include "hist/histo2d.h"
+
+#include <cmath>
+
+#include "hist/histo1d.h"
+
+namespace daspos {
+
+void Histo2D::Fill(double x, double y, double weight) {
+  ++entries_;
+  int ix = xaxis_.Index(x);
+  int iy = yaxis_.Index(y);
+  if (ix < 0 || iy < 0) {
+    outside_ += weight;
+    return;
+  }
+  sumw_[IndexOf(ix, iy)] += weight;
+  sumw2_[IndexOf(ix, iy)] += weight * weight;
+}
+
+double Histo2D::BinError(int ix, int iy) const {
+  return std::sqrt(sumw2_[IndexOf(ix, iy)]);
+}
+
+double Histo2D::Integral() const {
+  double total = 0.0;
+  for (double w : sumw_) total += w;
+  return total;
+}
+
+void Histo2D::Scale(double factor) {
+  for (double& w : sumw_) w *= factor;
+  for (double& w2 : sumw2_) w2 *= factor * factor;
+  outside_ *= factor;
+}
+
+Status Histo2D::Add(const Histo2D& other) {
+  if (!(xaxis_ == other.xaxis_) || !(yaxis_ == other.yaxis_)) {
+    return Status::InvalidArgument("2D histogram binning mismatch: " + path_);
+  }
+  for (size_t i = 0; i < sumw_.size(); ++i) {
+    sumw_[i] += other.sumw_[i];
+    sumw2_[i] += other.sumw2_[i];
+  }
+  outside_ += other.outside_;
+  entries_ += other.entries_;
+  return Status::OK();
+}
+
+Histo1D Histo2D::ProjectionX() const {
+  Histo1D proj(path_ + "_px", xaxis_.nbins(), xaxis_.lo(), xaxis_.hi());
+  for (int ix = 0; ix < xaxis_.nbins(); ++ix) {
+    double w = 0.0;
+    double w2 = 0.0;
+    for (int iy = 0; iy < yaxis_.nbins(); ++iy) {
+      w += sumw_[IndexOf(ix, iy)];
+      w2 += sumw2_[IndexOf(ix, iy)];
+    }
+    proj.SetBin(ix, w, w2);
+  }
+  return proj;
+}
+
+}  // namespace daspos

@@ -1,0 +1,78 @@
+// Two-dimensional weighted histogram, used for acceptance/efficiency grids in
+// mass parameter spaces (the HepData "Reactions Database" SUSY-search use
+// case, §2.3) and for detector occupancy maps.
+#ifndef DASPOS_HIST_HISTO2D_H_
+#define DASPOS_HIST_HISTO2D_H_
+
+#include <string>
+#include <vector>
+
+#include "hist/axis.h"
+#include "support/status.h"
+
+namespace daspos {
+
+class Histo2D {
+ public:
+  Histo2D() = default;
+  Histo2D(std::string path, int nx, double xlo, double xhi, int ny, double ylo,
+          double yhi)
+      : path_(std::move(path)),
+        xaxis_(nx, xlo, xhi),
+        yaxis_(ny, ylo, yhi),
+        sumw_(static_cast<size_t>(nx) * ny, 0.0),
+        sumw2_(static_cast<size_t>(nx) * ny, 0.0) {}
+
+  const std::string& path() const { return path_; }
+  const Axis& xaxis() const { return xaxis_; }
+  const Axis& yaxis() const { return yaxis_; }
+
+  void Fill(double x, double y, double weight = 1.0);
+
+  double BinContent(int ix, int iy) const {
+    return sumw_[IndexOf(ix, iy)];
+  }
+  double BinError(int ix, int iy) const;
+
+  uint64_t entries() const { return entries_; }
+  /// Sum of in-range weights; out-of-range fills are dropped (tracked only
+  /// by the `outside` counter).
+  double Integral() const;
+  double outside() const { return outside_; }
+
+  void Scale(double factor);
+  Status Add(const Histo2D& other);
+
+  /// Projection onto x: sums over y bins. The result has the x binning.
+  class Histo1D ProjectionX() const;
+
+  /// Direct access used by IO and tests (row-major: index = iy*nx + ix).
+  const std::vector<double>& sumw() const { return sumw_; }
+  const std::vector<double>& sumw2() const { return sumw2_; }
+  void SetBin(int ix, int iy, double sumw, double sumw2) {
+    sumw_[IndexOf(ix, iy)] = sumw;
+    sumw2_[IndexOf(ix, iy)] = sumw2;
+  }
+  void SetOutside(double outside, uint64_t entries) {
+    outside_ = outside;
+    entries_ = entries;
+  }
+  void set_path(std::string path) { path_ = std::move(path); }
+
+ private:
+  size_t IndexOf(int ix, int iy) const {
+    return static_cast<size_t>(iy) * xaxis_.nbins() + ix;
+  }
+
+  std::string path_;
+  Axis xaxis_;
+  Axis yaxis_;
+  std::vector<double> sumw_;
+  std::vector<double> sumw2_;
+  double outside_ = 0.0;
+  uint64_t entries_ = 0;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_HIST_HISTO2D_H_

@@ -1,0 +1,36 @@
+#include "hist/profile1d.h"
+
+#include <cmath>
+
+namespace daspos {
+
+void Profile1D::Fill(double x, double y, double weight) {
+  ++entries_;
+  int idx = axis_.Index(x);
+  if (idx < 0) return;
+  size_t i = static_cast<size_t>(idx);
+  sumw_[i] += weight;
+  sumwy_[i] += weight * y;
+  sumwy2_[i] += weight * y * y;
+}
+
+double Profile1D::BinMean(int i) const {
+  size_t idx = static_cast<size_t>(i);
+  return sumw_[idx] != 0.0 ? sumwy_[idx] / sumw_[idx] : 0.0;
+}
+
+double Profile1D::BinRms(int i) const {
+  size_t idx = static_cast<size_t>(i);
+  if (sumw_[idx] == 0.0) return 0.0;
+  double mean = sumwy_[idx] / sumw_[idx];
+  double var = sumwy2_[idx] / sumw_[idx] - mean * mean;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double Profile1D::BinMeanError(int i) const {
+  size_t idx = static_cast<size_t>(i);
+  if (sumw_[idx] == 0.0) return 0.0;
+  return BinRms(i) / std::sqrt(sumw_[idx]);
+}
+
+}  // namespace daspos

@@ -1,0 +1,62 @@
+// Profile histogram: per-x-bin mean and spread of a sampled y value.
+// Used for calibration monitoring (e.g. energy response vs. pseudorapidity).
+#ifndef DASPOS_HIST_PROFILE1D_H_
+#define DASPOS_HIST_PROFILE1D_H_
+
+#include <string>
+#include <vector>
+
+#include "hist/axis.h"
+
+namespace daspos {
+
+class Profile1D {
+ public:
+  Profile1D() = default;
+  Profile1D(std::string path, int nbins, double lo, double hi)
+      : path_(std::move(path)),
+        axis_(nbins, lo, hi),
+        sumw_(static_cast<size_t>(nbins), 0.0),
+        sumwy_(static_cast<size_t>(nbins), 0.0),
+        sumwy2_(static_cast<size_t>(nbins), 0.0) {}
+
+  const std::string& path() const { return path_; }
+  const Axis& axis() const { return axis_; }
+
+  void Fill(double x, double y, double weight = 1.0);
+
+  /// Mean of y in bin i (0 if the bin is empty).
+  double BinMean(int i) const;
+  /// RMS spread of y in bin i.
+  double BinRms(int i) const;
+  /// Statistical error on the bin mean (RMS / sqrt(effective entries)).
+  double BinMeanError(int i) const;
+  /// Sum of weights in bin i.
+  double BinWeight(int i) const { return sumw_[static_cast<size_t>(i)]; }
+
+  uint64_t entries() const { return entries_; }
+
+  /// Direct access used by IO and tests.
+  const std::vector<double>& sumw() const { return sumw_; }
+  const std::vector<double>& sumwy() const { return sumwy_; }
+  const std::vector<double>& sumwy2() const { return sumwy2_; }
+  void SetBin(int i, double sumw, double sumwy, double sumwy2) {
+    size_t index = static_cast<size_t>(i);
+    sumw_[index] = sumw;
+    sumwy_[index] = sumwy;
+    sumwy2_[index] = sumwy2;
+  }
+  void set_entries(uint64_t entries) { entries_ = entries; }
+
+ private:
+  std::string path_;
+  Axis axis_;
+  std::vector<double> sumw_;
+  std::vector<double> sumwy_;
+  std::vector<double> sumwy2_;
+  uint64_t entries_ = 0;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_HIST_PROFILE1D_H_

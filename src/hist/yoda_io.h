@@ -1,0 +1,53 @@
+// YODA-like plain-text histogram serialization — the reference-data exchange
+// format of the RIVET-analog. Plain text is a deliberate preservation choice
+// (the paper praises RIVET's light, portable footprint, §2.4): documents stay
+// human-readable and diff-able indefinitely.
+//
+// Format:
+//   BEGIN HISTO1D <path>
+//   # nbins lo hi
+//   binning: <nbins> <lo> <hi>
+//   underflow: <sumw>
+//   overflow: <sumw>
+//   entries: <n>
+//   <sumw> <sumw2>            (one line per bin)
+//   END HISTO1D
+#ifndef DASPOS_HIST_YODA_IO_H_
+#define DASPOS_HIST_YODA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "hist/histo1d.h"
+#include "hist/histo2d.h"
+#include "hist/profile1d.h"
+#include "support/result.h"
+
+namespace daspos {
+
+/// Serializes histograms to the text format, in order.
+std::string WriteYoda(const std::vector<Histo1D>& histos);
+
+/// Parses a document produced by WriteYoda (tolerates blank lines and
+/// '#' comments). Fails with Corruption on structural errors, including
+/// the presence of non-HISTO1D blocks (use ReadYodaDocument for those).
+Result<std::vector<Histo1D>> ReadYoda(const std::string& text);
+
+/// A mixed preserved-histogram document: 1D, 2D (acceptance grids in mass
+/// planes, §2.3), and profiles (calibration monitoring).
+struct YodaDocument {
+  std::vector<Histo1D> histos1d;
+  std::vector<Histo2D> histos2d;
+  std::vector<Profile1D> profiles;
+};
+
+/// Serializes a mixed document. 2D blocks store cells row-major; profile
+/// blocks store (sumw, sumwy, sumwy2) per bin.
+std::string WriteYodaDocument(const YodaDocument& document);
+
+/// Parses a mixed document (accepts everything WriteYoda emits too).
+Result<YodaDocument> ReadYodaDocument(const std::string& text);
+
+}  // namespace daspos
+
+#endif  // DASPOS_HIST_YODA_IO_H_

@@ -1,0 +1,283 @@
+#include "interview/interview.h"
+
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace daspos {
+namespace interview {
+
+Status DataInterview::Validate() const {
+  if (respondent.empty()) {
+    return Status::InvalidArgument("interview needs a respondent");
+  }
+  if (lifecycle.empty()) {
+    return Status::InvalidArgument(
+        "interview needs at least one lifecycle stage (question 2)");
+  }
+  for (const LifecycleStage& stage : lifecycle) {
+    if (stage.name.empty()) {
+      return Status::InvalidArgument("lifecycle stage without a name");
+    }
+  }
+  return maturity.Validate();
+}
+
+namespace {
+
+Json StageToJson(const LifecycleStage& stage) {
+  Json json = Json::Object();
+  json["name"] = stage.name;
+  json["description"] = stage.description;
+  json["file_count"] = stage.file_count;
+  json["total_bytes"] = stage.total_bytes;
+  Json formats = Json::Array();
+  for (const std::string& format : stage.formats) formats.push_back(format);
+  json["formats"] = std::move(formats);
+  Json internal = Json::Array();
+  for (const std::string& sw : stage.internal_software) internal.push_back(sw);
+  json["internal_software"] = std::move(internal);
+  Json external = Json::Array();
+  for (const std::string& sw : stage.external_software) external.push_back(sw);
+  json["external_software"] = std::move(external);
+  json["software_version"] = stage.software_version;
+  return json;
+}
+
+LifecycleStage StageFromJson(const Json& json) {
+  LifecycleStage stage;
+  stage.name = json.Get("name").as_string();
+  stage.description = json.Get("description").as_string();
+  stage.file_count = static_cast<uint64_t>(json.Get("file_count").as_int());
+  stage.total_bytes = static_cast<uint64_t>(json.Get("total_bytes").as_int());
+  const Json& formats = json.Get("formats");
+  for (size_t i = 0; i < formats.size(); ++i) {
+    stage.formats.push_back(formats.at(i).as_string());
+  }
+  const Json& internal = json.Get("internal_software");
+  for (size_t i = 0; i < internal.size(); ++i) {
+    stage.internal_software.push_back(internal.at(i).as_string());
+  }
+  const Json& external = json.Get("external_software");
+  for (size_t i = 0; i < external.size(); ++i) {
+    stage.external_software.push_back(external.at(i).as_string());
+  }
+  stage.software_version = json.Get("software_version").as_string();
+  return stage;
+}
+
+}  // namespace
+
+Json DataInterview::ToJson() const {
+  Json json = Json::Object();
+  json["respondent"] = respondent;
+  json["organization"] = organization;
+  json["experiment"] = std::string(ExperimentName(experiment));
+  json["data_description"] = data_description;
+  Json stages = Json::Array();
+  for (const LifecycleStage& stage : lifecycle) {
+    stages.push_back(StageToJson(stage));
+  }
+  json["lifecycle"] = std::move(stages);
+  json["storage_strategy"] = storage_strategy;
+  json["backups"] = backups;
+  json["disaster_recovery_plan"] = disaster_recovery_plan;
+  json["funding_agency_requires_plan"] = funding_agency_requires_plan;
+  json["most_important_to_preserve"] = most_important_to_preserve;
+  json["useful_lifetime"] = useful_lifetime;
+  json["software_to_preserve"] = software_to_preserve;
+  json["generation_process_documented"] = generation_process_documented;
+  Json sharing_list = Json::Array();
+  for (const SharingPolicy& policy : sharing) {
+    Json entry = Json::Object();
+    entry["stage"] = policy.stage;
+    entry["audience"] = policy.audience;
+    entry["when"] = policy.when;
+    entry["conditions"] = policy.conditions;
+    sharing_list.push_back(std::move(entry));
+  }
+  json["sharing"] = std::move(sharing_list);
+  Json levels = Json::Object();
+  for (MaturityAxis axis : kAllMaturityAxes) {
+    levels[std::string(MaturityAxisName(axis))] = maturity.Level(axis);
+  }
+  json["maturity"] = std::move(levels);
+  return json;
+}
+
+Result<DataInterview> DataInterview::FromJson(const Json& json) {
+  DataInterview interview;
+  interview.respondent = json.Get("respondent").as_string();
+  interview.organization = json.Get("organization").as_string();
+  std::string experiment_name = json.Get("experiment").as_string();
+  for (Experiment experiment : kAllExperiments) {
+    if (experiment_name == ExperimentName(experiment)) {
+      interview.experiment = experiment;
+    }
+  }
+  interview.data_description = json.Get("data_description").as_string();
+  const Json& stages = json.Get("lifecycle");
+  for (size_t i = 0; i < stages.size(); ++i) {
+    interview.lifecycle.push_back(StageFromJson(stages.at(i)));
+  }
+  interview.storage_strategy = json.Get("storage_strategy").as_string();
+  interview.backups = json.Get("backups").as_bool();
+  interview.disaster_recovery_plan =
+      json.Get("disaster_recovery_plan").as_bool();
+  interview.funding_agency_requires_plan =
+      json.Get("funding_agency_requires_plan").as_bool();
+  interview.most_important_to_preserve =
+      json.Get("most_important_to_preserve").as_string();
+  interview.useful_lifetime = json.Get("useful_lifetime").as_string();
+  interview.software_to_preserve =
+      json.Get("software_to_preserve").as_string();
+  interview.generation_process_documented =
+      json.Get("generation_process_documented").as_bool();
+  const Json& sharing_list = json.Get("sharing");
+  for (size_t i = 0; i < sharing_list.size(); ++i) {
+    const Json& entry = sharing_list.at(i);
+    SharingPolicy policy;
+    policy.stage = entry.Get("stage").as_string();
+    policy.audience = entry.Get("audience").as_string();
+    policy.when = entry.Get("when").as_string();
+    policy.conditions = entry.Get("conditions").as_string();
+    interview.sharing.push_back(std::move(policy));
+  }
+  const Json& levels = json.Get("maturity");
+  for (MaturityAxis axis : kAllMaturityAxes) {
+    const Json& level = levels.Get(std::string(MaturityAxisName(axis)));
+    if (level.is_number()) {
+      interview.maturity.SetLevel(axis, static_cast<int>(level.as_int()));
+    }
+  }
+  DASPOS_RETURN_IF_ERROR(interview.Validate());
+  return interview;
+}
+
+std::string DataInterview::RenderReport() const {
+  std::string out = "Data/Software Interview: " +
+                    std::string(ExperimentName(experiment)) + "\n";
+  out += "Respondent: " + respondent + " (" + organization + ")\n";
+  out += "Data: " + data_description + "\n\n";
+
+  TextTable lifecycle_table;
+  lifecycle_table.SetTitle("Data lifecycle (question 2 + 4)");
+  lifecycle_table.SetHeader(
+      {"stage", "files", "size", "formats", "external software"});
+  for (const LifecycleStage& stage : lifecycle) {
+    lifecycle_table.AddRow({stage.name, std::to_string(stage.file_count),
+                            FormatBytes(stage.total_bytes),
+                            Join(stage.formats, ", "),
+                            Join(stage.external_software, ", ")});
+  }
+  out += lifecycle_table.Render() + "\n";
+
+  TextTable sharing_table;
+  sharing_table.SetTitle("Data sharing grid (question 9)");
+  sharing_table.SetHeader({"stage", "audience", "when", "conditions"});
+  for (const SharingPolicy& policy : sharing) {
+    sharing_table.AddRow(
+        {policy.stage, policy.audience, policy.when, policy.conditions});
+  }
+  out += sharing_table.Render() + "\n";
+
+  TextTable maturity_table;
+  maturity_table.SetTitle("Maturity self-assessment");
+  maturity_table.SetHeader({"axis", "level", "meaning"});
+  for (MaturityAxis axis : kAllMaturityAxes) {
+    int level = maturity.Level(axis);
+    auto description = MaturityLevelDescription(axis, level);
+    maturity_table.AddRow({std::string(MaturityAxisName(axis)),
+                           std::to_string(level),
+                           description.ok() ? std::string(*description)
+                                            : "(invalid level)"});
+  }
+  out += maturity_table.Render();
+  out += "Overall maturity: " + FormatDouble(maturity.Overall(), 3) + "\n";
+  return out;
+}
+
+std::vector<DataInterview> ExampleInterviews() {
+  std::vector<DataInterview> out;
+  for (Experiment experiment : kAllExperiments) {
+    DataInterview interview;
+    interview.respondent = "computing coordinator";
+    interview.organization = std::string(ExperimentName(experiment));
+    interview.experiment = experiment;
+    interview.data_description =
+        "proton-proton collision events, raw and derived tiers";
+
+    LifecycleStage raw;
+    raw.name = "Collection (RAW)";
+    raw.file_count = 1000;
+    raw.total_bytes = 1000ull << 30;
+    raw.formats = {"daspos.raw.v1"};
+    raw.internal_software = {"DAQ, trigger"};
+    raw.external_software = {"conditions database"};
+    raw.software_version = "online-2013";
+    LifecycleStage reco;
+    reco.name = "Reconstruction (RECO/AOD)";
+    reco.file_count = 2000;
+    reco.total_bytes = 400ull << 30;
+    reco.formats = {"daspos.reco.v1", "daspos.aod.v1"};
+    reco.internal_software = {"reconstruction release"};
+    reco.external_software = {"conditions database", "grid middleware"};
+    reco.software_version = "reco-v1.0";
+    LifecycleStage analysis;
+    analysis.name = "Analysis (derived)";
+    analysis.file_count = 200;
+    analysis.total_bytes = 20ull << 30;
+    analysis.formats = {"daspos.derived.v1"};
+    analysis.internal_software = {"group skims"};
+    analysis.external_software = {"histogramming toolkit"};
+    analysis.software_version = "analysis-2014";
+    interview.lifecycle = {raw, reco, analysis};
+
+    interview.storage_strategy = "tape archive + disk pools at Tier-0/1";
+    interview.backups = true;
+    interview.most_important_to_preserve =
+        "AOD tier plus the software and conditions to reprocess it";
+    interview.useful_lifetime = "decades (unique collision energy)";
+    interview.software_to_preserve =
+        "reconstruction release and analysis skim code";
+
+    interview.sharing.push_back(
+        {"Analysis", "project collaborators", "always", "none"});
+    interview.sharing.push_back({"Publication", "whole world",
+                                 "on publication", "citation requested"});
+
+    // Maturity profiles diverge per experiment, echoing §4's data-policy
+    // status (CMS/LHCb approved release policies; Alice/Atlas in
+    // discussion at the time).
+    switch (experiment) {
+      case Experiment::kAlice:
+        interview.disaster_recovery_plan = false;
+        interview.generation_process_documented = false;
+        interview.maturity = {2, 2, 2, 3, 2};
+        break;
+      case Experiment::kAtlas:
+        interview.disaster_recovery_plan = true;
+        interview.generation_process_documented = true;
+        interview.maturity = {4, 4, 3, 4, 3};
+        break;
+      case Experiment::kCms:
+        interview.disaster_recovery_plan = true;
+        interview.funding_agency_requires_plan = true;
+        interview.generation_process_documented = true;
+        interview.sharing.push_back({"AOD subset", "whole world",
+                                     "public data release",
+                                     "registration"});
+        interview.maturity = {4, 3, 4, 4, 5};
+        break;
+      case Experiment::kLhcb:
+        interview.disaster_recovery_plan = true;
+        interview.generation_process_documented = true;
+        interview.maturity = {3, 3, 4, 3, 4};
+        break;
+    }
+    out.push_back(std::move(interview));
+  }
+  return out;
+}
+
+}  // namespace interview
+}  // namespace daspos

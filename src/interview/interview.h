@@ -1,0 +1,90 @@
+// The Data Interview Template (Appendix A): a structured questionnaire an
+// experiment fills in — data description, lifecycle stages with software
+// dependencies, preservation answers, sharing policies, and the maturity
+// self-assessment. "The interview template provided a framework for the
+// experiments to outline their thoughts or plans for data/software/
+// knowledge preservation using a common set of considerations" (§3).
+#ifndef DASPOS_INTERVIEW_INTERVIEW_H_
+#define DASPOS_INTERVIEW_INTERVIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "event/experiment.h"
+#include "interview/maturity.h"
+#include "serialize/json.h"
+#include "support/result.h"
+
+namespace daspos {
+namespace interview {
+
+/// A2: one stage of the data lifecycle, with its software (A4).
+struct LifecycleStage {
+  std::string name;         // "Collection", "Analysis stage 1", ...
+  std::string description;
+  uint64_t file_count = 0;
+  uint64_t total_bytes = 0;
+  std::vector<std::string> formats;
+  /// Software needed at this stage, with external/internal split (A4.A).
+  std::vector<std::string> internal_software;
+  std::vector<std::string> external_software;
+  std::string software_version;  // A4.B
+};
+
+/// 9: one row of the data sharing grid.
+struct SharingPolicy {
+  std::string stage;
+  std::string audience;     // "collaborators", "whole world", ...
+  std::string when;         // "1 year after publication"
+  std::string conditions;   // "acknowledgement required"
+};
+
+struct DataInterview {
+  // Header.
+  std::string respondent;
+  std::string organization;
+  Experiment experiment = Experiment::kAtlas;
+
+  // A1: overview of the data.
+  std::string data_description;
+
+  // A2/A4: lifecycle with software.
+  std::vector<LifecycleStage> lifecycle;
+
+  // B5: storage/backup/recovery answers.
+  std::string storage_strategy;
+  bool backups = false;
+  bool disaster_recovery_plan = false;
+  bool funding_agency_requires_plan = false;
+
+  // B8: preservation answers.
+  std::string most_important_to_preserve;
+  std::string useful_lifetime;
+  std::string software_to_preserve;
+  bool generation_process_documented = false;
+
+  // B9: sharing.
+  std::vector<SharingPolicy> sharing;
+
+  // Maturity self-assessment (5F, 6D, 8E, 9F).
+  MaturityAssessment maturity;
+
+  /// Structural validation: respondent, at least one lifecycle stage, and
+  /// a valid maturity assessment.
+  Status Validate() const;
+
+  Json ToJson() const;
+  static Result<DataInterview> FromJson(const Json& json);
+
+  /// Renders the interview as a text report with the maturity grid.
+  std::string RenderReport() const;
+};
+
+/// Filled-in example interviews for the four Table 1 experiments, with
+/// deliberately different maturity profiles (E4 bench input).
+std::vector<DataInterview> ExampleInterviews();
+
+}  // namespace interview
+}  // namespace daspos
+
+#endif  // DASPOS_INTERVIEW_INTERVIEW_H_

@@ -1,0 +1,140 @@
+#include "interview/maturity.h"
+
+namespace daspos {
+namespace interview {
+
+namespace {
+
+// Level texts condensed from Appendix A of the workshop report.
+constexpr std::string_view kDataManagement[5] = {
+    "data management focuses on the day-to-day",
+    "some awareness of risks; few take preventative action",
+    "policies and plans in place for disaster recovery and sustainability",
+    "recovery plans have implementation procedures; data loss unlikely",
+    "recovery plans routinely tested; succession plans safeguard data",
+};
+constexpr std::string_view kDataDescription[5] = {
+    "metadata is an unfamiliar concept; low engagement with documentation",
+    "metadata and description practices vary by individual",
+    "metadata well understood; guidance supports use of standards",
+    "data well labeled, annotated, systematically organized",
+    "data can be understood by other researchers",
+};
+constexpr std::string_view kPreservation[5] = {
+    "low awareness of requirements to preserve data",
+    "data may remain available mostly by chance, not practice",
+    "preservation is understood and well-planned",
+    "high engagement: data selected for preservation, repositories in place",
+    "data efficiently and effectively preserved; infrastructure widely used",
+};
+constexpr std::string_view kAccess[5] = {
+    "individuals store data and manage access requests",
+    "guidance and services for access exist but are poorly used",
+    "a mix of systems meets different access needs",
+    "access systematically controlled through user rights",
+    "systems meet all user needs and security is maintained",
+};
+constexpr std::string_view kSharing[5] = {
+    "low awareness of data sharing requirements",
+    "ad hoc data sharing (data provided on request)",
+    "sharing supported: training and infrastructure in place",
+    "data shared as appropriate (legally and ethically possible)",
+    "culture of openness; sharing systems recognized and copied",
+};
+
+}  // namespace
+
+std::string_view MaturityAxisName(MaturityAxis axis) {
+  switch (axis) {
+    case MaturityAxis::kDataManagement:
+      return "data management & disaster recovery";
+    case MaturityAxis::kDataDescription:
+      return "data description";
+    case MaturityAxis::kPreservation:
+      return "preservation";
+    case MaturityAxis::kAccess:
+      return "access";
+    case MaturityAxis::kSharing:
+      return "sharing";
+  }
+  return "?";
+}
+
+Result<std::string_view> MaturityLevelDescription(MaturityAxis axis,
+                                                  int level) {
+  if (level < 1 || level > 5) {
+    return Status::OutOfRange("maturity level must be 1..5, got " +
+                              std::to_string(level));
+  }
+  size_t index = static_cast<size_t>(level - 1);
+  switch (axis) {
+    case MaturityAxis::kDataManagement:
+      return kDataManagement[index];
+    case MaturityAxis::kDataDescription:
+      return kDataDescription[index];
+    case MaturityAxis::kPreservation:
+      return kPreservation[index];
+    case MaturityAxis::kAccess:
+      return kAccess[index];
+    case MaturityAxis::kSharing:
+      return kSharing[index];
+  }
+  return Status::InvalidArgument("unknown maturity axis");
+}
+
+int MaturityAssessment::Level(MaturityAxis axis) const {
+  switch (axis) {
+    case MaturityAxis::kDataManagement:
+      return data_management;
+    case MaturityAxis::kDataDescription:
+      return data_description;
+    case MaturityAxis::kPreservation:
+      return preservation;
+    case MaturityAxis::kAccess:
+      return access;
+    case MaturityAxis::kSharing:
+      return sharing;
+  }
+  return 0;
+}
+
+void MaturityAssessment::SetLevel(MaturityAxis axis, int level) {
+  switch (axis) {
+    case MaturityAxis::kDataManagement:
+      data_management = level;
+      return;
+    case MaturityAxis::kDataDescription:
+      data_description = level;
+      return;
+    case MaturityAxis::kPreservation:
+      preservation = level;
+      return;
+    case MaturityAxis::kAccess:
+      access = level;
+      return;
+    case MaturityAxis::kSharing:
+      sharing = level;
+      return;
+  }
+}
+
+Status MaturityAssessment::Validate() const {
+  for (MaturityAxis axis : kAllMaturityAxes) {
+    int level = Level(axis);
+    if (level < 1 || level > 5) {
+      return Status::OutOfRange(std::string(MaturityAxisName(axis)) +
+                                " level " + std::to_string(level) +
+                                " outside [1,5]");
+    }
+  }
+  return Status::OK();
+}
+
+double MaturityAssessment::Overall() const {
+  double total = 0.0;
+  for (MaturityAxis axis : kAllMaturityAxes) total += Level(axis);
+  return total / kAllMaturityAxes.size();
+}
+
+}  // namespace interview
+}  // namespace daspos

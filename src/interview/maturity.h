@@ -1,0 +1,56 @@
+// The five-level maturity grids of the Data Interview Template (Appendix A
+// of the paper): data management & disaster recovery (question 5F), data
+// description (6D), preservation (8E), and access & sharing (9F, two rows).
+// Level descriptions follow the appendix wording.
+#ifndef DASPOS_INTERVIEW_MATURITY_H_
+#define DASPOS_INTERVIEW_MATURITY_H_
+
+#include <array>
+#include <string_view>
+
+#include "support/result.h"
+
+namespace daspos {
+namespace interview {
+
+enum class MaturityAxis {
+  kDataManagement = 0,  // 5F: data management and disaster recovery
+  kDataDescription = 1, // 6D: metadata and data description
+  kPreservation = 2,    // 8E: curation/preservation practice
+  kAccess = 3,          // 9F row 1: access systems
+  kSharing = 4,         // 9F row 2: sharing culture
+};
+
+inline constexpr std::array<MaturityAxis, 5> kAllMaturityAxes = {
+    MaturityAxis::kDataManagement, MaturityAxis::kDataDescription,
+    MaturityAxis::kPreservation, MaturityAxis::kAccess,
+    MaturityAxis::kSharing};
+
+std::string_view MaturityAxisName(MaturityAxis axis);
+
+/// Appendix wording for `level` in [1,5] on `axis`; fails out of range.
+Result<std::string_view> MaturityLevelDescription(MaturityAxis axis,
+                                                  int level);
+
+/// A complete assessment: one level per axis.
+struct MaturityAssessment {
+  int data_management = 1;
+  int data_description = 1;
+  int preservation = 1;
+  int access = 1;
+  int sharing = 1;
+
+  int Level(MaturityAxis axis) const;
+  void SetLevel(MaturityAxis axis, int level);
+
+  /// All levels in [1,5]?
+  Status Validate() const;
+
+  /// Mean level across the five axes.
+  double Overall() const;
+};
+
+}  // namespace interview
+}  // namespace daspos
+
+#endif  // DASPOS_INTERVIEW_MATURITY_H_

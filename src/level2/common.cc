@@ -1,0 +1,135 @@
+#include "level2/common.h"
+
+#include <cmath>
+
+namespace daspos {
+namespace level2 {
+
+namespace {
+bool Near(double a, double b) { return std::fabs(a - b) < 1e-9; }
+}  // namespace
+
+bool CommonObject::operator==(const CommonObject& other) const {
+  return type == other.type && Near(pt, other.pt) && Near(eta, other.eta) &&
+         Near(phi, other.phi) && charge == other.charge;
+}
+
+bool CommonTrack::operator==(const CommonTrack& other) const {
+  return Near(pt, other.pt) && Near(eta, other.eta) && Near(phi, other.phi) &&
+         charge == other.charge && Near(d0_mm, other.d0_mm);
+}
+
+bool CommonEvent::operator==(const CommonEvent& other) const {
+  return run == other.run && event == other.event &&
+         objects == other.objects && tracks == other.tracks &&
+         Near(met, other.met) && Near(met_phi, other.met_phi);
+}
+
+CommonEvent CommonEvent::FromAod(const AodEvent& aod) {
+  CommonEvent out;
+  out.run = aod.run_number;
+  out.event = aod.event_number;
+  for (const PhysicsObject& obj : aod.objects) {
+    if (obj.type == ObjectType::kMet) {
+      out.met = obj.momentum.Pt();
+      out.met_phi = obj.momentum.Phi();
+      continue;
+    }
+    CommonObject common;
+    common.type = std::string(ObjectTypeName(obj.type));
+    common.pt = obj.momentum.Pt();
+    common.eta = obj.momentum.Eta();
+    common.phi = obj.momentum.Phi();
+    common.charge = obj.charge;
+    out.objects.push_back(std::move(common));
+  }
+  return out;
+}
+
+CommonEvent CommonEvent::FromReco(const RecoEvent& reco) {
+  CommonEvent out = FromAod(AodEvent::FromReco(reco));
+  for (const Track& track : reco.tracks) {
+    CommonTrack common;
+    common.pt = track.momentum.Pt();
+    common.eta = track.momentum.Eta();
+    common.phi = track.momentum.Phi();
+    common.charge = track.charge;
+    common.d0_mm = track.d0_mm;
+    out.tracks.push_back(common);
+  }
+  return out;
+}
+
+Json CommonEvent::ToJson() const {
+  Json json = Json::Object();
+  json["format"] = "daspos-common-l2";
+  json["version"] = 1;
+  json["run"] = run;
+  json["event"] = event;
+  Json object_list = Json::Array();
+  for (const CommonObject& obj : objects) {
+    Json entry = Json::Object();
+    entry["type"] = obj.type;
+    entry["pt"] = obj.pt;
+    entry["eta"] = obj.eta;
+    entry["phi"] = obj.phi;
+    entry["charge"] = obj.charge;
+    object_list.push_back(std::move(entry));
+  }
+  json["objects"] = std::move(object_list);
+  Json track_list = Json::Array();
+  for (const CommonTrack& track : tracks) {
+    Json entry = Json::Object();
+    entry["pt"] = track.pt;
+    entry["eta"] = track.eta;
+    entry["phi"] = track.phi;
+    entry["charge"] = track.charge;
+    entry["d0_mm"] = track.d0_mm;
+    track_list.push_back(std::move(entry));
+  }
+  json["tracks"] = std::move(track_list);
+  Json met_obj = Json::Object();
+  met_obj["et"] = met;
+  met_obj["phi"] = met_phi;
+  json["met"] = std::move(met_obj);
+  return json;
+}
+
+Result<CommonEvent> CommonEvent::FromJson(const Json& json) {
+  if (!json.is_object() ||
+      json.Get("format").as_string() != "daspos-common-l2") {
+    return Status::Corruption("not a daspos-common-l2 document");
+  }
+  CommonEvent out;
+  out.run = static_cast<uint32_t>(json.Get("run").as_int());
+  out.event = static_cast<uint64_t>(json.Get("event").as_int());
+  const Json& objects = json.Get("objects");
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const Json& entry = objects.at(i);
+    CommonObject obj;
+    obj.type = entry.Get("type").as_string();
+    obj.pt = entry.Get("pt").as_number();
+    obj.eta = entry.Get("eta").as_number();
+    obj.phi = entry.Get("phi").as_number();
+    obj.charge = static_cast<int>(entry.Get("charge").as_int());
+    out.objects.push_back(std::move(obj));
+  }
+  const Json& tracks = json.Get("tracks");
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    const Json& entry = tracks.at(i);
+    CommonTrack track;
+    track.pt = entry.Get("pt").as_number();
+    track.eta = entry.Get("eta").as_number();
+    track.phi = entry.Get("phi").as_number();
+    track.charge = static_cast<int>(entry.Get("charge").as_int());
+    track.d0_mm = entry.Get("d0_mm").as_number();
+    out.tracks.push_back(track);
+  }
+  const Json& met = json.Get("met");
+  out.met = met.Get("et").as_number();
+  out.met_phi = met.Get("phi").as_number();
+  return out;
+}
+
+}  // namespace level2
+}  // namespace daspos

@@ -1,0 +1,68 @@
+// The common simplified event format (§2.1): "a thin layer of software will
+// convert data in a relatively low-level format ... into a simplified
+// representation that can be used for further analysis or visualization".
+// CommonEvent is that representation; every experiment dialect (dialects.h)
+// converts to and from it losslessly for the fields it carries.
+#ifndef DASPOS_LEVEL2_COMMON_H_
+#define DASPOS_LEVEL2_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "event/aod.h"
+#include "event/reco.h"
+#include "serialize/json.h"
+#include "support/result.h"
+
+namespace daspos {
+namespace level2 {
+
+/// A simplified physics object ("electron", "muon", "photon", "jet").
+struct CommonObject {
+  std::string type;
+  double pt = 0.0;
+  double eta = 0.0;
+  double phi = 0.0;
+  int charge = 0;
+
+  bool operator==(const CommonObject& other) const;
+};
+
+/// A simplified track (for event displays and the D-lifetime exercise).
+struct CommonTrack {
+  double pt = 0.0;
+  double eta = 0.0;
+  double phi = 0.0;
+  int charge = 0;
+  /// Transverse impact parameter, millimetres.
+  double d0_mm = 0.0;
+
+  bool operator==(const CommonTrack& other) const;
+};
+
+/// One outreach-format event.
+struct CommonEvent {
+  uint32_t run = 0;
+  uint64_t event = 0;
+  std::vector<CommonObject> objects;
+  std::vector<CommonTrack> tracks;
+  double met = 0.0;
+  double met_phi = 0.0;
+
+  bool operator==(const CommonEvent& other) const;
+
+  /// From an AOD event (objects + MET; no tracks at this tier).
+  static CommonEvent FromAod(const AodEvent& aod);
+  /// From full reconstruction output (objects + MET + tracks).
+  static CommonEvent FromReco(const RecoEvent& reco);
+
+  /// The common JSON interchange document.
+  Json ToJson() const;
+  static Result<CommonEvent> FromJson(const Json& json);
+};
+
+}  // namespace level2
+}  // namespace daspos
+
+#endif  // DASPOS_LEVEL2_COMMON_H_

@@ -1,0 +1,478 @@
+#include "level2/dialects.h"
+
+#include <cstdio>
+#include <map>
+
+#include "serialize/binary.h"
+#include "support/strings.h"
+
+namespace daspos {
+namespace level2 {
+
+namespace {
+
+std::string FormatAttr(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// ------------------------------------------------------------ Atlas (XML)
+
+/// Minimal XML attribute scanner for the JiveXML-like dialect. Handles the
+/// subset this codec emits: elements with double-quoted attributes, no
+/// nested text content.
+class XmlScanner {
+ public:
+  explicit XmlScanner(std::string_view text) : text_(text) {}
+
+  /// Advances to the next element start tag; returns its name, or empty at
+  /// end of input. Attribute map is produced as a side effect.
+  Result<std::string> NextElement() {
+    attributes_.clear();
+    size_t open = text_.find('<', pos_);
+    if (open == std::string_view::npos) return std::string();
+    size_t cursor = open + 1;
+    if (cursor < text_.size() && text_[cursor] == '/') {
+      // Closing tag: skip it and recurse.
+      size_t close = text_.find('>', cursor);
+      if (close == std::string_view::npos) {
+        return Status::Corruption("unterminated closing tag");
+      }
+      pos_ = close + 1;
+      return NextElement();
+    }
+    size_t name_end = cursor;
+    while (name_end < text_.size() && !std::isspace(static_cast<unsigned char>(text_[name_end])) &&
+           text_[name_end] != '>' && text_[name_end] != '/') {
+      ++name_end;
+    }
+    std::string name(text_.substr(cursor, name_end - cursor));
+    cursor = name_end;
+    // Parse attributes until '>' or '/>'.
+    while (cursor < text_.size()) {
+      while (cursor < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[cursor]))) {
+        ++cursor;
+      }
+      if (cursor >= text_.size()) {
+        return Status::Corruption("unterminated element " + name);
+      }
+      if (text_[cursor] == '>' ) {
+        pos_ = cursor + 1;
+        return name;
+      }
+      if (text_[cursor] == '/' || text_[cursor] == '?') {
+        size_t close = text_.find('>', cursor);
+        if (close == std::string_view::npos) {
+          return Status::Corruption("unterminated element " + name);
+        }
+        pos_ = close + 1;
+        return name;
+      }
+      size_t eq = text_.find('=', cursor);
+      if (eq == std::string_view::npos) {
+        return Status::Corruption("attribute without '=' in " + name);
+      }
+      std::string key(Trim(text_.substr(cursor, eq - cursor)));
+      size_t quote_open = text_.find('"', eq);
+      if (quote_open == std::string_view::npos) {
+        return Status::Corruption("attribute without value in " + name);
+      }
+      size_t quote_close = text_.find('"', quote_open + 1);
+      if (quote_close == std::string_view::npos) {
+        return Status::Corruption("unterminated attribute in " + name);
+      }
+      attributes_[key] =
+          std::string(text_.substr(quote_open + 1, quote_close - quote_open - 1));
+      cursor = quote_close + 1;
+    }
+    return Status::Corruption("unterminated element " + name);
+  }
+
+  Result<double> Attr(const std::string& key) const {
+    auto it = attributes_.find(key);
+    if (it == attributes_.end()) {
+      return Status::Corruption("missing attribute '" + key + "'");
+    }
+    return ParseDouble(it->second);
+  }
+  Result<std::string> StringAttr(const std::string& key) const {
+    auto it = attributes_.find(key);
+    if (it == attributes_.end()) {
+      return Status::Corruption("missing attribute '" + key + "'");
+    }
+    return it->second;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::map<std::string, std::string> attributes_;
+};
+
+class AtlasCodec : public Level2Codec {
+ public:
+  Experiment experiment() const override { return Experiment::kAtlas; }
+  std::string FormatName() const override { return "JiveXML-like (XML)"; }
+  bool SelfDocumenting() const override { return true; }
+
+  std::string Encode(const CommonEvent& event) const override {
+    std::string out = "<?xml version=\"1.0\"?>\n";
+    out += "<JiveEvent run=\"" + std::to_string(event.run) + "\" event=\"" +
+           std::to_string(event.event) + "\">\n";
+    for (const CommonObject& obj : event.objects) {
+      out += "  <Object type=\"" + obj.type + "\" pt=\"" +
+             FormatAttr(obj.pt) + "\" eta=\"" + FormatAttr(obj.eta) +
+             "\" phi=\"" + FormatAttr(obj.phi) + "\" charge=\"" +
+             std::to_string(obj.charge) + "\"/>\n";
+    }
+    for (const CommonTrack& track : event.tracks) {
+      out += "  <Track pt=\"" + FormatAttr(track.pt) + "\" eta=\"" +
+             FormatAttr(track.eta) + "\" phi=\"" + FormatAttr(track.phi) +
+             "\" charge=\"" + std::to_string(track.charge) + "\" d0=\"" +
+             FormatAttr(track.d0_mm) + "\"/>\n";
+    }
+    out += "  <MissingET et=\"" + FormatAttr(event.met) + "\" phi=\"" +
+           FormatAttr(event.met_phi) + "\"/>\n";
+    out += "</JiveEvent>\n";
+    return out;
+  }
+
+  Result<CommonEvent> Decode(std::string_view bytes) const override {
+    XmlScanner scanner(bytes);
+    CommonEvent event;
+    bool saw_root = false;
+    for (;;) {
+      DASPOS_ASSIGN_OR_RETURN(std::string element, scanner.NextElement());
+      if (element.empty()) break;
+      if (element == "?xml") continue;
+      if (element == "JiveEvent") {
+        DASPOS_ASSIGN_OR_RETURN(double run, scanner.Attr("run"));
+        DASPOS_ASSIGN_OR_RETURN(double number, scanner.Attr("event"));
+        event.run = static_cast<uint32_t>(run);
+        event.event = static_cast<uint64_t>(number);
+        saw_root = true;
+      } else if (element == "Object") {
+        CommonObject obj;
+        DASPOS_ASSIGN_OR_RETURN(obj.type, scanner.StringAttr("type"));
+        DASPOS_ASSIGN_OR_RETURN(obj.pt, scanner.Attr("pt"));
+        DASPOS_ASSIGN_OR_RETURN(obj.eta, scanner.Attr("eta"));
+        DASPOS_ASSIGN_OR_RETURN(obj.phi, scanner.Attr("phi"));
+        DASPOS_ASSIGN_OR_RETURN(double charge, scanner.Attr("charge"));
+        obj.charge = static_cast<int>(charge);
+        event.objects.push_back(std::move(obj));
+      } else if (element == "Track") {
+        CommonTrack track;
+        DASPOS_ASSIGN_OR_RETURN(track.pt, scanner.Attr("pt"));
+        DASPOS_ASSIGN_OR_RETURN(track.eta, scanner.Attr("eta"));
+        DASPOS_ASSIGN_OR_RETURN(track.phi, scanner.Attr("phi"));
+        DASPOS_ASSIGN_OR_RETURN(double charge, scanner.Attr("charge"));
+        track.charge = static_cast<int>(charge);
+        DASPOS_ASSIGN_OR_RETURN(track.d0_mm, scanner.Attr("d0"));
+        event.tracks.push_back(track);
+      } else if (element == "MissingET") {
+        DASPOS_ASSIGN_OR_RETURN(event.met, scanner.Attr("et"));
+        DASPOS_ASSIGN_OR_RETURN(event.met_phi, scanner.Attr("phi"));
+      } else {
+        return Status::Corruption("unexpected element <" + element + ">");
+      }
+    }
+    if (!saw_root) {
+      return Status::Corruption("not a JiveEvent document");
+    }
+    return event;
+  }
+};
+
+// --------------------------------------------------------------- CMS (ig)
+
+class CmsCodec : public Level2Codec {
+ public:
+  Experiment experiment() const override { return Experiment::kCms; }
+  std::string FormatName() const override { return "ig-like (JSON)"; }
+  bool SelfDocumenting() const override { return true; }
+
+  std::string Encode(const CommonEvent& event) const override {
+    Json json = Json::Object();
+    json["ig_version"] = 1;
+    json["run"] = event.run;
+    json["event"] = event.event;
+    Json collections = Json::Object();
+    Json objects = Json::Array();
+    for (const CommonObject& obj : event.objects) {
+      Json row = Json::Array();
+      row.push_back(obj.type);
+      row.push_back(obj.pt);
+      row.push_back(obj.eta);
+      row.push_back(obj.phi);
+      row.push_back(obj.charge);
+      objects.push_back(std::move(row));
+    }
+    collections["PhysicsObjects_V1"] = std::move(objects);
+    Json tracks = Json::Array();
+    for (const CommonTrack& track : event.tracks) {
+      Json row = Json::Array();
+      row.push_back(track.pt);
+      row.push_back(track.eta);
+      row.push_back(track.phi);
+      row.push_back(track.charge);
+      row.push_back(track.d0_mm);
+      tracks.push_back(std::move(row));
+    }
+    collections["Tracks_V1"] = std::move(tracks);
+    Json met = Json::Array();
+    Json met_row = Json::Array();
+    met_row.push_back(event.met);
+    met_row.push_back(event.met_phi);
+    met.push_back(std::move(met_row));
+    collections["MET_V1"] = std::move(met);
+    json["Collections"] = std::move(collections);
+    // Self-description block (the "ig-specs" of Table 1).
+    Json types = Json::Object();
+    types["PhysicsObjects_V1"] = "type, pt, eta, phi, charge";
+    types["Tracks_V1"] = "pt, eta, phi, charge, d0_mm";
+    types["MET_V1"] = "et, phi";
+    json["Types"] = std::move(types);
+    return json.Dump(1);
+  }
+
+  Result<CommonEvent> Decode(std::string_view bytes) const override {
+    DASPOS_ASSIGN_OR_RETURN(Json json, Json::Parse(bytes));
+    if (!json.is_object() || !json.Has("ig_version") ||
+        !json.Has("Collections")) {
+      return Status::Corruption("not an ig document");
+    }
+    CommonEvent event;
+    event.run = static_cast<uint32_t>(json.Get("run").as_int());
+    event.event = static_cast<uint64_t>(json.Get("event").as_int());
+    const Json& collections = json.Get("Collections");
+    const Json& objects = collections.Get("PhysicsObjects_V1");
+    for (size_t i = 0; i < objects.size(); ++i) {
+      const Json& row = objects.at(i);
+      if (row.size() != 5) return Status::Corruption("bad object row");
+      CommonObject obj;
+      obj.type = row.at(0).as_string();
+      obj.pt = row.at(1).as_number();
+      obj.eta = row.at(2).as_number();
+      obj.phi = row.at(3).as_number();
+      obj.charge = static_cast<int>(row.at(4).as_int());
+      event.objects.push_back(std::move(obj));
+    }
+    const Json& tracks = collections.Get("Tracks_V1");
+    for (size_t i = 0; i < tracks.size(); ++i) {
+      const Json& row = tracks.at(i);
+      if (row.size() != 5) return Status::Corruption("bad track row");
+      CommonTrack track;
+      track.pt = row.at(0).as_number();
+      track.eta = row.at(1).as_number();
+      track.phi = row.at(2).as_number();
+      track.charge = static_cast<int>(row.at(3).as_int());
+      track.d0_mm = row.at(4).as_number();
+      event.tracks.push_back(track);
+    }
+    const Json& met = collections.Get("MET_V1");
+    if (met.size() == 1 && met.at(0).size() == 2) {
+      event.met = met.at(0).at(0).as_number();
+      event.met_phi = met.at(0).at(1).as_number();
+    }
+    return event;
+  }
+};
+
+// ---------------------------------------------------- Alice/LHCb (binary)
+
+uint8_t TypeToByte(const std::string& type) {
+  if (type == "electron") return 0;
+  if (type == "muon") return 1;
+  if (type == "photon") return 2;
+  if (type == "jet") return 3;
+  return 255;
+}
+
+std::string ByteToType(uint8_t byte) {
+  switch (byte) {
+    case 0:
+      return "electron";
+    case 1:
+      return "muon";
+    case 2:
+      return "photon";
+    case 3:
+      return "jet";
+    default:
+      return "unknown";
+  }
+}
+
+class AliceCodec : public Level2Codec {
+ public:
+  Experiment experiment() const override { return Experiment::kAlice; }
+  std::string FormatName() const override { return "Root-like binary (ALI1)"; }
+  bool SelfDocumenting() const override { return false; }
+
+  std::string Encode(const CommonEvent& event) const override {
+    BinaryWriter w;
+    w.PutRaw("ALI1");
+    w.PutU32(event.run);
+    w.PutVarint(event.event);
+    w.PutVarint(event.objects.size());
+    for (const CommonObject& obj : event.objects) {
+      w.PutU8(TypeToByte(obj.type));
+      w.PutDouble(obj.pt);
+      w.PutDouble(obj.eta);
+      w.PutDouble(obj.phi);
+      w.PutSVarint(obj.charge);
+    }
+    w.PutVarint(event.tracks.size());
+    for (const CommonTrack& track : event.tracks) {
+      w.PutDouble(track.pt);
+      w.PutDouble(track.eta);
+      w.PutDouble(track.phi);
+      w.PutSVarint(track.charge);
+      w.PutDouble(track.d0_mm);
+    }
+    w.PutDouble(event.met);
+    w.PutDouble(event.met_phi);
+    return w.TakeBuffer();
+  }
+
+  Result<CommonEvent> Decode(std::string_view bytes) const override {
+    BinaryReader r(bytes);
+    DASPOS_ASSIGN_OR_RETURN(std::string magic, r.GetRaw(4));
+    if (magic != "ALI1") return Status::Corruption("not an ALI1 document");
+    CommonEvent event;
+    DASPOS_ASSIGN_OR_RETURN(event.run, r.GetU32());
+    DASPOS_ASSIGN_OR_RETURN(event.event, r.GetVarint());
+    DASPOS_ASSIGN_OR_RETURN(uint64_t n_objects, r.GetVarint());
+    for (uint64_t i = 0; i < n_objects; ++i) {
+      CommonObject obj;
+      DASPOS_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+      obj.type = ByteToType(type);
+      DASPOS_ASSIGN_OR_RETURN(obj.pt, r.GetDouble());
+      DASPOS_ASSIGN_OR_RETURN(obj.eta, r.GetDouble());
+      DASPOS_ASSIGN_OR_RETURN(obj.phi, r.GetDouble());
+      DASPOS_ASSIGN_OR_RETURN(int64_t charge, r.GetSVarint());
+      obj.charge = static_cast<int>(charge);
+      event.objects.push_back(std::move(obj));
+    }
+    DASPOS_ASSIGN_OR_RETURN(uint64_t n_tracks, r.GetVarint());
+    for (uint64_t i = 0; i < n_tracks; ++i) {
+      CommonTrack track;
+      DASPOS_ASSIGN_OR_RETURN(track.pt, r.GetDouble());
+      DASPOS_ASSIGN_OR_RETURN(track.eta, r.GetDouble());
+      DASPOS_ASSIGN_OR_RETURN(track.phi, r.GetDouble());
+      DASPOS_ASSIGN_OR_RETURN(int64_t charge, r.GetSVarint());
+      track.charge = static_cast<int>(charge);
+      DASPOS_ASSIGN_OR_RETURN(track.d0_mm, r.GetDouble());
+      event.tracks.push_back(track);
+    }
+    DASPOS_ASSIGN_OR_RETURN(event.met, r.GetDouble());
+    DASPOS_ASSIGN_OR_RETURN(event.met_phi, r.GetDouble());
+    if (!r.AtEnd()) return Status::Corruption("trailing bytes in ALI1");
+    return event;
+  }
+};
+
+class LhcbCodec : public Level2Codec {
+ public:
+  Experiment experiment() const override { return Experiment::kLhcb; }
+  std::string FormatName() const override { return "Root-like binary (LHCB)"; }
+  bool SelfDocumenting() const override { return false; }
+
+  // Different layout: magic, MET first, event number before run, tracks
+  // before objects, and per-record field order rotated.
+  std::string Encode(const CommonEvent& event) const override {
+    BinaryWriter w;
+    w.PutRaw("LHCB");
+    w.PutDouble(event.met);
+    w.PutDouble(event.met_phi);
+    w.PutVarint(event.event);
+    w.PutU32(event.run);
+    w.PutVarint(event.tracks.size());
+    for (const CommonTrack& track : event.tracks) {
+      w.PutDouble(track.eta);
+      w.PutDouble(track.phi);
+      w.PutDouble(track.pt);
+      w.PutDouble(track.d0_mm);
+      w.PutSVarint(track.charge);
+    }
+    w.PutVarint(event.objects.size());
+    for (const CommonObject& obj : event.objects) {
+      w.PutString(obj.type);
+      w.PutDouble(obj.eta);
+      w.PutDouble(obj.phi);
+      w.PutDouble(obj.pt);
+      w.PutSVarint(obj.charge);
+    }
+    return w.TakeBuffer();
+  }
+
+  Result<CommonEvent> Decode(std::string_view bytes) const override {
+    BinaryReader r(bytes);
+    DASPOS_ASSIGN_OR_RETURN(std::string magic, r.GetRaw(4));
+    if (magic != "LHCB") return Status::Corruption("not an LHCB document");
+    CommonEvent event;
+    DASPOS_ASSIGN_OR_RETURN(event.met, r.GetDouble());
+    DASPOS_ASSIGN_OR_RETURN(event.met_phi, r.GetDouble());
+    DASPOS_ASSIGN_OR_RETURN(event.event, r.GetVarint());
+    DASPOS_ASSIGN_OR_RETURN(event.run, r.GetU32());
+    DASPOS_ASSIGN_OR_RETURN(uint64_t n_tracks, r.GetVarint());
+    for (uint64_t i = 0; i < n_tracks; ++i) {
+      CommonTrack track;
+      DASPOS_ASSIGN_OR_RETURN(track.eta, r.GetDouble());
+      DASPOS_ASSIGN_OR_RETURN(track.phi, r.GetDouble());
+      DASPOS_ASSIGN_OR_RETURN(track.pt, r.GetDouble());
+      DASPOS_ASSIGN_OR_RETURN(track.d0_mm, r.GetDouble());
+      DASPOS_ASSIGN_OR_RETURN(int64_t charge, r.GetSVarint());
+      track.charge = static_cast<int>(charge);
+      event.tracks.push_back(track);
+    }
+    DASPOS_ASSIGN_OR_RETURN(uint64_t n_objects, r.GetVarint());
+    for (uint64_t i = 0; i < n_objects; ++i) {
+      CommonObject obj;
+      DASPOS_ASSIGN_OR_RETURN(obj.type, r.GetString());
+      DASPOS_ASSIGN_OR_RETURN(obj.eta, r.GetDouble());
+      DASPOS_ASSIGN_OR_RETURN(obj.phi, r.GetDouble());
+      DASPOS_ASSIGN_OR_RETURN(obj.pt, r.GetDouble());
+      DASPOS_ASSIGN_OR_RETURN(int64_t charge, r.GetSVarint());
+      obj.charge = static_cast<int>(charge);
+      event.objects.push_back(std::move(obj));
+    }
+    if (!r.AtEnd()) return Status::Corruption("trailing bytes in LHCB");
+    return event;
+  }
+};
+
+}  // namespace
+
+const Level2Codec& CodecFor(Experiment experiment) {
+  static const AliceCodec alice;
+  static const AtlasCodec atlas;
+  static const CmsCodec cms;
+  static const LhcbCodec lhcb;
+  switch (experiment) {
+    case Experiment::kAlice:
+      return alice;
+    case Experiment::kAtlas:
+      return atlas;
+    case Experiment::kCms:
+      return cms;
+    case Experiment::kLhcb:
+      return lhcb;
+  }
+  return atlas;
+}
+
+Result<std::string> ConvertBetween(Experiment from, std::string_view bytes,
+                                   Experiment to) {
+  DASPOS_ASSIGN_OR_RETURN(CommonEvent event, CodecFor(from).Decode(bytes));
+  return CodecFor(to).Encode(event);
+}
+
+bool DecodableAs(Experiment experiment, std::string_view bytes) {
+  return CodecFor(experiment).Decode(bytes).ok();
+}
+
+}  // namespace level2
+}  // namespace daspos

@@ -1,0 +1,53 @@
+// The four experiment Level-2 dialects of Table 1, implemented as real,
+// mutually incompatible codecs:
+//   Atlas -> JiveXML-like XML text (self-documenting),
+//   CMS   -> "ig"-like JSON (self-documenting),
+//   Alice -> Root-like tagged binary,
+//   LHCb  -> Root-like binary with a different layout.
+// Direct exchange between dialects is impossible; every pair interoperates
+// only through the common format (common.h) — the "converter" architecture
+// §2.1 proposes.
+#ifndef DASPOS_LEVEL2_DIALECTS_H_
+#define DASPOS_LEVEL2_DIALECTS_H_
+
+#include <memory>
+#include <string>
+
+#include "event/experiment.h"
+#include "level2/common.h"
+#include "support/result.h"
+
+namespace daspos {
+namespace level2 {
+
+class Level2Codec {
+ public:
+  virtual ~Level2Codec() = default;
+
+  virtual Experiment experiment() const = 0;
+  /// Format label as it appears in the Table 1 regeneration.
+  virtual std::string FormatName() const = 0;
+  /// Whether the format carries its own description (Table 1 row
+  /// "self-documenting?"): text formats with named fields are; positional
+  /// binary layouts are not.
+  virtual bool SelfDocumenting() const = 0;
+
+  virtual std::string Encode(const CommonEvent& event) const = 0;
+  virtual Result<CommonEvent> Decode(std::string_view bytes) const = 0;
+};
+
+/// The codec for one experiment's dialect (process-lifetime singletons).
+const Level2Codec& CodecFor(Experiment experiment);
+
+/// Converts an event document between dialects via the common format.
+Result<std::string> ConvertBetween(Experiment from, std::string_view bytes,
+                                   Experiment to);
+
+/// True if `bytes` decodes under `experiment`'s dialect — used to build the
+/// E1 interoperability matrix (dialects reject each other's documents).
+bool DecodableAs(Experiment experiment, std::string_view bytes);
+
+}  // namespace level2
+}  // namespace daspos
+
+#endif  // DASPOS_LEVEL2_DIALECTS_H_

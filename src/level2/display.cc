@@ -1,0 +1,90 @@
+#include "level2/display.h"
+
+#include <cmath>
+
+namespace daspos {
+namespace level2 {
+
+namespace {
+/// Same curvature convention as the simulation: dphi = q*k*B*r/pt.
+constexpr double kCurvature = 0.15;
+}  // namespace
+
+Scene BuildScene(const CommonEvent& event, const DisplayConfig& config) {
+  Scene scene;
+  scene.run = event.run;
+  scene.event = event.event;
+  scene.met = event.met;
+  scene.met_phi = event.met_phi;
+
+  for (const CommonTrack& track : event.tracks) {
+    SceneTrack drawn;
+    drawn.charge = track.charge;
+    drawn.pt = track.pt;
+    double pt = std::max(0.1, track.pt);
+    for (int i = 0; i < config.samples_per_track; ++i) {
+      double r = config.outer_radius_m * (i + 1) /
+                 config.samples_per_track;
+      double phi = track.phi +
+                   track.charge * kCurvature * config.field_tesla * r / pt;
+      ScenePoint point;
+      point.x = r * std::cos(phi);
+      point.y = r * std::sin(phi);
+      point.z = r * std::sinh(track.eta);
+      drawn.points.push_back(point);
+    }
+    scene.tracks.push_back(std::move(drawn));
+  }
+
+  for (const CommonObject& obj : event.objects) {
+    SceneTower tower;
+    tower.object_type = obj.type;
+    tower.eta = obj.eta;
+    tower.phi = obj.phi;
+    // Logarithmic height so soft and hard objects both render.
+    tower.height = 0.1 * std::log1p(obj.pt);
+    scene.towers.push_back(std::move(tower));
+  }
+  return scene;
+}
+
+Json Scene::ToJson() const {
+  Json json = Json::Object();
+  json["run"] = run;
+  json["event"] = event;
+  Json track_list = Json::Array();
+  for (const SceneTrack& track : tracks) {
+    Json entry = Json::Object();
+    entry["charge"] = track.charge;
+    entry["pt"] = track.pt;
+    Json points = Json::Array();
+    for (const ScenePoint& point : track.points) {
+      Json coordinates = Json::Array();
+      coordinates.push_back(point.x);
+      coordinates.push_back(point.y);
+      coordinates.push_back(point.z);
+      points.push_back(std::move(coordinates));
+    }
+    entry["points"] = std::move(points);
+    track_list.push_back(std::move(entry));
+  }
+  json["tracks"] = std::move(track_list);
+  Json tower_list = Json::Array();
+  for (const SceneTower& tower : towers) {
+    Json entry = Json::Object();
+    entry["type"] = tower.object_type;
+    entry["eta"] = tower.eta;
+    entry["phi"] = tower.phi;
+    entry["height"] = tower.height;
+    tower_list.push_back(std::move(entry));
+  }
+  json["towers"] = std::move(tower_list);
+  Json met_entry = Json::Object();
+  met_entry["et"] = met;
+  met_entry["phi"] = met_phi;
+  json["met"] = std::move(met_entry);
+  return json;
+}
+
+}  // namespace level2
+}  // namespace daspos

@@ -1,0 +1,66 @@
+// Event-display scene model: turns a CommonEvent into drawable geometry
+// (helix polylines for tracks, towers for calorimeter objects, an arrow for
+// MET) serialized as JSON — the "common event display" consuming the common
+// format that §2.1 proposes.
+#ifndef DASPOS_LEVEL2_DISPLAY_H_
+#define DASPOS_LEVEL2_DISPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "level2/common.h"
+#include "serialize/json.h"
+
+namespace daspos {
+namespace level2 {
+
+struct DisplayConfig {
+  /// Solenoid field used to draw track curvature.
+  double field_tesla = 2.0;
+  /// Outer radius of the drawn tracking volume, metres.
+  double outer_radius_m = 1.1;
+  /// Polyline points per track.
+  int samples_per_track = 16;
+};
+
+/// A point in the detector's cartesian frame (metres).
+struct ScenePoint {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+/// One drawable track.
+struct SceneTrack {
+  std::vector<ScenePoint> points;
+  int charge = 0;
+  double pt = 0.0;
+};
+
+/// One drawable calorimeter tower.
+struct SceneTower {
+  std::string object_type;
+  double eta = 0.0;
+  double phi = 0.0;
+  /// Tower length scales with energy.
+  double height = 0.0;
+};
+
+struct Scene {
+  uint32_t run = 0;
+  uint64_t event = 0;
+  std::vector<SceneTrack> tracks;
+  std::vector<SceneTower> towers;
+  double met = 0.0;
+  double met_phi = 0.0;
+
+  Json ToJson() const;
+};
+
+/// Builds the scene for one event.
+Scene BuildScene(const CommonEvent& event, const DisplayConfig& config = {});
+
+}  // namespace level2
+}  // namespace daspos
+
+#endif  // DASPOS_LEVEL2_DISPLAY_H_

@@ -1,0 +1,149 @@
+#include "level2/files.h"
+
+#include <cctype>
+
+#include "serialize/binary.h"
+#include "serialize/json.h"
+
+namespace daspos {
+namespace level2 {
+
+namespace {
+
+constexpr char kAtlasTerminator[] = "</JiveEvent>";
+
+/// Binary framing shared by the Alice/LHCb file conventions, with separate
+/// magics so the files stay mutually unintelligible.
+std::string WriteBinaryFile(const char* magic, const Level2Codec& codec,
+                            const std::vector<CommonEvent>& events) {
+  BinaryWriter writer;
+  writer.PutRaw(std::string_view(magic, 4));
+  writer.PutVarint(events.size());
+  for (const CommonEvent& event : events) {
+    writer.PutString(codec.Encode(event));
+  }
+  return writer.TakeBuffer();
+}
+
+Result<std::vector<CommonEvent>> ReadBinaryFile(const char* magic,
+                                                const Level2Codec& codec,
+                                                std::string_view bytes) {
+  BinaryReader reader(bytes);
+  DASPOS_ASSIGN_OR_RETURN(std::string file_magic, reader.GetRaw(4));
+  if (file_magic != std::string_view(magic, 4)) {
+    return Status::Corruption("wrong event-file magic");
+  }
+  DASPOS_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
+  if (count > reader.remaining()) {
+    return Status::Corruption("event count exceeds file size");
+  }
+  std::vector<CommonEvent> events;
+  events.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    DASPOS_ASSIGN_OR_RETURN(std::string blob, reader.GetString());
+    DASPOS_ASSIGN_OR_RETURN(CommonEvent event, codec.Decode(blob));
+    events.push_back(std::move(event));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after event file");
+  }
+  return events;
+}
+
+}  // namespace
+
+std::string WriteEventFile(Experiment experiment,
+                           const std::vector<CommonEvent>& events) {
+  const Level2Codec& codec = CodecFor(experiment);
+  switch (experiment) {
+    case Experiment::kAtlas: {
+      // An XML event stream: concatenated standalone documents.
+      std::string out;
+      for (const CommonEvent& event : events) out += codec.Encode(event);
+      return out;
+    }
+    case Experiment::kCms: {
+      // One JSON file holding an array of ig documents.
+      Json file = Json::Object();
+      file["ig_file_version"] = 1;
+      Json event_list = Json::Array();
+      for (const CommonEvent& event : events) {
+        // Codec output is JSON text; parse to nest it structurally.
+        auto parsed = Json::Parse(codec.Encode(event));
+        event_list.push_back(std::move(parsed).value());
+      }
+      file["events"] = std::move(event_list);
+      return file.Dump(1);
+    }
+    case Experiment::kAlice:
+      return WriteBinaryFile("ALIF", codec, events);
+    case Experiment::kLhcb:
+      return WriteBinaryFile("LHCF", codec, events);
+  }
+  return {};
+}
+
+Result<std::vector<CommonEvent>> ReadEventFile(Experiment experiment,
+                                               std::string_view bytes) {
+  const Level2Codec& codec = CodecFor(experiment);
+  switch (experiment) {
+    case Experiment::kAtlas: {
+      std::vector<CommonEvent> events;
+      size_t pos = 0;
+      std::string data(bytes);
+      while (pos < data.size()) {
+        size_t end = data.find(kAtlasTerminator, pos);
+        if (end == std::string::npos) {
+          // Only whitespace may remain.
+          for (size_t i = pos; i < data.size(); ++i) {
+            if (!std::isspace(static_cast<unsigned char>(data[i]))) {
+              return Status::Corruption(
+                  "trailing non-event content in XML stream");
+            }
+          }
+          break;
+        }
+        size_t block_end = end + sizeof(kAtlasTerminator) - 1;
+        DASPOS_ASSIGN_OR_RETURN(
+            CommonEvent event,
+            codec.Decode(std::string_view(data).substr(pos, block_end - pos)));
+        events.push_back(std::move(event));
+        pos = block_end;
+      }
+      if (events.empty()) {
+        return Status::Corruption("no events in XML stream");
+      }
+      return events;
+    }
+    case Experiment::kCms: {
+      DASPOS_ASSIGN_OR_RETURN(Json file, Json::Parse(bytes));
+      if (!file.is_object() || !file.Has("ig_file_version")) {
+        return Status::Corruption("not an ig event file");
+      }
+      const Json& event_list = file.Get("events");
+      std::vector<CommonEvent> events;
+      events.reserve(event_list.size());
+      for (size_t i = 0; i < event_list.size(); ++i) {
+        DASPOS_ASSIGN_OR_RETURN(CommonEvent event,
+                                codec.Decode(event_list.at(i).Dump()));
+        events.push_back(std::move(event));
+      }
+      return events;
+    }
+    case Experiment::kAlice:
+      return ReadBinaryFile("ALIF", codec, bytes);
+    case Experiment::kLhcb:
+      return ReadBinaryFile("LHCF", codec, bytes);
+  }
+  return Status::InvalidArgument("unknown experiment");
+}
+
+Result<std::string> ConvertEventFile(Experiment from, std::string_view bytes,
+                                     Experiment to) {
+  DASPOS_ASSIGN_OR_RETURN(std::vector<CommonEvent> events,
+                          ReadEventFile(from, bytes));
+  return WriteEventFile(to, events);
+}
+
+}  // namespace level2
+}  // namespace daspos

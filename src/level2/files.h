@@ -1,0 +1,32 @@
+// Multi-event Level-2 files: outreach datasets are distributed as files of
+// many events, in each experiment's own container convention — concatenated
+// XML documents (Atlas), a JSON array file (CMS), and count-prefixed binary
+// framings (Alice, LHCb). Conversion between file dialects goes through the
+// common format, event by event, exactly like single events.
+#ifndef DASPOS_LEVEL2_FILES_H_
+#define DASPOS_LEVEL2_FILES_H_
+
+#include <string>
+#include <vector>
+
+#include "level2/dialects.h"
+
+namespace daspos {
+namespace level2 {
+
+/// Writes `events` as one file in `experiment`'s dialect.
+std::string WriteEventFile(Experiment experiment,
+                           const std::vector<CommonEvent>& events);
+
+/// Reads a dialect file back into common events.
+Result<std::vector<CommonEvent>> ReadEventFile(Experiment experiment,
+                                               std::string_view bytes);
+
+/// Converts a whole file between dialects via the common format.
+Result<std::string> ConvertEventFile(Experiment from, std::string_view bytes,
+                                     Experiment to);
+
+}  // namespace level2
+}  // namespace daspos
+
+#endif  // DASPOS_LEVEL2_FILES_H_

@@ -1,0 +1,173 @@
+#include "level2/masterclass.h"
+
+#include <cmath>
+
+#include "event/fourvector.h"
+#include "stats/fits.h"
+
+namespace daspos {
+namespace level2 {
+
+namespace {
+
+FourVector ObjectMomentum(const CommonObject& obj, double mass) {
+  return FourVector::FromPtEtaPhiM(obj.pt, obj.eta, obj.phi, mass);
+}
+
+}  // namespace
+
+bool MasterClassResult::ConsistentWithReference(double n_sigma) const {
+  if (uncertainty <= 0.0) return false;
+  return std::fabs(measured - reference) <= n_sigma * uncertainty;
+}
+
+Result<MasterClassResult> ZMassExercise(
+    const std::vector<CommonEvent>& events) {
+  MasterClassResult result;
+  result.exercise = "Z mass";
+  result.reference = 91.1876;
+  result.histogram = Histo1D("/masterclass/z_mass", 60, 60.0, 120.0);
+
+  for (const CommonEvent& event : events) {
+    const CommonObject* best_plus = nullptr;
+    const CommonObject* best_minus = nullptr;
+    for (const CommonObject& obj : event.objects) {
+      if (obj.type != "muon" || obj.pt < 20.0) continue;
+      if (obj.charge > 0 && (best_plus == nullptr || obj.pt > best_plus->pt)) {
+        best_plus = &obj;
+      }
+      if (obj.charge < 0 &&
+          (best_minus == nullptr || obj.pt > best_minus->pt)) {
+        best_minus = &obj;
+      }
+    }
+    if (best_plus == nullptr || best_minus == nullptr) continue;
+    double mass = InvariantMass(ObjectMomentum(*best_plus, 0.105),
+                                ObjectMomentum(*best_minus, 0.105));
+    result.histogram.Fill(mass);
+  }
+  if (result.histogram.Integral() < 20.0) {
+    return Status::FailedPrecondition(
+        "too few dimuon candidates for the Z exercise");
+  }
+  DASPOS_ASSIGN_OR_RETURN(PeakFit fit,
+                          FitGaussianPeak(result.histogram, 91.0, 3.0));
+  if (!fit.converged) {
+    return Status::FailedPrecondition("Z mass fit did not converge");
+  }
+  result.measured = fit.mean;
+  // Statistical error on the fitted mean ~ sigma / sqrt(N_peak).
+  result.uncertainty =
+      fit.sigma / std::sqrt(std::max(1.0, fit.amplitude));
+  return result;
+}
+
+Result<MasterClassResult> WAsymmetryExercise(
+    const std::vector<CommonEvent>& events) {
+  MasterClassResult result;
+  result.exercise = "W charge asymmetry";
+  // (0.574 - 0.426) from the generator's W+/W- mix.
+  result.reference = 0.148;
+  result.histogram = Histo1D("/masterclass/w_lepton_charge", 2, -1.5, 1.5);
+
+  double plus = 0.0;
+  double minus = 0.0;
+  for (const CommonEvent& event : events) {
+    // Single-muon + MET signature.
+    const CommonObject* muon = nullptr;
+    int muons = 0;
+    for (const CommonObject& obj : event.objects) {
+      if (obj.type == "muon" && obj.pt > 20.0) {
+        ++muons;
+        muon = &obj;
+      }
+    }
+    if (muons != 1 || event.met < 15.0) continue;
+    result.histogram.Fill(muon->charge > 0 ? 1.0 : -1.0);
+    if (muon->charge > 0) {
+      plus += 1.0;
+    } else {
+      minus += 1.0;
+    }
+  }
+  double total = plus + minus;
+  if (total < 50.0) {
+    return Status::FailedPrecondition(
+        "too few W candidates for the asymmetry exercise");
+  }
+  result.measured = (plus - minus) / total;
+  result.uncertainty = 2.0 * std::sqrt(plus * minus / total) / total;
+  return result;
+}
+
+Result<MasterClassResult> HiggsDiphotonExercise(
+    const std::vector<CommonEvent>& events) {
+  MasterClassResult result;
+  result.exercise = "H -> gamma gamma";
+  result.reference = 125.25;
+  result.histogram = Histo1D("/masterclass/diphoton_mass", 40, 105.0, 145.0);
+
+  for (const CommonEvent& event : events) {
+    const CommonObject* lead = nullptr;
+    const CommonObject* sublead = nullptr;
+    for (const CommonObject& obj : event.objects) {
+      if (obj.type != "photon" || obj.pt < 20.0) continue;
+      if (lead == nullptr || obj.pt > lead->pt) {
+        sublead = lead;
+        lead = &obj;
+      } else if (sublead == nullptr || obj.pt > sublead->pt) {
+        sublead = &obj;
+      }
+    }
+    if (lead == nullptr || sublead == nullptr) continue;
+    result.histogram.Fill(InvariantMass(ObjectMomentum(*lead, 0.0),
+                                        ObjectMomentum(*sublead, 0.0)));
+  }
+  if (result.histogram.Integral() < 20.0) {
+    return Status::FailedPrecondition(
+        "too few diphoton candidates for the Higgs exercise");
+  }
+  DASPOS_ASSIGN_OR_RETURN(PeakFit fit,
+                          FitGaussianPeak(result.histogram, 125.0, 2.0));
+  if (!fit.converged) {
+    return Status::FailedPrecondition("diphoton fit did not converge");
+  }
+  result.measured = fit.mean;
+  result.uncertainty = fit.sigma / std::sqrt(std::max(1.0, fit.amplitude));
+  return result;
+}
+
+Result<MasterClassResult> DLifetimeExercise(
+    const std::vector<CommonEvent>& events, double reference_mean_d0_mm) {
+  MasterClassResult result;
+  result.exercise = "D lifetime";
+  result.reference = reference_mean_d0_mm;
+  result.histogram = Histo1D("/masterclass/track_d0", 40, 0.0, 0.8);
+
+  double sum = 0.0;
+  double sum2 = 0.0;
+  uint64_t count = 0;
+  for (const CommonEvent& event : events) {
+    for (const CommonTrack& track : event.tracks) {
+      if (track.pt < 0.8) continue;
+      double d0 = std::fabs(track.d0_mm);
+      result.histogram.Fill(d0);
+      sum += d0;
+      sum2 += d0 * d0;
+      ++count;
+    }
+  }
+  if (count < 50) {
+    return Status::FailedPrecondition(
+        "too few displaced tracks for the lifetime exercise");
+  }
+  result.measured = sum / static_cast<double>(count);
+  double variance =
+      sum2 / static_cast<double>(count) - result.measured * result.measured;
+  result.uncertainty =
+      std::sqrt(std::max(0.0, variance) / static_cast<double>(count));
+  return result;
+}
+
+}  // namespace level2
+}  // namespace daspos

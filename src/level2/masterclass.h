@@ -1,0 +1,57 @@
+// Master-class exercises: the guided analyses of Table 1's "Master Class
+// uses" row (W, Z, Higgs, D lifetime), implemented over the common Level-2
+// format so any experiment's converted data can drive any exercise — the
+// cross-experiment comparison §2.1 motivates.
+#ifndef DASPOS_LEVEL2_MASTERCLASS_H_
+#define DASPOS_LEVEL2_MASTERCLASS_H_
+
+#include <string>
+#include <vector>
+
+#include "hist/histo1d.h"
+#include "level2/common.h"
+#include "support/result.h"
+
+namespace daspos {
+namespace level2 {
+
+/// Outcome of one exercise.
+struct MasterClassResult {
+  std::string exercise;
+  /// The measured quantity and its statistical uncertainty.
+  double measured = 0.0;
+  double uncertainty = 0.0;
+  /// The textbook reference value the students compare against.
+  double reference = 0.0;
+  /// The spectrum the students look at.
+  Histo1D histogram;
+
+  /// |measured - reference| within n_sigma uncertainties.
+  bool ConsistentWithReference(double n_sigma = 3.0) const;
+};
+
+/// Z-mass measurement: opposite-charge dimuon mass peak, Gaussian+linear
+/// fit. Needs events with >= 2 muons.
+Result<MasterClassResult> ZMassExercise(
+    const std::vector<CommonEvent>& events);
+
+/// W charge asymmetry: (N(mu+) - N(mu-)) / total in single-muon + MET
+/// events. Reference reflects the LHC production asymmetry.
+Result<MasterClassResult> WAsymmetryExercise(
+    const std::vector<CommonEvent>& events);
+
+/// H -> gamma gamma: diphoton mass peak over background, sideband-
+/// subtracted yield and fitted mass.
+Result<MasterClassResult> HiggsDiphotonExercise(
+    const std::vector<CommonEvent>& events);
+
+/// D-meson lifetime: exponential fit to the impact-parameter spectrum of
+/// displaced two-track candidates. `reference_mean_d0_mm` is the expected
+/// mean |d0| for the known lifetime in this detector.
+Result<MasterClassResult> DLifetimeExercise(
+    const std::vector<CommonEvent>& events, double reference_mean_d0_mm);
+
+}  // namespace level2
+}  // namespace daspos
+
+#endif  // DASPOS_LEVEL2_MASTERCLASS_H_

@@ -1,0 +1,48 @@
+#include "level2/outreach.h"
+
+namespace daspos {
+namespace level2 {
+
+std::vector<OutreachProfile> AllOutreachProfiles() {
+  std::vector<OutreachProfile> profiles;
+
+  OutreachProfile alice;
+  alice.experiment = Experiment::kAlice;
+  alice.event_display = "Root-based display";
+  alice.geometry_format = "Root";
+  alice.analysis_tools = "X/Root-based browser";
+  alice.master_class_uses = "V0 decays, general tracks";
+  alice.comments = "Root too heavy for classroom use";
+
+  OutreachProfile atlas;
+  atlas.experiment = Experiment::kAtlas;
+  atlas.event_display = "ATLANTIS, VP1 (Java-based)";
+  atlas.geometry_format = "XML, full geometry";
+  atlas.analysis_tools = "MINERVA, HYPATIA, LPPP, CAMELIA";
+  atlas.master_class_uses = "W, Z, Higgs with large MC samples";
+
+  OutreachProfile cms;
+  cms.experiment = Experiment::kCms;
+  cms.event_display = "iSpy";
+  cms.geometry_format = "XML/JSON";
+  cms.analysis_tools = "JavaScript-based tools";
+  cms.master_class_uses = "W, Z, Higgs; different datasets, less MC";
+
+  OutreachProfile lhcb;
+  lhcb.experiment = Experiment::kLhcb;
+  lhcb.event_display = "Panoramix (OpenInventor)";
+  lhcb.geometry_format = "XML";
+  lhcb.analysis_tools = "X-based tools";
+  lhcb.master_class_uses = "D lifetime";
+
+  for (OutreachProfile profile : {alice, atlas, cms, lhcb}) {
+    const Level2Codec& codec = CodecFor(profile.experiment);
+    profile.data_format = codec.FormatName();
+    profile.self_documenting = codec.SelfDocumenting();
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+}  // namespace level2
+}  // namespace daspos

@@ -1,0 +1,35 @@
+// Per-experiment outreach profiles: the descriptive content of the paper's
+// Table 1 bound to the actually-implemented dialects, so the E1 bench
+// regenerates the table from live objects instead of hard-coded prose.
+#ifndef DASPOS_LEVEL2_OUTREACH_H_
+#define DASPOS_LEVEL2_OUTREACH_H_
+
+#include <string>
+#include <vector>
+
+#include "event/experiment.h"
+#include "level2/dialects.h"
+
+namespace daspos {
+namespace level2 {
+
+/// One column of Table 1.
+struct OutreachProfile {
+  Experiment experiment;
+  std::string event_display;
+  std::string geometry_format;
+  std::string analysis_tools;
+  /// Data format label — taken live from the implemented codec.
+  std::string data_format;
+  bool self_documenting = false;
+  std::string master_class_uses;
+  std::string comments;
+};
+
+/// The four profiles, Table 1 order (Alice, Atlas, CMS, LHCb).
+std::vector<OutreachProfile> AllOutreachProfiles();
+
+}  // namespace level2
+}  // namespace daspos
+
+#endif  // DASPOS_LEVEL2_OUTREACH_H_

@@ -1,0 +1,58 @@
+#include "lhada/database.h"
+
+#include "support/strings.h"
+
+namespace daspos {
+namespace lhada {
+
+Result<std::string> AnalysisDatabase::Submit(const std::string& document) {
+  DASPOS_ASSIGN_OR_RETURN(AnalysisDescription description,
+                          AnalysisDescription::Parse(document));
+  const std::string& name = description.name();
+  if (documents_.count(name) > 0) {
+    return Status::AlreadyExists("analysis '" + name +
+                                 "' already in the database");
+  }
+  // Store the canonical form so lookups are byte-stable regardless of the
+  // submitter's formatting.
+  documents_.emplace(name, description.Serialize());
+  order_.push_back(name);
+  return name;
+}
+
+Result<std::string> AnalysisDatabase::GetDocument(
+    const std::string& name) const {
+  auto it = documents_.find(name);
+  if (it == documents_.end()) {
+    return Status::NotFound("no analysis '" + name + "' in the database");
+  }
+  return it->second;
+}
+
+Result<AnalysisDescription> AnalysisDatabase::GetAnalysis(
+    const std::string& name) const {
+  DASPOS_ASSIGN_OR_RETURN(std::string document, GetDocument(name));
+  return AnalysisDescription::Parse(document);
+}
+
+bool AnalysisDatabase::Has(const std::string& name) const {
+  return documents_.count(name) > 0;
+}
+
+std::vector<std::string> AnalysisDatabase::Names() const { return order_; }
+
+std::vector<std::string> AnalysisDatabase::Search(
+    const std::string& query) const {
+  std::string needle = ToLower(query);
+  std::vector<std::string> out;
+  for (const std::string& name : order_) {
+    if (ToLower(name).find(needle) != std::string::npos ||
+        ToLower(documents_.at(name)).find(needle) != std::string::npos) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace lhada
+}  // namespace daspos

@@ -1,0 +1,45 @@
+// The "informal common analysis database" of §2.3: phenomenologists deposit
+// analysis descriptions (lhada.h documents) under stable identifiers and
+// retrieve them for reinterpretation. Descriptions are stored in their
+// canonical text form, so the database preserves *documents*, not binaries.
+#ifndef DASPOS_LHADA_DATABASE_H_
+#define DASPOS_LHADA_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lhada/lhada.h"
+#include "support/result.h"
+
+namespace daspos {
+namespace lhada {
+
+class AnalysisDatabase {
+ public:
+  /// Validates (by parsing) and stores a description document under the
+  /// analysis name declared inside it.
+  Result<std::string> Submit(const std::string& document);
+
+  /// Retrieves the canonical document.
+  Result<std::string> GetDocument(const std::string& name) const;
+
+  /// Parses and returns the executable description.
+  Result<AnalysisDescription> GetAnalysis(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+  std::vector<std::string> Names() const;
+  size_t size() const { return documents_.size(); }
+
+  /// Case-insensitive substring search over names and cut names.
+  std::vector<std::string> Search(const std::string& query) const;
+
+ private:
+  std::map<std::string, std::string> documents_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace lhada
+}  // namespace daspos
+
+#endif  // DASPOS_LHADA_DATABASE_H_

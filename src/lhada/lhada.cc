@@ -1,0 +1,690 @@
+#include "lhada/lhada.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <set>
+
+#include "event/fourvector.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace daspos {
+namespace lhada {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+bool Compare(double lhs, CompareOp op, double rhs) {
+  switch (op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+namespace {
+
+Result<CompareOp> ParseOp(std::string_view token) {
+  if (token == "<") return CompareOp::kLt;
+  if (token == "<=") return CompareOp::kLe;
+  if (token == ">") return CompareOp::kGt;
+  if (token == ">=") return CompareOp::kGe;
+  if (token == "==") return CompareOp::kEq;
+  if (token == "!=") return CompareOp::kNe;
+  return Status::InvalidArgument("unknown comparison operator '" +
+                                 std::string(token) + "'");
+}
+
+Result<ObjectType> ParseBaseType(std::string_view token) {
+  if (token == "electron") return ObjectType::kElectron;
+  if (token == "muon") return ObjectType::kMuon;
+  if (token == "photon") return ObjectType::kPhoton;
+  if (token == "jet") return ObjectType::kJet;
+  return Status::InvalidArgument("unknown base collection '" +
+                                 std::string(token) +
+                                 "' (electron|muon|photon|jet)");
+}
+
+const std::set<std::string>& KnownAttributes() {
+  static const std::set<std::string> kAttributes = {
+      "pt", "eta", "abseta", "phi", "charge", "isolation", "displacement"};
+  return kAttributes;
+}
+
+double Attribute(const PhysicsObject& object, const std::string& name) {
+  if (name == "pt") return object.momentum.Pt();
+  if (name == "eta") return object.momentum.Eta();
+  if (name == "abseta") return std::fabs(object.momentum.Eta());
+  if (name == "phi") return object.momentum.Phi();
+  if (name == "charge") return object.charge;
+  if (name == "isolation") return object.isolation;
+  if (name == "displacement") return object.displacement_mm;
+  return 0.0;
+}
+
+/// Splits "name[3]" into collection name and index.
+Result<std::pair<std::string, int>> ParseIndexed(std::string_view token) {
+  size_t open = token.find('[');
+  size_t close = token.find(']');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return Status::InvalidArgument("expected '<collection>[i]', got '" +
+                                   std::string(token) + "'");
+  }
+  std::string name(Trim(token.substr(0, open)));
+  DASPOS_ASSIGN_OR_RETURN(uint64_t index,
+                          ParseU64(token.substr(open + 1, close - open - 1)));
+  return std::make_pair(name, static_cast<int>(index));
+}
+
+/// Splits a "fn(arg1, arg2)" call; returns {fn, args}.
+Result<std::pair<std::string, std::vector<std::string>>> ParseCall(
+    std::string_view token) {
+  size_t open = token.find('(');
+  if (open == std::string_view::npos || token.back() != ')') {
+    return Status::InvalidArgument("expected a function call, got '" +
+                                   std::string(token) + "'");
+  }
+  std::string fn(Trim(token.substr(0, open)));
+  std::string args_text(token.substr(open + 1, token.size() - open - 2));
+  std::vector<std::string> args;
+  for (const std::string& arg : Split(args_text, ',')) {
+    args.emplace_back(Trim(arg));
+  }
+  return std::make_pair(fn, args);
+}
+
+/// Splits a line into whitespace-separated tokens, but keeps function-call
+/// parentheses groups intact by rejoining tokens until parens balance.
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> raw;
+  std::string current;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        raw.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) raw.push_back(current);
+
+  std::vector<std::string> out;
+  for (const std::string& token : raw) {
+    if (!out.empty()) {
+      int balance = 0;
+      for (char c : out.back()) {
+        if (c == '(') ++balance;
+        if (c == ')') --balance;
+      }
+      if (balance > 0) {
+        out.back() += " " + token;
+        continue;
+      }
+    }
+    out.push_back(token);
+  }
+  return out;
+}
+
+/// Parses a quantity token: "met", "count(c)", "mass(a[i], b[j])",
+/// "dphi(a[i], b[j])", or "pt|eta|abseta|phi(c[i])".
+Result<Quantity> ParseQuantity(std::string_view token) {
+  Quantity quantity;
+  if (token == "met") {
+    quantity.kind = Quantity::Kind::kMet;
+    return quantity;
+  }
+  DASPOS_ASSIGN_OR_RETURN(auto call, ParseCall(token));
+  const auto& [fn, args] = call;
+  if (fn == "count") {
+    if (args.size() != 1) {
+      return Status::InvalidArgument("count takes one collection");
+    }
+    quantity.kind = Quantity::Kind::kCount;
+    quantity.collection_a = args[0];
+    return quantity;
+  }
+  if (fn == "mass" || fn == "dphi") {
+    if (args.size() != 2) {
+      return Status::InvalidArgument(fn + " takes two indexed candidates");
+    }
+    quantity.kind = fn == "mass" ? Quantity::Kind::kMass
+                                 : Quantity::Kind::kDeltaPhi;
+    DASPOS_ASSIGN_OR_RETURN(auto a, ParseIndexed(args[0]));
+    DASPOS_ASSIGN_OR_RETURN(auto b, ParseIndexed(args[1]));
+    quantity.collection_a = a.first;
+    quantity.index_a = a.second;
+    quantity.collection_b = b.first;
+    quantity.index_b = b.second;
+    return quantity;
+  }
+  if (fn == "pt" || fn == "eta" || fn == "abseta" || fn == "phi") {
+    if (args.size() != 1) {
+      return Status::InvalidArgument(fn + " takes one indexed candidate");
+    }
+    quantity.kind = Quantity::Kind::kAttribute;
+    quantity.attribute = fn;
+    DASPOS_ASSIGN_OR_RETURN(auto a, ParseIndexed(args[0]));
+    quantity.collection_a = a.first;
+    quantity.index_a = a.second;
+    return quantity;
+  }
+  return Status::InvalidArgument("unknown quantity '" + fn + "'");
+}
+
+std::string QuantityToString(const Quantity& quantity) {
+  switch (quantity.kind) {
+    case Quantity::Kind::kMet:
+      return "met";
+    case Quantity::Kind::kCount:
+      return "count(" + quantity.collection_a + ")";
+    case Quantity::Kind::kMass:
+    case Quantity::Kind::kDeltaPhi: {
+      const char* fn =
+          quantity.kind == Quantity::Kind::kMass ? "mass" : "dphi";
+      return std::string(fn) + "(" + quantity.collection_a + "[" +
+             std::to_string(quantity.index_a) + "], " +
+             quantity.collection_b + "[" +
+             std::to_string(quantity.index_b) + "])";
+    }
+    case Quantity::Kind::kAttribute:
+      return quantity.attribute + "(" + quantity.collection_a + "[" +
+             std::to_string(quantity.index_a) + "])";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<AnalysisDescription> AnalysisDescription::Parse(
+    const std::string& text) {
+  AnalysisDescription description;
+  ObjectDef* current_object = nullptr;
+  CutDef* current_cut = nullptr;
+  int line_number = 0;
+
+  auto fail = [&](const std::string& what) {
+    return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                   ": " + what);
+  };
+
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string line(raw_line);
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::vector<std::string> tokens = Tokenize(Trim(line));
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+
+    if (keyword == "analysis") {
+      if (tokens.size() != 2) return fail("'analysis' takes one name");
+      description.name_ = tokens[1];
+    } else if (keyword == "object") {
+      if (tokens.size() != 2) return fail("'object' takes one name");
+      description.objects_.push_back(ObjectDef{tokens[1], ObjectType::kJet, {}});
+      current_object = &description.objects_.back();
+      current_cut = nullptr;
+    } else if (keyword == "cut") {
+      if (tokens.size() != 2) return fail("'cut' takes one name");
+      description.cuts_.push_back(CutDef{tokens[1], {}, {}, {}});
+      current_cut = &description.cuts_.back();
+      current_object = nullptr;
+    } else if (keyword == "take") {
+      if (current_object == nullptr) return fail("'take' outside object");
+      if (tokens.size() != 2) return fail("'take' takes one base type");
+      auto base = ParseBaseType(tokens[1]);
+      if (!base.ok()) return fail(base.status().message());
+      current_object->base = *base;
+    } else if (keyword == "hist") {
+      if (current_cut == nullptr) return fail("'hist' outside cut");
+      if (tokens.size() != 6) {
+        return fail("'hist' needs '<tag> <quantity> <nbins> <lo> <hi>'");
+      }
+      HistDef hist;
+      hist.tag = tokens[1];
+      auto quantity = ParseQuantity(tokens[2]);
+      if (!quantity.ok()) return fail(quantity.status().message());
+      hist.quantity = *quantity;
+      auto nbins = ParseU64(tokens[3]);
+      if (!nbins.ok() || *nbins == 0) return fail("bad bin count");
+      hist.nbins = static_cast<int>(*nbins);
+      auto lo = ParseDouble(tokens[4]);
+      auto hi = ParseDouble(tokens[5]);
+      if (!lo.ok() || !hi.ok() || *hi <= *lo) return fail("bad hist range");
+      hist.lo = *lo;
+      hist.hi = *hi;
+      current_cut->hists.push_back(std::move(hist));
+    } else if (keyword == "require") {
+      if (current_cut == nullptr) return fail("'require' outside cut");
+      if (tokens.size() != 2) return fail("'require' takes one cut name");
+      current_cut->requires_cuts.push_back(tokens[1]);
+    } else if (keyword == "select") {
+      if (current_object != nullptr) {
+        if (tokens.size() != 4) {
+          return fail("object select needs '<attr> <op> <value>'");
+        }
+        if (KnownAttributes().count(tokens[1]) == 0) {
+          return fail("unknown attribute '" + tokens[1] + "'");
+        }
+        auto op = ParseOp(tokens[2]);
+        if (!op.ok()) return fail(op.status().message());
+        auto value = ParseDouble(tokens[3]);
+        if (!value.ok()) return fail("bad number '" + tokens[3] + "'");
+        current_object->cuts.push_back({tokens[1], *op, *value});
+      } else if (current_cut != nullptr) {
+        Condition condition;
+        if (tokens.size() >= 2 && tokens[1] == "met") {
+          if (tokens.size() != 4) return fail("met select needs '<op> <value>'");
+          condition.kind = Condition::Kind::kMet;
+          auto op = ParseOp(tokens[2]);
+          if (!op.ok()) return fail(op.status().message());
+          auto value = ParseDouble(tokens[3]);
+          if (!value.ok()) return fail("bad number");
+          condition.op = *op;
+          condition.value = *value;
+        } else if (tokens.size() >= 2) {
+          auto call = ParseCall(tokens[1]);
+          if (!call.ok()) return fail(call.status().message());
+          const auto& [fn, args] = *call;
+          if (fn == "count") {
+            if (args.size() != 1 || tokens.size() != 4) {
+              return fail("count(<collection>) <op> <value>");
+            }
+            condition.kind = Condition::Kind::kCount;
+            condition.collection_a = args[0];
+          } else if (fn == "mass" || fn == "dphi") {
+            if (args.size() != 2 || tokens.size() != 4) {
+              return fail(fn + "(<c>[i], <c>[j]) <op> <value>");
+            }
+            condition.kind = fn == "mass" ? Condition::Kind::kMass
+                                          : Condition::Kind::kDeltaPhi;
+            auto a = ParseIndexed(args[0]);
+            auto b = ParseIndexed(args[1]);
+            if (!a.ok()) return fail(a.status().message());
+            if (!b.ok()) return fail(b.status().message());
+            condition.collection_a = a->first;
+            condition.index_a = a->second;
+            condition.collection_b = b->first;
+            condition.index_b = b->second;
+          } else if (fn == "oppositecharge") {
+            if (args.size() != 2 || tokens.size() != 2) {
+              return fail("oppositecharge(<c>[i], <c>[j]) takes no comparison");
+            }
+            condition.kind = Condition::Kind::kOppositeCharge;
+            auto a = ParseIndexed(args[0]);
+            auto b = ParseIndexed(args[1]);
+            if (!a.ok()) return fail(a.status().message());
+            if (!b.ok()) return fail(b.status().message());
+            condition.collection_a = a->first;
+            condition.index_a = a->second;
+            condition.collection_b = b->first;
+            condition.index_b = b->second;
+          } else {
+            return fail("unknown function '" + fn + "'");
+          }
+          if (fn != "oppositecharge") {
+            auto op = ParseOp(tokens[2]);
+            if (!op.ok()) return fail(op.status().message());
+            auto value = ParseDouble(tokens[3]);
+            if (!value.ok()) return fail("bad number '" + tokens[3] + "'");
+            condition.op = *op;
+            condition.value = *value;
+          }
+        } else {
+          return fail("malformed select");
+        }
+        current_cut->conditions.push_back(std::move(condition));
+      } else {
+        return fail("'select' outside object/cut block");
+      }
+    } else {
+      return fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  DASPOS_RETURN_IF_ERROR(description.Validate());
+  return description;
+}
+
+Status AnalysisDescription::Validate() const {
+  if (name_.empty()) {
+    return Status::InvalidArgument("description needs an 'analysis' name");
+  }
+  std::set<std::string> object_names;
+  for (const ObjectDef& object : objects_) {
+    if (!object_names.insert(object.name).second) {
+      return Status::InvalidArgument("duplicate object '" + object.name +
+                                     "'");
+    }
+  }
+  std::set<std::string> cut_names;
+  for (const CutDef& cut : cuts_) {
+    if (object_names.count(cut.name) > 0 ||
+        !cut_names.insert(cut.name).second) {
+      return Status::InvalidArgument("duplicate name '" + cut.name + "'");
+    }
+    for (const std::string& required : cut.requires_cuts) {
+      if (cut_names.count(required) == 0 || required == cut.name) {
+        return Status::InvalidArgument(
+            "cut '" + cut.name + "' requires unknown or later cut '" +
+            required + "' (requires must reference earlier cuts)");
+      }
+    }
+    for (const Condition& condition : cut.conditions) {
+      auto check_collection = [&](const std::string& collection) -> Status {
+        if (collection.empty()) return Status::OK();
+        if (object_names.count(collection) == 0) {
+          return Status::InvalidArgument("cut '" + cut.name +
+                                         "' references unknown collection '" +
+                                         collection + "'");
+        }
+        return Status::OK();
+      };
+      if (condition.kind != Condition::Kind::kMet) {
+        DASPOS_RETURN_IF_ERROR(check_collection(condition.collection_a));
+      }
+      if (condition.kind == Condition::Kind::kMass ||
+          condition.kind == Condition::Kind::kDeltaPhi ||
+          condition.kind == Condition::Kind::kOppositeCharge) {
+        DASPOS_RETURN_IF_ERROR(check_collection(condition.collection_b));
+      }
+      if (condition.index_a < 0 || condition.index_b < 0) {
+        return Status::InvalidArgument("negative candidate index");
+      }
+    }
+    for (const HistDef& hist : cut.hists) {
+      auto check = [&](const std::string& collection) -> Status {
+        if (collection.empty() ||
+            object_names.count(collection) > 0) {
+          return Status::OK();
+        }
+        return Status::InvalidArgument(
+            "hist '" + hist.tag + "' references unknown collection '" +
+            collection + "'");
+      };
+      DASPOS_RETURN_IF_ERROR(check(hist.quantity.collection_a));
+      DASPOS_RETURN_IF_ERROR(check(hist.quantity.collection_b));
+    }
+  }
+  if (cuts_.empty()) {
+    return Status::InvalidArgument("description needs at least one cut");
+  }
+  return Status::OK();
+}
+
+std::map<std::string, std::vector<PhysicsObject>>
+AnalysisDescription::SelectObjects(const AodEvent& event) const {
+  std::map<std::string, std::vector<PhysicsObject>> out;
+  for (const ObjectDef& object : objects_) {
+    std::vector<PhysicsObject> selected;
+    for (const PhysicsObject& candidate : event.objects) {
+      if (candidate.type != object.base) continue;
+      bool pass = true;
+      for (const AttributeCut& cut : object.cuts) {
+        if (!Compare(Attribute(candidate, cut.attribute), cut.op,
+                     cut.value)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) selected.push_back(candidate);
+    }
+    std::sort(selected.begin(), selected.end(),
+              [](const PhysicsObject& a, const PhysicsObject& b) {
+                return a.momentum.Pt() > b.momentum.Pt();
+              });
+    out[object.name] = std::move(selected);
+  }
+  return out;
+}
+
+EventResult AnalysisDescription::Evaluate(const AodEvent& event) const {
+  auto collections = SelectObjects(event);
+  const PhysicsObject* met = event.Met();
+  double met_value = met != nullptr ? met->momentum.Pt() : 0.0;
+
+  EventResult result;
+  result.passed.resize(cuts_.size(), false);
+  std::map<std::string, bool> passed_by_name;
+
+  for (size_t c = 0; c < cuts_.size(); ++c) {
+    const CutDef& cut = cuts_[c];
+    bool pass = true;
+    for (const std::string& required : cut.requires_cuts) {
+      if (!passed_by_name[required]) pass = false;
+    }
+    for (const Condition& condition : cut.conditions) {
+      if (!pass) break;
+      switch (condition.kind) {
+        case Condition::Kind::kCount: {
+          double count = static_cast<double>(
+              collections[condition.collection_a].size());
+          pass = Compare(count, condition.op, condition.value);
+          break;
+        }
+        case Condition::Kind::kMet:
+          pass = Compare(met_value, condition.op, condition.value);
+          break;
+        case Condition::Kind::kMass:
+        case Condition::Kind::kDeltaPhi:
+        case Condition::Kind::kOppositeCharge: {
+          const auto& list_a = collections[condition.collection_a];
+          const auto& list_b = collections[condition.collection_b];
+          if (condition.index_a >= static_cast<int>(list_a.size()) ||
+              condition.index_b >= static_cast<int>(list_b.size())) {
+            pass = false;
+            break;
+          }
+          const PhysicsObject& a =
+              list_a[static_cast<size_t>(condition.index_a)];
+          const PhysicsObject& b =
+              list_b[static_cast<size_t>(condition.index_b)];
+          if (condition.kind == Condition::Kind::kOppositeCharge) {
+            pass = a.charge * b.charge < 0;
+          } else if (condition.kind == Condition::Kind::kMass) {
+            pass = Compare(InvariantMass(a.momentum, b.momentum),
+                           condition.op, condition.value);
+          } else {
+            pass = Compare(DeltaPhi(a.momentum, b.momentum), condition.op,
+                           condition.value);
+          }
+          break;
+        }
+      }
+    }
+    result.passed[c] = pass;
+    passed_by_name[cut.name] = pass;
+  }
+  result.all_passed = true;
+  for (bool passed : result.passed) result.all_passed &= passed;
+  return result;
+}
+
+Cutflow AnalysisDescription::Run(const std::vector<AodEvent>& events) const {
+  return RunWithHistograms(events).cutflow;
+}
+
+namespace {
+
+/// Evaluates a quantity on the selected collections; empty when an indexed
+/// candidate is absent.
+std::optional<double> EvaluateQuantity(
+    const Quantity& quantity,
+    std::map<std::string, std::vector<PhysicsObject>>& collections,
+    double met_value) {
+  switch (quantity.kind) {
+    case Quantity::Kind::kMet:
+      return met_value;
+    case Quantity::Kind::kCount:
+      return static_cast<double>(collections[quantity.collection_a].size());
+    case Quantity::Kind::kMass:
+    case Quantity::Kind::kDeltaPhi: {
+      const auto& list_a = collections[quantity.collection_a];
+      const auto& list_b = collections[quantity.collection_b];
+      if (quantity.index_a >= static_cast<int>(list_a.size()) ||
+          quantity.index_b >= static_cast<int>(list_b.size())) {
+        return std::nullopt;
+      }
+      const PhysicsObject& a = list_a[static_cast<size_t>(quantity.index_a)];
+      const PhysicsObject& b = list_b[static_cast<size_t>(quantity.index_b)];
+      return quantity.kind == Quantity::Kind::kMass
+                 ? InvariantMass(a.momentum, b.momentum)
+                 : DeltaPhi(a.momentum, b.momentum);
+    }
+    case Quantity::Kind::kAttribute: {
+      const auto& list = collections[quantity.collection_a];
+      if (quantity.index_a >= static_cast<int>(list.size())) {
+        return std::nullopt;
+      }
+      return Attribute(list[static_cast<size_t>(quantity.index_a)],
+                       quantity.attribute == "phi" ? "phi"
+                                                   : quantity.attribute);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+AnalysisDescription::RunOutput AnalysisDescription::RunWithHistograms(
+    const std::vector<AodEvent>& events) const {
+  RunOutput output;
+  for (const CutDef& cut : cuts_) output.cutflow.cut_names.push_back(cut.name);
+  output.cutflow.passed_counts.assign(cuts_.size(), 0);
+  output.cutflow.events = events.size();
+
+  // Book every declared histogram.
+  std::vector<std::vector<size_t>> hist_index(cuts_.size());
+  for (size_t c = 0; c < cuts_.size(); ++c) {
+    for (const HistDef& hist : cuts_[c].hists) {
+      hist_index[c].push_back(output.histograms.size());
+      output.histograms.emplace_back(
+          "/" + name_ + "/" + cuts_[c].name + "/" + hist.tag, hist.nbins,
+          hist.lo, hist.hi);
+    }
+  }
+
+  for (const AodEvent& event : events) {
+    EventResult result = Evaluate(event);
+    for (size_t c = 0; c < result.passed.size(); ++c) {
+      if (!result.passed[c]) continue;
+      ++output.cutflow.passed_counts[c];
+      if (hist_index[c].empty()) continue;
+      auto collections = SelectObjects(event);
+      const PhysicsObject* met = event.Met();
+      double met_value = met != nullptr ? met->momentum.Pt() : 0.0;
+      for (size_t h = 0; h < cuts_[c].hists.size(); ++h) {
+        auto value = EvaluateQuantity(cuts_[c].hists[h].quantity,
+                                      collections, met_value);
+        if (value.has_value()) {
+          output.histograms[hist_index[c][h]].Fill(*value, event.weight);
+        }
+      }
+    }
+  }
+  return output;
+}
+
+std::string Cutflow::Render() const {
+  TextTable table;
+  table.SetTitle("Cutflow (" + std::to_string(events) + " events):");
+  table.SetHeader({"cut", "passed", "efficiency"});
+  for (size_t c = 0; c < cut_names.size(); ++c) {
+    double efficiency =
+        events > 0 ? static_cast<double>(passed_counts[c]) / events : 0.0;
+    table.AddRow({cut_names[c], std::to_string(passed_counts[c]),
+                  FormatDouble(efficiency, 4)});
+  }
+  return table.Render();
+}
+
+std::string AnalysisDescription::Serialize() const {
+  std::string out = "analysis " + name_ + "\n";
+  for (const ObjectDef& object : objects_) {
+    out += "\nobject " + object.name + "\n";
+    out += "  take " + std::string(ObjectTypeName(object.base)) + "\n";
+    for (const AttributeCut& cut : object.cuts) {
+      out += "  select " + cut.attribute + " " +
+             std::string(CompareOpName(cut.op)) + " " +
+             FormatDouble(cut.value, 17) + "\n";
+    }
+  }
+  for (const CutDef& cut : cuts_) {
+    out += "\ncut " + cut.name + "\n";
+    for (const std::string& required : cut.requires_cuts) {
+      out += "  require " + required + "\n";
+    }
+    for (const Condition& condition : cut.conditions) {
+      out += "  select ";
+      switch (condition.kind) {
+        case Condition::Kind::kCount:
+          out += "count(" + condition.collection_a + ") " +
+                 std::string(CompareOpName(condition.op)) + " " +
+                 FormatDouble(condition.value, 17);
+          break;
+        case Condition::Kind::kMet:
+          out += "met " + std::string(CompareOpName(condition.op)) + " " +
+                 FormatDouble(condition.value, 17);
+          break;
+        case Condition::Kind::kMass:
+        case Condition::Kind::kDeltaPhi: {
+          const char* fn =
+              condition.kind == Condition::Kind::kMass ? "mass" : "dphi";
+          out += std::string(fn) + "(" + condition.collection_a + "[" +
+                 std::to_string(condition.index_a) + "], " +
+                 condition.collection_b + "[" +
+                 std::to_string(condition.index_b) + "]) " +
+                 std::string(CompareOpName(condition.op)) + " " +
+                 FormatDouble(condition.value, 17);
+          break;
+        }
+        case Condition::Kind::kOppositeCharge:
+          out += "oppositecharge(" + condition.collection_a + "[" +
+                 std::to_string(condition.index_a) + "], " +
+                 condition.collection_b + "[" +
+                 std::to_string(condition.index_b) + "])";
+          break;
+      }
+      out += "\n";
+    }
+    for (const HistDef& hist : cut.hists) {
+      out += "  hist " + hist.tag + " " + QuantityToString(hist.quantity) +
+             " " + std::to_string(hist.nbins) + " " +
+             FormatDouble(hist.lo, 17) + " " + FormatDouble(hist.hi, 17) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace lhada
+}  // namespace daspos

@@ -1,0 +1,166 @@
+// The Les Houches analysis database (§2.3, Recommendation 1b): "a common
+// platform to store analysis databases, collecting object definitions,
+// cuts, and all other information ... necessary to reproduce or use the
+// results of the analyses." This module implements a small declarative
+// analysis-description language (LHADA-style): object definitions with
+// per-candidate cuts, and named event-level cuts with dependencies, parsed
+// from plain text, validated, executable over AOD events, and serializable
+// back to canonical text — analysis preservation "at the abstract level of
+// analysis objects, rather than the preservation of a specific code base"
+// (§2.4).
+//
+// Grammar (line-oriented; '#' starts a comment):
+//   analysis <name>
+//   object <name>
+//     take <electron|muon|photon|jet>
+//     select <pt|eta|abseta|phi|charge|isolation|displacement> <op> <number>
+//   cut <name>
+//     require <earlier-cut-name>
+//     select count(<object-name>) <op> <number>
+//     select met <op> <number>
+//     select mass(<object-name>[i], <object-name>[j]) <op> <number>
+//     select dphi(<object-name>[i], <object-name>[j]) <op> <number>
+//     select oppositecharge(<object-name>[i], <object-name>[j])
+//     hist <tag> <quantity> <nbins> <lo> <hi>
+// with <op> one of < <= > >= == != and <quantity> one of met,
+// count(<c>), mass(<c>[i], <c>[j]), dphi(<c>[i], <c>[j]), or
+// pt|eta|abseta|phi(<c>[i]). Histograms fill when their cut passes, so a
+// preserved description regenerates the publication plots, not just the
+// cutflow (Recommendation 1a: "kinematic variables utilized should be
+// unambiguously defined").
+#ifndef DASPOS_LHADA_LHADA_H_
+#define DASPOS_LHADA_LHADA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "event/aod.h"
+#include "hist/histo1d.h"
+#include "support/result.h"
+
+namespace daspos {
+namespace lhada {
+
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+std::string_view CompareOpName(CompareOp op);
+bool Compare(double lhs, CompareOp op, double rhs);
+
+/// A per-candidate attribute cut inside an object block.
+struct AttributeCut {
+  std::string attribute;  // pt, eta, abseta, phi, charge, isolation, ...
+  CompareOp op = CompareOp::kGt;
+  double value = 0.0;
+};
+
+/// One object definition: a typed base collection filtered by cuts.
+/// Selected candidates are pt-ordered.
+struct ObjectDef {
+  std::string name;
+  ObjectType base = ObjectType::kJet;
+  std::vector<AttributeCut> cuts;
+};
+
+/// One condition inside a cut block.
+struct Condition {
+  enum class Kind { kCount, kMet, kMass, kDeltaPhi, kOppositeCharge };
+  Kind kind = Kind::kCount;
+  /// Collection operands ([collection, index]); kCount uses only the first
+  /// collection, kMet none.
+  std::string collection_a;
+  int index_a = 0;
+  std::string collection_b;
+  int index_b = 0;
+  CompareOp op = CompareOp::kGe;
+  double value = 0.0;
+};
+
+/// An observable quantity a histogram can fill.
+struct Quantity {
+  enum class Kind { kMet, kCount, kMass, kDeltaPhi, kAttribute };
+  Kind kind = Kind::kMet;
+  std::string collection_a;
+  int index_a = 0;
+  std::string collection_b;
+  int index_b = 0;
+  /// For kAttribute: pt, eta, abseta, phi.
+  std::string attribute;
+};
+
+/// A declarative histogram, filled when its enclosing cut passes.
+struct HistDef {
+  std::string tag;
+  Quantity quantity;
+  int nbins = 10;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// One named event-level cut.
+struct CutDef {
+  std::string name;
+  /// Cuts that must pass first.
+  std::vector<std::string> requires_cuts;
+  std::vector<Condition> conditions;
+  std::vector<HistDef> hists;
+};
+
+/// Per-event evaluation outcome.
+struct EventResult {
+  /// Pass/fail per cut, in definition order.
+  std::vector<bool> passed;
+  /// True if every cut passed.
+  bool all_passed = false;
+};
+
+/// Aggregated cutflow over a sample.
+struct Cutflow {
+  std::vector<std::string> cut_names;
+  std::vector<uint64_t> passed_counts;
+  uint64_t events = 0;
+
+  std::string Render() const;
+};
+
+class AnalysisDescription {
+ public:
+  /// Parses and validates a description document.
+  static Result<AnalysisDescription> Parse(const std::string& text);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ObjectDef>& objects() const { return objects_; }
+  const std::vector<CutDef>& cuts() const { return cuts_; }
+
+  /// Evaluates one event.
+  EventResult Evaluate(const AodEvent& event) const;
+
+  /// Evaluates a sample and accumulates the cutflow.
+  Cutflow Run(const std::vector<AodEvent>& events) const;
+
+  /// Like Run, but also fills every declared histogram (paths are
+  /// "/<analysis>/<cut>/<tag>").
+  struct RunOutput {
+    Cutflow cutflow;
+    std::vector<Histo1D> histograms;
+  };
+  RunOutput RunWithHistograms(const std::vector<AodEvent>& events) const;
+
+  /// Canonical text form; Parse(Serialize()) reproduces the description.
+  std::string Serialize() const;
+
+ private:
+  Status Validate() const;
+  /// Builds the selected candidate lists for one event.
+  std::map<std::string, std::vector<PhysicsObject>> SelectObjects(
+      const AodEvent& event) const;
+
+  std::string name_;
+  std::vector<ObjectDef> objects_;
+  std::vector<CutDef> cuts_;
+};
+
+}  // namespace lhada
+}  // namespace daspos
+
+#endif  // DASPOS_LHADA_LHADA_H_

@@ -1,0 +1,291 @@
+#include "mc/generator.h"
+
+#include <cmath>
+
+#include "event/pdg.h"
+#include "mc/kinematics.h"
+
+namespace daspos {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+/// Draws a hard-scatter system four-vector with the given mass: modest
+/// transverse recoil and a broad longitudinal spread, as at a hadron
+/// collider.
+FourVector DrawSystem(double mass, Rng* rng) {
+  double pt = rng->Exponential(8.0);
+  double phi = rng->Uniform(0.0, 2.0 * kPi);
+  double rapidity = rng->Gauss(0.0, 1.4);
+  // Build from (pt, y, phi, m): pz = mt * sinh(y), E = mt * cosh(y).
+  double mt = std::sqrt(mass * mass + pt * pt);
+  double px = pt * std::cos(phi);
+  double py = pt * std::sin(phi);
+  double pz = mt * std::sinh(rapidity);
+  double e = mt * std::cosh(rapidity);
+  return FourVector(px, py, pz, e);
+}
+
+}  // namespace
+
+EventGenerator::EventGenerator(const GeneratorConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+GenEvent EventGenerator::Generate() {
+  GenEvent event;
+  event.event_number = next_event_number_++;
+  event.process_id = static_cast<int>(config_.process);
+  event.weight = 1.0;
+  AddHardProcess(&event);
+  AddPileup(&event);
+  return event;
+}
+
+std::vector<GenEvent> EventGenerator::GenerateMany(size_t count) {
+  std::vector<GenEvent> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(Generate());
+  return out;
+}
+
+void EventGenerator::AddHardProcess(GenEvent* event) {
+  switch (config_.process) {
+    case Process::kMinimumBias:
+      AddSoftActivity(event, 12.0 * config_.tune_activity);
+      break;
+    case Process::kZToLL:
+      AddResonanceToLL(event, pdg::kZ, 91.1876, 2.4952,
+                       config_.lepton_flavor);
+      AddSoftActivity(event, 8.0 * config_.tune_activity);
+      break;
+    case Process::kWToLNu:
+      AddWToLNu(event);
+      AddSoftActivity(event, 8.0 * config_.tune_activity);
+      break;
+    case Process::kHiggsToGammaGamma:
+      AddHiggsToGammaGamma(event);
+      AddSoftActivity(event, 10.0 * config_.tune_activity);
+      break;
+    case Process::kQcdDijet:
+      AddQcdDijet(event);
+      AddSoftActivity(event, 6.0 * config_.tune_activity);
+      break;
+    case Process::kDMeson:
+      AddDMeson(event);
+      AddSoftActivity(event, 10.0 * config_.tune_activity);
+      break;
+    case Process::kZPrimeToLL:
+      AddResonanceToLL(event, pdg::kZPrime, config_.zprime_mass,
+                       config_.zprime_width, config_.lepton_flavor);
+      AddSoftActivity(event, 8.0 * config_.tune_activity);
+      break;
+  }
+}
+
+void EventGenerator::AddResonanceToLL(GenEvent* event, int resonance_id,
+                                      double mass, double width, int flavor) {
+  double m = rng_.BreitWigner(mass, width);
+  // Keep the tail physical: at least 2 lepton masses, at most ~3x the pole.
+  double m_min = 2.0 * pdg::Mass(flavor) + 0.1;
+  if (m < m_min) m = m_min;
+  if (m > 3.0 * mass) m = 3.0 * mass;
+
+  FourVector system = DrawSystem(m, &rng_);
+  GenParticle resonance;
+  resonance.pdg_id = resonance_id;
+  resonance.status = 2;
+  resonance.mother = -1;
+  resonance.momentum = system;
+  event->particles.push_back(resonance);
+  int mother_index = static_cast<int>(event->particles.size()) - 1;
+
+  double ml = pdg::Mass(flavor);
+  auto [lp, lm] = TwoBodyDecay(system, ml, ml, &rng_);
+  GenParticle lepton_minus;
+  lepton_minus.pdg_id = flavor;  // negative lepton has positive pdg id
+  lepton_minus.status = 1;
+  lepton_minus.mother = mother_index;
+  lepton_minus.momentum = lp;
+  GenParticle lepton_plus;
+  lepton_plus.pdg_id = -flavor;
+  lepton_plus.status = 1;
+  lepton_plus.mother = mother_index;
+  lepton_plus.momentum = lm;
+  event->particles.push_back(lepton_minus);
+  event->particles.push_back(lepton_plus);
+}
+
+void EventGenerator::AddWToLNu(GenEvent* event) {
+  // W+ / W- production ratio ~ 1.35 at the LHC (more u quarks in protons).
+  bool plus = rng_.Accept(0.574);
+  double m = rng_.BreitWigner(80.379, 2.085);
+  if (m < 10.0) m = 10.0;
+  if (m > 200.0) m = 200.0;
+
+  FourVector system = DrawSystem(m, &rng_);
+  GenParticle w;
+  w.pdg_id = plus ? pdg::kWPlus : -pdg::kWPlus;
+  w.status = 2;
+  w.mother = -1;
+  w.momentum = system;
+  event->particles.push_back(w);
+  int mother_index = static_cast<int>(event->particles.size()) - 1;
+
+  int flavor = config_.lepton_flavor;
+  double ml = pdg::Mass(flavor);
+  auto [lepton_mom, nu_mom] = TwoBodyDecay(system, ml, 0.0, &rng_);
+
+  GenParticle lepton;
+  // W+ -> l+ nu ; W- -> l- nu~.
+  lepton.pdg_id = plus ? -flavor : flavor;
+  lepton.status = 1;
+  lepton.mother = mother_index;
+  lepton.momentum = lepton_mom;
+  GenParticle neutrino;
+  int nu_id = flavor + 1;  // nu_e=12 for e=11, nu_mu=14 for mu=13
+  neutrino.pdg_id = plus ? nu_id : -nu_id;
+  neutrino.status = 1;
+  neutrino.mother = mother_index;
+  neutrino.momentum = nu_mom;
+  event->particles.push_back(lepton);
+  event->particles.push_back(neutrino);
+}
+
+void EventGenerator::AddHiggsToGammaGamma(GenEvent* event) {
+  // The natural width is ~4 MeV: the observed peak width is entirely
+  // detector resolution, which is the point of the E3 fidelity comparison.
+  double m = rng_.BreitWigner(125.25, 0.004);
+  FourVector system = DrawSystem(m, &rng_);
+  GenParticle higgs;
+  higgs.pdg_id = pdg::kHiggs;
+  higgs.status = 2;
+  higgs.mother = -1;
+  higgs.momentum = system;
+  event->particles.push_back(higgs);
+  int mother_index = static_cast<int>(event->particles.size()) - 1;
+
+  auto [g1, g2] = TwoBodyDecay(system, 0.0, 0.0, &rng_);
+  for (const FourVector& mom : {g1, g2}) {
+    GenParticle photon;
+    photon.pdg_id = pdg::kPhoton;
+    photon.status = 1;
+    photon.mother = mother_index;
+    photon.momentum = mom;
+    event->particles.push_back(photon);
+  }
+}
+
+void EventGenerator::AddQcdDijet(GenEvent* event) {
+  // Falling pT spectrum: pT = pTmin * u^(-1/(n-1)) with n ~ 6.
+  double u = rng_.Uniform();
+  while (u <= 0.0) u = rng_.Uniform();
+  double pt = 20.0 * std::pow(u, -1.0 / 5.0);
+  if (pt > 2000.0) pt = 2000.0;
+  double phi = rng_.Uniform(0.0, 2.0 * kPi);
+  double eta1 = rng_.Gauss(0.0, 1.5);
+  double eta2 = rng_.Gauss(0.0, 1.5);
+
+  struct Parton {
+    double pt, eta, phi;
+  };
+  Parton partons[2] = {{pt, eta1, phi}, {pt, eta2, phi + kPi}};
+  for (const Parton& parton : partons) {
+    GenParticle quark;
+    quark.pdg_id = pdg::kGluon;
+    quark.status = 2;
+    quark.mother = -1;
+    quark.momentum =
+        FourVector::FromPtEtaPhiM(parton.pt, parton.eta, parton.phi, 0.0);
+    event->particles.push_back(quark);
+    int mother_index = static_cast<int>(event->particles.size()) - 1;
+
+    double energy = quark.momentum.e();
+    for (const Fragment& frag :
+         FragmentParton(energy, parton.eta, parton.phi, 0.12, &rng_)) {
+      GenParticle hadron;
+      hadron.pdg_id = frag.pdg_id;
+      hadron.status = 1;
+      hadron.mother = mother_index;
+      hadron.momentum = frag.momentum;
+      event->particles.push_back(hadron);
+    }
+  }
+}
+
+void EventGenerator::AddDMeson(GenEvent* event) {
+  // Produce one D0 with a charm-like pT spectrum; decay D0 -> K- pi+ with
+  // proper lifetime c*tau = 0.123 mm.
+  double pt = 2.0 + rng_.Exponential(4.0);
+  double eta = rng_.Gauss(0.0, 1.2);
+  double phi = rng_.Uniform(0.0, 2.0 * kPi);
+  double md = pdg::Mass(pdg::kD0);
+  FourVector d_momentum = FourVector::FromPtEtaPhiM(pt, eta, phi, md);
+
+  GenParticle d_meson;
+  d_meson.pdg_id = pdg::kD0;
+  d_meson.status = 2;
+  d_meson.mother = -1;
+  d_meson.momentum = d_momentum;
+  event->particles.push_back(d_meson);
+  int mother_index = static_cast<int>(event->particles.size()) - 1;
+
+  // Decay length in the lab: boost factor beta*gamma = p/m.
+  double ctau_mm = 0.123;
+  double proper = rng_.Exponential(ctau_mm);
+  double decay_length_mm = proper * d_momentum.P() / md;
+
+  auto [kaon_mom, pion_mom] =
+      TwoBodyDecay(d_momentum, pdg::Mass(pdg::kKPlus),
+                   pdg::Mass(pdg::kPiPlus), &rng_);
+  GenParticle kaon;
+  kaon.pdg_id = pdg::kKMinus;
+  kaon.status = 1;
+  kaon.mother = mother_index;
+  kaon.momentum = kaon_mom;
+  kaon.vertex_mm = decay_length_mm;
+  GenParticle pion;
+  pion.pdg_id = pdg::kPiPlus;
+  pion.status = 1;
+  pion.mother = mother_index;
+  pion.momentum = pion_mom;
+  pion.vertex_mm = decay_length_mm;
+  event->particles.push_back(kaon);
+  event->particles.push_back(pion);
+}
+
+void EventGenerator::AddSoftActivity(GenEvent* event, double mean_particles) {
+  uint64_t count = rng_.Poisson(mean_particles);
+  for (uint64_t i = 0; i < count; ++i) {
+    double pt = rng_.Exponential(0.7) + 0.1;
+    double eta = rng_.Uniform(-4.0, 4.0);
+    double phi = rng_.Uniform(0.0, 2.0 * kPi);
+    double species = rng_.Uniform();
+    int pdg_id;
+    if (species < 0.35) {
+      pdg_id = pdg::kPiPlus;
+    } else if (species < 0.70) {
+      pdg_id = -pdg::kPiPlus;
+    } else if (species < 0.90) {
+      pdg_id = pdg::kPiZero;
+    } else {
+      pdg_id = rng_.Accept(0.5) ? pdg::kKPlus : pdg::kKMinus;
+    }
+    GenParticle particle;
+    particle.pdg_id = pdg_id;
+    particle.status = 1;
+    particle.mother = -1;
+    particle.momentum =
+        FourVector::FromPtEtaPhiM(pt, eta, phi, pdg::Mass(pdg_id));
+    event->particles.push_back(particle);
+  }
+}
+
+void EventGenerator::AddPileup(GenEvent* event) {
+  if (config_.pileup_mean <= 0.0) return;
+  uint64_t interactions = rng_.Poisson(config_.pileup_mean);
+  for (uint64_t i = 0; i < interactions; ++i) {
+    AddSoftActivity(event, 12.0);
+  }
+}
+
+}  // namespace daspos

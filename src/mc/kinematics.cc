@@ -1,0 +1,90 @@
+#include "mc/kinematics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "event/pdg.h"
+
+namespace daspos {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+FourVector BoostToLab(const FourVector& p, const FourVector& frame) {
+  double m = frame.Mass();
+  if (m <= 0.0) return p;  // massless frame: boost undefined, leave as-is
+  double bx = frame.px() / frame.e();
+  double by = frame.py() / frame.e();
+  double bz = frame.pz() / frame.e();
+  double b2 = bx * bx + by * by + bz * bz;
+  if (b2 <= 0.0) return p;
+  double gamma = frame.e() / m;
+  double bp = bx * p.px() + by * p.py() + bz * p.pz();
+  double k = (gamma - 1.0) * bp / b2 + gamma * p.e();
+  return FourVector(p.px() + k * bx, p.py() + k * by, p.pz() + k * bz,
+                    gamma * (p.e() + bp));
+}
+
+std::pair<FourVector, FourVector> TwoBodyDecay(const FourVector& parent,
+                                               double m1, double m2,
+                                               Rng* rng) {
+  double mass = parent.Mass();
+  double min_mass = m1 + m2;
+  if (mass < min_mass) mass = min_mass;  // clamp rounding violations
+
+  // Rest-frame momentum magnitude (Kallen function).
+  double term1 = mass * mass - (m1 + m2) * (m1 + m2);
+  double term2 = mass * mass - (m1 - m2) * (m1 - m2);
+  double pstar = std::sqrt(std::max(0.0, term1 * term2)) / (2.0 * mass);
+
+  // Isotropic direction.
+  double cos_theta = rng->Uniform(-1.0, 1.0);
+  double sin_theta = std::sqrt(1.0 - cos_theta * cos_theta);
+  double phi = rng->Uniform(0.0, 2.0 * kPi);
+  double px = pstar * sin_theta * std::cos(phi);
+  double py = pstar * sin_theta * std::sin(phi);
+  double pz = pstar * cos_theta;
+
+  FourVector d1(px, py, pz, std::sqrt(pstar * pstar + m1 * m1));
+  FourVector d2(-px, -py, -pz, std::sqrt(pstar * pstar + m2 * m2));
+  return {BoostToLab(d1, parent), BoostToLab(d2, parent)};
+}
+
+std::vector<Fragment> FragmentParton(double energy, double eta, double phi,
+                                     double spread, Rng* rng) {
+  std::vector<Fragment> out;
+  double remaining = energy;
+  while (remaining > 0.3) {
+    // Draw the energy fraction this hadron takes (soft-favoring spectrum).
+    double z = rng->Uniform(0.1, 0.6);
+    double e = std::max(0.2, z * remaining);
+    if (e > remaining) e = remaining;
+    remaining -= e;
+
+    // Species: ~60% charged pions, 25% neutral pions, 15% kaons.
+    double u = rng->Uniform();
+    int pdg_id;
+    if (u < 0.30) {
+      pdg_id = pdg::kPiPlus;
+    } else if (u < 0.60) {
+      pdg_id = -pdg::kPiPlus;
+    } else if (u < 0.85) {
+      pdg_id = pdg::kPiZero;
+    } else {
+      pdg_id = rng->Accept(0.5) ? pdg::kKPlus : pdg::kKMinus;
+    }
+    double mass = pdg::Mass(pdg_id);
+    if (e < mass * 1.05) e = mass * 1.05;
+
+    double h_eta = eta + rng->Gauss(0.0, spread);
+    double h_phi = phi + rng->Gauss(0.0, spread);
+    double momentum = std::sqrt(std::max(0.0, e * e - mass * mass));
+    double pt = momentum / std::cosh(h_eta);
+    out.push_back(
+        {pdg_id, FourVector::FromPtEtaPhiM(pt, h_eta, h_phi, mass)});
+  }
+  return out;
+}
+
+}  // namespace daspos

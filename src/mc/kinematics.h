@@ -1,0 +1,37 @@
+// Kinematic building blocks for the toy generator: Lorentz boosts, isotropic
+// two-body decays, and simple fragmentation.
+#ifndef DASPOS_MC_KINEMATICS_H_
+#define DASPOS_MC_KINEMATICS_H_
+
+#include <utility>
+#include <vector>
+
+#include "event/fourvector.h"
+#include "support/rng.h"
+
+namespace daspos {
+
+/// Boosts `p` from the rest frame of `frame` into the lab frame where
+/// `frame` has its given momentum.
+FourVector BoostToLab(const FourVector& p, const FourVector& frame);
+
+/// Decays a parent with lab-frame momentum `parent` (invariant mass M) into
+/// two daughters of masses m1, m2, isotropically in the rest frame. Returns
+/// lab-frame daughter momenta. Requires M >= m1 + m2 (clamped if violated
+/// within rounding).
+std::pair<FourVector, FourVector> TwoBodyDecay(const FourVector& parent,
+                                               double m1, double m2, Rng* rng);
+
+/// Fragments a massless parton of energy `energy` flying along (eta, phi)
+/// into charged/neutral pions and kaons collinear within `spread` in
+/// eta-phi. Returns the hadron four-vectors with pdg ids.
+struct Fragment {
+  int pdg_id;
+  FourVector momentum;
+};
+std::vector<Fragment> FragmentParton(double energy, double eta, double phi,
+                                     double spread, Rng* rng);
+
+}  // namespace daspos
+
+#endif  // DASPOS_MC_KINEMATICS_H_

@@ -1,0 +1,130 @@
+#include "recast/backend.h"
+
+#include "mc/generator.h"
+#include "reco/reconstruction.h"
+#include "stats/limits.h"
+#include "tiers/dataset.h"
+#include "workflow/steps.h"
+
+namespace daspos {
+namespace recast {
+
+Status RecastBackEnd::RegisterSearch(PreservedSearch search) {
+  if (search.name.empty()) {
+    return Status::InvalidArgument("search needs a name");
+  }
+  if (search.regions.empty()) {
+    return Status::InvalidArgument("search '" + search.name +
+                                   "' has no signal regions");
+  }
+  auto [it, inserted] = searches_.emplace(search.name, std::move(search));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("search already registered");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> RecastBackEnd::SearchNames() const {
+  std::vector<std::string> out;
+  out.reserve(searches_.size());
+  for (const auto& [name, search] : searches_) {
+    (void)search;
+    out.push_back(name);
+  }
+  return out;
+}
+
+Result<RecastResult> RecastBackEnd::Process(const RecastRequest& request) {
+  auto it = searches_.find(request.search_name);
+  if (it == searches_.end()) {
+    return Status::NotFound("no preserved search '" + request.search_name +
+                            "'");
+  }
+  if (request.model_cross_section_pb <= 0.0) {
+    return Status::InvalidArgument(
+        "request must state the model cross section");
+  }
+  if (request.event_count == 0) {
+    return Status::InvalidArgument("request must ask for at least one event");
+  }
+  const PreservedSearch& search = it->second;
+
+  DASPOS_ASSIGN_OR_RETURN(GeneratorConfig model,
+                          GeneratorConfigFromJson(request.model));
+
+  // The encapsulated full chain, exactly as preserved.
+  EventGenerator generator(model);
+  DetectorSimulation simulation(search.sim_config);
+  ReconstructionConfig reco_config;
+  reco_config.geometry = search.sim_config.geometry;
+  reco_config.calib = search.sim_config.calib;
+  Reconstructor reconstructor(reco_config);
+
+  std::vector<uint64_t> passed(search.regions.size(), 0);
+  for (size_t i = 0; i < request.event_count; ++i) {
+    GenEvent truth = generator.Generate();
+    RawEvent raw = simulation.Simulate(truth, /*run_number=*/1);
+    AodEvent aod = AodEvent::FromReco(reconstructor.Reconstruct(raw));
+    for (size_t r = 0; r < search.regions.size(); ++r) {
+      if (search.regions[r].selection(aod)) ++passed[r];
+    }
+  }
+  events_simulated_ += request.event_count;
+
+  RecastResult result;
+  result.search_name = search.name;
+  result.events_processed = request.event_count;
+  for (size_t r = 0; r < search.regions.size(); ++r) {
+    const SignalRegion& region = search.regions[r];
+    RegionResult region_result;
+    region_result.region = region.name;
+    region_result.efficiency =
+        static_cast<double>(passed[r]) / request.event_count;
+    region_result.signal_per_mu = region_result.efficiency *
+                                  request.model_cross_section_pb *
+                                  search.luminosity_pb;
+    region_result.observed = region.observed;
+    region_result.background = region.background;
+    if (region_result.signal_per_mu > 0.0) {
+      CountingExperiment experiment;
+      experiment.observed = region.observed;
+      experiment.background = region.background;
+      experiment.signal_per_mu = region_result.signal_per_mu;
+      DASPOS_ASSIGN_OR_RETURN(region_result.upper_limit_mu,
+                              UpperLimit(experiment));
+      DASPOS_ASSIGN_OR_RETURN(region_result.expected_limit_mu,
+                              ExpectedLimit(experiment));
+    }
+    result.regions.push_back(std::move(region_result));
+  }
+  return result;
+}
+
+Result<std::vector<RecastBackEnd::DatasetCounts>>
+RecastBackEnd::ProcessDataset(const std::string& search_name,
+                              std::string_view aod_blob) const {
+  auto it = searches_.find(search_name);
+  if (it == searches_.end()) {
+    return Status::NotFound("no preserved search '" + search_name + "'");
+  }
+  const PreservedSearch& search = it->second;
+  DASPOS_ASSIGN_OR_RETURN(std::vector<AodEvent> events,
+                          ReadAodDataset(aod_blob));
+  std::vector<DatasetCounts> out;
+  out.reserve(search.regions.size());
+  for (const SignalRegion& region : search.regions) {
+    DatasetCounts counts;
+    counts.region = region.name;
+    counts.preserved_observed = region.observed;
+    counts.preserved_background = region.background;
+    for (const AodEvent& event : events) {
+      if (region.selection(event)) ++counts.passed;
+    }
+    out.push_back(std::move(counts));
+  }
+  return out;
+}
+
+}  // namespace recast
+}  // namespace daspos

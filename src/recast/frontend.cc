@@ -1,0 +1,113 @@
+#include "recast/frontend.h"
+
+namespace daspos {
+namespace recast {
+
+Result<std::string> RecastFrontEnd::Submit(RecastRequest request) {
+  bool known = false;
+  for (const std::string& name : backend_->SearchNames()) {
+    if (name == request.search_name) known = true;
+  }
+  if (!known) {
+    return Status::NotFound("no analysis '" + request.search_name +
+                            "' in the catalog");
+  }
+  if (request.requester.empty()) {
+    return Status::InvalidArgument("request must identify the requester");
+  }
+  std::string id = "REQ-" + std::to_string(next_id_++);
+  Entry entry;
+  entry.request = std::move(request);
+  entries_.emplace(id, std::move(entry));
+  order_.push_back(id);
+  return id;
+}
+
+Result<RequestState> RecastFrontEnd::GetState(
+    const std::string& request_id) const {
+  auto it = entries_.find(request_id);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown request " + request_id);
+  }
+  return it->second.state;
+}
+
+Status RecastFrontEnd::ProcessQueue() {
+  for (auto& [id, entry] : entries_) {
+    (void)id;
+    if (entry.state != RequestState::kQueued) continue;
+    auto result = backend_->Process(entry.request);
+    if (result.ok()) {
+      entry.result = std::move(result).value();
+      entry.state = RequestState::kProcessed;
+    } else {
+      entry.state = RequestState::kRejected;
+      entry.rejection_reason =
+          "processing failed: " + result.status().ToString();
+    }
+  }
+  return Status::OK();
+}
+
+Status RecastFrontEnd::Approve(const std::string& request_id) {
+  auto it = entries_.find(request_id);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown request " + request_id);
+  }
+  if (it->second.state != RequestState::kProcessed) {
+    return Status::FailedPrecondition(
+        "request " + request_id + " is " +
+        std::string(RequestStateName(it->second.state)) +
+        ", only processed requests can be approved");
+  }
+  it->second.state = RequestState::kApproved;
+  return Status::OK();
+}
+
+Status RecastFrontEnd::Reject(const std::string& request_id,
+                              const std::string& reason) {
+  auto it = entries_.find(request_id);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown request " + request_id);
+  }
+  if (it->second.state == RequestState::kApproved) {
+    return Status::FailedPrecondition("request already approved/released");
+  }
+  it->second.state = RequestState::kRejected;
+  it->second.rejection_reason = reason;
+  return Status::OK();
+}
+
+Result<RecastResult> RecastFrontEnd::GetResult(
+    const std::string& request_id) const {
+  auto it = entries_.find(request_id);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown request " + request_id);
+  }
+  switch (it->second.state) {
+    case RequestState::kApproved:
+      return it->second.result;
+    case RequestState::kRejected:
+      return Status::PermissionDenied("request was rejected: " +
+                                      it->second.rejection_reason);
+    default:
+      return Status::PermissionDenied(
+          "result not released (state: " +
+          std::string(RequestStateName(it->second.state)) + ")");
+  }
+}
+
+Result<std::string> RecastFrontEnd::GetRejectionReason(
+    const std::string& request_id) const {
+  auto it = entries_.find(request_id);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown request " + request_id);
+  }
+  if (it->second.state != RequestState::kRejected) {
+    return Status::FailedPrecondition("request was not rejected");
+  }
+  return it->second.rejection_reason;
+}
+
+}  // namespace recast
+}  // namespace daspos

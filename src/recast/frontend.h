@@ -1,0 +1,68 @@
+// The RECAST front end: "a 'front end' interface to the outside world where
+// those interested in re-using an analysis can submit requests ... The
+// RECAST API would mediate between the user interface and various
+// capabilities provided by the 'back end' ... the results, if approved, are
+// returned to the user" (§2.3).
+#ifndef DASPOS_RECAST_FRONTEND_H_
+#define DASPOS_RECAST_FRONTEND_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "recast/backend.h"
+#include "recast/request.h"
+#include "support/result.h"
+
+namespace daspos {
+namespace recast {
+
+class RecastFrontEnd {
+ public:
+  /// The front end mediates to one back end (not owned).
+  explicit RecastFrontEnd(BackEnd* backend) : backend_(backend) {}
+
+  /// Outside users submit here. Validates the target search exists; returns
+  /// the request id ("REQ-1", ...).
+  Result<std::string> Submit(RecastRequest request);
+
+  /// Public catalog of re-runnable analyses (names only — the content is
+  /// the experiment's).
+  std::vector<std::string> Catalog() const { return backend_->SearchNames(); }
+
+  Result<RequestState> GetState(const std::string& request_id) const;
+
+  /// Experiment-side: runs the back end on every queued request.
+  /// Failed requests become kRejected with the failure as the reason.
+  Status ProcessQueue();
+
+  /// Experiment-side gate: release or withhold a processed result.
+  Status Approve(const std::string& request_id);
+  Status Reject(const std::string& request_id, const std::string& reason);
+
+  /// User-side: only approved results are released; otherwise
+  /// PermissionDenied (pending/rejected) or NotFound.
+  Result<RecastResult> GetResult(const std::string& request_id) const;
+  Result<std::string> GetRejectionReason(const std::string& request_id) const;
+
+  /// Request ids in submission order.
+  std::vector<std::string> RequestIds() const { return order_; }
+
+ private:
+  struct Entry {
+    RecastRequest request;
+    RequestState state = RequestState::kQueued;
+    RecastResult result;
+    std::string rejection_reason;
+  };
+
+  BackEnd* backend_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace recast
+}  // namespace daspos
+
+#endif  // DASPOS_RECAST_FRONTEND_H_

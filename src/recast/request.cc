@@ -1,0 +1,106 @@
+#include "recast/request.h"
+
+namespace daspos {
+namespace recast {
+
+double RecastResult::BestUpperLimit() const {
+  double best = 1e300;
+  for (const RegionResult& region : regions) {
+    if (region.upper_limit_mu > 0.0 && region.upper_limit_mu < best) {
+      best = region.upper_limit_mu;
+    }
+  }
+  return regions.empty() ? 0.0 : best;
+}
+
+Json RecastResult::ToJson() const {
+  Json json = Json::Object();
+  json["search"] = search_name;
+  json["events_processed"] = events_processed;
+  Json region_list = Json::Array();
+  for (const RegionResult& region : regions) {
+    Json entry = Json::Object();
+    entry["region"] = region.region;
+    entry["efficiency"] = region.efficiency;
+    entry["signal_per_mu"] = region.signal_per_mu;
+    entry["observed"] = region.observed;
+    entry["background"] = region.background;
+    entry["upper_limit_mu"] = region.upper_limit_mu;
+    entry["expected_limit_mu"] = region.expected_limit_mu;
+    region_list.push_back(std::move(entry));
+  }
+  json["regions"] = std::move(region_list);
+  json["excluded_at_nominal"] = Excluded();
+  return json;
+}
+
+Json RecastRequest::ToJson() const {
+  Json json = Json::Object();
+  json["api"] = "daspos-recast-v1";
+  json["search"] = search_name;
+  json["requester"] = requester;
+  json["model"] = model;
+  json["model_cross_section_pb"] = model_cross_section_pb;
+  json["event_count"] = static_cast<uint64_t>(event_count);
+  return json;
+}
+
+Result<RecastRequest> RecastRequest::FromJson(const Json& json) {
+  if (!json.is_object() ||
+      json.Get("api").as_string() != "daspos-recast-v1") {
+    return Status::InvalidArgument("not a daspos-recast-v1 request");
+  }
+  RecastRequest request;
+  request.search_name = json.Get("search").as_string();
+  request.requester = json.Get("requester").as_string();
+  request.model = json.Get("model");
+  request.model_cross_section_pb =
+      json.Get("model_cross_section_pb").as_number();
+  request.event_count =
+      static_cast<size_t>(json.Get("event_count").as_int());
+  if (request.search_name.empty()) {
+    return Status::InvalidArgument("request JSON missing 'search'");
+  }
+  return request;
+}
+
+Result<RecastResult> RecastResult::FromJson(const Json& json) {
+  if (!json.is_object() || !json.Has("regions")) {
+    return Status::InvalidArgument("not a recast result document");
+  }
+  RecastResult result;
+  result.search_name = json.Get("search").as_string();
+  result.events_processed =
+      static_cast<uint64_t>(json.Get("events_processed").as_int());
+  const Json& regions = json.Get("regions");
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const Json& entry = regions.at(i);
+    RegionResult region;
+    region.region = entry.Get("region").as_string();
+    region.efficiency = entry.Get("efficiency").as_number();
+    region.signal_per_mu = entry.Get("signal_per_mu").as_number();
+    region.observed = entry.Get("observed").as_number();
+    region.background = entry.Get("background").as_number();
+    region.upper_limit_mu = entry.Get("upper_limit_mu").as_number();
+    region.expected_limit_mu = entry.Get("expected_limit_mu").as_number();
+    result.regions.push_back(std::move(region));
+  }
+  return result;
+}
+
+std::string_view RequestStateName(RequestState state) {
+  switch (state) {
+    case RequestState::kQueued:
+      return "queued";
+    case RequestState::kProcessed:
+      return "processed";
+    case RequestState::kApproved:
+      return "approved";
+    case RequestState::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+}  // namespace recast
+}  // namespace daspos

@@ -1,0 +1,76 @@
+// The RECAST request/response vocabulary exchanged across the front-end
+// API: a theorist submits a new-physics model against a named preserved
+// search; the experiment's back end returns (after approval) the
+// reinterpretation result. No experiment internals cross this boundary.
+#ifndef DASPOS_RECAST_REQUEST_H_
+#define DASPOS_RECAST_REQUEST_H_
+
+#include <string>
+#include <vector>
+
+#include "serialize/json.h"
+
+namespace daspos {
+namespace recast {
+
+/// What the outside user submits.
+struct RecastRequest {
+  /// Name of the preserved search to re-run.
+  std::string search_name;
+  /// Who asks (for the experiment's approval decision).
+  std::string requester;
+  /// Generator configuration of the new model (workflow/steps.h JSON form).
+  Json model;
+  /// Production cross section of the model, pb (theorist-provided).
+  double model_cross_section_pb = 0.0;
+  /// Monte-Carlo statistics to run.
+  size_t event_count = 2000;
+
+  /// Wire format for the front-end API (§2.3: "The RECAST API would
+  /// mediate between the user interface and ... the back end").
+  Json ToJson() const;
+  static Result<RecastRequest> FromJson(const Json& json);
+};
+
+/// Reinterpretation outcome for one signal region.
+struct RegionResult {
+  std::string region;
+  double efficiency = 0.0;        // selection efficiency for the model
+  double signal_per_mu = 0.0;     // expected signal events at mu = 1
+  double observed = 0.0;
+  double background = 0.0;
+  double upper_limit_mu = 0.0;    // 95% upper limit on signal strength
+  /// Median limit expected if exactly the background were observed — the
+  /// reference curve of every limit plot.
+  double expected_limit_mu = 0.0;
+};
+
+/// Full response (only released after experiment approval).
+struct RecastResult {
+  std::string search_name;
+  std::vector<RegionResult> regions;
+  uint64_t events_processed = 0;
+
+  /// Best (smallest) upper limit across regions.
+  double BestUpperLimit() const;
+  /// True if the model at nominal cross section (mu = 1) is excluded.
+  bool Excluded() const { return BestUpperLimit() < 1.0; }
+
+  Json ToJson() const;
+  static Result<RecastResult> FromJson(const Json& json);
+};
+
+/// Lifecycle of a submitted request.
+enum class RequestState {
+  kQueued,
+  kProcessed,   // back end done, awaiting experiment approval
+  kApproved,    // result released
+  kRejected,
+};
+
+std::string_view RequestStateName(RequestState state);
+
+}  // namespace recast
+}  // namespace daspos
+
+#endif  // DASPOS_RECAST_REQUEST_H_

@@ -1,0 +1,82 @@
+#include "recast/scan.h"
+
+#include "mc/generator.h"
+#include "workflow/steps.h"
+
+namespace daspos {
+namespace recast {
+
+Result<GridScanOutput> ScanZPrimeGrid(BackEnd* backend,
+                                      const std::string& search_name,
+                                      const GridScanConfig& config) {
+  if (config.mass_points < 1 || config.width_points < 1) {
+    return Status::InvalidArgument("grid needs at least one point per axis");
+  }
+  if (config.region.empty()) {
+    return Status::InvalidArgument("grid scan needs a target region");
+  }
+  if (config.mass_hi <= config.mass_lo ||
+      config.width_frac_hi < config.width_frac_lo) {
+    return Status::InvalidArgument("bad grid axis bounds");
+  }
+
+  double mass_step =
+      (config.mass_hi - config.mass_lo) / config.mass_points;
+  double width_step =
+      config.width_points > 1
+          ? (config.width_frac_hi - config.width_frac_lo) /
+                config.width_points
+          : 1.0;
+
+  GridScanOutput output;
+  output.efficiency =
+      Histo2D("/recast/" + search_name + "/" + config.region + "/efficiency",
+              config.mass_points, config.mass_lo, config.mass_hi,
+              config.width_points, config.width_frac_lo,
+              config.width_points > 1 ? config.width_frac_hi
+                                      : config.width_frac_lo + width_step);
+  output.upper_limit =
+      Histo2D("/recast/" + search_name + "/" + config.region + "/mu95",
+              config.mass_points, config.mass_lo, config.mass_hi,
+              config.width_points, config.width_frac_lo,
+              config.width_points > 1 ? config.width_frac_hi
+                                      : config.width_frac_lo + width_step);
+
+  for (int im = 0; im < config.mass_points; ++im) {
+    double mass = config.mass_lo + (im + 0.5) * mass_step;
+    for (int iw = 0; iw < config.width_points; ++iw) {
+      double width_frac = config.width_frac_lo + (iw + 0.5) * width_step;
+      GeneratorConfig model;
+      model.process = Process::kZPrimeToLL;
+      model.zprime_mass = mass;
+      model.zprime_width = width_frac * mass;
+      model.lepton_flavor = config.lepton_flavor;
+      model.seed = config.seed + static_cast<uint64_t>(im) * 1000 + iw;
+
+      RecastRequest request;
+      request.search_name = search_name;
+      request.requester = "grid-scan";
+      request.model = GeneratorConfigToJson(model);
+      request.model_cross_section_pb = config.cross_section_pb;
+      request.event_count = config.events_per_point;
+
+      DASPOS_ASSIGN_OR_RETURN(RecastResult result,
+                              backend->Process(request));
+      output.events_processed += result.events_processed;
+      const RegionResult* region = nullptr;
+      for (const RegionResult& candidate : result.regions) {
+        if (candidate.region == config.region) region = &candidate;
+      }
+      if (region == nullptr) {
+        return Status::NotFound("search has no region '" + config.region +
+                                "'");
+      }
+      output.efficiency.SetBin(im, iw, region->efficiency, 0.0);
+      output.upper_limit.SetBin(im, iw, region->upper_limit_mu, 0.0);
+    }
+  }
+  return output;
+}
+
+}  // namespace recast
+}  // namespace daspos

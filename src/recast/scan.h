@@ -1,0 +1,51 @@
+// Model-grid scans: the "acceptance/efficiency grids in mass parameter
+// spaces" of §2.3. A grid of (mass, relative width) points is pushed
+// through a RECAST back end; the output is a pair of 2D histograms
+// (efficiency and 95% upper limit) ready for HepData-style publication or
+// YODA-document preservation.
+#ifndef DASPOS_RECAST_SCAN_H_
+#define DASPOS_RECAST_SCAN_H_
+
+#include <string>
+
+#include "hist/histo2d.h"
+#include "recast/backend.h"
+#include "support/result.h"
+
+namespace daspos {
+namespace recast {
+
+struct GridScanConfig {
+  /// Mass axis (uniform grid; points are bin centers).
+  double mass_lo = 500.0;
+  double mass_hi = 1500.0;
+  int mass_points = 5;
+  /// Relative-width axis (width = frac * mass).
+  double width_frac_lo = 0.01;
+  double width_frac_hi = 0.10;
+  int width_points = 3;
+  /// Model cross section assumed at every point, pb.
+  double cross_section_pb = 0.05;
+  size_t events_per_point = 200;
+  /// Signal region whose efficiency/limit is gridded.
+  std::string region;
+  /// Lepton flavour of the scanned Z' decays.
+  int lepton_flavor = 13;
+  uint64_t seed = 1;
+};
+
+struct GridScanOutput {
+  Histo2D efficiency;   // x = mass, y = width fraction
+  Histo2D upper_limit;  // 95% CL mu upper limit
+  uint64_t events_processed = 0;
+};
+
+/// Scans the Z' model plane against `search_name` on `backend`.
+Result<GridScanOutput> ScanZPrimeGrid(BackEnd* backend,
+                                      const std::string& search_name,
+                                      const GridScanConfig& config);
+
+}  // namespace recast
+}  // namespace daspos
+
+#endif  // DASPOS_RECAST_SCAN_H_

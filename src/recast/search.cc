@@ -1,0 +1,72 @@
+#include "recast/search.h"
+
+#include "event/fourvector.h"
+
+namespace daspos {
+namespace recast {
+
+namespace {
+
+/// Highest-mass opposite-charge dimuon pair, or -1 if none.
+double BestDimuonMass(const AodEvent& event, double min_pt) {
+  const PhysicsObject* best_plus = nullptr;
+  const PhysicsObject* best_minus = nullptr;
+  for (const PhysicsObject& obj : event.objects) {
+    if (obj.type != ObjectType::kMuon) continue;
+    if (obj.momentum.Pt() < min_pt) continue;
+    if (obj.charge > 0) {
+      if (best_plus == nullptr ||
+          obj.momentum.Pt() > best_plus->momentum.Pt()) {
+        best_plus = &obj;
+      }
+    } else if (obj.charge < 0) {
+      if (best_minus == nullptr ||
+          obj.momentum.Pt() > best_minus->momentum.Pt()) {
+        best_minus = &obj;
+      }
+    }
+  }
+  if (best_plus == nullptr || best_minus == nullptr) return -1.0;
+  return InvariantMass(best_plus->momentum, best_minus->momentum);
+}
+
+}  // namespace
+
+PreservedSearch DileptonResonanceSearch() {
+  PreservedSearch search;
+  search.name = "DASPOS_EXO_14_001";
+  search.description =
+      "search for a heavy neutral resonance in the dimuon channel";
+  search.luminosity_pb = 20000.0;  // ~ LHC Run-1 dataset
+
+  search.sim_config = SimulationConfig{};
+  search.sim_config.seed = 20140001;
+  search.sim_config.noise_cells_mean = 20.0;
+
+  // Published counts: toy values consistent with no excess over a small
+  // Drell-Yan tail background.
+  SignalRegion sr_low;
+  sr_low.name = "SR_mll_400";
+  sr_low.description = "dimuon mass in [400, 800) GeV";
+  sr_low.observed = 24.0;
+  sr_low.background = 22.5;
+  sr_low.selection = [](const AodEvent& event) {
+    double mass = BestDimuonMass(event, 25.0);
+    return mass >= 400.0 && mass < 800.0;
+  };
+  search.regions.push_back(sr_low);
+
+  SignalRegion sr_high;
+  sr_high.name = "SR_mll_800";
+  sr_high.description = "dimuon mass >= 800 GeV";
+  sr_high.observed = 3.0;
+  sr_high.background = 2.4;
+  sr_high.selection = [](const AodEvent& event) {
+    return BestDimuonMass(event, 25.0) >= 800.0;
+  };
+  search.regions.push_back(sr_high);
+  return search;
+}
+
+}  // namespace recast
+}  // namespace daspos

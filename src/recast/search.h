@@ -1,0 +1,50 @@
+// A preserved experimental search: the full ingredients RECAST encapsulates
+// — detector simulation configuration, reconstruction calibration, the
+// detector-level signal-region selections, and the observed/background
+// counts of the publication (§2.3/§2.4: "the full code base and
+// executables from the experiment are encapsulated in the RECAST back end").
+#ifndef DASPOS_RECAST_SEARCH_H_
+#define DASPOS_RECAST_SEARCH_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "detsim/simulation.h"
+#include "event/aod.h"
+
+namespace daspos {
+namespace recast {
+
+/// One signal region of a search.
+struct SignalRegion {
+  std::string name;
+  std::string description;
+  /// Full detector-level event selection.
+  std::function<bool(const AodEvent&)> selection;
+  /// Published observed event count in this region.
+  double observed = 0.0;
+  /// Published expected background.
+  double background = 0.0;
+};
+
+/// One preserved search.
+struct PreservedSearch {
+  std::string name;
+  std::string description;
+  /// Integrated luminosity of the published dataset, in pb^-1.
+  double luminosity_pb = 0.0;
+  /// The experiment's detector + calibration, frozen at publication time.
+  SimulationConfig sim_config;
+  std::vector<SignalRegion> regions;
+};
+
+/// The dilepton-resonance search shipped with this repository (the E3/
+/// reinterpretation target): two opposite-charge muons, pT > 25 GeV, with
+/// high dilepton mass regions.
+PreservedSearch DileptonResonanceSearch();
+
+}  // namespace recast
+}  // namespace daspos
+
+#endif  // DASPOS_RECAST_SEARCH_H_

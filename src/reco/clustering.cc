@@ -1,0 +1,184 @@
+#include "reco/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace daspos {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Cell {
+  int eta_cell;
+  int phi_cell;
+  double eta;
+  double phi;
+  double energy;
+  bool used = false;
+};
+
+double AngularDistance(double eta1, double phi1, double eta2, double phi2) {
+  double deta = eta1 - eta2;
+  double dphi = std::fabs(phi1 - phi2);
+  if (dphi > kPi) dphi = 2.0 * kPi - dphi;
+  return std::sqrt(deta * deta + dphi * dphi);
+}
+
+/// Greedy local-maximum clustering on a cell grid: highest unused cell
+/// seeds; its 3x3 neighbourhood (with phi wrap-around) is absorbed.
+struct ProtoCluster {
+  double energy = 0.0;
+  double eta = 0.0;  // energy-weighted
+  double phi = 0.0;
+  int cell_count = 0;
+};
+
+std::vector<ProtoCluster> ClusterGrid(std::vector<Cell>& cells,
+                                      double seed_threshold, int phi_cells) {
+  std::sort(cells.begin(), cells.end(),
+            [](const Cell& a, const Cell& b) { return a.energy > b.energy; });
+  // Index for neighbourhood lookups.
+  std::map<std::pair<int, int>, size_t> index;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    index[{cells[i].eta_cell, cells[i].phi_cell}] = i;
+  }
+
+  std::vector<ProtoCluster> out;
+  for (Cell& seed : cells) {
+    if (seed.used || seed.energy < seed_threshold) continue;
+    ProtoCluster cluster;
+    double sum_eta = 0.0;
+    double sum_x = 0.0;  // for phi averaging use vector sum
+    double sum_y = 0.0;
+    for (int deta = -1; deta <= 1; ++deta) {
+      for (int dphi = -1; dphi <= 1; ++dphi) {
+        int pc = seed.phi_cell + dphi;
+        if (pc < 0) pc += phi_cells;
+        if (pc >= phi_cells) pc -= phi_cells;
+        auto it = index.find({seed.eta_cell + deta, pc});
+        if (it == index.end()) continue;
+        Cell& member = cells[it->second];
+        if (member.used) continue;
+        member.used = true;
+        cluster.energy += member.energy;
+        ++cluster.cell_count;
+        sum_eta += member.energy * member.eta;
+        sum_x += member.energy * std::cos(member.phi);
+        sum_y += member.energy * std::sin(member.phi);
+      }
+    }
+    if (cluster.energy <= 0.0) continue;
+    cluster.eta = sum_eta / cluster.energy;
+    cluster.phi = std::atan2(sum_y, sum_x);
+    out.push_back(cluster);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CaloCluster> CaloClusterer::Cluster(const RawEvent& raw) const {
+  // Accumulate per-cell energies (several hits can share a cell).
+  std::map<uint32_t, double> ecal_energy;
+  std::map<uint32_t, double> hcal_energy;
+  for (const RawHit& hit : raw.hits) {
+    if (hit.detector == SubDetector::kEcal) {
+      ecal_energy[hit.channel] += hit.adc * calib_.ecal_gain;
+    } else if (hit.detector == SubDetector::kHcal) {
+      hcal_energy[hit.channel] += hit.adc * calib_.hcal_gain;
+    }
+  }
+
+  std::vector<Cell> ecal_cells;
+  ecal_cells.reserve(ecal_energy.size());
+  for (const auto& [channel, energy] : ecal_energy) {
+    int eta_cell, phi_cell;
+    geometry_.DecodeEcalChannel(channel, &eta_cell, &phi_cell);
+    ecal_cells.push_back({eta_cell, phi_cell,
+                          geometry_.EcalEtaCellCenter(eta_cell),
+                          geometry_.EcalPhiCellCenter(phi_cell), energy});
+  }
+  std::vector<Cell> hcal_cells;
+  hcal_cells.reserve(hcal_energy.size());
+  for (const auto& [channel, energy] : hcal_energy) {
+    int eta_cell, phi_cell;
+    geometry_.DecodeHcalChannel(channel, &eta_cell, &phi_cell);
+    hcal_cells.push_back({eta_cell, phi_cell,
+                          geometry_.HcalEtaCellCenter(eta_cell),
+                          geometry_.HcalPhiCellCenter(phi_cell), energy});
+  }
+
+  std::vector<ProtoCluster> em = ClusterGrid(ecal_cells, config_.ecal_seed_gev,
+                                             geometry_.ecal_phi_cells);
+  std::vector<ProtoCluster> had = ClusterGrid(
+      hcal_cells, config_.hcal_seed_gev, geometry_.hcal_phi_cells);
+
+  // Match: each hadronic cluster attaches to the nearest EM cluster within
+  // match_dr; leftovers become EM-poor clusters on their own.
+  std::vector<CaloCluster> out;
+  std::vector<double> attached_had(em.size(), 0.0);
+  for (const ProtoCluster& h : had) {
+    double best_dr = config_.match_dr;
+    int best = -1;
+    for (size_t i = 0; i < em.size(); ++i) {
+      double dr = AngularDistance(h.eta, h.phi, em[i].eta, em[i].phi);
+      if (dr < best_dr) {
+        best_dr = dr;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0) {
+      attached_had[static_cast<size_t>(best)] += h.energy;
+    } else {
+      CaloCluster cluster;
+      cluster.energy = h.energy;
+      cluster.eta = h.eta;
+      cluster.phi = h.phi;
+      cluster.em_fraction = 0.0;
+      cluster.cell_count = h.cell_count;
+      out.push_back(cluster);
+    }
+  }
+  for (size_t i = 0; i < em.size(); ++i) {
+    CaloCluster cluster;
+    cluster.energy = em[i].energy + attached_had[i];
+    cluster.eta = em[i].eta;
+    cluster.phi = em[i].phi;
+    cluster.em_fraction = em[i].energy / cluster.energy;
+    cluster.cell_count = em[i].cell_count;
+    out.push_back(cluster);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CaloCluster& a, const CaloCluster& b) {
+              return a.energy > b.energy;
+            });
+  return out;
+}
+
+std::vector<MuonSegment> CaloClusterer::MuonSegments(
+    const RawEvent& raw) const {
+  // Group muon hits by tower (eta, phi cell); require >= 2 distinct layers.
+  std::map<std::pair<int, int>, uint32_t> layer_mask;
+  for (const RawHit& hit : raw.hits) {
+    if (hit.detector != SubDetector::kMuon) continue;
+    int layer, eta_cell, phi_cell;
+    geometry_.DecodeMuonChannel(hit.channel, &layer, &eta_cell, &phi_cell);
+    layer_mask[{eta_cell, phi_cell}] |= (1u << layer);
+  }
+  std::vector<MuonSegment> out;
+  for (const auto& [tower, mask] : layer_mask) {
+    int layers = 0;
+    for (uint32_t m = mask; m != 0; m >>= 1) layers += (m & 1u);
+    if (layers < 2) continue;
+    MuonSegment segment;
+    segment.eta = geometry_.MuonEtaCellCenter(tower.first);
+    segment.phi = geometry_.MuonPhiCellCenter(tower.second);
+    segment.layer_count = layers;
+    out.push_back(segment);
+  }
+  return out;
+}
+
+}  // namespace daspos

@@ -1,0 +1,46 @@
+// Track finding: road search plus least-squares helix-model fit over
+// quantized tracker hits. The curvature of the fitted azimuthal drift gives
+// charge and transverse momentum; the 1/r term gives the transverse impact
+// parameter (lifetime information).
+#ifndef DASPOS_RECO_TRACKING_H_
+#define DASPOS_RECO_TRACKING_H_
+
+#include <vector>
+
+#include "detsim/calib.h"
+#include "detsim/geometry.h"
+#include "event/raw.h"
+#include "event/reco.h"
+
+namespace daspos {
+
+struct TrackingConfig {
+  /// Minimum hits for a track (also bounded below by 4 for the 3-parameter
+  /// fit to be over-constrained).
+  int min_hits = 5;
+  /// Road tolerance around the two-point seed prediction, in phi cells.
+  double seed_tolerance_cells = 6.0;
+  /// Maximum |phi(outer) - phi(inner)| for a seed pair, radians.
+  double max_seed_bend = 0.5;
+  /// Reconstructed pt is clamped to this ceiling (straight tracks).
+  double max_pt = 500.0;
+};
+
+/// Finds tracks in the tracker hits of one raw event.
+class TrackFinder {
+ public:
+  TrackFinder(const DetectorGeometry& geometry, const CalibrationSet& calib,
+              TrackingConfig config = {})
+      : geometry_(geometry), calib_(calib), config_(config) {}
+
+  std::vector<Track> FindTracks(const RawEvent& raw) const;
+
+ private:
+  const DetectorGeometry& geometry_;
+  const CalibrationSet& calib_;
+  TrackingConfig config_;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_RECO_TRACKING_H_

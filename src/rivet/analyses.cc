@@ -1,0 +1,243 @@
+// Built-in preserved analyses — the repository content of the RIVET-analog.
+// Each mirrors a classic LHC truth-level measurement and doubles as a
+// master-class topic from the paper's Table 1 (W, Z, Higgs, QCD).
+#include <cmath>
+#include <memory>
+
+#include "event/pdg.h"
+#include "rivet/projections.h"
+#include "rivet/registry.h"
+
+namespace daspos {
+namespace rivet {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Z -> l+l- line shape and kinematics.
+class ZllAnalysis : public Analysis {
+ public:
+  std::string Name() const override { return "DASPOS_2014_ZLL"; }
+  std::string Summary() const override {
+    return "Z -> l+l- mass line shape, Z pT, and lepton pT";
+  }
+
+  void Init() override {
+    mass_ = Book("mll", 60, 60.0, 120.0);
+    z_pt_ = Book("z_pt", 50, 0.0, 100.0);
+    lepton_pt_ = Book("lepton_pt", 50, 0.0, 100.0);
+  }
+
+  void Analyze(const GenEvent& event) override {
+    Cuts cuts{20.0, 2.5};
+    for (int flavor : {pdg::kElectron, pdg::kMuon}) {
+      auto pair = FindDilepton(event, flavor, 91.1876, 60.0, 120.0, cuts);
+      if (!pair) continue;
+      mass_->Fill(pair->mass, event.weight);
+      z_pt_->Fill(pair->momentum.Pt(), event.weight);
+      lepton_pt_->Fill(pair->lepton_minus.momentum.Pt(), event.weight);
+      lepton_pt_->Fill(pair->lepton_plus.momentum.Pt(), event.weight);
+    }
+  }
+
+  void Finalize(double sum_of_weights) override {
+    if (sum_of_weights <= 0.0) return;
+    mass_->Scale(1.0 / sum_of_weights);
+    z_pt_->Scale(1.0 / sum_of_weights);
+    lepton_pt_->Scale(1.0 / sum_of_weights);
+  }
+
+ private:
+  Histo1D* mass_ = nullptr;
+  Histo1D* z_pt_ = nullptr;
+  Histo1D* lepton_pt_ = nullptr;
+};
+
+/// QCD dijet kinematics.
+class DijetAnalysis : public Analysis {
+ public:
+  std::string Name() const override { return "DASPOS_2014_DIJET"; }
+  std::string Summary() const override {
+    return "leading-jet pT, dijet azimuthal decorrelation, jet multiplicity";
+  }
+
+  void Init() override {
+    leading_pt_ = Book("leading_jet_pt", 48, 20.0, 260.0);
+    dphi_ = Book("dijet_dphi", 32, 0.0, kPi);
+    njets_ = Book("n_jets", 10, -0.5, 9.5);
+  }
+
+  void Analyze(const GenEvent& event) override {
+    auto jets = TruthJets(event, 0.4, 20.0, Cuts{0.2, 4.0});
+    njets_->Fill(static_cast<double>(jets.size()), event.weight);
+    if (jets.empty()) return;
+    leading_pt_->Fill(jets[0].momentum.Pt(), event.weight);
+    if (jets.size() >= 2) {
+      dphi_->Fill(DeltaPhi(jets[0].momentum, jets[1].momentum), event.weight);
+    }
+  }
+
+  void Finalize(double sum_of_weights) override {
+    if (sum_of_weights <= 0.0) return;
+    leading_pt_->Scale(1.0 / sum_of_weights);
+    dphi_->Scale(1.0 / sum_of_weights);
+    njets_->Scale(1.0 / sum_of_weights);
+  }
+
+ private:
+  Histo1D* leading_pt_ = nullptr;
+  Histo1D* dphi_ = nullptr;
+  Histo1D* njets_ = nullptr;
+};
+
+/// W charge asymmetry vs |eta| of the charged lepton.
+class WAsymmetryAnalysis : public Analysis {
+ public:
+  std::string Name() const override { return "DASPOS_2014_WASYM"; }
+  std::string Summary() const override {
+    return "W+/W- lepton charge asymmetry vs |eta|";
+  }
+
+  void Init() override {
+    plus_eta_ = Book("lplus_abseta", 10, 0.0, 2.5);
+    minus_eta_ = Book("lminus_abseta", 10, 0.0, 2.5);
+    asymmetry_ = Book("charge_asymmetry", 10, 0.0, 2.5);
+  }
+
+  void Analyze(const GenEvent& event) override {
+    Cuts cuts{20.0, 2.5};
+    auto leptons = IdentifiedFinalState(
+        event, {pdg::kElectron, pdg::kMuon}, cuts);
+    for (const GenParticle& lepton : leptons) {
+      // Require the lepton to come from a W.
+      if (lepton.mother < 0 ||
+          std::abs(event.particles[static_cast<size_t>(lepton.mother)]
+                       .pdg_id) != pdg::kWPlus) {
+        continue;
+      }
+      double abs_eta = std::fabs(lepton.momentum.Eta());
+      if (pdg::Charge(lepton.pdg_id) > 0) {
+        plus_eta_->Fill(abs_eta, event.weight);
+      } else {
+        minus_eta_->Fill(abs_eta, event.weight);
+      }
+    }
+  }
+
+  void Finalize(double sum_of_weights) override {
+    (void)sum_of_weights;
+    // A = (N+ - N-) / (N+ + N-) per bin; error propagation is quadratic.
+    for (int i = 0; i < asymmetry_->axis().nbins(); ++i) {
+      double plus = plus_eta_->BinContent(i);
+      double minus = minus_eta_->BinContent(i);
+      double total = plus + minus;
+      if (total <= 0.0) continue;
+      double asym = (plus - minus) / total;
+      // Binomial-ish error on the asymmetry.
+      double err = 2.0 * std::sqrt(plus * minus / total) / total;
+      asymmetry_->SetBin(i, asym, err * err);
+    }
+  }
+
+ private:
+  Histo1D* plus_eta_ = nullptr;
+  Histo1D* minus_eta_ = nullptr;
+  Histo1D* asymmetry_ = nullptr;
+};
+
+/// Soft-QCD charged-particle spectra — the "details of QCD" bread-and-
+/// butter RIVET was designed for (§2.4).
+class ChargedParticleAnalysis : public Analysis {
+ public:
+  std::string Name() const override { return "DASPOS_2014_CHARGED"; }
+  std::string Summary() const override {
+    return "charged-particle multiplicity and pT spectrum";
+  }
+
+  void Init() override {
+    multiplicity_ = Book("n_charged", 50, -0.5, 99.5);
+    pt_spectrum_ = Book("charged_pt", 50, 0.0, 5.0);
+  }
+
+  void Analyze(const GenEvent& event) override {
+    auto charged = ChargedFinalState(event, Cuts{0.1, 2.5});
+    multiplicity_->Fill(static_cast<double>(charged.size()), event.weight);
+    for (const GenParticle& particle : charged) {
+      pt_spectrum_->Fill(particle.momentum.Pt(), event.weight);
+    }
+  }
+
+  void Finalize(double sum_of_weights) override {
+    if (sum_of_weights <= 0.0) return;
+    multiplicity_->Scale(1.0 / sum_of_weights);
+    pt_spectrum_->Scale(1.0 / sum_of_weights);
+  }
+
+ private:
+  Histo1D* multiplicity_ = nullptr;
+  Histo1D* pt_spectrum_ = nullptr;
+};
+
+/// D-meson flight length and K-pi mass — the truth-level counterpart of
+/// the LHCb "D lifetime" master class in Table 1.
+class DMesonAnalysis : public Analysis {
+ public:
+  std::string Name() const override { return "DASPOS_2014_DMESON"; }
+  std::string Summary() const override {
+    return "D0 flight length and K-pi invariant mass";
+  }
+
+  void Init() override {
+    flight_ = Book("flight_mm", 40, 0.0, 4.0);
+    mass_ = Book("kpi_mass", 40, 1.7, 2.0);
+  }
+
+  void Analyze(const GenEvent& event) override {
+    // Find K-/pi+ pairs sharing a displaced production vertex.
+    const GenParticle* kaon = nullptr;
+    const GenParticle* pion = nullptr;
+    for (const GenParticle& particle : event.particles) {
+      if (!particle.IsFinalState() || particle.vertex_mm <= 0.0) continue;
+      if (particle.pdg_id == pdg::kKMinus) kaon = &particle;
+      if (particle.pdg_id == pdg::kPiPlus) pion = &particle;
+    }
+    if (kaon == nullptr || pion == nullptr) return;
+    if (kaon->vertex_mm != pion->vertex_mm) return;  // different vertices
+    flight_->Fill(kaon->vertex_mm, event.weight);
+    mass_->Fill(InvariantMass(kaon->momentum, pion->momentum), event.weight);
+  }
+
+  void Finalize(double sum_of_weights) override {
+    if (sum_of_weights <= 0.0) return;
+    flight_->Scale(1.0 / sum_of_weights);
+    mass_->Scale(1.0 / sum_of_weights);
+  }
+
+ private:
+  Histo1D* flight_ = nullptr;
+  Histo1D* mass_ = nullptr;
+};
+
+}  // namespace
+
+void RegisterBuiltinAnalyses(AnalysisRegistry* registry) {
+  (void)registry->Register("DASPOS_2014_DMESON", [] {
+    return std::make_unique<DMesonAnalysis>();
+  });
+  (void)registry->Register("DASPOS_2014_ZLL", [] {
+    return std::make_unique<ZllAnalysis>();
+  });
+  (void)registry->Register("DASPOS_2014_DIJET", [] {
+    return std::make_unique<DijetAnalysis>();
+  });
+  (void)registry->Register("DASPOS_2014_WASYM", [] {
+    return std::make_unique<WAsymmetryAnalysis>();
+  });
+  (void)registry->Register("DASPOS_2014_CHARGED", [] {
+    return std::make_unique<ChargedParticleAnalysis>();
+  });
+}
+
+}  // namespace rivet
+}  // namespace daspos

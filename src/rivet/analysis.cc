@@ -1,0 +1,85 @@
+#include "rivet/analysis.h"
+
+namespace daspos {
+namespace rivet {
+
+Histo1D* Analysis::Book(const std::string& tag, int nbins, double lo,
+                        double hi) {
+  std::string path = "/" + Name() + "/" + tag;
+  auto [it, inserted] =
+      histograms_.insert_or_assign(tag, Histo1D(path, nbins, lo, hi));
+  if (inserted) order_.push_back(tag);
+  return &it->second;
+}
+
+Histo1D* Analysis::Histogram(const std::string& tag) {
+  auto it = histograms_.find(tag);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+std::vector<Histo1D> Analysis::Histograms() const {
+  std::vector<Histo1D> out;
+  out.reserve(order_.size());
+  for (const std::string& tag : order_) out.push_back(histograms_.at(tag));
+  return out;
+}
+
+void AnalysisHandler::Add(std::unique_ptr<Analysis> analysis) {
+  analyses_.push_back(std::move(analysis));
+}
+
+void AnalysisHandler::Run(const std::vector<GenEvent>& events) {
+  if (!initialized_) {
+    for (auto& analysis : analyses_) analysis->Init();
+    initialized_ = true;
+  }
+  for (const GenEvent& event : events) {
+    sum_of_weights_ += event.weight;
+    ++events_processed_;
+    for (auto& analysis : analyses_) analysis->Analyze(event);
+  }
+}
+
+std::vector<Histo1D> AnalysisHandler::Finalize() {
+  std::vector<Histo1D> out;
+  for (auto& analysis : analyses_) {
+    analysis->Finalize(sum_of_weights_);
+    for (Histo1D& histogram : analysis->Histograms()) {
+      out.push_back(std::move(histogram));
+    }
+  }
+  return out;
+}
+
+Result<ValidationResult> CompareToReference(
+    const std::vector<Histo1D>& produced,
+    const std::vector<Histo1D>& reference) {
+  ValidationResult result;
+  for (const Histo1D& ref : reference) {
+    const Histo1D* match = nullptr;
+    for (const Histo1D& histogram : produced) {
+      if (histogram.path() == ref.path()) {
+        match = &histogram;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      ++result.histograms_missing;
+      continue;
+    }
+    // Shape comparison: normalize copies before the chi2.
+    Histo1D a = *match;
+    Histo1D b = ref;
+    a.Normalize();
+    b.Normalize();
+    DASPOS_ASSIGN_OR_RETURN(Chi2Result chi2, Chi2Test(a, b));
+    ++result.histograms_compared;
+    if (chi2.reduced() > result.worst_reduced_chi2) {
+      result.worst_reduced_chi2 = chi2.reduced();
+    }
+  }
+  return result;
+}
+
+}  // namespace rivet
+}  // namespace daspos

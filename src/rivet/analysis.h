@@ -1,0 +1,98 @@
+// The RIVET-analog analysis framework (§2.3): an analysis is a plugin over
+// *unfolded truth-level* events that books histograms, applies cuts via
+// projections, and compares against preserved reference data. The framework
+// deliberately refuses detector-level input — the §2.4 limitation ("no way
+// to include a detector simulation") that the RECAST bridge lifts.
+#ifndef DASPOS_RIVET_ANALYSIS_H_
+#define DASPOS_RIVET_ANALYSIS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "event/truth.h"
+#include "hist/compare.h"
+#include "hist/histo1d.h"
+#include "support/result.h"
+
+namespace daspos {
+namespace rivet {
+
+/// Base class for preserved analyses. Lifecycle: Init -> Analyze per event
+/// -> Finalize. Histograms are booked through the base so the handler owns
+/// the output.
+class Analysis {
+ public:
+  virtual ~Analysis() = default;
+
+  /// Unique analysis key, conventionally EXPERIMENT_YEAR_TOPIC
+  /// ("DASPOS_2014_ZLL").
+  virtual std::string Name() const = 0;
+  /// One-line physics summary (shown in the repository listing).
+  virtual std::string Summary() const = 0;
+
+  virtual void Init() = 0;
+  virtual void Analyze(const GenEvent& event) = 0;
+  /// Called once at the end; `sum_of_weights` is the accumulated event
+  /// weight for normalization.
+  virtual void Finalize(double sum_of_weights) = 0;
+
+  /// Histograms produced (after Finalize).
+  std::vector<Histo1D> Histograms() const;
+
+ protected:
+  /// Books (or rebooks) a histogram under /<name>/<tag>.
+  Histo1D* Book(const std::string& tag, int nbins, double lo, double hi);
+  Histo1D* Histogram(const std::string& tag);
+
+ private:
+  std::map<std::string, Histo1D> histograms_;
+  std::vector<std::string> order_;
+};
+
+/// Runs a set of analyses over truth events and collects outputs —
+/// the equivalent of the `rivet` executable.
+class AnalysisHandler {
+ public:
+  /// Registers an analysis instance (handler takes ownership).
+  void Add(std::unique_ptr<Analysis> analysis);
+
+  /// Processes events; can be called repeatedly.
+  void Run(const std::vector<GenEvent>& events);
+
+  /// Finalizes all analyses and returns every histogram.
+  std::vector<Histo1D> Finalize();
+
+  size_t analysis_count() const { return analyses_.size(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  std::vector<std::unique_ptr<Analysis>> analyses_;
+  bool initialized_ = false;
+  double sum_of_weights_ = 0.0;
+  uint64_t events_processed_ = 0;
+};
+
+/// Verdict of comparing produced histograms against reference data.
+struct ValidationResult {
+  int histograms_compared = 0;
+  int histograms_missing = 0;
+  double worst_reduced_chi2 = 0.0;
+  bool Compatible(double max_reduced_chi2 = 3.0) const {
+    return histograms_missing == 0 &&
+           worst_reduced_chi2 <= max_reduced_chi2;
+  }
+};
+
+/// Shape-compares (after normalization) each produced histogram with the
+/// reference histogram of the same path. References with no produced
+/// counterpart count as missing.
+Result<ValidationResult> CompareToReference(
+    const std::vector<Histo1D>& produced,
+    const std::vector<Histo1D>& reference);
+
+}  // namespace rivet
+}  // namespace daspos
+
+#endif  // DASPOS_RIVET_ANALYSIS_H_

@@ -1,0 +1,120 @@
+#include "rivet/projections.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "event/pdg.h"
+
+namespace daspos {
+namespace rivet {
+
+std::vector<GenParticle> FinalState(const GenEvent& event, const Cuts& cuts) {
+  std::vector<GenParticle> out;
+  for (const GenParticle& particle : event.particles) {
+    if (particle.IsFinalState() && cuts.Pass(particle.momentum)) {
+      out.push_back(particle);
+    }
+  }
+  return out;
+}
+
+std::vector<GenParticle> ChargedFinalState(const GenEvent& event,
+                                           const Cuts& cuts) {
+  std::vector<GenParticle> out;
+  for (const GenParticle& particle : event.particles) {
+    if (particle.IsFinalState() && cuts.Pass(particle.momentum) &&
+        std::fabs(pdg::Charge(particle.pdg_id)) > 0.3) {
+      out.push_back(particle);
+    }
+  }
+  return out;
+}
+
+std::vector<GenParticle> IdentifiedFinalState(
+    const GenEvent& event, const std::vector<int>& abs_pdg_ids,
+    const Cuts& cuts) {
+  std::vector<GenParticle> out;
+  for (const GenParticle& particle : event.particles) {
+    if (!particle.IsFinalState() || !cuts.Pass(particle.momentum)) continue;
+    int abs_id = std::abs(particle.pdg_id);
+    for (int wanted : abs_pdg_ids) {
+      if (abs_id == wanted) {
+        out.push_back(particle);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<DileptonPair> FindDilepton(const GenEvent& event, int flavor,
+                                         double target_mass, double mass_lo,
+                                         double mass_hi, const Cuts& cuts) {
+  std::vector<GenParticle> minus;
+  std::vector<GenParticle> plus;
+  for (const GenParticle& particle : event.particles) {
+    if (!particle.IsFinalState() || !cuts.Pass(particle.momentum)) continue;
+    if (particle.pdg_id == flavor) minus.push_back(particle);
+    if (particle.pdg_id == -flavor) plus.push_back(particle);
+  }
+  std::optional<DileptonPair> best;
+  double best_distance = 1e300;
+  for (const GenParticle& lm : minus) {
+    for (const GenParticle& lp : plus) {
+      double mass = InvariantMass(lm.momentum, lp.momentum);
+      if (mass < mass_lo || mass > mass_hi) continue;
+      double distance = std::fabs(mass - target_mass);
+      if (distance < best_distance) {
+        best_distance = distance;
+        DileptonPair pair;
+        pair.lepton_minus = lm;
+        pair.lepton_plus = lp;
+        pair.momentum = lm.momentum + lp.momentum;
+        pair.mass = mass;
+        best = pair;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<TruthJet> TruthJets(const GenEvent& event, double cone_dr,
+                                double min_jet_pt,
+                                const Cuts& particle_cuts) {
+  // Visible particles only.
+  std::vector<const GenParticle*> inputs;
+  for (const GenParticle& particle : event.particles) {
+    if (!particle.IsFinalState()) continue;
+    if (pdg::IsInvisible(particle.pdg_id)) continue;
+    if (!particle_cuts.Pass(particle.momentum)) continue;
+    inputs.push_back(&particle);
+  }
+  std::sort(inputs.begin(), inputs.end(),
+            [](const GenParticle* a, const GenParticle* b) {
+              return a->momentum.Pt() > b->momentum.Pt();
+            });
+
+  std::vector<bool> used(inputs.size(), false);
+  std::vector<TruthJet> jets;
+  for (size_t seed = 0; seed < inputs.size(); ++seed) {
+    if (used[seed]) continue;
+    TruthJet jet;
+    const FourVector& axis = inputs[seed]->momentum;
+    for (size_t i = seed; i < inputs.size(); ++i) {
+      if (used[i]) continue;
+      if (DeltaR(axis, inputs[i]->momentum) < cone_dr) {
+        used[i] = true;
+        jet.momentum += inputs[i]->momentum;
+        ++jet.constituent_count;
+      }
+    }
+    if (jet.momentum.Pt() >= min_jet_pt) jets.push_back(jet);
+  }
+  std::sort(jets.begin(), jets.end(), [](const TruthJet& a, const TruthJet& b) {
+    return a.momentum.Pt() > b.momentum.Pt();
+  });
+  return jets;
+}
+
+}  // namespace rivet
+}  // namespace daspos

@@ -1,0 +1,68 @@
+// Projections: reusable truth-event selectors, mirroring the "series of
+// standard tools written in C++ [that] can be exploited to replicate
+// analysis cuts and procedures within the RIVET framework" (§2.3).
+#ifndef DASPOS_RIVET_PROJECTIONS_H_
+#define DASPOS_RIVET_PROJECTIONS_H_
+
+#include <optional>
+#include <vector>
+
+#include "event/fourvector.h"
+#include "event/truth.h"
+
+namespace daspos {
+namespace rivet {
+
+/// Kinematic acceptance cuts shared by all projections.
+struct Cuts {
+  double min_pt = 0.0;
+  double max_abs_eta = 100.0;
+
+  bool Pass(const FourVector& momentum) const {
+    return momentum.Pt() >= min_pt &&
+           std::fabs(momentum.Eta()) <= max_abs_eta;
+  }
+};
+
+/// All final-state particles passing cuts.
+std::vector<GenParticle> FinalState(const GenEvent& event, const Cuts& cuts);
+
+/// Charged final-state particles passing cuts.
+std::vector<GenParticle> ChargedFinalState(const GenEvent& event,
+                                           const Cuts& cuts);
+
+/// Final-state particles with one of the given |pdg ids|.
+std::vector<GenParticle> IdentifiedFinalState(
+    const GenEvent& event, const std::vector<int>& abs_pdg_ids,
+    const Cuts& cuts);
+
+/// An opposite-charge same-flavour lepton pair compatible with a resonance.
+struct DileptonPair {
+  GenParticle lepton_minus;
+  GenParticle lepton_plus;
+  FourVector momentum;
+  double mass = 0.0;
+};
+
+/// Finds the dilepton pair of `flavor` (11 or 13) with invariant mass
+/// closest to `target_mass` inside [mass_lo, mass_hi].
+std::optional<DileptonPair> FindDilepton(const GenEvent& event, int flavor,
+                                         double target_mass, double mass_lo,
+                                         double mass_hi, const Cuts& cuts);
+
+/// A truth-level jet from cone clustering of visible final-state hadrons.
+struct TruthJet {
+  FourVector momentum;
+  int constituent_count = 0;
+};
+
+/// Greedy cone jet clustering (radius dr) of visible final-state particles
+/// excluding isolated prompt leptons and photons from heavy decays is NOT
+/// attempted here — this is the simple QCD-oriented RIVET-style clustering.
+std::vector<TruthJet> TruthJets(const GenEvent& event, double cone_dr,
+                                double min_jet_pt, const Cuts& particle_cuts);
+
+}  // namespace rivet
+}  // namespace daspos
+
+#endif  // DASPOS_RIVET_PROJECTIONS_H_

@@ -1,0 +1,62 @@
+// The analysis repository: "Once validated, the analysis 'code' can be
+// included in the RIVET distribution, allowing anyone to reproduce the
+// results" (§2.3). Analyses register a factory under their name; the
+// registry is the public, open catalogue (contrast recast/, which is
+// closed).
+#ifndef DASPOS_RIVET_REGISTRY_H_
+#define DASPOS_RIVET_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rivet/analysis.h"
+#include "support/result.h"
+
+namespace daspos {
+namespace rivet {
+
+class AnalysisRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Analysis>()>;
+
+  /// The process-wide registry with all built-in analyses pre-registered.
+  static AnalysisRegistry& Global();
+
+  /// Registers a factory; fails if the name is taken.
+  Status Register(const std::string& name, Factory factory);
+
+  /// Instantiates a registered analysis.
+  Result<std::unique_ptr<Analysis>> Create(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Registers the analyses shipped with this repository into `registry`
+/// (done automatically for Global()).
+void RegisterBuiltinAnalyses(AnalysisRegistry* registry);
+
+/// The §2.3 upload flow: "Once validated, the analysis 'code' can be
+/// included in the RIVET distribution." Runs a fresh instance from
+/// `factory` over `validation_events`, shape-compares the output against
+/// the submitter's `reference` histograms, and registers the factory only
+/// if everything reproduces within `max_reduced_chi2`. The repository
+/// never contains analyses whose preserved reference they cannot
+/// themselves reproduce.
+Status SubmitValidatedAnalysis(AnalysisRegistry* registry,
+                               const std::string& name,
+                               AnalysisRegistry::Factory factory,
+                               const std::vector<GenEvent>& validation_events,
+                               const std::vector<Histo1D>& reference,
+                               double max_reduced_chi2 = 3.0);
+
+}  // namespace rivet
+}  // namespace daspos
+
+#endif  // DASPOS_RIVET_REGISTRY_H_

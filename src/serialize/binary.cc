@@ -1,0 +1,115 @@
+#include "serialize/binary.h"
+
+#include <cstring>
+
+namespace daspos {
+
+void BinaryWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void BinaryWriter::PutSVarint(int64_t v) {
+  uint64_t zz = (static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63);
+  PutVarint(zz);
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  PutRaw(s);
+}
+
+void BinaryWriter::PutRaw(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+Result<uint8_t> BinaryReader::GetU8() {
+  if (pos_ >= data_.size()) return Status::Corruption("truncated: u8");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> BinaryReader::GetU32() {
+  if (remaining() < 4) return Status::Corruption("truncated: u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::GetU64() {
+  if (remaining() < 8) return Status::Corruption("truncated: u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::GetVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos_ >= data_.size()) return Status::Corruption("truncated: varint");
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    if (shift == 63 && (byte & 0x7e) != 0) {
+      return Status::Corruption("varint overflow");
+    }
+    if (shift > 63) return Status::Corruption("varint too long");
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+Result<int64_t> BinaryReader::GetSVarint() {
+  DASPOS_ASSIGN_OR_RETURN(uint64_t zz, GetVarint());
+  return static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+}
+
+Result<double> BinaryReader::GetDouble() {
+  DASPOS_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> BinaryReader::GetString() {
+  DASPOS_ASSIGN_OR_RETURN(uint64_t len, GetVarint());
+  return GetRaw(static_cast<size_t>(len));
+}
+
+Result<std::string> BinaryReader::GetRaw(size_t n) {
+  if (remaining() < n) return Status::Corruption("truncated: raw bytes");
+  std::string out(data_.substr(pos_, n));
+  pos_ += n;
+  return out;
+}
+
+Status BinaryReader::Skip(size_t n) {
+  if (remaining() < n) return Status::Corruption("truncated: skip");
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace daspos

@@ -1,0 +1,71 @@
+// Binary encoding primitives: varints, zigzag integers, fixed-width doubles,
+// and length-prefixed strings, over an in-memory buffer. All multi-byte fixed
+// values are little-endian; encodings are platform-independent so preserved
+// files decode identically decades later.
+#ifndef DASPOS_SERIALIZE_BINARY_H_
+#define DASPOS_SERIALIZE_BINARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/result.h"
+
+namespace daspos {
+
+/// Appends encoded values to an owned byte buffer.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// LEB128-style varint.
+  void PutVarint(uint64_t v);
+  /// Zigzag-mapped signed varint.
+  void PutSVarint(int64_t v);
+  /// IEEE-754 double, 8 bytes little-endian.
+  void PutDouble(double v);
+  /// Varint length followed by raw bytes.
+  void PutString(std::string_view s);
+  /// Raw bytes, no length prefix.
+  void PutRaw(std::string_view bytes);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Decodes values from a byte range. All getters fail with Corruption on
+/// truncated or malformed input instead of reading past the end.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<uint64_t> GetVarint();
+  Result<int64_t> GetSVarint();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  /// Reads exactly `n` raw bytes.
+  Result<std::string> GetRaw(size_t n);
+  /// Advances past `n` bytes without copying.
+  Status Skip(size_t n);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_SERIALIZE_BINARY_H_

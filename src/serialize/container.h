@@ -1,0 +1,79 @@
+// Self-describing record container — the on-disk format for every data tier.
+//
+// The paper stresses that preserved formats must be self-documenting
+// (Table 1 row "self-documenting?"; §3.2 provenance discussion). A container
+// therefore embeds a JSON metadata document (schema name + version, producer,
+// parent files) ahead of the payload records, and ends with a footer that
+// carries the record count and a SHA-256 of everything before it, so fixity
+// is verifiable without external information.
+//
+// Layout:
+//   "DSPC" | u32 container_version | metadata json (len-prefixed)
+//   repeated: varint record_len | record bytes
+//   "DSPE" | u64 record_count | 32-byte sha256 of all preceding bytes
+#ifndef DASPOS_SERIALIZE_CONTAINER_H_
+#define DASPOS_SERIALIZE_CONTAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serialize/json.h"
+#include "support/result.h"
+
+namespace daspos {
+
+/// Current container layout version.
+inline constexpr uint32_t kContainerVersion = 1;
+
+/// Builds a container in memory.
+class ContainerWriter {
+ public:
+  /// `metadata` should carry at least "schema" and "schema_version"; callers
+  /// add producer / parentage fields (see workflow/provenance.h).
+  explicit ContainerWriter(const Json& metadata);
+
+  /// Appends one opaque record.
+  void AddRecord(std::string_view record);
+
+  size_t record_count() const { return record_count_; }
+
+  /// Seals the container (writes the footer) and returns the bytes.
+  /// The writer must not be reused afterwards.
+  std::string Finish();
+
+ private:
+  std::string buffer_;
+  size_t record_count_ = 0;
+  bool finished_ = false;
+};
+
+/// Reads a container; validates magic, version, footer, and fixity hash on
+/// open, so any truncation or bit-rot is caught before records are consumed.
+class ContainerReader {
+ public:
+  /// Parses and verifies `data` (which must outlive the reader).
+  static Result<ContainerReader> Open(std::string_view data);
+
+  /// Opens without verifying the fixity hash (for salvage tooling).
+  static Result<ContainerReader> OpenUnverified(std::string_view data);
+
+  const Json& metadata() const { return metadata_; }
+  uint64_t record_count() const { return record_count_; }
+
+  /// Record payloads, in order. Views into the underlying data.
+  const std::vector<std::string_view>& records() const { return records_; }
+
+ private:
+  ContainerReader() = default;
+  static Result<ContainerReader> OpenImpl(std::string_view data, bool verify);
+
+  Json metadata_;
+  uint64_t record_count_ = 0;
+  std::vector<std::string_view> records_;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_SERIALIZE_CONTAINER_H_

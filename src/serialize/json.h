@@ -1,0 +1,107 @@
+// JSON value model, parser, and writer.
+//
+// The Level-2 outreach formats in the paper's Table 1 are dominated by
+// XML/JSON dialects (CMS "ig", ATLAS JiveXML); the common simplified format we
+// implement (level2/) is JSON-based, as are archive metadata records.
+// Object member order is preserved so emitted documents are deterministic —
+// a preservation requirement (fixity over metadata).
+#ifndef DASPOS_SERIALIZE_JSON_H_
+#define DASPOS_SERIALIZE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/result.h"
+
+namespace daspos {
+
+/// A JSON document node: null, bool, number (double), string, array, or
+/// object. Objects keep insertion order.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double n) : type_(Type::kNumber), number_(n) {}
+  Json(int n) : type_(Type::kNumber), number_(n) {}
+  Json(unsigned int n) : type_(Type::kNumber), number_(n) {}
+  Json(int64_t n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(uint64_t n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::kString), string_(s) {}
+
+  /// An empty array / empty object.
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; calling the wrong one returns a zero value.
+  bool as_bool() const { return is_bool() ? bool_ : false; }
+  double as_number() const { return is_number() ? number_ : 0.0; }
+  int64_t as_int() const { return static_cast<int64_t>(as_number()); }
+  const std::string& as_string() const {
+    static const std::string kEmpty;
+    return is_string() ? string_ : kEmpty;
+  }
+
+  /// Array access.
+  size_t size() const;
+  const Json& at(size_t index) const;
+  void push_back(Json value);
+
+  /// Object access. operator[] inserts a null member if missing (and converts
+  /// a null node into an object); Get returns null for missing members.
+  Json& operator[](std::string_view key);
+  const Json& Get(std::string_view key) const;
+  bool Has(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return object_;
+  }
+  const std::vector<Json>& items() const { return array_; }
+
+  /// Serializes. indent < 0 -> compact single line; otherwise pretty with the
+  /// given indent width.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses a JSON document; fails with InvalidArgument on malformed input.
+  static Result<Json> Parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_SERIALIZE_JSON_H_

@@ -1,0 +1,54 @@
+// Binned likelihood fits for the analyses in this repository: a Gaussian
+// peak over linear background (Z and Higgs mass measurements) and an
+// exponential decay (D-meson lifetime master class).
+#ifndef DASPOS_STATS_FITS_H_
+#define DASPOS_STATS_FITS_H_
+
+#include "hist/histo1d.h"
+#include "support/result.h"
+
+namespace daspos {
+
+/// Result of the peak fit.
+struct PeakFit {
+  double amplitude = 0.0;  // events in the peak
+  double mean = 0.0;
+  double sigma = 0.0;
+  double background_per_bin = 0.0;  // flat component at the window center
+  double background_slope = 0.0;
+  double nll = 0.0;
+  bool converged = false;
+};
+
+/// Fits Gaussian + linear background to a histogram via binned Poisson
+/// maximum likelihood. `mean_guess`/`sigma_guess` seed the fit.
+Result<PeakFit> FitGaussianPeak(const Histo1D& histogram, double mean_guess,
+                                double sigma_guess);
+
+/// Result of the exponential decay fit.
+struct DecayFit {
+  double lifetime = 0.0;  // in the x units of the histogram
+  double normalization = 0.0;
+  double nll = 0.0;
+  bool converged = false;
+};
+
+/// Fits N * exp(-x / tau) to a histogram via binned Poisson likelihood.
+Result<DecayFit> FitExponentialDecay(const Histo1D& histogram,
+                                     double lifetime_guess);
+
+/// Sideband background subtraction: estimates the background under
+/// [signal_lo, signal_hi] by linear interpolation from the sidebands and
+/// returns the background-subtracted signal yield. The §2.4 capability
+/// ("background subtraction") that plain RIVET lacks.
+struct SubtractionResult {
+  double signal_yield = 0.0;
+  double background_estimate = 0.0;
+  double signal_error = 0.0;
+};
+Result<SubtractionResult> SidebandSubtract(const Histo1D& histogram,
+                                           double signal_lo, double signal_hi);
+
+}  // namespace daspos
+
+#endif  // DASPOS_STATS_FITS_H_

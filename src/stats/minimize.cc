@@ -1,0 +1,137 @@
+#include "stats/minimize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daspos {
+
+MinimizeResult Minimize(
+    const std::function<double(const std::vector<double>&)>& fn,
+    std::vector<double> start, const MinimizeOptions& options) {
+  const size_t n = start.size();
+  MinimizeResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Build the initial simplex.
+  std::vector<std::vector<double>> simplex(n + 1, start);
+  for (size_t i = 0; i < n; ++i) {
+    double step = options.initial_step * std::fabs(start[i]);
+    if (step < 1e-6) step = options.initial_step;
+    simplex[i + 1][i] += step;
+  }
+  std::vector<double> values(n + 1);
+  for (size_t i = 0; i <= n; ++i) values[i] = fn(simplex[i]);
+
+  auto order = [&]() {
+    std::vector<size_t> idx(n + 1);
+    for (size_t i = 0; i <= n; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t a, size_t b) { return values[a] < values[b]; });
+    std::vector<std::vector<double>> new_simplex(n + 1);
+    std::vector<double> new_values(n + 1);
+    for (size_t i = 0; i <= n; ++i) {
+      new_simplex[i] = simplex[idx[i]];
+      new_values[i] = values[idx[i]];
+    }
+    simplex = std::move(new_simplex);
+    values = std::move(new_values);
+  };
+
+  int iteration = 0;
+  for (; iteration < options.max_iterations; ++iteration) {
+    order();
+    // Converged only when both the function values and the simplex itself
+    // have collapsed: a symmetric straddle of the minimum can have equal
+    // values at distinct points.
+    double spread = 0.0;
+    for (size_t i = 1; i <= n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        spread = std::max(spread, std::fabs(simplex[i][j] - simplex[0][j]));
+      }
+    }
+    double scale = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      scale = std::max(scale, std::fabs(simplex[0][j]));
+    }
+    if (std::fabs(values[n] - values[0]) <
+            options.tolerance * (std::fabs(values[0]) + options.tolerance) &&
+        spread < 1e-7 * (scale + 1.0)) {
+      result.converged = true;
+      break;
+    }
+    if (std::fabs(values[n] - values[0]) <
+        options.tolerance * (std::fabs(values[0]) + options.tolerance)) {
+      // Equal values at distinct points: shrink towards the best point to
+      // break the symmetry instead of declaring victory.
+      for (size_t i = 1; i <= n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          simplex[i][j] =
+              simplex[0][j] + 0.5 * (simplex[i][j] - simplex[0][j]);
+        }
+        values[i] = fn(simplex[i]);
+      }
+      continue;
+    }
+
+    // Centroid of all but the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double factor) {
+      std::vector<double> point(n);
+      for (size_t j = 0; j < n; ++j) {
+        point[j] = centroid[j] + factor * (simplex[n][j] - centroid[j]);
+      }
+      return point;
+    };
+
+    std::vector<double> reflected = blend(-1.0);
+    double reflected_value = fn(reflected);
+    if (reflected_value < values[0]) {
+      // Try expansion.
+      std::vector<double> expanded = blend(-2.0);
+      double expanded_value = fn(expanded);
+      if (expanded_value < reflected_value) {
+        simplex[n] = std::move(expanded);
+        values[n] = expanded_value;
+      } else {
+        simplex[n] = std::move(reflected);
+        values[n] = reflected_value;
+      }
+      continue;
+    }
+    if (reflected_value < values[n - 1]) {
+      simplex[n] = std::move(reflected);
+      values[n] = reflected_value;
+      continue;
+    }
+    // Contraction.
+    std::vector<double> contracted = blend(0.5);
+    double contracted_value = fn(contracted);
+    if (contracted_value < values[n]) {
+      simplex[n] = std::move(contracted);
+      values[n] = contracted_value;
+      continue;
+    }
+    // Shrink towards the best point.
+    for (size_t i = 1; i <= n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        simplex[i][j] = simplex[0][j] + 0.5 * (simplex[i][j] - simplex[0][j]);
+      }
+      values[i] = fn(simplex[i]);
+    }
+  }
+  order();
+  result.parameters = simplex[0];
+  result.value = values[0];
+  result.iterations = iteration;
+  return result;
+}
+
+}  // namespace daspos

@@ -1,0 +1,36 @@
+// Derivative-free function minimization (Nelder-Mead simplex), the engine
+// behind the likelihood fits. These are the "more advanced analysis or
+// statistical techniques" (limit-setting, likelihood fitting) that §2.4
+// lists as missing from RIVET and present in full experiment frameworks.
+#ifndef DASPOS_STATS_MINIMIZE_H_
+#define DASPOS_STATS_MINIMIZE_H_
+
+#include <functional>
+#include <vector>
+
+namespace daspos {
+
+struct MinimizeOptions {
+  int max_iterations = 2000;
+  /// Convergence: simplex function-value spread below this.
+  double tolerance = 1e-9;
+  /// Initial simplex scale per parameter (relative, with absolute floor).
+  double initial_step = 0.1;
+};
+
+struct MinimizeResult {
+  std::vector<double> parameters;
+  double value = 0.0;
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Minimizes `fn` starting from `start`. `fn` must be defined everywhere
+/// (return a large value outside the physical region).
+MinimizeResult Minimize(const std::function<double(const std::vector<double>&)>& fn,
+                        std::vector<double> start,
+                        const MinimizeOptions& options = {});
+
+}  // namespace daspos
+
+#endif  // DASPOS_STATS_MINIMIZE_H_

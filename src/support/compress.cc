@@ -1,0 +1,167 @@
+#include "support/compress.h"
+
+#include <cstring>
+#include <vector>
+
+namespace daspos {
+
+namespace {
+
+constexpr char kMagic[] = "DZ01";
+constexpr size_t kMagicLen = 4;
+constexpr size_t kWindow = 65535;   // u16 offset
+constexpr size_t kMinMatch = 4;     // below this a literal is cheaper
+constexpr size_t kMaxMatch = 255 + kMinMatch;
+constexpr size_t kHashSize = 1 << 15;
+
+void PutVarint(std::string& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>(v) | static_cast<char>(0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+uint32_t HashAt(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> 17 & (kHashSize - 1);
+}
+
+}  // namespace
+
+std::string Compress(std::string_view data) {
+  std::string out(kMagic, kMagicLen);
+  PutVarint(out, data.size());
+  if (data.empty()) return out;
+
+  const uint8_t* input = reinterpret_cast<const uint8_t*>(data.data());
+  const size_t n = data.size();
+  // Hash chains: most recent position for each 4-byte prefix hash.
+  std::vector<int64_t> head(kHashSize, -1);
+
+  size_t flag_pos = 0;
+  int flag_bit = 8;  // force a new flag byte immediately
+  uint8_t flag = 0;
+
+  auto begin_item = [&](bool is_match) {
+    if (flag_bit == 8) {
+      if (flag_pos != 0) out[flag_pos] = static_cast<char>(flag);
+      flag_pos = out.size();
+      out.push_back(0);
+      flag = 0;
+      flag_bit = 0;
+    }
+    if (is_match) flag |= static_cast<uint8_t>(1u << flag_bit);
+    ++flag_bit;
+  };
+
+  size_t pos = 0;
+  while (pos < n) {
+    size_t best_len = 0;
+    size_t best_offset = 0;
+    if (pos + kMinMatch <= n) {
+      uint32_t hash = HashAt(input + pos);
+      int64_t candidate = head[hash];
+      if (candidate >= 0 && pos - static_cast<size_t>(candidate) <= kWindow) {
+        size_t offset = pos - static_cast<size_t>(candidate);
+        size_t len = 0;
+        size_t max_len = std::min(kMaxMatch, n - pos);
+        while (len < max_len && input[candidate + len] == input[pos + len]) {
+          ++len;
+        }
+        if (len >= kMinMatch) {
+          best_len = len;
+          best_offset = offset;
+        }
+      }
+      head[hash] = static_cast<int64_t>(pos);
+    }
+    if (best_len >= kMinMatch) {
+      begin_item(true);
+      out.push_back(static_cast<char>(best_offset & 0xff));
+      out.push_back(static_cast<char>(best_offset >> 8));
+      out.push_back(static_cast<char>(best_len - kMinMatch));
+      // Index a few interior positions so later matches can anchor here.
+      size_t end = pos + best_len;
+      for (size_t i = pos + 1; i + kMinMatch <= n && i < end; ++i) {
+        head[HashAt(input + i)] = static_cast<int64_t>(i);
+      }
+      pos = end;
+    } else {
+      begin_item(false);
+      out.push_back(static_cast<char>(input[pos]));
+      ++pos;
+    }
+  }
+  if (flag_pos != 0) out[flag_pos] = static_cast<char>(flag);
+  return out;
+}
+
+Result<std::string> Decompress(std::string_view compressed) {
+  if (compressed.size() < kMagicLen ||
+      compressed.substr(0, kMagicLen) != std::string_view(kMagic, kMagicLen)) {
+    return Status::Corruption("not a DZ01 compressed stream");
+  }
+  size_t pos = kMagicLen;
+  // Varint raw size.
+  uint64_t raw_size = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos >= compressed.size()) {
+      return Status::Corruption("truncated compressed header");
+    }
+    uint8_t byte = static_cast<uint8_t>(compressed[pos++]);
+    if (shift > 63) return Status::Corruption("bad compressed size varint");
+    raw_size |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  // Guard: the output cannot be absurdly larger than the stream
+  // (worst-case expansion of this format is ~8.3x... inverted: each stream
+  // byte decodes to at most kMaxMatch output bytes).
+  if (raw_size > compressed.size() * kMaxMatch + 64) {
+    return Status::Corruption("claimed raw size implausible");
+  }
+
+  std::string out;
+  out.reserve(static_cast<size_t>(raw_size));
+  while (out.size() < raw_size) {
+    if (pos >= compressed.size()) {
+      return Status::Corruption("truncated compressed stream");
+    }
+    uint8_t flag = static_cast<uint8_t>(compressed[pos++]);
+    for (int bit = 0; bit < 8 && out.size() < raw_size; ++bit) {
+      if (flag & (1u << bit)) {
+        if (pos + 3 > compressed.size()) {
+          return Status::Corruption("truncated back-reference");
+        }
+        size_t offset = static_cast<uint8_t>(compressed[pos]) |
+                        (static_cast<size_t>(
+                             static_cast<uint8_t>(compressed[pos + 1]))
+                         << 8);
+        size_t length =
+            static_cast<uint8_t>(compressed[pos + 2]) + kMinMatch;
+        pos += 3;
+        if (offset == 0 || offset > out.size()) {
+          return Status::Corruption("back-reference outside window");
+        }
+        if (out.size() + length > raw_size) {
+          return Status::Corruption("back-reference overruns raw size");
+        }
+        size_t start = out.size() - offset;
+        for (size_t i = 0; i < length; ++i) {
+          out.push_back(out[start + i]);  // may overlap: byte-by-byte
+        }
+      } else {
+        if (pos >= compressed.size()) {
+          return Status::Corruption("truncated literal");
+        }
+        out.push_back(compressed[pos++]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace daspos

@@ -1,0 +1,27 @@
+// LZSS compression. Self-contained (a preservation archive must be able to
+// decompress its own holdings with zero external dependencies), byte-exact,
+// and deliberately simple: correctness and longevity over ratio.
+//
+// Stream layout: "DZ01" magic, varint raw size, then token groups: a flag
+// byte announces 8 items, bit set = (u16 offset, u8 length) back-reference,
+// bit clear = literal byte.
+#ifndef DASPOS_SUPPORT_COMPRESS_H_
+#define DASPOS_SUPPORT_COMPRESS_H_
+
+#include <string>
+#include <string_view>
+
+#include "support/result.h"
+
+namespace daspos {
+
+/// Compresses `data`. Output is never catastrophically larger than the
+/// input (worst case: 9/8 of input plus a small header).
+std::string Compress(std::string_view data);
+
+/// Decompresses a Compress() stream; Corruption on malformed input.
+Result<std::string> Decompress(std::string_view compressed);
+
+}  // namespace daspos
+
+#endif  // DASPOS_SUPPORT_COMPRESS_H_

@@ -1,0 +1,54 @@
+#include "support/io.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace daspos {
+
+namespace fs = std::filesystem;
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string data;
+  in.seekg(0, std::ios::end);
+  std::streampos size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat: " + path);
+  data.resize(static_cast<size_t>(size));
+  in.seekg(0);
+  in.read(data.data(), size);
+  if (!in) return Status::IOError("short read: " + path);
+  return data;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view data) {
+  std::error_code ec;
+  fs::path p(path);
+  if (p.has_parent_path()) {
+    fs::create_directories(p.parent_path(), ec);
+    if (ec) {
+      return Status::IOError("cannot create directories for: " + path + ": " +
+                             ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::is_regular_file(path, ec);
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) return Status::IOError("cannot remove: " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+}  // namespace daspos

@@ -1,0 +1,28 @@
+// Whole-file IO helpers with Status-based error reporting.
+#ifndef DASPOS_SUPPORT_IO_H_
+#define DASPOS_SUPPORT_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "support/result.h"
+#include "support/status.h"
+
+namespace daspos {
+
+/// Reads the entire file at `path` into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `data` to `path`, creating parent directories as needed and
+/// truncating any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view data);
+
+/// True if a regular file exists at `path`.
+bool FileExists(const std::string& path);
+
+/// Removes the file at `path` if present; missing files are not an error.
+Status RemoveFile(const std::string& path);
+
+}  // namespace daspos
+
+#endif  // DASPOS_SUPPORT_IO_H_

@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr. Subsystems log sparingly; the default
+// level is kWarning so tests and benches stay quiet.
+#ifndef DASPOS_SUPPORT_LOGGING_H_
+#define DASPOS_SUPPORT_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace daspos {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the process-wide minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits `message` at `level` if it passes the threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream collector whose destructor emits the accumulated line.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DASPOS_LOG(level) \
+  ::daspos::internal::LogLine(::daspos::LogLevel::level)
+
+}  // namespace daspos
+
+#endif  // DASPOS_SUPPORT_LOGGING_H_

@@ -1,0 +1,75 @@
+// Result<T>: value-or-Status, the companion of Status for functions that
+// produce a value on success.
+#ifndef DASPOS_SUPPORT_RESULT_H_
+#define DASPOS_SUPPORT_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "support/status.h"
+
+namespace daspos {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Never holds both an OK status and no value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from a non-OK status: failure. Constructing from an OK status
+  /// is a programming error.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Value if ok, otherwise the supplied fallback.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Unwraps a Result into `lhs`, returning the error Status on failure.
+/// Usage: DASPOS_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define DASPOS_ASSIGN_OR_RETURN(lhs, rexpr)                    \
+  DASPOS_ASSIGN_OR_RETURN_IMPL(                                \
+      DASPOS_RESULT_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define DASPOS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define DASPOS_RESULT_CONCAT_(a, b) DASPOS_RESULT_CONCAT_IMPL_(a, b)
+#define DASPOS_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace daspos
+
+#endif  // DASPOS_SUPPORT_RESULT_H_

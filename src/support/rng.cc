@@ -1,0 +1,116 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace daspos {
+namespace {
+
+inline uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  uint64_t result = RotL(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotL(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 top bits -> double in [0,1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  // Rejection to remove modulo bias.
+  uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Gauss() {
+  // Box-Muller; draw u1 away from zero to keep log() finite.
+  double u1;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 0.0);
+  double u2 = Uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+}
+
+double Rng::Gauss(double mean, double sigma) { return mean + sigma * Gauss(); }
+
+double Rng::Exponential(double mean) {
+  double u;
+  do {
+    u = Uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 50.0) {
+    // Knuth inversion.
+    double l = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= Uniform();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction, floored at zero.
+  double draw = Gauss(mean, std::sqrt(mean)) + 0.5;
+  return draw < 0.0 ? 0 : static_cast<uint64_t>(draw);
+}
+
+double Rng::BreitWigner(double mean, double gamma) {
+  double u;
+  do {
+    u = Uniform();
+  } while (u <= 0.0 || u >= 1.0);
+  return mean + 0.5 * gamma * std::tan(kPi * (u - 0.5));
+}
+
+bool Rng::Accept(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+Rng Rng::Fork(uint64_t label) {
+  // Mix the current stream with the label so forks with different labels are
+  // independent and a fork does not perturb the parent more than one draw.
+  uint64_t mixed = NextU64() ^ (label * 0x9e3779b97f4a7c15ull + 0x7f4a7c15ull);
+  return Rng(mixed);
+}
+
+}  // namespace daspos

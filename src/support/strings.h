@@ -1,0 +1,49 @@
+// Small string utilities shared across subsystems.
+#ifndef DASPOS_SUPPORT_STRINGS_H_
+#define DASPOS_SUPPORT_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/result.h"
+
+namespace daspos {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lowercases ASCII letters.
+std::string ToLower(std::string_view text);
+
+/// Encodes bytes as lowercase hex.
+std::string HexEncode(std::string_view bytes);
+
+/// Decodes lowercase/uppercase hex; fails on odd length or non-hex chars.
+Result<std::string> HexDecode(std::string_view hex);
+
+/// Formats a double with `digits` significant digits (for tables/reports).
+std::string FormatDouble(double value, int digits = 6);
+
+/// Formats a byte count in human-readable units ("1.5 MiB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Parses a non-negative integer; fails on junk or overflow.
+Result<uint64_t> ParseU64(std::string_view text);
+
+/// Parses a double; fails on junk.
+Result<double> ParseDouble(std::string_view text);
+
+}  // namespace daspos
+
+#endif  // DASPOS_SUPPORT_STRINGS_H_

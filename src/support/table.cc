@@ -1,0 +1,54 @@
+#include "support/table.h"
+
+#include <algorithm>
+
+namespace daspos {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::SetTitle(std::string title) { title_ = std::move(title); }
+
+std::string TextTable::Render() const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+
+  std::vector<size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      line += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  if (!header_.empty()) {
+    out += render_row(header_);
+    std::string rule = "|";
+    for (size_t i = 0; i < cols; ++i) {
+      rule += std::string(widths[i] + 2, '-') + "|";
+    }
+    out += rule + "\n";
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace daspos

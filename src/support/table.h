@@ -1,0 +1,39 @@
+// ASCII table rendering used by the bench harnesses to regenerate the
+// paper's tables (Table 1, the maturity grids) in a readable fixed-width form.
+#ifndef DASPOS_SUPPORT_TABLE_H_
+#define DASPOS_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace daspos {
+
+/// Builds a fixed-width text table with a header row and column separators.
+/// Cells are stored as strings; the renderer computes column widths and wraps
+/// nothing (keep cells short).
+class TextTable {
+ public:
+  /// Sets the header row; resets nothing else.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Rows may have fewer cells than the header; missing
+  /// cells render empty. Extra cells are kept and widen the table.
+  void AddRow(std::vector<std::string> row);
+
+  /// Optional caption printed above the table.
+  void SetTitle(std::string title);
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with `|` separators and a rule under the header.
+  std::string Render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_SUPPORT_TABLE_H_

@@ -1,0 +1,145 @@
+#include "tiers/dataset.h"
+
+namespace daspos {
+
+namespace {
+
+DataTier TierFromSchema(const std::string& schema, bool* ok) {
+  *ok = true;
+  for (DataTier tier :
+       {DataTier::kGen, DataTier::kRaw, DataTier::kReco, DataTier::kAod,
+        DataTier::kDerived}) {
+    if (schema == TierSchema(tier)) return tier;
+  }
+  *ok = false;
+  return DataTier::kGen;
+}
+
+Json MakeMetadata(const DatasetInfo& info) {
+  Json meta = info.ToJson();
+  meta["schema"] = std::string(TierSchema(info.tier));
+  meta["schema_version"] = 1;
+  return meta;
+}
+
+template <typename Event>
+std::string WriteDataset(const DatasetInfo& info,
+                         const std::vector<Event>& events) {
+  ContainerWriter writer(MakeMetadata(info));
+  for (const Event& event : events) writer.AddRecord(event.ToRecord());
+  return writer.Finish();
+}
+
+template <typename Event>
+Result<std::vector<Event>> ReadDataset(std::string_view blob,
+                                       std::initializer_list<DataTier> allowed,
+                                       DatasetInfo* info_out) {
+  DASPOS_ASSIGN_OR_RETURN(ContainerReader reader, ContainerReader::Open(blob));
+  DASPOS_ASSIGN_OR_RETURN(DatasetInfo info,
+                          DatasetInfo::FromJson(reader.metadata()));
+  bool tier_ok = false;
+  for (DataTier tier : allowed) {
+    if (info.tier == tier) tier_ok = true;
+  }
+  if (!tier_ok) {
+    return Status::InvalidArgument(
+        "dataset '" + info.name + "' has tier " +
+        std::string(TierName(info.tier)) + ", not the expected one");
+  }
+  std::vector<Event> events;
+  events.reserve(reader.records().size());
+  for (std::string_view record : reader.records()) {
+    DASPOS_ASSIGN_OR_RETURN(Event event, Event::FromRecord(record));
+    events.push_back(std::move(event));
+  }
+  if (info_out != nullptr) *info_out = std::move(info);
+  return events;
+}
+
+}  // namespace
+
+Json DatasetInfo::ToJson() const {
+  Json json = Json::Object();
+  json["tier"] = std::string(TierName(tier));
+  json["name"] = name;
+  json["producer"] = producer;
+  Json parent_list = Json::Array();
+  for (const std::string& parent : parents) parent_list.push_back(parent);
+  json["parents"] = std::move(parent_list);
+  json["description"] = description;
+  return json;
+}
+
+Result<DatasetInfo> DatasetInfo::FromJson(const Json& json) {
+  DatasetInfo info;
+  bool ok = false;
+  // Prefer the schema field (authoritative); fall back to the tier name.
+  if (json.Has("schema")) {
+    info.tier = TierFromSchema(json.Get("schema").as_string(), &ok);
+  }
+  if (!ok) {
+    std::string tier_name = json.Get("tier").as_string();
+    for (DataTier tier :
+         {DataTier::kGen, DataTier::kRaw, DataTier::kReco, DataTier::kAod,
+          DataTier::kDerived}) {
+      if (tier_name == TierName(tier)) {
+        info.tier = tier;
+        ok = true;
+      }
+    }
+  }
+  if (!ok) {
+    return Status::Corruption("dataset metadata has unknown tier/schema");
+  }
+  info.name = json.Get("name").as_string();
+  info.producer = json.Get("producer").as_string();
+  const Json& parents = json.Get("parents");
+  for (size_t i = 0; i < parents.size(); ++i) {
+    info.parents.push_back(parents.at(i).as_string());
+  }
+  info.description = json.Get("description").as_string();
+  return info;
+}
+
+std::string WriteGenDataset(const DatasetInfo& info,
+                            const std::vector<GenEvent>& events) {
+  return WriteDataset(info, events);
+}
+std::string WriteRawDataset(const DatasetInfo& info,
+                            const std::vector<RawEvent>& events) {
+  return WriteDataset(info, events);
+}
+std::string WriteRecoDataset(const DatasetInfo& info,
+                             const std::vector<RecoEvent>& events) {
+  return WriteDataset(info, events);
+}
+std::string WriteAodDataset(const DatasetInfo& info,
+                            const std::vector<AodEvent>& events) {
+  return WriteDataset(info, events);
+}
+
+Result<std::vector<GenEvent>> ReadGenDataset(std::string_view blob,
+                                             DatasetInfo* info) {
+  return ReadDataset<GenEvent>(blob, {DataTier::kGen}, info);
+}
+Result<std::vector<RawEvent>> ReadRawDataset(std::string_view blob,
+                                             DatasetInfo* info) {
+  return ReadDataset<RawEvent>(blob, {DataTier::kRaw}, info);
+}
+Result<std::vector<RecoEvent>> ReadRecoDataset(std::string_view blob,
+                                               DatasetInfo* info) {
+  return ReadDataset<RecoEvent>(blob, {DataTier::kReco}, info);
+}
+Result<std::vector<AodEvent>> ReadAodDataset(std::string_view blob,
+                                             DatasetInfo* info) {
+  // Derived datasets keep the AOD record layout.
+  return ReadDataset<AodEvent>(blob, {DataTier::kAod, DataTier::kDerived},
+                               info);
+}
+
+Result<DatasetInfo> ReadDatasetInfo(std::string_view blob) {
+  DASPOS_ASSIGN_OR_RETURN(ContainerReader reader, ContainerReader::Open(blob));
+  return DatasetInfo::FromJson(reader.metadata());
+}
+
+}  // namespace daspos

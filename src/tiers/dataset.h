@@ -1,0 +1,66 @@
+// Typed dataset files: one self-describing container per tier, carrying the
+// tier schema, producer, and parentage in its metadata. This is where the
+// "logical skimming/slimming description" of derived formats (§3.2) becomes
+// inspectable from the file alone.
+#ifndef DASPOS_TIERS_DATASET_H_
+#define DASPOS_TIERS_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "event/aod.h"
+#include "event/raw.h"
+#include "event/reco.h"
+#include "event/truth.h"
+#include "serialize/container.h"
+#include "serialize/json.h"
+#include "support/result.h"
+#include "tiers/tier.h"
+
+namespace daspos {
+
+/// Descriptive metadata every dataset file carries.
+struct DatasetInfo {
+  DataTier tier = DataTier::kGen;
+  /// Logical dataset name ("zmm_run7_aod").
+  std::string name;
+  /// Producing step ("reco_step v3"); provenance lives in workflow/ but the
+  /// file itself names its producer so it stays interpretable standalone.
+  std::string producer;
+  /// Logical names of the input dataset(s).
+  std::vector<std::string> parents;
+  /// Free-form physics description.
+  std::string description;
+
+  Json ToJson() const;
+  static Result<DatasetInfo> FromJson(const Json& json);
+};
+
+/// Serializes events of tier-appropriate type into a container blob.
+/// The unparameterized record type keeps one writer per tier trivial.
+std::string WriteGenDataset(const DatasetInfo& info,
+                            const std::vector<GenEvent>& events);
+std::string WriteRawDataset(const DatasetInfo& info,
+                            const std::vector<RawEvent>& events);
+std::string WriteRecoDataset(const DatasetInfo& info,
+                             const std::vector<RecoEvent>& events);
+std::string WriteAodDataset(const DatasetInfo& info,
+                            const std::vector<AodEvent>& events);
+
+/// Opens a dataset blob, checks the expected tier schema, and decodes all
+/// events. Fixity and structure errors surface as Corruption.
+Result<std::vector<GenEvent>> ReadGenDataset(std::string_view blob,
+                                             DatasetInfo* info = nullptr);
+Result<std::vector<RawEvent>> ReadRawDataset(std::string_view blob,
+                                             DatasetInfo* info = nullptr);
+Result<std::vector<RecoEvent>> ReadRecoDataset(std::string_view blob,
+                                               DatasetInfo* info = nullptr);
+Result<std::vector<AodEvent>> ReadAodDataset(std::string_view blob,
+                                             DatasetInfo* info = nullptr);
+
+/// Reads only the metadata of any dataset blob.
+Result<DatasetInfo> ReadDatasetInfo(std::string_view blob);
+
+}  // namespace daspos
+
+#endif  // DASPOS_TIERS_DATASET_H_

@@ -1,0 +1,54 @@
+// Data-tier taxonomy, following the DPHEP levels the paper uses: generator
+// truth, RAW detector output, full Reconstruction output, AOD, and derived
+// (skimmed/slimmed) analysis formats.
+#ifndef DASPOS_TIERS_TIER_H_
+#define DASPOS_TIERS_TIER_H_
+
+#include <string_view>
+
+namespace daspos {
+
+enum class DataTier {
+  kGen = 0,
+  kRaw = 1,
+  kReco = 2,
+  kAod = 3,
+  kDerived = 4,
+};
+
+constexpr std::string_view TierName(DataTier tier) {
+  switch (tier) {
+    case DataTier::kGen:
+      return "GEN";
+    case DataTier::kRaw:
+      return "RAW";
+    case DataTier::kReco:
+      return "RECO";
+    case DataTier::kAod:
+      return "AOD";
+    case DataTier::kDerived:
+      return "DERIVED";
+  }
+  return "?";
+}
+
+/// Container schema string for a tier ("daspos.raw.v1", ...).
+constexpr std::string_view TierSchema(DataTier tier) {
+  switch (tier) {
+    case DataTier::kGen:
+      return "daspos.gen.v1";
+    case DataTier::kRaw:
+      return "daspos.raw.v1";
+    case DataTier::kReco:
+      return "daspos.reco.v1";
+    case DataTier::kAod:
+      return "daspos.aod.v1";
+    case DataTier::kDerived:
+      return "daspos.derived.v1";
+  }
+  return "?";
+}
+
+}  // namespace daspos
+
+#endif  // DASPOS_TIERS_TIER_H_

@@ -1,0 +1,139 @@
+#include "workflow/engine.h"
+
+#include "support/sha256.h"
+
+namespace daspos {
+
+Status WorkflowContext::PutDataset(const std::string& name,
+                                   std::string blob) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must not be empty");
+  }
+  auto [it, inserted] = datasets_.emplace(name, std::move(blob));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("dataset '" + name + "' already stored");
+  }
+  return Status::OK();
+}
+
+Result<std::string_view> WorkflowContext::GetDataset(
+    const std::string& name) const {
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset '" + name + "' not in context");
+  }
+  return std::string_view(it->second);
+}
+
+bool WorkflowContext::HasDataset(const std::string& name) const {
+  return datasets_.count(name) > 0;
+}
+
+std::vector<std::string> WorkflowContext::DatasetNames() const {
+  std::vector<std::string> out;
+  out.reserve(datasets_.size());
+  for (const auto& [name, blob] : datasets_) {
+    (void)blob;
+    out.push_back(name);
+  }
+  return out;
+}
+
+uint64_t WorkflowContext::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, blob] : datasets_) {
+    (void)name;
+    total += blob.size();
+  }
+  return total;
+}
+
+Status Workflow::AddStep(std::shared_ptr<WorkflowStep> step,
+                         std::vector<std::string> inputs,
+                         std::string output) {
+  if (step == nullptr) {
+    return Status::InvalidArgument("null workflow step");
+  }
+  if (output.empty()) {
+    return Status::InvalidArgument("workflow step needs an output name");
+  }
+  for (const Binding& binding : bindings_) {
+    if (binding.output == output) {
+      return Status::AlreadyExists("output '" + output +
+                                   "' already produced by step '" +
+                                   binding.step->name() + "'");
+    }
+  }
+  bindings_.push_back({std::move(step), std::move(inputs), std::move(output)});
+  return Status::OK();
+}
+
+Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
+                                         ProvenanceStore* provenance) const {
+  WorkflowReport report;
+  std::vector<bool> done(bindings_.size(), false);
+  size_t completed = 0;
+
+  while (completed < bindings_.size()) {
+    bool progressed = false;
+    for (size_t i = 0; i < bindings_.size(); ++i) {
+      if (done[i]) continue;
+      const Binding& binding = bindings_[i];
+      bool ready = true;
+      for (const std::string& input : binding.inputs) {
+        if (!context->HasDataset(input)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+
+      std::vector<std::string_view> inputs;
+      inputs.reserve(binding.inputs.size());
+      for (const std::string& input : binding.inputs) {
+        DASPOS_ASSIGN_OR_RETURN(std::string_view blob,
+                                context->GetDataset(input));
+        inputs.push_back(blob);
+      }
+      DASPOS_ASSIGN_OR_RETURN(std::string output,
+                              binding.step->Run(inputs, context));
+      uint64_t output_bytes = output.size();
+      DASPOS_RETURN_IF_ERROR(
+          context->PutDataset(binding.output, std::move(output)));
+
+      if (provenance != nullptr) {
+        ProvenanceRecord record;
+        record.dataset = binding.output;
+        record.producer = binding.step->name();
+        record.producer_version = binding.step->version();
+        record.config = binding.step->Config();
+        record.config_hash = Sha256::HashHex(record.config.Dump());
+        record.parents = binding.inputs;
+        record.output_bytes = output_bytes;
+        record.output_events = binding.step->last_output_events();
+        DASPOS_RETURN_IF_ERROR(provenance->Add(std::move(record)));
+      }
+
+      report.steps.push_back(
+          {binding.step->name(), binding.output, output_bytes});
+      done[i] = true;
+      ++completed;
+      progressed = true;
+    }
+    if (!progressed) {
+      std::string blocked;
+      for (size_t i = 0; i < bindings_.size(); ++i) {
+        if (!done[i]) {
+          if (!blocked.empty()) blocked += ", ";
+          blocked += bindings_[i].step->name();
+        }
+      }
+      return Status::FailedPrecondition(
+          "workflow cannot progress; blocked steps: " + blocked);
+    }
+  }
+  return report;
+}
+
+}  // namespace daspos

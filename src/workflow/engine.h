@@ -1,0 +1,98 @@
+// Workflow engine: a dataflow graph of processing steps over named
+// datasets, with optional provenance capture. Models the "nested levels of
+// processing required to go from the raw data ... to the final physics
+// analysis" (§5) in a form a preservation system can record and re-execute.
+#ifndef DASPOS_WORKFLOW_ENGINE_H_
+#define DASPOS_WORKFLOW_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "conditions/provider.h"
+#include "serialize/json.h"
+#include "support/result.h"
+#include "workflow/provenance.h"
+
+namespace daspos {
+
+/// Execution-time environment: dataset storage plus external services
+/// (the conditions database — the paper's canonical external dependency).
+class WorkflowContext {
+ public:
+  /// Stores a dataset blob under a unique logical name.
+  Status PutDataset(const std::string& name, std::string blob);
+  Result<std::string_view> GetDataset(const std::string& name) const;
+  bool HasDataset(const std::string& name) const;
+  std::vector<std::string> DatasetNames() const;
+  uint64_t TotalBytes() const;
+
+  /// Optional conditions service, not owned.
+  void set_conditions(const ConditionsProvider* provider) {
+    conditions_ = provider;
+  }
+  const ConditionsProvider* conditions() const { return conditions_; }
+
+ private:
+  std::map<std::string, std::string> datasets_;
+  const ConditionsProvider* conditions_ = nullptr;
+};
+
+/// One processing step. Implementations are in steps.h; anything honoring
+/// this interface can join a workflow.
+class WorkflowStep {
+ public:
+  virtual ~WorkflowStep() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string version() const = 0;
+  /// Canonical configuration capture; hashed into provenance.
+  virtual Json Config() const = 0;
+  /// Consumes the input blobs and returns the output dataset blob.
+  virtual Result<std::string> Run(const std::vector<std::string_view>& inputs,
+                                  WorkflowContext* context) const = 0;
+  /// Number of events in the produced blob (for provenance accounting);
+  /// steps that cannot tell return 0.
+  virtual uint64_t last_output_events() const { return 0; }
+};
+
+/// Report of one executed workflow.
+struct WorkflowReport {
+  struct StepResult {
+    std::string step;
+    std::string output;
+    uint64_t output_bytes = 0;
+  };
+  std::vector<StepResult> steps;
+};
+
+/// A directed acyclic processing graph. Steps are bound to named inputs and
+/// one named output; execution order is resolved by data availability.
+class Workflow {
+ public:
+  /// Binds a step. The output name must be unique across the workflow.
+  Status AddStep(std::shared_ptr<WorkflowStep> step,
+                 std::vector<std::string> inputs, std::string output);
+
+  /// Runs every step whose inputs are (or become) available. Fails if some
+  /// step can never run (missing input / cycle) or any step fails.
+  /// When `provenance` is non-null, a record per produced dataset is added
+  /// — the capture the E5 bench prices.
+  Result<WorkflowReport> Execute(WorkflowContext* context,
+                                 ProvenanceStore* provenance = nullptr) const;
+
+  size_t step_count() const { return bindings_.size(); }
+
+ private:
+  struct Binding {
+    std::shared_ptr<WorkflowStep> step;
+    std::vector<std::string> inputs;
+    std::string output;
+  };
+  std::vector<Binding> bindings_;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_WORKFLOW_ENGINE_H_

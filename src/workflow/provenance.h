@@ -1,0 +1,76 @@
+// Provenance retention (§3.2): "the parentage and computing (producer)
+// description of a given file may not be included ... an external structure
+// to capture that provenance chain will need to be created." This is that
+// structure: one record per produced dataset, with parentage, producer, and
+// a hash of the full step configuration.
+#ifndef DASPOS_WORKFLOW_PROVENANCE_H_
+#define DASPOS_WORKFLOW_PROVENANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serialize/json.h"
+#include "support/result.h"
+
+namespace daspos {
+
+/// Provenance of one dataset.
+struct ProvenanceRecord {
+  /// Logical name of the produced dataset.
+  std::string dataset;
+  /// Producing step and its version.
+  std::string producer;
+  std::string producer_version;
+  /// SHA-256 of the canonical configuration dump: two datasets with equal
+  /// (producer, config_hash, parents) are reproductions of each other.
+  std::string config_hash;
+  /// The full captured configuration.
+  Json config;
+  /// Logical names of input datasets.
+  std::vector<std::string> parents;
+  /// Logical production time (monotonic sequence number within the store).
+  uint64_t sequence = 0;
+  uint64_t output_bytes = 0;
+  uint64_t output_events = 0;
+
+  Json ToJson() const;
+  static Result<ProvenanceRecord> FromJson(const Json& json);
+};
+
+/// Queryable provenance catalog.
+class ProvenanceStore {
+ public:
+  /// Registers a record (sequence is assigned). One record per dataset.
+  Status Add(ProvenanceRecord record);
+
+  Result<ProvenanceRecord> Get(const std::string& dataset) const;
+  bool Has(const std::string& dataset) const;
+  size_t size() const { return records_.size(); }
+
+  /// All registered dataset names, in registration order.
+  std::vector<std::string> Datasets() const;
+
+  /// Transitive ancestors of `dataset` (nearest first). Ancestors without
+  /// records are included by name so callers can see where the chain breaks.
+  Result<std::vector<std::string>> Ancestry(const std::string& dataset) const;
+
+  /// Provenance-gap detection: parent names referenced by some record but
+  /// having no record of their own — exactly the "parentage not included"
+  /// failure mode the paper warns about.
+  std::vector<std::string> MissingParents() const;
+
+  /// Whole-store JSON round-trip (for archival of the provenance chain).
+  std::string Serialize() const;
+  static Result<ProvenanceStore> Parse(const std::string& text);
+
+ private:
+  std::map<std::string, ProvenanceRecord> records_;
+  std::vector<std::string> order_;
+  uint64_t next_sequence_ = 1;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_WORKFLOW_PROVENANCE_H_

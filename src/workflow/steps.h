@@ -1,0 +1,148 @@
+// Concrete workflow steps for the standard HEP chain of §3.2:
+//   Generation -> Simulation -> Reconstruction -> AOD -> Derivation.
+// Each step captures its full configuration as JSON for provenance.
+#ifndef DASPOS_WORKFLOW_STEPS_H_
+#define DASPOS_WORKFLOW_STEPS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "detsim/simulation.h"
+#include "mc/generator.h"
+#include "reco/reconstruction.h"
+#include "tiers/skimslim.h"
+#include "workflow/engine.h"
+
+namespace daspos {
+
+/// Conditions tag under which the detector calibration payload lives.
+inline constexpr char kCalibrationTag[] = "calib/detector";
+
+/// Produces a GEN dataset from nothing (the "Monte Carlo Generation" step).
+class GenerationStep : public WorkflowStep {
+ public:
+  GenerationStep(GeneratorConfig config, size_t event_count,
+                 std::string dataset_name);
+
+  std::string name() const override { return "generation"; }
+  std::string version() const override { return "1.0"; }
+  Json Config() const override;
+  Result<std::string> Run(const std::vector<std::string_view>& inputs,
+                          WorkflowContext* context) const override;
+  uint64_t last_output_events() const override { return last_events_; }
+
+ private:
+  GeneratorConfig config_;
+  size_t event_count_;
+  std::string dataset_name_;
+  mutable uint64_t last_events_ = 0;
+};
+
+/// GEN -> RAW digitization.
+class SimulationStep : public WorkflowStep {
+ public:
+  SimulationStep(SimulationConfig config, uint32_t run_number,
+                 std::string dataset_name);
+
+  std::string name() const override { return "simulation"; }
+  std::string version() const override { return "1.0"; }
+  Json Config() const override;
+  Result<std::string> Run(const std::vector<std::string_view>& inputs,
+                          WorkflowContext* context) const override;
+  uint64_t last_output_events() const override { return last_events_; }
+
+ private:
+  SimulationConfig config_;
+  uint32_t run_number_;
+  std::string dataset_name_;
+  mutable uint64_t last_events_ = 0;
+};
+
+/// RAW -> RECO. Fetches calibration from the context's conditions provider
+/// (tag kCalibrationTag) at the run number of the data — the external
+/// database dependency §3.2 highlights.
+class ReconstructionStep : public WorkflowStep {
+ public:
+  ReconstructionStep(DetectorGeometry geometry, std::string dataset_name);
+
+  std::string name() const override { return "reconstruction"; }
+  std::string version() const override { return "1.0"; }
+  Json Config() const override;
+  Result<std::string> Run(const std::vector<std::string_view>& inputs,
+                          WorkflowContext* context) const override;
+  uint64_t last_output_events() const override { return last_events_; }
+
+ private:
+  DetectorGeometry geometry_;
+  std::string dataset_name_;
+  mutable uint64_t last_events_ = 0;
+};
+
+/// RECO -> AOD: drops basic and intermediate data categories.
+class AodReductionStep : public WorkflowStep {
+ public:
+  explicit AodReductionStep(std::string dataset_name);
+
+  std::string name() const override { return "aod_reduction"; }
+  std::string version() const override { return "1.0"; }
+  Json Config() const override;
+  Result<std::string> Run(const std::vector<std::string_view>& inputs,
+                          WorkflowContext* context) const override;
+  uint64_t last_output_events() const override { return last_events_; }
+
+ private:
+  std::string dataset_name_;
+  mutable uint64_t last_events_ = 0;
+};
+
+/// AOD -> derived format (skim + slim).
+class DerivationStep : public WorkflowStep {
+ public:
+  DerivationStep(SkimSpec skim, SlimSpec slim, std::string dataset_name);
+
+  std::string name() const override { return "derivation"; }
+  std::string version() const override { return "1.0"; }
+  Json Config() const override;
+  Result<std::string> Run(const std::vector<std::string_view>& inputs,
+                          WorkflowContext* context) const override;
+  uint64_t last_output_events() const override { return last_events_; }
+
+ private:
+  SkimSpec skim_;
+  SlimSpec slim_;
+  std::string dataset_name_;
+  mutable uint64_t last_events_ = 0;
+};
+
+/// Merges several datasets of the same tier into one (the §3.1 reality
+/// that "large samples of events must be compiled": productions run in
+/// parallel batches that are merged for analysis). Records are concatenated
+/// without re-decoding; the output metadata lists every parent.
+class MergeStep : public WorkflowStep {
+ public:
+  explicit MergeStep(std::string dataset_name);
+
+  std::string name() const override { return "merge"; }
+  std::string version() const override { return "1.0"; }
+  Json Config() const override;
+  Result<std::string> Run(const std::vector<std::string_view>& inputs,
+                          WorkflowContext* context) const override;
+  uint64_t last_output_events() const override { return last_events_; }
+
+ private:
+  std::string dataset_name_;
+  mutable uint64_t last_events_ = 0;
+};
+
+/// JSON captures of the substrate configurations (shared with recast/ and
+/// the provenance-replay machinery in core/). All are lossless round trips.
+Json GeneratorConfigToJson(const GeneratorConfig& config);
+Result<GeneratorConfig> GeneratorConfigFromJson(const Json& json);
+Json GeometryToJson(const DetectorGeometry& geometry);
+Result<DetectorGeometry> GeometryFromJson(const Json& json);
+Json SimulationConfigToJson(const SimulationConfig& config);
+Result<SimulationConfig> SimulationConfigFromJson(const Json& json);
+
+}  // namespace daspos
+
+#endif  // DASPOS_WORKFLOW_STEPS_H_

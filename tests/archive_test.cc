@@ -1,0 +1,313 @@
+// Tests for the preservation archive: content addressing, deposits,
+// retrieval with fixity, audits with injected corruption, and format
+// migration with lineage.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "archive/archive.h"
+#include "support/compress.h"
+#include "archive/object_store.h"
+#include "support/sha256.h"
+
+namespace daspos {
+namespace {
+
+// ------------------------------------------------------------ ObjectStore
+
+TEST(MemoryObjectStoreTest, PutGetContentAddressed) {
+  MemoryObjectStore store;
+  auto id = store.Put("hello preservation");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, Sha256::HashHex("hello preservation"));
+  EXPECT_TRUE(store.Has(*id));
+  EXPECT_EQ(*store.Get(*id), "hello preservation");
+  EXPECT_TRUE(store.Get("ff").status().IsNotFound());
+}
+
+TEST(MemoryObjectStoreTest, DeduplicatesIdenticalContent) {
+  MemoryObjectStore store;
+  auto id1 = store.Put("same bytes");
+  auto id2 = store.Put("same bytes");
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(*id1, *id2);
+  EXPECT_EQ(store.Ids().size(), 1u);
+  EXPECT_EQ(store.TotalBytes(), 10u);
+}
+
+TEST(MemoryObjectStoreTest, RePutHealsCorruption) {
+  MemoryObjectStore store;
+  auto id = store.Put("precious bytes");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store.CorruptForTesting(*id, 2).ok());
+  ASSERT_TRUE(store.Verify(*id).IsCorruption());
+  auto id2 = store.Put("precious bytes");
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(*id2, *id);
+  EXPECT_TRUE(store.Verify(*id).ok());
+  EXPECT_EQ(*store.Get(*id), "precious bytes");
+}
+
+TEST(MemoryObjectStoreTest, VerifyCatchesCorruption) {
+  MemoryObjectStore store;
+  auto id = store.Put("precious data");
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(store.Verify(*id).ok());
+  ASSERT_TRUE(store.CorruptForTesting(*id, 3).ok());
+  EXPECT_TRUE(store.Verify(*id).IsCorruption());
+  EXPECT_TRUE(store.Verify("00ff").IsNotFound());
+}
+
+class FileObjectStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (std::filesystem::temp_directory_path() /
+             ("daspos_fos_" + std::to_string(::getpid())))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+  std::string root_;
+};
+
+TEST_F(FileObjectStoreTest, PutGetVerifyOnDisk) {
+  FileObjectStore store(root_);
+  auto id = store.Put("on-disk object");
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(store.Has(*id));
+  EXPECT_EQ(*store.Get(*id), "on-disk object");
+  EXPECT_TRUE(store.Verify(*id).ok());
+  ASSERT_EQ(store.Ids().size(), 1u);
+  EXPECT_EQ(store.Ids()[0], *id);
+  EXPECT_EQ(store.TotalBytes(), 14u);
+}
+
+TEST_F(FileObjectStoreTest, OnDiskCorruptionDetected) {
+  FileObjectStore store(root_);
+  auto id = store.Put("will be damaged");
+  ASSERT_TRUE(id.ok());
+  // Damage the backing file directly.
+  std::string path = root_ + "/" + id->substr(0, 2) + "/" + id->substr(2);
+  std::ofstream(path, std::ios::binary) << "damaged";
+  EXPECT_TRUE(store.Verify(*id).IsCorruption());
+}
+
+// ----------------------------------------------------------------- Archive
+
+SubmissionPackage MakeSubmission() {
+  SubmissionPackage sip;
+  sip.title = "Z->mumu analysis preservation";
+  sip.creator = "daspos-tests";
+  sip.description = "AOD sample + analysis configuration";
+  sip.keywords = {"Z boson", "dimuon", "preservation"};
+  sip.context = Json::Object();
+  sip.context["experiment"] = "CMS";
+  sip.files.push_back({"data/aod.dat", "application/x-daspos-container",
+                       std::string(500, 'd')});
+  sip.files.push_back({"config/analysis.json", "application/json",
+                       R"({"cut": 25.0})"});
+  return sip;
+}
+
+TEST(ArchiveTest, DepositAndRetrieve) {
+  MemoryObjectStore store;
+  Archive archive(&store);
+  auto id = archive.Deposit(MakeSubmission());
+  ASSERT_TRUE(id.ok());
+
+  auto package = archive.Retrieve(*id);
+  ASSERT_TRUE(package.ok());
+  EXPECT_EQ(package->content.title, "Z->mumu analysis preservation");
+  EXPECT_EQ(package->content.keywords.size(), 3u);
+  EXPECT_EQ(package->content.context.Get("experiment").as_string(), "CMS");
+  ASSERT_EQ(package->content.files.size(), 2u);
+  EXPECT_EQ(package->content.files[0].logical_name, "data/aod.dat");
+  EXPECT_EQ(package->content.files[0].bytes.size(), 500u);
+  EXPECT_EQ(package->content.files[1].bytes, R"({"cut": 25.0})");
+}
+
+TEST(ArchiveTest, DepositValidation) {
+  MemoryObjectStore store;
+  Archive archive(&store);
+  SubmissionPackage no_title = MakeSubmission();
+  no_title.title.clear();
+  EXPECT_TRUE(archive.Deposit(no_title).status().IsInvalidArgument());
+  SubmissionPackage no_files = MakeSubmission();
+  no_files.files.clear();
+  EXPECT_TRUE(archive.Deposit(no_files).status().IsInvalidArgument());
+  SubmissionPackage unnamed = MakeSubmission();
+  unnamed.files[0].logical_name.clear();
+  EXPECT_TRUE(archive.Deposit(unnamed).status().IsInvalidArgument());
+}
+
+TEST(ArchiveTest, IdenticalRedepositIsIdempotent) {
+  MemoryObjectStore store;
+  Archive archive(&store);
+  auto id1 = archive.Deposit(MakeSubmission());
+  auto id2 = archive.Deposit(MakeSubmission());
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(*id1, *id2);
+  EXPECT_EQ(archive.Holdings().size(), 1u);
+}
+
+TEST(ArchiveTest, HoldingsSummarize) {
+  MemoryObjectStore store;
+  Archive archive(&store);
+  ASSERT_TRUE(archive.Deposit(MakeSubmission()).ok());
+  SubmissionPackage second = MakeSubmission();
+  second.title = "second deposit";
+  second.files[0].bytes = std::string(100, 'x');
+  ASSERT_TRUE(archive.Deposit(second).ok());
+
+  auto holdings = archive.Holdings();
+  ASSERT_EQ(holdings.size(), 2u);
+  EXPECT_EQ(holdings[0].deposit_sequence, 1u);
+  EXPECT_EQ(holdings[1].deposit_sequence, 2u);
+  EXPECT_EQ(holdings[1].title, "second deposit");
+  EXPECT_EQ(holdings[0].file_count, 2u);
+  EXPECT_EQ(holdings[0].total_bytes, 500u + 13u);  // data + json config
+  EXPECT_TRUE(holdings[0].migrated_from.empty());
+}
+
+TEST(ArchiveTest, FixityAuditCleanThenCorrupted) {
+  MemoryObjectStore store;
+  Archive archive(&store);
+  auto id = archive.Deposit(MakeSubmission());
+  ASSERT_TRUE(id.ok());
+
+  FixityReport clean = archive.AuditFixity();
+  EXPECT_TRUE(clean.clean());
+  EXPECT_EQ(clean.objects_checked, 3u);  // manifest + 2 files
+
+  // Corrupt the large data object.
+  std::string data_id = Sha256::HashHex(std::string(500, 'd'));
+  ASSERT_TRUE(store.CorruptForTesting(data_id, 100).ok());
+  FixityReport dirty = archive.AuditFixity();
+  EXPECT_FALSE(dirty.clean());
+  ASSERT_EQ(dirty.corrupted_objects.size(), 1u);
+  EXPECT_EQ(dirty.corrupted_objects[0], data_id);
+
+  // Retrieval also refuses to hand out damaged content.
+  EXPECT_TRUE(archive.Retrieve(*id).status().IsCorruption());
+}
+
+TEST(ArchiveTest, MigrationCreatesLinkedPackage) {
+  MemoryObjectStore store;
+  Archive archive(&store);
+  auto original_id = archive.Deposit(MakeSubmission());
+  ASSERT_TRUE(original_id.ok());
+
+  // Migrate: uppercase the json config (stand-in for a format conversion).
+  auto migrated_id = archive.Migrate(
+      *original_id,
+      [](const PackageFile& file) -> Result<PackageFile> {
+        PackageFile out = file;
+        if (file.media_type == "application/json") {
+          out.logical_name = file.logical_name + ".v2";
+        }
+        return out;
+      },
+      "config format v1 -> v2");
+  ASSERT_TRUE(migrated_id.ok());
+  EXPECT_NE(*migrated_id, *original_id);
+
+  auto holdings = archive.Holdings();
+  ASSERT_EQ(holdings.size(), 2u);
+  EXPECT_EQ(holdings[1].migrated_from, *original_id);
+
+  // Both packages remain retrievable (originals retained).
+  EXPECT_TRUE(archive.Retrieve(*original_id).ok());
+  auto migrated = archive.Retrieve(*migrated_id);
+  ASSERT_TRUE(migrated.ok());
+  EXPECT_EQ(migrated->content.files[1].logical_name,
+            "config/analysis.json.v2");
+}
+
+TEST(ArchiveTest, CompressionMigration) {
+  // A real format migration: compress every payload; the original stays
+  // retrievable, the migrated package round-trips through Decompress.
+  MemoryObjectStore store;
+  Archive archive(&store);
+  SubmissionPackage sip = MakeSubmission();
+  sip.files[0].bytes = std::string(4000, 'd') + "tail";
+  auto original_id = archive.Deposit(sip);
+  ASSERT_TRUE(original_id.ok());
+
+  auto migrated_id = archive.Migrate(
+      *original_id,
+      [](const PackageFile& file) -> Result<PackageFile> {
+        PackageFile out = file;
+        out.bytes = Compress(file.bytes);
+        out.media_type = file.media_type + "+dz01";
+        return out;
+      },
+      "store compressed (DZ01)");
+  ASSERT_TRUE(migrated_id.ok());
+
+  auto migrated = archive.Retrieve(*migrated_id);
+  ASSERT_TRUE(migrated.ok());
+  auto original = archive.Retrieve(*original_id);
+  ASSERT_TRUE(original.ok());
+  for (size_t i = 0; i < migrated->content.files.size(); ++i) {
+    const PackageFile& file = migrated->content.files[i];
+    EXPECT_NE(file.media_type.find("+dz01"), std::string::npos);
+    auto restored = Decompress(file.bytes);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(*restored, original->content.files[i].bytes);
+  }
+  // The compressed data file is smaller than the original.
+  EXPECT_LT(migrated->content.files[0].bytes.size(),
+            original->content.files[0].bytes.size());
+}
+
+TEST(ArchiveTest, MigrationTransformFailurePropagates) {
+  MemoryObjectStore store;
+  Archive archive(&store);
+  auto id = archive.Deposit(MakeSubmission());
+  ASSERT_TRUE(id.ok());
+  auto failed = archive.Migrate(
+      *id,
+      [](const PackageFile&) -> Result<PackageFile> {
+        return Status::Unimplemented("no converter for this media type");
+      },
+      "doomed");
+  EXPECT_TRUE(failed.status().IsUnimplemented());
+  EXPECT_EQ(archive.Holdings().size(), 1u);
+}
+
+TEST(ArchiveTest, RecoverCatalogFromBareStore) {
+  // A fresh Archive over an existing store re-adopts all packages — the
+  // long-lived-archive scenario (the store is the durable layer).
+  MemoryObjectStore store;
+  {
+    Archive original(&store);
+    ASSERT_TRUE(original.Deposit(MakeSubmission()).ok());
+    SubmissionPackage second = MakeSubmission();
+    second.title = "second";
+    ASSERT_TRUE(original.Deposit(second).ok());
+  }
+  Archive fresh(&store);
+  EXPECT_TRUE(fresh.Holdings().empty());
+  auto found = fresh.RecoverCatalog();
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 2u);
+  auto holdings = fresh.Holdings();
+  ASSERT_EQ(holdings.size(), 2u);
+  // Recovery is idempotent.
+  ASSERT_TRUE(fresh.RecoverCatalog().ok());
+  EXPECT_EQ(fresh.Holdings().size(), 2u);
+  // Every recovered package is retrievable and fixity-clean.
+  for (const HoldingSummary& holding : holdings) {
+    EXPECT_TRUE(fresh.Retrieve(holding.archive_id).ok());
+  }
+  EXPECT_TRUE(fresh.AuditFixity().clean());
+}
+
+TEST(ArchiveTest, RetrieveUnknownIdFails) {
+  MemoryObjectStore store;
+  Archive archive(&store);
+  EXPECT_TRUE(archive.Retrieve("0123abcd").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace daspos

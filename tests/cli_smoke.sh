@@ -1,0 +1,43 @@
+#!/bin/sh
+# End-to-end smoke test of the daspos CLI. First argument: path to the
+# binary. Exercises generate (gen + aod tiers), inspect, lhada-check,
+# lhada-run, and display; any non-zero exit fails the test.
+set -e
+DASPOS="$1"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+"$DASPOS" generate z_ll 30 42 "$WORK/z_gen.dspc"
+"$DASPOS" inspect "$WORK/z_gen.dspc" | grep -q "tier    : GEN"
+
+"$DASPOS" generate z_ll 30 42 "$WORK/z_aod.dspc" aod
+"$DASPOS" inspect "$WORK/z_aod.dspc" | grep -q "tier    : AOD"
+
+"$DASPOS" generate z_ll 10 42 "$WORK/z_reco.dspc" reco
+"$DASPOS" display "$WORK/z_reco.dspc" 0 | grep -q '"tracks"'
+
+cat > "$WORK/dimuon.lhada" <<'LHADA'
+analysis smoke
+object muons
+  take muon
+  select pt > 15
+cut dimuon
+  select count(muons) >= 2
+LHADA
+"$DASPOS" lhada-check "$WORK/dimuon.lhada" | grep -q "analysis smoke"
+"$DASPOS" lhada-run "$WORK/dimuon.lhada" "$WORK/z_aod.dspc" | grep -q "dimuon"
+
+
+"$DASPOS" export "$WORK/z_reco.dspc" Atlas "$WORK/z_atlas.xml"
+grep -q "JiveEvent" "$WORK/z_atlas.xml"
+"$DASPOS" convert "$WORK/z_atlas.xml" Atlas CMS "$WORK/z_cms.ig"
+grep -q "ig_file_version" "$WORK/z_cms.ig"
+
+# Corrupt the dataset: inspect must refuse.
+head -c 1000 "$WORK/z_gen.dspc" > "$WORK/broken.dspc"
+if "$DASPOS" inspect "$WORK/broken.dspc" 2>/dev/null; then
+  echo "inspect accepted a truncated container" >&2
+  exit 1
+fi
+
+echo "cli smoke: OK"

@@ -1,0 +1,339 @@
+// Tests for the detector simulation: geometry channel codecs, calibration
+// payload round-trip, digitization content, and trigger behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detsim/calib.h"
+#include "detsim/geometry.h"
+#include "detsim/simulation.h"
+#include "event/pdg.h"
+#include "mc/generator.h"
+
+namespace daspos {
+namespace {
+
+// ---------------------------------------------------------------- Geometry
+
+TEST(GeometryTest, TrackerChannelRoundTrip) {
+  DetectorGeometry geo;
+  for (int layer : {0, 3, geo.tracker_layers - 1}) {
+    for (int eta : {0, 250, geo.tracker_eta_cells - 1}) {
+      for (int phi : {0, 6000, geo.tracker_phi_cells - 1}) {
+        uint32_t channel = geo.TrackerChannel(layer, eta, phi);
+        int l, e, p;
+        geo.DecodeTrackerChannel(channel, &l, &e, &p);
+        EXPECT_EQ(l, layer);
+        EXPECT_EQ(e, eta);
+        EXPECT_EQ(p, phi);
+      }
+    }
+  }
+}
+
+TEST(GeometryTest, CaloAndMuonChannelRoundTrip) {
+  DetectorGeometry geo;
+  uint32_t ec = geo.EcalChannel(42, 99);
+  int e, p;
+  geo.DecodeEcalChannel(ec, &e, &p);
+  EXPECT_EQ(e, 42);
+  EXPECT_EQ(p, 99);
+  uint32_t hc = geo.HcalChannel(7, 30);
+  geo.DecodeHcalChannel(hc, &e, &p);
+  EXPECT_EQ(e, 7);
+  EXPECT_EQ(p, 30);
+  uint32_t mc = geo.MuonChannel(2, 10, 20);
+  int l;
+  geo.DecodeMuonChannel(mc, &l, &e, &p);
+  EXPECT_EQ(l, 2);
+  EXPECT_EQ(e, 10);
+  EXPECT_EQ(p, 20);
+}
+
+TEST(GeometryTest, CellCentersInvertCellLookup) {
+  DetectorGeometry geo;
+  for (double eta : {-2.4, -1.0, 0.0, 0.7, 2.4}) {
+    int cell = geo.TrackerEtaCell(eta);
+    EXPECT_NEAR(geo.TrackerEtaCellCenter(cell), eta,
+                2.0 * geo.tracker_eta_max / geo.tracker_eta_cells);
+  }
+  for (double phi : {-3.0, -1.5, 0.0, 1.5, 3.0}) {
+    int cell = geo.EcalPhiCell(phi);
+    double width = 2.0 * 3.14159265358979 / geo.ecal_phi_cells;
+    double diff = std::fabs(geo.EcalPhiCellCenter(cell) - phi);
+    if (diff > 3.14159265) diff = 2.0 * 3.14159265358979 - diff;
+    EXPECT_LT(diff, width);
+  }
+}
+
+TEST(GeometryTest, LayerRadiiIncrease) {
+  DetectorGeometry geo;
+  for (int l = 1; l < geo.tracker_layers; ++l) {
+    EXPECT_GT(geo.TrackerLayerRadius(l), geo.TrackerLayerRadius(l - 1));
+  }
+}
+
+TEST(GeometryTest, PresetsDiffer) {
+  auto alice = DetectorGeometry::Preset(Experiment::kAlice);
+  auto atlas = DetectorGeometry::Preset(Experiment::kAtlas);
+  auto cms = DetectorGeometry::Preset(Experiment::kCms);
+  auto lhcb = DetectorGeometry::Preset(Experiment::kLhcb);
+  EXPECT_EQ(alice.name, "Alice");
+  EXPECT_LT(alice.tracker_eta_max, atlas.tracker_eta_max);
+  EXPECT_GT(cms.field_tesla, atlas.field_tesla);
+  EXPECT_GT(lhcb.tracker_eta_max, 4.0);
+  EXPECT_LT(cms.ecal_stochastic, atlas.ecal_stochastic);
+}
+
+// ------------------------------------------------------------- Calibration
+
+TEST(CalibTest, PayloadRoundTrip) {
+  CalibrationSet calib;
+  calib.version = 12;
+  calib.ecal_gain = 0.0213;
+  calib.hcal_gain = 0.0507;
+  calib.tracker_phi_offset = -0.00125;
+  calib.ecal_noise_adc = 2.5;
+  calib.ecal_zs_threshold = 10;
+  auto restored = CalibrationSet::FromPayload(calib.ToPayload());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(*restored == calib);
+}
+
+TEST(CalibTest, PayloadToleratesCommentsAndUnknownKeys) {
+  std::string payload =
+      "# calibration snapshot\nversion = 3\nfuture_key = 1.5\n"
+      "ecal_gain = 0.02\n";
+  auto restored = CalibrationSet::FromPayload(payload);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->version, 3u);
+}
+
+TEST(CalibTest, PayloadErrors) {
+  EXPECT_TRUE(CalibrationSet::FromPayload("ecal_gain = 0.02\n")
+                  .status()
+                  .IsCorruption());  // missing version
+  EXPECT_TRUE(CalibrationSet::FromPayload("version 3\n")
+                  .status()
+                  .IsCorruption());  // missing '='
+  EXPECT_FALSE(CalibrationSet::FromPayload("version = abc\n").ok());
+}
+
+// ------------------------------------------------------------- Simulation
+
+SimulationConfig TestConfig() {
+  SimulationConfig config;
+  config.seed = 17;
+  config.noise_cells_mean = 5.0;
+  return config;
+}
+
+TEST(SimulationTest, DeterministicPerEvent) {
+  GeneratorConfig gen_config;
+  gen_config.process = Process::kZToLL;
+  EventGenerator gen(gen_config);
+  GenEvent truth = gen.Generate();
+
+  DetectorSimulation sim(TestConfig());
+  RawEvent r1 = sim.Simulate(truth, 1);
+  RawEvent r2 = sim.Simulate(truth, 1);
+  ASSERT_EQ(r1.hits.size(), r2.hits.size());
+  for (size_t i = 0; i < r1.hits.size(); ++i) {
+    EXPECT_EQ(r1.hits[i].channel, r2.hits[i].channel);
+    EXPECT_EQ(r1.hits[i].adc, r2.hits[i].adc);
+  }
+  EXPECT_EQ(r1.trigger_bits, r2.trigger_bits);
+}
+
+TEST(SimulationTest, MuonLeavesTrackerAndMuonHits) {
+  GenEvent truth;
+  truth.event_number = 1;
+  GenParticle mu;
+  mu.pdg_id = pdg::kMuon;
+  mu.status = 1;
+  mu.momentum = FourVector::FromPtEtaPhiM(40.0, 0.5, 1.0, 0.105);
+  truth.particles.push_back(mu);
+
+  SimulationConfig config = TestConfig();
+  config.noise_cells_mean = 0.0;
+  DetectorSimulation sim(config);
+  RawEvent raw = sim.Simulate(truth, 1);
+
+  int tracker = 0;
+  int muon = 0;
+  for (const RawHit& hit : raw.hits) {
+    if (hit.detector == SubDetector::kTracker) ++tracker;
+    if (hit.detector == SubDetector::kMuon) ++muon;
+  }
+  EXPECT_GE(tracker, 7);  // 10 layers at 97% efficiency
+  EXPECT_GE(muon, 2);
+  EXPECT_TRUE(raw.trigger_bits & TriggerBits::kMuon);
+}
+
+TEST(SimulationTest, PhotonLeavesEcalOnlyNoTrack) {
+  GenEvent truth;
+  truth.event_number = 2;
+  GenParticle gamma;
+  gamma.pdg_id = pdg::kPhoton;
+  gamma.status = 1;
+  gamma.momentum = FourVector::FromPtEtaPhiM(50.0, 0.2, -1.0, 0.0);
+  truth.particles.push_back(gamma);
+
+  SimulationConfig config = TestConfig();
+  config.noise_cells_mean = 0.0;
+  DetectorSimulation sim(config);
+  RawEvent raw = sim.Simulate(truth, 1);
+
+  int tracker = 0;
+  int ecal = 0;
+  for (const RawHit& hit : raw.hits) {
+    if (hit.detector == SubDetector::kTracker) ++tracker;
+    if (hit.detector == SubDetector::kEcal) ++ecal;
+  }
+  EXPECT_EQ(tracker, 0);
+  EXPECT_GE(ecal, 1);
+  EXPECT_TRUE(raw.trigger_bits & TriggerBits::kEGamma);
+}
+
+TEST(SimulationTest, NeutrinoIsInvisible) {
+  GenEvent truth;
+  truth.event_number = 3;
+  GenParticle nu;
+  nu.pdg_id = pdg::kNuMu;
+  nu.status = 1;
+  nu.momentum = FourVector::FromPtEtaPhiM(100.0, 0.0, 0.0, 0.0);
+  truth.particles.push_back(nu);
+
+  SimulationConfig config = TestConfig();
+  config.noise_cells_mean = 0.0;
+  DetectorSimulation sim(config);
+  EXPECT_TRUE(sim.Simulate(truth, 1).hits.empty());
+}
+
+TEST(SimulationTest, OutOfAcceptanceParticleLeavesNothing) {
+  GenEvent truth;
+  truth.event_number = 4;
+  GenParticle pi;
+  pi.pdg_id = pdg::kPiPlus;
+  pi.status = 1;
+  pi.momentum = FourVector::FromPtEtaPhiM(10.0, 4.5, 0.0, 0.14);  // |eta|>3
+  truth.particles.push_back(pi);
+
+  SimulationConfig config = TestConfig();
+  config.noise_cells_mean = 0.0;
+  DetectorSimulation sim(config);
+  EXPECT_TRUE(sim.Simulate(truth, 1).hits.empty());
+}
+
+TEST(SimulationTest, NoiseProducesHitsInEmptyEvents) {
+  GenEvent truth;
+  truth.event_number = 5;
+  SimulationConfig config = TestConfig();
+  config.noise_cells_mean = 30.0;
+  DetectorSimulation sim(config);
+  RawEvent raw = sim.Simulate(truth, 1);
+  EXPECT_GT(raw.hits.size(), 10u);
+  for (const RawHit& hit : raw.hits) {
+    EXPECT_EQ(hit.detector, SubDetector::kEcal);
+    EXPECT_GE(hit.adc, config.calib.ecal_zs_threshold);
+  }
+}
+
+TEST(SimulationTest, MinBiasPrescaleFires) {
+  GenEvent truth;
+  truth.event_number = 2000;  // divisible by the default prescale of 1000
+  SimulationConfig config = TestConfig();
+  DetectorSimulation sim(config);
+  EXPECT_TRUE(sim.Simulate(truth, 1).trigger_bits & TriggerBits::kMinBias);
+  truth.event_number = 2001;
+  EXPECT_FALSE(sim.Simulate(truth, 1).trigger_bits & TriggerBits::kMinBias);
+}
+
+TEST(SimulationTest, HtTriggerFiresOnDijets) {
+  GeneratorConfig gen_config;
+  gen_config.process = Process::kQcdDijet;
+  gen_config.seed = 23;
+  EventGenerator gen(gen_config);
+  DetectorSimulation sim(TestConfig());
+  int fired = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    RawEvent raw = sim.Simulate(gen.Generate(), 1);
+    if (raw.trigger_bits & TriggerBits::kJetHt) ++fired;
+  }
+  // The steeply falling dijet pT spectrum means only the tail exceeds the
+  // HT threshold; ~10-25% is the expected rate.
+  EXPECT_GT(fired, n / 20);
+  EXPECT_LT(fired, n / 2);
+}
+
+TEST(SimulationTest, DisplacedParticleShiftsInnerHits) {
+  // Two identical pions, one from a displaced vertex: their innermost-layer
+  // phi cells must differ via the d0/r term.
+  SimulationConfig config = TestConfig();
+  config.noise_cells_mean = 0.0;
+  config.geometry.tracker_hit_efficiency = 1.0;
+  DetectorSimulation sim(config);
+
+  auto make_event = [](double vertex_mm) {
+    GenEvent truth;
+    truth.event_number = 6;
+    GenParticle d0;  // mother flying along x
+    d0.pdg_id = pdg::kD0;
+    d0.status = 2;
+    d0.momentum = FourVector(5.0, 0.0, 0.0, std::sqrt(25.0 + 1.865 * 1.865));
+    truth.particles.push_back(d0);
+    GenParticle pi;
+    pi.pdg_id = pdg::kPiPlus;
+    pi.status = 1;
+    pi.mother = 0;
+    // Direction tilted from the mother: nonzero impact parameter.
+    pi.momentum = FourVector::FromPtEtaPhiM(3.0, 0.0, 0.5, 0.14);
+    pi.vertex_mm = vertex_mm;
+    truth.particles.push_back(pi);
+    return truth;
+  };
+
+  RawEvent prompt = sim.Simulate(make_event(0.0), 1);
+  RawEvent displaced = sim.Simulate(make_event(5.0), 1);
+  ASSERT_EQ(prompt.hits.size(), displaced.hits.size());
+  bool any_differ = false;
+  for (size_t i = 0; i < prompt.hits.size(); ++i) {
+    if (prompt.hits[i].detector == SubDetector::kTracker &&
+        prompt.hits[i].channel != displaced.hits[i].channel) {
+      any_differ = true;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(SimulationTest, MisalignmentShiftsTrackerHits) {
+  GenEvent truth;
+  truth.event_number = 7;
+  GenParticle mu;
+  mu.pdg_id = pdg::kMuon;
+  mu.status = 1;
+  mu.momentum = FourVector::FromPtEtaPhiM(40.0, 0.0, 1.0, 0.105);
+  truth.particles.push_back(mu);
+
+  SimulationConfig aligned = TestConfig();
+  aligned.noise_cells_mean = 0.0;
+  aligned.geometry.tracker_hit_efficiency = 1.0;
+  SimulationConfig misaligned = aligned;
+  misaligned.calib.tracker_phi_offset = 0.01;
+
+  RawEvent r_aligned = DetectorSimulation(aligned).Simulate(truth, 1);
+  RawEvent r_misaligned = DetectorSimulation(misaligned).Simulate(truth, 1);
+  ASSERT_EQ(r_aligned.hits.size(), r_misaligned.hits.size());
+  int differing = 0;
+  for (size_t i = 0; i < r_aligned.hits.size(); ++i) {
+    if (r_aligned.hits[i].detector == SubDetector::kTracker &&
+        r_aligned.hits[i].channel != r_misaligned.hits[i].channel) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 5);
+}
+
+}  // namespace
+}  // namespace daspos

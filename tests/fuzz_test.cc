@@ -1,0 +1,240 @@
+// Deterministic fuzz tests: every parser in the preservation stack must
+// survive arbitrary corruption of its input with a typed error — never a
+// crash, hang, or silent success. Preserved data WILL rot; the first line
+// of defence is that readers fail loudly and safely.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "conditions/global_tag.h"
+#include "conditions/snapshot.h"
+#include "conditions/store.h"
+#include "detsim/calib.h"
+#include "event/truth.h"
+#include "hist/yoda_io.h"
+#include "level2/dialects.h"
+#include "lhada/lhada.h"
+#include "mc/generator.h"
+#include "serialize/container.h"
+#include "serialize/json.h"
+#include "support/compress.h"
+#include "support/rng.h"
+#include "tiers/dataset.h"
+
+namespace daspos {
+namespace {
+
+/// Applies one random mutation: flip a byte, truncate, duplicate a slice,
+/// or insert junk.
+std::string Mutate(const std::string& input, Rng* rng) {
+  if (input.empty()) return input;
+  std::string out = input;
+  switch (rng->UniformInt(4)) {
+    case 0: {  // byte flip
+      size_t pos = static_cast<size_t>(rng->UniformInt(out.size()));
+      out[pos] = static_cast<char>(out[pos] ^ (1u << rng->UniformInt(8)));
+      break;
+    }
+    case 1: {  // truncate
+      out.resize(static_cast<size_t>(rng->UniformInt(out.size())));
+      break;
+    }
+    case 2: {  // duplicate a slice
+      size_t a = static_cast<size_t>(rng->UniformInt(out.size()));
+      size_t len = static_cast<size_t>(
+          rng->UniformInt(std::min<uint64_t>(64, out.size() - a) + 1));
+      out.insert(a, out.substr(a, len));
+      break;
+    }
+    default: {  // insert junk bytes
+      size_t pos = static_cast<size_t>(rng->UniformInt(out.size()));
+      std::string junk;
+      for (int i = 0; i < 8; ++i) {
+        junk.push_back(static_cast<char>(rng->UniformInt(256)));
+      }
+      out.insert(pos, junk);
+    }
+  }
+  return out;
+}
+
+std::string RandomBytes(size_t n, Rng* rng) {
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>(rng->UniformInt(256)));
+  }
+  return out;
+}
+
+constexpr int kRounds = 400;
+
+TEST(FuzzTest, JsonParserNeverCrashes) {
+  Rng rng(101);
+  std::string seed = R"({"a":[1,2,{"b":"text A"}],"c":null,"d":1.5e3})";
+  for (int i = 0; i < kRounds; ++i) {
+    auto result = Json::Parse(Mutate(seed, &rng));
+    // Either parses or errors; both are fine — just don't crash.
+    if (result.ok()) {
+      (void)result->Dump();
+    }
+  }
+  for (int i = 0; i < kRounds; ++i) {
+    (void)Json::Parse(RandomBytes(1 + rng.UniformInt(200), &rng));
+  }
+}
+
+TEST(FuzzTest, ContainerOpenNeverCrashesAndNeverLies) {
+  Rng rng(102);
+  GeneratorConfig config;
+  config.seed = 9;
+  EventGenerator generator(config);
+  DatasetInfo info;
+  info.tier = DataTier::kGen;
+  info.name = "fuzz";
+  std::string pristine = WriteGenDataset(info, generator.GenerateMany(10));
+  int accepted_mutants = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    std::string mutant = Mutate(pristine, &rng);
+    auto reader = ContainerReader::Open(mutant);
+    if (reader.ok() && mutant != pristine) ++accepted_mutants;
+  }
+  // The SHA-256 footer makes accepting a damaged container essentially
+  // impossible.
+  EXPECT_EQ(accepted_mutants, 0);
+  for (int i = 0; i < kRounds; ++i) {
+    (void)ContainerReader::Open(RandomBytes(rng.UniformInt(300), &rng));
+  }
+}
+
+TEST(FuzzTest, EventRecordDecodersNeverCrash) {
+  Rng rng(103);
+  GeneratorConfig config;
+  config.process = Process::kQcdDijet;
+  config.seed = 10;
+  EventGenerator generator(config);
+  std::string record = generator.Generate().ToRecord();
+  for (int i = 0; i < kRounds; ++i) {
+    (void)GenEvent::FromRecord(Mutate(record, &rng));
+  }
+  for (int i = 0; i < kRounds; ++i) {
+    (void)GenEvent::FromRecord(RandomBytes(rng.UniformInt(200), &rng));
+  }
+}
+
+TEST(FuzzTest, YodaReaderNeverCrashes) {
+  Rng rng(104);
+  Histo1D histogram("/fuzz/h", 10, 0.0, 1.0);
+  histogram.Fill(0.5);
+  std::string seed = WriteYoda({histogram});
+  for (int i = 0; i < kRounds; ++i) {
+    (void)ReadYoda(Mutate(seed, &rng));
+  }
+}
+
+TEST(FuzzTest, CalibrationPayloadParserNeverCrashes) {
+  Rng rng(105);
+  CalibrationSet calib;
+  std::string seed = calib.ToPayload();
+  for (int i = 0; i < kRounds; ++i) {
+    (void)CalibrationSet::FromPayload(Mutate(seed, &rng));
+  }
+}
+
+TEST(FuzzTest, SnapshotParserNeverCrashes) {
+  Rng rng(106);
+  ConditionsDb db;
+  CalibrationSet calib;
+  ASSERT_TRUE(db.Append("calib/detector", 1, calib.ToPayload()).ok());
+  std::string seed =
+      ConditionsSnapshot::Capture(db, 5, {"calib/detector"})->Serialize();
+  for (int i = 0; i < kRounds; ++i) {
+    (void)ConditionsSnapshot::Parse(Mutate(seed, &rng));
+  }
+}
+
+TEST(FuzzTest, DialectDecodersNeverCrash) {
+  Rng rng(107);
+  level2::CommonEvent event;
+  event.run = 1;
+  event.event = 2;
+  event.objects.push_back({"muon", 30.0, 0.5, 1.0, -1});
+  event.tracks.push_back({5.0, 0.1, 0.2, 1, 0.01});
+  event.met = 12.0;
+  for (Experiment experiment : kAllExperiments) {
+    const level2::Level2Codec& codec = level2::CodecFor(experiment);
+    std::string seed = codec.Encode(event);
+    for (int i = 0; i < kRounds / 4; ++i) {
+      (void)codec.Decode(Mutate(seed, &rng));
+      (void)codec.Decode(RandomBytes(rng.UniformInt(150), &rng));
+    }
+  }
+}
+
+TEST(FuzzTest, LhadaParserNeverCrashes) {
+  Rng rng(108);
+  std::string seed =
+      "analysis fuzz\nobject m\n take muon\n select pt > 25\n"
+      "cut c\n select count(m) >= 2\n select mass(m[0], m[1]) > 50\n";
+  for (int i = 0; i < kRounds; ++i) {
+    (void)lhada::AnalysisDescription::Parse(Mutate(seed, &rng));
+  }
+  // Line-shuffled garbage built from valid keywords.
+  const char* fragments[] = {"analysis x",  "object o",   "take muon",
+                             "select pt > ", "cut c",      "require c",
+                             "select count(o) >= ",        "select met < "};
+  for (int i = 0; i < kRounds; ++i) {
+    std::string document;
+    int lines = 1 + static_cast<int>(rng.UniformInt(8));
+    for (int l = 0; l < lines; ++l) {
+      document += fragments[rng.UniformInt(8)];
+      if (rng.Accept(0.5)) {
+        document += std::to_string(rng.UniformInt(100));
+      }
+      document += "\n";
+    }
+    (void)lhada::AnalysisDescription::Parse(document);
+  }
+}
+
+TEST(FuzzTest, GlobalTagParserNeverCrashes) {
+  Rng rng(110);
+  GlobalTag tag;
+  tag.name = "FUZZ_GT";
+  tag.roles = {{"detector", "calib/detector"}, {"beam", "beamspot"}};
+  std::string seed = tag.Serialize();
+  for (int i = 0; i < kRounds; ++i) {
+    (void)GlobalTag::Parse(Mutate(seed, &rng));
+  }
+}
+
+TEST(FuzzTest, DecompressorNeverCrashesOnRandomBytes) {
+  Rng rng(111);
+  for (int i = 0; i < kRounds; ++i) {
+    std::string junk = "DZ01" + RandomBytes(rng.UniformInt(200), &rng);
+    (void)Decompress(junk);
+  }
+}
+
+TEST(FuzzTest, MutatedDatasetNeverYieldsWrongEvents) {
+  // If a mutated dataset happens to open (it should not), the decoded
+  // events must still satisfy basic invariants; with fixity on, we expect
+  // zero acceptances and this documents the guarantee.
+  Rng rng(109);
+  GeneratorConfig config;
+  config.seed = 12;
+  EventGenerator generator(config);
+  DatasetInfo info;
+  info.tier = DataTier::kGen;
+  info.name = "guard";
+  std::string pristine = WriteGenDataset(info, generator.GenerateMany(5));
+  for (int i = 0; i < kRounds; ++i) {
+    std::string mutant = Mutate(pristine, &rng);
+    if (mutant == pristine) continue;
+    auto events = ReadGenDataset(mutant);
+    EXPECT_FALSE(events.ok()) << "mutant accepted at round " << i;
+  }
+}
+
+}  // namespace
+}  // namespace daspos

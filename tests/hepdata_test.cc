@@ -1,0 +1,174 @@
+// Tests for the HepData-analog: data tables, record validation, search,
+// INSPIRE links, and histogram round-trips.
+#include <gtest/gtest.h>
+
+#include "hepdata/record.h"
+#include "support/rng.h"
+
+namespace daspos {
+namespace hepdata {
+namespace {
+
+DataTable MakeTable(int points = 5) {
+  DataTable table;
+  table.name = "Table 1";
+  table.independent_variable = "M(mu+mu-) [GeV]";
+  table.dependent_variable = "dsigma/dM [pb/GeV]";
+  for (int i = 0; i < points; ++i) {
+    table.points.push_back({60.0 + i * 10.0, 70.0 + i * 10.0,
+                            100.0 / (i + 1), 5.0 / (i + 1)});
+  }
+  return table;
+}
+
+HepDataRecord MakeRecord(const std::string& id = "ins1234567") {
+  HepDataRecord record;
+  record.id = id;
+  record.title = "Measurement of the Z boson production cross section";
+  record.experiment = "CMS";
+  record.year = 2014;
+  record.reaction = "P P --> Z0 < MU+ MU- > X";
+  record.keywords = {"Z boson", "cross section", "dimuon"};
+  record.tables = {MakeTable()};
+  return record;
+}
+
+TEST(DataTableTest, HistogramRoundTrip) {
+  Histo1D histogram("/h", 20, 0.0, 100.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) histogram.Fill(rng.Exponential(25.0));
+  DataTable table =
+      DataTable::FromHistogram(histogram, "pt", "pT [GeV]", "entries");
+  ASSERT_EQ(table.points.size(), 20u);
+  auto restored = table.ToHistogram("/restored");
+  ASSERT_TRUE(restored.ok());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(restored->BinContent(i), histogram.BinContent(i));
+    EXPECT_NEAR(restored->BinError(i), histogram.BinError(i), 1e-9);
+  }
+}
+
+TEST(DataTableTest, NonUniformBinningRejected) {
+  DataTable table = MakeTable();
+  table.points[2].x_hi += 5.0;
+  EXPECT_FALSE(table.ToHistogram("/x").ok());
+  DataTable empty;
+  EXPECT_FALSE(empty.ToHistogram("/x").ok());
+}
+
+TEST(DataTableTest, JsonRoundTrip) {
+  DataTable table = MakeTable();
+  auto restored = DataTable::FromJson(table.ToJson());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->name, table.name);
+  EXPECT_EQ(restored->independent_variable, table.independent_variable);
+  ASSERT_EQ(restored->points.size(), table.points.size());
+  EXPECT_DOUBLE_EQ(restored->points[3].y, table.points[3].y);
+}
+
+TEST(RecordTest, JsonRoundTrip) {
+  HepDataRecord record = MakeRecord();
+  auto restored = HepDataRecord::FromJson(record.ToJson());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->id, record.id);
+  EXPECT_EQ(restored->year, 2014);
+  EXPECT_EQ(restored->keywords.size(), 3u);
+  ASSERT_EQ(restored->tables.size(), 1u);
+  EXPECT_EQ(restored->tables[0].points.size(), 5u);
+}
+
+TEST(ArchiveTest, SubmitAndGet) {
+  HepDataArchive archive;
+  ASSERT_TRUE(archive.Submit(MakeRecord()).ok());
+  EXPECT_TRUE(archive.Has("ins1234567"));
+  EXPECT_EQ(archive.size(), 1u);
+  auto record = archive.Get("ins1234567");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->experiment, "CMS");
+  EXPECT_TRUE(archive.Get("ins999").status().IsNotFound());
+}
+
+TEST(ArchiveTest, SubmissionValidation) {
+  HepDataArchive archive;
+  HepDataRecord no_id = MakeRecord("");
+  EXPECT_TRUE(archive.Submit(no_id).IsInvalidArgument());
+
+  HepDataRecord no_tables = MakeRecord();
+  no_tables.tables.clear();
+  EXPECT_TRUE(archive.Submit(no_tables).IsInvalidArgument());
+
+  HepDataRecord empty_table = MakeRecord();
+  empty_table.tables[0].points.clear();
+  EXPECT_TRUE(archive.Submit(empty_table).IsInvalidArgument());
+
+  HepDataRecord inverted_bin = MakeRecord();
+  inverted_bin.tables[0].points[0] = {70.0, 60.0, 1.0, 0.1};
+  EXPECT_TRUE(archive.Submit(inverted_bin).IsInvalidArgument());
+
+  HepDataRecord negative_error = MakeRecord();
+  negative_error.tables[0].points[0].y_err = -1.0;
+  EXPECT_TRUE(archive.Submit(negative_error).IsInvalidArgument());
+
+  ASSERT_TRUE(archive.Submit(MakeRecord()).ok());
+  EXPECT_TRUE(archive.Submit(MakeRecord()).IsAlreadyExists());
+}
+
+TEST(ArchiveTest, SearchOverFields) {
+  HepDataArchive archive;
+  ASSERT_TRUE(archive.Submit(MakeRecord("ins1")).ok());
+  HepDataRecord susy = MakeRecord("ins2");
+  susy.title = "Search for supersymmetry in hadronic final states";
+  susy.experiment = "ATLAS";
+  susy.reaction = "P P --> SQUARK SQUARK X";
+  susy.keywords = {"SUSY", "acceptance grid"};
+  ASSERT_TRUE(archive.Submit(susy).ok());
+
+  EXPECT_EQ(archive.Search("z boson").size(), 1u);      // title, case-insens.
+  EXPECT_EQ(archive.Search("SQUARK").size(), 1u);       // reaction
+  EXPECT_EQ(archive.Search("atlas").size(), 1u);        // experiment
+  EXPECT_EQ(archive.Search("acceptance").size(), 1u);   // keyword
+  EXPECT_EQ(archive.Search("measurement").size(), 1u);
+  EXPECT_TRUE(archive.Search("neutrino").empty());
+  // Empty query matches everything.
+  EXPECT_EQ(archive.Search("").size(), 2u);
+}
+
+TEST(ArchiveTest, InspireLinks) {
+  HepDataArchive archive;
+  ASSERT_TRUE(archive.Submit(MakeRecord("ins1")).ok());
+  ASSERT_TRUE(archive.Submit(MakeRecord("ins2")).ok());
+  ASSERT_TRUE(archive.LinkInspire("1234567", "ins1").ok());
+  ASSERT_TRUE(archive.LinkInspire("1234567", "ins2").ok());
+  ASSERT_TRUE(archive.LinkInspire("1234567", "ins1").ok());  // idempotent
+  EXPECT_TRUE(archive.LinkInspire("1234567", "ins9").IsNotFound());
+  auto linked = archive.RecordsForInspire("1234567");
+  ASSERT_EQ(linked.size(), 2u);
+  EXPECT_TRUE(archive.RecordsForInspire("0000").empty());
+}
+
+TEST(ArchiveTest, SusySearchUploadUseCase) {
+  // The §2.3 aside: an ATLAS search uploading acceptance grids — far from
+  // HepData's original cross-section intent, but accommodated.
+  HepDataArchive archive;
+  HepDataRecord record;
+  record.id = "ins_atlas_susy";
+  record.title = "ATLAS SUSY search: acceptance x efficiency grids";
+  record.experiment = "ATLAS";
+  record.year = 2013;
+  record.reaction = "P P --> GLUINO GLUINO X";
+  DataTable grid;
+  grid.name = "acceptance vs m_gluino";
+  grid.independent_variable = "m_gluino [GeV]";
+  grid.dependent_variable = "acceptance x efficiency";
+  for (int i = 0; i < 10; ++i) {
+    grid.points.push_back(
+        {400.0 + 100.0 * i, 500.0 + 100.0 * i, 0.05 + 0.02 * i, 0.005});
+  }
+  record.tables = {grid};
+  ASSERT_TRUE(archive.Submit(record).ok());
+  EXPECT_EQ(archive.Search("gluino").size(), 1u);
+}
+
+}  // namespace
+}  // namespace hepdata
+}  // namespace daspos

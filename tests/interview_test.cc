@@ -1,0 +1,152 @@
+// Tests for the Data Interview Template module: maturity grids, interview
+// validation, JSON round-trip, report rendering, and the example profiles.
+#include <gtest/gtest.h>
+
+#include "interview/interview.h"
+#include "interview/maturity.h"
+
+namespace daspos {
+namespace interview {
+namespace {
+
+// ---------------------------------------------------------------- Maturity
+
+TEST(MaturityTest, AxisNames) {
+  EXPECT_EQ(MaturityAxisName(MaturityAxis::kDataManagement),
+            "data management & disaster recovery");
+  EXPECT_EQ(MaturityAxisName(MaturityAxis::kSharing), "sharing");
+  EXPECT_EQ(kAllMaturityAxes.size(), 5u);
+}
+
+class MaturityLevelSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MaturityLevelSweep, EveryAxisLevelHasText) {
+  auto [axis_index, level] = GetParam();
+  MaturityAxis axis = kAllMaturityAxes[static_cast<size_t>(axis_index)];
+  auto description = MaturityLevelDescription(axis, level);
+  ASSERT_TRUE(description.ok());
+  EXPECT_FALSE(description->empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MaturityLevelSweep,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range(1, 6)));
+
+TEST(MaturityTest, LevelOutOfRangeRejected) {
+  EXPECT_TRUE(MaturityLevelDescription(MaturityAxis::kPreservation, 0)
+                  .status()
+                  .IsOutOfRange());
+  EXPECT_TRUE(MaturityLevelDescription(MaturityAxis::kPreservation, 6)
+                  .status()
+                  .IsOutOfRange());
+}
+
+TEST(MaturityTest, AppendixWordingPresent) {
+  auto level5 = MaturityLevelDescription(MaturityAxis::kDataDescription, 5);
+  ASSERT_TRUE(level5.ok());
+  EXPECT_NE(level5->find("understood by other researchers"),
+            std::string::npos);
+  auto level1 = MaturityLevelDescription(MaturityAxis::kDataDescription, 1);
+  ASSERT_TRUE(level1.ok());
+  EXPECT_NE(level1->find("unfamiliar concept"), std::string::npos);
+}
+
+TEST(MaturityAssessmentTest, GetSetAndOverall) {
+  MaturityAssessment assessment;
+  assessment.SetLevel(MaturityAxis::kPreservation, 4);
+  EXPECT_EQ(assessment.Level(MaturityAxis::kPreservation), 4);
+  EXPECT_TRUE(assessment.Validate().ok());
+  // 1+1+4+1+1 = 8 / 5 axes.
+  EXPECT_DOUBLE_EQ(assessment.Overall(), 1.6);
+}
+
+TEST(MaturityAssessmentTest, ValidationRejectsBadLevels) {
+  MaturityAssessment assessment;
+  assessment.access = 0;
+  EXPECT_TRUE(assessment.Validate().IsOutOfRange());
+  assessment.access = 6;
+  EXPECT_TRUE(assessment.Validate().IsOutOfRange());
+}
+
+// --------------------------------------------------------------- Interview
+
+TEST(InterviewTest, ExamplesAreValidAndDistinct) {
+  auto interviews = ExampleInterviews();
+  ASSERT_EQ(interviews.size(), 4u);
+  for (const DataInterview& interview : interviews) {
+    EXPECT_TRUE(interview.Validate().ok());
+    EXPECT_GE(interview.lifecycle.size(), 3u);
+    EXPECT_FALSE(interview.sharing.empty());
+  }
+  // CMS (approved data policy, §4) should out-rank Alice (in discussion).
+  EXPECT_GT(interviews[2].maturity.Overall(),
+            interviews[0].maturity.Overall());
+  // CMS's public release shows up as an extra sharing row.
+  EXPECT_GT(interviews[2].sharing.size(), interviews[0].sharing.size());
+}
+
+TEST(InterviewTest, ValidationRules) {
+  DataInterview interview = ExampleInterviews()[0];
+  interview.respondent.clear();
+  EXPECT_TRUE(interview.Validate().IsInvalidArgument());
+
+  interview = ExampleInterviews()[0];
+  interview.lifecycle.clear();
+  EXPECT_TRUE(interview.Validate().IsInvalidArgument());
+
+  interview = ExampleInterviews()[0];
+  interview.lifecycle[0].name.clear();
+  EXPECT_TRUE(interview.Validate().IsInvalidArgument());
+
+  interview = ExampleInterviews()[0];
+  interview.maturity.sharing = 7;
+  EXPECT_TRUE(interview.Validate().IsOutOfRange());
+}
+
+TEST(InterviewTest, JsonRoundTrip) {
+  DataInterview interview = ExampleInterviews()[2];  // CMS
+  auto restored = DataInterview::FromJson(interview.ToJson());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->experiment, Experiment::kCms);
+  EXPECT_EQ(restored->respondent, interview.respondent);
+  ASSERT_EQ(restored->lifecycle.size(), interview.lifecycle.size());
+  EXPECT_EQ(restored->lifecycle[1].external_software,
+            interview.lifecycle[1].external_software);
+  EXPECT_EQ(restored->lifecycle[1].total_bytes,
+            interview.lifecycle[1].total_bytes);
+  EXPECT_EQ(restored->sharing.size(), interview.sharing.size());
+  for (MaturityAxis axis : kAllMaturityAxes) {
+    EXPECT_EQ(restored->maturity.Level(axis), interview.maturity.Level(axis));
+  }
+  EXPECT_EQ(restored->backups, interview.backups);
+  EXPECT_EQ(restored->generation_process_documented,
+            interview.generation_process_documented);
+}
+
+TEST(InterviewTest, FromJsonValidates) {
+  Json bad = Json::Object();
+  bad["respondent"] = "x";
+  EXPECT_FALSE(DataInterview::FromJson(bad).ok());  // no lifecycle
+}
+
+TEST(InterviewTest, ReportRendersAllSections) {
+  DataInterview interview = ExampleInterviews()[1];  // Atlas
+  std::string report = interview.RenderReport();
+  EXPECT_NE(report.find("Data/Software Interview: Atlas"), std::string::npos);
+  EXPECT_NE(report.find("Data lifecycle"), std::string::npos);
+  EXPECT_NE(report.find("Data sharing grid"), std::string::npos);
+  EXPECT_NE(report.find("Maturity self-assessment"), std::string::npos);
+  EXPECT_NE(report.find("Overall maturity"), std::string::npos);
+  // Every axis row appears.
+  for (MaturityAxis axis : kAllMaturityAxes) {
+    EXPECT_NE(report.find(std::string(MaturityAxisName(axis))),
+              std::string::npos);
+  }
+  // The level meaning text is quoted in the grid.
+  EXPECT_NE(report.find("systematically organized"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace interview
+}  // namespace daspos

@@ -1,0 +1,342 @@
+// Tests for the Level-2 outreach layer: the common format, the four
+// experiment dialects and their (non-)interoperability, converters, the
+// display scene, the outreach profiles behind Table 1, and master classes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detsim/simulation.h"
+#include "event/pdg.h"
+#include "level2/common.h"
+#include "level2/dialects.h"
+#include "level2/files.h"
+#include "level2/display.h"
+#include "level2/masterclass.h"
+#include "level2/outreach.h"
+#include "mc/generator.h"
+#include "reco/reconstruction.h"
+
+namespace daspos {
+namespace level2 {
+namespace {
+
+CommonEvent SampleEvent() {
+  CommonEvent event;
+  event.run = 7;
+  event.event = 12345;
+  event.objects.push_back({"muon", 45.5, 0.7, 1.2, -1});
+  event.objects.push_back({"muon", 38.1, -1.1, -2.0, 1});
+  event.objects.push_back({"jet", 62.0, 2.1, 0.4, 0});
+  event.tracks.push_back({12.0, 0.3, 0.9, 1, 0.05});
+  event.tracks.push_back({3.5, -0.8, 2.2, -1, 0.31});
+  event.met = 17.5;
+  event.met_phi = -0.6;
+  return event;
+}
+
+// ----------------------------------------------------------- CommonEvent
+
+TEST(CommonEventTest, JsonRoundTrip) {
+  CommonEvent event = SampleEvent();
+  auto restored = CommonEvent::FromJson(event.ToJson());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(*restored == event);
+}
+
+TEST(CommonEventTest, FromJsonRejectsForeignDocument) {
+  EXPECT_FALSE(CommonEvent::FromJson(Json::Object()).ok());
+  Json wrong = Json::Object();
+  wrong["format"] = "something-else";
+  EXPECT_FALSE(CommonEvent::FromJson(wrong).ok());
+}
+
+TEST(CommonEventTest, FromAodSplitsMet) {
+  AodEvent aod;
+  aod.run_number = 3;
+  aod.event_number = 9;
+  PhysicsObject muon;
+  muon.type = ObjectType::kMuon;
+  muon.momentum = FourVector::FromPtEtaPhiM(30.0, 0.5, 1.0, 0.105);
+  muon.charge = -1;
+  PhysicsObject met;
+  met.type = ObjectType::kMet;
+  met.momentum = FourVector(3.0, 4.0, 0.0, 5.0);
+  aod.objects = {muon, met};
+
+  CommonEvent event = CommonEvent::FromAod(aod);
+  ASSERT_EQ(event.objects.size(), 1u);
+  EXPECT_EQ(event.objects[0].type, "muon");
+  EXPECT_NEAR(event.objects[0].pt, 30.0, 1e-9);
+  EXPECT_NEAR(event.met, 5.0, 1e-9);
+  EXPECT_TRUE(event.tracks.empty());
+}
+
+// ---------------------------------------------------------------- Dialects
+
+class DialectRoundTrip : public ::testing::TestWithParam<Experiment> {};
+
+TEST_P(DialectRoundTrip, EncodeDecodeIsLossless) {
+  const Level2Codec& codec = CodecFor(GetParam());
+  CommonEvent event = SampleEvent();
+  std::string encoded = codec.Encode(event);
+  auto decoded = codec.Decode(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(*decoded == event);
+  EXPECT_EQ(codec.experiment(), GetParam());
+  EXPECT_FALSE(codec.FormatName().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExperiments, DialectRoundTrip,
+                         ::testing::ValuesIn(kAllExperiments));
+
+TEST(DialectsTest, DialectsAreMutuallyUnintelligible) {
+  CommonEvent event = SampleEvent();
+  int direct_ok = 0;
+  int total = 0;
+  for (Experiment from : kAllExperiments) {
+    std::string encoded = CodecFor(from).Encode(event);
+    for (Experiment to : kAllExperiments) {
+      if (from == to) continue;
+      ++total;
+      if (DecodableAs(to, encoded)) ++direct_ok;
+    }
+  }
+  EXPECT_EQ(direct_ok, 0);
+  EXPECT_EQ(total, 12);
+}
+
+TEST(DialectsTest, ConvertBetweenAnyPairViaCommonFormat) {
+  CommonEvent event = SampleEvent();
+  for (Experiment from : kAllExperiments) {
+    std::string encoded = CodecFor(from).Encode(event);
+    for (Experiment to : kAllExperiments) {
+      auto converted = ConvertBetween(from, encoded, to);
+      ASSERT_TRUE(converted.ok())
+          << ExperimentName(from) << " -> " << ExperimentName(to) << ": "
+          << converted.status();
+      auto decoded = CodecFor(to).Decode(*converted);
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_TRUE(*decoded == event)
+          << ExperimentName(from) << " -> " << ExperimentName(to);
+    }
+  }
+}
+
+TEST(DialectsTest, SelfDocumentationMatchesTable1) {
+  // Text dialects (Atlas XML, CMS ig/JSON) are self-documenting; binary
+  // dialects (Alice, LHCb) are not — the Table 1 "self-documenting?" row.
+  EXPECT_TRUE(CodecFor(Experiment::kAtlas).SelfDocumenting());
+  EXPECT_TRUE(CodecFor(Experiment::kCms).SelfDocumenting());
+  EXPECT_FALSE(CodecFor(Experiment::kAlice).SelfDocumenting());
+  EXPECT_FALSE(CodecFor(Experiment::kLhcb).SelfDocumenting());
+}
+
+TEST(DialectsTest, CorruptedDocumentsRejected) {
+  CommonEvent event = SampleEvent();
+  for (Experiment experiment : kAllExperiments) {
+    std::string encoded = CodecFor(experiment).Encode(event);
+    EXPECT_FALSE(CodecFor(experiment)
+                     .Decode(encoded.substr(0, encoded.size() / 2))
+                     .ok())
+        << ExperimentName(experiment) << " accepted a truncated document";
+  }
+  EXPECT_FALSE(CodecFor(Experiment::kAtlas).Decode("garbage").ok());
+  EXPECT_FALSE(CodecFor(Experiment::kCms).Decode("{}").ok());
+}
+
+// ------------------------------------------------------------ Event files
+
+class EventFileRoundTrip : public ::testing::TestWithParam<Experiment> {};
+
+TEST_P(EventFileRoundTrip, MultiEventFileIsLossless) {
+  std::vector<CommonEvent> events;
+  for (int i = 0; i < 5; ++i) {
+    CommonEvent event = SampleEvent();
+    event.event = static_cast<uint64_t>(100 + i);
+    events.push_back(std::move(event));
+  }
+  std::string file = WriteEventFile(GetParam(), events);
+  auto restored = ReadEventFile(GetParam(), file);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE((*restored)[i] == events[i]) << "event " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExperiments, EventFileRoundTrip,
+                         ::testing::ValuesIn(kAllExperiments));
+
+TEST(EventFileTest, ConvertWholeFileBetweenDialects) {
+  std::vector<CommonEvent> events = {SampleEvent(), SampleEvent()};
+  events[1].event = 99;
+  std::string atlas_file = WriteEventFile(Experiment::kAtlas, events);
+  auto cms_file =
+      ConvertEventFile(Experiment::kAtlas, atlas_file, Experiment::kCms);
+  ASSERT_TRUE(cms_file.ok()) << cms_file.status();
+  auto restored = ReadEventFile(Experiment::kCms, *cms_file);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), 2u);
+  EXPECT_TRUE((*restored)[1] == events[1]);
+}
+
+TEST(EventFileTest, FilesAreMutuallyUnintelligible) {
+  std::vector<CommonEvent> events = {SampleEvent()};
+  for (Experiment from : kAllExperiments) {
+    std::string file = WriteEventFile(from, events);
+    for (Experiment to : kAllExperiments) {
+      if (from == to) continue;
+      EXPECT_FALSE(ReadEventFile(to, file).ok())
+          << ExperimentName(to) << " read a " << ExperimentName(from)
+          << " file";
+    }
+  }
+}
+
+TEST(EventFileTest, CorruptFilesRejected) {
+  std::vector<CommonEvent> events = {SampleEvent()};
+  for (Experiment experiment : kAllExperiments) {
+    std::string file = WriteEventFile(experiment, events);
+    EXPECT_FALSE(
+        ReadEventFile(experiment, file.substr(0, file.size() / 3)).ok())
+        << ExperimentName(experiment);
+  }
+  EXPECT_FALSE(ReadEventFile(Experiment::kAtlas, "plain text").ok());
+  EXPECT_FALSE(ReadEventFile(Experiment::kCms, "{}").ok());
+}
+
+// ----------------------------------------------------------------- Scene
+
+TEST(DisplayTest, SceneGeometry) {
+  Scene scene = BuildScene(SampleEvent());
+  EXPECT_EQ(scene.run, 7u);
+  ASSERT_EQ(scene.tracks.size(), 2u);
+  ASSERT_EQ(scene.towers.size(), 3u);
+  EXPECT_NEAR(scene.met, 17.5, 1e-9);
+  // Track polylines extend to the configured outer radius.
+  const ScenePoint& last = scene.tracks[0].points.back();
+  double r = std::sqrt(last.x * last.x + last.y * last.y);
+  EXPECT_NEAR(r, 1.1, 1e-6);
+  // Opposite charges bend apart: compare final azimuth displacement signs.
+  // (Track 0 is positive, track 1 negative.)
+  Json json = scene.ToJson();
+  EXPECT_EQ(json.Get("tracks").size(), 2u);
+  EXPECT_EQ(json.Get("towers").size(), 3u);
+}
+
+TEST(DisplayTest, HigherEnergyMakesTallerTowers) {
+  CommonEvent event;
+  event.objects.push_back({"jet", 10.0, 0.0, 0.0, 0});
+  event.objects.push_back({"jet", 100.0, 0.0, 1.0, 0});
+  Scene scene = BuildScene(event);
+  ASSERT_EQ(scene.towers.size(), 2u);
+  EXPECT_LT(scene.towers[0].height, scene.towers[1].height);
+}
+
+// --------------------------------------------------------------- Outreach
+
+TEST(OutreachTest, ProfilesMirrorTable1) {
+  auto profiles = AllOutreachProfiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_EQ(profiles[0].experiment, Experiment::kAlice);
+  EXPECT_EQ(profiles[3].experiment, Experiment::kLhcb);
+  // Live codec facts flow into the profile.
+  EXPECT_TRUE(profiles[1].self_documenting);   // Atlas XML
+  EXPECT_FALSE(profiles[0].self_documenting);  // Alice binary
+  EXPECT_NE(profiles[2].data_format.find("ig"), std::string::npos);
+  EXPECT_EQ(profiles[3].master_class_uses, "D lifetime");
+  EXPECT_NE(profiles[0].comments.find("Root too heavy"), std::string::npos);
+}
+
+// ------------------------------------------------------------ Masterclass
+
+/// Builds converted Level-2 events through the real chain.
+std::vector<CommonEvent> ChainEvents(Process process, int n, uint64_t seed,
+                                     int lepton_flavor = pdg::kMuon) {
+  GeneratorConfig gen_config;
+  gen_config.process = process;
+  gen_config.lepton_flavor = lepton_flavor;
+  gen_config.seed = seed;
+  EventGenerator generator(gen_config);
+  SimulationConfig sim_config;
+  sim_config.seed = seed + 1;
+  sim_config.noise_cells_mean = 0.0;
+  DetectorSimulation simulation(sim_config);
+  ReconstructionConfig reco_config;
+  reco_config.geometry = sim_config.geometry;
+  reco_config.calib = sim_config.calib;
+  Reconstructor reconstructor(reco_config);
+
+  std::vector<CommonEvent> events;
+  events.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    events.push_back(CommonEvent::FromReco(
+        reconstructor.Reconstruct(simulation.Simulate(generator.Generate(), 1))));
+  }
+  return events;
+}
+
+TEST(MasterClassTest, ZMassMeasured) {
+  auto events = ChainEvents(Process::kZToLL, 500, 21);
+  auto result = ZMassExercise(events);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->measured, 91.2, 3.0);
+  EXPECT_GT(result->uncertainty, 0.0);
+  EXPECT_GT(result->histogram.Integral(), 50.0);
+}
+
+TEST(MasterClassTest, ZMassFailsOnWrongSample) {
+  auto events = ChainEvents(Process::kMinimumBias, 50, 22);
+  EXPECT_TRUE(ZMassExercise(events).status().IsFailedPrecondition());
+}
+
+TEST(MasterClassTest, WAsymmetryPositive) {
+  auto events = ChainEvents(Process::kWToLNu, 1500, 23);
+  auto result = WAsymmetryExercise(events);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->measured, 0.0);
+  EXPECT_TRUE(result->ConsistentWithReference(4.0))
+      << "measured " << result->measured << " +- " << result->uncertainty;
+}
+
+TEST(MasterClassTest, HiggsDiphotonPeak) {
+  auto events = ChainEvents(Process::kHiggsToGammaGamma, 500, 24);
+  auto result = HiggsDiphotonExercise(events);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->measured, 125.25, 4.0);
+}
+
+TEST(MasterClassTest, DLifetimeSeesDisplacement) {
+  auto d_events = ChainEvents(Process::kDMeson, 800, 25);
+  auto d_result = DLifetimeExercise(d_events, 0.0);
+  ASSERT_TRUE(d_result.ok()) << d_result.status();
+
+  // Prompt-only sample as control: D sample must show larger mean |d0|.
+  auto prompt_events = ChainEvents(Process::kMinimumBias, 400, 26);
+  auto prompt_result = DLifetimeExercise(prompt_events, 0.0);
+  ASSERT_TRUE(prompt_result.ok()) << prompt_result.status();
+
+  EXPECT_GT(d_result->measured, prompt_result->measured);
+}
+
+TEST(MasterClassTest, ExercisesWorkOnConvertedDialectData) {
+  // The §2.1 goal: data converted out of any experiment dialect drives the
+  // same exercise. Round-trip through the Alice binary dialect.
+  auto events = ChainEvents(Process::kZToLL, 300, 27);
+  std::vector<CommonEvent> round_tripped;
+  for (const CommonEvent& event : events) {
+    std::string encoded = CodecFor(Experiment::kAlice).Encode(event);
+    auto decoded = CodecFor(Experiment::kAlice).Decode(encoded);
+    ASSERT_TRUE(decoded.ok());
+    round_tripped.push_back(*decoded);
+  }
+  auto original = ZMassExercise(events);
+  auto converted = ZMassExercise(round_tripped);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(converted.ok());
+  EXPECT_DOUBLE_EQ(original->measured, converted->measured);
+}
+
+}  // namespace
+}  // namespace level2
+}  // namespace daspos

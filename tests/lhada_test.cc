@@ -1,0 +1,380 @@
+// Tests for the Les Houches analysis-description language: parsing,
+// validation, canonical serialization round-trip, evaluation semantics,
+// cutflows, and the analysis database.
+#include <gtest/gtest.h>
+
+#include "lhada/database.h"
+#include "lhada/lhada.h"
+
+namespace daspos {
+namespace lhada {
+namespace {
+
+constexpr char kDimuonSearch[] = R"(
+# A preserved dimuon resonance search, Les Houches style.
+analysis dimuon_search
+
+object muons
+  take muon
+  select pt > 25
+  select abseta < 2.5
+  select isolation < 10
+
+object jets
+  take jet
+  select pt > 30
+
+cut preselection
+  select count(muons) >= 2
+
+cut opposite_sign
+  require preselection
+  select oppositecharge(muons[0], muons[1])
+
+cut high_mass
+  require opposite_sign
+  select mass(muons[0], muons[1]) > 400
+)";
+
+PhysicsObject MakeMuon(double pt, int charge, double eta = 0.5,
+                       double phi = 1.0, double isolation = 1.0) {
+  PhysicsObject muon;
+  muon.type = ObjectType::kMuon;
+  muon.momentum = FourVector::FromPtEtaPhiM(pt, eta, phi, 0.105);
+  muon.charge = charge;
+  muon.isolation = isolation;
+  return muon;
+}
+
+PhysicsObject MakeMet(double et) {
+  PhysicsObject met;
+  met.type = ObjectType::kMet;
+  met.momentum = FourVector(et, 0.0, 0.0, et);
+  return met;
+}
+
+AodEvent DimuonEvent(double pt1, double pt2, int q1, int q2,
+                     double eta2 = -0.5, double phi2 = -2.0) {
+  AodEvent event;
+  event.objects.push_back(MakeMuon(pt1, q1));
+  event.objects.push_back(MakeMuon(pt2, q2, eta2, phi2));
+  event.objects.push_back(MakeMet(10.0));
+  return event;
+}
+
+// ----------------------------------------------------------------- Parsing
+
+TEST(LhadaParseTest, ParsesFullDocument) {
+  auto parsed = AnalysisDescription::Parse(kDimuonSearch);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->name(), "dimuon_search");
+  ASSERT_EQ(parsed->objects().size(), 2u);
+  EXPECT_EQ(parsed->objects()[0].name, "muons");
+  EXPECT_EQ(parsed->objects()[0].base, ObjectType::kMuon);
+  EXPECT_EQ(parsed->objects()[0].cuts.size(), 3u);
+  ASSERT_EQ(parsed->cuts().size(), 3u);
+  EXPECT_EQ(parsed->cuts()[2].requires_cuts.size(), 1u);
+  EXPECT_EQ(parsed->cuts()[2].requires_cuts[0], "opposite_sign");
+}
+
+TEST(LhadaParseTest, SerializeParseRoundTrip) {
+  auto parsed = AnalysisDescription::Parse(kDimuonSearch);
+  ASSERT_TRUE(parsed.ok());
+  std::string canonical = parsed->Serialize();
+  auto reparsed = AnalysisDescription::Parse(canonical);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  // Canonical form is a fixed point.
+  EXPECT_EQ(reparsed->Serialize(), canonical);
+  EXPECT_EQ(reparsed->cuts().size(), parsed->cuts().size());
+}
+
+TEST(LhadaParseTest, RejectsStructuralErrors) {
+  // Missing analysis name.
+  EXPECT_FALSE(AnalysisDescription::Parse("cut x\n select met > 5\n").ok());
+  // No cuts at all.
+  EXPECT_FALSE(
+      AnalysisDescription::Parse("analysis a\nobject o\n take muon\n").ok());
+  // select outside any block.
+  EXPECT_FALSE(
+      AnalysisDescription::Parse("analysis a\nselect pt > 5\n").ok());
+  // Unknown keyword.
+  EXPECT_FALSE(AnalysisDescription::Parse("analysis a\nfrobnicate\n").ok());
+  // Unknown base type.
+  EXPECT_FALSE(AnalysisDescription::Parse(
+                   "analysis a\nobject o\n take gluino\ncut c\n select "
+                   "count(o) >= 1\n")
+                   .ok());
+  // Unknown attribute.
+  EXPECT_FALSE(AnalysisDescription::Parse(
+                   "analysis a\nobject o\n take muon\n select color > 1\n"
+                   "cut c\n select count(o) >= 1\n")
+                   .ok());
+  // Bad operator.
+  EXPECT_FALSE(AnalysisDescription::Parse(
+                   "analysis a\nobject o\n take muon\n select pt >> 1\n"
+                   "cut c\n select count(o) >= 1\n")
+                   .ok());
+}
+
+TEST(LhadaParseTest, RejectsSemanticErrors) {
+  // Unknown collection in a cut.
+  EXPECT_FALSE(AnalysisDescription::Parse(
+                   "analysis a\ncut c\n select count(ghosts) >= 1\n")
+                   .ok());
+  // require of a later cut.
+  EXPECT_FALSE(AnalysisDescription::Parse(
+                   "analysis a\nobject o\n take muon\n"
+                   "cut c1\n require c2\n select count(o) >= 1\n"
+                   "cut c2\n select count(o) >= 1\n")
+                   .ok());
+  // Duplicate object name.
+  EXPECT_FALSE(AnalysisDescription::Parse(
+                   "analysis a\nobject o\n take muon\nobject o\n take jet\n"
+                   "cut c\n select count(o) >= 1\n")
+                   .ok());
+  // require of itself.
+  EXPECT_FALSE(AnalysisDescription::Parse(
+                   "analysis a\ncut c\n require c\n select met > 1\n")
+                   .ok());
+}
+
+TEST(LhadaParseTest, ErrorsCarryLineNumbers) {
+  auto bad = AnalysisDescription::Parse("analysis a\nobject o\n tke muon\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 3"), std::string::npos);
+}
+
+// -------------------------------------------------------------- Evaluation
+
+TEST(LhadaEvalTest, PassingEvent) {
+  auto analysis = AnalysisDescription::Parse(kDimuonSearch);
+  ASSERT_TRUE(analysis.ok());
+  // Two opposite-charge back-to-back 300 GeV muons: mass ~ 600 GeV.
+  AodEvent event = DimuonEvent(300.0, 290.0, 1, -1);
+  EventResult result = analysis->Evaluate(event);
+  ASSERT_EQ(result.passed.size(), 3u);
+  EXPECT_TRUE(result.passed[0]);
+  EXPECT_TRUE(result.passed[1]);
+  EXPECT_TRUE(result.passed[2]);
+  EXPECT_TRUE(result.all_passed);
+}
+
+TEST(LhadaEvalTest, ObjectCutsFilterCandidates) {
+  auto analysis = AnalysisDescription::Parse(kDimuonSearch);
+  ASSERT_TRUE(analysis.ok());
+  // Second muon below the pt threshold: preselection fails.
+  AodEvent event = DimuonEvent(300.0, 10.0, 1, -1);
+  EventResult result = analysis->Evaluate(event);
+  EXPECT_FALSE(result.passed[0]);
+  EXPECT_FALSE(result.all_passed);
+}
+
+TEST(LhadaEvalTest, RequireChainsGate) {
+  auto analysis = AnalysisDescription::Parse(kDimuonSearch);
+  ASSERT_TRUE(analysis.ok());
+  // Same-sign pair: opposite_sign fails, so high_mass fails via require
+  // even though the mass condition itself would pass.
+  AodEvent event = DimuonEvent(300.0, 290.0, 1, 1);
+  EventResult result = analysis->Evaluate(event);
+  EXPECT_TRUE(result.passed[0]);
+  EXPECT_FALSE(result.passed[1]);
+  EXPECT_FALSE(result.passed[2]);
+}
+
+TEST(LhadaEvalTest, LowMassPairFailsOnlyMassCut) {
+  auto analysis = AnalysisDescription::Parse(kDimuonSearch);
+  ASSERT_TRUE(analysis.ok());
+  // Collinear soft-ish pair: low invariant mass.
+  AodEvent event = DimuonEvent(60.0, 50.0, 1, -1, /*eta2=*/0.5, /*phi2=*/1.1);
+  EventResult result = analysis->Evaluate(event);
+  EXPECT_TRUE(result.passed[0]);
+  EXPECT_TRUE(result.passed[1]);
+  EXPECT_FALSE(result.passed[2]);
+}
+
+TEST(LhadaEvalTest, MetAndDphiConditions) {
+  auto analysis = AnalysisDescription::Parse(R"(
+analysis met_dphi
+object jets
+  take jet
+  select pt > 30
+cut sr
+  select met > 50
+  select count(jets) >= 2
+  select dphi(jets[0], jets[1]) < 2.5
+)");
+  ASSERT_TRUE(analysis.ok()) << analysis.status();
+
+  AodEvent event;
+  PhysicsObject jet1;
+  jet1.type = ObjectType::kJet;
+  jet1.momentum = FourVector::FromPtEtaPhiM(100.0, 0.0, 0.0, 0.0);
+  PhysicsObject jet2 = jet1;
+  jet2.momentum = FourVector::FromPtEtaPhiM(80.0, 0.0, 1.0, 0.0);
+  event.objects = {jet1, jet2, MakeMet(70.0)};
+  EXPECT_TRUE(analysis->Evaluate(event).all_passed);
+
+  event.objects.back() = MakeMet(20.0);  // met too small
+  EXPECT_FALSE(analysis->Evaluate(event).all_passed);
+}
+
+TEST(LhadaEvalTest, MissingIndexFailsGracefully) {
+  auto analysis = AnalysisDescription::Parse(kDimuonSearch);
+  ASSERT_TRUE(analysis.ok());
+  AodEvent event;  // empty event
+  EventResult result = analysis->Evaluate(event);
+  EXPECT_FALSE(result.all_passed);
+  for (bool passed : result.passed) EXPECT_FALSE(passed);
+}
+
+TEST(LhadaEvalTest, CutflowAccumulates) {
+  auto analysis = AnalysisDescription::Parse(kDimuonSearch);
+  ASSERT_TRUE(analysis.ok());
+  std::vector<AodEvent> events = {
+      DimuonEvent(300.0, 290.0, 1, -1),   // passes everything
+      DimuonEvent(300.0, 290.0, 1, 1),    // fails opposite sign
+      DimuonEvent(300.0, 10.0, 1, -1),    // fails preselection
+      DimuonEvent(60.0, 50.0, 1, -1, 0.5, 1.1),  // fails high mass
+  };
+  Cutflow cutflow = analysis->Run(events);
+  EXPECT_EQ(cutflow.events, 4u);
+  ASSERT_EQ(cutflow.passed_counts.size(), 3u);
+  EXPECT_EQ(cutflow.passed_counts[0], 3u);  // preselection
+  EXPECT_EQ(cutflow.passed_counts[1], 2u);  // opposite sign
+  EXPECT_EQ(cutflow.passed_counts[2], 1u);  // high mass
+  std::string rendered = cutflow.Render();
+  EXPECT_NE(rendered.find("preselection"), std::string::npos);
+  EXPECT_NE(rendered.find("high_mass"), std::string::npos);
+}
+
+// -------------------------------------------------------------- Histograms
+
+constexpr char kHistAnalysis[] = R"(
+analysis with_plots
+object muons
+  take muon
+  select pt > 20
+cut dimuon
+  select count(muons) >= 2
+  hist mll mass(muons[0], muons[1]) 30 60 120
+  hist lead_pt pt(muons[0]) 20 0 100
+cut met_sel
+  require dimuon
+  select met < 100
+  hist met_spec met 20 0 100
+)";
+
+TEST(LhadaHistTest, ParseAndSerializeHistLines) {
+  auto analysis = AnalysisDescription::Parse(kHistAnalysis);
+  ASSERT_TRUE(analysis.ok()) << analysis.status();
+  ASSERT_EQ(analysis->cuts().size(), 2u);
+  EXPECT_EQ(analysis->cuts()[0].hists.size(), 2u);
+  EXPECT_EQ(analysis->cuts()[1].hists.size(), 1u);
+  // Canonical round trip preserves the hist lines.
+  auto reparsed = AnalysisDescription::Parse(analysis->Serialize());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->cuts()[0].hists.size(), 2u);
+  EXPECT_EQ(reparsed->Serialize(), analysis->Serialize());
+}
+
+TEST(LhadaHistTest, HistogramsFillOnlyWhenCutPasses) {
+  auto analysis = AnalysisDescription::Parse(kHistAnalysis);
+  ASSERT_TRUE(analysis.ok());
+  std::vector<AodEvent> events = {
+      DimuonEvent(60.0, 50.0, 1, -1),   // passes both cuts
+      DimuonEvent(60.0, 10.0, 1, -1),   // fails dimuon (soft muon)
+  };
+  auto output = analysis->RunWithHistograms(events);
+  ASSERT_EQ(output.histograms.size(), 3u);
+  const Histo1D* mll = nullptr;
+  const Histo1D* met = nullptr;
+  for (const Histo1D& histogram : output.histograms) {
+    if (histogram.path() == "/with_plots/dimuon/mll") mll = &histogram;
+    if (histogram.path() == "/with_plots/met_sel/met_spec") met = &histogram;
+  }
+  ASSERT_NE(mll, nullptr);
+  ASSERT_NE(met, nullptr);
+  EXPECT_EQ(mll->entries(), 1u);  // only the passing event fills
+  EXPECT_EQ(met->entries(), 1u);
+  // The met histogram recorded the event's MET of 10.
+  EXPECT_DOUBLE_EQ(met->Mean(), 10.0);
+}
+
+TEST(LhadaHistTest, HistValidation) {
+  // Unknown collection in a hist.
+  EXPECT_FALSE(AnalysisDescription::Parse(
+                   "analysis a\ncut c\n select met > 0\n"
+                   " hist x pt(ghosts[0]) 10 0 1\n")
+                   .ok());
+  // Bad range.
+  EXPECT_FALSE(AnalysisDescription::Parse(
+                   "analysis a\ncut c\n select met > 0\n"
+                   " hist x met 10 5 5\n")
+                   .ok());
+  // hist outside a cut block.
+  EXPECT_FALSE(AnalysisDescription::Parse(
+                   "analysis a\nhist x met 10 0 1\ncut c\n select met > 0\n")
+                   .ok());
+  // Unknown quantity.
+  EXPECT_FALSE(AnalysisDescription::Parse(
+                   "analysis a\ncut c\n select met > 0\n"
+                   " hist x sphericity(z[0]) 10 0 1\n")
+                   .ok());
+}
+
+// ---------------------------------------------------------------- Database
+
+TEST(LhadaDatabaseTest, SubmitAndRetrieve) {
+  AnalysisDatabase database;
+  auto name = database.Submit(kDimuonSearch);
+  ASSERT_TRUE(name.ok()) << name.status();
+  EXPECT_EQ(*name, "dimuon_search");
+  EXPECT_TRUE(database.Has("dimuon_search"));
+  EXPECT_EQ(database.size(), 1u);
+
+  auto analysis = database.GetAnalysis("dimuon_search");
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_TRUE(
+      analysis->Evaluate(DimuonEvent(300.0, 290.0, 1, -1)).all_passed);
+}
+
+TEST(LhadaDatabaseTest, CanonicalStorage) {
+  AnalysisDatabase database;
+  // Messy formatting normalizes to the canonical document.
+  std::string messy =
+      "analysis   x\nobject  m\n   take   muon\ncut c\n   select  "
+      "count(m)  >=  1\n";
+  ASSERT_TRUE(database.Submit(messy).ok());
+  auto document = database.GetDocument("x");
+  ASSERT_TRUE(document.ok());
+  auto reparsed = AnalysisDescription::Parse(*document);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Serialize(), *document);
+}
+
+TEST(LhadaDatabaseTest, ValidationAndDuplicates) {
+  AnalysisDatabase database;
+  EXPECT_FALSE(database.Submit("not an analysis").ok());
+  ASSERT_TRUE(database.Submit(kDimuonSearch).ok());
+  EXPECT_TRUE(database.Submit(kDimuonSearch).status().IsAlreadyExists());
+  EXPECT_TRUE(database.GetDocument("nope").status().IsNotFound());
+}
+
+TEST(LhadaDatabaseTest, Search) {
+  AnalysisDatabase database;
+  ASSERT_TRUE(database.Submit(kDimuonSearch).ok());
+  ASSERT_TRUE(database
+                  .Submit("analysis monojet\nobject jets\n take jet\n"
+                          "cut sr\n select met > 100\n select count(jets) "
+                          ">= 1\n")
+                  .ok());
+  EXPECT_EQ(database.Search("dimuon").size(), 1u);
+  EXPECT_EQ(database.Search("met").size(), 1u);       // document content
+  EXPECT_EQ(database.Search("jet").size(), 2u);       // both use jets
+  EXPECT_TRUE(database.Search("susy").empty());
+  EXPECT_EQ(database.Names().size(), 2u);
+}
+
+}  // namespace
+}  // namespace lhada
+}  // namespace daspos

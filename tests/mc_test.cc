@@ -1,0 +1,306 @@
+// Tests for the toy Monte-Carlo generator: kinematic helpers, per-process
+// content, determinism, and physics sanity of generated ensembles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "event/pdg.h"
+#include "hist/histo1d.h"
+#include "mc/generator.h"
+#include "mc/kinematics.h"
+#include "mc/process.h"
+#include "support/rng.h"
+
+namespace daspos {
+namespace {
+
+// ------------------------------------------------------------ Kinematics --
+
+TEST(KinematicsTest, BoostToLabPreservesMass) {
+  Rng rng(1);
+  FourVector frame = FourVector::FromPtEtaPhiM(40.0, 1.2, 0.7, 91.2);
+  FourVector rest(1.0, -2.0, 0.5, std::sqrt(1 + 4 + 0.25 + 25.0));  // m=5
+  FourVector lab = BoostToLab(rest, frame);
+  EXPECT_NEAR(lab.Mass(), rest.Mass(), 1e-9);
+}
+
+TEST(KinematicsTest, BoostOfRestFrameParticleGivesFrameVelocity) {
+  FourVector frame = FourVector::FromPtEtaPhiM(30.0, 0.5, 1.0, 10.0);
+  FourVector at_rest(0.0, 0.0, 0.0, 10.0);
+  FourVector lab = BoostToLab(at_rest, frame);
+  EXPECT_NEAR(lab.px(), frame.px(), 1e-9);
+  EXPECT_NEAR(lab.py(), frame.py(), 1e-9);
+  EXPECT_NEAR(lab.pz(), frame.pz(), 1e-9);
+  EXPECT_NEAR(lab.e(), frame.e(), 1e-9);
+}
+
+TEST(KinematicsTest, TwoBodyDecayConservesFourMomentum) {
+  Rng rng(2);
+  FourVector parent = FourVector::FromPtEtaPhiM(25.0, -0.8, 2.0, 91.2);
+  for (int i = 0; i < 100; ++i) {
+    auto [d1, d2] = TwoBodyDecay(parent, 0.105, 0.105, &rng);
+    FourVector sum = d1 + d2;
+    EXPECT_NEAR(sum.px(), parent.px(), 1e-6);
+    EXPECT_NEAR(sum.py(), parent.py(), 1e-6);
+    EXPECT_NEAR(sum.pz(), parent.pz(), 1e-6);
+    EXPECT_NEAR(sum.e(), parent.e(), 1e-6);
+    EXPECT_NEAR(d1.Mass(), 0.105, 1e-6);
+    EXPECT_NEAR(d2.Mass(), 0.105, 1e-6);
+  }
+}
+
+TEST(KinematicsTest, TwoBodyDecayIsotropicInRestFrame) {
+  Rng rng(3);
+  // Parent at rest: daughter directions should average to zero.
+  FourVector parent(0.0, 0.0, 0.0, 91.2);
+  double sum_pz = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto [d1, d2] = TwoBodyDecay(parent, 0.0, 0.0, &rng);
+    (void)d2;
+    sum_pz += d1.pz();
+  }
+  EXPECT_NEAR(sum_pz / n / (91.2 / 2.0), 0.0, 0.02);
+}
+
+TEST(KinematicsTest, FragmentationConservesEnergyApproximately) {
+  Rng rng(4);
+  double energy = 80.0;
+  auto fragments = FragmentParton(energy, 0.3, 1.0, 0.1, &rng);
+  EXPECT_GT(fragments.size(), 3u);
+  double total = 0.0;
+  for (const Fragment& f : fragments) total += f.momentum.e();
+  // Fragmentation rounds hadron energies up to their masses; allow slack.
+  EXPECT_NEAR(total, energy, 0.15 * energy);
+  for (const Fragment& f : fragments) {
+    EXPECT_TRUE(pdg::IsHadron(f.pdg_id)) << f.pdg_id;
+  }
+}
+
+// --------------------------------------------------------------- Process --
+
+TEST(ProcessTest, CatalogComplete) {
+  EXPECT_EQ(AllProcesses().size(), 7u);
+  const ProcessInfo& z = GetProcessInfo(Process::kZToLL);
+  EXPECT_EQ(z.name, "z_ll");
+  EXPECT_GT(z.cross_section_pb, 0.0);
+  // Background dwarfs signal: the structure E2 depends on.
+  EXPECT_GT(GetProcessInfo(Process::kMinimumBias).cross_section_pb,
+            1e6 * z.cross_section_pb);
+  EXPECT_LT(GetProcessInfo(Process::kZPrimeToLL).cross_section_pb,
+            GetProcessInfo(Process::kHiggsToGammaGamma).cross_section_pb *
+                10.0);
+}
+
+// ------------------------------------------------------------- Generator --
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  GeneratorConfig config;
+  config.process = Process::kZToLL;
+  config.seed = 99;
+  EventGenerator g1(config);
+  EventGenerator g2(config);
+  for (int i = 0; i < 20; ++i) {
+    GenEvent e1 = g1.Generate();
+    GenEvent e2 = g2.Generate();
+    ASSERT_EQ(e1.particles.size(), e2.particles.size());
+    for (size_t p = 0; p < e1.particles.size(); ++p) {
+      EXPECT_EQ(e1.particles[p].pdg_id, e2.particles[p].pdg_id);
+      EXPECT_TRUE(e1.particles[p].momentum == e2.particles[p].momentum);
+    }
+  }
+}
+
+TEST(GeneratorTest, EventNumbersIncrease) {
+  GeneratorConfig config;
+  EventGenerator gen(config);
+  EXPECT_EQ(gen.Generate().event_number, 1u);
+  EXPECT_EQ(gen.Generate().event_number, 2u);
+  EXPECT_EQ(gen.GenerateMany(3).back().event_number, 5u);
+}
+
+TEST(GeneratorTest, ZToMuMuContent) {
+  GeneratorConfig config;
+  config.process = Process::kZToLL;
+  config.lepton_flavor = pdg::kMuon;
+  config.seed = 5;
+  EventGenerator gen(config);
+  Histo1D mass("/mll", 60, 60.0, 120.0);
+  for (int i = 0; i < 2000; ++i) {
+    GenEvent event = gen.Generate();
+    const GenParticle* mu_minus = nullptr;
+    const GenParticle* mu_plus = nullptr;
+    for (const GenParticle& p : event.particles) {
+      if (p.pdg_id == pdg::kMuon && p.IsFinalState()) mu_minus = &p;
+      if (p.pdg_id == -pdg::kMuon && p.IsFinalState()) mu_plus = &p;
+    }
+    ASSERT_NE(mu_minus, nullptr);
+    ASSERT_NE(mu_plus, nullptr);
+    mass.Fill(InvariantMass(mu_minus->momentum, mu_plus->momentum));
+  }
+  // Peak at the Z pole with the Breit-Wigner width.
+  EXPECT_NEAR(mass.Mean(), 91.2, 1.0);
+  EXPECT_GT(mass.Integral(), 1500.0);  // most events inside the window
+}
+
+TEST(GeneratorTest, WProductionChargeAsymmetry) {
+  GeneratorConfig config;
+  config.process = Process::kWToLNu;
+  config.seed = 6;
+  EventGenerator gen(config);
+  int plus = 0;
+  int minus = 0;
+  for (int i = 0; i < 5000; ++i) {
+    GenEvent event = gen.Generate();
+    for (const GenParticle& p : event.particles) {
+      if (p.pdg_id == pdg::kWPlus) ++plus;
+      if (p.pdg_id == -pdg::kWPlus) ++minus;
+    }
+  }
+  EXPECT_GT(plus, minus);
+  EXPECT_NEAR(static_cast<double>(plus) / minus, 1.35, 0.15);
+}
+
+TEST(GeneratorTest, WEventHasLeptonAndNeutrino) {
+  GeneratorConfig config;
+  config.process = Process::kWToLNu;
+  config.lepton_flavor = pdg::kElectron;
+  EventGenerator gen(config);
+  GenEvent event = gen.Generate();
+  int leptons = 0;
+  int neutrinos = 0;
+  for (const GenParticle& p : event.FinalState()) {
+    if (std::abs(p.pdg_id) == pdg::kElectron) ++leptons;
+    if (std::abs(p.pdg_id) == pdg::kNuE) ++neutrinos;
+  }
+  EXPECT_EQ(leptons, 1);
+  EXPECT_EQ(neutrinos, 1);
+}
+
+TEST(GeneratorTest, HiggsHasTwoPhotonsAtPole) {
+  GeneratorConfig config;
+  config.process = Process::kHiggsToGammaGamma;
+  config.seed = 7;
+  EventGenerator gen(config);
+  for (int i = 0; i < 50; ++i) {
+    GenEvent event = gen.Generate();
+    std::vector<const GenParticle*> photons;
+    for (const GenParticle& p : event.particles) {
+      if (p.pdg_id == pdg::kPhoton && p.IsFinalState() && p.mother >= 0 &&
+          event.particles[static_cast<size_t>(p.mother)].pdg_id ==
+              pdg::kHiggs) {
+        photons.push_back(&p);
+      }
+    }
+    ASSERT_EQ(photons.size(), 2u);
+    EXPECT_NEAR(InvariantMass(photons[0]->momentum, photons[1]->momentum),
+                125.25, 0.5);
+  }
+}
+
+TEST(GeneratorTest, DijetIsBackToBackInPhi) {
+  GeneratorConfig config;
+  config.process = Process::kQcdDijet;
+  config.seed = 8;
+  config.tune_activity = 0.0;  // hard process only
+  EventGenerator gen(config);
+  GenEvent event = gen.Generate();
+  std::vector<const GenParticle*> partons;
+  for (const GenParticle& p : event.particles) {
+    if (p.status == 2) partons.push_back(&p);
+  }
+  ASSERT_EQ(partons.size(), 2u);
+  EXPECT_NEAR(DeltaPhi(partons[0]->momentum, partons[1]->momentum),
+              3.14159265358979, 1e-9);
+  EXPECT_GE(partons[0]->momentum.Pt(), 20.0);
+}
+
+TEST(GeneratorTest, DMesonDaughtersShareDisplacedVertex) {
+  GeneratorConfig config;
+  config.process = Process::kDMeson;
+  config.seed = 9;
+  EventGenerator gen(config);
+  double mean_displacement = 0.0;
+  int count = 0;
+  for (int i = 0; i < 500; ++i) {
+    GenEvent event = gen.Generate();
+    const GenParticle* kaon = nullptr;
+    const GenParticle* pion = nullptr;
+    for (const GenParticle& p : event.particles) {
+      if (p.pdg_id == pdg::kKMinus && p.vertex_mm > 0.0) kaon = &p;
+      if (p.pdg_id == pdg::kPiPlus && p.vertex_mm > 0.0) pion = &p;
+    }
+    ASSERT_NE(kaon, nullptr);
+    ASSERT_NE(pion, nullptr);
+    EXPECT_DOUBLE_EQ(kaon->vertex_mm, pion->vertex_mm);
+    // K pi mass reconstructs the D0.
+    EXPECT_NEAR(InvariantMass(kaon->momentum, pion->momentum), 1.86484, 1e-5);
+    mean_displacement += kaon->vertex_mm;
+    ++count;
+  }
+  // Mean lab decay length = c*tau * <p>/m ; with <p> ~ 6-7 GeV this is
+  // several tenths of a millimetre.
+  EXPECT_GT(mean_displacement / count, 0.1);
+  EXPECT_LT(mean_displacement / count, 2.0);
+}
+
+TEST(GeneratorTest, ZPrimeMassConfigurable) {
+  GeneratorConfig config;
+  config.process = Process::kZPrimeToLL;
+  config.zprime_mass = 750.0;
+  config.zprime_width = 20.0;
+  config.seed = 10;
+  EventGenerator gen(config);
+  Histo1D mass("/m", 100, 500.0, 1000.0);
+  for (int i = 0; i < 500; ++i) {
+    GenEvent event = gen.Generate();
+    std::vector<const GenParticle*> leptons;
+    for (const GenParticle& p : event.particles) {
+      if (std::abs(p.pdg_id) == pdg::kMuon && p.IsFinalState() &&
+          p.mother >= 0) {
+        leptons.push_back(&p);
+      }
+    }
+    ASSERT_EQ(leptons.size(), 2u);
+    mass.Fill(InvariantMass(leptons[0]->momentum, leptons[1]->momentum));
+  }
+  EXPECT_NEAR(mass.Mean(), 750.0, 10.0);
+}
+
+TEST(GeneratorTest, PileupIncreasesMultiplicity) {
+  GeneratorConfig no_pu;
+  no_pu.process = Process::kZToLL;
+  no_pu.seed = 11;
+  GeneratorConfig with_pu = no_pu;
+  with_pu.pileup_mean = 20.0;
+  EventGenerator g0(no_pu);
+  EventGenerator g20(with_pu);
+  size_t n0 = 0;
+  size_t n20 = 0;
+  for (int i = 0; i < 50; ++i) {
+    n0 += g0.Generate().particles.size();
+    n20 += g20.Generate().particles.size();
+  }
+  EXPECT_GT(n20, 3 * n0);
+}
+
+TEST(GeneratorTest, TuneActivityScalesSoftMultiplicity) {
+  GeneratorConfig low;
+  low.process = Process::kMinimumBias;
+  low.seed = 12;
+  low.tune_activity = 0.5;
+  GeneratorConfig high = low;
+  high.tune_activity = 2.0;
+  EventGenerator gl(low);
+  EventGenerator gh(high);
+  size_t nl = 0;
+  size_t nh = 0;
+  for (int i = 0; i < 200; ++i) {
+    nl += gl.Generate().particles.size();
+    nh += gh.Generate().particles.size();
+  }
+  EXPECT_GT(nh, 2 * nl);
+}
+
+}  // namespace
+}  // namespace daspos

@@ -1,0 +1,405 @@
+// Tests for reconstruction: track finding (efficiency, charge, momentum
+// resolution), calorimeter clustering, candidate building, and the
+// end-to-end physics sanity of the full gen -> sim -> reco chain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detsim/simulation.h"
+#include "event/pdg.h"
+#include "hist/histo1d.h"
+#include "mc/generator.h"
+#include "reco/clustering.h"
+#include "reco/reconstruction.h"
+#include "reco/tracking.h"
+
+namespace daspos {
+namespace {
+
+SimulationConfig QuietSim() {
+  SimulationConfig config;
+  config.seed = 31;
+  config.noise_cells_mean = 0.0;
+  return config;
+}
+
+GenEvent SingleParticle(int pdg_id, double pt, double eta, double phi,
+                        uint64_t event_number = 1) {
+  GenEvent truth;
+  truth.event_number = event_number;
+  GenParticle particle;
+  particle.pdg_id = pdg_id;
+  particle.status = 1;
+  particle.momentum = FourVector::FromPtEtaPhiM(pt, eta, phi,
+                                                pdg::Mass(pdg_id));
+  truth.particles.push_back(particle);
+  return truth;
+}
+
+// ---------------------------------------------------------------- Tracking
+
+TEST(TrackingTest, SingleMuonReconstructs) {
+  SimulationConfig sim_config = QuietSim();
+  DetectorSimulation sim(sim_config);
+  TrackFinder finder(sim_config.geometry, sim_config.calib);
+
+  int found = 0;
+  double sum_rel_dpt = 0.0;
+  int charge_correct = 0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    double pt = 10.0 + i * 0.5;
+    GenEvent truth = SingleParticle(pdg::kMuon, pt, 0.3, 1.0, 100 + i);
+    RawEvent raw = sim.Simulate(truth, 1);
+    auto tracks = finder.FindTracks(raw);
+    if (tracks.empty()) continue;
+    ++found;
+    const Track& track = tracks.front();
+    sum_rel_dpt += std::fabs(track.momentum.Pt() - pt) / pt;
+    if (track.charge == -1) ++charge_correct;  // mu- bends one way
+  }
+  EXPECT_GT(found, 90);
+  EXPECT_LT(sum_rel_dpt / found, 0.10);          // few-% pt resolution
+  EXPECT_GT(charge_correct, found * 9 / 10);     // charge from bend sign
+}
+
+TEST(TrackingTest, OppositeChargesBendOppositely) {
+  SimulationConfig sim_config = QuietSim();
+  DetectorSimulation sim(sim_config);
+  TrackFinder finder(sim_config.geometry, sim_config.calib);
+
+  GenEvent plus = SingleParticle(-pdg::kMuon, 30.0, 0.5, 0.0, 11);
+  GenEvent minus = SingleParticle(pdg::kMuon, 30.0, 0.5, 0.0, 12);
+  auto t_plus = finder.FindTracks(sim.Simulate(plus, 1));
+  auto t_minus = finder.FindTracks(sim.Simulate(minus, 1));
+  ASSERT_FALSE(t_plus.empty());
+  ASSERT_FALSE(t_minus.empty());
+  EXPECT_EQ(t_plus.front().charge, 1);
+  EXPECT_EQ(t_minus.front().charge, -1);
+}
+
+TEST(TrackingTest, NeutralParticleLeavesNoTrack) {
+  SimulationConfig sim_config = QuietSim();
+  DetectorSimulation sim(sim_config);
+  TrackFinder finder(sim_config.geometry, sim_config.calib);
+  GenEvent truth = SingleParticle(pdg::kPhoton, 50.0, 0.0, 0.5, 13);
+  EXPECT_TRUE(finder.FindTracks(sim.Simulate(truth, 1)).empty());
+}
+
+TEST(TrackingTest, WrongAlignmentConstantsDegradeResolution) {
+  // Simulate with a misaligned detector; reconstruct once with the matching
+  // constants and once with defaults. §3.2's conditions dependency.
+  SimulationConfig sim_config = QuietSim();
+  sim_config.calib.tracker_phi_offset = 0.004;
+  DetectorSimulation sim(sim_config);
+
+  CalibrationSet right = sim_config.calib;
+  CalibrationSet wrong = sim_config.calib;
+  wrong.tracker_phi_offset = 0.0;
+
+  TrackFinder with_right(sim_config.geometry, right);
+  TrackFinder with_wrong(sim_config.geometry, wrong);
+
+  double err_right = 0.0;
+  double err_wrong = 0.0;
+  int n_right = 0;
+  int n_wrong = 0;
+  for (int i = 0; i < 50; ++i) {
+    GenEvent truth = SingleParticle(pdg::kMuon, 25.0, 0.2, 0.8, 200 + i);
+    RawEvent raw = sim.Simulate(truth, 1);
+    auto tr = with_right.FindTracks(raw);
+    auto tw = with_wrong.FindTracks(raw);
+    if (!tr.empty()) {
+      err_right += std::fabs(tr.front().momentum.Phi() - 0.8);
+      ++n_right;
+    }
+    if (!tw.empty()) {
+      err_wrong += std::fabs(tw.front().momentum.Phi() - 0.8);
+      ++n_wrong;
+    }
+  }
+  ASSERT_GT(n_right, 0);
+  ASSERT_GT(n_wrong, 0);
+  // The wrong constants shift phi0 by about the misalignment.
+  EXPECT_LT(err_right / n_right, 0.002);
+  EXPECT_GT(err_wrong / n_wrong, 0.003);
+}
+
+TEST(TrackingTest, DisplacedTrackHasLargerD0) {
+  SimulationConfig sim_config = QuietSim();
+  sim_config.geometry.tracker_hit_efficiency = 1.0;
+  DetectorSimulation sim(sim_config);
+  TrackFinder finder(sim_config.geometry, sim_config.calib);
+
+  auto event_with_displacement = [&](double vertex_mm, uint64_t num) {
+    GenEvent truth;
+    truth.event_number = num;
+    GenParticle mother;
+    mother.pdg_id = pdg::kD0;
+    mother.status = 2;
+    mother.momentum = FourVector(6.0, 0.0, 0.0, std::sqrt(36.0 + 3.48));
+    truth.particles.push_back(mother);
+    GenParticle pi;
+    pi.pdg_id = pdg::kPiPlus;
+    pi.status = 1;
+    pi.mother = 0;
+    pi.momentum = FourVector::FromPtEtaPhiM(4.0, 0.0, 0.4, 0.14);
+    pi.vertex_mm = vertex_mm;
+    truth.particles.push_back(pi);
+    return truth;
+  };
+
+  double sum_d0_prompt = 0.0;
+  double sum_d0_displaced = 0.0;
+  int n = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto tp = finder.FindTracks(
+        sim.Simulate(event_with_displacement(0.0, 300 + i), 1));
+    auto td = finder.FindTracks(
+        sim.Simulate(event_with_displacement(4.0, 400 + i), 1));
+    if (tp.empty() || td.empty()) continue;
+    sum_d0_prompt += std::fabs(tp.front().d0_mm);
+    sum_d0_displaced += std::fabs(td.front().d0_mm);
+    ++n;
+  }
+  ASSERT_GT(n, 20);
+  EXPECT_GT(sum_d0_displaced / n, 2.0 * (sum_d0_prompt / n));
+}
+
+// -------------------------------------------------------------- Clustering
+
+TEST(ClusteringTest, PhotonMakesEmRichCluster) {
+  SimulationConfig sim_config = QuietSim();
+  DetectorSimulation sim(sim_config);
+  CaloClusterer clusterer(sim_config.geometry, sim_config.calib);
+
+  GenEvent truth = SingleParticle(pdg::kPhoton, 60.0, 0.3, -0.5, 21);
+  auto clusters = clusterer.Cluster(sim.Simulate(truth, 1));
+  ASSERT_FALSE(clusters.empty());
+  const CaloCluster& leading = clusters.front();
+  EXPECT_NEAR(leading.energy, truth.particles[0].momentum.e(),
+              0.25 * truth.particles[0].momentum.e());
+  EXPECT_GT(leading.em_fraction, 0.9);
+  EXPECT_NEAR(leading.eta, 0.3, 0.1);
+}
+
+TEST(ClusteringTest, ChargedPionMakesHadronicCluster) {
+  SimulationConfig sim_config = QuietSim();
+  DetectorSimulation sim(sim_config);
+  CaloClusterer clusterer(sim_config.geometry, sim_config.calib);
+
+  GenEvent truth = SingleParticle(pdg::kPiPlus, 40.0, -0.4, 2.0, 22);
+  auto clusters = clusterer.Cluster(sim.Simulate(truth, 1));
+  ASSERT_FALSE(clusters.empty());
+  EXPECT_LT(clusters.front().em_fraction, 0.5);
+}
+
+TEST(ClusteringTest, TwoSeparatedPhotonsMakeTwoClusters) {
+  SimulationConfig sim_config = QuietSim();
+  DetectorSimulation sim(sim_config);
+  CaloClusterer clusterer(sim_config.geometry, sim_config.calib);
+
+  GenEvent truth;
+  truth.event_number = 23;
+  for (double phi : {0.0, 3.0}) {
+    GenParticle gamma;
+    gamma.pdg_id = pdg::kPhoton;
+    gamma.status = 1;
+    gamma.momentum = FourVector::FromPtEtaPhiM(40.0, 0.0, phi, 0.0);
+    truth.particles.push_back(gamma);
+  }
+  auto clusters = clusterer.Cluster(sim.Simulate(truth, 1));
+  int energetic = 0;
+  for (const CaloCluster& c : clusters) {
+    if (c.energy > 20.0) ++energetic;
+  }
+  EXPECT_EQ(energetic, 2);
+}
+
+TEST(ClusteringTest, MuonSegmentsRequireTwoLayers) {
+  SimulationConfig sim_config = QuietSim();
+  sim_config.geometry.muon_hit_efficiency = 1.0;
+  DetectorSimulation sim(sim_config);
+  CaloClusterer clusterer(sim_config.geometry, sim_config.calib);
+
+  GenEvent truth = SingleParticle(pdg::kMuon, 30.0, 0.6, 0.2, 24);
+  auto segments = clusterer.MuonSegments(sim.Simulate(truth, 1));
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].layer_count, sim_config.geometry.muon_layers);
+  EXPECT_NEAR(segments[0].eta, 0.6, 0.1);
+}
+
+// ---------------------------------------------------------- Reconstruction
+
+ReconstructionConfig MatchingReco(const SimulationConfig& sim_config) {
+  ReconstructionConfig config;
+  config.geometry = sim_config.geometry;
+  config.calib = sim_config.calib;
+  return config;
+}
+
+TEST(ReconstructionTest, ZToMuMuMassPeak) {
+  GeneratorConfig gen_config;
+  gen_config.process = Process::kZToLL;
+  gen_config.lepton_flavor = pdg::kMuon;
+  gen_config.seed = 41;
+  EventGenerator gen(gen_config);
+
+  SimulationConfig sim_config = QuietSim();
+  DetectorSimulation sim(sim_config);
+  Reconstructor reco(MatchingReco(sim_config));
+
+  Histo1D mass("/reco_mll", 40, 71.0, 111.0);
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    RecoEvent event = reco.Reconstruct(sim.Simulate(gen.Generate(), 1));
+    std::vector<const PhysicsObject*> muons;
+    for (const PhysicsObject& obj : event.objects) {
+      if (obj.type == ObjectType::kMuon) muons.push_back(&obj);
+    }
+    if (muons.size() < 2) continue;
+    if (muons[0]->charge * muons[1]->charge != -1) continue;
+    mass.Fill(InvariantMass(muons[0]->momentum, muons[1]->momentum));
+  }
+  // Acceptance x efficiency leaves a solid fraction of dimuon events, and
+  // the peak sits at the Z pole within resolution.
+  EXPECT_GT(mass.entries(), static_cast<uint64_t>(n / 4));
+  EXPECT_NEAR(mass.Mean(), 91.2, 3.0);
+}
+
+TEST(ReconstructionTest, HiggsPhotonPairReconstructs) {
+  GeneratorConfig gen_config;
+  gen_config.process = Process::kHiggsToGammaGamma;
+  gen_config.seed = 42;
+  EventGenerator gen(gen_config);
+
+  SimulationConfig sim_config = QuietSim();
+  DetectorSimulation sim(sim_config);
+  Reconstructor reco(MatchingReco(sim_config));
+
+  Histo1D mass("/reco_mgg", 40, 105.0, 145.0);
+  for (int i = 0; i < 300; ++i) {
+    RecoEvent event = reco.Reconstruct(sim.Simulate(gen.Generate(), 1));
+    std::vector<const PhysicsObject*> photons;
+    for (const PhysicsObject& obj : event.objects) {
+      if (obj.type == ObjectType::kPhoton && obj.momentum.Pt() > 20.0) {
+        photons.push_back(&obj);
+      }
+    }
+    if (photons.size() < 2) continue;
+    mass.Fill(InvariantMass(photons[0]->momentum, photons[1]->momentum));
+  }
+  EXPECT_GT(mass.entries(), 50u);
+  EXPECT_NEAR(mass.Mean(), 125.25, 4.0);
+  // Detector resolution dominates: reconstructed width >> natural 4 MeV.
+  EXPECT_GT(mass.StdDev(), 0.5);
+}
+
+TEST(ReconstructionTest, DijetEventYieldsJets) {
+  GeneratorConfig gen_config;
+  gen_config.process = Process::kQcdDijet;
+  gen_config.seed = 43;
+  EventGenerator gen(gen_config);
+
+  SimulationConfig sim_config = QuietSim();
+  DetectorSimulation sim(sim_config);
+  Reconstructor reco(MatchingReco(sim_config));
+
+  int events_with_jets = 0;
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    RecoEvent event = reco.Reconstruct(sim.Simulate(gen.Generate(), 1));
+    int jets = 0;
+    for (const PhysicsObject& obj : event.objects) {
+      if (obj.type == ObjectType::kJet) ++jets;
+    }
+    if (jets >= 1) ++events_with_jets;
+  }
+  EXPECT_GT(events_with_jets, n / 2);
+}
+
+TEST(ReconstructionTest, WEventHasMet) {
+  GeneratorConfig gen_config;
+  gen_config.process = Process::kWToLNu;
+  gen_config.lepton_flavor = pdg::kMuon;
+  gen_config.seed = 44;
+  EventGenerator gen(gen_config);
+
+  SimulationConfig sim_config = QuietSim();
+  DetectorSimulation sim(sim_config);
+  Reconstructor reco(MatchingReco(sim_config));
+
+  double sum_met_w = 0.0;
+  int n_w = 0;
+  for (int i = 0; i < 100; ++i) {
+    RecoEvent event = reco.Reconstruct(sim.Simulate(gen.Generate(), 1));
+    for (const PhysicsObject& obj : event.objects) {
+      if (obj.type == ObjectType::kMet) {
+        sum_met_w += obj.momentum.Pt();
+        ++n_w;
+      }
+    }
+  }
+  ASSERT_GT(n_w, 0);
+  // The escaping neutrino produces sizable MET on average.
+  EXPECT_GT(sum_met_w / n_w, 15.0);
+}
+
+TEST(ReconstructionTest, EveryEventHasExactlyOneMet) {
+  GeneratorConfig gen_config;
+  gen_config.process = Process::kMinimumBias;
+  EventGenerator gen(gen_config);
+  SimulationConfig sim_config = QuietSim();
+  DetectorSimulation sim(sim_config);
+  Reconstructor reco(MatchingReco(sim_config));
+  for (int i = 0; i < 20; ++i) {
+    RecoEvent event = reco.Reconstruct(sim.Simulate(gen.Generate(), 1));
+    int met = 0;
+    for (const PhysicsObject& obj : event.objects) {
+      if (obj.type == ObjectType::kMet) ++met;
+    }
+    EXPECT_EQ(met, 1);
+  }
+}
+
+TEST(ReconstructionTest, ElectronGetsChargeAndIsolation) {
+  SimulationConfig sim_config = QuietSim();
+  DetectorSimulation sim(sim_config);
+  Reconstructor reco(MatchingReco(sim_config));
+
+  GenEvent truth = SingleParticle(pdg::kElectron, 45.0, 0.1, 0.3, 51);
+  RecoEvent event = reco.Reconstruct(sim.Simulate(truth, 1));
+  const PhysicsObject* electron = nullptr;
+  for (const PhysicsObject& obj : event.objects) {
+    if (obj.type == ObjectType::kElectron) electron = &obj;
+  }
+  ASSERT_NE(electron, nullptr);
+  EXPECT_EQ(electron->charge, -1);
+  EXPECT_LT(electron->isolation, 1.0);  // nothing else in the event
+  EXPECT_NEAR(electron->momentum.e(), 45.0 * std::cosh(0.1), 10.0);
+}
+
+TEST(ReconstructionTest, PileupRaisesVertexCount) {
+  GeneratorConfig no_pu;
+  no_pu.process = Process::kZToLL;
+  no_pu.seed = 45;
+  GeneratorConfig with_pu = no_pu;
+  with_pu.pileup_mean = 30.0;
+
+  SimulationConfig sim_config = QuietSim();
+  DetectorSimulation sim(sim_config);
+  Reconstructor reco(MatchingReco(sim_config));
+
+  EventGenerator g0(no_pu);
+  EventGenerator g30(with_pu);
+  int v0 = 0;
+  int v30 = 0;
+  for (int i = 0; i < 20; ++i) {
+    v0 += reco.Reconstruct(sim.Simulate(g0.Generate(), 1)).vertex_count;
+    v30 += reco.Reconstruct(sim.Simulate(g30.Generate(), 1)).vertex_count;
+  }
+  EXPECT_GT(v30, 2 * v0);
+}
+
+}  // namespace
+}  // namespace daspos

@@ -1,0 +1,318 @@
+// Unit + property tests for JSON, binary primitives, and the
+// self-describing container (including corruption injection).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "serialize/binary.h"
+#include "serialize/container.h"
+#include "serialize/json.h"
+
+namespace daspos {
+namespace {
+
+// ------------------------------------------------------------------ JSON --
+
+TEST(JsonTest, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.Dump(), "null");
+}
+
+TEST(JsonTest, Scalars) {
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(-3.5).Dump(), "-3.5");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).Dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).Dump(), "null");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json j = Json::Object();
+  j["z"] = 1;
+  j["a"] = 2;
+  j["m"] = 3;
+  EXPECT_EQ(j.Dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+}
+
+TEST(JsonTest, ArrayPushBack) {
+  Json j = Json::Array();
+  j.push_back(1);
+  j.push_back("two");
+  j.push_back(Json());
+  EXPECT_EQ(j.Dump(), "[1,\"two\",null]");
+  EXPECT_EQ(j.size(), 3u);
+  EXPECT_EQ(j.at(1).as_string(), "two");
+  EXPECT_TRUE(j.at(99).is_null());
+}
+
+TEST(JsonTest, GetAndHas) {
+  Json j = Json::Object();
+  j["key"] = "value";
+  EXPECT_TRUE(j.Has("key"));
+  EXPECT_FALSE(j.Has("other"));
+  EXPECT_EQ(j.Get("key").as_string(), "value");
+  EXPECT_TRUE(j.Get("other").is_null());
+}
+
+TEST(JsonTest, StringEscaping) {
+  Json j(std::string("a\"b\\c\nd\te\x01"));
+  std::string dumped = j.Dump();
+  EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+  auto parsed = Json::Parse(dumped);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), j.as_string());
+}
+
+TEST(JsonTest, ParseBasicDocument) {
+  auto r = Json::Parse(R"({"name":"AOD","n":3,"ok":true,"list":[1,2.5,null]})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get("name").as_string(), "AOD");
+  EXPECT_EQ(r->Get("n").as_int(), 3);
+  EXPECT_TRUE(r->Get("ok").as_bool());
+  EXPECT_EQ(r->Get("list").size(), 3u);
+  EXPECT_DOUBLE_EQ(r->Get("list").at(1).as_number(), 2.5);
+  EXPECT_TRUE(r->Get("list").at(2).is_null());
+}
+
+TEST(JsonTest, ParseWhitespaceTolerant) {
+  auto r = Json::Parse("  {\n \"a\" : [ 1 , 2 ] \n}  ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get("a").size(), 2u);
+}
+
+TEST(JsonTest, ParseUnicodeEscape) {
+  auto r = Json::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1,}").ok());
+}
+
+TEST(JsonTest, DeepNestingRejected) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, PrettyDumpParsesBack) {
+  Json j = Json::Object();
+  j["schema"] = "aod";
+  j["parents"] = Json::Array();
+  j["parents"].push_back("file1");
+  j["nested"] = Json::Object();
+  j["nested"]["k"] = 1.25;
+  std::string pretty = j.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto parsed = Json::Parse(pretty);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed == j);
+}
+
+// Round-trip property over a sweep of doubles.
+class JsonNumberRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(JsonNumberRoundTrip, ExactThroughDumpParse) {
+  double v = GetParam();
+  auto parsed = Json::Parse(Json(v).Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->as_number(), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JsonNumberRoundTrip,
+                         ::testing::Values(0.0, 1.0, -1.0, 0.1, -0.1, 1e-12,
+                                           3.141592653589793, 91.1876, 1e15,
+                                           -2.5e-7, 12345678.9));
+
+// ---------------------------------------------------------------- Binary --
+
+TEST(BinaryTest, FixedWidthRoundTrip) {
+  BinaryWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutDouble(91.1876);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.GetU8(), 0xab);
+  EXPECT_EQ(*r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789abcdefull);
+  EXPECT_DOUBLE_EQ(*r.GetDouble(), 91.1876);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryTest, StringRoundTrip) {
+  BinaryWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  w.PutString(std::string("\x00\x01", 2));
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(*r.GetString(), "");
+  EXPECT_EQ(*r.GetString(), std::string("\x00\x01", 2));
+}
+
+TEST(BinaryTest, TruncationDetected) {
+  BinaryWriter w;
+  w.PutU64(7);
+  std::string data = w.buffer().substr(0, 4);
+  BinaryReader r(data);
+  EXPECT_TRUE(r.GetU64().status().IsCorruption());
+}
+
+TEST(BinaryTest, VarintTruncationDetected) {
+  std::string bad("\xff\xff", 2);  // continuation bits with no terminator
+  BinaryReader r(bad);
+  EXPECT_TRUE(r.GetVarint().status().IsCorruption());
+}
+
+TEST(BinaryTest, StringLengthBeyondBufferDetected) {
+  BinaryWriter w;
+  w.PutVarint(100);  // claims 100 bytes
+  w.PutRaw("short");
+  BinaryReader r(w.buffer());
+  EXPECT_TRUE(r.GetString().status().IsCorruption());
+}
+
+TEST(BinaryTest, SkipAdvances) {
+  BinaryWriter w;
+  w.PutRaw("abcdef");
+  BinaryReader r(w.buffer());
+  ASSERT_TRUE(r.Skip(4).ok());
+  EXPECT_EQ(*r.GetRaw(2), "ef");
+  EXPECT_TRUE(r.Skip(1).IsCorruption());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, Unsigned) {
+  BinaryWriter w;
+  w.PutVarint(GetParam());
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.GetVarint(), GetParam());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+                      (1ull << 32), (1ull << 56) + 5,
+                      std::numeric_limits<uint64_t>::max()));
+
+class SVarintRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SVarintRoundTrip, Signed) {
+  BinaryWriter w;
+  w.PutSVarint(GetParam());
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.GetSVarint(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SVarintRoundTrip,
+    ::testing::Values(int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{63},
+                      int64_t{-64}, int64_t{1000000}, int64_t{-1000000},
+                      std::numeric_limits<int64_t>::max(),
+                      std::numeric_limits<int64_t>::min()));
+
+// ------------------------------------------------------------- Container --
+
+Json TestMetadata() {
+  Json m = Json::Object();
+  m["schema"] = "test-records";
+  m["schema_version"] = 1;
+  m["producer"] = "serialize_test";
+  return m;
+}
+
+TEST(ContainerTest, RoundTrip) {
+  ContainerWriter w(TestMetadata());
+  w.AddRecord("first record");
+  w.AddRecord("");
+  w.AddRecord(std::string("\x00\x01\x02", 3));
+  std::string blob = w.Finish();
+
+  auto reader = ContainerReader::Open(blob);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->record_count(), 3u);
+  EXPECT_EQ(reader->metadata().Get("schema").as_string(), "test-records");
+  ASSERT_EQ(reader->records().size(), 3u);
+  EXPECT_EQ(reader->records()[0], "first record");
+  EXPECT_EQ(reader->records()[1], "");
+  EXPECT_EQ(reader->records()[2], std::string("\x00\x01\x02", 3));
+}
+
+TEST(ContainerTest, EmptyContainer) {
+  ContainerWriter w(TestMetadata());
+  std::string blob = w.Finish();
+  auto reader = ContainerReader::Open(blob);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->record_count(), 0u);
+}
+
+TEST(ContainerTest, BitFlipDetectedByFixity) {
+  ContainerWriter w(TestMetadata());
+  w.AddRecord("payload payload payload");
+  std::string blob = w.Finish();
+  // Flip one bit in the record region.
+  blob[blob.size() / 2] = static_cast<char>(blob[blob.size() / 2] ^ 0x01);
+  auto reader = ContainerReader::Open(blob);
+  EXPECT_TRUE(reader.status().IsCorruption());
+}
+
+TEST(ContainerTest, TruncationDetected) {
+  ContainerWriter w(TestMetadata());
+  w.AddRecord("payload");
+  std::string blob = w.Finish();
+  auto reader = ContainerReader::Open(blob.substr(0, blob.size() - 10));
+  EXPECT_TRUE(reader.status().IsCorruption());
+}
+
+TEST(ContainerTest, BadMagicDetected) {
+  ContainerWriter w(TestMetadata());
+  std::string blob = w.Finish();
+  blob[0] = 'X';
+  EXPECT_TRUE(ContainerReader::Open(blob).status().IsCorruption());
+}
+
+TEST(ContainerTest, OpenUnverifiedSkipsFixity) {
+  ContainerWriter w(TestMetadata());
+  w.AddRecord("abcdefghij");
+  std::string blob = w.Finish();
+  // Corrupt a byte inside the record payload only.
+  size_t pos = blob.find("abcdefghij");
+  ASSERT_NE(pos, std::string::npos);
+  blob[pos] = 'X';
+  EXPECT_TRUE(ContainerReader::Open(blob).status().IsCorruption());
+  auto reader = ContainerReader::OpenUnverified(blob);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->records()[0], "Xbcdefghij");
+}
+
+TEST(ContainerTest, ManyRecords) {
+  ContainerWriter w(TestMetadata());
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) w.AddRecord("record-" + std::to_string(i));
+  std::string blob = w.Finish();
+  auto reader = ContainerReader::Open(blob);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(reader->record_count(), static_cast<uint64_t>(n));
+  EXPECT_EQ(reader->records()[999], "record-999");
+}
+
+}  // namespace
+}  // namespace daspos

@@ -1,0 +1,401 @@
+// Unit tests for the support library: Status/Result, SHA-256, RNG,
+// string utilities, table rendering, and file IO.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "support/io.h"
+#include "support/result.h"
+#include "support/rng.h"
+#include "support/sha256.h"
+#include "support/status.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace daspos {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("run 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "run 42");
+  EXPECT_EQ(s.ToString(), "NotFound: run 42");
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsPredicate) {
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::PermissionDenied("x").IsPermissionDenied());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    DASPOS_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+// ---------------------------------------------------------------- Result --
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value_or(0), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto produce = []() -> Result<std::string> { return std::string("ok"); };
+  auto consume = [&]() -> Result<int> {
+    DASPOS_ASSIGN_OR_RETURN(std::string v, produce());
+    return static_cast<int>(v.size());
+  };
+  ASSERT_TRUE(consume().ok());
+  EXPECT_EQ(*consume(), 2);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto produce = []() -> Result<std::string> {
+    return Status::Corruption("bad");
+  };
+  auto consume = [&]() -> Result<int> {
+    DASPOS_ASSIGN_OR_RETURN(std::string v, produce());
+    return static_cast<int>(v.size());
+  };
+  EXPECT_TRUE(consume().status().IsCorruption());
+}
+
+// ---------------------------------------------------------------- SHA256 --
+
+// NIST FIPS 180-4 test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::HashHex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::HashHex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::HashHex(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(h.HexDigest(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string data = "data and software preservation for open science";
+  Sha256 h;
+  for (char c : data) h.Update(&c, 1);
+  EXPECT_EQ(h.HexDigest(), Sha256::HashHex(data));
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  std::string block(64, 'x');
+  std::string double_block(128, 'x');
+  EXPECT_NE(Sha256::HashHex(block), Sha256::HashHex(double_block));
+  // 55/56/57 bytes straddle the padding boundary.
+  for (size_t n : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    std::string msg(n, 'q');
+    Sha256 h;
+    h.Update(msg);
+    EXPECT_EQ(h.HexDigest(), Sha256::HashHex(msg)) << "length " << n;
+  }
+}
+
+TEST(Sha256Test, ResetReusesHasher) {
+  Sha256 h;
+  h.Update("first");
+  (void)h.HexDigest();
+  h.Reset();
+  h.Update("abc");
+  EXPECT_EQ(h.HexDigest(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// ------------------------------------------------------------------- RNG --
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntUnbiasedCoverage) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+  for (uint64_t v : seen) EXPECT_LT(v, 10u);
+}
+
+TEST(RngTest, GaussMoments) {
+  Rng rng(42);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gauss();
+    sum += g;
+    sum2 += g * g;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(5);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(RngTest, PoissonMeanSmallAndLarge) {
+  Rng rng(9);
+  for (double mean : {0.5, 3.0, 20.0, 80.0}) {
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(mean));
+    EXPECT_NEAR(sum / n, mean, 5.0 * std::sqrt(mean / n) + 0.05)
+        << "mean " << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(1);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+  EXPECT_EQ(rng.Poisson(-1.0), 0u);
+}
+
+TEST(RngTest, BreitWignerMedianAtPeak) {
+  Rng rng(13);
+  const int n = 100000;
+  int below = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.BreitWigner(91.2, 2.5) < 91.2) ++below;
+  }
+  // Median of a Cauchy is its location parameter.
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.01);
+}
+
+TEST(RngTest, AcceptEdges) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.Accept(0.0));
+  EXPECT_FALSE(rng.Accept(-0.5));
+  EXPECT_TRUE(rng.Accept(1.0));
+  EXPECT_TRUE(rng.Accept(2.0));
+}
+
+TEST(RngTest, AcceptProbability) {
+  Rng rng(17);
+  int accepted = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Accept(0.3)) ++accepted;
+  }
+  EXPECT_NEAR(static_cast<double>(accepted) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(21);
+  Rng f1 = parent.Fork(1);
+  Rng f2 = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f1.NextU64() == f2.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkDeterministicGivenSeedAndLabels) {
+  Rng p1(33);
+  Rng p2(33);
+  Rng f1 = p1.Fork(5);
+  Rng f2 = p2.Fork(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(f1.NextU64(), f2.NextU64());
+}
+
+// --------------------------------------------------------------- Strings --
+
+TEST(StringsTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringsTest, SplitEmpty) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("BEGIN HISTO1D /x", "BEGIN"));
+  EXPECT_FALSE(StartsWith("BEG", "BEGIN"));
+}
+
+TEST(StringsTest, JoinAndToLower) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(ToLower("AoD Tier"), "aod tier");
+}
+
+TEST(StringsTest, HexRoundTrip) {
+  std::string bytes("\x00\x7f\xff\x10", 4);
+  std::string hex = HexEncode(bytes);
+  EXPECT_EQ(hex, "007fff10");
+  auto decoded = HexDecode(hex);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, bytes);
+}
+
+TEST(StringsTest, HexDecodeErrors) {
+  EXPECT_TRUE(HexDecode("abc").status().IsInvalidArgument());
+  EXPECT_TRUE(HexDecode("zz").status().IsInvalidArgument());
+}
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1024ull * 1024ull), "3.00 MiB");
+}
+
+TEST(StringsTest, ParseU64) {
+  EXPECT_EQ(*ParseU64("42"), 42u);
+  EXPECT_EQ(*ParseU64("  7 "), 7u);
+  EXPECT_FALSE(ParseU64("").ok());
+  EXPECT_FALSE(ParseU64("4x").ok());
+  EXPECT_FALSE(ParseU64("-3").ok());
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+// ----------------------------------------------------------------- Table --
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t;
+  t.SetHeader({"experiment", "format"});
+  t.AddRow({"CMS", "ig"});
+  t.AddRow({"ATLAS", "JiveXML"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| experiment | format  |"), std::string::npos);
+  EXPECT_NE(out.find("| ATLAS      | JiveXML |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, ShortRowsRenderEmptyCells) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TableTest, TitleIsPrinted) {
+  TextTable t;
+  t.SetTitle("Table 1");
+  t.SetHeader({"x"});
+  EXPECT_EQ(t.Render().rfind("Table 1\n", 0), 0u);
+}
+
+// -------------------------------------------------------------------- IO --
+
+TEST(IoTest, WriteReadRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "daspos_io_test.bin").string();
+  std::string payload("binary\0payload", 14);
+  ASSERT_TRUE(WriteStringToFile(path, payload).ok());
+  EXPECT_TRUE(FileExists(path));
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+  EXPECT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(IoTest, ReadMissingFileFails) {
+  auto read = ReadFileToString("/nonexistent/daspos/file");
+  EXPECT_TRUE(read.status().IsIOError());
+}
+
+TEST(IoTest, WriteCreatesParentDirectories) {
+  auto dir = std::filesystem::temp_directory_path() / "daspos_io_nested";
+  std::string path = (dir / "a" / "b" / "file.txt").string();
+  ASSERT_TRUE(WriteStringToFile(path, "x").ok());
+  EXPECT_TRUE(FileExists(path));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace daspos

@@ -1,0 +1,248 @@
+// Tests for data tiers: dataset containers per tier, schema checks, and the
+// skim/slim derivation engine with its reduction accounting.
+#include <gtest/gtest.h>
+
+#include "detsim/simulation.h"
+#include "event/pdg.h"
+#include "mc/generator.h"
+#include "reco/reconstruction.h"
+#include "tiers/dataset.h"
+#include "tiers/skimslim.h"
+#include "tiers/tier.h"
+
+namespace daspos {
+namespace {
+
+TEST(TierTest, NamesAndSchemas) {
+  EXPECT_EQ(TierName(DataTier::kRaw), "RAW");
+  EXPECT_EQ(TierName(DataTier::kAod), "AOD");
+  EXPECT_EQ(TierSchema(DataTier::kGen), "daspos.gen.v1");
+  EXPECT_EQ(TierSchema(DataTier::kDerived), "daspos.derived.v1");
+}
+
+// ----------------------------------------------------------------- Dataset
+
+std::vector<GenEvent> SmallSample(int n) {
+  GeneratorConfig config;
+  config.process = Process::kZToLL;
+  config.seed = 71;
+  EventGenerator gen(config);
+  return gen.GenerateMany(static_cast<size_t>(n));
+}
+
+TEST(DatasetTest, GenRoundTripWithMetadata) {
+  DatasetInfo info;
+  info.tier = DataTier::kGen;
+  info.name = "zmm_gen";
+  info.producer = "generation v1.0";
+  info.description = "test sample";
+  std::vector<GenEvent> events = SmallSample(20);
+  std::string blob = WriteGenDataset(info, events);
+
+  DatasetInfo restored_info;
+  auto restored = ReadGenDataset(blob, &restored_info);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 20u);
+  EXPECT_EQ(restored_info.name, "zmm_gen");
+  EXPECT_EQ(restored_info.tier, DataTier::kGen);
+  EXPECT_EQ((*restored)[7].event_number, events[7].event_number);
+  EXPECT_EQ((*restored)[7].particles.size(), events[7].particles.size());
+}
+
+TEST(DatasetTest, TierMismatchRejected) {
+  DatasetInfo info;
+  info.tier = DataTier::kGen;
+  info.name = "x";
+  std::string blob = WriteGenDataset(info, SmallSample(1));
+  EXPECT_TRUE(ReadRawDataset(blob).status().IsInvalidArgument());
+  EXPECT_TRUE(ReadAodDataset(blob).status().IsInvalidArgument());
+}
+
+TEST(DatasetTest, CorruptionDetectedOnRead) {
+  DatasetInfo info;
+  info.tier = DataTier::kGen;
+  info.name = "x";
+  std::string blob = WriteGenDataset(info, SmallSample(3));
+  blob[blob.size() / 2] ^= 0x02;
+  EXPECT_TRUE(ReadGenDataset(blob).status().IsCorruption());
+}
+
+TEST(DatasetTest, ReadDatasetInfoOnly) {
+  DatasetInfo info;
+  info.tier = DataTier::kGen;
+  info.name = "peek";
+  info.parents = {"parent_a", "parent_b"};
+  std::string blob = WriteGenDataset(info, SmallSample(2));
+  auto peeked = ReadDatasetInfo(blob);
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(peeked->name, "peek");
+  ASSERT_EQ(peeked->parents.size(), 2u);
+  EXPECT_EQ(peeked->parents[1], "parent_b");
+}
+
+// ------------------------------------------------------ full-chain fixture
+
+/// Builds a small AOD dataset through the real chain once per suite.
+class SkimSlimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig gen_config;
+    gen_config.process = Process::kZToLL;
+    gen_config.lepton_flavor = pdg::kMuon;
+    gen_config.seed = 72;
+    EventGenerator gen(gen_config);
+
+    SimulationConfig sim_config;
+    sim_config.seed = 73;
+    sim_config.noise_cells_mean = 5.0;
+    DetectorSimulation sim(sim_config);
+
+    ReconstructionConfig reco_config;
+    reco_config.geometry = sim_config.geometry;
+    reco_config.calib = sim_config.calib;
+    Reconstructor reco(reco_config);
+
+    std::vector<AodEvent> aod;
+    for (int i = 0; i < 120; ++i) {
+      aod.push_back(AodEvent::FromReco(
+          reco.Reconstruct(sim.Simulate(gen.Generate(), 1))));
+    }
+    DatasetInfo info;
+    info.tier = DataTier::kAod;
+    info.name = "zmm_aod";
+    info.producer = "test-chain";
+    aod_blob_ = new std::string(WriteAodDataset(info, aod));
+  }
+  static void TearDownTestSuite() {
+    delete aod_blob_;
+    aod_blob_ = nullptr;
+  }
+
+  static const std::string& aod_blob() { return *aod_blob_; }
+
+ private:
+  static const std::string* aod_blob_;
+};
+
+const std::string* SkimSlimTest::aod_blob_ = nullptr;
+
+// ---------------------------------------------------------------- SkimSpec
+
+TEST_F(SkimSlimTest, SkimAllKeepsEverything) {
+  DerivationStats stats;
+  auto blob = DeriveDataset(aod_blob(), "derived_all", SkimSpec::All(),
+                            SlimSpec::None(), &stats);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(stats.input_events, 120u);
+  EXPECT_EQ(stats.output_events, 120u);
+}
+
+TEST_F(SkimSlimTest, RequireObjectsSelects) {
+  DerivationStats stats;
+  auto blob = DeriveDataset(aod_blob(), "derived_dimuon",
+                            SkimSpec::RequireObjects(ObjectType::kMuon, 2, 10.0),
+                            SlimSpec::None(), &stats);
+  ASSERT_TRUE(blob.ok());
+  // Z->mumu with acceptance: a fraction survives, but not all, not none.
+  EXPECT_GT(stats.output_events, 10u);
+  EXPECT_LT(stats.output_events, 120u);
+  // Every surviving event really has two such muons.
+  auto events = ReadAodDataset(*blob);
+  ASSERT_TRUE(events.ok());
+  for (const AodEvent& event : *events) {
+    int muons = 0;
+    for (const PhysicsObject& obj : event.objects) {
+      if (obj.type == ObjectType::kMuon && obj.momentum.Pt() > 10.0) ++muons;
+    }
+    EXPECT_GE(muons, 2);
+  }
+}
+
+TEST_F(SkimSlimTest, SkimIsMonotonic) {
+  // Tighter cuts can only reduce the yield.
+  DerivationStats loose, tight;
+  ASSERT_TRUE(DeriveDataset(aod_blob(), "d1",
+                            SkimSpec::RequireObjects(ObjectType::kMuon, 1, 5.0),
+                            SlimSpec::None(), &loose)
+                  .ok());
+  ASSERT_TRUE(
+      DeriveDataset(aod_blob(), "d2",
+                    SkimSpec::RequireObjects(ObjectType::kMuon, 2, 20.0),
+                    SlimSpec::None(), &tight)
+          .ok());
+  EXPECT_GE(loose.output_events, tight.output_events);
+}
+
+TEST_F(SkimSlimTest, TriggerSkim) {
+  DerivationStats stats;
+  ASSERT_TRUE(DeriveDataset(aod_blob(), "d_trig",
+                            SkimSpec::RequireTrigger(TriggerBits::kMuon),
+                            SlimSpec::None(), &stats)
+                  .ok());
+  EXPECT_GT(stats.output_events, 0u);
+  EXPECT_LE(stats.output_events, stats.input_events);
+}
+
+// ---------------------------------------------------------------- SlimSpec
+
+TEST_F(SkimSlimTest, SlimDropsObjectTypesButKeepsMet) {
+  DerivationStats stats;
+  auto blob = DeriveDataset(aod_blob(), "d_slim", SkimSpec::All(),
+                            SlimSpec::LeptonsOnly(5.0), &stats);
+  ASSERT_TRUE(blob.ok());
+  auto events = ReadAodDataset(*blob);
+  ASSERT_TRUE(events.ok());
+  for (const AodEvent& event : *events) {
+    int met = 0;
+    for (const PhysicsObject& obj : event.objects) {
+      if (obj.type == ObjectType::kMet) {
+        ++met;
+        continue;
+      }
+      EXPECT_TRUE(obj.type == ObjectType::kElectron ||
+                  obj.type == ObjectType::kMuon);
+      EXPECT_GE(obj.momentum.Pt(), 5.0);
+    }
+    EXPECT_EQ(met, 1);
+  }
+}
+
+TEST_F(SkimSlimTest, SlimReducesBytes) {
+  DerivationStats stats;
+  ASSERT_TRUE(DeriveDataset(aod_blob(), "d_small", SkimSpec::All(),
+                            SlimSpec::LeptonsOnly(5.0), &stats)
+                  .ok());
+  EXPECT_LT(stats.output_bytes, stats.input_bytes);
+  EXPECT_LT(stats.SizeReduction(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.EventReduction(), 1.0);
+}
+
+TEST_F(SkimSlimTest, DerivedMetadataRecordsLogicalDescription) {
+  auto blob = DeriveDataset(aod_blob(), "d_meta",
+                            SkimSpec::RequireObjects(ObjectType::kMuon, 2, 10.0),
+                            SlimSpec::LeptonsOnly(10.0));
+  ASSERT_TRUE(blob.ok());
+  DatasetInfo info;
+  auto events = ReadAodDataset(*blob, &info);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(info.tier, DataTier::kDerived);
+  ASSERT_EQ(info.parents.size(), 1u);
+  EXPECT_EQ(info.parents[0], "zmm_aod");
+  EXPECT_NE(info.producer.find("skim="), std::string::npos);
+  EXPECT_NE(info.producer.find("slim="), std::string::npos);
+}
+
+TEST(SlimSpecTest, ApplyOnEmptyEvent) {
+  AodEvent event;
+  AodEvent slimmed = SlimSpec::LeptonsOnly(10.0).Apply(event);
+  EXPECT_TRUE(slimmed.objects.empty());
+}
+
+TEST(DerivationStatsTest, ZeroDenominators) {
+  DerivationStats stats;
+  EXPECT_DOUBLE_EQ(stats.EventReduction(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.SizeReduction(), 0.0);
+}
+
+}  // namespace
+}  // namespace daspos

@@ -1,0 +1,406 @@
+// Tests for the workflow engine and provenance capture: dataflow ordering,
+// failure propagation, provenance records/ancestry/gap detection, the full
+// standard chain, and reproduction via captured configuration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "conditions/store.h"
+#include "event/pdg.h"
+#include "tiers/dataset.h"
+#include "workflow/engine.h"
+#include "workflow/provenance.h"
+#include "workflow/steps.h"
+
+namespace daspos {
+namespace {
+
+// --------------------------------------------------------------- Provenance
+
+ProvenanceRecord MakeRecord(const std::string& dataset,
+                            std::vector<std::string> parents) {
+  ProvenanceRecord record;
+  record.dataset = dataset;
+  record.producer = "step";
+  record.producer_version = "1.0";
+  record.config = Json::Object();
+  record.config_hash = "deadbeef";
+  record.parents = std::move(parents);
+  return record;
+}
+
+TEST(ProvenanceStoreTest, AddGet) {
+  ProvenanceStore store;
+  ASSERT_TRUE(store.Add(MakeRecord("a", {})).ok());
+  ASSERT_TRUE(store.Add(MakeRecord("b", {"a"})).ok());
+  auto b = store.Get("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->parents.size(), 1u);
+  EXPECT_EQ(b->sequence, 2u);
+  EXPECT_TRUE(store.Get("c").status().IsNotFound());
+  EXPECT_TRUE(store.Add(MakeRecord("a", {})).IsAlreadyExists());
+  EXPECT_TRUE(store.Add(MakeRecord("", {})).IsInvalidArgument());
+}
+
+TEST(ProvenanceStoreTest, AncestryWalksTransitively) {
+  ProvenanceStore store;
+  ASSERT_TRUE(store.Add(MakeRecord("gen", {})).ok());
+  ASSERT_TRUE(store.Add(MakeRecord("raw", {"gen"})).ok());
+  ASSERT_TRUE(store.Add(MakeRecord("reco", {"raw"})).ok());
+  ASSERT_TRUE(store.Add(MakeRecord("aod", {"reco"})).ok());
+  auto ancestry = store.Ancestry("aod");
+  ASSERT_TRUE(ancestry.ok());
+  ASSERT_EQ(ancestry->size(), 3u);
+  EXPECT_EQ((*ancestry)[0], "reco");
+  EXPECT_EQ((*ancestry)[2], "gen");
+  EXPECT_TRUE(store.Ancestry("nope").status().IsNotFound());
+}
+
+TEST(ProvenanceStoreTest, GapDetection) {
+  ProvenanceStore store;
+  // 'derived' references 'aod' which was produced without provenance
+  // capture — the §3.2 failure mode.
+  ASSERT_TRUE(store.Add(MakeRecord("derived", {"aod"})).ok());
+  ASSERT_TRUE(store.Add(MakeRecord("plots", {"derived", "reference"})).ok());
+  auto missing = store.MissingParents();
+  ASSERT_EQ(missing.size(), 2u);
+  EXPECT_EQ(missing[0], "aod");
+  EXPECT_EQ(missing[1], "reference");
+}
+
+TEST(ProvenanceStoreTest, NoGapsWhenChainComplete) {
+  ProvenanceStore store;
+  ASSERT_TRUE(store.Add(MakeRecord("gen", {})).ok());
+  ASSERT_TRUE(store.Add(MakeRecord("raw", {"gen"})).ok());
+  EXPECT_TRUE(store.MissingParents().empty());
+}
+
+TEST(ProvenanceStoreTest, SerializeParseRoundTrip) {
+  ProvenanceStore store;
+  ProvenanceRecord record = MakeRecord("aod", {"reco"});
+  record.config = Json::Object();
+  record.config["seed"] = 42;
+  record.output_bytes = 1000;
+  record.output_events = 7;
+  ASSERT_TRUE(store.Add(record).ok());
+  ASSERT_TRUE(store.Add(MakeRecord("derived", {"aod"})).ok());
+
+  auto parsed = ProvenanceStore::Parse(store.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+  auto restored = parsed->Get("aod");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->config.Get("seed").as_int(), 42);
+  EXPECT_EQ(restored->output_events, 7u);
+  EXPECT_EQ(restored->sequence, 1u);
+  EXPECT_EQ(parsed->Datasets().front(), "aod");
+}
+
+TEST(ProvenanceStoreTest, ParseErrors) {
+  EXPECT_FALSE(ProvenanceStore::Parse("{}").ok());
+  EXPECT_FALSE(ProvenanceStore::Parse("[{}]").ok());
+  EXPECT_FALSE(ProvenanceStore::Parse("not json").ok());
+}
+
+// ------------------------------------------------------------------ Engine
+
+/// Minimal test step: concatenates inputs and appends its tag.
+class TagStep : public WorkflowStep {
+ public:
+  explicit TagStep(std::string tag, bool fail = false)
+      : tag_(std::move(tag)), fail_(fail) {}
+  std::string name() const override { return "tag_" + tag_; }
+  std::string version() const override { return "1"; }
+  Json Config() const override {
+    Json json = Json::Object();
+    json["tag"] = tag_;
+    return json;
+  }
+  Result<std::string> Run(const std::vector<std::string_view>& inputs,
+                          WorkflowContext*) const override {
+    if (fail_) return Status::IOError("step failed deliberately");
+    std::string out;
+    for (std::string_view input : inputs) out += std::string(input) + "|";
+    return out + tag_;
+  }
+
+ private:
+  std::string tag_;
+  bool fail_;
+};
+
+TEST(WorkflowTest, ExecutesInDataOrder) {
+  Workflow workflow;
+  // Register out of order: c(b), b(a), a().
+  ASSERT_TRUE(
+      workflow.AddStep(std::make_shared<TagStep>("c"), {"b"}, "c").ok());
+  ASSERT_TRUE(
+      workflow.AddStep(std::make_shared<TagStep>("b"), {"a"}, "b").ok());
+  ASSERT_TRUE(workflow.AddStep(std::make_shared<TagStep>("a"), {}, "a").ok());
+
+  WorkflowContext context;
+  auto report = workflow.Execute(&context);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->steps.size(), 3u);
+  EXPECT_EQ(*context.GetDataset("c"), "a|b|c");
+}
+
+TEST(WorkflowTest, DuplicateOutputRejected) {
+  Workflow workflow;
+  ASSERT_TRUE(workflow.AddStep(std::make_shared<TagStep>("a"), {}, "x").ok());
+  EXPECT_TRUE(workflow.AddStep(std::make_shared<TagStep>("b"), {}, "x")
+                  .IsAlreadyExists());
+}
+
+TEST(WorkflowTest, MissingInputBlocksExecution) {
+  Workflow workflow;
+  ASSERT_TRUE(
+      workflow.AddStep(std::make_shared<TagStep>("a"), {"ghost"}, "a").ok());
+  WorkflowContext context;
+  auto report = workflow.Execute(&context);
+  EXPECT_TRUE(report.status().IsFailedPrecondition());
+  EXPECT_NE(report.status().message().find("tag_a"), std::string::npos);
+}
+
+TEST(WorkflowTest, StepFailurePropagates) {
+  Workflow workflow;
+  ASSERT_TRUE(workflow
+                  .AddStep(std::make_shared<TagStep>("a", /*fail=*/true), {},
+                           "a")
+                  .ok());
+  WorkflowContext context;
+  EXPECT_TRUE(workflow.Execute(&context).status().IsIOError());
+}
+
+TEST(WorkflowTest, ProvenanceCapturedPerStep) {
+  Workflow workflow;
+  ASSERT_TRUE(workflow.AddStep(std::make_shared<TagStep>("a"), {}, "a").ok());
+  ASSERT_TRUE(
+      workflow.AddStep(std::make_shared<TagStep>("b"), {"a"}, "b").ok());
+  WorkflowContext context;
+  ProvenanceStore provenance;
+  ASSERT_TRUE(workflow.Execute(&context, &provenance).ok());
+  EXPECT_EQ(provenance.size(), 2u);
+  auto record = provenance.Get("b");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->producer, "tag_b");
+  EXPECT_EQ(record->parents, std::vector<std::string>{"a"});
+  EXPECT_EQ(record->config_hash.size(), 64u);
+  EXPECT_TRUE(provenance.MissingParents().empty());
+}
+
+TEST(WorkflowContextTest, DatasetStorage) {
+  WorkflowContext context;
+  ASSERT_TRUE(context.PutDataset("x", "bytes").ok());
+  EXPECT_TRUE(context.PutDataset("x", "other").IsAlreadyExists());
+  EXPECT_TRUE(context.PutDataset("", "y").IsInvalidArgument());
+  EXPECT_TRUE(context.HasDataset("x"));
+  EXPECT_EQ(*context.GetDataset("x"), "bytes");
+  EXPECT_TRUE(context.GetDataset("y").status().IsNotFound());
+  EXPECT_EQ(context.TotalBytes(), 5u);
+}
+
+// -------------------------------------------------------- standard chain
+
+ConditionsDb StandardConditions(const CalibrationSet& calib) {
+  ConditionsDb db;
+  EXPECT_TRUE(db.Append(kCalibrationTag, 1, calib.ToPayload()).ok());
+  return db;
+}
+
+Workflow StandardChain(uint64_t seed, size_t events) {
+  GeneratorConfig gen_config;
+  gen_config.process = Process::kZToLL;
+  gen_config.lepton_flavor = pdg::kMuon;
+  gen_config.seed = seed;
+
+  SimulationConfig sim_config;
+  sim_config.seed = seed + 1;
+  sim_config.noise_cells_mean = 5.0;
+
+  Workflow workflow;
+  EXPECT_TRUE(workflow
+                  .AddStep(std::make_shared<GenerationStep>(
+                               gen_config, events, "zmm_gen"),
+                           {}, "zmm_gen")
+                  .ok());
+  EXPECT_TRUE(workflow
+                  .AddStep(std::make_shared<SimulationStep>(sim_config, 7,
+                                                            "zmm_raw"),
+                           {"zmm_gen"}, "zmm_raw")
+                  .ok());
+  EXPECT_TRUE(workflow
+                  .AddStep(std::make_shared<ReconstructionStep>(
+                               sim_config.geometry, "zmm_reco"),
+                           {"zmm_raw"}, "zmm_reco")
+                  .ok());
+  EXPECT_TRUE(workflow
+                  .AddStep(std::make_shared<AodReductionStep>("zmm_aod"),
+                           {"zmm_reco"}, "zmm_aod")
+                  .ok());
+  EXPECT_TRUE(
+      workflow
+          .AddStep(std::make_shared<DerivationStep>(
+                       SkimSpec::RequireObjects(ObjectType::kMuon, 2, 10.0),
+                       SlimSpec::LeptonsOnly(10.0), "zmm_derived"),
+                   {"zmm_aod"}, "zmm_derived")
+          .ok());
+  return workflow;
+}
+
+TEST(StandardChainTest, RunsEndToEndWithProvenance) {
+  CalibrationSet calib;
+  ConditionsDb conditions = StandardConditions(calib);
+  WorkflowContext context;
+  context.set_conditions(&conditions);
+  ProvenanceStore provenance;
+
+  Workflow workflow = StandardChain(81, 40);
+  auto report = workflow.Execute(&context, &provenance);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->steps.size(), 5u);
+
+  // Tier sizes decrease monotonically RAW -> RECO -> AOD -> derived.
+  uint64_t raw = context.GetDataset("zmm_raw")->size();
+  uint64_t reco = context.GetDataset("zmm_reco")->size();
+  uint64_t aod = context.GetDataset("zmm_aod")->size();
+  uint64_t derived = context.GetDataset("zmm_derived")->size();
+  EXPECT_GT(raw, reco);
+  EXPECT_GT(reco, aod);
+  EXPECT_GT(aod, derived);
+
+  // Provenance chain is complete and walks back to generation.
+  EXPECT_TRUE(provenance.MissingParents().empty());
+  auto ancestry = provenance.Ancestry("zmm_derived");
+  ASSERT_TRUE(ancestry.ok());
+  EXPECT_EQ(ancestry->size(), 4u);
+  EXPECT_EQ(ancestry->back(), "zmm_gen");
+
+  // The reconstruction consulted the conditions database.
+  EXPECT_GT(conditions.lookup_count(), 0u);
+}
+
+TEST(StandardChainTest, ReconstructionFailsWithoutConditions) {
+  WorkflowContext context;  // no conditions provider
+  Workflow workflow = StandardChain(82, 5);
+  auto report = workflow.Execute(&context);
+  EXPECT_TRUE(report.status().IsFailedPrecondition());
+  EXPECT_NE(report.status().message().find("conditions"), std::string::npos);
+}
+
+TEST(StandardChainTest, ReproductionFromCapturedConfig) {
+  // Run the chain, capture provenance, then re-run generation from the
+  // captured config: byte-identical output (the preservation property).
+  CalibrationSet calib;
+  ConditionsDb conditions = StandardConditions(calib);
+  WorkflowContext context;
+  context.set_conditions(&conditions);
+  ProvenanceStore provenance;
+  Workflow workflow = StandardChain(83, 20);
+  ASSERT_TRUE(workflow.Execute(&context, &provenance).ok());
+
+  auto record = provenance.Get("zmm_gen");
+  ASSERT_TRUE(record.ok());
+  auto config = GeneratorConfigFromJson(record->config.Get("generator"));
+  ASSERT_TRUE(config.ok());
+  size_t events =
+      static_cast<size_t>(record->config.Get("event_count").as_int());
+
+  GenerationStep replay(*config, events, "zmm_gen");
+  auto replayed = replay.Run({}, &context);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, *context.GetDataset("zmm_gen"));
+}
+
+TEST(MergeStepTest, ConcatenatesSameTierDatasets) {
+  // Two generation batches merged into one sample (the §3.1 compile step).
+  GeneratorConfig config_a;
+  config_a.process = Process::kZToLL;
+  config_a.seed = 91;
+  GeneratorConfig config_b = config_a;
+  config_b.seed = 92;
+
+  Workflow workflow;
+  ASSERT_TRUE(workflow
+                  .AddStep(std::make_shared<GenerationStep>(config_a, 10,
+                                                            "batch_a"),
+                           {}, "batch_a")
+                  .ok());
+  ASSERT_TRUE(workflow
+                  .AddStep(std::make_shared<GenerationStep>(config_b, 15,
+                                                            "batch_b"),
+                           {}, "batch_b")
+                  .ok());
+  ASSERT_TRUE(workflow
+                  .AddStep(std::make_shared<MergeStep>("merged"),
+                           {"batch_a", "batch_b"}, "merged")
+                  .ok());
+  WorkflowContext context;
+  ProvenanceStore provenance;
+  ASSERT_TRUE(workflow.Execute(&context, &provenance).ok());
+
+  DatasetInfo info;
+  auto merged = ReadGenDataset(*context.GetDataset("merged"), &info);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(merged->size(), 25u);
+  ASSERT_EQ(info.parents.size(), 2u);
+  EXPECT_EQ(info.parents[0], "batch_a");
+  EXPECT_EQ(info.parents[1], "batch_b");
+  // Events from both batches survive byte-identically.
+  auto batch_a = ReadGenDataset(*context.GetDataset("batch_a"));
+  ASSERT_TRUE(batch_a.ok());
+  EXPECT_EQ((*merged)[0].ToRecord(), (*batch_a)[0].ToRecord());
+  // Provenance records the two-parent merge.
+  auto record = provenance.Get("merged");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->parents.size(), 2u);
+  EXPECT_EQ(record->output_events, 25u);
+}
+
+TEST(MergeStepTest, RejectsMixedTiersAndEmptyInput) {
+  GeneratorConfig config;
+  config.seed = 93;
+  GenerationStep generate(config, 5, "gen");
+  WorkflowContext context;
+  auto gen_blob = generate.Run({}, &context);
+  ASSERT_TRUE(gen_blob.ok());
+
+  // A RAW dataset to mix in.
+  SimulationConfig sim_config;
+  SimulationStep simulate(sim_config, 1, "raw");
+  auto raw_blob = simulate.Run({*gen_blob}, &context);
+  ASSERT_TRUE(raw_blob.ok());
+
+  MergeStep merge("merged");
+  EXPECT_TRUE(merge.Run({}, &context).status().IsInvalidArgument());
+  auto mixed = merge.Run({*gen_blob, *raw_blob}, &context);
+  EXPECT_TRUE(mixed.status().IsInvalidArgument());
+  // Single input is a valid (if trivial) merge.
+  auto single = merge.Run({*gen_blob}, &context);
+  ASSERT_TRUE(single.ok());
+  auto events = ReadGenDataset(*single);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->size(), 5u);
+}
+
+TEST(GeneratorConfigJsonTest, RoundTrip) {
+  GeneratorConfig config;
+  config.process = Process::kZPrimeToLL;
+  config.seed = 777;
+  config.pileup_mean = 12.5;
+  config.zprime_mass = 850.0;
+  config.zprime_width = 25.0;
+  config.tune_activity = 1.3;
+  config.lepton_flavor = pdg::kElectron;
+  auto restored = GeneratorConfigFromJson(GeneratorConfigToJson(config));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->process, config.process);
+  EXPECT_EQ(restored->seed, config.seed);
+  EXPECT_DOUBLE_EQ(restored->zprime_mass, config.zprime_mass);
+  EXPECT_EQ(restored->lepton_flavor, config.lepton_flavor);
+  EXPECT_TRUE(GeneratorConfigFromJson(Json::Object()).status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace daspos

@@ -1,0 +1,379 @@
+// daspos — command-line companion for the preservation stack.
+//
+//   daspos inspect <file>                     identify + summarize a file
+//   daspos generate <process> <n> <seed> <out>  produce a GEN dataset
+//   daspos holdings <archive-dir>             list archive packages
+//   daspos audit <archive-dir>                fixity-audit an archive
+//   daspos retrieve <archive-dir> <id> <dir>  extract a package
+//   daspos lhada-run <description> <aod>      run a cutflow
+//   daspos lhada-check <description>          validate + canonicalize
+//
+// Exit code 0 on success, 1 on any error (errors go to stderr).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "archive/archive.h"
+#include "archive/object_store.h"
+#include "conditions/snapshot.h"
+#include "detsim/simulation.h"
+#include "reco/reconstruction.h"
+#include "hist/yoda_io.h"
+#include "level2/common.h"
+#include "level2/display.h"
+#include "level2/files.h"
+#include "lhada/lhada.h"
+#include "mc/generator.h"
+#include "support/io.h"
+#include "support/strings.h"
+#include "tiers/dataset.h"
+
+using namespace daspos;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "daspos: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  daspos inspect <file>\n"
+               "  daspos generate <process> <n-events> <seed> <out-file> "
+               "[gen|raw|reco|aod]\n"
+               "  daspos holdings <archive-dir>\n"
+               "  daspos audit <archive-dir>\n"
+               "  daspos retrieve <archive-dir> <archive-id> <out-dir>\n"
+               "  daspos lhada-run <description-file> <aod-file>\n"
+               "  daspos lhada-check <description-file>\n"
+               "  daspos display <reco-or-aod-file> <event-index>\n"
+               "  daspos convert <in-file> <from-exp> <to-exp> <out-file>\n"
+               "  daspos export <reco-file> <experiment> <out-file>\n"
+               "processes: minbias z_ll w_lnu h_gammagamma qcd_dijet "
+               "d_meson zprime_ll\n");
+  return 1;
+}
+
+int CmdInspect(const std::string& path) {
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) return Fail(bytes.status().ToString());
+
+  // Self-describing container?
+  if (auto reader = ContainerReader::Open(*bytes); reader.ok()) {
+    auto info = DatasetInfo::FromJson(reader->metadata());
+    std::printf("type    : daspos container (fixity OK)\n");
+    std::printf("records : %llu\n",
+                static_cast<unsigned long long>(reader->record_count()));
+    std::printf("size    : %s\n", FormatBytes(bytes->size()).c_str());
+    if (info.ok()) {
+      std::printf("tier    : %s\n", std::string(TierName(info->tier)).c_str());
+      std::printf("name    : %s\n", info->name.c_str());
+      std::printf("producer: %s\n", info->producer.c_str());
+      if (!info->parents.empty()) {
+        std::printf("parents : %s\n", Join(info->parents, ", ").c_str());
+      }
+    } else {
+      std::printf("metadata: %s\n", reader->metadata().Dump().c_str());
+    }
+    return 0;
+  } else if (ContainerReader::OpenUnverified(*bytes).ok()) {
+    std::printf("type    : daspos container, FIXITY FAILED (bit rot?)\n");
+    return 1;
+  }
+
+  // Conditions snapshot?
+  if (auto snapshot = ConditionsSnapshot::Parse(*bytes); snapshot.ok()) {
+    std::printf("type: conditions snapshot for run %u, %zu tags:\n",
+                snapshot->run(), snapshot->Tags().size());
+    for (const std::string& tag : snapshot->Tags()) {
+      std::printf("  %s\n", tag.c_str());
+    }
+    return 0;
+  }
+
+  // Preserved histograms?
+  if (auto histograms = ReadYoda(*bytes);
+      histograms.ok() && !histograms->empty()) {
+    std::printf("type: YODA-like histogram set, %zu histograms:\n",
+                histograms->size());
+    for (const Histo1D& histogram : *histograms) {
+      std::printf("  %-40s %d bins, integral %s\n",
+                  histogram.path().c_str(), histogram.axis().nbins(),
+                  FormatDouble(histogram.Integral(), 6).c_str());
+    }
+    return 0;
+  }
+
+  // Analysis description?
+  if (auto description = lhada::AnalysisDescription::Parse(*bytes);
+      description.ok()) {
+    std::printf("type: analysis description '%s' (%zu objects, %zu cuts)\n",
+                description->name().c_str(), description->objects().size(),
+                description->cuts().size());
+    return 0;
+  }
+  return Fail("unrecognized file format: " + path);
+}
+
+int CmdGenerate(const std::string& process_name, const std::string& count,
+                const std::string& seed, const std::string& out,
+                const std::string& tier_name) {
+  Process process = Process::kMinimumBias;
+  bool known = false;
+  for (const ProcessInfo& info : AllProcesses()) {
+    if (info.name == process_name) {
+      process = info.id;
+      known = true;
+    }
+  }
+  if (!known) return Fail("unknown process '" + process_name + "'");
+  auto n = ParseU64(count);
+  if (!n.ok()) return Fail("bad event count '" + count + "'");
+  auto seed_value = ParseU64(seed);
+  if (!seed_value.ok()) return Fail("bad seed '" + seed + "'");
+  if (tier_name != "gen" && tier_name != "raw" && tier_name != "reco" &&
+      tier_name != "aod") {
+    return Fail("tier must be gen, raw, reco, or aod");
+  }
+
+  GeneratorConfig config;
+  config.process = process;
+  config.seed = *seed_value;
+  EventGenerator generator(config);
+  std::vector<GenEvent> truth =
+      generator.GenerateMany(static_cast<size_t>(*n));
+
+  DatasetInfo info;
+  info.name = process_name + "_seed" + seed + "_" + tier_name;
+  info.producer = "daspos-cli generate";
+  info.description = GetProcessInfo(process).description;
+
+  std::string blob;
+  if (tier_name == "gen") {
+    info.tier = DataTier::kGen;
+    blob = WriteGenDataset(info, truth);
+  } else {
+    // Run the default detector chain to the requested tier.
+    SimulationConfig sim_config;
+    sim_config.seed = *seed_value + 1;
+    DetectorSimulation simulation(sim_config);
+    std::vector<RawEvent> raw;
+    raw.reserve(truth.size());
+    for (const GenEvent& event : truth) {
+      raw.push_back(simulation.Simulate(event, /*run_number=*/1));
+    }
+    if (tier_name == "raw") {
+      info.tier = DataTier::kRaw;
+      blob = WriteRawDataset(info, raw);
+    } else {
+      ReconstructionConfig reco_config;
+      reco_config.geometry = sim_config.geometry;
+      reco_config.calib = sim_config.calib;
+      Reconstructor reconstructor(reco_config);
+      std::vector<RecoEvent> reco;
+      reco.reserve(raw.size());
+      for (const RawEvent& event : raw) {
+        reco.push_back(reconstructor.Reconstruct(event));
+      }
+      if (tier_name == "reco") {
+        info.tier = DataTier::kReco;
+        blob = WriteRecoDataset(info, reco);
+      } else {
+        std::vector<AodEvent> aod;
+        aod.reserve(reco.size());
+        for (const RecoEvent& event : reco) {
+          aod.push_back(AodEvent::FromReco(event));
+        }
+        info.tier = DataTier::kAod;
+        blob = WriteAodDataset(info, aod);
+      }
+    }
+  }
+  if (auto status = WriteStringToFile(out, blob); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  std::printf("wrote %s: %llu events at tier %s, %s\n", out.c_str(),
+              static_cast<unsigned long long>(*n), tier_name.c_str(),
+              FormatBytes(blob.size()).c_str());
+  return 0;
+}
+
+int CmdHoldings(const std::string& root) {
+  FileObjectStore store(root);
+  Archive archive(&store);
+  auto recovered = archive.RecoverCatalog();
+  if (!recovered.ok()) return Fail(recovered.status().ToString());
+  std::printf("%zu package(s) in %s:\n", *recovered, root.c_str());
+  for (const HoldingSummary& holding : archive.Holdings()) {
+    std::printf("  %s  %-40s %2zu files %10s%s\n",
+                holding.archive_id.substr(0, 12).c_str(),
+                holding.title.c_str(), holding.file_count,
+                FormatBytes(holding.total_bytes).c_str(),
+                holding.migrated_from.empty() ? "" : " (migrated)");
+  }
+  return 0;
+}
+
+int CmdAudit(const std::string& root) {
+  FileObjectStore store(root);
+  Archive archive(&store);
+  auto recovered = archive.RecoverCatalog();
+  if (!recovered.ok()) return Fail(recovered.status().ToString());
+  FixityReport report = archive.AuditFixity();
+  std::printf("packages: %zu, objects checked: %llu\n", *recovered,
+              static_cast<unsigned long long>(report.objects_checked));
+  for (const std::string& id : report.corrupted_objects) {
+    std::printf("CORRUPTED: %s\n", id.c_str());
+  }
+  for (const std::string& id : report.missing_objects) {
+    std::printf("MISSING  : %s\n", id.c_str());
+  }
+  std::printf("verdict: %s\n", report.clean() ? "CLEAN" : "DAMAGED");
+  return report.clean() ? 0 : 1;
+}
+
+int CmdRetrieve(const std::string& root, const std::string& id,
+                const std::string& out_dir) {
+  FileObjectStore store(root);
+  Archive archive(&store);
+  auto package = archive.Retrieve(id);
+  if (!package.ok()) return Fail(package.status().ToString());
+  std::printf("package: %s\n", package->content.title.c_str());
+  for (const PackageFile& file : package->content.files) {
+    std::string path = out_dir + "/" + file.logical_name;
+    if (auto status = WriteStringToFile(path, file.bytes); !status.ok()) {
+      return Fail(status.ToString());
+    }
+    std::printf("  wrote %s (%s)\n", path.c_str(),
+                FormatBytes(file.bytes.size()).c_str());
+  }
+  return 0;
+}
+
+int CmdLhadaRun(const std::string& description_path,
+                const std::string& aod_path) {
+  auto description_text = ReadFileToString(description_path);
+  if (!description_text.ok()) return Fail(description_text.status().ToString());
+  auto description = lhada::AnalysisDescription::Parse(*description_text);
+  if (!description.ok()) return Fail(description.status().ToString());
+  auto aod_bytes = ReadFileToString(aod_path);
+  if (!aod_bytes.ok()) return Fail(aod_bytes.status().ToString());
+  auto events = ReadAodDataset(*aod_bytes);
+  if (!events.ok()) return Fail(events.status().ToString());
+  lhada::Cutflow cutflow = description->Run(*events);
+  std::printf("analysis '%s' over %s\n%s", description->name().c_str(),
+              aod_path.c_str(), cutflow.Render().c_str());
+  return 0;
+}
+
+int CmdLhadaCheck(const std::string& path) {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return Fail(text.status().ToString());
+  auto description = lhada::AnalysisDescription::Parse(*text);
+  if (!description.ok()) return Fail(description.status().ToString());
+  std::printf("%s", description->Serialize().c_str());
+  return 0;
+}
+
+int CmdDisplay(const std::string& path, const std::string& index_text) {
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) return Fail(bytes.status().ToString());
+  auto index = ParseU64(index_text);
+  if (!index.ok()) return Fail("bad event index '" + index_text + "'");
+
+  // RECO files carry tracks for the display; AOD gives objects only.
+  level2::CommonEvent event;
+  if (auto reco = ReadRecoDataset(*bytes); reco.ok()) {
+    if (*index >= reco->size()) return Fail("event index out of range");
+    event = level2::CommonEvent::FromReco((*reco)[*index]);
+  } else if (auto aod = ReadAodDataset(*bytes); aod.ok()) {
+    if (*index >= aod->size()) return Fail("event index out of range");
+    event = level2::CommonEvent::FromAod((*aod)[*index]);
+  } else {
+    return Fail("not a RECO or AOD dataset: " + path);
+  }
+  level2::Scene scene = level2::BuildScene(event);
+  std::printf("%s\n", scene.ToJson().Dump(2).c_str());
+  return 0;
+}
+
+Result<Experiment> ParseExperiment(const std::string& name) {
+  for (Experiment experiment : kAllExperiments) {
+    if (name == ExperimentName(experiment)) return experiment;
+  }
+  return Status::InvalidArgument("unknown experiment '" + name +
+                                 "' (Alice|Atlas|CMS|LHCb)");
+}
+
+int CmdConvert(const std::string& in, const std::string& from_name,
+               const std::string& to_name, const std::string& out) {
+  auto from = ParseExperiment(from_name);
+  if (!from.ok()) return Fail(from.status().ToString());
+  auto to = ParseExperiment(to_name);
+  if (!to.ok()) return Fail(to.status().ToString());
+  auto bytes = ReadFileToString(in);
+  if (!bytes.ok()) return Fail(bytes.status().ToString());
+  auto converted = level2::ConvertEventFile(*from, *bytes, *to);
+  if (!converted.ok()) return Fail(converted.status().ToString());
+  if (auto status = WriteStringToFile(out, *converted); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  std::printf("converted %s (%s) -> %s (%s), %s\n", in.c_str(),
+              from_name.c_str(), out.c_str(), to_name.c_str(),
+              FormatBytes(converted->size()).c_str());
+  return 0;
+}
+
+int CmdExport(const std::string& in, const std::string& experiment_name,
+              const std::string& out) {
+  auto experiment = ParseExperiment(experiment_name);
+  if (!experiment.ok()) return Fail(experiment.status().ToString());
+  auto bytes = ReadFileToString(in);
+  if (!bytes.ok()) return Fail(bytes.status().ToString());
+  auto reco = ReadRecoDataset(*bytes);
+  if (!reco.ok()) return Fail("not a RECO dataset: " + reco.status().ToString());
+  std::vector<level2::CommonEvent> events;
+  events.reserve(reco->size());
+  for (const RecoEvent& event : *reco) {
+    events.push_back(level2::CommonEvent::FromReco(event));
+  }
+  std::string file = level2::WriteEventFile(*experiment, events);
+  if (auto status = WriteStringToFile(out, file); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  std::printf("exported %zu events to %s in the %s outreach dialect (%s)\n",
+              events.size(), out.c_str(), experiment_name.c_str(),
+              FormatBytes(file.size()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  if (command == "inspect" && argc == 3) return CmdInspect(argv[2]);
+  if (command == "generate" && (argc == 6 || argc == 7)) {
+    return CmdGenerate(argv[2], argv[3], argv[4], argv[5],
+                       argc == 7 ? argv[6] : "gen");
+  }
+  if (command == "holdings" && argc == 3) return CmdHoldings(argv[2]);
+  if (command == "audit" && argc == 3) return CmdAudit(argv[2]);
+  if (command == "retrieve" && argc == 5) {
+    return CmdRetrieve(argv[2], argv[3], argv[4]);
+  }
+  if (command == "lhada-run" && argc == 4) {
+    return CmdLhadaRun(argv[2], argv[3]);
+  }
+  if (command == "lhada-check" && argc == 3) return CmdLhadaCheck(argv[2]);
+  if (command == "display" && argc == 4) return CmdDisplay(argv[2], argv[3]);
+  if (command == "convert" && argc == 6) {
+    return CmdConvert(argv[2], argv[3], argv[4], argv[5]);
+  }
+  if (command == "export" && argc == 5) {
+    return CmdExport(argv[2], argv[3], argv[4]);
+  }
+  return Usage();
+}
