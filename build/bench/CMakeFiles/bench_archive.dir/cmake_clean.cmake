@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_archive.dir/bench_archive.cpp.o"
+  "CMakeFiles/bench_archive.dir/bench_archive.cpp.o.d"
+  "bench_archive"
+  "bench_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

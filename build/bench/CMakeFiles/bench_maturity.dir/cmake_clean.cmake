@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maturity.dir/bench_maturity.cpp.o"
+  "CMakeFiles/bench_maturity.dir/bench_maturity.cpp.o.d"
+  "bench_maturity"
+  "bench_maturity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maturity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

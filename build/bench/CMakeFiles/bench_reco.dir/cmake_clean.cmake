@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reco.dir/bench_reco.cpp.o"
+  "CMakeFiles/bench_reco.dir/bench_reco.cpp.o.d"
+  "bench_reco"
+  "bench_reco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

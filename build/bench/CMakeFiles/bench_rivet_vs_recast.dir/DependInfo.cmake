@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_rivet_vs_recast.cpp" "bench/CMakeFiles/bench_rivet_vs_recast.dir/bench_rivet_vs_recast.cpp.o" "gcc" "bench/CMakeFiles/bench_rivet_vs_recast.dir/bench_rivet_vs_recast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/daspos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/recast/CMakeFiles/daspos_recast.dir/DependInfo.cmake"
+  "/root/repo/build/src/rivet/CMakeFiles/daspos_rivet.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/daspos_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/daspos_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/reco/CMakeFiles/daspos_reco.dir/DependInfo.cmake"
+  "/root/repo/build/src/detsim/CMakeFiles/daspos_detsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiers/CMakeFiles/daspos_tiers.dir/DependInfo.cmake"
+  "/root/repo/build/src/conditions/CMakeFiles/daspos_conditions.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/daspos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/daspos_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/daspos_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/daspos_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/daspos_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/daspos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rivet_vs_recast.dir/bench_rivet_vs_recast.cpp.o"
+  "CMakeFiles/bench_rivet_vs_recast.dir/bench_rivet_vs_recast.cpp.o.d"
+  "bench_rivet_vs_recast"
+  "bench_rivet_vs_recast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rivet_vs_recast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_outreach.cpp" "bench/CMakeFiles/bench_table1_outreach.dir/bench_table1_outreach.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_outreach.dir/bench_table1_outreach.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/level2/CMakeFiles/daspos_level2.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/daspos_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/detsim/CMakeFiles/daspos_detsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/reco/CMakeFiles/daspos_reco.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/daspos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/daspos_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/daspos_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/daspos_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/daspos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

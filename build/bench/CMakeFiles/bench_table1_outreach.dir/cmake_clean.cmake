@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_outreach.dir/bench_table1_outreach.cpp.o"
+  "CMakeFiles/bench_table1_outreach.dir/bench_table1_outreach.cpp.o.d"
+  "bench_table1_outreach"
+  "bench_table1_outreach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_outreach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

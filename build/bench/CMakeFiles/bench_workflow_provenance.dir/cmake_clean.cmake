@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workflow_provenance.dir/bench_workflow_provenance.cpp.o"
+  "CMakeFiles/bench_workflow_provenance.dir/bench_workflow_provenance.cpp.o.d"
+  "bench_workflow_provenance"
+  "bench_workflow_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workflow_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_curation.dir/archive_curation.cpp.o"
+  "CMakeFiles/archive_curation.dir/archive_curation.cpp.o.d"
+  "archive_curation"
+  "archive_curation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_curation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

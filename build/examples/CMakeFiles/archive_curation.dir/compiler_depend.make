@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for archive_curation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masterclass_zpeak.dir/masterclass_zpeak.cpp.o"
+  "CMakeFiles/masterclass_zpeak.dir/masterclass_zpeak.cpp.o.d"
+  "masterclass_zpeak"
+  "masterclass_zpeak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masterclass_zpeak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for masterclass_zpeak.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for masterclass_zpeak.
+# This may be replaced when dependencies are built.

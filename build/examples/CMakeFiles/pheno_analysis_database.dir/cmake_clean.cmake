@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pheno_analysis_database.dir/pheno_analysis_database.cpp.o"
+  "CMakeFiles/pheno_analysis_database.dir/pheno_analysis_database.cpp.o.d"
+  "pheno_analysis_database"
+  "pheno_analysis_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pheno_analysis_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

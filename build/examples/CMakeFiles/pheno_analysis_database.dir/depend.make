@@ -1,0 +1,2 @@
+# Empty dependencies file for pheno_analysis_database.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recast_reinterpretation.dir/recast_reinterpretation.cpp.o"
+  "CMakeFiles/recast_reinterpretation.dir/recast_reinterpretation.cpp.o.d"
+  "recast_reinterpretation"
+  "recast_reinterpretation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recast_reinterpretation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for recast_reinterpretation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rivet_validation.dir/rivet_validation.cpp.o"
+  "CMakeFiles/rivet_validation.dir/rivet_validation.cpp.o.d"
+  "rivet_validation"
+  "rivet_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rivet_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

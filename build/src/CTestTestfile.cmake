@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("serialize")
+subdirs("hist")
+subdirs("event")
+subdirs("mc")
+subdirs("detsim")
+subdirs("reco")
+subdirs("conditions")
+subdirs("tiers")
+subdirs("workflow")
+subdirs("archive")
+subdirs("stats")
+subdirs("rivet")
+subdirs("recast")
+subdirs("hepdata")
+subdirs("level2")
+subdirs("interview")
+subdirs("lhada")
+subdirs("core")

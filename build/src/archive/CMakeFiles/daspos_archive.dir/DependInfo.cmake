@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/archive/archive.cc" "src/archive/CMakeFiles/daspos_archive.dir/archive.cc.o" "gcc" "src/archive/CMakeFiles/daspos_archive.dir/archive.cc.o.d"
+  "/root/repo/src/archive/object_store.cc" "src/archive/CMakeFiles/daspos_archive.dir/object_store.cc.o" "gcc" "src/archive/CMakeFiles/daspos_archive.dir/object_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serialize/CMakeFiles/daspos_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/daspos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_archive.dir/archive.cc.o"
+  "CMakeFiles/daspos_archive.dir/archive.cc.o.d"
+  "CMakeFiles/daspos_archive.dir/object_store.cc.o"
+  "CMakeFiles/daspos_archive.dir/object_store.cc.o.d"
+  "libdaspos_archive.a"
+  "libdaspos_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

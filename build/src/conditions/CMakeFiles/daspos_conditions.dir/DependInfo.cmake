@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conditions/global_tag.cc" "src/conditions/CMakeFiles/daspos_conditions.dir/global_tag.cc.o" "gcc" "src/conditions/CMakeFiles/daspos_conditions.dir/global_tag.cc.o.d"
+  "/root/repo/src/conditions/snapshot.cc" "src/conditions/CMakeFiles/daspos_conditions.dir/snapshot.cc.o" "gcc" "src/conditions/CMakeFiles/daspos_conditions.dir/snapshot.cc.o.d"
+  "/root/repo/src/conditions/store.cc" "src/conditions/CMakeFiles/daspos_conditions.dir/store.cc.o" "gcc" "src/conditions/CMakeFiles/daspos_conditions.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/daspos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

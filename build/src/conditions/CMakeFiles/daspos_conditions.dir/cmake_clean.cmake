@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_conditions.dir/global_tag.cc.o"
+  "CMakeFiles/daspos_conditions.dir/global_tag.cc.o.d"
+  "CMakeFiles/daspos_conditions.dir/snapshot.cc.o"
+  "CMakeFiles/daspos_conditions.dir/snapshot.cc.o.d"
+  "CMakeFiles/daspos_conditions.dir/store.cc.o"
+  "CMakeFiles/daspos_conditions.dir/store.cc.o.d"
+  "libdaspos_conditions.a"
+  "libdaspos_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_core.dir/bridge.cc.o"
+  "CMakeFiles/daspos_core.dir/bridge.cc.o.d"
+  "CMakeFiles/daspos_core.dir/preserved_analysis.cc.o"
+  "CMakeFiles/daspos_core.dir/preserved_analysis.cc.o.d"
+  "CMakeFiles/daspos_core.dir/replay.cc.o"
+  "CMakeFiles/daspos_core.dir/replay.cc.o.d"
+  "libdaspos_core.a"
+  "libdaspos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

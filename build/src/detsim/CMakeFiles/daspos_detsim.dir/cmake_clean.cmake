@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_detsim.dir/calib.cc.o"
+  "CMakeFiles/daspos_detsim.dir/calib.cc.o.d"
+  "CMakeFiles/daspos_detsim.dir/geometry.cc.o"
+  "CMakeFiles/daspos_detsim.dir/geometry.cc.o.d"
+  "CMakeFiles/daspos_detsim.dir/simulation.cc.o"
+  "CMakeFiles/daspos_detsim.dir/simulation.cc.o.d"
+  "libdaspos_detsim.a"
+  "libdaspos_detsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_detsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

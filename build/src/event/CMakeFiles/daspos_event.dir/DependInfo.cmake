@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/event/aod.cc" "src/event/CMakeFiles/daspos_event.dir/aod.cc.o" "gcc" "src/event/CMakeFiles/daspos_event.dir/aod.cc.o.d"
+  "/root/repo/src/event/fourvector.cc" "src/event/CMakeFiles/daspos_event.dir/fourvector.cc.o" "gcc" "src/event/CMakeFiles/daspos_event.dir/fourvector.cc.o.d"
+  "/root/repo/src/event/pdg.cc" "src/event/CMakeFiles/daspos_event.dir/pdg.cc.o" "gcc" "src/event/CMakeFiles/daspos_event.dir/pdg.cc.o.d"
+  "/root/repo/src/event/raw.cc" "src/event/CMakeFiles/daspos_event.dir/raw.cc.o" "gcc" "src/event/CMakeFiles/daspos_event.dir/raw.cc.o.d"
+  "/root/repo/src/event/reco.cc" "src/event/CMakeFiles/daspos_event.dir/reco.cc.o" "gcc" "src/event/CMakeFiles/daspos_event.dir/reco.cc.o.d"
+  "/root/repo/src/event/truth.cc" "src/event/CMakeFiles/daspos_event.dir/truth.cc.o" "gcc" "src/event/CMakeFiles/daspos_event.dir/truth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serialize/CMakeFiles/daspos_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/daspos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_event.dir/aod.cc.o"
+  "CMakeFiles/daspos_event.dir/aod.cc.o.d"
+  "CMakeFiles/daspos_event.dir/fourvector.cc.o"
+  "CMakeFiles/daspos_event.dir/fourvector.cc.o.d"
+  "CMakeFiles/daspos_event.dir/pdg.cc.o"
+  "CMakeFiles/daspos_event.dir/pdg.cc.o.d"
+  "CMakeFiles/daspos_event.dir/raw.cc.o"
+  "CMakeFiles/daspos_event.dir/raw.cc.o.d"
+  "CMakeFiles/daspos_event.dir/reco.cc.o"
+  "CMakeFiles/daspos_event.dir/reco.cc.o.d"
+  "CMakeFiles/daspos_event.dir/truth.cc.o"
+  "CMakeFiles/daspos_event.dir/truth.cc.o.d"
+  "libdaspos_event.a"
+  "libdaspos_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

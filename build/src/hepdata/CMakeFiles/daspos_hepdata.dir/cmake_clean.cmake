@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_hepdata.dir/record.cc.o"
+  "CMakeFiles/daspos_hepdata.dir/record.cc.o.d"
+  "libdaspos_hepdata.a"
+  "libdaspos_hepdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_hepdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hist/compare.cc" "src/hist/CMakeFiles/daspos_hist.dir/compare.cc.o" "gcc" "src/hist/CMakeFiles/daspos_hist.dir/compare.cc.o.d"
+  "/root/repo/src/hist/histo1d.cc" "src/hist/CMakeFiles/daspos_hist.dir/histo1d.cc.o" "gcc" "src/hist/CMakeFiles/daspos_hist.dir/histo1d.cc.o.d"
+  "/root/repo/src/hist/histo2d.cc" "src/hist/CMakeFiles/daspos_hist.dir/histo2d.cc.o" "gcc" "src/hist/CMakeFiles/daspos_hist.dir/histo2d.cc.o.d"
+  "/root/repo/src/hist/profile1d.cc" "src/hist/CMakeFiles/daspos_hist.dir/profile1d.cc.o" "gcc" "src/hist/CMakeFiles/daspos_hist.dir/profile1d.cc.o.d"
+  "/root/repo/src/hist/yoda_io.cc" "src/hist/CMakeFiles/daspos_hist.dir/yoda_io.cc.o" "gcc" "src/hist/CMakeFiles/daspos_hist.dir/yoda_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/daspos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

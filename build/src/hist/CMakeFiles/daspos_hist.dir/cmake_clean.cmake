@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_hist.dir/compare.cc.o"
+  "CMakeFiles/daspos_hist.dir/compare.cc.o.d"
+  "CMakeFiles/daspos_hist.dir/histo1d.cc.o"
+  "CMakeFiles/daspos_hist.dir/histo1d.cc.o.d"
+  "CMakeFiles/daspos_hist.dir/histo2d.cc.o"
+  "CMakeFiles/daspos_hist.dir/histo2d.cc.o.d"
+  "CMakeFiles/daspos_hist.dir/profile1d.cc.o"
+  "CMakeFiles/daspos_hist.dir/profile1d.cc.o.d"
+  "CMakeFiles/daspos_hist.dir/yoda_io.cc.o"
+  "CMakeFiles/daspos_hist.dir/yoda_io.cc.o.d"
+  "libdaspos_hist.a"
+  "libdaspos_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_interview.dir/interview.cc.o"
+  "CMakeFiles/daspos_interview.dir/interview.cc.o.d"
+  "CMakeFiles/daspos_interview.dir/maturity.cc.o"
+  "CMakeFiles/daspos_interview.dir/maturity.cc.o.d"
+  "libdaspos_interview.a"
+  "libdaspos_interview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_interview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/level2/common.cc" "src/level2/CMakeFiles/daspos_level2.dir/common.cc.o" "gcc" "src/level2/CMakeFiles/daspos_level2.dir/common.cc.o.d"
+  "/root/repo/src/level2/dialects.cc" "src/level2/CMakeFiles/daspos_level2.dir/dialects.cc.o" "gcc" "src/level2/CMakeFiles/daspos_level2.dir/dialects.cc.o.d"
+  "/root/repo/src/level2/display.cc" "src/level2/CMakeFiles/daspos_level2.dir/display.cc.o" "gcc" "src/level2/CMakeFiles/daspos_level2.dir/display.cc.o.d"
+  "/root/repo/src/level2/files.cc" "src/level2/CMakeFiles/daspos_level2.dir/files.cc.o" "gcc" "src/level2/CMakeFiles/daspos_level2.dir/files.cc.o.d"
+  "/root/repo/src/level2/masterclass.cc" "src/level2/CMakeFiles/daspos_level2.dir/masterclass.cc.o" "gcc" "src/level2/CMakeFiles/daspos_level2.dir/masterclass.cc.o.d"
+  "/root/repo/src/level2/outreach.cc" "src/level2/CMakeFiles/daspos_level2.dir/outreach.cc.o" "gcc" "src/level2/CMakeFiles/daspos_level2.dir/outreach.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/daspos_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/daspos_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/daspos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/daspos_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/daspos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

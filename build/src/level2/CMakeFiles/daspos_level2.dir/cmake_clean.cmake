@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_level2.dir/common.cc.o"
+  "CMakeFiles/daspos_level2.dir/common.cc.o.d"
+  "CMakeFiles/daspos_level2.dir/dialects.cc.o"
+  "CMakeFiles/daspos_level2.dir/dialects.cc.o.d"
+  "CMakeFiles/daspos_level2.dir/display.cc.o"
+  "CMakeFiles/daspos_level2.dir/display.cc.o.d"
+  "CMakeFiles/daspos_level2.dir/files.cc.o"
+  "CMakeFiles/daspos_level2.dir/files.cc.o.d"
+  "CMakeFiles/daspos_level2.dir/masterclass.cc.o"
+  "CMakeFiles/daspos_level2.dir/masterclass.cc.o.d"
+  "CMakeFiles/daspos_level2.dir/outreach.cc.o"
+  "CMakeFiles/daspos_level2.dir/outreach.cc.o.d"
+  "libdaspos_level2.a"
+  "libdaspos_level2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_level2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

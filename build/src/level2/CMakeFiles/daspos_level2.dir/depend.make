@@ -1,0 +1,2 @@
+# Empty dependencies file for daspos_level2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_lhada.dir/database.cc.o"
+  "CMakeFiles/daspos_lhada.dir/database.cc.o.d"
+  "CMakeFiles/daspos_lhada.dir/lhada.cc.o"
+  "CMakeFiles/daspos_lhada.dir/lhada.cc.o.d"
+  "libdaspos_lhada.a"
+  "libdaspos_lhada.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_lhada.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

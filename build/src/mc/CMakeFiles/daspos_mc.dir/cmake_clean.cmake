@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_mc.dir/generator.cc.o"
+  "CMakeFiles/daspos_mc.dir/generator.cc.o.d"
+  "CMakeFiles/daspos_mc.dir/kinematics.cc.o"
+  "CMakeFiles/daspos_mc.dir/kinematics.cc.o.d"
+  "CMakeFiles/daspos_mc.dir/process.cc.o"
+  "CMakeFiles/daspos_mc.dir/process.cc.o.d"
+  "libdaspos_mc.a"
+  "libdaspos_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_recast.dir/backend.cc.o"
+  "CMakeFiles/daspos_recast.dir/backend.cc.o.d"
+  "CMakeFiles/daspos_recast.dir/frontend.cc.o"
+  "CMakeFiles/daspos_recast.dir/frontend.cc.o.d"
+  "CMakeFiles/daspos_recast.dir/request.cc.o"
+  "CMakeFiles/daspos_recast.dir/request.cc.o.d"
+  "CMakeFiles/daspos_recast.dir/scan.cc.o"
+  "CMakeFiles/daspos_recast.dir/scan.cc.o.d"
+  "CMakeFiles/daspos_recast.dir/search.cc.o"
+  "CMakeFiles/daspos_recast.dir/search.cc.o.d"
+  "libdaspos_recast.a"
+  "libdaspos_recast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_recast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

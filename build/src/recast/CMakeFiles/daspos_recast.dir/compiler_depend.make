@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for daspos_recast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reco/clustering.cc" "src/reco/CMakeFiles/daspos_reco.dir/clustering.cc.o" "gcc" "src/reco/CMakeFiles/daspos_reco.dir/clustering.cc.o.d"
+  "/root/repo/src/reco/reconstruction.cc" "src/reco/CMakeFiles/daspos_reco.dir/reconstruction.cc.o" "gcc" "src/reco/CMakeFiles/daspos_reco.dir/reconstruction.cc.o.d"
+  "/root/repo/src/reco/tracking.cc" "src/reco/CMakeFiles/daspos_reco.dir/tracking.cc.o" "gcc" "src/reco/CMakeFiles/daspos_reco.dir/tracking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detsim/CMakeFiles/daspos_detsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/daspos_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/daspos_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/daspos_serialize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

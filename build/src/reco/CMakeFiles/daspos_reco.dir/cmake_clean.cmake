@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_reco.dir/clustering.cc.o"
+  "CMakeFiles/daspos_reco.dir/clustering.cc.o.d"
+  "CMakeFiles/daspos_reco.dir/reconstruction.cc.o"
+  "CMakeFiles/daspos_reco.dir/reconstruction.cc.o.d"
+  "CMakeFiles/daspos_reco.dir/tracking.cc.o"
+  "CMakeFiles/daspos_reco.dir/tracking.cc.o.d"
+  "libdaspos_reco.a"
+  "libdaspos_reco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_reco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rivet/analyses.cc" "src/rivet/CMakeFiles/daspos_rivet.dir/analyses.cc.o" "gcc" "src/rivet/CMakeFiles/daspos_rivet.dir/analyses.cc.o.d"
+  "/root/repo/src/rivet/analysis.cc" "src/rivet/CMakeFiles/daspos_rivet.dir/analysis.cc.o" "gcc" "src/rivet/CMakeFiles/daspos_rivet.dir/analysis.cc.o.d"
+  "/root/repo/src/rivet/projections.cc" "src/rivet/CMakeFiles/daspos_rivet.dir/projections.cc.o" "gcc" "src/rivet/CMakeFiles/daspos_rivet.dir/projections.cc.o.d"
+  "/root/repo/src/rivet/registry.cc" "src/rivet/CMakeFiles/daspos_rivet.dir/registry.cc.o" "gcc" "src/rivet/CMakeFiles/daspos_rivet.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/daspos_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/daspos_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/daspos_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/daspos_serialize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

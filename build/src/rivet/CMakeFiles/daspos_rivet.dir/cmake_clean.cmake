@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_rivet.dir/analyses.cc.o"
+  "CMakeFiles/daspos_rivet.dir/analyses.cc.o.d"
+  "CMakeFiles/daspos_rivet.dir/analysis.cc.o"
+  "CMakeFiles/daspos_rivet.dir/analysis.cc.o.d"
+  "CMakeFiles/daspos_rivet.dir/projections.cc.o"
+  "CMakeFiles/daspos_rivet.dir/projections.cc.o.d"
+  "CMakeFiles/daspos_rivet.dir/registry.cc.o"
+  "CMakeFiles/daspos_rivet.dir/registry.cc.o.d"
+  "libdaspos_rivet.a"
+  "libdaspos_rivet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_rivet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for daspos_rivet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_serialize.dir/binary.cc.o"
+  "CMakeFiles/daspos_serialize.dir/binary.cc.o.d"
+  "CMakeFiles/daspos_serialize.dir/container.cc.o"
+  "CMakeFiles/daspos_serialize.dir/container.cc.o.d"
+  "CMakeFiles/daspos_serialize.dir/json.cc.o"
+  "CMakeFiles/daspos_serialize.dir/json.cc.o.d"
+  "libdaspos_serialize.a"
+  "libdaspos_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

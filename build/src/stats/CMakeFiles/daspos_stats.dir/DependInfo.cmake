@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/fits.cc" "src/stats/CMakeFiles/daspos_stats.dir/fits.cc.o" "gcc" "src/stats/CMakeFiles/daspos_stats.dir/fits.cc.o.d"
+  "/root/repo/src/stats/limits.cc" "src/stats/CMakeFiles/daspos_stats.dir/limits.cc.o" "gcc" "src/stats/CMakeFiles/daspos_stats.dir/limits.cc.o.d"
+  "/root/repo/src/stats/minimize.cc" "src/stats/CMakeFiles/daspos_stats.dir/minimize.cc.o" "gcc" "src/stats/CMakeFiles/daspos_stats.dir/minimize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hist/CMakeFiles/daspos_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/daspos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_stats.dir/fits.cc.o"
+  "CMakeFiles/daspos_stats.dir/fits.cc.o.d"
+  "CMakeFiles/daspos_stats.dir/limits.cc.o"
+  "CMakeFiles/daspos_stats.dir/limits.cc.o.d"
+  "CMakeFiles/daspos_stats.dir/minimize.cc.o"
+  "CMakeFiles/daspos_stats.dir/minimize.cc.o.d"
+  "libdaspos_stats.a"
+  "libdaspos_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_support.dir/compress.cc.o"
+  "CMakeFiles/daspos_support.dir/compress.cc.o.d"
+  "CMakeFiles/daspos_support.dir/io.cc.o"
+  "CMakeFiles/daspos_support.dir/io.cc.o.d"
+  "CMakeFiles/daspos_support.dir/logging.cc.o"
+  "CMakeFiles/daspos_support.dir/logging.cc.o.d"
+  "CMakeFiles/daspos_support.dir/rng.cc.o"
+  "CMakeFiles/daspos_support.dir/rng.cc.o.d"
+  "CMakeFiles/daspos_support.dir/sha256.cc.o"
+  "CMakeFiles/daspos_support.dir/sha256.cc.o.d"
+  "CMakeFiles/daspos_support.dir/status.cc.o"
+  "CMakeFiles/daspos_support.dir/status.cc.o.d"
+  "CMakeFiles/daspos_support.dir/strings.cc.o"
+  "CMakeFiles/daspos_support.dir/strings.cc.o.d"
+  "CMakeFiles/daspos_support.dir/table.cc.o"
+  "CMakeFiles/daspos_support.dir/table.cc.o.d"
+  "libdaspos_support.a"
+  "libdaspos_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_tiers.dir/dataset.cc.o"
+  "CMakeFiles/daspos_tiers.dir/dataset.cc.o.d"
+  "CMakeFiles/daspos_tiers.dir/skimslim.cc.o"
+  "CMakeFiles/daspos_tiers.dir/skimslim.cc.o.d"
+  "libdaspos_tiers.a"
+  "libdaspos_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

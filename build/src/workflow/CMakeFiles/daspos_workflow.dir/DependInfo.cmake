@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/engine.cc" "src/workflow/CMakeFiles/daspos_workflow.dir/engine.cc.o" "gcc" "src/workflow/CMakeFiles/daspos_workflow.dir/engine.cc.o.d"
+  "/root/repo/src/workflow/provenance.cc" "src/workflow/CMakeFiles/daspos_workflow.dir/provenance.cc.o" "gcc" "src/workflow/CMakeFiles/daspos_workflow.dir/provenance.cc.o.d"
+  "/root/repo/src/workflow/steps.cc" "src/workflow/CMakeFiles/daspos_workflow.dir/steps.cc.o" "gcc" "src/workflow/CMakeFiles/daspos_workflow.dir/steps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mc/CMakeFiles/daspos_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/detsim/CMakeFiles/daspos_detsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/reco/CMakeFiles/daspos_reco.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiers/CMakeFiles/daspos_tiers.dir/DependInfo.cmake"
+  "/root/repo/build/src/conditions/CMakeFiles/daspos_conditions.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/daspos_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/daspos_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/daspos_event.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

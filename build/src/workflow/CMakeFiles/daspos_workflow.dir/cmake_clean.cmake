@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_workflow.dir/engine.cc.o"
+  "CMakeFiles/daspos_workflow.dir/engine.cc.o.d"
+  "CMakeFiles/daspos_workflow.dir/provenance.cc.o"
+  "CMakeFiles/daspos_workflow.dir/provenance.cc.o.d"
+  "CMakeFiles/daspos_workflow.dir/steps.cc.o"
+  "CMakeFiles/daspos_workflow.dir/steps.cc.o.d"
+  "libdaspos_workflow.a"
+  "libdaspos_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

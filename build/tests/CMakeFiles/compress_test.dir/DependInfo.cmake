@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compress_test.cc" "tests/CMakeFiles/compress_test.dir/compress_test.cc.o" "gcc" "tests/CMakeFiles/compress_test.dir/compress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/daspos_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/daspos_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiers/CMakeFiles/daspos_tiers.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/daspos_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/daspos_serialize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detsim_test.dir/detsim_test.cc.o"
+  "CMakeFiles/detsim_test.dir/detsim_test.cc.o.d"
+  "detsim_test"
+  "detsim_test.pdb"
+  "detsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepdata_test.dir/hepdata_test.cc.o"
+  "CMakeFiles/hepdata_test.dir/hepdata_test.cc.o.d"
+  "hepdata_test"
+  "hepdata_test.pdb"
+  "hepdata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepdata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interview_test.dir/interview_test.cc.o"
+  "CMakeFiles/interview_test.dir/interview_test.cc.o.d"
+  "interview_test"
+  "interview_test.pdb"
+  "interview_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interview_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/level2_test.dir/level2_test.cc.o"
+  "CMakeFiles/level2_test.dir/level2_test.cc.o.d"
+  "level2_test"
+  "level2_test.pdb"
+  "level2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/level2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhada_test.dir/lhada_test.cc.o"
+  "CMakeFiles/lhada_test.dir/lhada_test.cc.o.d"
+  "lhada_test"
+  "lhada_test.pdb"
+  "lhada_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhada_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recast_test.dir/recast_test.cc.o"
+  "CMakeFiles/recast_test.dir/recast_test.cc.o.d"
+  "recast_test"
+  "recast_test.pdb"
+  "recast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

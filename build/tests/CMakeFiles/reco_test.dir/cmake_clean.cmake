@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reco_test.dir/reco_test.cc.o"
+  "CMakeFiles/reco_test.dir/reco_test.cc.o.d"
+  "reco_test"
+  "reco_test.pdb"
+  "reco_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reco_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

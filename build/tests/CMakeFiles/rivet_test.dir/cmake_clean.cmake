@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rivet_test.dir/rivet_test.cc.o"
+  "CMakeFiles/rivet_test.dir/rivet_test.cc.o.d"
+  "rivet_test"
+  "rivet_test.pdb"
+  "rivet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rivet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiers_test.dir/tiers_test.cc.o"
+  "CMakeFiles/tiers_test.dir/tiers_test.cc.o.d"
+  "tiers_test"
+  "tiers_test.pdb"
+  "tiers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/hist_test[1]_include.cmake")
+include("/root/repo/build/tests/event_test[1]_include.cmake")
+include("/root/repo/build/tests/mc_test[1]_include.cmake")
+include("/root/repo/build/tests/detsim_test[1]_include.cmake")
+include("/root/repo/build/tests/reco_test[1]_include.cmake")
+include("/root/repo/build/tests/conditions_test[1]_include.cmake")
+include("/root/repo/build/tests/tiers_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow_test[1]_include.cmake")
+include("/root/repo/build/tests/archive_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/rivet_test[1]_include.cmake")
+include("/root/repo/build/tests/recast_test[1]_include.cmake")
+include("/root/repo/build/tests/hepdata_test[1]_include.cmake")
+include("/root/repo/build/tests/level2_test[1]_include.cmake")
+include("/root/repo/build/tests/interview_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/lhada_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+add_test(cli_smoke "/root/repo/tests/cli_smoke.sh" "/root/repo/build/tools/daspos")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daspos_cli.dir/daspos_cli.cc.o"
+  "CMakeFiles/daspos_cli.dir/daspos_cli.cc.o.d"
+  "daspos"
+  "daspos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daspos_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
