@@ -4,8 +4,11 @@
 // query that finds derived files with missing parentage.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "conditions/store.h"
 #include "event/pdg.h"
@@ -18,6 +21,16 @@ using namespace daspos;
 namespace {
 
 constexpr int kEvents = 60;
+
+// Thread-count knob for the chain benchmarks: DASPOS_THREADS=N in the
+// environment (0 or unset = one worker per hardware thread).
+ExecuteOptions OptionsFromEnv() {
+  ExecuteOptions options;
+  if (const char* env = std::getenv("DASPOS_THREADS")) {
+    options.max_threads = static_cast<size_t>(std::atoi(env));
+  }
+  return options;
+}
 
 Workflow BuildChain() {
   GeneratorConfig gen_config;
@@ -57,10 +70,11 @@ ConditionsDb MakeConditions() {
 void BM_ChainWithoutProvenance(benchmark::State& state) {
   Workflow workflow = BuildChain();
   ConditionsDb conditions = MakeConditions();
+  ExecuteOptions options = OptionsFromEnv();
   for (auto _ : state) {
     WorkflowContext context;
     context.set_conditions(&conditions);
-    auto report = workflow.Execute(&context);
+    auto report = workflow.Execute(&context, nullptr, options);
     benchmark::DoNotOptimize(report);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kEvents);
@@ -70,17 +84,106 @@ BENCHMARK(BM_ChainWithoutProvenance)->Unit(benchmark::kMillisecond);
 void BM_ChainWithProvenance(benchmark::State& state) {
   Workflow workflow = BuildChain();
   ConditionsDb conditions = MakeConditions();
+  ExecuteOptions options = OptionsFromEnv();
   for (auto _ : state) {
     WorkflowContext context;
     context.set_conditions(&conditions);
     ProvenanceStore provenance;
-    auto report = workflow.Execute(&context, &provenance);
+    auto report = workflow.Execute(&context, &provenance, options);
     benchmark::DoNotOptimize(provenance);
     benchmark::DoNotOptimize(report);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kEvents);
 }
 BENCHMARK(BM_ChainWithProvenance)->Unit(benchmark::kMillisecond);
+
+// One shard of a wide skim fan-out: a fixed sleep standing in for I/O-bound
+// step latency plus a small checksum pass over the input (the §2.1
+// common-format converter fan-out shape).
+class ShardStep : public WorkflowStep {
+ public:
+  explicit ShardStep(int shard, int sleep_ms)
+      : shard_(shard), sleep_ms_(sleep_ms) {}
+  std::string name() const override {
+    return "shard_" + std::to_string(shard_);
+  }
+  std::string version() const override { return "1"; }
+  Json Config() const override {
+    Json json = Json::Object();
+    json["shard"] = shard_;
+    json["sleep_ms"] = sleep_ms_;
+    return json;
+  }
+  Result<std::string> Run(const std::vector<std::string_view>& inputs,
+                          WorkflowContext*) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms_));
+    uint64_t checksum = static_cast<uint64_t>(shard_);
+    for (std::string_view input : inputs) {
+      for (char c : input) checksum = checksum * 131 + static_cast<uint8_t>(c);
+    }
+    return std::to_string(checksum);
+  }
+
+ private:
+  int shard_;
+  int sleep_ms_;
+};
+
+/// Joins every shard output (barrier step closing the fan-out).
+class JoinStep : public WorkflowStep {
+ public:
+  std::string name() const override { return "join"; }
+  std::string version() const override { return "1"; }
+  Json Config() const override { return Json::Object(); }
+  Result<std::string> Run(const std::vector<std::string_view>& inputs,
+                          WorkflowContext*) const override {
+    std::string out;
+    for (std::string_view input : inputs) {
+      out += std::string(input);
+      out += '\n';
+    }
+    return out;
+  }
+};
+
+constexpr int kFanoutWidth = 16;
+constexpr int kShardSleepMs = 5;
+
+Workflow BuildFanout() {
+  Workflow workflow;
+  (void)workflow.AddStep(std::make_shared<ShardStep>(-1, 0), {}, "source");
+  std::vector<std::string> shards;
+  for (int i = 0; i < kFanoutWidth; ++i) {
+    std::string output = "shard" + std::to_string(i);
+    (void)workflow.AddStep(std::make_shared<ShardStep>(i, kShardSleepMs),
+                           {"source"}, output);
+    shards.push_back(output);
+  }
+  (void)workflow.AddStep(std::make_shared<JoinStep>(), shards, "joined");
+  return workflow;
+}
+
+// The headline scaling measurement: the same 16-wide fan-out at 1..N worker
+// threads. Wall-clock should drop near-linearly until the width or the
+// hardware is exhausted (the shards sleep, so this scales even on one core).
+void BM_FanoutExecute(benchmark::State& state) {
+  Workflow workflow = BuildFanout();
+  ExecuteOptions options;
+  options.max_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    WorkflowContext context;
+    auto report = workflow.Execute(&context, nullptr, options);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kFanoutWidth);
+}
+BENCHMARK(BM_FanoutExecute)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_AncestryQuery(benchmark::State& state) {
   Workflow workflow = BuildChain();
@@ -102,7 +205,11 @@ void PrintProvenanceReport() {
   WorkflowContext context;
   context.set_conditions(&conditions);
   ProvenanceStore provenance;
-  (void)workflow.Execute(&context, &provenance);
+  auto report = workflow.Execute(&context, &provenance, OptionsFromEnv());
+  if (report.ok()) {
+    std::printf("%s\n",
+                report->RenderTimingTable("per-step chain timing:").c_str());
+  }
 
   std::string serialized = provenance.Serialize();
   TextTable table;

@@ -3,6 +3,7 @@
 #ifndef DASPOS_CONDITIONS_STORE_H_
 #define DASPOS_CONDITIONS_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -19,6 +20,17 @@ namespace daspos {
 /// counted — the E7 bench uses the counters to contrast with snapshots.
 class ConditionsDb : public ConditionsProvider {
  public:
+  ConditionsDb() = default;
+  // Copyable despite the atomic lookup counter (tests build one and return
+  // it by value); the counter value carries over.
+  ConditionsDb(const ConditionsDb& other)
+      : tags_(other.tags_), lookup_count_(other.lookup_count_.load()) {}
+  ConditionsDb& operator=(const ConditionsDb& other) {
+    tags_ = other.tags_;
+    lookup_count_ = other.lookup_count_.load();
+    return *this;
+  }
+
   /// Registers a payload for `tag` over `range`. Fails on invalid ranges or
   /// IOV overlap within the tag (conditions must be unambiguous).
   Status Put(const std::string& tag, const RunRange& range,
@@ -42,8 +54,9 @@ class ConditionsDb : public ConditionsProvider {
   std::vector<RunRange> Intervals(const std::string& tag) const;
 
   /// Number of GetPayload calls served so far (the external-dependency
-  /// footprint the paper asks workflows to enumerate).
-  uint64_t lookup_count() const { return lookup_count_; }
+  /// footprint the paper asks workflows to enumerate). Atomic: steps of a
+  /// parallel workflow may consult conditions concurrently.
+  uint64_t lookup_count() const { return lookup_count_.load(); }
 
  private:
   struct Entry {
@@ -52,7 +65,7 @@ class ConditionsDb : public ConditionsProvider {
   };
   // Per tag, entries sorted by first_run (non-overlapping).
   std::map<std::string, std::vector<Entry>> tags_;
-  mutable uint64_t lookup_count_ = 0;
+  mutable std::atomic<uint64_t> lookup_count_{0};
 };
 
 }  // namespace daspos

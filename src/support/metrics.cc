@@ -1,0 +1,34 @@
+#include "support/metrics.h"
+
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace daspos {
+
+std::string RenderStepMetricsTable(const std::vector<StepMetrics>& steps,
+                                   const std::string& title) {
+  TextTable table;
+  if (!title.empty()) table.SetTitle(title);
+  table.SetHeader({"step", "wall", "share", "bytes", "events"});
+
+  double total_ms = 0.0;
+  uint64_t total_bytes = 0;
+  uint64_t total_items = 0;
+  for (const StepMetrics& step : steps) {
+    total_ms += step.wall_ms;
+    total_bytes += step.bytes;
+    total_items += step.items;
+  }
+  for (const StepMetrics& step : steps) {
+    double share =
+        total_ms > 0.0 ? 100.0 * step.wall_ms / total_ms : 0.0;
+    table.AddRow({step.label, FormatDouble(step.wall_ms, 3) + " ms",
+                  FormatDouble(share, 3) + "%", FormatBytes(step.bytes),
+                  std::to_string(step.items)});
+  }
+  table.AddRow({"TOTAL", FormatDouble(total_ms, 3) + " ms", "",
+                FormatBytes(total_bytes), std::to_string(total_items)});
+  return table.Render();
+}
+
+}  // namespace daspos

@@ -1,0 +1,49 @@
+// Wall-clock step tracing shared by instrumented drivers: the workflow
+// engine records one StepMetrics per executed step, and the CLI / bench
+// harnesses render them as a timing table. Automated re-execution is only
+// trustworthy when it is observable (DPHEP validation-framework lesson), so
+// the trace lives in support/ where every layer can reach it.
+#ifndef DASPOS_SUPPORT_METRICS_H_
+#define DASPOS_SUPPORT_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace daspos {
+
+/// Monotonic stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Milliseconds elapsed since construction or the last Restart.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One executed unit of work in a trace.
+struct StepMetrics {
+  std::string label;
+  double wall_ms = 0.0;
+  uint64_t bytes = 0;
+  uint64_t items = 0;
+};
+
+/// Renders a per-step timing table: label, wall time, share of the summed
+/// wall time, output bytes, and item (event) count, plus a totals row.
+std::string RenderStepMetricsTable(const std::vector<StepMetrics>& steps,
+                                   const std::string& title = "");
+
+}  // namespace daspos
+
+#endif  // DASPOS_SUPPORT_METRICS_H_

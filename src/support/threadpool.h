@@ -1,0 +1,56 @@
+// A small fixed-size worker pool draining a FIFO task queue. Built for the
+// workflow engine's parallel DAG dispatch but generic: any subsystem that
+// needs "run these closures on N threads and wait" can use it.
+#ifndef DASPOS_SUPPORT_THREADPOOL_H_
+#define DASPOS_SUPPORT_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace daspos {
+
+/// Fixed-size pool of worker threads. Tasks submitted while the pool lives
+/// are executed in FIFO order across the workers; the destructor waits for
+/// every queued and in-flight task before joining. Tasks may themselves call
+/// Submit (the workflow engine schedules newly-ready steps from completing
+/// ones), but must not call Wait or destroy the pool.
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers (clamped to at least one).
+  explicit ThreadPool(size_t thread_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe from any thread, including pool workers.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// One worker per hardware thread, and at least one.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_SUPPORT_THREADPOOL_H_

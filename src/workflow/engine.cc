@@ -1,6 +1,15 @@
 #include "workflow/engine.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <utility>
+
 #include "support/sha256.h"
+#include "support/strings.h"
+#include "support/threadpool.h"
 
 namespace daspos {
 
@@ -9,6 +18,7 @@ Status WorkflowContext::PutDataset(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("dataset name must not be empty");
   }
+  std::unique_lock lock(mutex_);
   auto [it, inserted] = datasets_.emplace(name, std::move(blob));
   (void)it;
   if (!inserted) {
@@ -19,18 +29,23 @@ Status WorkflowContext::PutDataset(const std::string& name,
 
 Result<std::string_view> WorkflowContext::GetDataset(
     const std::string& name) const {
+  std::shared_lock lock(mutex_);
   auto it = datasets_.find(name);
   if (it == datasets_.end()) {
     return Status::NotFound("dataset '" + name + "' not in context");
   }
+  // Map nodes are reference-stable and blobs are write-once, so the view
+  // outlives the lock safely.
   return std::string_view(it->second);
 }
 
 bool WorkflowContext::HasDataset(const std::string& name) const {
+  std::shared_lock lock(mutex_);
   return datasets_.count(name) > 0;
 }
 
 std::vector<std::string> WorkflowContext::DatasetNames() const {
+  std::shared_lock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(datasets_.size());
   for (const auto& [name, blob] : datasets_) {
@@ -41,12 +56,41 @@ std::vector<std::string> WorkflowContext::DatasetNames() const {
 }
 
 uint64_t WorkflowContext::TotalBytes() const {
+  std::shared_lock lock(mutex_);
   uint64_t total = 0;
   for (const auto& [name, blob] : datasets_) {
     (void)name;
     total += blob.size();
   }
   return total;
+}
+
+Json WorkflowReport::ToJson() const {
+  Json json = Json::Object();
+  json["threads"] = static_cast<uint64_t>(threads_used);
+  json["wall_ms"] = wall_ms;
+  Json step_list = Json::Array();
+  for (const StepResult& result : steps) {
+    Json step = Json::Object();
+    step["step"] = result.step;
+    step["output"] = result.output;
+    step["output_bytes"] = result.output_bytes;
+    step["output_events"] = result.output_events;
+    step["wall_ms"] = result.wall_ms;
+    step_list.push_back(std::move(step));
+  }
+  json["steps"] = std::move(step_list);
+  return json;
+}
+
+std::string WorkflowReport::RenderTimingTable(const std::string& title) const {
+  std::vector<StepMetrics> metrics;
+  metrics.reserve(steps.size());
+  for (const StepResult& result : steps) {
+    metrics.push_back({result.step + " -> " + result.output, result.wall_ms,
+                       result.output_bytes, result.output_events});
+  }
+  return RenderStepMetricsTable(metrics, title);
 }
 
 Status Workflow::AddStep(std::shared_ptr<WorkflowStep> step,
@@ -57,6 +101,13 @@ Status Workflow::AddStep(std::shared_ptr<WorkflowStep> step,
   }
   if (output.empty()) {
     return Status::InvalidArgument("workflow step needs an output name");
+  }
+  for (const std::string& input : inputs) {
+    if (input == output) {
+      return Status::InvalidArgument(
+          "step '" + step->name() + "' lists its output '" + output +
+          "' among its own inputs (self-cycle)");
+    }
   }
   for (const Binding& binding : bindings_) {
     if (binding.output == output) {
@@ -69,40 +120,136 @@ Status Workflow::AddStep(std::shared_ptr<WorkflowStep> step,
   return Status::OK();
 }
 
-Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
-                                         ProvenanceStore* provenance) const {
-  WorkflowReport report;
-  std::vector<bool> done(bindings_.size(), false);
-  size_t completed = 0;
+namespace {
 
-  while (completed < bindings_.size()) {
-    bool progressed = false;
-    for (size_t i = 0; i < bindings_.size(); ++i) {
-      if (done[i]) continue;
-      const Binding& binding = bindings_[i];
-      bool ready = true;
-      for (const std::string& input : binding.inputs) {
-        if (!context->HasDataset(input)) {
-          ready = false;
-          break;
+constexpr size_t kNoRank = static_cast<size_t>(-1);
+
+/// Per-step outcome, filled in by whichever worker ran the step and read by
+/// the scheduler thread after the run settles (synchronized via the
+/// scheduler mutex).
+struct StepSlot {
+  Status status = Status::OK();
+  bool ran = false;
+  uint64_t bytes = 0;
+  uint64_t events = 0;
+  double wall_ms = 0.0;
+  ProvenanceRecord record;
+};
+
+}  // namespace
+
+Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
+                                         ProvenanceStore* provenance,
+                                         const ExecuteOptions& options) const {
+  WallTimer total_timer;
+  const size_t step_count = bindings_.size();
+
+  // Dependency graph over bindings: an input either comes from another
+  // step's output (an edge) or must pre-exist in the context (external).
+  std::map<std::string, size_t> producer_of;
+  for (size_t i = 0; i < step_count; ++i) {
+    producer_of[bindings_[i].output] = i;
+  }
+  std::vector<std::vector<size_t>> dependents(step_count);
+  std::vector<size_t> indegree(step_count, 0);
+  std::vector<std::vector<std::string>> missing_external(step_count);
+  for (size_t i = 0; i < step_count; ++i) {
+    for (const std::string& input : bindings_[i].inputs) {
+      auto it = producer_of.find(input);
+      if (it != producer_of.end()) {
+        dependents[it->second].push_back(i);
+        ++indegree[i];
+      } else if (!context->HasDataset(input)) {
+        missing_external[i].push_back(input);
+      }
+    }
+  }
+
+  // Stable topological rank via Kahn's algorithm, smallest binding index
+  // first. Steps left unranked can never run: they miss an external input,
+  // depend (transitively) on such a step, or sit in a cycle. Report and
+  // provenance are emitted in rank order, which makes captured chains
+  // independent of thread count and completion timing.
+  std::vector<size_t> rank(step_count, kNoRank);
+  std::vector<size_t> topo;
+  topo.reserve(step_count);
+  {
+    std::vector<size_t> pending = indegree;
+    std::set<size_t> ready;
+    for (size_t i = 0; i < step_count; ++i) {
+      if (pending[i] == 0 && missing_external[i].empty()) ready.insert(i);
+    }
+    while (!ready.empty()) {
+      size_t i = *ready.begin();
+      ready.erase(ready.begin());
+      rank[i] = topo.size();
+      topo.push_back(i);
+      for (size_t dependent : dependents[i]) {
+        if (--pending[dependent] == 0 &&
+            missing_external[dependent].empty()) {
+          ready.insert(dependent);
         }
       }
-      if (!ready) continue;
+    }
+  }
 
+  size_t threads =
+      options.max_threads > 0 ? options.max_threads
+                              : ThreadPool::DefaultThreadCount();
+  threads = std::min(threads, std::max<size_t>(1, topo.size()));
+
+  WorkflowReport report;
+  report.threads_used = threads;
+
+  // Indegree-tracked dispatch: every ready step is submitted to the pool;
+  // each completion decrements its dependents and submits those that hit
+  // zero. A failure stops further dispatch (in-flight steps drain).
+  std::vector<StepSlot> slots(step_count);
+  std::mutex mutex;
+  std::condition_variable settled_cv;
+  std::vector<size_t> remaining = indegree;
+  size_t scheduled = 0;
+  size_t settled = 0;
+  bool failed = false;
+  size_t first_failed_rank = kNoRank;
+  Status failure = Status::OK();
+
+  {
+    ThreadPool pool(threads);
+    std::function<void(size_t)> run_step = [&](size_t index) {
+      {
+        std::lock_guard lock(mutex);
+        if (failed) {
+          ++settled;
+          if (settled == scheduled) settled_cv.notify_all();
+          return;
+        }
+      }
+      const Binding& binding = bindings_[index];
+      StepSlot& slot = slots[index];
+      WallTimer timer;
+      Status status = Status::OK();
       std::vector<std::string_view> inputs;
       inputs.reserve(binding.inputs.size());
       for (const std::string& input : binding.inputs) {
-        DASPOS_ASSIGN_OR_RETURN(std::string_view blob,
-                                context->GetDataset(input));
-        inputs.push_back(blob);
+        auto blob = context->GetDataset(input);
+        if (!blob.ok()) {
+          status = blob.status();
+          break;
+        }
+        inputs.push_back(*blob);
       }
-      DASPOS_ASSIGN_OR_RETURN(std::string output,
-                              binding.step->Run(inputs, context));
-      uint64_t output_bytes = output.size();
-      DASPOS_RETURN_IF_ERROR(
-          context->PutDataset(binding.output, std::move(output)));
-
-      if (provenance != nullptr) {
+      if (status.ok()) {
+        auto output = binding.step->Run(inputs, context);
+        if (output.ok()) {
+          slot.bytes = output->size();
+          status = context->PutDataset(binding.output, std::move(*output));
+        } else {
+          status = output.status();
+        }
+      }
+      slot.events = binding.step->last_output_events();
+      if (status.ok() && provenance != nullptr) {
         ProvenanceRecord record;
         record.dataset = binding.output;
         record.producer = binding.step->name();
@@ -110,29 +257,81 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
         record.config = binding.step->Config();
         record.config_hash = Sha256::HashHex(record.config.Dump());
         record.parents = binding.inputs;
-        record.output_bytes = output_bytes;
-        record.output_events = binding.step->last_output_events();
-        DASPOS_RETURN_IF_ERROR(provenance->Add(std::move(record)));
+        record.output_bytes = slot.bytes;
+        record.output_events = slot.events;
+        slot.record = std::move(record);
       }
+      slot.wall_ms = timer.ElapsedMillis();
+      slot.ran = status.ok();
+      slot.status = std::move(status);
 
-      report.steps.push_back(
-          {binding.step->name(), binding.output, output_bytes});
-      done[i] = true;
-      ++completed;
-      progressed = true;
-    }
-    if (!progressed) {
-      std::string blocked;
-      for (size_t i = 0; i < bindings_.size(); ++i) {
-        if (!done[i]) {
-          if (!blocked.empty()) blocked += ", ";
-          blocked += bindings_[i].step->name();
+      std::lock_guard lock(mutex);
+      ++settled;
+      if (!slot.status.ok()) {
+        if (!failed || rank[index] < first_failed_rank) {
+          first_failed_rank = rank[index];
+          failure = slot.status;
+        }
+        failed = true;
+      } else if (!failed) {
+        for (size_t dependent : dependents[index]) {
+          if (rank[dependent] == kNoRank) continue;  // permanently blocked
+          if (--remaining[dependent] == 0) {
+            ++scheduled;
+            pool.Submit([&run_step, dependent] { run_step(dependent); });
+          }
         }
       }
-      return Status::FailedPrecondition(
-          "workflow cannot progress; blocked steps: " + blocked);
+      if (settled == scheduled) settled_cv.notify_all();
+    };
+
+    {
+      std::lock_guard lock(mutex);
+      for (size_t i : topo) {
+        if (remaining[i] == 0) {
+          ++scheduled;
+          pool.Submit([&run_step, i] { run_step(i); });
+        }
+      }
     }
+    std::unique_lock lock(mutex);
+    settled_cv.wait(lock, [&] { return settled == scheduled; });
+  }  // pool drains before slots are read below
+
+  // Deterministic assembly: rank order, never completion order. Steps that
+  // completed before a failure keep their provenance, as in serial runs.
+  for (size_t i : topo) {
+    StepSlot& slot = slots[i];
+    if (!slot.ran) continue;
+    if (provenance != nullptr) {
+      DASPOS_RETURN_IF_ERROR(provenance->Add(std::move(slot.record)));
+    }
+    report.steps.push_back({bindings_[i].step->name(), bindings_[i].output,
+                            slot.bytes, slot.events, slot.wall_ms});
   }
+
+  if (failed) return failure;
+
+  if (topo.size() < step_count) {
+    std::string blocked;
+    for (size_t i = 0; i < step_count; ++i) {
+      if (rank[i] != kNoRank) continue;
+      if (!blocked.empty()) blocked += "; ";
+      std::vector<std::string> waiting = missing_external[i];
+      for (const std::string& input : bindings_[i].inputs) {
+        auto it = producer_of.find(input);
+        if (it != producer_of.end() && rank[it->second] == kNoRank) {
+          waiting.push_back(input);
+        }
+      }
+      blocked += bindings_[i].step->name() +
+                 " (missing inputs: " + Join(waiting, ", ") + ")";
+    }
+    return Status::FailedPrecondition(
+        "workflow cannot progress; blocked steps: " + blocked);
+  }
+
+  report.wall_ms = total_timer.ElapsedMillis();
   return report;
 }
 

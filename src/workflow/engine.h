@@ -2,16 +2,24 @@
 // datasets, with optional provenance capture. Models the "nested levels of
 // processing required to go from the raw data ... to the final physics
 // analysis" (§5) in a form a preservation system can record and re-execute.
+//
+// Execution is a parallel DAG schedule: every step whose inputs are
+// available runs concurrently on a worker pool, while provenance records and
+// the report stay in a deterministic topological order (independent of
+// thread count and completion timing), so captured chains are byte-identical
+// whether re-executed serially or wide.
 #ifndef DASPOS_WORKFLOW_ENGINE_H_
 #define DASPOS_WORKFLOW_ENGINE_H_
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "conditions/provider.h"
 #include "serialize/json.h"
+#include "support/metrics.h"
 #include "support/result.h"
 #include "workflow/provenance.h"
 
@@ -19,6 +27,10 @@ namespace daspos {
 
 /// Execution-time environment: dataset storage plus external services
 /// (the conditions database — the paper's canonical external dependency).
+///
+/// Thread-safe: steps running concurrently may Put and Get datasets. Views
+/// returned by GetDataset stay valid and immutable for the context's
+/// lifetime (datasets are write-once; map nodes are reference-stable).
 class WorkflowContext {
  public:
   /// Stores a dataset blob under a unique logical name.
@@ -35,12 +47,15 @@ class WorkflowContext {
   const ConditionsProvider* conditions() const { return conditions_; }
 
  private:
+  mutable std::shared_mutex mutex_;
   std::map<std::string, std::string> datasets_;
   const ConditionsProvider* conditions_ = nullptr;
 };
 
 /// One processing step. Implementations are in steps.h; anything honoring
-/// this interface can join a workflow.
+/// this interface can join a workflow. Run must be safe to call while other
+/// steps run on different threads (it may only touch its own state and the
+/// thread-safe context).
 class WorkflowStep {
  public:
   virtual ~WorkflowStep() = default;
@@ -57,30 +72,58 @@ class WorkflowStep {
   virtual uint64_t last_output_events() const { return 0; }
 };
 
-/// Report of one executed workflow.
+/// Report of one executed workflow. Steps are ordered by their stable
+/// topological rank (dependency depth, then registration order) — never by
+/// completion time — so two executions of the same graph produce the same
+/// step sequence regardless of parallelism.
 struct WorkflowReport {
   struct StepResult {
     std::string step;
     std::string output;
     uint64_t output_bytes = 0;
+    uint64_t output_events = 0;
+    /// Wall-clock time of the step (input gather + Run + dataset store).
+    double wall_ms = 0.0;
   };
   std::vector<StepResult> steps;
+  /// Wall-clock time of the whole Execute, and the worker count used.
+  double wall_ms = 0.0;
+  size_t threads_used = 0;
+
+  /// The report as JSON (for `daspos chain --json` and archival next to the
+  /// provenance chain).
+  Json ToJson() const;
+
+  /// Per-step timing table (support/metrics renderer).
+  std::string RenderTimingTable(const std::string& title = "") const;
+};
+
+/// Knobs for Workflow::Execute.
+struct ExecuteOptions {
+  /// Worker threads for ready-step dispatch. 0 means one per hardware
+  /// thread; 1 reproduces strictly serial execution.
+  size_t max_threads = 0;
 };
 
 /// A directed acyclic processing graph. Steps are bound to named inputs and
 /// one named output; execution order is resolved by data availability.
 class Workflow {
  public:
-  /// Binds a step. The output name must be unique across the workflow.
+  /// Binds a step. The output name must be unique across the workflow and
+  /// must not appear among the step's own inputs (self-cycle).
   Status AddStep(std::shared_ptr<WorkflowStep> step,
                  std::vector<std::string> inputs, std::string output);
 
-  /// Runs every step whose inputs are (or become) available. Fails if some
-  /// step can never run (missing input / cycle) or any step fails.
-  /// When `provenance` is non-null, a record per produced dataset is added
-  /// — the capture the E5 bench prices.
+  /// Runs every step whose inputs are (or become) available; independent
+  /// steps run concurrently on up to `options.max_threads` workers. Fails if
+  /// some step can never run (missing input / cycle — the diagnostic names
+  /// each blocked step and the inputs it is missing) or any step fails; on a
+  /// step failure no further steps are dispatched. When `provenance` is
+  /// non-null, a record per produced dataset is added — the capture the E5
+  /// bench prices — in the same deterministic order as the report.
   Result<WorkflowReport> Execute(WorkflowContext* context,
-                                 ProvenanceStore* provenance = nullptr) const;
+                                 ProvenanceStore* provenance = nullptr,
+                                 const ExecuteOptions& options = {}) const;
 
   size_t step_count() const { return bindings_.size(); }
 

@@ -28,6 +28,11 @@ LHADA
 "$DASPOS" lhada-run "$WORK/dimuon.lhada" "$WORK/z_aod.dspc" | grep -q "dimuon"
 
 
+# Parallel workflow engine: the standard chain prints a per-step timing
+# table, and the JSON report carries per-step metrics.
+"$DASPOS" chain z_ll 10 7 2 | grep -q "reconstruction"
+"$DASPOS" chain z_ll 10 7 2 --json | grep -q '"wall_ms"'
+
 "$DASPOS" export "$WORK/z_reco.dspc" Atlas "$WORK/z_atlas.xml"
 grep -q "JiveEvent" "$WORK/z_atlas.xml"
 "$DASPOS" convert "$WORK/z_atlas.xml" Atlas CMS "$WORK/z_cms.ig"

@@ -3,7 +3,9 @@
 // standard chain, and reproduction via captured configuration.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "conditions/store.h"
 #include "event/pdg.h"
@@ -104,11 +106,13 @@ TEST(ProvenanceStoreTest, ParseErrors) {
 
 // ------------------------------------------------------------------ Engine
 
-/// Minimal test step: concatenates inputs and appends its tag.
+/// Minimal test step: concatenates inputs and appends its tag. An optional
+/// sleep perturbs completion order under parallel execution, so the
+/// determinism tests exercise real out-of-order completion.
 class TagStep : public WorkflowStep {
  public:
-  explicit TagStep(std::string tag, bool fail = false)
-      : tag_(std::move(tag)), fail_(fail) {}
+  explicit TagStep(std::string tag, bool fail = false, int sleep_ms = 0)
+      : tag_(std::move(tag)), fail_(fail), sleep_ms_(sleep_ms) {}
   std::string name() const override { return "tag_" + tag_; }
   std::string version() const override { return "1"; }
   Json Config() const override {
@@ -118,6 +122,9 @@ class TagStep : public WorkflowStep {
   }
   Result<std::string> Run(const std::vector<std::string_view>& inputs,
                           WorkflowContext*) const override {
+    if (sleep_ms_ > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms_));
+    }
     if (fail_) return Status::IOError("step failed deliberately");
     std::string out;
     for (std::string_view input : inputs) out += std::string(input) + "|";
@@ -127,6 +134,7 @@ class TagStep : public WorkflowStep {
  private:
   std::string tag_;
   bool fail_;
+  int sleep_ms_;
 };
 
 TEST(WorkflowTest, ExecutesInDataOrder) {
@@ -187,6 +195,197 @@ TEST(WorkflowTest, ProvenanceCapturedPerStep) {
   EXPECT_EQ(record->parents, std::vector<std::string>{"a"});
   EXPECT_EQ(record->config_hash.size(), 64u);
   EXPECT_TRUE(provenance.MissingParents().empty());
+}
+
+TEST(WorkflowTest, SelfCycleRejectedAtAddStep) {
+  Workflow workflow;
+  auto status =
+      workflow.AddStep(std::make_shared<TagStep>("a"), {"x", "a"}, "a");
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("self-cycle"), std::string::npos);
+  EXPECT_NE(status.message().find("tag_a"), std::string::npos);
+  EXPECT_EQ(workflow.step_count(), 0u);
+}
+
+TEST(WorkflowTest, BlockedDiagnosticNamesMissingInputs) {
+  Workflow workflow;
+  ASSERT_TRUE(workflow
+                  .AddStep(std::make_shared<TagStep>("a"), {"ghost", "wraith"},
+                           "a")
+                  .ok());
+  // b waits on a, so it is blocked transitively: its missing input is "a".
+  ASSERT_TRUE(
+      workflow.AddStep(std::make_shared<TagStep>("b"), {"a"}, "b").ok());
+  WorkflowContext context;
+  auto report = workflow.Execute(&context);
+  ASSERT_TRUE(report.status().IsFailedPrecondition());
+  const std::string& message = report.status().message();
+  EXPECT_NE(message.find("tag_a"), std::string::npos);
+  EXPECT_NE(message.find("ghost"), std::string::npos);
+  EXPECT_NE(message.find("wraith"), std::string::npos);
+  EXPECT_NE(message.find("tag_b"), std::string::npos);
+  EXPECT_NE(message.find("missing inputs"), std::string::npos);
+}
+
+// ------------------------------------------------------- parallel engine
+
+Workflow FanoutWorkflow(int width) {
+  Workflow workflow;
+  EXPECT_TRUE(workflow
+                  .AddStep(std::make_shared<TagStep>("src"), {}, "src")
+                  .ok());
+  std::vector<std::string> shards;
+  for (int i = 0; i < width; ++i) {
+    std::string output = "w" + std::to_string(i);
+    // Staggered sleeps: later-registered shards finish first under
+    // parallel execution, the worst case for ordering determinism.
+    EXPECT_TRUE(workflow
+                    .AddStep(std::make_shared<TagStep>(
+                                 output, /*fail=*/false,
+                                 /*sleep_ms=*/(width - i) % 4),
+                             {"src"}, output)
+                    .ok());
+    shards.push_back(output);
+  }
+  EXPECT_TRUE(workflow
+                  .AddStep(std::make_shared<TagStep>("join"), shards, "join")
+                  .ok());
+  return workflow;
+}
+
+TEST(WorkflowTest, ParallelFanoutMatchesSerialOrdering) {
+  Workflow workflow = FanoutWorkflow(16);
+
+  WorkflowContext serial_context;
+  ProvenanceStore serial_provenance;
+  ExecuteOptions serial_options;
+  serial_options.max_threads = 1;
+  auto serial = workflow.Execute(&serial_context, &serial_provenance,
+                                 serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  EXPECT_EQ(serial->threads_used, 1u);
+
+  WorkflowContext parallel_context;
+  ProvenanceStore parallel_provenance;
+  ExecuteOptions parallel_options;
+  parallel_options.max_threads = 4;
+  auto parallel = workflow.Execute(&parallel_context, &parallel_provenance,
+                                   parallel_options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(parallel->threads_used, 4u);
+
+  // The report sequence and the serialized provenance chain are
+  // byte-identical regardless of thread count.
+  ASSERT_EQ(serial->steps.size(), parallel->steps.size());
+  for (size_t i = 0; i < serial->steps.size(); ++i) {
+    EXPECT_EQ(serial->steps[i].step, parallel->steps[i].step);
+    EXPECT_EQ(serial->steps[i].output, parallel->steps[i].output);
+    EXPECT_EQ(serial->steps[i].output_bytes, parallel->steps[i].output_bytes);
+  }
+  EXPECT_EQ(serial_provenance.Serialize(), parallel_provenance.Serialize());
+  EXPECT_EQ(*serial_context.GetDataset("join"),
+            *parallel_context.GetDataset("join"));
+}
+
+TEST(WorkflowTest, MidGraphFailureStopsDispatch) {
+  Workflow workflow;
+  ASSERT_TRUE(workflow.AddStep(std::make_shared<TagStep>("a"), {}, "a").ok());
+  ASSERT_TRUE(workflow
+                  .AddStep(std::make_shared<TagStep>("b", /*fail=*/true),
+                           {"a"}, "b")
+                  .ok());
+  ASSERT_TRUE(
+      workflow.AddStep(std::make_shared<TagStep>("c"), {"b"}, "c").ok());
+  WorkflowContext context;
+  ExecuteOptions options;
+  options.max_threads = 4;
+  auto report = workflow.Execute(&context, nullptr, options);
+  EXPECT_TRUE(report.status().IsIOError());
+  EXPECT_TRUE(context.HasDataset("a"));
+  EXPECT_FALSE(context.HasDataset("b"));
+  // Dispatch stopped at the failure: the dependent step never ran.
+  EXPECT_FALSE(context.HasDataset("c"));
+}
+
+/// Exercises the thread-safe context from inside running steps: every step
+/// reads a shared dataset and publishes an extra side dataset while its
+/// siblings do the same concurrently.
+class SideEffectStep : public WorkflowStep {
+ public:
+  explicit SideEffectStep(std::string tag) : tag_(std::move(tag)) {}
+  std::string name() const override { return "side_" + tag_; }
+  std::string version() const override { return "1"; }
+  Json Config() const override {
+    Json json = Json::Object();
+    json["tag"] = tag_;
+    return json;
+  }
+  Result<std::string> Run(const std::vector<std::string_view>&,
+                          WorkflowContext* context) const override {
+    auto shared = context->GetDataset("shared");
+    if (!shared.ok()) return shared.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    auto put = context->PutDataset("extra_" + tag_, std::string(*shared));
+    if (!put.ok()) return put;
+    (void)context->TotalBytes();  // concurrent read-side traversal
+    return std::string(*shared) + ":" + tag_;
+  }
+
+ private:
+  std::string tag_;
+};
+
+TEST(WorkflowTest, ConcurrentContextAccessFromSteps) {
+  Workflow workflow;
+  constexpr int kSteps = 8;
+  for (int i = 0; i < kSteps; ++i) {
+    std::string tag = std::to_string(i);
+    ASSERT_TRUE(workflow
+                    .AddStep(std::make_shared<SideEffectStep>(tag), {},
+                             "out_" + tag)
+                    .ok());
+  }
+  WorkflowContext context;
+  ASSERT_TRUE(context.PutDataset("shared", "payload").ok());
+  ExecuteOptions options;
+  options.max_threads = 4;
+  auto report = workflow.Execute(&context, nullptr, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  for (int i = 0; i < kSteps; ++i) {
+    std::string tag = std::to_string(i);
+    EXPECT_EQ(*context.GetDataset("out_" + tag), "payload:" + tag);
+    EXPECT_EQ(*context.GetDataset("extra_" + tag), "payload");
+  }
+  EXPECT_EQ(context.DatasetNames().size(), 1u + 2u * kSteps);
+}
+
+TEST(WorkflowTest, ReportCarriesMetricsAndJson) {
+  Workflow workflow;
+  ASSERT_TRUE(workflow
+                  .AddStep(std::make_shared<TagStep>("a", /*fail=*/false,
+                                                     /*sleep_ms=*/2),
+                           {}, "a")
+                  .ok());
+  ASSERT_TRUE(
+      workflow.AddStep(std::make_shared<TagStep>("b"), {"a"}, "b").ok());
+  WorkflowContext context;
+  auto report = workflow.Execute(&context);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->steps.size(), 2u);
+  EXPECT_GE(report->steps[0].wall_ms, 1.0);  // slept ~2ms
+  EXPECT_GT(report->steps[0].output_bytes, 0u);
+  EXPECT_GE(report->wall_ms, report->steps[0].wall_ms);
+  EXPECT_GE(report->threads_used, 1u);
+
+  Json json = report->ToJson();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_EQ(json.Get("steps").size(), 2u);
+  EXPECT_EQ(json.Get("steps").at(0).Get("step").as_string(), "tag_a");
+  EXPECT_GE(json.Get("steps").at(0).Get("wall_ms").as_number(), 1.0);
+
+  std::string table = report->RenderTimingTable("timing:");
+  EXPECT_NE(table.find("tag_a"), std::string::npos);
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
 }
 
 TEST(WorkflowContextTest, DatasetStorage) {

@@ -1,0 +1,28 @@
+#!/bin/bash
+# Tier-1 gate plus a ThreadSanitizer pass over the parallel workflow engine.
+#
+#   tools/check.sh            # build + full ctest + TSan workflow_test
+#   tools/check.sh --no-tsan  # tier-1 only
+#
+# Run from the repository root. Build trees: build/ (tier-1) and
+# build-tsan/ (DASPOS_SANITIZE=thread, workflow_test only).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+RUN_TSAN=1
+[ "${1:-}" = "--no-tsan" ] && RUN_TSAN=0
+
+echo "==> tier-1: configure + build + ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+if [ "$RUN_TSAN" = 1 ]; then
+  echo "==> TSan: DASPOS_SANITIZE=thread build of workflow_test"
+  cmake -B build-tsan -S . -DDASPOS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan --target workflow_test -j"$JOBS"
+  ./build-tsan/tests/workflow_test
+fi
+
+echo "check.sh: all green"

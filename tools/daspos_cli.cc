@@ -16,6 +16,7 @@
 #include "archive/archive.h"
 #include "archive/object_store.h"
 #include "conditions/snapshot.h"
+#include "conditions/store.h"
 #include "detsim/simulation.h"
 #include "reco/reconstruction.h"
 #include "hist/yoda_io.h"
@@ -27,6 +28,8 @@
 #include "support/io.h"
 #include "support/strings.h"
 #include "tiers/dataset.h"
+#include "tiers/skimslim.h"
+#include "workflow/steps.h"
 
 using namespace daspos;
 
@@ -51,6 +54,8 @@ int Usage() {
                "  daspos display <reco-or-aod-file> <event-index>\n"
                "  daspos convert <in-file> <from-exp> <to-exp> <out-file>\n"
                "  daspos export <reco-file> <experiment> <out-file>\n"
+               "  daspos chain <process> <n-events> <seed> [threads] "
+               "[--json]\n"
                "processes: minbias z_ll w_lnu h_gammagamma qcd_dijet "
                "d_meson zprime_ll\n");
   return 1;
@@ -349,6 +354,81 @@ int CmdExport(const std::string& in, const std::string& experiment_name,
   return 0;
 }
 
+// Runs the standard GEN->RAW->RECO->AOD->derived chain in memory on the
+// parallel workflow engine and prints the per-step timing table (or, with
+// --json, the full execution report as JSON).
+int CmdChain(const std::string& process_name, const std::string& count,
+             const std::string& seed, const std::string& threads_text,
+             bool as_json) {
+  Process process = Process::kMinimumBias;
+  bool known = false;
+  for (const ProcessInfo& info : AllProcesses()) {
+    if (info.name == process_name) {
+      process = info.id;
+      known = true;
+    }
+  }
+  if (!known) return Fail("unknown process '" + process_name + "'");
+  auto n = ParseU64(count);
+  if (!n.ok()) return Fail("bad event count '" + count + "'");
+  auto seed_value = ParseU64(seed);
+  if (!seed_value.ok()) return Fail("bad seed '" + seed + "'");
+  auto threads = ParseU64(threads_text);
+  if (!threads.ok()) return Fail("bad thread count '" + threads_text + "'");
+
+  GeneratorConfig gen_config;
+  gen_config.process = process;
+  gen_config.seed = *seed_value;
+  SimulationConfig sim_config;
+  sim_config.seed = *seed_value + 1;
+
+  Workflow workflow;
+  (void)workflow.AddStep(std::make_shared<GenerationStep>(
+                             gen_config, static_cast<size_t>(*n), "gen"),
+                         {}, "gen");
+  (void)workflow.AddStep(std::make_shared<SimulationStep>(sim_config, 1,
+                                                          "raw"),
+                         {"gen"}, "raw");
+  (void)workflow.AddStep(
+      std::make_shared<ReconstructionStep>(sim_config.geometry, "reco"),
+      {"raw"}, "reco");
+  (void)workflow.AddStep(std::make_shared<AodReductionStep>("aod"), {"reco"},
+                         "aod");
+  (void)workflow.AddStep(
+      std::make_shared<DerivationStep>(
+          SkimSpec::RequireObjects(ObjectType::kMuon, 2, 10.0),
+          SlimSpec::LeptonsOnly(10.0), "derived"),
+      {"aod"}, "derived");
+
+  ConditionsDb conditions;
+  CalibrationSet calib;
+  if (auto status = conditions.Append(kCalibrationTag, 1, calib.ToPayload());
+      !status.ok()) {
+    return Fail(status.ToString());
+  }
+  WorkflowContext context;
+  context.set_conditions(&conditions);
+  ProvenanceStore provenance;
+  ExecuteOptions options;
+  options.max_threads = static_cast<size_t>(*threads);
+  auto report = workflow.Execute(&context, &provenance, options);
+  if (!report.ok()) return Fail(report.status().ToString());
+
+  if (as_json) {
+    std::printf("%s\n", report->ToJson().Dump(2).c_str());
+    return 0;
+  }
+  std::printf("%s\n",
+              report->RenderTimingTable("standard chain execution:").c_str());
+  std::printf("total: %s across %zu datasets in %s ms on %zu thread(s); "
+              "%zu provenance record(s) captured\n",
+              FormatBytes(context.TotalBytes()).c_str(),
+              context.DatasetNames().size(),
+              FormatDouble(report->wall_ms, 3).c_str(),
+              report->threads_used, provenance.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -374,6 +454,18 @@ int main(int argc, char** argv) {
   }
   if (command == "export" && argc == 5) {
     return CmdExport(argv[2], argv[3], argv[4]);
+  }
+  if (command == "chain" && argc >= 5 && argc <= 7) {
+    bool as_json = false;
+    std::string threads = "0";
+    for (int i = 5; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        as_json = true;
+      } else {
+        threads = argv[i];
+      }
+    }
+    return CmdChain(argv[2], argv[3], argv[4], threads, as_json);
   }
   return Usage();
 }
