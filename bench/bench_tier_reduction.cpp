@@ -140,12 +140,12 @@ void PrintReductionTable(double pileup) {
     uint64_t size = chain->context.GetDataset(row.dataset)->size();
     std::string factor = "-";
     if (previous > 0) {
-      factor = FormatDouble(static_cast<double>(previous) / size, 3) + "x";
+      factor = FormatDouble(static_cast<double>(previous) / static_cast<double>(size), 3) + "x";
     }
     std::string cumulative =
         std::string(row.dataset) == "gen"
             ? "-"
-            : FormatDouble(static_cast<double>(raw_size) / size, 3) + "x";
+            : FormatDouble(static_cast<double>(raw_size) / static_cast<double>(size), 3) + "x";
     table.AddRow({row.tier, FormatBytes(size),
                   FormatBytes(size / kEvents), factor, cumulative});
     previous = size;

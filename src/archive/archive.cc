@@ -2,6 +2,10 @@
 
 namespace daspos {
 
+bool IsAipManifest(const Json& json) {
+  return json.is_object() && json.Has("aip_version") && json.Has("files");
+}
+
 Result<std::string> Archive::Deposit(const SubmissionPackage& submission) {
   if (submission.title.empty()) {
     return Status::InvalidArgument("deposit requires a title");
@@ -50,13 +54,10 @@ Result<size_t> Archive::RecoverCatalog() {
   size_t found = 0;
   for (const std::string& id : store_->Ids()) {
     DASPOS_ASSIGN_OR_RETURN(std::string bytes, store_->Get(id));
-    // AIP manifests are JSON objects with aip_version + files; anything
-    // else in the store is package payload.
+    // AIP manifests are recognized by shape; anything else in the store is
+    // package payload.
     auto json = Json::Parse(bytes);
-    if (!json.ok() || !json->is_object() || !json->Has("aip_version") ||
-        !json->Has("files")) {
-      continue;
-    }
+    if (!json.ok() || !IsAipManifest(*json)) continue;
     ++found;
     if (sequences_.count(id) == 0) {
       sequences_[id] = next_sequence_++;

@@ -55,6 +55,11 @@ struct HoldingSummary {
   std::string migrated_from;
 };
 
+/// True if `json` has the shape of an AIP manifest (a JSON object carrying
+/// aip_version and a file list). Shared by catalog recovery and the
+/// preservation linter, which both scan raw object stores.
+bool IsAipManifest(const Json& json);
+
 /// Result of a fixity audit over all holdings.
 struct FixityReport {
   uint64_t objects_checked = 0;

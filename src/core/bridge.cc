@@ -111,8 +111,8 @@ Result<recast::RecastResult> RivetBridgeBackEnd::Process(
     const BridgedRegion& region = search.regions[r];
     recast::RegionResult region_result;
     region_result.region = region.name;
-    region_result.efficiency =
-        static_cast<double>(passed[r]) / request.event_count;
+    region_result.efficiency = static_cast<double>(passed[r]) /
+                               static_cast<double>(request.event_count);
     region_result.signal_per_mu = region_result.efficiency *
                                   request.model_cross_section_pb *
                                   search.luminosity_pb;

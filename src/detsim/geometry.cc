@@ -31,57 +31,59 @@ double CellToPhi(int cell, int cells) {
   return phi > kPi ? phi - kTwoPi : phi;  // back to (-pi, pi]
 }
 
+// Cell indices and cell counts are non-negative by construction.
+uint32_t U(int value) { return static_cast<uint32_t>(value); }
+
 }  // namespace
 
 uint32_t DetectorGeometry::TrackerChannel(int layer, int eta_cell,
                                           int phi_cell) const {
-  return (static_cast<uint32_t>(layer) * tracker_eta_cells + eta_cell) *
-             tracker_phi_cells +
-         phi_cell;
+  return (U(layer) * U(tracker_eta_cells) + U(eta_cell)) *
+             U(tracker_phi_cells) +
+         U(phi_cell);
 }
 
 void DetectorGeometry::DecodeTrackerChannel(uint32_t channel, int* layer,
                                             int* eta_cell,
                                             int* phi_cell) const {
-  *phi_cell = static_cast<int>(channel % tracker_phi_cells);
-  uint32_t rest = channel / tracker_phi_cells;
-  *eta_cell = static_cast<int>(rest % tracker_eta_cells);
-  *layer = static_cast<int>(rest / tracker_eta_cells);
+  *phi_cell = static_cast<int>(channel % U(tracker_phi_cells));
+  uint32_t rest = channel / U(tracker_phi_cells);
+  *eta_cell = static_cast<int>(rest % U(tracker_eta_cells));
+  *layer = static_cast<int>(rest / U(tracker_eta_cells));
 }
 
 uint32_t DetectorGeometry::EcalChannel(int eta_cell, int phi_cell) const {
-  return static_cast<uint32_t>(eta_cell) * ecal_phi_cells + phi_cell;
+  return U(eta_cell) * U(ecal_phi_cells) + U(phi_cell);
 }
 
 void DetectorGeometry::DecodeEcalChannel(uint32_t channel, int* eta_cell,
                                          int* phi_cell) const {
-  *phi_cell = static_cast<int>(channel % ecal_phi_cells);
-  *eta_cell = static_cast<int>(channel / ecal_phi_cells);
+  *phi_cell = static_cast<int>(channel % U(ecal_phi_cells));
+  *eta_cell = static_cast<int>(channel / U(ecal_phi_cells));
 }
 
 uint32_t DetectorGeometry::HcalChannel(int eta_cell, int phi_cell) const {
-  return static_cast<uint32_t>(eta_cell) * hcal_phi_cells + phi_cell;
+  return U(eta_cell) * U(hcal_phi_cells) + U(phi_cell);
 }
 
 void DetectorGeometry::DecodeHcalChannel(uint32_t channel, int* eta_cell,
                                          int* phi_cell) const {
-  *phi_cell = static_cast<int>(channel % hcal_phi_cells);
-  *eta_cell = static_cast<int>(channel / hcal_phi_cells);
+  *phi_cell = static_cast<int>(channel % U(hcal_phi_cells));
+  *eta_cell = static_cast<int>(channel / U(hcal_phi_cells));
 }
 
 uint32_t DetectorGeometry::MuonChannel(int layer, int eta_cell,
                                        int phi_cell) const {
-  return (static_cast<uint32_t>(layer) * muon_eta_cells + eta_cell) *
-             muon_phi_cells +
-         phi_cell;
+  return (U(layer) * U(muon_eta_cells) + U(eta_cell)) * U(muon_phi_cells) +
+         U(phi_cell);
 }
 
 void DetectorGeometry::DecodeMuonChannel(uint32_t channel, int* layer,
                                          int* eta_cell, int* phi_cell) const {
-  *phi_cell = static_cast<int>(channel % muon_phi_cells);
-  uint32_t rest = channel / muon_phi_cells;
-  *eta_cell = static_cast<int>(rest % muon_eta_cells);
-  *layer = static_cast<int>(rest / muon_eta_cells);
+  *phi_cell = static_cast<int>(channel % U(muon_phi_cells));
+  uint32_t rest = channel / U(muon_phi_cells);
+  *eta_cell = static_cast<int>(rest % U(muon_eta_cells));
+  *layer = static_cast<int>(rest / U(muon_eta_cells));
 }
 
 int DetectorGeometry::TrackerEtaCell(double eta) const {

@@ -194,8 +194,8 @@ void DetectorSimulation::SimulateMuonSystem(const GenEvent& truth, Rng* rng,
 void DetectorSimulation::AddNoise(Rng* rng, RawEvent* raw) const {
   const DetectorGeometry& geo = config_.geometry;
   uint64_t cells = rng->Poisson(config_.noise_cells_mean);
-  uint32_t total_cells =
-      static_cast<uint32_t>(geo.ecal_eta_cells) * geo.ecal_phi_cells;
+  uint32_t total_cells = static_cast<uint32_t>(geo.ecal_eta_cells) *
+                         static_cast<uint32_t>(geo.ecal_phi_cells);
   for (uint64_t i = 0; i < cells; ++i) {
     double counts = config_.calib.ecal_zs_threshold +
                     rng->Exponential(config_.calib.ecal_noise_adc);

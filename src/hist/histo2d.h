@@ -20,8 +20,8 @@ class Histo2D {
       : path_(std::move(path)),
         xaxis_(nx, xlo, xhi),
         yaxis_(ny, ylo, yhi),
-        sumw_(static_cast<size_t>(nx) * ny, 0.0),
-        sumw2_(static_cast<size_t>(nx) * ny, 0.0) {}
+        sumw_(static_cast<size_t>(nx) * static_cast<size_t>(ny), 0.0),
+        sumw2_(static_cast<size_t>(nx) * static_cast<size_t>(ny), 0.0) {}
 
   const std::string& path() const { return path_; }
   const Axis& xaxis() const { return xaxis_; }
@@ -61,7 +61,8 @@ class Histo2D {
 
  private:
   size_t IndexOf(int ix, int iy) const {
-    return static_cast<size_t>(iy) * xaxis_.nbins() + ix;
+    return static_cast<size_t>(iy) * static_cast<size_t>(xaxis_.nbins()) +
+           static_cast<size_t>(ix);
   }
 
   std::string path_;

@@ -227,6 +227,14 @@ std::string QuantityToString(const Quantity& quantity) {
 
 Result<AnalysisDescription> AnalysisDescription::Parse(
     const std::string& text) {
+  DASPOS_ASSIGN_OR_RETURN(AnalysisDescription description,
+                          ParseStructure(text));
+  DASPOS_RETURN_IF_ERROR(description.Validate());
+  return description;
+}
+
+Result<AnalysisDescription> AnalysisDescription::ParseStructure(
+    const std::string& text) {
   AnalysisDescription description;
   ObjectDef* current_object = nullptr;
   CutDef* current_cut = nullptr;
@@ -371,7 +379,6 @@ Result<AnalysisDescription> AnalysisDescription::Parse(
       return fail("unknown keyword '" + keyword + "'");
     }
   }
-  DASPOS_RETURN_IF_ERROR(description.Validate());
   return description;
 }
 
@@ -619,8 +626,9 @@ std::string Cutflow::Render() const {
   table.SetTitle("Cutflow (" + std::to_string(events) + " events):");
   table.SetHeader({"cut", "passed", "efficiency"});
   for (size_t c = 0; c < cut_names.size(); ++c) {
-    double efficiency =
-        events > 0 ? static_cast<double>(passed_counts[c]) / events : 0.0;
+    double efficiency = events > 0 ? static_cast<double>(passed_counts[c]) /
+                                         static_cast<double>(events)
+                                   : 0.0;
     table.AddRow({cut_names[c], std::to_string(passed_counts[c]),
                   FormatDouble(efficiency, 4)});
   }

@@ -128,6 +128,13 @@ class AnalysisDescription {
   /// Parses and validates a description document.
   static Result<AnalysisDescription> Parse(const std::string& text);
 
+  /// Parses syntax only, skipping semantic validation: duplicate names,
+  /// dangling references, and forward 'require's survive into the returned
+  /// structure. This is the preservation linter's entry point — it needs
+  /// the defective structure to itemize findings, where Parse stops at the
+  /// first problem.
+  static Result<AnalysisDescription> ParseStructure(const std::string& text);
+
   const std::string& name() const { return name_; }
   const std::vector<ObjectDef>& objects() const { return objects_; }
   const std::vector<CutDef>& cuts() const { return cuts_; }

@@ -1,0 +1,109 @@
+// Diagnostics framework for the preservation linter: static findings over
+// preserved artifacts (workflow graphs, LHADA descriptions, archive
+// manifests, conditions stores), reported *before* anything is executed.
+// DPHEP's validation framework (arXiv:1310.7814) and the HSF preservation
+// white paper (arXiv:1810.01191) both call for exactly this: automated
+// checks that catch silent rot — dangling references, provenance gaps,
+// ambiguous conditions — while the analysis is still recoverable.
+//
+// Every finding carries a stable check code (W=workflow, L=LHADA,
+// A=archive, C=conditions, G=general), a severity, the artifact and subject
+// it concerns, a message, and an optional fix hint. Renderers produce the
+// human text form and a machine JSON form (for CI).
+#ifndef DASPOS_LINT_DIAGNOSTICS_H_
+#define DASPOS_LINT_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serialize/json.h"
+
+namespace daspos {
+namespace lint {
+
+/// How bad a finding is. kError findings mean the artifact cannot be
+/// trusted to re-execute; kWarning findings mean it will likely mislead a
+/// future analyst; kInfo findings are observations.
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+std::string_view SeverityName(Severity severity);
+
+/// Parses "info" / "warning" / "error" (as used by --fail-on).
+bool ParseSeverity(std::string_view text, Severity* out);
+
+/// One static finding.
+struct Diagnostic {
+  /// Stable check code, e.g. "W001". Codes are never reused or renumbered;
+  /// retired checks leave a hole.
+  std::string code;
+  Severity severity = Severity::kWarning;
+  /// The artifact the finding is about (file path, or a logical name like
+  /// "workflow" for in-memory graphs).
+  std::string artifact;
+  /// The offending entity inside the artifact (step name, tag, object id).
+  std::string subject;
+  std::string message;
+  /// Optional suggestion for fixing the finding.
+  std::string hint;
+
+  /// "<artifact>: <severity> <code>: <subject>: <message>".
+  std::string Render() const;
+  Json ToJson() const;
+};
+
+/// An ordered collection of findings plus the counting/rendering helpers
+/// the CLI and the Execute gate need.
+class LintReport {
+ public:
+  void Add(Diagnostic diagnostic) {
+    diagnostics_.push_back(std::move(diagnostic));
+  }
+  /// Convenience: looks the code up in the registry for its default
+  /// severity and summary-derived fields.
+  void Add(std::string_view code, std::string artifact, std::string subject,
+           std::string message, std::string hint = "");
+
+  /// Appends every finding of `other`.
+  void Merge(LintReport other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  size_t size() const { return diagnostics_.size(); }
+
+  size_t CountAtLeast(Severity severity) const;
+  bool HasErrors() const { return CountAtLeast(Severity::kError) > 0; }
+
+  /// Distinct check codes present, sorted.
+  std::vector<std::string> Codes() const;
+
+  /// Human-readable listing, one finding per line, plus a summary line.
+  std::string RenderText() const;
+  /// {"findings": [...], "counts": {"error": n, ...}} — stable member order.
+  Json ToJson() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Registry entry describing one check. The registry is the check-code
+/// taxonomy: one row per code, with the severity a finding of that code
+/// defaults to.
+struct CheckInfo {
+  std::string_view code;
+  Severity default_severity;
+  /// One-line description of what the check catches.
+  std::string_view summary;
+};
+
+/// All registered checks, in code order.
+const std::vector<CheckInfo>& AllChecks();
+
+/// Looks up one check; nullptr if the code is unknown.
+const CheckInfo* FindCheck(std::string_view code);
+
+}  // namespace lint
+}  // namespace daspos
+
+#endif  // DASPOS_LINT_DIAGNOSTICS_H_

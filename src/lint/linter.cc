@@ -1,0 +1,72 @@
+#include "lint/linter.h"
+
+#include <filesystem>
+
+#include "support/io.h"
+
+namespace daspos {
+namespace lint {
+
+LintReport LintPath(const std::string& path) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    FileObjectStore store(path);
+    return CheckArchive(store, path);
+  }
+
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) {
+    LintReport report;
+    report.Add("G002", path, "", bytes.status().message());
+    return report;
+  }
+
+  // JSON artifacts: provenance chains are arrays of records, conditions
+  // dumps are objects with a tag map.
+  if (auto json = Json::Parse(*bytes); json.ok()) {
+    if (json->is_array()) {
+      auto spec = ProvenanceSpec::FromJson(*json);
+      if (spec.ok()) return CheckProvenance(*spec, path);
+      LintReport report;
+      report.Add("G001", path, "", spec.status().message(),
+                 "expected a provenance chain (array of records)");
+      return report;
+    }
+    if (json->is_object() &&
+        (json->Has("tags") || json->Has("conditions_version"))) {
+      auto spec = ConditionsSpec::FromJson(*json);
+      if (spec.ok()) return CheckConditions(*spec, path);
+      LintReport report;
+      report.Add("G001", path, "", spec.status().message(),
+                 "expected a conditions dump");
+      return report;
+    }
+    LintReport report;
+    report.Add("G001", path, "",
+               "JSON document is neither a provenance chain nor a "
+               "conditions dump");
+    return report;
+  }
+
+  // Everything else is treated as LHADA text; CheckLhada turns parse
+  // failures into L000 findings.
+  return CheckLhada(*bytes, path);
+}
+
+ConditionsSpec DumpConditions(const ConditionsDb& db,
+                              const GlobalTagRegistry* registry) {
+  ConditionsSpec spec;
+  for (const std::string& tag : db.Tags()) {
+    spec.tags[tag] = db.Intervals(tag);
+  }
+  if (registry != nullptr) {
+    for (const std::string& name : registry->Names()) {
+      auto tag = registry->Get(name);
+      if (tag.ok()) spec.global_tags.push_back(std::move(*tag));
+    }
+  }
+  return spec;
+}
+
+}  // namespace lint
+}  // namespace daspos

@@ -1,0 +1,35 @@
+// The linter driver: maps on-disk artifacts to the check families in
+// checks.h. This is what `daspos lint` calls; the individual checks stay
+// usable in-process (the workflow engine gates Execute on
+// CheckWorkflowGraph without going through files).
+#ifndef DASPOS_LINT_LINTER_H_
+#define DASPOS_LINT_LINTER_H_
+
+#include <string>
+
+#include "conditions/global_tag.h"
+#include "conditions/store.h"
+#include "lint/checks.h"
+
+namespace daspos {
+namespace lint {
+
+/// Lints one artifact path. Type detection:
+///   directory                         -> archive (FileObjectStore root)
+///   JSON array of provenance records  -> provenance chain
+///   JSON object with "tags"           -> conditions dump
+///   anything else                     -> LHADA analysis description
+/// Unreadable or unrecognized artifacts yield G002/G001 findings — the
+/// call itself never fails, so one broken path cannot hide findings from
+/// the others.
+LintReport LintPath(const std::string& path);
+
+/// Builds a lintable conditions dump from a live store (plus, optionally,
+/// every global tag in a registry).
+ConditionsSpec DumpConditions(const ConditionsDb& db,
+                              const GlobalTagRegistry* registry = nullptr);
+
+}  // namespace lint
+}  // namespace daspos
+
+#endif  // DASPOS_LINT_LINTER_H_

@@ -51,7 +51,8 @@ Result<GridScanOutput> ScanZPrimeGrid(BackEnd* backend,
       model.zprime_mass = mass;
       model.zprime_width = width_frac * mass;
       model.lepton_flavor = config.lepton_flavor;
-      model.seed = config.seed + static_cast<uint64_t>(im) * 1000 + iw;
+      model.seed = config.seed + static_cast<uint64_t>(im) * 1000 +
+                   static_cast<uint64_t>(iw);
 
       RecastRequest request;
       request.search_name = search_name;

@@ -170,7 +170,9 @@ std::vector<MuonSegment> CaloClusterer::MuonSegments(
   std::vector<MuonSegment> out;
   for (const auto& [tower, mask] : layer_mask) {
     int layers = 0;
-    for (uint32_t m = mask; m != 0; m >>= 1) layers += (m & 1u);
+    for (uint32_t m = mask; m != 0; m >>= 1u) {
+      layers += static_cast<int>(m & 1u);
+    }
     if (layers < 2) continue;
     MuonSegment segment;
     segment.eta = geometry_.MuonEtaCellCenter(tower.first);

@@ -49,7 +49,7 @@ Result<uint8_t> BinaryReader::GetU8() {
 Result<uint32_t> BinaryReader::GetU32() {
   if (remaining() < 4) return Status::Corruption("truncated: u32");
   uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
+  for (size_t i = 0; i < 4; ++i) {
     v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
   }
   pos_ += 4;
@@ -59,7 +59,7 @@ Result<uint32_t> BinaryReader::GetU32() {
 Result<uint64_t> BinaryReader::GetU64() {
   if (remaining() < 8) return Status::Corruption("truncated: u64");
   uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
+  for (size_t i = 0; i < 8; ++i) {
     v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
   }
   pos_ += 8;

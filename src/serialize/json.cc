@@ -54,7 +54,8 @@ namespace {
 
 void AppendEscaped(std::string& out, const std::string& s) {
   out.push_back('"');
-  for (unsigned char c : s) {
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
     switch (c) {
       case '"':
         out += "\\\"";
@@ -113,7 +114,7 @@ void Json::DumpTo(std::string& out, int indent, int depth) const {
   auto newline = [&](int d) {
     if (indent >= 0) {
       out.push_back('\n');
-      out.append(static_cast<size_t>(indent) * d, ' ');
+      out.append(static_cast<size_t>(indent) * static_cast<size_t>(d), ' ');
     }
   };
   switch (type_) {

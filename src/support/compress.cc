@@ -64,10 +64,11 @@ std::string Compress(std::string_view data) {
       uint32_t hash = HashAt(input + pos);
       int64_t candidate = head[hash];
       if (candidate >= 0 && pos - static_cast<size_t>(candidate) <= kWindow) {
-        size_t offset = pos - static_cast<size_t>(candidate);
+        size_t candidate_pos = static_cast<size_t>(candidate);
+        size_t offset = pos - candidate_pos;
         size_t len = 0;
         size_t max_len = std::min(kMaxMatch, n - pos);
-        while (len < max_len && input[candidate + len] == input[pos + len]) {
+        while (len < max_len && input[candidate_pos + len] == input[pos + len]) {
           ++len;
         }
         if (len >= kMinMatch) {

@@ -103,7 +103,7 @@ std::array<uint8_t, Sha256::kDigestSize> Sha256::Digest() {
   size_t pad_len = (buffer_len_ < 56) ? (56 - buffer_len_) : (120 - buffer_len_);
   pad[0] = 0x80;
   std::memset(pad + 1, 0, pad_len - 1);
-  for (int i = 0; i < 8; ++i) {
+  for (size_t i = 0; i < 8; ++i) {
     pad[pad_len + i] = static_cast<uint8_t>(bit_count >> (56 - 8 * i));
   }
   // Update() also advances bit_count_, but the length bytes encode the
@@ -111,7 +111,7 @@ std::array<uint8_t, Sha256::kDigestSize> Sha256::Digest() {
   Update(pad, pad_len + 8);
 
   std::array<uint8_t, kDigestSize> out;
-  for (int i = 0; i < 8; ++i) {
+  for (size_t i = 0; i < 8; ++i) {
     out[4 * i] = static_cast<uint8_t>(state_[i] >> 24);
     out[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 16);
     out[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 8);

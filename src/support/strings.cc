@@ -51,9 +51,10 @@ std::string HexEncode(std::string_view bytes) {
   static constexpr char kDigits[] = "0123456789abcdef";
   std::string out;
   out.reserve(bytes.size() * 2);
-  for (unsigned char c : bytes) {
-    out.push_back(kDigits[c >> 4]);
-    out.push_back(kDigits[c & 0x0f]);
+  for (char c : bytes) {
+    unsigned char byte = static_cast<unsigned char>(c);
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0x0f]);
   }
   return out;
 }

@@ -74,12 +74,13 @@ struct DerivationStats {
   uint64_t output_bytes = 0;
 
   double EventReduction() const {
-    return input_events > 0
-               ? static_cast<double>(output_events) / input_events
-               : 0.0;
+    return input_events > 0 ? static_cast<double>(output_events) /
+                                  static_cast<double>(input_events)
+                            : 0.0;
   }
   double SizeReduction() const {
-    return input_bytes > 0 ? static_cast<double>(output_bytes) / input_bytes
+    return input_bytes > 0 ? static_cast<double>(output_bytes) /
+                                 static_cast<double>(input_bytes)
                            : 0.0;
   }
 };

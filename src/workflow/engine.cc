@@ -138,6 +138,22 @@ struct StepSlot {
 
 }  // namespace
 
+lint::WorkflowGraphSpec Workflow::GraphSpec(
+    const WorkflowContext* context) const {
+  lint::WorkflowGraphSpec spec;
+  spec.steps.reserve(bindings_.size());
+  for (const Binding& binding : bindings_) {
+    spec.steps.push_back(
+        {binding.step->name(), binding.inputs, binding.output});
+  }
+  if (context != nullptr) {
+    for (std::string& name : context->DatasetNames()) {
+      spec.external_inputs.insert(std::move(name));
+    }
+  }
+  return spec;
+}
+
 Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
                                          ProvenanceStore* provenance,
                                          const ExecuteOptions& options) const {
@@ -191,6 +207,24 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
         }
       }
     }
+  }
+
+  // Preservation-lint gate: a graph some step of which can never run is
+  // rejected up front with named diagnostics — nothing executes, no
+  // partial datasets or provenance are produced (arXiv:1310.7814's "catch
+  // it before anyone re-runs" discipline).
+  if (topo.size() < step_count) {
+    lint::LintReport lint_report =
+        lint::CheckWorkflowGraph(GraphSpec(context));
+    std::string blocked;
+    for (const lint::Diagnostic& diagnostic : lint_report.diagnostics()) {
+      if (diagnostic.severity != lint::Severity::kError) continue;
+      if (!blocked.empty()) blocked += "; ";
+      blocked += diagnostic.subject + " (" + diagnostic.message + ") [" +
+                 diagnostic.code + "]";
+    }
+    return Status::FailedPrecondition(
+        "workflow cannot progress; blocked steps: " + blocked);
   }
 
   size_t threads =
@@ -311,25 +345,6 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
   }
 
   if (failed) return failure;
-
-  if (topo.size() < step_count) {
-    std::string blocked;
-    for (size_t i = 0; i < step_count; ++i) {
-      if (rank[i] != kNoRank) continue;
-      if (!blocked.empty()) blocked += "; ";
-      std::vector<std::string> waiting = missing_external[i];
-      for (const std::string& input : bindings_[i].inputs) {
-        auto it = producer_of.find(input);
-        if (it != producer_of.end() && rank[it->second] == kNoRank) {
-          waiting.push_back(input);
-        }
-      }
-      blocked += bindings_[i].step->name() +
-                 " (missing inputs: " + Join(waiting, ", ") + ")";
-    }
-    return Status::FailedPrecondition(
-        "workflow cannot progress; blocked steps: " + blocked);
-  }
 
   report.wall_ms = total_timer.ElapsedMillis();
   return report;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "conditions/provider.h"
+#include "lint/checks.h"
 #include "serialize/json.h"
 #include "support/metrics.h"
 #include "support/result.h"
@@ -115,15 +116,21 @@ class Workflow {
                  std::vector<std::string> inputs, std::string output);
 
   /// Runs every step whose inputs are (or become) available; independent
-  /// steps run concurrently on up to `options.max_threads` workers. Fails if
-  /// some step can never run (missing input / cycle — the diagnostic names
-  /// each blocked step and the inputs it is missing) or any step fails; on a
-  /// step failure no further steps are dispatched. When `provenance` is
-  /// non-null, a record per produced dataset is added — the capture the E5
-  /// bench prices — in the same deterministic order as the report.
+  /// steps run concurrently on up to `options.max_threads` workers. Before
+  /// anything runs, the graph is gated through the preservation linter: a
+  /// chain with cycles, missing inputs, or unreachable steps is rejected
+  /// with named diagnostics instead of failing mid-run. On a step failure
+  /// no further steps are dispatched. When `provenance` is non-null, a
+  /// record per produced dataset is added — the capture the E5 bench
+  /// prices — in the same deterministic order as the report.
   Result<WorkflowReport> Execute(WorkflowContext* context,
                                  ProvenanceStore* provenance = nullptr,
                                  const ExecuteOptions& options = {}) const;
+
+  /// Execution-free description of the graph for the preservation linter.
+  /// When `context` is given, its datasets count as external inputs.
+  lint::WorkflowGraphSpec GraphSpec(const WorkflowContext* context =
+                                        nullptr) const;
 
   size_t step_count() const { return bindings_.size(); }
 

@@ -38,6 +38,26 @@ grep -q "JiveEvent" "$WORK/z_atlas.xml"
 "$DASPOS" convert "$WORK/z_atlas.xml" Atlas CMS "$WORK/z_cms.ig"
 grep -q "ig_file_version" "$WORK/z_cms.ig"
 
+# Preservation linter: a clean description passes, warnings show up as
+# findings (JSON included) without failing the default error threshold,
+# and --fail-on=warning turns them into a non-zero exit for CI.
+"$DASPOS" lint "$WORK/dimuon.lhada" | grep -q "1 artifact(s) clean"
+cat > "$WORK/unused.lhada" <<'LHADA'
+analysis smoke
+object muons
+  take muon
+object jets
+  take jet
+cut dimuon
+  select count(muons) >= 2
+LHADA
+"$DASPOS" lint "$WORK/unused.lhada" | grep -q "L005"
+"$DASPOS" lint --json "$WORK/unused.lhada" | grep -q '"code": "L005"'
+if "$DASPOS" lint --fail-on=warning "$WORK/unused.lhada" >/dev/null; then
+  echo "lint --fail-on=warning ignored a warning finding" >&2
+  exit 1
+fi
+
 # Corrupt the dataset: inspect must refuse.
 head -c 1000 "$WORK/z_gen.dspc" > "$WORK/broken.dspc"
 if "$DASPOS" inspect "$WORK/broken.dspc" 2>/dev/null; then

@@ -91,7 +91,8 @@ TEST(CompressTest, DecoderSurvivesFuzzedStreams) {
   for (int round = 0; round < 400; ++round) {
     std::string mutant = seed;
     size_t pos = static_cast<size_t>(rng.UniformInt(mutant.size()));
-    mutant[pos] = static_cast<char>(mutant[pos] ^ (1u << rng.UniformInt(8)));
+    mutant[pos] = static_cast<char>(static_cast<unsigned char>(mutant[pos]) ^
+                                    (1u << rng.UniformInt(8)));
     auto restored = Decompress(mutant);
     // Either a typed error or a decode; a decode of a mutated stream that
     // silently equals the original would indicate the mutation landed in

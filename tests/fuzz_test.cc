@@ -32,7 +32,8 @@ std::string Mutate(const std::string& input, Rng* rng) {
   switch (rng->UniformInt(4)) {
     case 0: {  // byte flip
       size_t pos = static_cast<size_t>(rng->UniformInt(out.size()));
-      out[pos] = static_cast<char>(out[pos] ^ (1u << rng->UniformInt(8)));
+      out[pos] = static_cast<char>(
+          static_cast<unsigned char>(out[pos]) ^ (1u << rng->UniformInt(8)));
       break;
     }
     case 1: {  // truncate

@@ -49,7 +49,7 @@ TEST(TrackingTest, SingleMuonReconstructs) {
   const int n = 100;
   for (int i = 0; i < n; ++i) {
     double pt = 10.0 + i * 0.5;
-    GenEvent truth = SingleParticle(pdg::kMuon, pt, 0.3, 1.0, 100 + i);
+    GenEvent truth = SingleParticle(pdg::kMuon, pt, 0.3, 1.0, 100 + static_cast<uint64_t>(i));
     RawEvent raw = sim.Simulate(truth, 1);
     auto tracks = finder.FindTracks(raw);
     if (tracks.empty()) continue;
@@ -105,7 +105,7 @@ TEST(TrackingTest, WrongAlignmentConstantsDegradeResolution) {
   int n_right = 0;
   int n_wrong = 0;
   for (int i = 0; i < 50; ++i) {
-    GenEvent truth = SingleParticle(pdg::kMuon, 25.0, 0.2, 0.8, 200 + i);
+    GenEvent truth = SingleParticle(pdg::kMuon, 25.0, 0.2, 0.8, 200 + static_cast<uint64_t>(i));
     RawEvent raw = sim.Simulate(truth, 1);
     auto tr = with_right.FindTracks(raw);
     auto tw = with_wrong.FindTracks(raw);
@@ -154,9 +154,9 @@ TEST(TrackingTest, DisplacedTrackHasLargerD0) {
   int n = 0;
   for (int i = 0; i < 40; ++i) {
     auto tp = finder.FindTracks(
-        sim.Simulate(event_with_displacement(0.0, 300 + i), 1));
+        sim.Simulate(event_with_displacement(0.0, 300 + static_cast<uint64_t>(i)), 1));
     auto td = finder.FindTracks(
-        sim.Simulate(event_with_displacement(4.0, 400 + i), 1));
+        sim.Simulate(event_with_displacement(4.0, 400 + static_cast<uint64_t>(i)), 1));
     if (tp.empty() || td.empty()) continue;
     sum_d0_prompt += std::fabs(tp.front().d0_mm);
     sum_d0_displaced += std::fabs(td.front().d0_mm);

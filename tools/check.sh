@@ -1,22 +1,51 @@
 #!/bin/bash
-# Tier-1 gate plus a ThreadSanitizer pass over the parallel workflow engine.
+# The repo's verification driver: tier-1 tests plus sanitizer passes.
 #
-#   tools/check.sh            # build + full ctest + TSan workflow_test
-#   tools/check.sh --no-tsan  # tier-1 only
+#   tools/check.sh            # tier-1 + TSan workflow_test (the default gate)
+#   tools/check.sh --all      # tier-1 + ASan + UBSan full suite + TSan
+#   tools/check.sh --asan     # ASan build + full ctest suite
+#   tools/check.sh --ubsan    # UBSan build + full ctest suite (halt-on-error)
+#   tools/check.sh --tsan     # TSan build + workflow_test
+#   tools/check.sh --tier1    # tier-1 only
+#   tools/check.sh --no-tsan  # legacy spelling of --tier1
 #
-# Run from the repository root. Build trees: build/ (tier-1) and
-# build-tsan/ (DASPOS_SANITIZE=thread, workflow_test only).
+# Run from the repository root. Build trees: build/ (tier-1), build-asan/,
+# build-ubsan/ (full suite), build-tsan/ (workflow_test only; the rest of
+# the suite is single-threaded).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-$(nproc)}
-RUN_TSAN=1
-[ "${1:-}" = "--no-tsan" ] && RUN_TSAN=0
 
-echo "==> tier-1: configure + build + ctest"
-cmake -B build -S . >/dev/null
-cmake --build build -j"$JOBS"
-ctest --test-dir build --output-on-failure -j"$JOBS"
+RUN_TIER1=0 RUN_ASAN=0 RUN_UBSAN=0 RUN_TSAN=0
+case "${1:-}" in
+  "")         RUN_TIER1=1 RUN_TSAN=1 ;;
+  --all)      RUN_TIER1=1 RUN_ASAN=1 RUN_UBSAN=1 RUN_TSAN=1 ;;
+  --asan)     RUN_ASAN=1 ;;
+  --ubsan)    RUN_UBSAN=1 ;;
+  --tsan)     RUN_TSAN=1 ;;
+  --tier1|--no-tsan) RUN_TIER1=1 ;;
+  *) echo "check.sh: unknown flag '$1'" >&2; exit 2 ;;
+esac
+
+# One sanitizer pass: configure a dedicated tree, build, run the full suite.
+sanitizer_pass() {
+  local name="$1" value="$2" tree="build-$1"
+  echo "==> ${name}: DASPOS_SANITIZE=${value} build + full ctest"
+  cmake -B "$tree" -S . -DDASPOS_SANITIZE="$value" >/dev/null
+  cmake --build "$tree" -j"$JOBS"
+  ctest --test-dir "$tree" --output-on-failure -j"$JOBS"
+}
+
+if [ "$RUN_TIER1" = 1 ]; then
+  echo "==> tier-1: configure + build + ctest"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS"
+  ctest --test-dir build --output-on-failure -j"$JOBS"
+fi
+
+[ "$RUN_ASAN" = 1 ] && sanitizer_pass asan address
+[ "$RUN_UBSAN" = 1 ] && sanitizer_pass ubsan undefined
 
 if [ "$RUN_TSAN" = 1 ]; then
   echo "==> TSan: DASPOS_SANITIZE=thread build of workflow_test"

@@ -7,11 +7,15 @@
 //   daspos retrieve <archive-dir> <id> <dir>  extract a package
 //   daspos lhada-run <description> <aod>      run a cutflow
 //   daspos lhada-check <description>          validate + canonicalize
+//   daspos lint [flags] <artifact...>         static preservation checks
 //
-// Exit code 0 on success, 1 on any error (errors go to stderr).
+// Exit code 0 on success, 1 on any error (errors go to stderr). `lint`
+// exits 1 when any finding reaches the --fail-on threshold (default:
+// error), which makes it usable as a CI gate.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "archive/archive.h"
 #include "archive/object_store.h"
@@ -24,6 +28,8 @@
 #include "level2/display.h"
 #include "level2/files.h"
 #include "lhada/lhada.h"
+#include "lint/diagnostics.h"
+#include "lint/linter.h"
 #include "mc/generator.h"
 #include "support/io.h"
 #include "support/strings.h"
@@ -56,6 +62,8 @@ int Usage() {
                "  daspos export <reco-file> <experiment> <out-file>\n"
                "  daspos chain <process> <n-events> <seed> [threads] "
                "[--json]\n"
+               "  daspos lint [--json] [--fail-on=info|warning|error] "
+               "<artifact...>\n"
                "processes: minbias z_ll w_lnu h_gammagamma qcd_dijet "
                "d_meson zprime_ll\n");
   return 1;
@@ -429,6 +437,26 @@ int CmdChain(const std::string& process_name, const std::string& count,
   return 0;
 }
 
+// Static preservation checks over one or more artifacts: workflow
+// provenance chains, LHADA descriptions, archive directories, and
+// conditions dumps. Artifact kind is detected from content; nothing is
+// executed. Exit 0 when no finding reaches the fail-on threshold.
+int CmdLint(const std::vector<std::string>& paths, bool as_json,
+            lint::Severity fail_on) {
+  lint::LintReport report;
+  for (const std::string& path : paths) {
+    report.Merge(lint::LintPath(path));
+  }
+  if (as_json) {
+    std::printf("%s\n", report.ToJson().Dump(2).c_str());
+  } else if (report.empty()) {
+    std::printf("lint: %zu artifact(s) clean\n", paths.size());
+  } else {
+    std::printf("%s", report.RenderText().c_str());
+  }
+  return report.CountAtLeast(fail_on) > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -454,6 +482,28 @@ int main(int argc, char** argv) {
   }
   if (command == "export" && argc == 5) {
     return CmdExport(argv[2], argv[3], argv[4]);
+  }
+  if (command == "lint" && argc >= 3) {
+    bool as_json = false;
+    lint::Severity fail_on = lint::Severity::kError;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json") {
+        as_json = true;
+      } else if (arg.rfind("--fail-on=", 0) == 0) {
+        if (!lint::ParseSeverity(arg.substr(10), &fail_on)) {
+          return Fail("bad --fail-on value '" + arg.substr(10) +
+                      "' (info|warning|error)");
+        }
+      } else if (!arg.empty() && arg[0] == '-') {
+        return Fail("unknown lint flag '" + arg + "'");
+      } else {
+        paths.push_back(std::move(arg));
+      }
+    }
+    if (paths.empty()) return Usage();
+    return CmdLint(paths, as_json, fail_on);
   }
   if (command == "chain" && argc >= 5 && argc <= 7) {
     bool as_json = false;

@@ -1,0 +1,30 @@
+#!/bin/bash
+# clang-tidy over the library sources, using the profile in .clang-tidy.
+#
+#   tools/tidy.sh [paths...]   # default: every .cc under src/ and tools/
+#
+# Needs a compile database: configure once with
+#   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+# Exits 0 (with a notice) when clang-tidy is not installed, so the script
+# can sit in CI pipelines whose base image lacks it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "tidy.sh: $TIDY not found; skipping static analysis" >&2
+  exit 0
+fi
+
+if [ ! -f build/compile_commands.json ]; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+if [ "$#" -gt 0 ]; then
+  FILES=("$@")
+else
+  mapfile -t FILES < <(find src tools -name '*.cc' | sort)
+fi
+
+"$TIDY" -p build --quiet "${FILES[@]}"
+echo "tidy.sh: ${#FILES[@]} file(s) clean"
