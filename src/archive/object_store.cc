@@ -10,6 +10,35 @@ namespace daspos {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+bool IsLowerHex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+/// True when `name` looks like a shard directory ("00".."ff"). Filters out
+/// bookkeeping directories (quarantine/, tmp/) when walking the store.
+bool IsShardName(const std::string& name) {
+  return name.size() == 2 && IsLowerHex(name[0]) && IsLowerHex(name[1]);
+}
+
+}  // namespace
+
+Status ValidateObjectId(const std::string& id) {
+  if (id.empty()) return Status::InvalidArgument("empty object id");
+  if (id.size() != 64) {
+    return Status::InvalidArgument("malformed object id (want 64 hex chars): " +
+                                   id);
+  }
+  for (char c : id) {
+    if (!IsLowerHex(c)) {
+      return Status::InvalidArgument(
+          "malformed object id (non-hex character): " + id);
+    }
+  }
+  return Status::OK();
+}
+
 // --------------------------------------------------------- MemoryObjectStore
 
 Result<std::string> MemoryObjectStore::Put(std::string_view bytes) {
@@ -81,33 +110,44 @@ std::string FileObjectStore::PathFor(const std::string& id) const {
   return root_ + "/" + id.substr(0, 2) + "/" + id.substr(2);
 }
 
+void FileObjectStore::Quarantine(const std::string& id) const {
+  std::error_code ec;
+  fs::create_directories(fs::path(root_) / "quarantine", ec);
+  if (ec) return;
+  fs::rename(PathFor(id), fs::path(root_) / "quarantine" / id, ec);
+}
+
 Result<std::string> FileObjectStore::Put(std::string_view bytes) {
   std::string id = Sha256::HashHex(bytes);
   std::string path = PathFor(id);
   // Skip the write only when the existing copy is intact, so re-putting
-  // good bytes heals a rotted object.
+  // good bytes heals a rotted object (Verify quarantines the bad copy).
   if (FileExists(path) && Verify(id).ok()) return id;
-  DASPOS_RETURN_IF_ERROR(WriteStringToFile(path, bytes));
+  DASPOS_RETURN_IF_ERROR(AtomicWriteFile(path, bytes));
   return id;
 }
 
 Result<std::string> FileObjectStore::Get(const std::string& id) const {
-  if (id.size() < 3) return Status::InvalidArgument("malformed object id");
+  DASPOS_RETURN_IF_ERROR(ValidateObjectId(id));
   auto read = ReadFileToString(PathFor(id));
   if (!read.ok()) return Status::NotFound("object " + id + " not in store");
+  // Fixity gate on every read: bytes that no longer hash to their id must
+  // never reach a consumer. The rotted blob is moved aside so future reads
+  // fail fast and the linter can report it (A006).
+  if (Sha256::HashHex(*read) != id) {
+    Quarantine(id);
+    return Status::Corruption("fixity mismatch for object " + id +
+                              " (moved to quarantine)");
+  }
   return read;
 }
 
 bool FileObjectStore::Has(const std::string& id) const {
-  return id.size() >= 3 && FileExists(PathFor(id));
+  return ValidateObjectId(id).ok() && FileExists(PathFor(id));
 }
 
 Status FileObjectStore::Verify(const std::string& id) const {
-  DASPOS_ASSIGN_OR_RETURN(std::string bytes, Get(id));
-  if (Sha256::HashHex(bytes) != id) {
-    return Status::Corruption("fixity mismatch for object " + id);
-  }
-  return Status::OK();
+  return Get(id).status();
 }
 
 std::vector<std::string> FileObjectStore::Ids() const {
@@ -116,6 +156,7 @@ std::vector<std::string> FileObjectStore::Ids() const {
   for (const auto& shard : fs::directory_iterator(root_, ec)) {
     if (!shard.is_directory()) continue;
     std::string prefix = shard.path().filename().string();
+    if (!IsShardName(prefix)) continue;
     for (const auto& entry : fs::directory_iterator(shard.path(), ec)) {
       if (!entry.is_regular_file()) continue;
       out.push_back(prefix + entry.path().filename().string());
@@ -130,6 +171,7 @@ uint64_t FileObjectStore::TotalBytes() const {
   std::error_code ec;
   for (const auto& shard : fs::directory_iterator(root_, ec)) {
     if (!shard.is_directory()) continue;
+    if (!IsShardName(shard.path().filename().string())) continue;
     for (const auto& entry : fs::directory_iterator(shard.path(), ec)) {
       if (entry.is_regular_file()) {
         total += static_cast<uint64_t>(entry.file_size(ec));
@@ -137,6 +179,18 @@ uint64_t FileObjectStore::TotalBytes() const {
     }
   }
   return total;
+}
+
+std::vector<std::string> FileObjectStore::QuarantinedIds() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(root_) / "quarantine", ec)) {
+    if (!entry.is_regular_file()) continue;
+    out.push_back(entry.path().filename().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace daspos

@@ -12,6 +12,11 @@
 
 namespace daspos {
 
+/// Checks that `id` is a well-formed content id: exactly 64 lowercase hex
+/// characters. Rejects empty ids, path separators, `..`, absolute paths, and
+/// anything else that could escape a store root when spliced into a path.
+Status ValidateObjectId(const std::string& id);
+
 class ObjectStore {
  public:
   virtual ~ObjectStore() = default;
@@ -31,6 +36,10 @@ class ObjectStore {
   virtual std::vector<std::string> Ids() const = 0;
 
   virtual uint64_t TotalBytes() const = 0;
+
+  /// Ids of blobs that failed fixity and were moved aside (sorted). Backends
+  /// without a quarantine area return an empty list.
+  virtual std::vector<std::string> QuarantinedIds() const { return {}; }
 };
 
 /// In-memory backend (tests, benches).
@@ -50,7 +59,12 @@ class MemoryObjectStore : public ObjectStore {
   std::map<std::string, std::string> objects_;
 };
 
-/// Filesystem backend: objects live at <root>/<id[0:2]>/<id[2:]>.
+/// Filesystem backend: objects live at <root>/<id[0:2]>/<id[2:]>. Writes are
+/// crash-safe (temp file + fsync + rename) and every read re-hashes the bytes;
+/// a blob whose digest no longer matches its id is moved to
+/// <root>/quarantine/<id> and the read fails with Corruption. Keyed lookups
+/// validate the id first, so a hostile id ("../../etc/passwd") can never
+/// address a path outside the store root.
 class FileObjectStore : public ObjectStore {
  public:
   explicit FileObjectStore(std::string root) : root_(std::move(root)) {}
@@ -61,9 +75,12 @@ class FileObjectStore : public ObjectStore {
   Status Verify(const std::string& id) const override;
   std::vector<std::string> Ids() const override;
   uint64_t TotalBytes() const override;
+  std::vector<std::string> QuarantinedIds() const override;
 
  private:
   std::string PathFor(const std::string& id) const;
+  /// Moves the blob at PathFor(id) into the quarantine area (best-effort).
+  void Quarantine(const std::string& id) const;
   std::string root_;
 };
 

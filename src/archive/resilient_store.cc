@@ -1,0 +1,47 @@
+#include "archive/resilient_store.h"
+
+namespace daspos {
+
+// ---------------------------------------------------------- FaultyObjectStore
+
+Result<std::string> FaultyObjectStore::Put(std::string_view bytes) {
+  DASPOS_RETURN_IF_ERROR(plan_->Next("put"));
+  return backend_->Put(bytes);
+}
+
+Result<std::string> FaultyObjectStore::Get(const std::string& id) const {
+  DASPOS_RETURN_IF_ERROR(plan_->Next("get"));
+  return backend_->Get(id);
+}
+
+bool FaultyObjectStore::Has(const std::string& id) const {
+  // Has has no error channel; an injected fault reads as "not there yet",
+  // which is exactly how a flaky backend looks to a caller.
+  if (!plan_->Next("has").ok()) return false;
+  return backend_->Has(id);
+}
+
+Status FaultyObjectStore::Verify(const std::string& id) const {
+  DASPOS_RETURN_IF_ERROR(plan_->Next("verify"));
+  return backend_->Verify(id);
+}
+
+// -------------------------------------------------------- RetryingObjectStore
+
+Result<std::string> RetryingObjectStore::Put(std::string_view bytes) {
+  return RetryResult<std::string>(
+      policy_, [&]() { return backend_->Put(bytes); }, "object-store put");
+}
+
+Result<std::string> RetryingObjectStore::Get(const std::string& id) const {
+  return RetryResult<std::string>(
+      policy_, [&]() { return backend_->Get(id); }, "object-store get " + id);
+}
+
+Status RetryingObjectStore::Verify(const std::string& id) const {
+  return RetryCall(
+      policy_, [&]() { return backend_->Verify(id); },
+      "object-store verify " + id);
+}
+
+}  // namespace daspos

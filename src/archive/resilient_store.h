@@ -1,0 +1,68 @@
+// Object-store decorators for the fault-tolerance layer.
+//
+// FaultyObjectStore injects deterministic transient failures in front of a
+// real backend (chaos testing); RetryingObjectStore recovers from transient
+// failures with a RetryPolicy. Stacked as Retrying(Faulty(real)), they prove
+// in tests that the retry machinery converges to the fault-free result.
+#ifndef DASPOS_ARCHIVE_RESILIENT_STORE_H_
+#define DASPOS_ARCHIVE_RESILIENT_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "archive/object_store.h"
+#include "support/fault.h"
+#include "support/retry.h"
+
+namespace daspos {
+
+/// Wraps a backend and consults a FaultPlan before every keyed operation.
+/// Injected failures are transient IOErrors; the backend is not touched on
+/// an injected failure, mimicking a storage layer that dropped the request.
+/// Neither pointer is owned; both must outlive the decorator.
+class FaultyObjectStore : public ObjectStore {
+ public:
+  FaultyObjectStore(ObjectStore* backend, FaultPlan* plan)
+      : backend_(backend), plan_(plan) {}
+
+  Result<std::string> Put(std::string_view bytes) override;
+  Result<std::string> Get(const std::string& id) const override;
+  bool Has(const std::string& id) const override;
+  Status Verify(const std::string& id) const override;
+  std::vector<std::string> Ids() const override { return backend_->Ids(); }
+  uint64_t TotalBytes() const override { return backend_->TotalBytes(); }
+  std::vector<std::string> QuarantinedIds() const override {
+    return backend_->QuarantinedIds();
+  }
+
+ private:
+  ObjectStore* backend_;
+  FaultPlan* plan_;
+};
+
+/// Wraps a backend and retries transient failures per the policy. Permanent
+/// failures (NotFound, InvalidArgument, Corruption) pass through untouched.
+/// The backend is not owned and must outlive the decorator.
+class RetryingObjectStore : public ObjectStore {
+ public:
+  RetryingObjectStore(ObjectStore* backend, RetryPolicy policy)
+      : backend_(backend), policy_(std::move(policy)) {}
+
+  Result<std::string> Put(std::string_view bytes) override;
+  Result<std::string> Get(const std::string& id) const override;
+  bool Has(const std::string& id) const override { return backend_->Has(id); }
+  Status Verify(const std::string& id) const override;
+  std::vector<std::string> Ids() const override { return backend_->Ids(); }
+  uint64_t TotalBytes() const override { return backend_->TotalBytes(); }
+  std::vector<std::string> QuarantinedIds() const override {
+    return backend_->QuarantinedIds();
+  }
+
+ private:
+  ObjectStore* backend_;
+  RetryPolicy policy_;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_ARCHIVE_RESILIENT_STORE_H_

@@ -9,14 +9,17 @@ namespace daspos {
 Result<std::shared_ptr<WorkflowStep>> RebuildStep(
     const ProvenanceRecord& record) {
   const Json& config = record.config;
-  if (record.producer == "generation") {
+  // Standard step names are dataset-qualified ("generation[batch_a]") so a
+  // workflow can hold several instances of one kind; dispatch on the kind.
+  const std::string kind = record.producer.substr(0, record.producer.find('['));
+  if (kind == "generation") {
     DASPOS_ASSIGN_OR_RETURN(GeneratorConfig generator,
                             GeneratorConfigFromJson(config.Get("generator")));
     size_t events = static_cast<size_t>(config.Get("event_count").as_int());
     return std::shared_ptr<WorkflowStep>(
         std::make_shared<GenerationStep>(generator, events, record.dataset));
   }
-  if (record.producer == "simulation") {
+  if (kind == "simulation") {
     DASPOS_ASSIGN_OR_RETURN(
         SimulationConfig simulation,
         SimulationConfigFromJson(config.Get("simulation")));
@@ -24,17 +27,17 @@ Result<std::shared_ptr<WorkflowStep>> RebuildStep(
     return std::shared_ptr<WorkflowStep>(
         std::make_shared<SimulationStep>(simulation, run, record.dataset));
   }
-  if (record.producer == "reconstruction") {
+  if (kind == "reconstruction") {
     DASPOS_ASSIGN_OR_RETURN(DetectorGeometry geometry,
                             GeometryFromJson(config.Get("geometry")));
     return std::shared_ptr<WorkflowStep>(
         std::make_shared<ReconstructionStep>(geometry, record.dataset));
   }
-  if (record.producer == "aod_reduction") {
+  if (kind == "aod_reduction") {
     return std::shared_ptr<WorkflowStep>(
         std::make_shared<AodReductionStep>(record.dataset));
   }
-  if (record.producer == "derivation") {
+  if (kind == "derivation") {
     DASPOS_ASSIGN_OR_RETURN(SkimSpec skim,
                             SkimSpec::FromJson(config.Get("skim")));
     DASPOS_ASSIGN_OR_RETURN(SlimSpec slim,
@@ -42,7 +45,7 @@ Result<std::shared_ptr<WorkflowStep>> RebuildStep(
     return std::shared_ptr<WorkflowStep>(
         std::make_shared<DerivationStep>(skim, slim, record.dataset));
   }
-  if (record.producer == "merge") {
+  if (kind == "merge") {
     return std::shared_ptr<WorkflowStep>(
         std::make_shared<MergeStep>(record.dataset));
   }

@@ -251,6 +251,45 @@ LintReport CheckProvenance(const ProvenanceSpec& spec,
   return report;
 }
 
+// ------------------------------------------------------------ run journal
+
+JournalSpec JournalSpec::FromJsonLines(const std::string& text) {
+  JournalSpec spec;
+  for (const std::string& line : Split(text, '\n')) {
+    if (Trim(line).empty()) continue;
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok() || !parsed->is_object() ||
+        !parsed->Get("step").is_string()) {
+      // Crash-truncated tail: everything before it is still meaningful.
+      break;
+    }
+    spec.entries.push_back({parsed->Get("step").as_string(),
+                            parsed->Get("output").as_string()});
+  }
+  return spec;
+}
+
+LintReport CheckJournal(const JournalSpec& journal,
+                        const WorkflowGraphSpec& workflow,
+                        const std::string& artifact) {
+  LintReport report;
+  std::set<std::string> known;
+  for (const WorkflowGraphSpec::Step& step : workflow.steps) {
+    known.insert(step.name);
+  }
+  std::set<std::string> reported;
+  for (const JournalSpec::Entry& entry : journal.entries) {
+    if (known.count(entry.step) > 0) continue;
+    if (!reported.insert(entry.step).second) continue;
+    report.Add("W104", artifact, entry.step,
+               "journal checkpoints step '" + entry.step +
+                   "', which the workflow does not contain",
+               "the checkpoint is ignored on resume; delete the journal if "
+               "the workflow was intentionally restructured");
+  }
+  return report;
+}
+
 // ------------------------------------------------------------------ LHADA
 
 LintReport CheckLhada(const std::string& text, const std::string& artifact) {
@@ -424,6 +463,14 @@ LintReport CheckArchive(const ObjectStore& store,
     report.Add("A003", artifact, id,
                "blob is referenced by no package manifest",
                "garbage-collect it or deposit a package that claims it");
+  }
+
+  // A006: blobs the store moved aside after a failed fixity check.
+  for (const std::string& id : store.QuarantinedIds()) {
+    report.Add("A006", artifact, id,
+               "blob failed fixity on read and sits in quarantine",
+               "restore it from a replica (re-Put the original bytes heals "
+               "the store), then delete the quarantined copy");
   }
   return report;
 }

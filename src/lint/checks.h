@@ -66,6 +66,26 @@ struct ProvenanceSpec {
 LintReport CheckProvenance(const ProvenanceSpec& spec,
                            const std::string& artifact = "provenance");
 
+/// Execution-free view of a run journal (the JSONL checkpoint file written
+/// during Workflow::Execute): one entry per checkpointed step.
+struct JournalSpec {
+  struct Entry {
+    std::string step;
+    std::string output;
+  };
+  std::vector<Entry> entries;
+
+  /// Parses journal.jsonl content. Tolerates a truncated tail exactly like
+  /// the resume path does: parsing stops at the first malformed line.
+  static JournalSpec FromJsonLines(const std::string& text);
+};
+
+/// W104: journal entries naming steps the workflow no longer contains —
+/// stale checkpoints that resume would silently ignore.
+LintReport CheckJournal(const JournalSpec& journal,
+                        const WorkflowGraphSpec& workflow,
+                        const std::string& artifact = "journal");
+
 /// L000 parse failure, L001/L006 dangling references, L002/L003 bad
 /// 'require', L004 duplicates, L005 unused objects, L007 vacuous cuts,
 /// L008 no cuts. Works on raw description text so that defective documents

@@ -145,6 +145,9 @@ const std::vector<CheckInfo>& AllChecks() {
       {"W103", Severity::kWarning,
        "provenance record carries no usable config hash (reproduction "
        "impossible)"},
+      {"W104", Severity::kWarning,
+       "run journal references a step absent from the workflow (stale or "
+       "foreign checkpoint)"},
       // LHADA analysis descriptions (Lxxx).
       {"L000", Severity::kError, "description does not parse"},
       {"L001", Severity::kError,
@@ -176,6 +179,8 @@ const std::vector<CheckInfo>& AllChecks() {
        "manifest-declared file size disagrees with the stored object"},
       {"A005", Severity::kWarning,
        "package manifest lacks a title (undiscoverable holding)"},
+      {"A006", Severity::kWarning,
+       "quarantined blob present in the store (failed fixity on read)"},
       // Conditions stores and global tags (Cxxx).
       {"C001", Severity::kError,
        "overlapping intervals of validity within one tag (ambiguous "

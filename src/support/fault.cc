@@ -1,0 +1,78 @@
+#include "support/fault.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace daspos {
+
+Result<FaultSpec> FaultSpec::Parse(std::string_view spec) {
+  FaultSpec out;
+  if (Trim(spec).empty()) {
+    return Status::InvalidArgument("empty fault spec");
+  }
+  for (const std::string& raw : Split(spec, ',')) {
+    std::string_view field = Trim(raw);
+    if (field.empty()) continue;
+    size_t eq = field.find('=');
+    std::string_view key = eq == std::string_view::npos ? field : field.substr(0, eq);
+    std::string_view value =
+        eq == std::string_view::npos ? std::string_view() : field.substr(eq + 1);
+    if (key == "seed") {
+      DASPOS_ASSIGN_OR_RETURN(out.seed, ParseU64(value));
+    } else if (key == "rate") {
+      DASPOS_ASSIGN_OR_RETURN(out.rate, ParseDouble(value));
+      if (out.rate < 0.0 || out.rate >= 1.0) {
+        return Status::InvalidArgument("fault rate must be in [0, 1): " +
+                                       std::string(value));
+      }
+    } else if (key == "nth") {
+      // "nth" opens a list of ordinals; bare numeric fields that follow it
+      // extend the list, so "nth=3,7" parses as {3, 7}.
+      DASPOS_ASSIGN_OR_RETURN(uint64_t n, ParseU64(value));
+      if (n == 0) return Status::InvalidArgument("nth ordinals are 1-based");
+      out.nth.push_back(n);
+    } else if (eq == std::string_view::npos && !out.nth.empty()) {
+      DASPOS_ASSIGN_OR_RETURN(uint64_t n, ParseU64(field));
+      if (n == 0) return Status::InvalidArgument("nth ordinals are 1-based");
+      out.nth.push_back(n);
+    } else {
+      return Status::InvalidArgument("unknown fault spec field: " +
+                                     std::string(key));
+    }
+  }
+  if (out.rate == 0.0 && out.nth.empty()) {
+    return Status::InvalidArgument(
+        "fault spec injects nothing; set rate= or nth=");
+  }
+  std::sort(out.nth.begin(), out.nth.end());
+  return out;
+}
+
+FaultPlan::FaultPlan(const FaultSpec& spec) : spec_(spec), rng_(spec.seed) {}
+
+Status FaultPlan::Next(const std::string& op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++operations_;
+  bool fail = std::binary_search(spec_.nth.begin(), spec_.nth.end(), operations_);
+  // Always consume a draw in rate mode so the decision sequence depends only
+  // on the operation ordinal, not on which ordinals were scripted.
+  if (spec_.rate > 0.0 && rng_.Accept(spec_.rate)) fail = true;
+  if (!fail) return Status::OK();
+  ++injected_;
+  return Status::IOError("injected fault #" + std::to_string(injected_) +
+                         " at op " + std::to_string(operations_) + " (" + op +
+                         ")");
+}
+
+uint64_t FaultPlan::operations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return operations_;
+}
+
+uint64_t FaultPlan::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+}  // namespace daspos

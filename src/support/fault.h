@@ -1,0 +1,66 @@
+// Deterministic fault injection for chaos testing the preservation runtime.
+// A FaultPlan decides, operation by operation, whether to inject a transient
+// failure. Decisions come from a seeded RNG (probabilistic mode) or a
+// scripted list of operation ordinals (scripted mode), so every chaos run is
+// reproducible from its spec string.
+#ifndef DASPOS_SUPPORT_FAULT_H_
+#define DASPOS_SUPPORT_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace daspos {
+
+/// Parsed fault-injection configuration. Built from a spec string of
+/// comma-separated key=value pairs:
+///   "seed=42,rate=0.3"  -- fail each op with probability 0.3 (seeded RNG)
+///   "nth=3,7"           -- fail exactly the 3rd and 7th operations (1-based)
+/// Both forms may be combined; a scripted ordinal always fails regardless of
+/// the rate draw.
+struct FaultSpec {
+  uint64_t seed = 0;
+  double rate = 0.0;
+  std::vector<uint64_t> nth;
+
+  static Result<FaultSpec> Parse(std::string_view spec);
+};
+
+/// Thread-safe injector constructed from a FaultSpec. Each call to Next()
+/// consumes one operation slot; injected failures are transient IOErrors so
+/// they flow through the same retry machinery as real storage hiccups.
+/// Non-copyable: the plan owns a mutex and a global operation counter.
+class FaultPlan {
+ public:
+  explicit FaultPlan(const FaultSpec& spec);
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Decides the fate of the next operation. `op` labels it ("put", "get",
+  /// "step:reconstruction", ...) for the injected error message. Returns OK
+  /// to let the operation proceed, or a transient IOError to inject a fault.
+  Status Next(const std::string& op);
+
+  /// Total operations consulted so far.
+  uint64_t operations() const;
+
+  /// Faults injected so far.
+  uint64_t injected() const;
+
+ private:
+  FaultSpec spec_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  uint64_t operations_ = 0;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_SUPPORT_FAULT_H_

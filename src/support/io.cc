@@ -1,5 +1,11 @@
 #include "support/io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -36,6 +42,71 @@ Status WriteStringToFile(const std::string& path, std::string_view data) {
   out.write(data.data(), static_cast<std::streamsize>(data.size()));
   out.flush();
   if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  std::error_code ec;
+  fs::path target(path);
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+      return Status::IOError("cannot create directories for: " + path + ": " +
+                             ec.message());
+    }
+  }
+  // The temporary lives in the target's directory so the final rename never
+  // crosses a filesystem boundary (rename is only atomic within one).
+  static std::atomic<uint64_t> counter{0};
+  std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(counter.fetch_add(1));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open for write: " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  const char* cursor = data.data();
+  size_t remaining = data.size();
+  while (remaining > 0) {
+    ssize_t written = ::write(fd, cursor, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      (void)::unlink(tmp.c_str());
+      return Status::IOError("short write: " + tmp + ": " +
+                             std::strerror(saved));
+    }
+    cursor += written;
+    remaining -= static_cast<size_t>(written);
+  }
+  // Durability point: the bytes must be on stable storage before the rename
+  // publishes them, or a crash could leave a renamed-but-empty file.
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    (void)::unlink(tmp.c_str());
+    return Status::IOError("fsync failed: " + tmp + ": " +
+                           std::strerror(saved));
+  }
+  if (::close(fd) != 0) {
+    (void)::unlink(tmp.c_str());
+    return Status::IOError("close failed: " + tmp);
+  }
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    (void)::unlink(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
+  // Best-effort directory sync so the rename itself survives a crash.
+  if (target.has_parent_path()) {
+    int dir_fd = ::open(target.parent_path().c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd >= 0) {
+      (void)::fsync(dir_fd);
+      ::close(dir_fd);
+    }
+  }
   return Status::OK();
 }
 

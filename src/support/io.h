@@ -17,6 +17,12 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// truncating any existing file.
 Status WriteStringToFile(const std::string& path, std::string_view data);
 
+/// Crash-safe variant of WriteStringToFile: writes to a temporary file in
+/// the same directory, fsyncs it, then atomically renames it over `path`.
+/// A crash mid-write leaves either the old content or the new content at
+/// `path`, never a partial file.
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
 /// True if a regular file exists at `path`.
 bool FileExists(const std::string& path);
 

@@ -1,0 +1,71 @@
+#include "support/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "support/rng.h"
+
+namespace daspos {
+
+namespace {
+
+bool DefaultRetryable(const Status& s) {
+  return s.IsIOError() || s.IsDeadlineExceeded();
+}
+
+void DefaultSleeper(double millis) {
+  if (millis <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(millis));
+}
+
+}  // namespace
+
+double RetryBackoffMillis(const RetryPolicy& policy, int attempt,
+                          uint64_t jitter_seed) {
+  if (attempt < 1) attempt = 1;
+  double backoff = policy.backoff_ms;
+  for (int i = 1; i < attempt; ++i) {
+    backoff *= policy.backoff_multiplier;
+    if (backoff >= policy.max_backoff_ms) break;
+  }
+  backoff = std::min(backoff, policy.max_backoff_ms);
+  if (policy.jitter > 0.0 && backoff > 0.0) {
+    // Fork per attempt so the jitter for retry N does not depend on how many
+    // draws earlier retries consumed.
+    Rng rng = Rng(jitter_seed).Fork(static_cast<uint64_t>(attempt));
+    double j = std::min(policy.jitter, 0.999);
+    backoff *= rng.Uniform(1.0 - j, 1.0 + j);
+  }
+  return backoff;
+}
+
+Status RetryCall(const RetryPolicy& policy, const std::function<Status()>& op,
+                 const std::string& what) {
+  const auto& retryable =
+      policy.retryable ? policy.retryable
+                       : std::function<bool(const Status&)>(DefaultRetryable);
+  const auto& sleeper =
+      policy.sleeper ? policy.sleeper
+                     : std::function<void(double)>(DefaultSleeper);
+  const int attempts = std::max(policy.max_attempts, 1);
+  double elapsed_ms = 0.0;
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last = op();
+    if (last.ok()) return last;
+    if (!retryable(last)) return last;
+    if (attempt == attempts) break;
+    double backoff = RetryBackoffMillis(policy, attempt, policy.jitter_seed);
+    if (policy.deadline_ms > 0.0 && elapsed_ms + backoff > policy.deadline_ms) {
+      return Status::DeadlineExceeded(
+          what + ": retry deadline exceeded after " + std::to_string(attempt) +
+          " attempt(s); last error: " + last.ToString());
+    }
+    sleeper(backoff);
+    elapsed_ms += backoff;
+  }
+  return last;
+}
+
+}  // namespace daspos

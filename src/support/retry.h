@@ -1,0 +1,79 @@
+// Generic retry with exponential backoff, jitter, and deadlines.
+// Preservation re-runs happen on degraded infrastructure where transient
+// I/O failures are the norm; RetryCall turns "try once, abort the chain"
+// into a bounded, deterministic recovery loop.
+#ifndef DASPOS_SUPPORT_RETRY_H_
+#define DASPOS_SUPPORT_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "support/result.h"
+#include "support/status.h"
+
+namespace daspos {
+
+/// Tunable retry behaviour. The defaults suit object-store I/O: a few
+/// attempts with short exponential backoff. All timing knobs are in
+/// milliseconds; `jitter` is the +/- fraction applied to each backoff so
+/// concurrent retries do not stampede in lockstep.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retry).
+  int max_attempts = 3;
+  /// Backoff before the first retry; doubles (times `backoff_multiplier`)
+  /// after each failed attempt, capped at `max_backoff_ms`.
+  double backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  /// Fractional jitter in [0, 1): each backoff is scaled by a deterministic
+  /// factor drawn uniformly from [1 - jitter, 1 + jitter).
+  double jitter = 0.25;
+  /// Overall deadline across all attempts; 0 disables. When the accumulated
+  /// backoff would cross the deadline, RetryCall stops early and returns
+  /// DeadlineExceeded (carrying the last underlying error in its message).
+  double deadline_ms = 0.0;
+  /// Seed for the jitter stream, so retry schedules are reproducible.
+  uint64_t jitter_seed = 0;
+  /// Which failures are worth retrying. Default: transient I/O errors and
+  /// deadline-style step failures. NotFound/InvalidArgument/Corruption are
+  /// permanent and never retried by the default predicate.
+  std::function<bool(const Status&)> retryable;
+  /// Sleep hook, overridable in tests to avoid real waiting. Receives the
+  /// backoff in milliseconds. Defaults to std::this_thread::sleep_for.
+  std::function<void(double)> sleeper;
+};
+
+/// Backoff (ms, jitter applied) before retry number `attempt` (1-based:
+/// attempt 1 is the first retry). Exposed for tests and for callers that
+/// schedule their own sleeps.
+double RetryBackoffMillis(const RetryPolicy& policy, int attempt,
+                          uint64_t jitter_seed);
+
+/// Runs `op` until it succeeds, the policy is exhausted, or a non-retryable
+/// status appears. `what` labels the operation in error messages. Returns
+/// the final status; after the deadline trips the code is DeadlineExceeded.
+Status RetryCall(const RetryPolicy& policy, const std::function<Status()>& op,
+                 const std::string& what);
+
+/// Result-returning flavour of RetryCall.
+template <typename T>
+Result<T> RetryResult(const RetryPolicy& policy,
+                      const std::function<Result<T>()>& op,
+                      const std::string& what) {
+  Result<T> last = Status::IOError("retry never ran: " + what);
+  Status final = RetryCall(
+      policy,
+      [&]() -> Status {
+        last = op();
+        return last.ok() ? Status::OK() : last.status();
+      },
+      what);
+  if (final.ok()) return last;
+  return final;
+}
+
+}  // namespace daspos
+
+#endif  // DASPOS_SUPPORT_RETRY_H_

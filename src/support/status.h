@@ -24,6 +24,7 @@ enum class StatusCode {
   kPermissionDenied,
   kUnimplemented,
   kOutOfRange,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a status code ("NotFound", ...).
@@ -64,6 +65,9 @@ class Status {
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -84,6 +88,9 @@ class Status {
   }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

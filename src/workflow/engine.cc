@@ -7,9 +7,12 @@
 #include <set>
 #include <utility>
 
+#include "support/fault.h"
+#include "support/retry.h"
 #include "support/sha256.h"
 #include "support/strings.h"
 #include "support/threadpool.h"
+#include "workflow/journal.h"
 
 namespace daspos {
 
@@ -77,9 +80,17 @@ Json WorkflowReport::ToJson() const {
     step["output_bytes"] = result.output_bytes;
     step["output_events"] = result.output_events;
     step["wall_ms"] = result.wall_ms;
+    step["attempts"] = result.attempts;
+    step["from_checkpoint"] = result.from_checkpoint;
     step_list.push_back(std::move(step));
   }
   json["steps"] = std::move(step_list);
+  Json failed_list = Json::Array();
+  for (const std::string& name : failed_steps) failed_list.push_back(name);
+  json["failed"] = std::move(failed_list);
+  Json skipped_list = Json::Array();
+  for (const std::string& name : skipped_steps) skipped_list.push_back(name);
+  json["skipped"] = std::move(skipped_list);
   return json;
 }
 
@@ -115,6 +126,12 @@ Status Workflow::AddStep(std::shared_ptr<WorkflowStep> step,
                                    "' already produced by step '" +
                                    binding.step->name() + "'");
     }
+    if (binding.step->name() == step->name()) {
+      // Step names key provenance records and journal checkpoints; a
+      // duplicate would make resume and reporting ambiguous.
+      return Status::AlreadyExists("step '" + step->name() +
+                                   "' already added to the workflow");
+    }
   }
   bindings_.push_back({std::move(step), std::move(inputs), std::move(output)});
   return Status::OK();
@@ -133,6 +150,8 @@ struct StepSlot {
   uint64_t bytes = 0;
   uint64_t events = 0;
   double wall_ms = 0.0;
+  int attempts = 1;
+  bool from_checkpoint = false;
   ProvenanceRecord record;
 };
 
@@ -235,6 +254,34 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
   WorkflowReport report;
   report.threads_used = threads;
 
+  // Resume pre-pass: a step whose journal record matches its identity (step
+  // name, output, config hash) and whose checkpointed blob still verifies
+  // (the store re-hashes on read) is restored instead of re-executed. Any
+  // mismatch — renamed step, changed config, rotted blob, truncated journal
+  // tail — silently falls back to a normal run of that step.
+  std::vector<std::string> checkpoint_blob(step_count);
+  std::vector<uint64_t> checkpoint_bytes(step_count, 0);
+  std::vector<uint64_t> checkpoint_events(step_count, 0);
+  std::vector<char> checkpointed(step_count, 0);
+  if (options.resume && options.journal != nullptr) {
+    for (size_t i = 0; i < step_count; ++i) {
+      const Binding& binding = bindings_[i];
+      auto record = options.journal->Find(binding.step->name());
+      if (!record.has_value()) continue;
+      if (record->output != binding.output) continue;
+      if (record->config_hash !=
+          Sha256::HashHex(binding.step->Config().Dump())) {
+        continue;
+      }
+      auto blob = options.journal->LoadBlob(record->digest);
+      if (!blob.ok()) continue;
+      checkpoint_blob[i] = std::move(*blob);
+      checkpoint_bytes[i] = record->bytes;
+      checkpoint_events[i] = record->events;
+      checkpointed[i] = 1;
+    }
+  }
+
   // Indegree-tracked dispatch: every ready step is submitted to the pool;
   // each completion decrements its dependents and submits those that hit
   // zero. A failure stops further dispatch (in-flight steps drain).
@@ -242,6 +289,7 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
   std::mutex mutex;
   std::condition_variable settled_cv;
   std::vector<size_t> remaining = indegree;
+  std::vector<char> submitted(step_count, 0);
   size_t scheduled = 0;
   size_t settled = 0;
   bool failed = false;
@@ -263,26 +311,84 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
       StepSlot& slot = slots[index];
       WallTimer timer;
       Status status = Status::OK();
-      std::vector<std::string_view> inputs;
-      inputs.reserve(binding.inputs.size());
-      for (const std::string& input : binding.inputs) {
-        auto blob = context->GetDataset(input);
-        if (!blob.ok()) {
-          status = blob.status();
-          break;
+      if (checkpointed[index]) {
+        // Restore from the journal: the blob already passed its digest
+        // check in the pre-pass; publishing it is all that remains.
+        slot.bytes = checkpoint_bytes[index];
+        slot.events = checkpoint_events[index];
+        slot.attempts = 0;
+        slot.from_checkpoint = true;
+        status = context->PutDataset(binding.output,
+                                     std::move(checkpoint_blob[index]));
+      } else {
+        std::vector<std::string_view> inputs;
+        inputs.reserve(binding.inputs.size());
+        for (const std::string& input : binding.inputs) {
+          auto blob = context->GetDataset(input);
+          if (!blob.ok()) {
+            status = blob.status();
+            break;
+          }
+          inputs.push_back(*blob);
         }
-        inputs.push_back(*blob);
-      }
-      if (status.ok()) {
-        auto output = binding.step->Run(inputs, context);
-        if (output.ok()) {
-          slot.bytes = output->size();
-          status = context->PutDataset(binding.output, std::move(*output));
+        std::string produced;
+        if (status.ok()) {
+          // One retry loop per step: transient failures (injected faults,
+          // I/O hiccups, blown deadlines) are re-attempted with exponential
+          // backoff; permanent failures stop immediately.
+          RetryPolicy policy;
+          policy.max_attempts = std::max(0, options.max_step_retries) + 1;
+          policy.backoff_ms = options.retry_backoff_ms;
+          policy.jitter_seed = static_cast<uint64_t>(index) + 1;
+          int attempts_used = 0;
+          status = RetryCall(
+              policy,
+              [&]() -> Status {
+                ++attempts_used;
+                WallTimer attempt_timer;
+                if (options.step_faults != nullptr) {
+                  DASPOS_RETURN_IF_ERROR(options.step_faults->Next(
+                      "step:" + binding.step->name()));
+                }
+                auto output = binding.step->Run(inputs, context);
+                if (!output.ok()) return output.status();
+                if (options.step_timeout_ms > 0.0 &&
+                    attempt_timer.ElapsedMillis() > options.step_timeout_ms) {
+                  // A step cannot be killed mid-Run; enforce the budget as
+                  // a post-hoc deadline and discard the late output.
+                  return Status::DeadlineExceeded(
+                      "step '" + binding.step->name() + "' exceeded " +
+                      FormatDouble(options.step_timeout_ms, 4) +
+                      " ms budget");
+                }
+                produced = std::move(*output);
+                return Status::OK();
+              },
+              "step " + binding.step->name());
+          slot.attempts = attempts_used;
+        }
+        if (status.ok()) {
+          slot.bytes = produced.size();
+          slot.events = binding.step->last_output_events();
+          if (options.journal != nullptr) {
+            // Checkpoint before publishing: a crash after Append re-runs
+            // nothing on resume, a crash before it re-runs this step.
+            RunJournal::Record record;
+            record.step = binding.step->name();
+            record.output = binding.output;
+            record.config_hash =
+                Sha256::HashHex(binding.step->Config().Dump());
+            record.bytes = slot.bytes;
+            record.events = slot.events;
+            status = options.journal->Append(std::move(record), produced);
+          }
+          if (status.ok()) {
+            status = context->PutDataset(binding.output, std::move(produced));
+          }
         } else {
-          status = output.status();
+          slot.events = binding.step->last_output_events();
         }
       }
-      slot.events = binding.step->last_output_events();
       if (status.ok() && provenance != nullptr) {
         ProvenanceRecord record;
         record.dataset = binding.output;
@@ -302,16 +408,23 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
       std::lock_guard lock(mutex);
       ++settled;
       if (!slot.status.ok()) {
-        if (!failed || rank[index] < first_failed_rank) {
-          first_failed_rank = rank[index];
-          failure = slot.status;
+        if (options.keep_going) {
+          // Graceful degradation: the failed step is quarantined (its
+          // dependents never reach indegree zero, so they are never
+          // dispatched) while independent branches keep running.
+        } else {
+          if (!failed || rank[index] < first_failed_rank) {
+            first_failed_rank = rank[index];
+            failure = slot.status;
+          }
+          failed = true;
         }
-        failed = true;
       } else if (!failed) {
         for (size_t dependent : dependents[index]) {
           if (rank[dependent] == kNoRank) continue;  // permanently blocked
           if (--remaining[dependent] == 0) {
             ++scheduled;
+            submitted[dependent] = 1;
             pool.Submit([&run_step, dependent] { run_step(dependent); });
           }
         }
@@ -324,6 +437,7 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
       for (size_t i : topo) {
         if (remaining[i] == 0) {
           ++scheduled;
+          submitted[i] = 1;
           pool.Submit([&run_step, i] { run_step(i); });
         }
       }
@@ -341,10 +455,23 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
       DASPOS_RETURN_IF_ERROR(provenance->Add(std::move(slot.record)));
     }
     report.steps.push_back({bindings_[i].step->name(), bindings_[i].output,
-                            slot.bytes, slot.events, slot.wall_ms});
+                            slot.bytes, slot.events, slot.wall_ms,
+                            slot.attempts, slot.from_checkpoint});
   }
 
   if (failed) return failure;
+
+  // keep_going accounting (rank order): a settled-but-failed step is
+  // `failed`; a step never dispatched lost a (transitive) dependency and is
+  // `skipped`.
+  for (size_t i : topo) {
+    if (slots[i].ran) continue;
+    if (submitted[i]) {
+      report.failed_steps.push_back(bindings_[i].step->name());
+    } else {
+      report.skipped_steps.push_back(bindings_[i].step->name());
+    }
+  }
 
   report.wall_ms = total_timer.ElapsedMillis();
   return report;

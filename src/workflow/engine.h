@@ -26,6 +26,9 @@
 
 namespace daspos {
 
+class FaultPlan;
+class RunJournal;
+
 /// Execution-time environment: dataset storage plus external services
 /// (the conditions database — the paper's canonical external dependency).
 ///
@@ -85,11 +88,26 @@ struct WorkflowReport {
     uint64_t output_events = 0;
     /// Wall-clock time of the step (input gather + Run + dataset store).
     double wall_ms = 0.0;
+    /// Run attempts consumed (1 = first try succeeded; 0 = restored from a
+    /// journal checkpoint without running).
+    int attempts = 1;
+    /// True when the output was restored from a run-journal checkpoint.
+    bool from_checkpoint = false;
   };
   std::vector<StepResult> steps;
+  /// Steps that exhausted their retries (keep_going mode only; an empty
+  /// list means full success).
+  std::vector<std::string> failed_steps;
+  /// Steps never dispatched because a (transitive) dependency failed
+  /// (keep_going mode only).
+  std::vector<std::string> skipped_steps;
   /// Wall-clock time of the whole Execute, and the worker count used.
   double wall_ms = 0.0;
   size_t threads_used = 0;
+
+  bool fully_succeeded() const {
+    return failed_steps.empty() && skipped_steps.empty();
+  }
 
   /// The report as JSON (for `daspos chain --json` and archival next to the
   /// provenance chain).
@@ -104,14 +122,46 @@ struct ExecuteOptions {
   /// Worker threads for ready-step dispatch. 0 means one per hardware
   /// thread; 1 reproduces strictly serial execution.
   size_t max_threads = 0;
+
+  /// Extra attempts after a step's first failure. Only transient failures
+  /// (IOError, DeadlineExceeded) are retried; anything else is permanent.
+  int max_step_retries = 0;
+
+  /// Base backoff between step retries (exponential, jittered). Tests set 0
+  /// for speed.
+  double retry_backoff_ms = 10.0;
+
+  /// Per-step wall-clock budget in milliseconds; 0 disables. A step cannot
+  /// be killed mid-Run, so this is a post-hoc deadline: an attempt that
+  /// finishes past its budget has its output discarded and counts as a
+  /// retryable DeadlineExceeded failure.
+  double step_timeout_ms = 0.0;
+
+  /// Graceful degradation: when a step exhausts its retries, quarantine it
+  /// (with its transitive dependents) and keep executing independent
+  /// branches. Execute then returns an OK report with `failed_steps` /
+  /// `skipped_steps` naming the casualties instead of an error status.
+  bool keep_going = false;
+
+  /// Checkpoint journal (not owned). Every completed step is appended with
+  /// its output blob; with `resume` set, steps whose journaled record still
+  /// matches (same step name, output, config hash) and whose blob digest
+  /// verifies are restored without re-running.
+  RunJournal* journal = nullptr;
+  bool resume = false;
+
+  /// Fault injector for chaos testing (not owned). Consulted once per step
+  /// attempt; an injected fault counts as a transient step failure.
+  FaultPlan* step_faults = nullptr;
 };
 
 /// A directed acyclic processing graph. Steps are bound to named inputs and
 /// one named output; execution order is resolved by data availability.
 class Workflow {
  public:
-  /// Binds a step. The output name must be unique across the workflow and
-  /// must not appear among the step's own inputs (self-cycle).
+  /// Binds a step. The step name and the output name must each be unique
+  /// across the workflow (AlreadyExists otherwise), and the output must not
+  /// appear among the step's own inputs (self-cycle).
   Status AddStep(std::shared_ptr<WorkflowStep> step,
                  std::vector<std::string> inputs, std::string output);
 

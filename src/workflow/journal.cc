@@ -1,0 +1,135 @@
+#include "workflow/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "serialize/json.h"
+#include "support/io.h"
+#include "support/strings.h"
+
+namespace daspos {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Json RecordToJson(const RunJournal::Record& record) {
+  Json json = Json::Object();
+  json["step"] = record.step;
+  json["output"] = record.output;
+  json["digest"] = record.digest;
+  json["config_hash"] = record.config_hash;
+  json["bytes"] = record.bytes;
+  json["events"] = record.events;
+  return json;
+}
+
+bool RecordFromJson(const Json& json, RunJournal::Record* out) {
+  if (!json.is_object()) return false;
+  if (!json.Get("step").is_string() || !json.Get("output").is_string() ||
+      !json.Get("digest").is_string() ||
+      !json.Get("config_hash").is_string()) {
+    return false;
+  }
+  out->step = json.Get("step").as_string();
+  out->output = json.Get("output").as_string();
+  out->digest = json.Get("digest").as_string();
+  out->config_hash = json.Get("config_hash").as_string();
+  out->bytes = static_cast<uint64_t>(json.Get("bytes").as_int());
+  out->events = static_cast<uint64_t>(json.Get("events").as_int());
+  return true;
+}
+
+}  // namespace
+
+RunJournal::RunJournal(std::string dir)
+    : dir_(std::move(dir)), objects_(dir_ + "/objects") {}
+
+std::string RunJournal::LinesPath(const std::string& dir) {
+  return dir + "/journal.jsonl";
+}
+
+Result<std::unique_ptr<RunJournal>> RunJournal::Open(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dir) / "objects", ec);
+  if (ec) {
+    return Status::IOError("cannot create journal directory " + dir + ": " +
+                           ec.message());
+  }
+  std::unique_ptr<RunJournal> journal(new RunJournal(dir));
+  const std::string lines_path = LinesPath(dir);
+  if (FileExists(lines_path)) {
+    DASPOS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(lines_path));
+    for (const std::string& line : Split(text, '\n')) {
+      if (Trim(line).empty()) continue;
+      auto parsed = Json::Parse(line);
+      RunJournal::Record record;
+      // A malformed line is a crash-truncated tail: keep everything before
+      // it, ignore the rest. Resume re-executes from that point.
+      if (!parsed.ok() || !RecordFromJson(*parsed, &record)) break;
+      journal->records_.push_back(std::move(record));
+    }
+  }
+  return journal;
+}
+
+Status RunJournal::Append(Record record, std::string_view blob) {
+  // Blob first: the journal line must never reference bytes that are not
+  // yet durable. FileObjectStore writes atomically (temp + fsync + rename).
+  DASPOS_ASSIGN_OR_RETURN(record.digest, objects_.Put(blob));
+  std::string line = RecordToJson(record).Dump() + "\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  int fd = ::open(LinesPath(dir_).c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open journal for append: " + dir_ + ": " +
+                           std::strerror(errno));
+  }
+  const char* cursor = line.data();
+  size_t remaining = line.size();
+  while (remaining > 0) {
+    ssize_t written = ::write(fd, cursor, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      return Status::IOError("journal append failed: " + dir_ + ": " +
+                             std::strerror(saved));
+    }
+    cursor += written;
+    remaining -= static_cast<size_t>(written);
+  }
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::IOError("journal fsync failed: " + dir_ + ": " +
+                           std::strerror(saved));
+  }
+  ::close(fd);
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+std::optional<RunJournal::Record> RunJournal::Find(
+    const std::string& step) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->step == step) return *it;
+  }
+  return std::nullopt;
+}
+
+Result<std::string> RunJournal::LoadBlob(const std::string& digest) const {
+  return objects_.Get(digest);
+}
+
+std::vector<RunJournal::Record> RunJournal::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+}  // namespace daspos

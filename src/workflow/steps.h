@@ -24,7 +24,7 @@ class GenerationStep : public WorkflowStep {
   GenerationStep(GeneratorConfig config, size_t event_count,
                  std::string dataset_name);
 
-  std::string name() const override { return "generation"; }
+  std::string name() const override { return "generation[" + dataset_name_ + "]"; }
   std::string version() const override { return "1.0"; }
   Json Config() const override;
   Result<std::string> Run(const std::vector<std::string_view>& inputs,
@@ -44,7 +44,7 @@ class SimulationStep : public WorkflowStep {
   SimulationStep(SimulationConfig config, uint32_t run_number,
                  std::string dataset_name);
 
-  std::string name() const override { return "simulation"; }
+  std::string name() const override { return "simulation[" + dataset_name_ + "]"; }
   std::string version() const override { return "1.0"; }
   Json Config() const override;
   Result<std::string> Run(const std::vector<std::string_view>& inputs,
@@ -65,7 +65,7 @@ class ReconstructionStep : public WorkflowStep {
  public:
   ReconstructionStep(DetectorGeometry geometry, std::string dataset_name);
 
-  std::string name() const override { return "reconstruction"; }
+  std::string name() const override { return "reconstruction[" + dataset_name_ + "]"; }
   std::string version() const override { return "1.0"; }
   Json Config() const override;
   Result<std::string> Run(const std::vector<std::string_view>& inputs,
@@ -83,7 +83,7 @@ class AodReductionStep : public WorkflowStep {
  public:
   explicit AodReductionStep(std::string dataset_name);
 
-  std::string name() const override { return "aod_reduction"; }
+  std::string name() const override { return "aod_reduction[" + dataset_name_ + "]"; }
   std::string version() const override { return "1.0"; }
   Json Config() const override;
   Result<std::string> Run(const std::vector<std::string_view>& inputs,
@@ -100,7 +100,7 @@ class DerivationStep : public WorkflowStep {
  public:
   DerivationStep(SkimSpec skim, SlimSpec slim, std::string dataset_name);
 
-  std::string name() const override { return "derivation"; }
+  std::string name() const override { return "derivation[" + dataset_name_ + "]"; }
   std::string version() const override { return "1.0"; }
   Json Config() const override;
   Result<std::string> Run(const std::vector<std::string_view>& inputs,
@@ -122,7 +122,7 @@ class MergeStep : public WorkflowStep {
  public:
   explicit MergeStep(std::string dataset_name);
 
-  std::string name() const override { return "merge"; }
+  std::string name() const override { return "merge[" + dataset_name_ + "]"; }
   std::string version() const override { return "1.0"; }
   Json Config() const override;
   Result<std::string> Run(const std::vector<std::string_view>& inputs,

@@ -9,6 +9,9 @@
 #include "archive/archive.h"
 #include "support/compress.h"
 #include "archive/object_store.h"
+#include "archive/resilient_store.h"
+#include "support/fault.h"
+#include "support/retry.h"
 #include "support/sha256.h"
 
 namespace daspos {
@@ -307,6 +310,135 @@ TEST(ArchiveTest, RetrieveUnknownIdFails) {
   MemoryObjectStore store;
   Archive archive(&store);
   EXPECT_TRUE(archive.Retrieve("0123abcd").status().IsNotFound());
+}
+
+// ------------------------------------------------- Key validation (PR 3) --
+
+TEST(ObjectIdValidationTest, AcceptsCanonicalIds) {
+  EXPECT_TRUE(ValidateObjectId(Sha256::HashHex("anything")).ok());
+}
+
+TEST(ObjectIdValidationTest, RejectsMalformedIds) {
+  EXPECT_TRUE(ValidateObjectId("").IsInvalidArgument());
+  EXPECT_TRUE(ValidateObjectId("../../etc/passwd").IsInvalidArgument());
+  EXPECT_TRUE(ValidateObjectId("0123abcd").IsInvalidArgument());  // too short
+  std::string upper = Sha256::HashHex("x");
+  upper[0] = 'A';
+  EXPECT_TRUE(ValidateObjectId(upper).IsInvalidArgument());
+  std::string slashed = Sha256::HashHex("x");
+  slashed[10] = '/';
+  EXPECT_TRUE(ValidateObjectId(slashed).IsInvalidArgument());
+}
+
+TEST_F(FileObjectStoreTest, KeyedOpsRejectTraversalIds) {
+  FileObjectStore store(root_);
+  ASSERT_TRUE(store.Put("guarded").ok());
+  // A traversal id must be rejected up front, never resolved to a path.
+  EXPECT_TRUE(store.Get("../../etc/passwd").status().IsInvalidArgument());
+  EXPECT_TRUE(store.Verify("../secret").IsInvalidArgument());
+  EXPECT_FALSE(store.Has("../secret"));
+  EXPECT_TRUE(store.Get("").status().IsInvalidArgument());
+}
+
+TEST_F(FileObjectStoreTest, AtomicPutLeavesNoTempFiles) {
+  FileObjectStore store(root_);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(store.Put("payload " + std::to_string(i)).ok());
+  }
+  size_t stray = 0;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root_)) {
+    if (entry.is_regular_file() &&
+        entry.path().filename().string().find("tmp.") != std::string::npos) {
+      ++stray;
+    }
+  }
+  EXPECT_EQ(stray, 0u);
+  EXPECT_EQ(store.Ids().size(), 8u);
+}
+
+// --------------------------------------------- Quarantine on read (PR 3) --
+
+TEST_F(FileObjectStoreTest, CorruptBlobIsQuarantinedOnRead) {
+  FileObjectStore store(root_);
+  auto id = store.Put("pristine bytes");
+  ASSERT_TRUE(id.ok());
+  // Rot the backing file behind the store's back.
+  std::string path = root_ + "/" + id->substr(0, 2) + "/" + id->substr(2);
+  std::ofstream(path, std::ios::binary) << "rotten";
+  auto got = store.Get(*id);
+  EXPECT_TRUE(got.status().IsCorruption());
+  EXPECT_NE(got.status().message().find("quarantine"), std::string::npos);
+  // The rotten copy moved aside: the store no longer claims the object...
+  EXPECT_FALSE(store.Has(*id));
+  EXPECT_TRUE(store.Ids().empty());
+  EXPECT_EQ(store.TotalBytes(), 0u);
+  // ...but keeps the evidence for forensics.
+  ASSERT_EQ(store.QuarantinedIds().size(), 1u);
+  EXPECT_EQ(store.QuarantinedIds()[0], *id);
+  // Re-depositing the original bytes heals the store in place.
+  auto healed = store.Put("pristine bytes");
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(*healed, *id);
+  EXPECT_EQ(*store.Get(*id), "pristine bytes");
+}
+
+// ------------------------------------------ Resilient decorators (PR 3) --
+
+TEST(ResilientStoreTest, FaultyStoreInjectsTransientFailures) {
+  MemoryObjectStore backend;
+  auto spec = FaultSpec::Parse("nth=1,3");
+  ASSERT_TRUE(spec.ok());
+  FaultPlan plan(*spec);
+  FaultyObjectStore store(&backend, &plan);
+  EXPECT_TRUE(store.Put("x").status().IsIOError());   // op 1: injected
+  auto id = store.Put("x");                           // op 2: passes through
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(store.Get(*id).status().IsIOError());   // op 3: injected
+  EXPECT_EQ(*store.Get(*id), "x");                    // op 4: passes through
+  EXPECT_EQ(plan.injected(), 2u);
+}
+
+TEST(ResilientStoreTest, RetryingOverFaultyConvergesToFaultFree) {
+  // rate=0.4 over a seeded RNG: the stacked decorators must converge to the
+  // exact fault-free behaviour as long as retries outlast the bad luck.
+  MemoryObjectStore backend;
+  auto spec = FaultSpec::Parse("seed=7,rate=0.4");
+  ASSERT_TRUE(spec.ok());
+  FaultPlan plan(*spec);
+  FaultyObjectStore faulty(&backend, &plan);
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.backoff_ms = 0.0;
+  policy.sleeper = [](double) {};
+  RetryingObjectStore store(&faulty, policy);
+
+  MemoryObjectStore reference;
+  for (int i = 0; i < 20; ++i) {
+    std::string blob = "chaos blob " + std::to_string(i);
+    auto id = store.Put(blob);
+    ASSERT_TRUE(id.ok());
+    auto want = reference.Put(blob);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(*id, *want);
+    EXPECT_EQ(*store.Get(*id), blob);
+    EXPECT_TRUE(store.Verify(*id).ok());
+  }
+  EXPECT_GT(plan.injected(), 0u);
+  EXPECT_EQ(store.Ids().size(), reference.Ids().size());
+  EXPECT_EQ(store.TotalBytes(), reference.TotalBytes());
+}
+
+TEST(ResilientStoreTest, PermanentErrorsAreNotRetried) {
+  MemoryObjectStore backend;
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.backoff_ms = 0.0;
+  int sleeps = 0;
+  policy.sleeper = [&](double) { ++sleeps; };
+  RetryingObjectStore store(&backend, policy);
+  EXPECT_TRUE(store.Get(Sha256::HashHex("absent")).status().IsNotFound());
+  EXPECT_EQ(sleeps, 0);  // NotFound is permanent: no backoff consumed
 }
 
 }  // namespace

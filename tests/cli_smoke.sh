@@ -33,6 +33,17 @@ LHADA
 "$DASPOS" chain z_ll 10 7 2 | grep -q "reconstruction"
 "$DASPOS" chain z_ll 10 7 2 --json | grep -q '"wall_ms"'
 
+# Fault tolerance: retries and a step timeout are accepted; a journaled run
+# checkpoints every step, and resuming it re-executes nothing.
+"$DASPOS" chain z_ll 10 7 2 --retries=2 --step-timeout=60 >/dev/null
+"$DASPOS" chain z_ll 10 7 2 --journal="$WORK/run1" >/dev/null
+grep -q '"step"' "$WORK/run1/journal.jsonl"
+"$DASPOS" chain z_ll 10 7 2 --resume="$WORK/run1" | grep -q "resumed 5 step(s)"
+# Chaos mode: injected faults are reported, and with retries the chain
+# still completes.
+"$DASPOS" chain z_ll 10 7 2 --retries=50 --inject-faults=seed=3,rate=0.2 \
+  | grep -q "fault injection:"
+
 "$DASPOS" export "$WORK/z_reco.dspc" Atlas "$WORK/z_atlas.xml"
 grep -q "JiveEvent" "$WORK/z_atlas.xml"
 "$DASPOS" convert "$WORK/z_atlas.xml" Atlas CMS "$WORK/z_cms.ig"

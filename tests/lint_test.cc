@@ -457,6 +457,75 @@ TEST(ArchiveCheckTest, A005UntitledManifest) {
   EXPECT_EQ(CodesOf(report), (std::vector<std::string>{"A005"}));
 }
 
+TEST(ArchiveCheckTest, A006QuarantinedBlob) {
+  // Seed the defect for real: deposit a blob on disk, rot its backing file,
+  // and read it once so the store quarantines it.
+  std::string root = (std::filesystem::temp_directory_path() /
+                      ("daspos_lint_a006_" + std::to_string(::getpid())))
+                         .string();
+  std::filesystem::remove_all(root);
+  {
+    FileObjectStore store(root);
+    auto id = store.Put("healthy bytes");
+    ASSERT_TRUE(id.ok());
+    std::string path = root + "/" + id->substr(0, 2) + "/" + id->substr(2);
+    ASSERT_TRUE(WriteStringToFile(path, "rotten").ok());
+    ASSERT_TRUE(store.Get(*id).status().IsCorruption());
+
+    LintReport report = CheckArchive(store);
+    EXPECT_TRUE(HasCode(report, "A006"));
+    const Diagnostic* diagnostic = FindDiagnostic(report, "A006");
+    ASSERT_NE(diagnostic, nullptr);
+    EXPECT_EQ(diagnostic->subject, *id);
+    // The fix-hint tells the operator how to heal the store.
+    EXPECT_NE(diagnostic->hint.find("re-Put"), std::string::npos);
+
+    // Healing the store clears the finding's cause (the quarantined copy
+    // remains as evidence, so A006 persists until it is deleted).
+    ASSERT_TRUE(store.Put("healthy bytes").ok());
+    EXPECT_TRUE(store.Verify(*id).ok());
+  }
+  std::filesystem::remove_all(root);
+}
+
+// ---------------------------------------------------------- run journal
+
+TEST(JournalCheckTest, FromJsonLinesParsesRecordsAndStopsAtGarbage) {
+  std::string text =
+      "{\"step\": \"gen\", \"output\": \"gen_out\"}\n"
+      "\n"
+      "{\"step\": \"sim\", \"output\": \"raw\"}\n"
+      "{\"step\": \"tr";  // crash-truncated tail
+  JournalSpec spec = JournalSpec::FromJsonLines(text);
+  ASSERT_EQ(spec.entries.size(), 2u);
+  EXPECT_EQ(spec.entries[0].step, "gen");
+  EXPECT_EQ(spec.entries[1].output, "raw");
+}
+
+TEST(JournalCheckTest, CleanJournalHasNoFindings) {
+  WorkflowGraphSpec workflow;
+  workflow.steps.push_back(MakeStep("gen", {}, "gen_out"));
+  workflow.steps.push_back(MakeStep("sim", {"gen_out"}, "raw"));
+  JournalSpec journal;
+  journal.entries.push_back({"gen", "gen_out"});
+  EXPECT_TRUE(CheckJournal(journal, workflow).empty());
+}
+
+TEST(JournalCheckTest, W104StaleCheckpoint) {
+  WorkflowGraphSpec workflow;
+  workflow.steps.push_back(MakeStep("gen", {}, "gen_out"));
+  JournalSpec journal;
+  journal.entries.push_back({"gen", "gen_out"});
+  // "reco" was renamed or removed since this journal was written.
+  journal.entries.push_back({"reco", "reco_out"});
+  journal.entries.push_back({"reco", "reco_out"});  // duplicates dedupe
+  LintReport report = CheckJournal(journal, workflow);
+  EXPECT_EQ(CodesOf(report), (std::vector<std::string>{"W104"}));
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.diagnostics()[0].subject, "reco");
+  EXPECT_EQ(report.diagnostics()[0].severity, Severity::kWarning);
+}
+
 // ------------------------------------------------------------- conditions
 
 TEST(ConditionsCheckTest, CleanTagHasNoFindings) {

@@ -6,9 +6,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "support/fault.h"
 #include "support/io.h"
 #include "support/result.h"
+#include "support/retry.h"
 #include "support/rng.h"
 #include "support/sha256.h"
 #include "support/status.h"
@@ -395,6 +399,219 @@ TEST(IoTest, WriteCreatesParentDirectories) {
   ASSERT_TRUE(WriteStringToFile(path, "x").ok());
   EXPECT_TRUE(FileExists(path));
   std::filesystem::remove_all(dir);
+}
+
+TEST(IoTest, AtomicWriteRoundTripAndOverwrite) {
+  auto dir = std::filesystem::temp_directory_path() / "daspos_io_atomic";
+  std::string path = (dir / "sub" / "blob.bin").string();
+  std::string payload("atomic\0bytes", 12);
+  ASSERT_TRUE(AtomicWriteFile(path, payload).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+  // Overwrite replaces the content wholesale; no temp files survive.
+  ASSERT_TRUE(AtomicWriteFile(path, "v2").ok());
+  read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "v2");
+  size_t entries = 0;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) ++entries;
+  }
+  EXPECT_EQ(entries, 1u);  // only blob.bin, no tmp.* leftovers
+  std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------------------- Retry --
+
+RetryPolicy FastPolicy() {
+  RetryPolicy policy;
+  policy.backoff_ms = 0.0;
+  policy.sleeper = [](double) {};
+  return policy;
+}
+
+TEST(RetryTest, SucceedsAfterTransientFailures) {
+  RetryPolicy policy = FastPolicy();
+  policy.max_attempts = 4;
+  int calls = 0;
+  Status status = RetryCall(
+      policy,
+      [&]() -> Status {
+        ++calls;
+        return calls < 3 ? Status::IOError("blip") : Status::OK();
+      },
+      "flaky op");
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, ExhaustsAttemptsAndReturnsLastError) {
+  RetryPolicy policy = FastPolicy();
+  policy.max_attempts = 3;
+  int calls = 0;
+  Status status = RetryCall(
+      policy,
+      [&]() -> Status {
+        ++calls;
+        return Status::IOError("still down");
+      },
+      "doomed op");
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, NonRetryableStopsImmediately) {
+  RetryPolicy policy = FastPolicy();
+  policy.max_attempts = 5;
+  int calls = 0;
+  Status status = RetryCall(
+      policy,
+      [&]() -> Status {
+        ++calls;
+        return Status::NotFound("gone for good");
+      },
+      "lookup");
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, DeadlineTripsBeforeAttemptsExhaust) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.backoff_ms = 50.0;
+  policy.backoff_multiplier = 1.0;
+  policy.jitter = 0.0;
+  policy.deadline_ms = 120.0;  // room for two backoffs, not three
+  policy.sleeper = [](double) {};
+  int calls = 0;
+  Status status = RetryCall(
+      policy,
+      [&]() -> Status {
+        ++calls;
+        return Status::IOError("slow outage");
+      },
+      "deadline op");
+  EXPECT_TRUE(status.IsDeadlineExceeded());
+  EXPECT_LT(calls, 100);
+  // The final status names the underlying error for post-mortems.
+  EXPECT_NE(status.message().find("slow outage"), std::string::npos);
+}
+
+TEST(RetryTest, BackoffIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.backoff_ms = 10.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 35.0;
+  policy.jitter = 0.25;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    double a = RetryBackoffMillis(policy, attempt, /*jitter_seed=*/7);
+    double b = RetryBackoffMillis(policy, attempt, /*jitter_seed=*/7);
+    EXPECT_EQ(a, b);  // same seed, same schedule
+    EXPECT_LE(a, 35.0 * 1.25);
+    EXPECT_GE(a, 0.0);
+  }
+  // Without jitter the schedule is exactly exponential-with-cap.
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(RetryBackoffMillis(policy, 1, 0), 10.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffMillis(policy, 2, 0), 20.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffMillis(policy, 3, 0), 35.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffMillis(policy, 4, 0), 35.0);
+}
+
+TEST(RetryTest, SleeperReceivesEachBackoff) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.backoff_ms = 5.0;
+  policy.backoff_multiplier = 2.0;
+  policy.jitter = 0.0;
+  std::vector<double> slept;
+  policy.sleeper = [&](double ms) { slept.push_back(ms); };
+  Status status = RetryCall(
+      policy, []() -> Status { return Status::IOError("down"); }, "op");
+  EXPECT_TRUE(status.IsIOError());
+  ASSERT_EQ(slept.size(), 3u);  // 4 attempts -> 3 sleeps between them
+  EXPECT_DOUBLE_EQ(slept[0], 5.0);
+  EXPECT_DOUBLE_EQ(slept[1], 10.0);
+  EXPECT_DOUBLE_EQ(slept[2], 20.0);
+}
+
+TEST(RetryTest, RetryResultReturnsValueOnEventualSuccess) {
+  RetryPolicy policy = FastPolicy();
+  policy.max_attempts = 3;
+  int calls = 0;
+  Result<std::string> result = RetryResult<std::string>(
+      policy,
+      [&]() -> Result<std::string> {
+        ++calls;
+        if (calls < 2) return Status::IOError("blip");
+        return std::string("payload");
+      },
+      "fetch");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, "payload");
+  EXPECT_EQ(calls, 2);
+}
+
+// ----------------------------------------------------------------- Fault --
+
+TEST(FaultSpecTest, ParsesRateAndSeed) {
+  auto spec = FaultSpec::Parse("seed=42,rate=0.3");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_DOUBLE_EQ(spec->rate, 0.3);
+  EXPECT_TRUE(spec->nth.empty());
+}
+
+TEST(FaultSpecTest, ParsesScriptedOrdinals) {
+  auto spec = FaultSpec::Parse("nth=3,7");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->nth.size(), 2u);
+  EXPECT_EQ(spec->nth[0], 3u);
+  EXPECT_EQ(spec->nth[1], 7u);
+}
+
+TEST(FaultSpecTest, RejectsBadSpecs) {
+  EXPECT_TRUE(FaultSpec::Parse("").status().IsInvalidArgument());
+  EXPECT_TRUE(FaultSpec::Parse("rate=1.5").status().IsInvalidArgument());
+  EXPECT_TRUE(FaultSpec::Parse("rate=-0.1").status().IsInvalidArgument());
+  EXPECT_TRUE(FaultSpec::Parse("banana=1").status().IsInvalidArgument());
+  EXPECT_TRUE(FaultSpec::Parse("nth=0").status().IsInvalidArgument());
+  // A seed alone injects nothing; that is a spec error, not a silent no-op.
+  EXPECT_TRUE(FaultSpec::Parse("seed=9").status().IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, ScriptedOrdinalsFailExactlyThoseOps) {
+  auto spec = FaultSpec::Parse("nth=2,4");
+  ASSERT_TRUE(spec.ok());
+  FaultPlan plan(*spec);
+  std::vector<bool> failed;
+  for (int i = 0; i < 5; ++i) failed.push_back(!plan.Next("op").ok());
+  EXPECT_EQ(failed, (std::vector<bool>{false, true, false, true, false}));
+  EXPECT_EQ(plan.operations(), 5u);
+  EXPECT_EQ(plan.injected(), 2u);
+}
+
+TEST(FaultPlanTest, RateModeIsDeterministicPerSeed) {
+  auto spec = FaultSpec::Parse("seed=123,rate=0.5");
+  ASSERT_TRUE(spec.ok());
+  FaultPlan a(*spec);
+  FaultPlan b(*spec);
+  int injected = 0;
+  for (int i = 0; i < 200; ++i) {
+    Status sa = a.Next("op");
+    Status sb = b.Next("op");
+    EXPECT_EQ(sa.ok(), sb.ok());  // same seed, same fate per op
+    if (!sa.ok()) {
+      EXPECT_TRUE(sa.IsIOError());  // injected faults look transient
+      ++injected;
+    }
+  }
+  // With rate 0.5 over 200 ops, both extremes would mean a broken RNG.
+  EXPECT_GT(injected, 50);
+  EXPECT_LT(injected, 150);
+  EXPECT_EQ(a.injected(), static_cast<uint64_t>(injected));
 }
 
 }  // namespace

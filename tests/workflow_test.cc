@@ -3,14 +3,21 @@
 // standard chain, and reproduction via captured configuration.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <thread>
 
 #include "conditions/store.h"
 #include "event/pdg.h"
+#include "support/fault.h"
 #include "tiers/dataset.h"
 #include "workflow/engine.h"
+#include "workflow/journal.h"
 #include "workflow/provenance.h"
 #include "workflow/steps.h"
 
@@ -599,6 +606,392 @@ TEST(GeneratorConfigJsonTest, RoundTrip) {
   EXPECT_EQ(restored->lepton_flavor, config.lepton_flavor);
   EXPECT_TRUE(GeneratorConfigFromJson(Json::Object()).status()
                   .IsInvalidArgument());
+}
+
+// ------------------------------------------------ fault tolerance (PR 3)
+
+/// TagStep that counts Run invocations and can fail its first N attempts —
+/// the shape of a transient infrastructure hiccup.
+class FlakyStep : public WorkflowStep {
+ public:
+  FlakyStep(std::string tag, std::shared_ptr<std::atomic<int>> runs,
+            int failures_before_success = 0)
+      : tag_(std::move(tag)),
+        runs_(std::move(runs)),
+        failures_before_success_(failures_before_success) {}
+  std::string name() const override { return "flaky_" + tag_; }
+  std::string version() const override { return "1"; }
+  Json Config() const override {
+    Json json = Json::Object();
+    json["tag"] = tag_;
+    return json;
+  }
+  Result<std::string> Run(const std::vector<std::string_view>& inputs,
+                          WorkflowContext*) const override {
+    int attempt = ++*runs_;
+    if (attempt <= failures_before_success_) {
+      return Status::IOError("transient hiccup on attempt " +
+                             std::to_string(attempt));
+    }
+    std::string out;
+    for (std::string_view input : inputs) out += std::string(input) + "|";
+    return out + tag_;
+  }
+
+ private:
+  std::string tag_;
+  std::shared_ptr<std::atomic<int>> runs_;
+  int failures_before_success_;
+};
+
+std::string TempRunDir(const std::string& label) {
+  return (std::filesystem::temp_directory_path() /
+          ("daspos_wf_" + label + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+TEST(WorkflowTest, DuplicateStepNameRejected) {
+  Workflow workflow;
+  ASSERT_TRUE(workflow.AddStep(std::make_shared<TagStep>("a"), {}, "x").ok());
+  auto status = workflow.AddStep(std::make_shared<TagStep>("a"), {}, "y");
+  EXPECT_TRUE(status.IsAlreadyExists());
+  EXPECT_NE(status.message().find("tag_a"), std::string::npos);
+  EXPECT_EQ(workflow.step_count(), 1u);
+}
+
+TEST(WorkflowRetryTest, FlakyStepSucceedsWithinBudget) {
+  Workflow workflow;
+  auto runs = std::make_shared<std::atomic<int>>(0);
+  ASSERT_TRUE(workflow
+                  .AddStep(std::make_shared<FlakyStep>(
+                               "a", runs, /*failures_before_success=*/2),
+                           {}, "a")
+                  .ok());
+  WorkflowContext context;
+  ExecuteOptions options;
+  options.max_step_retries = 3;
+  options.retry_backoff_ms = 0.0;
+  auto report = workflow.Execute(&context, nullptr, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(runs->load(), 3);
+  ASSERT_EQ(report->steps.size(), 1u);
+  EXPECT_EQ(report->steps[0].attempts, 3);
+  EXPECT_EQ(*context.GetDataset("a"), "a");
+}
+
+TEST(WorkflowRetryTest, RetriesExhaustedPropagatesLastError) {
+  Workflow workflow;
+  auto runs = std::make_shared<std::atomic<int>>(0);
+  ASSERT_TRUE(workflow
+                  .AddStep(std::make_shared<FlakyStep>(
+                               "a", runs, /*failures_before_success=*/10),
+                           {}, "a")
+                  .ok());
+  WorkflowContext context;
+  ExecuteOptions options;
+  options.max_step_retries = 2;
+  options.retry_backoff_ms = 0.0;
+  auto report = workflow.Execute(&context, nullptr, options);
+  EXPECT_TRUE(report.status().IsIOError());
+  EXPECT_EQ(runs->load(), 3);  // first attempt + 2 retries
+}
+
+TEST(WorkflowRetryTest, StepTimeoutBecomesDeadlineExceeded) {
+  Workflow workflow;
+  ASSERT_TRUE(workflow
+                  .AddStep(std::make_shared<TagStep>("slow", /*fail=*/false,
+                                                     /*sleep_ms=*/40),
+                           {}, "slow")
+                  .ok());
+  WorkflowContext context;
+  ExecuteOptions options;
+  options.step_timeout_ms = 1.0;  // the 40ms sleep cannot fit
+  auto report = workflow.Execute(&context, nullptr, options);
+  EXPECT_TRUE(report.status().IsDeadlineExceeded());
+  // A timed-out attempt's output is discarded, not half-committed.
+  EXPECT_FALSE(context.HasDataset("slow"));
+}
+
+TEST(WorkflowKeepGoingTest, IndependentBranchesSurviveAFailure) {
+  // doomed -> dependent is one branch; healthy is independent.
+  Workflow workflow;
+  ASSERT_TRUE(workflow
+                  .AddStep(std::make_shared<TagStep>("doomed", /*fail=*/true),
+                           {}, "doomed")
+                  .ok());
+  ASSERT_TRUE(workflow
+                  .AddStep(std::make_shared<TagStep>("dependent"), {"doomed"},
+                           "dependent")
+                  .ok());
+  ASSERT_TRUE(workflow
+                  .AddStep(std::make_shared<TagStep>("healthy"), {}, "healthy")
+                  .ok());
+  WorkflowContext context;
+  ExecuteOptions options;
+  options.keep_going = true;
+  auto report = workflow.Execute(&context, nullptr, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->fully_succeeded());
+  EXPECT_EQ(report->failed_steps,
+            std::vector<std::string>{"tag_doomed"});
+  EXPECT_EQ(report->skipped_steps,
+            std::vector<std::string>{"tag_dependent"});
+  // The independent branch completed and is in the report.
+  EXPECT_EQ(*context.GetDataset("healthy"), "healthy");
+  ASSERT_EQ(report->steps.size(), 1u);
+  EXPECT_EQ(report->steps[0].output, "healthy");
+  EXPECT_FALSE(context.HasDataset("doomed"));
+  EXPECT_FALSE(context.HasDataset("dependent"));
+}
+
+TEST(ChaosTest, FanoutUnderInjectedFaultsMatchesFaultFreeRun) {
+  Workflow workflow = FanoutWorkflow(16);
+
+  WorkflowContext clean_context;
+  ProvenanceStore clean_provenance;
+  ExecuteOptions clean_options;
+  clean_options.max_threads = 4;
+  auto clean = workflow.Execute(&clean_context, &clean_provenance,
+                                clean_options);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  // 30% of step attempts fail at the injection point; with enough retries
+  // the run must converge to the byte-identical fault-free result.
+  auto spec = FaultSpec::Parse("seed=11,rate=0.3");
+  ASSERT_TRUE(spec.ok());
+  FaultPlan plan(*spec);
+  WorkflowContext chaos_context;
+  ProvenanceStore chaos_provenance;
+  ExecuteOptions chaos_options;
+  chaos_options.max_threads = 4;
+  chaos_options.max_step_retries = 25;
+  chaos_options.retry_backoff_ms = 0.0;
+  chaos_options.step_faults = &plan;
+  auto chaos = workflow.Execute(&chaos_context, &chaos_provenance,
+                                chaos_options);
+  ASSERT_TRUE(chaos.ok()) << chaos.status();
+
+  EXPECT_GT(plan.injected(), 0u);
+  EXPECT_EQ(chaos_provenance.Serialize(), clean_provenance.Serialize());
+  EXPECT_EQ(*chaos_context.GetDataset("join"),
+            *clean_context.GetDataset("join"));
+  ASSERT_EQ(chaos->steps.size(), clean->steps.size());
+  for (size_t i = 0; i < clean->steps.size(); ++i) {
+    EXPECT_EQ(chaos->steps[i].step, clean->steps[i].step);
+    EXPECT_EQ(chaos->steps[i].output_bytes, clean->steps[i].output_bytes);
+  }
+}
+
+TEST(JournalTest, ResumeSkipsCheckpointedSteps) {
+  std::string dir = TempRunDir("resume");
+  std::filesystem::remove_all(dir);
+  auto runs_a = std::make_shared<std::atomic<int>>(0);
+  auto runs_b = std::make_shared<std::atomic<int>>(0);
+  auto runs_c = std::make_shared<std::atomic<int>>(0);
+
+  {
+    // First run: b always fails, so only a is checkpointed.
+    Workflow workflow;
+    ASSERT_TRUE(workflow
+                    .AddStep(std::make_shared<FlakyStep>("a", runs_a), {}, "a")
+                    .ok());
+    ASSERT_TRUE(workflow
+                    .AddStep(std::make_shared<FlakyStep>("b", runs_b, 100),
+                             {"a"}, "b")
+                    .ok());
+    ASSERT_TRUE(workflow
+                    .AddStep(std::make_shared<FlakyStep>("c", runs_c), {"b"},
+                             "c")
+                    .ok());
+    auto journal = RunJournal::Open(dir);
+    ASSERT_TRUE(journal.ok());
+    WorkflowContext context;
+    ExecuteOptions options;
+    options.max_threads = 1;
+    options.journal = journal->get();
+    auto report = workflow.Execute(&context, nullptr, options);
+    EXPECT_TRUE(report.status().IsIOError());  // b took the run down
+    EXPECT_EQ(runs_a->load(), 1);
+  }
+
+  {
+    // Second run, resumed: a restores from its checkpoint without running;
+    // b (now healthy) and c execute.
+    Workflow workflow;
+    ASSERT_TRUE(workflow
+                    .AddStep(std::make_shared<FlakyStep>("a", runs_a), {}, "a")
+                    .ok());
+    ASSERT_TRUE(workflow
+                    .AddStep(std::make_shared<FlakyStep>("b", runs_b), {"a"},
+                             "b")
+                    .ok());
+    ASSERT_TRUE(workflow
+                    .AddStep(std::make_shared<FlakyStep>("c", runs_c), {"b"},
+                             "c")
+                    .ok());
+    auto journal = RunJournal::Open(dir);
+    ASSERT_TRUE(journal.ok());
+    WorkflowContext context;
+    ExecuteOptions options;
+    options.max_threads = 1;
+    options.journal = journal->get();
+    options.resume = true;
+    auto report = workflow.Execute(&context, nullptr, options);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(runs_a->load(), 1);  // never re-ran
+    ASSERT_EQ(report->steps.size(), 3u);
+    EXPECT_TRUE(report->steps[0].from_checkpoint);
+    EXPECT_EQ(report->steps[0].attempts, 0);
+    EXPECT_FALSE(report->steps[1].from_checkpoint);
+    EXPECT_EQ(*context.GetDataset("c"), "a|b|c");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JournalTest, FullyCheckpointedRunReExecutesNothing) {
+  std::string dir = TempRunDir("full");
+  std::filesystem::remove_all(dir);
+  auto runs_a = std::make_shared<std::atomic<int>>(0);
+  auto runs_b = std::make_shared<std::atomic<int>>(0);
+
+  auto build = [&]() {
+    Workflow workflow;
+    EXPECT_TRUE(workflow
+                    .AddStep(std::make_shared<FlakyStep>("a", runs_a), {}, "a")
+                    .ok());
+    EXPECT_TRUE(workflow
+                    .AddStep(std::make_shared<FlakyStep>("b", runs_b), {"a"},
+                             "b")
+                    .ok());
+    return workflow;
+  };
+
+  std::string first_blob;
+  {
+    Workflow workflow = build();
+    auto journal = RunJournal::Open(dir);
+    ASSERT_TRUE(journal.ok());
+    WorkflowContext context;
+    ExecuteOptions options;
+    options.journal = journal->get();
+    ASSERT_TRUE(workflow.Execute(&context, nullptr, options).ok());
+    first_blob = std::string(*context.GetDataset("b"));
+  }
+  {
+    Workflow workflow = build();
+    auto journal = RunJournal::Open(dir);
+    ASSERT_TRUE(journal.ok());
+    WorkflowContext context;
+    ExecuteOptions options;
+    options.journal = journal->get();
+    options.resume = true;
+    auto report = workflow.Execute(&context, nullptr, options);
+    ASSERT_TRUE(report.ok()) << report.status();
+    // Zero step re-executions: both counters still read 1.
+    EXPECT_EQ(runs_a->load(), 1);
+    EXPECT_EQ(runs_b->load(), 1);
+    for (const auto& step : report->steps) {
+      EXPECT_TRUE(step.from_checkpoint);
+    }
+    EXPECT_EQ(*context.GetDataset("b"), first_blob);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JournalTest, TruncatedJournalLoadsIntactPrefix) {
+  std::string dir = TempRunDir("trunc");
+  std::filesystem::remove_all(dir);
+  auto runs_a = std::make_shared<std::atomic<int>>(0);
+  auto runs_b = std::make_shared<std::atomic<int>>(0);
+  {
+    Workflow workflow;
+    ASSERT_TRUE(workflow
+                    .AddStep(std::make_shared<FlakyStep>("a", runs_a), {}, "a")
+                    .ok());
+    ASSERT_TRUE(workflow
+                    .AddStep(std::make_shared<FlakyStep>("b", runs_b), {"a"},
+                             "b")
+                    .ok());
+    auto journal = RunJournal::Open(dir);
+    ASSERT_TRUE(journal.ok());
+    WorkflowContext context;
+    ExecuteOptions options;
+    options.max_threads = 1;
+    options.journal = journal->get();
+    ASSERT_TRUE(workflow.Execute(&context, nullptr, options).ok());
+  }
+
+  // Simulate a crash mid-append: chop the tail off the last journal line.
+  std::string lines_path = RunJournal::LinesPath(dir);
+  auto size = std::filesystem::file_size(lines_path);
+  std::filesystem::resize_file(lines_path, size - 10);
+
+  {
+    auto journal = RunJournal::Open(dir);
+    ASSERT_TRUE(journal.ok());
+    // Only the intact first record survived.
+    EXPECT_EQ((*journal)->records().size(), 1u);
+    EXPECT_TRUE((*journal)->Find("flaky_a").has_value());
+    EXPECT_FALSE((*journal)->Find("flaky_b").has_value());
+
+    // Resume re-runs exactly the truncated step.
+    Workflow workflow;
+    ASSERT_TRUE(workflow
+                    .AddStep(std::make_shared<FlakyStep>("a", runs_a), {}, "a")
+                    .ok());
+    ASSERT_TRUE(workflow
+                    .AddStep(std::make_shared<FlakyStep>("b", runs_b), {"a"},
+                             "b")
+                    .ok());
+    WorkflowContext context;
+    ExecuteOptions options;
+    options.max_threads = 1;
+    options.journal = journal->get();
+    options.resume = true;
+    auto report = workflow.Execute(&context, nullptr, options);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(runs_a->load(), 1);  // checkpoint held
+    EXPECT_EQ(runs_b->load(), 2);  // truncated record forced a re-run
+    EXPECT_EQ(*context.GetDataset("b"), "a|b");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JournalTest, ConfigChangeInvalidatesCheckpoint) {
+  std::string dir = TempRunDir("config");
+  std::filesystem::remove_all(dir);
+  auto runs = std::make_shared<std::atomic<int>>(0);
+  {
+    Workflow workflow;
+    // TagStep and FlakyStep share neither name nor config hash, so a
+    // checkpoint written by one must not satisfy the other.
+    ASSERT_TRUE(
+        workflow.AddStep(std::make_shared<TagStep>("a"), {}, "a").ok());
+    auto journal = RunJournal::Open(dir);
+    ASSERT_TRUE(journal.ok());
+    WorkflowContext context;
+    ExecuteOptions options;
+    options.journal = journal->get();
+    ASSERT_TRUE(workflow.Execute(&context, nullptr, options).ok());
+  }
+  {
+    Workflow workflow;
+    ASSERT_TRUE(workflow
+                    .AddStep(std::make_shared<FlakyStep>("a", runs), {}, "a")
+                    .ok());
+    auto journal = RunJournal::Open(dir);
+    ASSERT_TRUE(journal.ok());
+    WorkflowContext context;
+    ExecuteOptions options;
+    options.journal = journal->get();
+    options.resume = true;
+    auto report = workflow.Execute(&context, nullptr, options);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(runs->load(), 1);  // stale checkpoint ignored, step re-ran
+    ASSERT_EQ(report->steps.size(), 1u);
+    EXPECT_FALSE(report->steps[0].from_checkpoint);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

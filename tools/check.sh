@@ -6,6 +6,7 @@
 #   tools/check.sh --asan     # ASan build + full ctest suite
 #   tools/check.sh --ubsan    # UBSan build + full ctest suite (halt-on-error)
 #   tools/check.sh --tsan     # TSan build + workflow_test
+#   tools/check.sh --chaos    # TSan build + fault-injection/resume suite
 #   tools/check.sh --tier1    # tier-1 only
 #   tools/check.sh --no-tsan  # legacy spelling of --tier1
 #
@@ -17,13 +18,14 @@ cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-$(nproc)}
 
-RUN_TIER1=0 RUN_ASAN=0 RUN_UBSAN=0 RUN_TSAN=0
+RUN_TIER1=0 RUN_ASAN=0 RUN_UBSAN=0 RUN_TSAN=0 RUN_CHAOS=0
 case "${1:-}" in
   "")         RUN_TIER1=1 RUN_TSAN=1 ;;
-  --all)      RUN_TIER1=1 RUN_ASAN=1 RUN_UBSAN=1 RUN_TSAN=1 ;;
+  --all)      RUN_TIER1=1 RUN_ASAN=1 RUN_UBSAN=1 RUN_TSAN=1 RUN_CHAOS=1 ;;
   --asan)     RUN_ASAN=1 ;;
   --ubsan)    RUN_UBSAN=1 ;;
   --tsan)     RUN_TSAN=1 ;;
+  --chaos)    RUN_CHAOS=1 ;;
   --tier1|--no-tsan) RUN_TIER1=1 ;;
   *) echo "check.sh: unknown flag '$1'" >&2; exit 2 ;;
 esac
@@ -52,6 +54,17 @@ if [ "$RUN_TSAN" = 1 ]; then
   cmake -B build-tsan -S . -DDASPOS_SANITIZE=thread >/dev/null
   cmake --build build-tsan --target workflow_test -j"$JOBS"
   ./build-tsan/tests/workflow_test
+fi
+
+if [ "$RUN_CHAOS" = 1 ]; then
+  # The fault-injection, retry, timeout, keep-going, and checkpoint/resume
+  # tests, run wide under TSan: injected faults and retries must not open
+  # races in the dispatcher or the journal.
+  echo "==> chaos: DASPOS_SANITIZE=thread build + fault-tolerance suite"
+  cmake -B build-tsan -S . -DDASPOS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan --target workflow_test -j"$JOBS"
+  ./build-tsan/tests/workflow_test \
+    --gtest_filter='ChaosTest.*:JournalTest.*:WorkflowRetryTest.*:WorkflowKeepGoingTest.*'
 fi
 
 echo "check.sh: all green"

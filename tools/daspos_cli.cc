@@ -14,6 +14,7 @@
 // error), which makes it usable as a CI gate.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,13 +29,16 @@
 #include "level2/display.h"
 #include "level2/files.h"
 #include "lhada/lhada.h"
+#include "lint/checks.h"
 #include "lint/diagnostics.h"
 #include "lint/linter.h"
 #include "mc/generator.h"
+#include "support/fault.h"
 #include "support/io.h"
 #include "support/strings.h"
 #include "tiers/dataset.h"
 #include "tiers/skimslim.h"
+#include "workflow/journal.h"
 #include "workflow/steps.h"
 
 using namespace daspos;
@@ -62,6 +66,9 @@ int Usage() {
                "  daspos export <reco-file> <experiment> <out-file>\n"
                "  daspos chain <process> <n-events> <seed> [threads] "
                "[--json]\n"
+               "               [--retries=N] [--step-timeout=SECONDS] "
+               "[--keep-going]\n"
+               "               [--journal=DIR] [--resume=DIR]\n"
                "  daspos lint [--json] [--fail-on=info|warning|error] "
                "<artifact...>\n"
                "processes: minbias z_ll w_lnu h_gammagamma qcd_dijet "
@@ -362,12 +369,25 @@ int CmdExport(const std::string& in, const std::string& experiment_name,
   return 0;
 }
 
+// Flags for `daspos chain` beyond the positional process/count/seed.
+struct ChainFlags {
+  std::string threads = "0";
+  bool as_json = false;
+  int retries = 0;
+  double step_timeout_s = 0.0;
+  bool keep_going = false;
+  std::string journal_dir;  // checkpoint as the run progresses
+  std::string resume_dir;   // checkpoint AND restore prior checkpoints
+  std::string fault_spec;   // hidden: --inject-faults=<spec> (CI chaos runs)
+};
+
 // Runs the standard GEN->RAW->RECO->AOD->derived chain in memory on the
 // parallel workflow engine and prints the per-step timing table (or, with
-// --json, the full execution report as JSON).
+// --json, the full execution report as JSON). With a journal the run is
+// checkpointed step by step; --resume restores verified checkpoints instead
+// of re-executing their steps.
 int CmdChain(const std::string& process_name, const std::string& count,
-             const std::string& seed, const std::string& threads_text,
-             bool as_json) {
+             const std::string& seed, const ChainFlags& flags) {
   Process process = Process::kMinimumBias;
   bool known = false;
   for (const ProcessInfo& info : AllProcesses()) {
@@ -381,8 +401,8 @@ int CmdChain(const std::string& process_name, const std::string& count,
   if (!n.ok()) return Fail("bad event count '" + count + "'");
   auto seed_value = ParseU64(seed);
   if (!seed_value.ok()) return Fail("bad seed '" + seed + "'");
-  auto threads = ParseU64(threads_text);
-  if (!threads.ok()) return Fail("bad thread count '" + threads_text + "'");
+  auto threads = ParseU64(flags.threads);
+  if (!threads.ok()) return Fail("bad thread count '" + flags.threads + "'");
 
   GeneratorConfig gen_config;
   gen_config.process = process;
@@ -419,21 +439,75 @@ int CmdChain(const std::string& process_name, const std::string& count,
   ProvenanceStore provenance;
   ExecuteOptions options;
   options.max_threads = static_cast<size_t>(*threads);
+  options.max_step_retries = flags.retries;
+  options.step_timeout_ms = flags.step_timeout_s * 1000.0;
+  options.keep_going = flags.keep_going;
+
+  std::unique_ptr<RunJournal> journal;
+  const std::string journal_dir =
+      !flags.resume_dir.empty() ? flags.resume_dir : flags.journal_dir;
+  if (!journal_dir.empty()) {
+    auto opened = RunJournal::Open(journal_dir);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    journal = std::move(*opened);
+    options.journal = journal.get();
+    options.resume = !flags.resume_dir.empty();
+  }
+  if (options.resume) {
+    // Warn (W104) about checkpoints for steps this workflow does not have;
+    // resume ignores them, but the operator should know they exist.
+    auto lines = ReadFileToString(RunJournal::LinesPath(journal_dir));
+    if (lines.ok()) {
+      lint::LintReport journal_lint = lint::CheckJournal(
+          lint::JournalSpec::FromJsonLines(*lines), workflow.GraphSpec());
+      for (const lint::Diagnostic& diagnostic : journal_lint.diagnostics()) {
+        std::fprintf(stderr, "daspos: %s\n", diagnostic.Render().c_str());
+      }
+    }
+  }
+
+  std::unique_ptr<FaultPlan> faults;
+  if (!flags.fault_spec.empty()) {
+    auto spec = FaultSpec::Parse(flags.fault_spec);
+    if (!spec.ok()) return Fail(spec.status().ToString());
+    faults = std::make_unique<FaultPlan>(*spec);
+    options.step_faults = faults.get();
+  }
+
   auto report = workflow.Execute(&context, &provenance, options);
   if (!report.ok()) return Fail(report.status().ToString());
 
-  if (as_json) {
+  if (flags.as_json) {
     std::printf("%s\n", report->ToJson().Dump(2).c_str());
-    return 0;
+    return report->fully_succeeded() ? 0 : 1;
   }
   std::printf("%s\n",
               report->RenderTimingTable("standard chain execution:").c_str());
+  size_t resumed = 0;
+  for (const WorkflowReport::StepResult& step : report->steps) {
+    if (step.from_checkpoint) ++resumed;
+  }
+  if (resumed > 0) {
+    std::printf("resumed %zu step(s) from journal checkpoints in %s\n",
+                resumed, journal_dir.c_str());
+  }
+  if (faults != nullptr) {
+    std::printf("fault injection: %llu fault(s) across %llu operation(s)\n",
+                static_cast<unsigned long long>(faults->injected()),
+                static_cast<unsigned long long>(faults->operations()));
+  }
   std::printf("total: %s across %zu datasets in %s ms on %zu thread(s); "
               "%zu provenance record(s) captured\n",
               FormatBytes(context.TotalBytes()).c_str(),
               context.DatasetNames().size(),
               FormatDouble(report->wall_ms, 3).c_str(),
               report->threads_used, provenance.size());
+  if (!report->fully_succeeded()) {
+    std::printf("partial success: failed [%s], skipped [%s]\n",
+                Join(report->failed_steps, ", ").c_str(),
+                Join(report->skipped_steps, ", ").c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -505,17 +579,39 @@ int main(int argc, char** argv) {
     if (paths.empty()) return Usage();
     return CmdLint(paths, as_json, fail_on);
   }
-  if (command == "chain" && argc >= 5 && argc <= 7) {
-    bool as_json = false;
-    std::string threads = "0";
+  if (command == "chain" && argc >= 5) {
+    ChainFlags flags;
     for (int i = 5; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--json") == 0) {
-        as_json = true;
+      std::string arg = argv[i];
+      if (arg == "--json") {
+        flags.as_json = true;
+      } else if (arg == "--keep-going") {
+        flags.keep_going = true;
+      } else if (arg.rfind("--retries=", 0) == 0) {
+        auto retries = ParseU64(arg.substr(10));
+        if (!retries.ok() || *retries > 1000) {
+          return Fail("bad --retries value '" + arg.substr(10) + "'");
+        }
+        flags.retries = static_cast<int>(*retries);
+      } else if (arg.rfind("--step-timeout=", 0) == 0) {
+        auto seconds = ParseDouble(arg.substr(15));
+        if (!seconds.ok() || *seconds < 0.0) {
+          return Fail("bad --step-timeout value '" + arg.substr(15) + "'");
+        }
+        flags.step_timeout_s = *seconds;
+      } else if (arg.rfind("--journal=", 0) == 0) {
+        flags.journal_dir = arg.substr(10);
+      } else if (arg.rfind("--resume=", 0) == 0) {
+        flags.resume_dir = arg.substr(9);
+      } else if (arg.rfind("--inject-faults=", 0) == 0) {
+        flags.fault_spec = arg.substr(16);
+      } else if (!arg.empty() && arg[0] == '-') {
+        return Fail("unknown chain flag '" + arg + "'");
       } else {
-        threads = argv[i];
+        flags.threads = std::move(arg);
       }
     }
-    return CmdChain(argv[2], argv[3], argv[4], threads, as_json);
+    return CmdChain(argv[2], argv[3], argv[4], flags);
   }
   return Usage();
 }
