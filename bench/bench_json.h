@@ -1,0 +1,40 @@
+// Shared helper for the machine-readable benchmark records behind
+// BENCH_4.json. Each bench appends {bench, metric, value, threads} lines to
+// the JSONL file named by DASPOS_BENCH_JSON (tools/bench.sh assembles them
+// into the committed JSON array); without the variable the records are
+// silently skipped so interactive runs stay side-effect free.
+#ifndef DASPOS_BENCH_BENCH_JSON_H_
+#define DASPOS_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace daspos_bench {
+
+inline void AppendBenchJson(const std::string& bench,
+                            const std::string& metric, double value,
+                            int threads) {
+  const char* path = std::getenv("DASPOS_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* file = std::fopen(path, "a");
+  if (file == nullptr) return;
+  std::fprintf(file,
+               "{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.6f, "
+               "\"threads\": %d}\n",
+               bench.c_str(), metric.c_str(), value, threads);
+  std::fclose(file);
+}
+
+/// Positive integer from the environment, or `fallback`. Lets bench.sh
+/// --smoke shrink problem sizes without a rebuild.
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+}  // namespace daspos_bench
+
+#endif  // DASPOS_BENCH_BENCH_JSON_H_

@@ -76,8 +76,11 @@ class Archive {
   explicit Archive(ObjectStore* store) : store_(store) {}
 
   /// Ingests a SIP; returns the archive id (content id of the AIP
-  /// manifest). Requires a title and at least one file.
-  Result<std::string> Deposit(const SubmissionPackage& submission);
+  /// manifest). Requires a title and at least one file. With a pool, the
+  /// file blobs are hashed and stored concurrently (PutBatch); the manifest
+  /// and catalog update are identical either way.
+  Result<std::string> Deposit(const SubmissionPackage& submission,
+                              ThreadPool* pool = nullptr);
 
   /// Rebuilds the catalog from the object store by scanning for AIP
   /// manifests — how a fresh process re-adopts a long-lived (disk-backed)
@@ -91,8 +94,10 @@ class Archive {
   /// All deposited packages, in deposit order.
   std::vector<HoldingSummary> Holdings() const;
 
-  /// Verifies every object referenced by every manifest.
-  FixityReport AuditFixity() const;
+  /// Verifies every object referenced by every manifest. With a pool, the
+  /// per-file verifications run concurrently; the report lists objects in
+  /// the same (catalog, manifest) order as the serial audit.
+  FixityReport AuditFixity(ThreadPool* pool = nullptr) const;
 
   /// Format migration: applies `transform` to each file of a package and
   /// deposits the result as a new package whose manifest records the

@@ -1,9 +1,12 @@
 #include "archive/object_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <utility>
 
 #include "support/io.h"
+#include "support/parallel.h"
 #include "support/sha256.h"
 
 namespace daspos {
@@ -37,6 +40,18 @@ Status ValidateObjectId(const std::string& id) {
     }
   }
   return Status::OK();
+}
+
+Result<std::vector<std::string>> ObjectStore::PutBatch(
+    const std::vector<std::string_view>& blobs, ThreadPool* pool) {
+  (void)pool;  // The sequential fallback ignores the pool.
+  std::vector<std::string> ids;
+  ids.reserve(blobs.size());
+  for (std::string_view blob : blobs) {
+    DASPOS_ASSIGN_OR_RETURN(std::string id, Put(blob));
+    ids.push_back(std::move(id));
+  }
+  return ids;
 }
 
 // --------------------------------------------------------- MemoryObjectStore
@@ -111,10 +126,62 @@ std::string FileObjectStore::PathFor(const std::string& id) const {
 }
 
 void FileObjectStore::Quarantine(const std::string& id) const {
+  CacheDrop(id);
   std::error_code ec;
   fs::create_directories(fs::path(root_) / "quarantine", ec);
   if (ec) return;
   fs::rename(PathFor(id), fs::path(root_) / "quarantine" / id, ec);
+}
+
+Result<FileObjectStore::VerifiedStat> FileObjectStore::StatFingerprint(
+    const std::string& path) {
+  std::error_code ec;
+  uintmax_t size = fs::file_size(path, ec);
+  if (ec) return Status::NotFound("cannot stat: " + path);
+  auto mtime = fs::last_write_time(path, ec);
+  if (ec) return Status::NotFound("cannot stat: " + path);
+  VerifiedStat fp;
+  fp.size = static_cast<uint64_t>(size);
+  fp.mtime_ns = static_cast<int64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          mtime.time_since_epoch())
+          .count());
+  return fp;
+}
+
+bool FileObjectStore::CacheMatches(const std::string& id,
+                                   const VerifiedStat& current) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = verified_.find(id);
+  if (it == verified_.end()) return false;
+  if (it->second == current) return true;
+  // The file changed behind the cache: the old verdict is worthless. Drop
+  // it here so even an aborted read leaves no stale entry.
+  verified_.erase(it);
+  cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void FileObjectStore::CacheStore(const std::string& id,
+                                 const VerifiedStat& fp) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  verified_.insert_or_assign(id, fp);
+}
+
+void FileObjectStore::CacheDrop(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (verified_.erase(id) > 0) {
+    cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+CacheCounters FileObjectStore::digest_cache_stats() const {
+  CacheCounters counters;
+  counters.hits = cache_hits_.load(std::memory_order_relaxed);
+  counters.misses = cache_misses_.load(std::memory_order_relaxed);
+  counters.invalidations =
+      cache_invalidations_.load(std::memory_order_relaxed);
+  return counters;
 }
 
 Result<std::string> FileObjectStore::Put(std::string_view bytes) {
@@ -124,21 +191,45 @@ Result<std::string> FileObjectStore::Put(std::string_view bytes) {
   // good bytes heals a rotted object (Verify quarantines the bad copy).
   if (FileExists(path) && Verify(id).ok()) return id;
   DASPOS_RETURN_IF_ERROR(AtomicWriteFile(path, bytes));
+  // A write replaces whatever the cache knew about this id; the next read
+  // re-verifies the published copy from scratch.
+  CacheDrop(id);
   return id;
 }
 
 Result<std::string> FileObjectStore::Get(const std::string& id) const {
   DASPOS_RETURN_IF_ERROR(ValidateObjectId(id));
-  auto read = ReadFileToString(PathFor(id));
+  std::string path = PathFor(id);
+  // Warm path: a previous successful hash check recorded this exact
+  // {size, mtime}. If the stat still matches, skip the re-hash and only
+  // read the bytes. The fingerprint is taken BEFORE the read, so a writer
+  // racing the read can only make the next lookup conservative (re-hash),
+  // never let stale bytes through unverified.
+  auto fp = StatFingerprint(path);
+  if (fp.ok() && CacheMatches(id, *fp)) {
+    auto read = ReadFileToString(path);
+    if (read.ok()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return read;
+    }
+    // The file vanished between stat and read; fall through to the cold
+    // path for a coherent NotFound.
+    CacheDrop(id);
+  }
+  // Cold path: one streaming pass reads and hashes together. Bytes that no
+  // longer hash to their id must never reach a consumer: the rotted blob is
+  // moved aside so future reads fail fast and the linter can report it
+  // (A006).
+  std::string hex;
+  auto read = ReadFileHashed(path, &hex);
   if (!read.ok()) return Status::NotFound("object " + id + " not in store");
-  // Fixity gate on every read: bytes that no longer hash to their id must
-  // never reach a consumer. The rotted blob is moved aside so future reads
-  // fail fast and the linter can report it (A006).
-  if (Sha256::HashHex(*read) != id) {
+  if (hex != id) {
     Quarantine(id);
     return Status::Corruption("fixity mismatch for object " + id +
                               " (moved to quarantine)");
   }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (fp.ok()) CacheStore(id, *fp);
   return read;
 }
 
@@ -147,7 +238,53 @@ bool FileObjectStore::Has(const std::string& id) const {
 }
 
 Status FileObjectStore::Verify(const std::string& id) const {
-  return Get(id).status();
+  DASPOS_RETURN_IF_ERROR(ValidateObjectId(id));
+  std::string path = PathFor(id);
+  // An audit is the authority the cache defers to, so it must always hash
+  // the real bytes — never trust (or consult) the cache.
+  auto fp = StatFingerprint(path);
+  auto hex = HashFileHex(path);
+  if (!hex.ok()) return Status::NotFound("object " + id + " not in store");
+  if (*hex != id) {
+    Quarantine(id);
+    return Status::Corruption("fixity mismatch for object " + id +
+                              " (moved to quarantine)");
+  }
+  // A clean audit refreshes the cache for free.
+  if (fp.ok()) CacheStore(id, *fp);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> FileObjectStore::PutBatch(
+    const std::vector<std::string_view>& blobs, ThreadPool* pool) {
+  // Each slot hashes and writes independently; duplicate blobs in one batch
+  // land on the same path via atomic renames, which is safe.
+  struct Slot {
+    Status status;
+    std::string id;
+  };
+  std::vector<Slot> slots = ParallelMap<Slot>(
+      pool, blobs.size(),
+      [this, &blobs](size_t i) {
+        Slot slot;
+        auto put = Put(blobs[i]);
+        if (put.ok()) {
+          slot.id = std::move(put).value();
+        } else {
+          slot.status = put.status();
+        }
+        return slot;
+      },
+      /*grain=*/1);
+  std::vector<std::string> ids;
+  ids.reserve(slots.size());
+  for (Slot& slot : slots) {
+    // Deterministic error reporting: the first failing input wins, exactly
+    // as in the sequential loop.
+    DASPOS_RETURN_IF_ERROR(slot.status);
+    ids.push_back(std::move(slot.id));
+  }
+  return ids;
 }
 
 std::vector<std::string> FileObjectStore::Ids() const {

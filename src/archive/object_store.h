@@ -4,13 +4,19 @@
 #ifndef DASPOS_ARCHIVE_OBJECT_STORE_H_
 #define DASPOS_ARCHIVE_OBJECT_STORE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "support/metrics.h"
 #include "support/result.h"
 
 namespace daspos {
+
+class ThreadPool;
 
 /// Checks that `id` is a well-formed content id: exactly 64 lowercase hex
 /// characters. Rejects empty ids, path separators, `..`, absolute paths, and
@@ -40,6 +46,13 @@ class ObjectStore {
   /// Ids of blobs that failed fixity and were moved aside (sorted). Backends
   /// without a quarantine area return an empty list.
   virtual std::vector<std::string> QuarantinedIds() const { return {}; }
+
+  /// Stores every blob and returns their ids in input order; the first Put
+  /// failure aborts the batch. The base implementation loops over Put, so
+  /// decorators (fault injection, retry) keep their semantics; backends with
+  /// thread-safe Put may override to hash/write on `pool`.
+  virtual Result<std::vector<std::string>> PutBatch(
+      const std::vector<std::string_view>& blobs, ThreadPool* pool = nullptr);
 };
 
 /// In-memory backend (tests, benches).
@@ -60,11 +73,22 @@ class MemoryObjectStore : public ObjectStore {
 };
 
 /// Filesystem backend: objects live at <root>/<id[0:2]>/<id[2:]>. Writes are
-/// crash-safe (temp file + fsync + rename) and every read re-hashes the bytes;
+/// crash-safe (temp file + fsync + rename) and every read is fixity-gated;
 /// a blob whose digest no longer matches its id is moved to
 /// <root>/quarantine/<id> and the read fails with Corruption. Keyed lookups
 /// validate the id first, so a hostile id ("../../etc/passwd") can never
 /// address a path outside the store root.
+///
+/// Read fast path: after a successful hash check, Get records the blob's
+/// {size, mtime} in an in-memory verified-digest cache. A warm Get whose
+/// stat still matches skips the re-hash and just reads the bytes; any
+/// mismatch (or a Put / quarantine on the id) drops the entry and the next
+/// read re-hashes from scratch. Verify never consults the cache — an audit
+/// must always touch the real bytes.
+///
+/// Put, Get, and Verify are safe to call concurrently (PutBatch relies on
+/// this): the cache is mutex-guarded and on-disk publication is an atomic
+/// rename.
 class FileObjectStore : public ObjectStore {
  public:
   explicit FileObjectStore(std::string root) : root_(std::move(root)) {}
@@ -77,11 +101,46 @@ class FileObjectStore : public ObjectStore {
   uint64_t TotalBytes() const override;
   std::vector<std::string> QuarantinedIds() const override;
 
+  /// Hashes and writes the blobs concurrently on `pool` (caller
+  /// participates; ids still returned in input order).
+  Result<std::vector<std::string>> PutBatch(
+      const std::vector<std::string_view>& blobs,
+      ThreadPool* pool = nullptr) override;
+
+  /// Digest-cache hit/miss/invalidation counters since construction.
+  CacheCounters digest_cache_stats() const;
+
  private:
+  /// Stat fingerprint of a verified blob. A later stat that differs means
+  /// the file changed behind the cache and the verdict is stale.
+  struct VerifiedStat {
+    uint64_t size = 0;
+    int64_t mtime_ns = 0;
+
+    bool operator==(const VerifiedStat& other) const {
+      return size == other.size && mtime_ns == other.mtime_ns;
+    }
+  };
+
   std::string PathFor(const std::string& id) const;
-  /// Moves the blob at PathFor(id) into the quarantine area (best-effort).
+  /// Moves the blob at PathFor(id) into the quarantine area (best-effort)
+  /// and drops its cache entry.
   void Quarantine(const std::string& id) const;
+  /// Stat fingerprint of the file at `path`, or !ok if it cannot be statted.
+  static Result<VerifiedStat> StatFingerprint(const std::string& path);
+  /// True when the cache holds `id` with exactly `current`.
+  bool CacheMatches(const std::string& id, const VerifiedStat& current) const;
+  /// Records `id` as verified at fingerprint `fp`.
+  void CacheStore(const std::string& id, const VerifiedStat& fp) const;
+  /// Drops `id` from the cache, counting an invalidation if it was present.
+  void CacheDrop(const std::string& id) const;
+
   std::string root_;
+  mutable std::mutex cache_mutex_;
+  mutable std::map<std::string, VerifiedStat> verified_;
+  mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> cache_misses_{0};
+  mutable std::atomic<uint64_t> cache_invalidations_{0};
 };
 
 }  // namespace daspos

@@ -1,9 +1,11 @@
 #include "level2/files.h"
 
 #include <cctype>
+#include <utility>
 
 #include "serialize/binary.h"
 #include "serialize/json.h"
+#include "support/parallel.h"
 
 namespace daspos {
 namespace level2 {
@@ -12,22 +14,67 @@ namespace {
 
 constexpr char kAtlasTerminator[] = "</JiveEvent>";
 
+/// Per-event grain for parallel encode/decode: events are cheap enough that
+/// tiny chunks would be all scheduling overhead.
+constexpr size_t kEventGrain = 8;
+
+/// One parallel decode slot; statuses are folded in event order afterwards,
+/// so the first failing event wins exactly as in a serial loop.
+struct DecodeSlot {
+  Status status;
+  CommonEvent event;
+};
+
+/// Decodes every frame on the pool and returns the events in frame order,
+/// or the first (by input order) decode error.
+Result<std::vector<CommonEvent>> DecodeFrames(
+    const Level2Codec& codec, const std::vector<std::string_view>& frames,
+    ThreadPool* pool) {
+  std::vector<DecodeSlot> slots = ParallelMap<DecodeSlot>(
+      pool, frames.size(),
+      [&codec, &frames](size_t i) {
+        DecodeSlot slot;
+        auto decoded = codec.Decode(frames[i]);
+        if (decoded.ok()) {
+          slot.event = std::move(decoded).value();
+        } else {
+          slot.status = decoded.status();
+        }
+        return slot;
+      },
+      kEventGrain);
+  std::vector<CommonEvent> events;
+  events.reserve(slots.size());
+  for (DecodeSlot& slot : slots) {
+    DASPOS_RETURN_IF_ERROR(slot.status);
+    events.push_back(std::move(slot.event));
+  }
+  return events;
+}
+
 /// Binary framing shared by the Alice/LHCb file conventions, with separate
 /// magics so the files stay mutually unintelligible.
 std::string WriteBinaryFile(const char* magic, const Level2Codec& codec,
-                            const std::vector<CommonEvent>& events) {
+                            const std::vector<CommonEvent>& events,
+                            ThreadPool* pool) {
+  std::vector<std::string> blobs = ParallelMap<std::string>(
+      pool, events.size(),
+      [&codec, &events](size_t i) { return codec.Encode(events[i]); },
+      kEventGrain);
   BinaryWriter writer;
+  size_t payload = 0;
+  for (const std::string& blob : blobs) payload += blob.size() + 10;
+  writer.Reserve(payload + 16);
   writer.PutRaw(std::string_view(magic, 4));
   writer.PutVarint(events.size());
-  for (const CommonEvent& event : events) {
-    writer.PutString(codec.Encode(event));
-  }
+  for (const std::string& blob : blobs) writer.PutString(blob);
   return writer.TakeBuffer();
 }
 
 Result<std::vector<CommonEvent>> ReadBinaryFile(const char* magic,
                                                 const Level2Codec& codec,
-                                                std::string_view bytes) {
+                                                std::string_view bytes,
+                                                ThreadPool* pool) {
   BinaryReader reader(bytes);
   DASPOS_ASSIGN_OR_RETURN(std::string file_magic, reader.GetRaw(4));
   if (file_magic != std::string_view(magic, 4)) {
@@ -37,60 +84,83 @@ Result<std::vector<CommonEvent>> ReadBinaryFile(const char* magic,
   if (count > reader.remaining()) {
     return Status::Corruption("event count exceeds file size");
   }
-  std::vector<CommonEvent> events;
-  events.reserve(static_cast<size_t>(count));
+  // Serial frame scan (the framing is sequential by nature), parallel
+  // per-frame decode.
+  std::vector<std::string_view> frames;
+  frames.reserve(static_cast<size_t>(count));
   for (uint64_t i = 0; i < count; ++i) {
-    DASPOS_ASSIGN_OR_RETURN(std::string blob, reader.GetString());
-    DASPOS_ASSIGN_OR_RETURN(CommonEvent event, codec.Decode(blob));
-    events.push_back(std::move(event));
+    DASPOS_ASSIGN_OR_RETURN(uint64_t len, reader.GetVarint());
+    if (reader.remaining() < len) {
+      return Status::Corruption("truncated: string");
+    }
+    frames.push_back(bytes.substr(reader.position(), len));
+    DASPOS_RETURN_IF_ERROR(reader.Skip(static_cast<size_t>(len)));
   }
   if (!reader.AtEnd()) {
     return Status::Corruption("trailing bytes after event file");
   }
-  return events;
+  return DecodeFrames(codec, frames, pool);
 }
 
 }  // namespace
 
 std::string WriteEventFile(Experiment experiment,
-                           const std::vector<CommonEvent>& events) {
+                           const std::vector<CommonEvent>& events,
+                           ThreadPool* pool) {
   const Level2Codec& codec = CodecFor(experiment);
   switch (experiment) {
     case Experiment::kAtlas: {
-      // An XML event stream: concatenated standalone documents.
+      // An XML event stream: concatenated standalone documents, encoded in
+      // parallel and spliced in event order.
+      std::vector<std::string> docs = ParallelMap<std::string>(
+          pool, events.size(),
+          [&codec, &events](size_t i) { return codec.Encode(events[i]); },
+          kEventGrain);
+      size_t total = 0;
+      for (const std::string& doc : docs) total += doc.size();
       std::string out;
-      for (const CommonEvent& event : events) out += codec.Encode(event);
+      out.reserve(total);
+      for (const std::string& doc : docs) out += doc;
       return out;
     }
     case Experiment::kCms: {
       // One JSON file holding an array of ig documents.
       Json file = Json::Object();
       file["ig_file_version"] = 1;
+      // Codec output is JSON text; encode and re-parse concurrently, then
+      // nest structurally in event order.
+      std::vector<Json> parsed_events = ParallelMap<Json>(
+          pool, events.size(),
+          [&codec, &events](size_t i) {
+            auto parsed = Json::Parse(codec.Encode(events[i]));
+            return std::move(parsed).value();
+          },
+          kEventGrain);
       Json event_list = Json::Array();
-      for (const CommonEvent& event : events) {
-        // Codec output is JSON text; parse to nest it structurally.
-        auto parsed = Json::Parse(codec.Encode(event));
-        event_list.push_back(std::move(parsed).value());
+      for (Json& parsed : parsed_events) {
+        event_list.push_back(std::move(parsed));
       }
       file["events"] = std::move(event_list);
       return file.Dump(1);
     }
     case Experiment::kAlice:
-      return WriteBinaryFile("ALIF", codec, events);
+      return WriteBinaryFile("ALIF", codec, events, pool);
     case Experiment::kLhcb:
-      return WriteBinaryFile("LHCF", codec, events);
+      return WriteBinaryFile("LHCF", codec, events, pool);
   }
   return {};
 }
 
 Result<std::vector<CommonEvent>> ReadEventFile(Experiment experiment,
-                                               std::string_view bytes) {
+                                               std::string_view bytes,
+                                               ThreadPool* pool) {
   const Level2Codec& codec = CodecFor(experiment);
   switch (experiment) {
     case Experiment::kAtlas: {
-      std::vector<CommonEvent> events;
-      size_t pos = 0;
+      // Serial split on the document terminator, parallel per-doc decode.
       std::string data(bytes);
+      std::vector<std::string_view> frames;
+      size_t pos = 0;
       while (pos < data.size()) {
         size_t end = data.find(kAtlasTerminator, pos);
         if (end == std::string::npos) {
@@ -104,16 +174,13 @@ Result<std::vector<CommonEvent>> ReadEventFile(Experiment experiment,
           break;
         }
         size_t block_end = end + sizeof(kAtlasTerminator) - 1;
-        DASPOS_ASSIGN_OR_RETURN(
-            CommonEvent event,
-            codec.Decode(std::string_view(data).substr(pos, block_end - pos)));
-        events.push_back(std::move(event));
+        frames.push_back(std::string_view(data).substr(pos, block_end - pos));
         pos = block_end;
       }
-      if (events.empty()) {
+      if (frames.empty()) {
         return Status::Corruption("no events in XML stream");
       }
-      return events;
+      return DecodeFrames(codec, frames, pool);
     }
     case Experiment::kCms: {
       DASPOS_ASSIGN_OR_RETURN(Json file, Json::Parse(bytes));
@@ -121,28 +188,44 @@ Result<std::vector<CommonEvent>> ReadEventFile(Experiment experiment,
         return Status::Corruption("not an ig event file");
       }
       const Json& event_list = file.Get("events");
+      struct DecodeSlotLocal {
+        Status status;
+        CommonEvent event;
+      };
+      std::vector<DecodeSlotLocal> slots = ParallelMap<DecodeSlotLocal>(
+          pool, event_list.size(),
+          [&codec, &event_list](size_t i) {
+            DecodeSlotLocal slot;
+            auto decoded = codec.Decode(event_list.at(i).Dump());
+            if (decoded.ok()) {
+              slot.event = std::move(decoded).value();
+            } else {
+              slot.status = decoded.status();
+            }
+            return slot;
+          },
+          kEventGrain);
       std::vector<CommonEvent> events;
-      events.reserve(event_list.size());
-      for (size_t i = 0; i < event_list.size(); ++i) {
-        DASPOS_ASSIGN_OR_RETURN(CommonEvent event,
-                                codec.Decode(event_list.at(i).Dump()));
-        events.push_back(std::move(event));
+      events.reserve(slots.size());
+      for (DecodeSlotLocal& slot : slots) {
+        DASPOS_RETURN_IF_ERROR(slot.status);
+        events.push_back(std::move(slot.event));
       }
       return events;
     }
     case Experiment::kAlice:
-      return ReadBinaryFile("ALIF", codec, bytes);
+      return ReadBinaryFile("ALIF", codec, bytes, pool);
     case Experiment::kLhcb:
-      return ReadBinaryFile("LHCF", codec, bytes);
+      return ReadBinaryFile("LHCF", codec, bytes, pool);
   }
   return Status::InvalidArgument("unknown experiment");
 }
 
 Result<std::string> ConvertEventFile(Experiment from, std::string_view bytes,
-                                     Experiment to) {
+                                     Experiment to, ThreadPool* pool) {
   DASPOS_ASSIGN_OR_RETURN(std::vector<CommonEvent> events,
-                          ReadEventFile(from, bytes));
-  return WriteEventFile(to, events);
+                          ReadEventFile(from, bytes, pool));
+  return WriteEventFile(to, events, pool);
 }
 
 }  // namespace level2

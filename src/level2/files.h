@@ -12,19 +12,28 @@
 #include "level2/dialects.h"
 
 namespace daspos {
+
+class ThreadPool;
+
 namespace level2 {
 
-/// Writes `events` as one file in `experiment`'s dialect.
+/// Writes `events` as one file in `experiment`'s dialect. With a pool the
+/// per-event encodes run concurrently and concatenate in event order, so the
+/// file is byte-identical to the serial write.
 std::string WriteEventFile(Experiment experiment,
-                           const std::vector<CommonEvent>& events);
+                           const std::vector<CommonEvent>& events,
+                           ThreadPool* pool = nullptr);
 
-/// Reads a dialect file back into common events.
+/// Reads a dialect file back into common events. Frame splitting is serial
+/// (it walks the container structure); per-event decodes run on the pool.
 Result<std::vector<CommonEvent>> ReadEventFile(Experiment experiment,
-                                               std::string_view bytes);
+                                               std::string_view bytes,
+                                               ThreadPool* pool = nullptr);
 
 /// Converts a whole file between dialects via the common format.
 Result<std::string> ConvertEventFile(Experiment from, std::string_view bytes,
-                                     Experiment to);
+                                     Experiment to,
+                                     ThreadPool* pool = nullptr);
 
 }  // namespace level2
 }  // namespace daspos

@@ -4,7 +4,16 @@
 #include <cmath>
 #include <vector>
 
+#include "support/parallel.h"
+
 namespace daspos {
+
+std::vector<RecoEvent> Reconstructor::ReconstructAll(
+    const std::vector<RawEvent>& raw, ThreadPool* pool) const {
+  return ParallelMap<RecoEvent>(
+      pool, raw.size(), [this, &raw](size_t i) { return Reconstruct(raw[i]); },
+      /*grain=*/1);
+}
 
 namespace {
 

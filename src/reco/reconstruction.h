@@ -5,6 +5,8 @@
 #ifndef DASPOS_RECO_RECONSTRUCTION_H_
 #define DASPOS_RECO_RECONSTRUCTION_H_
 
+#include <vector>
+
 #include "detsim/calib.h"
 #include "detsim/geometry.h"
 #include "event/raw.h"
@@ -13,6 +15,8 @@
 #include "reco/tracking.h"
 
 namespace daspos {
+
+class ThreadPool;
 
 struct CandidateConfig {
   /// EM fraction above which a cluster is electron/photon-like.
@@ -44,6 +48,12 @@ class Reconstructor {
       : config_(config) {}
 
   RecoEvent Reconstruct(const RawEvent& raw) const;
+
+  /// Reconstructs every event, in parallel on `pool` when given. Each event
+  /// is reconstructed independently, so output order (and every byte) is
+  /// identical to calling Reconstruct in a serial loop.
+  std::vector<RecoEvent> ReconstructAll(const std::vector<RawEvent>& raw,
+                                        ThreadPool* pool = nullptr) const;
 
   const ReconstructionConfig& config() const { return config_; }
 

@@ -1,5 +1,7 @@
 #include "rivet/analysis.h"
 
+#include "support/parallel.h"
+
 namespace daspos {
 namespace rivet {
 
@@ -28,16 +30,26 @@ void AnalysisHandler::Add(std::unique_ptr<Analysis> analysis) {
   analyses_.push_back(std::move(analysis));
 }
 
-void AnalysisHandler::Run(const std::vector<GenEvent>& events) {
+void AnalysisHandler::Run(const std::vector<GenEvent>& events,
+                          ThreadPool* pool) {
   if (!initialized_) {
     for (auto& analysis : analyses_) analysis->Init();
     initialized_ = true;
   }
+  // Weight bookkeeping stays on the calling thread, in event order.
   for (const GenEvent& event : events) {
     sum_of_weights_ += event.weight;
     ++events_processed_;
-    for (auto& analysis : analyses_) analysis->Analyze(event);
   }
+  // Parallelism is across analyses, never across events: each analysis
+  // walks the identical in-order event stream it would see serially, so
+  // order-sensitive accumulations reproduce exactly.
+  ParallelFor(
+      pool, analyses_.size(),
+      [this, &events](size_t a) {
+        for (const GenEvent& event : events) analyses_[a]->Analyze(event);
+      },
+      /*grain=*/1);
 }
 
 std::vector<Histo1D> AnalysisHandler::Finalize() {

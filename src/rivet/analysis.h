@@ -17,6 +17,9 @@
 #include "support/result.h"
 
 namespace daspos {
+
+class ThreadPool;
+
 namespace rivet {
 
 /// Base class for preserved analyses. Lifecycle: Init -> Analyze per event
@@ -58,8 +61,12 @@ class AnalysisHandler {
   /// Registers an analysis instance (handler takes ownership).
   void Add(std::unique_ptr<Analysis> analysis);
 
-  /// Processes events; can be called repeatedly.
-  void Run(const std::vector<GenEvent>& events);
+  /// Processes events; can be called repeatedly. With a pool, the analyses
+  /// run concurrently — each analysis still sees the full event sequence in
+  /// order, so per-analysis histogram fills (float accumulation included)
+  /// are bit-identical to the serial run. Events are never sharded across
+  /// threads within one analysis.
+  void Run(const std::vector<GenEvent>& events, ThreadPool* pool = nullptr);
 
   /// Finalizes all analyses and returns every histogram.
   std::vector<Histo1D> Finalize();

@@ -31,6 +31,12 @@ class BinaryWriter {
   /// Raw bytes, no length prefix.
   void PutRaw(std::string_view bytes);
 
+  /// Pre-allocates room for about `upcoming_bytes` more output — size it
+  /// from input counts (records * typical size) to avoid regrowth copies.
+  void Reserve(size_t upcoming_bytes) {
+    buffer_.reserve(buffer_.size() + upcoming_bytes);
+  }
+
   const std::string& buffer() const { return buffer_; }
   std::string TakeBuffer() { return std::move(buffer_); }
   size_t size() const { return buffer_.size(); }

@@ -11,6 +11,17 @@ namespace {
 constexpr char kHeaderMagic[] = "DSPC";
 constexpr char kFooterMagic[] = "DSPE";
 constexpr size_t kMagicLen = 4;
+
+/// LEB128 varint straight into `out` — record framing without a temporary
+/// BinaryWriter per record.
+void AppendVarint(std::string& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
 }  // namespace
 
 ContainerWriter::ContainerWriter(const Json& metadata) {
@@ -23,11 +34,20 @@ ContainerWriter::ContainerWriter(const Json& metadata) {
 
 void ContainerWriter::AddRecord(std::string_view record) {
   assert(!finished_);
-  BinaryWriter w;
-  w.PutVarint(record.size());
-  buffer_ += w.buffer();
+  AppendVarint(buffer_, record.size());
   buffer_.append(record.data(), record.size());
   ++record_count_;
+}
+
+void ContainerWriter::AppendEncodedRecords(std::string_view encoded,
+                                           size_t count) {
+  assert(!finished_);
+  buffer_.append(encoded.data(), encoded.size());
+  record_count_ += count;
+}
+
+void ContainerWriter::Reserve(size_t payload_bytes) {
+  buffer_.reserve(buffer_.size() + payload_bytes);
 }
 
 std::string ContainerWriter::Finish() {

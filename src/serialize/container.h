@@ -37,6 +37,15 @@ class ContainerWriter {
   /// Appends one opaque record.
   void AddRecord(std::string_view record);
 
+  /// Appends `count` pre-framed records in one splice. `encoded` must be
+  /// exactly the bytes AddRecord would have produced for those records
+  /// (varint length + payload each) — this is how parallel producers merge
+  /// per-chunk record buffers without re-framing.
+  void AppendEncodedRecords(std::string_view encoded, size_t count);
+
+  /// Pre-allocates room for about `payload_bytes` of upcoming records.
+  void Reserve(size_t payload_bytes);
+
   size_t record_count() const { return record_count_; }
 
   /// Seals the container (writes the footer) and returns the bytes.

@@ -52,7 +52,7 @@ bool Json::Has(std::string_view key) const {
 
 namespace {
 
-void AppendEscaped(std::string& out, const std::string& s) {
+void AppendEscaped(std::string& out, std::string_view s) {
   out.push_back('"');
   for (char raw : s) {
     unsigned char c = static_cast<unsigned char>(raw);
@@ -157,8 +157,34 @@ void Json::DumpTo(std::string& out, int indent, int depth) const {
   }
 }
 
+size_t Json::DumpSizeHint() const {
+  switch (type_) {
+    case Type::kNull:
+    case Type::kBool:
+      return 5;
+    case Type::kNumber:
+      return 24;
+    case Type::kString:
+      return string_.size() + 8;
+    case Type::kArray: {
+      size_t total = 2;
+      for (const Json& item : array_) total += item.DumpSizeHint() + 2;
+      return total;
+    }
+    case Type::kObject: {
+      size_t total = 2;
+      for (const auto& [key, value] : object_) {
+        total += key.size() + value.DumpSizeHint() + 6;
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
 std::string Json::Dump(int indent) const {
   std::string out;
+  out.reserve(DumpSizeHint());
   DumpTo(out, indent, 0);
   return out;
 }

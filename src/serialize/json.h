@@ -93,6 +93,8 @@ class Json {
 
  private:
   void DumpTo(std::string& out, int indent, int depth) const;
+  /// Approximate compact serialized size, used to pre-reserve Dump output.
+  size_t DumpSizeHint() const;
 
   Type type_;
   bool bool_ = false;

@@ -1,5 +1,6 @@
 #include "support/threadpool.h"
 
+#include <chrono>
 #include <utility>
 
 namespace daspos {
@@ -35,6 +36,11 @@ void ThreadPool::Wait() {
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+ThreadPoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
 size_t ThreadPool::DefaultThreadCount() {
   size_t hardware = std::thread::hardware_concurrency();
   return hardware == 0 ? 1 : hardware;
@@ -50,9 +56,15 @@ void ThreadPool::WorkerLoop() {
     queue_.pop_front();
     ++active_;
     lock.unlock();
+    auto task_start = std::chrono::steady_clock::now();
     task();
+    double task_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - task_start)
+                         .count();
     lock.lock();
     --active_;
+    ++stats_.tasks_executed;
+    stats_.busy_ms += task_ms;
     if (queue_.empty() && active_ == 0) idle_.notify_all();
   }
 }

@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -13,6 +14,14 @@
 #include <vector>
 
 namespace daspos {
+
+/// Cumulative pool activity since construction. busy_ms sums wall time spent
+/// inside task bodies across all workers, so utilization over an interval is
+/// busy_ms / (thread_count * interval_ms).
+struct ThreadPoolStats {
+  uint64_t tasks_executed = 0;
+  double busy_ms = 0.0;
+};
 
 /// Fixed-size pool of worker threads. Tasks submitted while the pool lives
 /// are executed in FIFO order across the workers; the destructor waits for
@@ -36,18 +45,22 @@ class ThreadPool {
 
   size_t thread_count() const { return workers_.size(); }
 
+  /// Snapshot of cumulative task counts and busy time.
+  ThreadPoolStats stats() const;
+
   /// One worker per hardware thread, and at least one.
   static size_t DefaultThreadCount();
 
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   size_t active_ = 0;
   bool stopping_ = false;
+  ThreadPoolStats stats_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,6 +1,8 @@
 #include "tiers/skimslim.h"
 
+#include "serialize/binary.h"
 #include "serialize/container.h"
+#include "support/parallel.h"
 #include "support/strings.h"
 
 namespace daspos {
@@ -152,7 +154,7 @@ Result<SlimSpec> SlimSpec::FromJson(const Json& json) {
 Result<std::string> DeriveDataset(std::string_view aod_blob,
                                   const std::string& output_name,
                                   const SkimSpec& skim, const SlimSpec& slim,
-                                  DerivationStats* stats) {
+                                  DerivationStats* stats, ThreadPool* pool) {
   DatasetInfo input_info;
   DASPOS_ASSIGN_OR_RETURN(std::vector<AodEvent> events,
                           ReadAodDataset(aod_blob, &input_info));
@@ -176,12 +178,35 @@ Result<std::string> DeriveDataset(std::string_view aod_blob,
   derivation["slim"] = slim.ToJson();
   meta["derivation"] = std::move(derivation);
 
+  // Each chunk filters and re-encodes its events into a pre-framed record
+  // buffer (exactly the bytes AddRecord would emit); the buffers splice in
+  // chunk order, so the blob matches the serial loop byte for byte.
+  struct ChunkRecords {
+    std::string encoded;
+    uint64_t kept = 0;
+  };
+  ChunkPlan plan = PlanChunks(events.size(), /*grain=*/16);
+  std::vector<ChunkRecords> parts(plan.chunk_count);
+  ForEachChunk(pool, events.size(), /*grain=*/16,
+               [&](size_t chunk, size_t begin, size_t end) {
+                 ChunkRecords& part = parts[chunk];
+                 BinaryWriter w;
+                 for (size_t i = begin; i < end; ++i) {
+                   if (!skim.predicate(events[i])) continue;
+                   w.PutString(slim.Apply(events[i]).ToRecord());
+                   ++part.kept;
+                 }
+                 part.encoded = w.TakeBuffer();
+               });
+
   ContainerWriter writer(meta);
   uint64_t kept = 0;
-  for (const AodEvent& event : events) {
-    if (!skim.predicate(event)) continue;
-    writer.AddRecord(slim.Apply(event).ToRecord());
-    ++kept;
+  size_t total_encoded = 0;
+  for (const ChunkRecords& part : parts) total_encoded += part.encoded.size();
+  writer.Reserve(total_encoded);
+  for (const ChunkRecords& part : parts) {
+    writer.AppendEncodedRecords(part.encoded, static_cast<size_t>(part.kept));
+    kept += part.kept;
   }
   std::string blob = writer.Finish();
   if (stats != nullptr) {

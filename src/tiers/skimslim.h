@@ -18,6 +18,8 @@
 
 namespace daspos {
 
+class ThreadPool;
+
 /// Event selection with a self-describing label AND a machine-readable
 /// descriptor, so preserved skims rebuild from provenance (the logical
 /// skimming description of §3.2 made executable again).
@@ -86,11 +88,15 @@ struct DerivationStats {
 };
 
 /// Runs skim+slim over an AOD dataset blob and produces a derived dataset
-/// blob whose metadata records the logical derivation description.
+/// blob whose metadata records the logical derivation description. With a
+/// pool, events are filtered and re-encoded in parallel chunks whose record
+/// buffers are merged in chunk order, so the output blob is byte-identical
+/// to the serial run (the skim predicate and slim must be pure).
 Result<std::string> DeriveDataset(std::string_view aod_blob,
                                   const std::string& output_name,
                                   const SkimSpec& skim, const SlimSpec& slim,
-                                  DerivationStats* stats = nullptr);
+                                  DerivationStats* stats = nullptr,
+                                  ThreadPool* pool = nullptr);
 
 }  // namespace daspos
 

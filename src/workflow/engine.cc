@@ -72,6 +72,12 @@ Json WorkflowReport::ToJson() const {
   Json json = Json::Object();
   json["threads"] = static_cast<uint64_t>(threads_used);
   json["wall_ms"] = wall_ms;
+  Json pool_json = Json::Object();
+  pool_json["threads"] = static_cast<uint64_t>(pool.threads);
+  pool_json["tasks_executed"] = pool.tasks_executed;
+  pool_json["busy_ms"] = pool.busy_ms;
+  pool_json["utilization"] = pool.Utilization();
+  json["pool"] = std::move(pool_json);
   Json step_list = Json::Array();
   for (const StepResult& result : steps) {
     Json step = Json::Object();
@@ -246,10 +252,11 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
         "workflow cannot progress; blocked steps: " + blocked);
   }
 
+  // No clamp to the step count: a mostly-linear chain still profits from a
+  // wide pool because steps fan their own event loops out over it.
   size_t threads =
       options.max_threads > 0 ? options.max_threads
                               : ThreadPool::DefaultThreadCount();
-  threads = std::min(threads, std::max<size_t>(1, topo.size()));
 
   WorkflowReport report;
   report.threads_used = threads;
@@ -298,6 +305,10 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
 
   {
     ThreadPool pool(threads);
+    // Steps share this pool for their intra-step event loops. At one thread
+    // the pool is withheld so every loop takes its strictly serial path —
+    // the reference each parallel width must reproduce byte for byte.
+    context->set_worker_pool(threads > 1 ? &pool : nullptr);
     std::function<void(size_t)> run_step = [&](size_t index) {
       {
         std::lock_guard lock(mutex);
@@ -442,8 +453,19 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
         }
       }
     }
-    std::unique_lock lock(mutex);
-    settled_cv.wait(lock, [&] { return settled == scheduled; });
+    {
+      std::unique_lock lock(mutex);
+      settled_cv.wait(lock, [&] { return settled == scheduled; });
+    }
+    // All steps are settled, but the worker that ran the last one may not
+    // have re-acquired the pool mutex to record its stats yet; Wait() flushes
+    // that (stats update and active-count decrement share a locked section).
+    pool.Wait();
+    ThreadPoolStats pool_stats = pool.stats();
+    report.pool.threads = threads;
+    report.pool.tasks_executed = pool_stats.tasks_executed;
+    report.pool.busy_ms = pool_stats.busy_ms;
+    context->set_worker_pool(nullptr);
   }  // pool drains before slots are read below
 
   // Deterministic assembly: rank order, never completion order. Steps that
@@ -474,6 +496,7 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
   }
 
   report.wall_ms = total_timer.ElapsedMillis();
+  report.pool.wall_ms = report.wall_ms;
   return report;
 }
 

@@ -28,6 +28,7 @@ namespace daspos {
 
 class FaultPlan;
 class RunJournal;
+class ThreadPool;
 
 /// Execution-time environment: dataset storage plus external services
 /// (the conditions database — the paper's canonical external dependency).
@@ -50,10 +51,19 @@ class WorkflowContext {
   }
   const ConditionsProvider* conditions() const { return conditions_; }
 
+  /// Shared worker pool for intra-step data parallelism (not owned). The
+  /// engine sets it for the duration of Execute so every step fans its hot
+  /// loop out over the same workers instead of oversubscribing; null means
+  /// run serially. Set happens-before any step runs (publication goes
+  /// through the pool's queue mutex).
+  void set_worker_pool(ThreadPool* pool) { worker_pool_ = pool; }
+  ThreadPool* worker_pool() const { return worker_pool_; }
+
  private:
   mutable std::shared_mutex mutex_;
   std::map<std::string, std::string> datasets_;
   const ConditionsProvider* conditions_ = nullptr;
+  ThreadPool* worker_pool_ = nullptr;
 };
 
 /// One processing step. Implementations are in steps.h; anything honoring
@@ -104,6 +114,9 @@ struct WorkflowReport {
   /// Wall-clock time of the whole Execute, and the worker count used.
   double wall_ms = 0.0;
   size_t threads_used = 0;
+  /// Worker-pool activity over this execution (tasks = dispatched steps
+  /// plus intra-step parallel chunks).
+  PoolUtilization pool;
 
   bool fully_succeeded() const {
     return failed_steps.empty() && skipped_steps.empty();

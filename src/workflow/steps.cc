@@ -1,5 +1,6 @@
 #include "workflow/steps.h"
 
+#include "support/parallel.h"
 #include "tiers/dataset.h"
 
 namespace daspos {
@@ -191,7 +192,6 @@ Json SimulationStep::Config() const {
 Result<std::string> SimulationStep::Run(
     const std::vector<std::string_view>& inputs,
     WorkflowContext* context) const {
-  (void)context;
   if (inputs.size() != 1) {
     return Status::InvalidArgument("simulation takes exactly one GEN input");
   }
@@ -199,11 +199,14 @@ Result<std::string> SimulationStep::Run(
   DASPOS_ASSIGN_OR_RETURN(std::vector<GenEvent> truth,
                           ReadGenDataset(inputs[0], &gen_info));
   DetectorSimulation simulation(config_);
-  std::vector<RawEvent> raw;
-  raw.reserve(truth.size());
-  for (const GenEvent& event : truth) {
-    raw.push_back(simulation.Simulate(event, run_number_));
-  }
+  // Simulate's randomness is event-local (seeded from the event number), so
+  // events digitize independently and in parallel with identical output.
+  std::vector<RawEvent> raw = ParallelMap<RawEvent>(
+      context != nullptr ? context->worker_pool() : nullptr, truth.size(),
+      [&simulation, &truth, this](size_t i) {
+        return simulation.Simulate(truth[i], run_number_);
+      },
+      /*grain=*/1);
   last_events_ = raw.size();
 
   DatasetInfo info;
@@ -258,11 +261,8 @@ Result<std::string> ReconstructionStep::Run(
   config.calib = calib;
   Reconstructor reconstructor(config);
 
-  std::vector<RecoEvent> reco;
-  reco.reserve(raw.size());
-  for (const RawEvent& event : raw) {
-    reco.push_back(reconstructor.Reconstruct(event));
-  }
+  std::vector<RecoEvent> reco =
+      reconstructor.ReconstructAll(raw, context->worker_pool());
   last_events_ = reco.size();
 
   DatasetInfo info;
@@ -289,7 +289,6 @@ Json AodReductionStep::Config() const {
 Result<std::string> AodReductionStep::Run(
     const std::vector<std::string_view>& inputs,
     WorkflowContext* context) const {
-  (void)context;
   if (inputs.size() != 1) {
     return Status::InvalidArgument(
         "AOD reduction takes exactly one RECO input");
@@ -297,11 +296,10 @@ Result<std::string> AodReductionStep::Run(
   DatasetInfo reco_info;
   DASPOS_ASSIGN_OR_RETURN(std::vector<RecoEvent> reco,
                           ReadRecoDataset(inputs[0], &reco_info));
-  std::vector<AodEvent> aod;
-  aod.reserve(reco.size());
-  for (const RecoEvent& event : reco) {
-    aod.push_back(AodEvent::FromReco(event));
-  }
+  std::vector<AodEvent> aod = ParallelMap<AodEvent>(
+      context != nullptr ? context->worker_pool() : nullptr, reco.size(),
+      [&reco](size_t i) { return AodEvent::FromReco(reco[i]); },
+      /*grain=*/8);
   last_events_ = aod.size();
 
   DatasetInfo info;
@@ -331,14 +329,14 @@ Json DerivationStep::Config() const {
 Result<std::string> DerivationStep::Run(
     const std::vector<std::string_view>& inputs,
     WorkflowContext* context) const {
-  (void)context;
   if (inputs.size() != 1) {
     return Status::InvalidArgument("derivation takes exactly one AOD input");
   }
   DerivationStats stats;
   DASPOS_ASSIGN_OR_RETURN(
       std::string blob,
-      DeriveDataset(inputs[0], dataset_name_, skim_, slim_, &stats));
+      DeriveDataset(inputs[0], dataset_name_, skim_, slim_, &stats,
+                    context != nullptr ? context->worker_pool() : nullptr));
   last_events_ = stats.output_events;
   return blob;
 }

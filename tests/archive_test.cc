@@ -13,6 +13,7 @@
 #include "support/fault.h"
 #include "support/retry.h"
 #include "support/sha256.h"
+#include "support/threadpool.h"
 
 namespace daspos {
 namespace {
@@ -439,6 +440,208 @@ TEST(ResilientStoreTest, PermanentErrorsAreNotRetried) {
   RetryingObjectStore store(&backend, policy);
   EXPECT_TRUE(store.Get(Sha256::HashHex("absent")).status().IsNotFound());
   EXPECT_EQ(sleeps, 0);  // NotFound is permanent: no backoff consumed
+}
+
+// ------------------------------------------ Verified-digest cache (PR 4) --
+
+class DigestCacheTest : public FileObjectStoreTest {
+ protected:
+  std::string BlobPath(const std::string& id) const {
+    return root_ + "/" + id.substr(0, 2) + "/" + id.substr(2);
+  }
+};
+
+TEST_F(DigestCacheTest, WarmGetSkipsRehash) {
+  FileObjectStore store(root_);
+  auto id = store.Put("cached blob");
+  ASSERT_TRUE(id.ok());
+  // Cold read hashes and records the fingerprint; warm reads hit.
+  EXPECT_EQ(*store.Get(*id), "cached blob");
+  CacheCounters cold = store.digest_cache_stats();
+  EXPECT_EQ(cold.misses, 1u);
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(*store.Get(*id), "cached blob");
+  EXPECT_EQ(*store.Get(*id), "cached blob");
+  CacheCounters warm = store.digest_cache_stats();
+  EXPECT_EQ(warm.misses, 1u);
+  EXPECT_EQ(warm.hits, 2u);
+  EXPECT_DOUBLE_EQ(warm.HitRate(), 2.0 / 3.0);
+}
+
+TEST_F(DigestCacheTest, VerifySuccessWarmsTheCache) {
+  FileObjectStore store(root_);
+  auto id = store.Put("verified blob");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store.Verify(*id).ok());
+  EXPECT_EQ(*store.Get(*id), "verified blob");
+  EXPECT_EQ(store.digest_cache_stats().hits, 1u);
+  EXPECT_EQ(store.digest_cache_stats().misses, 0u);
+}
+
+TEST_F(DigestCacheTest, RotAfterCachingForcesRehashAndQuarantine) {
+  // The acceptance property: a blob modified AFTER its digest was cached
+  // must still be re-hashed on the next Get (stat mismatch drops the
+  // entry), caught, and quarantined.
+  FileObjectStore store(root_);
+  auto id = store.Put("pristine bytes");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*store.Get(*id), "pristine bytes");  // cache is now warm
+  std::ofstream(BlobPath(*id), std::ios::binary) << "rotten payload!!";
+  auto got = store.Get(*id);
+  EXPECT_TRUE(got.status().IsCorruption());
+  EXPECT_NE(got.status().message().find("quarantine"), std::string::npos);
+  ASSERT_EQ(store.QuarantinedIds().size(), 1u);
+  EXPECT_EQ(store.QuarantinedIds()[0], *id);
+  CacheCounters stats = store.digest_cache_stats();
+  EXPECT_GE(stats.invalidations, 1u);
+  // The stale entry is gone: a healed copy starts cold again.
+  auto healed = store.Put("pristine bytes");
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(*store.Get(*id), "pristine bytes");
+}
+
+TEST_F(DigestCacheTest, SizePreservingRotWithRestoredMtimeStillFailsVerify) {
+  // A stat fingerprint cannot distinguish a same-size rewrite whose mtime
+  // was restored — which is exactly why Verify (the audit authority) never
+  // consults the cache and always hashes the full file.
+  FileObjectStore store(root_);
+  auto id = store.Put("abcdefghijklmnop");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store.Verify(*id).ok());  // warms the cache
+  std::string path = BlobPath(*id);
+  auto mtime = std::filesystem::last_write_time(path);
+  std::ofstream(path, std::ios::binary) << "ABCDEFGHIJKLMNOP";  // same size
+  std::filesystem::last_write_time(path, mtime);
+  EXPECT_TRUE(store.Verify(*id).IsCorruption());
+  ASSERT_EQ(store.QuarantinedIds().size(), 1u);
+}
+
+TEST_F(DigestCacheTest, PutDropsStaleCacheEntry) {
+  FileObjectStore store(root_);
+  auto id = store.Put("volatile blob");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*store.Get(*id), "volatile blob");  // cache warm
+  // The blob vanishes behind the store's back; its cache entry is stale.
+  std::filesystem::remove(BlobPath(*id));
+  EXPECT_TRUE(store.Get(*id).status().IsNotFound());
+  // Re-publishing the id must drop the stale entry so the fresh copy is
+  // re-verified from scratch before it can hit.
+  uint64_t invalidations_before = store.digest_cache_stats().invalidations;
+  ASSERT_TRUE(store.Put("volatile blob").ok());
+  EXPECT_GE(store.digest_cache_stats().invalidations,
+            invalidations_before + 1);
+  uint64_t misses_before = store.digest_cache_stats().misses;
+  EXPECT_EQ(*store.Get(*id), "volatile blob");
+  EXPECT_EQ(store.digest_cache_stats().misses, misses_before + 1);
+}
+
+// ---------------------------------------------------- Batched ingest --
+
+TEST(PutBatchTest, MemoryStoreDefaultsToSequentialPuts) {
+  MemoryObjectStore store;
+  std::vector<std::string_view> blobs = {"alpha", "beta", "gamma"};
+  auto ids = store.PutBatch(blobs);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 3u);
+  EXPECT_EQ((*ids)[0], Sha256::HashHex("alpha"));
+  EXPECT_EQ((*ids)[1], Sha256::HashHex("beta"));
+  EXPECT_EQ((*ids)[2], Sha256::HashHex("gamma"));
+}
+
+TEST_F(FileObjectStoreTest, PutBatchStoresAllBlobsInInputOrder) {
+  FileObjectStore store(root_);
+  std::vector<std::string> payloads;
+  std::vector<std::string_view> blobs;
+  for (int i = 0; i < 40; ++i) {
+    payloads.push_back("batched payload " + std::to_string(i));
+  }
+  for (const std::string& payload : payloads) blobs.push_back(payload);
+
+  ThreadPool pool(4);
+  auto ids = store.PutBatch(blobs, &pool);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ((*ids)[i], Sha256::HashHex(payloads[i]));
+    EXPECT_EQ(*store.Get((*ids)[i]), payloads[i]);
+  }
+  EXPECT_EQ(store.Ids().size(), payloads.size());
+}
+
+TEST_F(FileObjectStoreTest, PutBatchSerialAndParallelAgree) {
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 16; ++i) {
+    payloads.push_back(std::string(static_cast<size_t>(100 + i), 'x') +
+                       std::to_string(i));
+  }
+  std::vector<std::string_view> blobs(payloads.begin(), payloads.end());
+
+  FileObjectStore serial_store(root_ + "_serial");
+  auto serial = serial_store.PutBatch(blobs, nullptr);
+  ThreadPool pool(8);
+  FileObjectStore parallel_store(root_ + "_parallel");
+  auto parallel = parallel_store.PutBatch(blobs, &pool);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(*serial, *parallel);
+  std::filesystem::remove_all(root_ + "_serial");
+  std::filesystem::remove_all(root_ + "_parallel");
+}
+
+TEST(PutBatchTest, DecoratedStoresInheritBatchSemantics) {
+  // RetryingObjectStore does not override PutBatch; the base implementation
+  // routes through its (retrying) Put, so batched ingest composes with the
+  // resilience decorators.
+  MemoryObjectStore backend;
+  auto spec = FaultSpec::Parse("nth=1");
+  ASSERT_TRUE(spec.ok());
+  FaultPlan plan(*spec);
+  FaultyObjectStore faulty(&backend, &plan);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.backoff_ms = 0.0;
+  policy.sleeper = [](double) {};
+  RetryingObjectStore store(&faulty, policy);
+  std::vector<std::string_view> blobs = {"one", "two"};
+  auto ids = store.PutBatch(blobs);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ((*ids)[0], Sha256::HashHex("one"));
+  EXPECT_EQ(*store.Get((*ids)[0]), "one");
+}
+
+TEST_F(FileObjectStoreTest, ParallelDepositAndAuditMatchSerial) {
+  auto make_package = [] {
+    SubmissionPackage package;
+    package.title = "parallel deposit";
+    for (int i = 0; i < 12; ++i) {
+      PackageFile file;
+      file.logical_name = "file" + std::to_string(i) + ".dat";
+      file.bytes = std::string(static_cast<size_t>(50 * (i + 1)), 'd');
+      package.files.push_back(std::move(file));
+    }
+    return package;
+  };
+
+  FileObjectStore serial_store(root_ + "_s");
+  Archive serial_archive(&serial_store);
+  auto serial_id = serial_archive.Deposit(make_package());
+  ASSERT_TRUE(serial_id.ok());
+
+  ThreadPool pool(4);
+  FileObjectStore parallel_store(root_ + "_p");
+  Archive parallel_archive(&parallel_store);
+  auto parallel_id = parallel_archive.Deposit(make_package(), &pool);
+  ASSERT_TRUE(parallel_id.ok());
+  // Content addressing makes the agreement total: same SIP -> same AIP id.
+  EXPECT_EQ(*serial_id, *parallel_id);
+
+  FixityReport serial_audit = serial_archive.AuditFixity();
+  FixityReport parallel_audit = parallel_archive.AuditFixity(&pool);
+  EXPECT_TRUE(serial_audit.clean());
+  EXPECT_TRUE(parallel_audit.clean());
+  EXPECT_EQ(parallel_audit.objects_checked, serial_audit.objects_checked);
+  std::filesystem::remove_all(root_ + "_s");
+  std::filesystem::remove_all(root_ + "_p");
 }
 
 }  // namespace

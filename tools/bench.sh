@@ -1,0 +1,54 @@
+#!/bin/bash
+# Benchmark driver for the committed BENCH_4.json performance record.
+#
+#   tools/bench.sh           # Release build, full-size measured sections
+#   tools/bench.sh --smoke   # tiny-N sizes for CI (perf-smoke job)
+#
+# Runs the Release-mode benches that carry measured parallel sections
+# (bench_reco, bench_tier_reduction, bench_archive) with fixed seeds, skips
+# the google-benchmark micro-benches (--benchmark_filter='^$' matches no
+# name), and assembles the JSONL records the sections append into a JSON
+# array at BENCH_4.json. Every section digest-checks its parallel output
+# against serial, so a determinism break fails the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+SMOKE=0
+case "${1:-}" in
+  "") ;;
+  --smoke) SMOKE=1 ;;
+  *) echo "bench.sh: unknown flag '$1'" >&2; exit 2 ;;
+esac
+
+echo "==> bench: Release build"
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-bench -j"$JOBS" \
+  --target bench_reco bench_tier_reduction bench_archive
+
+JSONL=$(mktemp)
+trap 'rm -f "$JSONL"' EXIT
+export DASPOS_BENCH_JSON="$JSONL"
+if [ "$SMOKE" = 1 ]; then
+  export DASPOS_BENCH_EVENTS=100
+  export DASPOS_BENCH_BLOB_MB=4
+  export DASPOS_BENCH_BATCH_BLOBS=8
+fi
+
+# Record the host's core count alongside the measurements: parallel
+# speedups are bounded by it, so the committed numbers are only
+# interpretable next to the hardware they were taken on.
+echo "{\"bench\": \"host\", \"metric\": \"hardware_concurrency\", \"value\": $(nproc).0, \"threads\": 1}" >> "$JSONL"
+
+for bench in bench_reco bench_tier_reduction bench_archive; do
+  echo "==> $bench"
+  "./build-bench/bench/$bench" --benchmark_filter='^$'
+done
+
+OUT=BENCH_4.json
+{
+  echo '['
+  sed '$!s/$/,/; s/^/  /' "$JSONL"
+  echo ']'
+} > "$OUT"
+echo "bench.sh: wrote $OUT ($(grep -c '"metric"' "$OUT") records)"

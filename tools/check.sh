@@ -50,21 +50,28 @@ fi
 [ "$RUN_UBSAN" = 1 ] && sanitizer_pass ubsan undefined
 
 if [ "$RUN_TSAN" = 1 ]; then
-  echo "==> TSan: DASPOS_SANITIZE=thread build of workflow_test"
+  echo "==> TSan: DASPOS_SANITIZE=thread build of workflow_test + parallel_test"
   cmake -B build-tsan -S . -DDASPOS_SANITIZE=thread >/dev/null
-  cmake --build build-tsan --target workflow_test -j"$JOBS"
+  cmake --build build-tsan --target workflow_test parallel_test -j"$JOBS"
   ./build-tsan/tests/workflow_test
+  ./build-tsan/tests/parallel_test
 fi
 
 if [ "$RUN_CHAOS" = 1 ]; then
   # The fault-injection, retry, timeout, keep-going, and checkpoint/resume
   # tests, run wide under TSan: injected faults and retries must not open
-  # races in the dispatcher or the journal.
+  # races in the dispatcher or the journal. The intra-step parallelism and
+  # digest-cache suites join the pass: chunked hot loops and the mutex-
+  # guarded cache are exactly where new races would hide.
   echo "==> chaos: DASPOS_SANITIZE=thread build + fault-tolerance suite"
   cmake -B build-tsan -S . -DDASPOS_SANITIZE=thread >/dev/null
-  cmake --build build-tsan --target workflow_test -j"$JOBS"
+  cmake --build build-tsan --target workflow_test parallel_test archive_test \
+    -j"$JOBS"
   ./build-tsan/tests/workflow_test \
     --gtest_filter='ChaosTest.*:JournalTest.*:WorkflowRetryTest.*:WorkflowKeepGoingTest.*'
+  ./build-tsan/tests/parallel_test
+  ./build-tsan/tests/archive_test \
+    --gtest_filter='DigestCacheTest.*:PutBatchTest.*:FileObjectStoreTest.*'
 fi
 
 echo "check.sh: all green"

@@ -4,6 +4,7 @@
 //   daspos generate <process> <n> <seed> <out>  produce a GEN dataset
 //   daspos holdings <archive-dir>             list archive packages
 //   daspos audit <archive-dir>                fixity-audit an archive
+//   daspos ingest <archive-dir> <title> <f..> deposit files as a package
 //   daspos retrieve <archive-dir> <id> <dir>  extract a package
 //   daspos lhada-run <description> <aod>      run a cutflow
 //   daspos lhada-check <description>          validate + canonicalize
@@ -12,10 +13,13 @@
 // Exit code 0 on success, 1 on any error (errors go to stderr). `lint`
 // exits 1 when any finding reaches the --fail-on threshold (default:
 // error), which makes it usable as a CI gate.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "archive/archive.h"
@@ -35,7 +39,9 @@
 #include "mc/generator.h"
 #include "support/fault.h"
 #include "support/io.h"
+#include "support/parallel.h"
 #include "support/strings.h"
+#include "support/threadpool.h"
 #include "tiers/dataset.h"
 #include "tiers/skimslim.h"
 #include "workflow/journal.h"
@@ -50,6 +56,35 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// Resolves a worker thread count for a command: an explicit --threads=N
+/// value wins, then the DASPOS_THREADS environment variable, then the
+/// fallback. 0 means one worker per hardware thread; 1 forces strictly
+/// serial execution.
+Result<size_t> ResolveThreads(const std::string& flag_value,
+                              size_t fallback = 1) {
+  std::string text = flag_value;
+  if (text.empty()) {
+    const char* env = std::getenv("DASPOS_THREADS");
+    if (env != nullptr && env[0] != '\0') text = env;
+  }
+  if (text.empty()) return fallback;
+  auto parsed = ParseU64(text);
+  if (!parsed.ok() || *parsed > 4096) {
+    return Status::InvalidArgument("bad thread count '" + text + "'");
+  }
+  return static_cast<size_t>(*parsed);
+}
+
+/// A pool sized for `threads` workers, or null (serial) for threads <= 1.
+/// 0 expands to the hardware concurrency.
+std::unique_ptr<ThreadPool> MakePool(size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(threads);
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -57,7 +92,9 @@ int Usage() {
                "  daspos generate <process> <n-events> <seed> <out-file> "
                "[gen|raw|reco|aod]\n"
                "  daspos holdings <archive-dir>\n"
-               "  daspos audit <archive-dir>\n"
+               "  daspos audit <archive-dir> [--threads=N]\n"
+               "  daspos ingest <archive-dir> <title> <file...> "
+               "[--threads=N]\n"
                "  daspos retrieve <archive-dir> <archive-id> <out-dir>\n"
                "  daspos lhada-run <description-file> <aod-file>\n"
                "  daspos lhada-check <description-file>\n"
@@ -65,14 +102,17 @@ int Usage() {
                "  daspos convert <in-file> <from-exp> <to-exp> <out-file>\n"
                "  daspos export <reco-file> <experiment> <out-file>\n"
                "  daspos chain <process> <n-events> <seed> [threads] "
-               "[--json]\n"
+               "[--threads=N] [--json]\n"
                "               [--retries=N] [--step-timeout=SECONDS] "
                "[--keep-going]\n"
                "               [--journal=DIR] [--resume=DIR]\n"
                "  daspos lint [--json] [--fail-on=info|warning|error] "
-               "<artifact...>\n"
+               "[--threads=N] <artifact...>\n"
                "processes: minbias z_ll w_lnu h_gammagamma qcd_dijet "
-               "d_meson zprime_ll\n");
+               "d_meson zprime_ll\n"
+               "threads: --threads=N (or DASPOS_THREADS env) sizes the "
+               "worker pool;\n"
+               "         0 = one per hardware thread, 1 = strictly serial\n");
   return 1;
 }
 
@@ -236,12 +276,13 @@ int CmdHoldings(const std::string& root) {
   return 0;
 }
 
-int CmdAudit(const std::string& root) {
+int CmdAudit(const std::string& root, size_t threads) {
   FileObjectStore store(root);
   Archive archive(&store);
   auto recovered = archive.RecoverCatalog();
   if (!recovered.ok()) return Fail(recovered.status().ToString());
-  FixityReport report = archive.AuditFixity();
+  std::unique_ptr<ThreadPool> pool = MakePool(threads);
+  FixityReport report = archive.AuditFixity(pool.get());
   std::printf("packages: %zu, objects checked: %llu\n", *recovered,
               static_cast<unsigned long long>(report.objects_checked));
   for (const std::string& id : report.corrupted_objects) {
@@ -252,6 +293,49 @@ int CmdAudit(const std::string& root) {
   }
   std::printf("verdict: %s\n", report.clean() ? "CLEAN" : "DAMAGED");
   return report.clean() ? 0 : 1;
+}
+
+// Deposits local files into the archive as one package. With more than one
+// worker the blobs are hashed and stored concurrently (Archive::Deposit's
+// batched ingest); the resulting archive id is identical either way.
+int CmdIngest(const std::string& root, const std::string& title,
+              const std::vector<std::string>& files, size_t threads) {
+  FileObjectStore store(root);
+  Archive archive(&store);
+  auto recovered = archive.RecoverCatalog();
+  if (!recovered.ok()) return Fail(recovered.status().ToString());
+
+  SubmissionPackage package;
+  package.title = title;
+  package.creator = "daspos-cli ingest";
+  for (const std::string& path : files) {
+    auto bytes = ReadFileToString(path);
+    if (!bytes.ok()) return Fail(bytes.status().ToString());
+    PackageFile file;
+    size_t slash = path.find_last_of('/');
+    file.logical_name =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    file.bytes = std::move(*bytes);
+    package.files.push_back(std::move(file));
+  }
+
+  std::unique_ptr<ThreadPool> pool = MakePool(threads);
+  auto archive_id = archive.Deposit(package, pool.get());
+  if (!archive_id.ok()) return Fail(archive_id.status().ToString());
+  uint64_t total_bytes = 0;
+  for (const PackageFile& file : package.files) {
+    total_bytes += file.bytes.size();
+  }
+  CacheCounters cache = store.digest_cache_stats();
+  std::printf("ingested %zu file(s), %s, as package %s\n",
+              package.files.size(), FormatBytes(total_bytes).c_str(),
+              archive_id->c_str());
+  std::printf("digest cache: %llu hit(s), %llu miss(es), "
+              "%llu invalidation(s)\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.invalidations));
+  return 0;
 }
 
 int CmdRetrieve(const std::string& root, const std::string& id,
@@ -371,7 +455,7 @@ int CmdExport(const std::string& in, const std::string& experiment_name,
 
 // Flags for `daspos chain` beyond the positional process/count/seed.
 struct ChainFlags {
-  std::string threads = "0";
+  std::string threads;  // empty -> DASPOS_THREADS env -> hardware default
   bool as_json = false;
   int retries = 0;
   double step_timeout_s = 0.0;
@@ -401,8 +485,8 @@ int CmdChain(const std::string& process_name, const std::string& count,
   if (!n.ok()) return Fail("bad event count '" + count + "'");
   auto seed_value = ParseU64(seed);
   if (!seed_value.ok()) return Fail("bad seed '" + seed + "'");
-  auto threads = ParseU64(flags.threads);
-  if (!threads.ok()) return Fail("bad thread count '" + flags.threads + "'");
+  auto threads = ResolveThreads(flags.threads, /*fallback=*/0);
+  if (!threads.ok()) return Fail(threads.status().ToString());
 
   GeneratorConfig gen_config;
   gen_config.process = process;
@@ -516,10 +600,16 @@ int CmdChain(const std::string& process_name, const std::string& count,
 // conditions dumps. Artifact kind is detected from content; nothing is
 // executed. Exit 0 when no finding reaches the fail-on threshold.
 int CmdLint(const std::vector<std::string>& paths, bool as_json,
-            lint::Severity fail_on) {
+            lint::Severity fail_on, size_t threads) {
+  // Artifacts lint independently; merge in argument order so the report is
+  // identical at any thread count.
+  std::unique_ptr<ThreadPool> pool = MakePool(threads);
+  std::vector<lint::LintReport> parts = ParallelMap<lint::LintReport>(
+      pool.get(), paths.size(),
+      [&paths](size_t i) { return lint::LintPath(paths[i]); });
   lint::LintReport report;
-  for (const std::string& path : paths) {
-    report.Merge(lint::LintPath(path));
+  for (lint::LintReport& part : parts) {
+    report.Merge(std::move(part));
   }
   if (as_json) {
     std::printf("%s\n", report.ToJson().Dump(2).c_str());
@@ -542,7 +632,37 @@ int main(int argc, char** argv) {
                        argc == 7 ? argv[6] : "gen");
   }
   if (command == "holdings" && argc == 3) return CmdHoldings(argv[2]);
-  if (command == "audit" && argc == 3) return CmdAudit(argv[2]);
+  if (command == "audit" && (argc == 3 || argc == 4)) {
+    std::string threads_text;
+    if (argc == 4) {
+      std::string arg = argv[3];
+      if (arg.rfind("--threads=", 0) != 0) {
+        return Fail("unknown audit flag '" + arg + "'");
+      }
+      threads_text = arg.substr(10);
+    }
+    auto threads = ResolveThreads(threads_text);
+    if (!threads.ok()) return Fail(threads.status().ToString());
+    return CmdAudit(argv[2], *threads);
+  }
+  if (command == "ingest" && argc >= 5) {
+    std::string threads_text;
+    std::vector<std::string> files;
+    for (int i = 4; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--threads=", 0) == 0) {
+        threads_text = arg.substr(10);
+      } else if (!arg.empty() && arg[0] == '-') {
+        return Fail("unknown ingest flag '" + arg + "'");
+      } else {
+        files.push_back(std::move(arg));
+      }
+    }
+    if (files.empty()) return Usage();
+    auto threads = ResolveThreads(threads_text);
+    if (!threads.ok()) return Fail(threads.status().ToString());
+    return CmdIngest(argv[2], argv[3], files, *threads);
+  }
   if (command == "retrieve" && argc == 5) {
     return CmdRetrieve(argv[2], argv[3], argv[4]);
   }
@@ -560,11 +680,14 @@ int main(int argc, char** argv) {
   if (command == "lint" && argc >= 3) {
     bool as_json = false;
     lint::Severity fail_on = lint::Severity::kError;
+    std::string threads_text;
     std::vector<std::string> paths;
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "--json") {
         as_json = true;
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        threads_text = arg.substr(10);
       } else if (arg.rfind("--fail-on=", 0) == 0) {
         if (!lint::ParseSeverity(arg.substr(10), &fail_on)) {
           return Fail("bad --fail-on value '" + arg.substr(10) +
@@ -577,7 +700,9 @@ int main(int argc, char** argv) {
       }
     }
     if (paths.empty()) return Usage();
-    return CmdLint(paths, as_json, fail_on);
+    auto threads = ResolveThreads(threads_text);
+    if (!threads.ok()) return Fail(threads.status().ToString());
+    return CmdLint(paths, as_json, fail_on, *threads);
   }
   if (command == "chain" && argc >= 5) {
     ChainFlags flags;
@@ -587,6 +712,8 @@ int main(int argc, char** argv) {
         flags.as_json = true;
       } else if (arg == "--keep-going") {
         flags.keep_going = true;
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        flags.threads = arg.substr(10);
       } else if (arg.rfind("--retries=", 0) == 0) {
         auto retries = ParseU64(arg.substr(10));
         if (!retries.ok() || *retries > 1000) {
