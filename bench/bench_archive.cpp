@@ -16,6 +16,7 @@
 #include "archive/object_store.h"
 #include "bench_json.h"
 #include "mc/generator.h"
+#include "support/metrics_registry.h"
 #include "support/strings.h"
 #include "support/table.h"
 #include "support/threadpool.h"
@@ -217,7 +218,13 @@ bool PrintFastPath() {
     if (rep == 0 || ms < warm_ms) warm_ms = ms;
   }
   double warm_speedup = cold_ms / warm_ms;
-  CacheCounters cache = warm_store.digest_cache_stats();
+  const MetricsRegistry& registry = MetricsRegistry::Global();
+  uint64_t cache_hits =
+      registry.CounterValue(metric_names::kArchiveCacheHitsTotal);
+  uint64_t cache_misses =
+      registry.CounterValue(metric_names::kArchiveCacheMissesTotal);
+  uint64_t cache_invalidations =
+      registry.CounterValue(metric_names::kArchiveCacheInvalidationsTotal);
 
   TextTable table;
   table.SetTitle("\nVerified-digest cache fast path (" +
@@ -229,9 +236,9 @@ bool PrintFastPath() {
   std::printf("%s\n", table.Render().c_str());
   std::printf("cache counters: %llu hit(s), %llu miss(es), "
               "%llu invalidation(s)\n",
-              static_cast<unsigned long long>(cache.hits),
-              static_cast<unsigned long long>(cache.misses),
-              static_cast<unsigned long long>(cache.invalidations));
+              static_cast<unsigned long long>(cache_hits),
+              static_cast<unsigned long long>(cache_misses),
+              static_cast<unsigned long long>(cache_invalidations));
   daspos_bench::AppendBenchJson("bench_archive", "cold_get_ms", cold_ms, 1);
   daspos_bench::AppendBenchJson("bench_archive", "warm_get_ms", warm_ms, 1);
   daspos_bench::AppendBenchJson("bench_archive", "warm_get_speedup",

@@ -6,8 +6,11 @@
 #include <utility>
 
 #include "support/io.h"
+#include "support/metrics.h"
+#include "support/metrics_registry.h"
 #include "support/parallel.h"
 #include "support/sha256.h"
+#include "support/trace.h"
 
 namespace daspos {
 
@@ -121,11 +124,40 @@ Status MemoryObjectStore::CorruptForTesting(const std::string& id,
 
 // ----------------------------------------------------------- FileObjectStore
 
+FileObjectStore::FileObjectStore(std::string root) : root_(std::move(root)) {
+  using namespace metric_names;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const std::vector<double>& latency = Histogram::DefaultLatencyBucketsMs();
+  put_total_ = &registry.GetCounter(kArchivePutTotal, "object-store Put calls");
+  get_total_ = &registry.GetCounter(kArchiveGetTotal, "object-store Get calls");
+  verify_total_ =
+      &registry.GetCounter(kArchiveVerifyTotal, "object-store Verify calls");
+  put_bytes_total_ =
+      &registry.GetCounter(kArchivePutBytesTotal, "bytes written by Put");
+  get_bytes_total_ =
+      &registry.GetCounter(kArchiveGetBytesTotal, "bytes returned by Get");
+  cache_hits_ = &registry.GetCounter(kArchiveCacheHitsTotal,
+                                     "warm Gets that skipped the re-hash");
+  cache_misses_ = &registry.GetCounter(kArchiveCacheMissesTotal,
+                                       "cold Gets that hashed the full blob");
+  cache_invalidations_ =
+      &registry.GetCounter(kArchiveCacheInvalidationsTotal,
+                           "verified-digest cache entries dropped");
+  quarantines_ =
+      &registry.GetCounter(kArchiveQuarantinesTotal,
+                           "blobs moved aside after a fixity mismatch");
+  get_wall_ms_ =
+      &registry.GetHistogram(kArchiveGetWallMs, latency, "Get wall time");
+  put_wall_ms_ =
+      &registry.GetHistogram(kArchivePutWallMs, latency, "Put wall time");
+}
+
 std::string FileObjectStore::PathFor(const std::string& id) const {
   return root_ + "/" + id.substr(0, 2) + "/" + id.substr(2);
 }
 
 void FileObjectStore::Quarantine(const std::string& id) const {
+  quarantines_->Increment();
   CacheDrop(id);
   std::error_code ec;
   fs::create_directories(fs::path(root_) / "quarantine", ec);
@@ -158,7 +190,7 @@ bool FileObjectStore::CacheMatches(const std::string& id,
   // The file changed behind the cache: the old verdict is worthless. Drop
   // it here so even an aborted read leaves no stale entry.
   verified_.erase(it);
-  cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  cache_invalidations_->Increment();
   return false;
 }
 
@@ -170,21 +202,23 @@ void FileObjectStore::CacheStore(const std::string& id,
 
 void FileObjectStore::CacheDrop(const std::string& id) const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
-  if (verified_.erase(id) > 0) {
-    cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-
-CacheCounters FileObjectStore::digest_cache_stats() const {
-  CacheCounters counters;
-  counters.hits = cache_hits_.load(std::memory_order_relaxed);
-  counters.misses = cache_misses_.load(std::memory_order_relaxed);
-  counters.invalidations =
-      cache_invalidations_.load(std::memory_order_relaxed);
-  return counters;
+  if (verified_.erase(id) > 0) cache_invalidations_->Increment();
 }
 
 Result<std::string> FileObjectStore::Put(std::string_view bytes) {
+  Span span("archive:put", "archive");
+  span.AddAttribute("bytes", static_cast<uint64_t>(bytes.size()));
+  WallTimer timer;
+  Result<std::string> result = PutImpl(bytes);
+  put_total_->Increment();
+  if (result.ok()) {
+    put_bytes_total_->Increment(static_cast<uint64_t>(bytes.size()));
+  }
+  put_wall_ms_->Observe(timer.ElapsedMillis());
+  return result;
+}
+
+Result<std::string> FileObjectStore::PutImpl(std::string_view bytes) {
   std::string id = Sha256::HashHex(bytes);
   std::string path = PathFor(id);
   // Skip the write only when the existing copy is intact, so re-putting
@@ -198,6 +232,20 @@ Result<std::string> FileObjectStore::Put(std::string_view bytes) {
 }
 
 Result<std::string> FileObjectStore::Get(const std::string& id) const {
+  Span span("archive:get", "archive");
+  WallTimer timer;
+  Result<std::string> result = GetImpl(id);
+  get_total_->Increment();
+  if (result.ok()) {
+    uint64_t bytes = static_cast<uint64_t>(result.value().size());
+    get_bytes_total_->Increment(bytes);
+    span.AddAttribute("bytes", bytes);
+  }
+  get_wall_ms_->Observe(timer.ElapsedMillis());
+  return result;
+}
+
+Result<std::string> FileObjectStore::GetImpl(const std::string& id) const {
   DASPOS_RETURN_IF_ERROR(ValidateObjectId(id));
   std::string path = PathFor(id);
   // Warm path: a previous successful hash check recorded this exact
@@ -209,7 +257,7 @@ Result<std::string> FileObjectStore::Get(const std::string& id) const {
   if (fp.ok() && CacheMatches(id, *fp)) {
     auto read = ReadFileToString(path);
     if (read.ok()) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hits_->Increment();
       return read;
     }
     // The file vanished between stat and read; fall through to the cold
@@ -228,7 +276,7 @@ Result<std::string> FileObjectStore::Get(const std::string& id) const {
     return Status::Corruption("fixity mismatch for object " + id +
                               " (moved to quarantine)");
   }
-  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  cache_misses_->Increment();
   if (fp.ok()) CacheStore(id, *fp);
   return read;
 }
@@ -238,6 +286,12 @@ bool FileObjectStore::Has(const std::string& id) const {
 }
 
 Status FileObjectStore::Verify(const std::string& id) const {
+  Span span("archive:verify", "archive");
+  verify_total_->Increment();
+  return VerifyImpl(id);
+}
+
+Status FileObjectStore::VerifyImpl(const std::string& id) const {
   DASPOS_RETURN_IF_ERROR(ValidateObjectId(id));
   std::string path = PathFor(id);
   // An audit is the authority the cache defers to, so it must always hash
@@ -257,6 +311,8 @@ Status FileObjectStore::Verify(const std::string& id) const {
 
 Result<std::vector<std::string>> FileObjectStore::PutBatch(
     const std::vector<std::string_view>& blobs, ThreadPool* pool) {
+  Span span("archive:putbatch", "archive");
+  span.AddAttribute("blobs", static_cast<uint64_t>(blobs.size()));
   // Each slot hashes and writes independently; duplicate blobs in one batch
   // land on the same path via atomic renames, which is safe.
   struct Slot {

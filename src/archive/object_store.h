@@ -4,18 +4,18 @@
 #ifndef DASPOS_ARCHIVE_OBJECT_STORE_H_
 #define DASPOS_ARCHIVE_OBJECT_STORE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
-#include "support/metrics.h"
 #include "support/result.h"
 
 namespace daspos {
 
+class Counter;
+class Histogram;
 class ThreadPool;
 
 /// Checks that `id` is a well-formed content id: exactly 64 lowercase hex
@@ -89,9 +89,14 @@ class MemoryObjectStore : public ObjectStore {
 /// Put, Get, and Verify are safe to call concurrently (PutBatch relies on
 /// this): the cache is mutex-guarded and on-disk publication is an atomic
 /// rename.
+///
+/// Every operation publishes to MetricsRegistry::Global()
+/// (daspos_archive_*: op counts, byte totals, digest-cache hits/misses/
+/// invalidations, quarantines, get/put latency) and opens an "archive:*"
+/// trace span when the tracer is enabled.
 class FileObjectStore : public ObjectStore {
  public:
-  explicit FileObjectStore(std::string root) : root_(std::move(root)) {}
+  explicit FileObjectStore(std::string root);
 
   Result<std::string> Put(std::string_view bytes) override;
   Result<std::string> Get(const std::string& id) const override;
@@ -107,9 +112,6 @@ class FileObjectStore : public ObjectStore {
       const std::vector<std::string_view>& blobs,
       ThreadPool* pool = nullptr) override;
 
-  /// Digest-cache hit/miss/invalidation counters since construction.
-  CacheCounters digest_cache_stats() const;
-
  private:
   /// Stat fingerprint of a verified blob. A later stat that differs means
   /// the file changed behind the cache and the verdict is stale.
@@ -121,6 +123,11 @@ class FileObjectStore : public ObjectStore {
       return size == other.size && mtime_ns == other.mtime_ns;
     }
   };
+
+  /// Op bodies behind the instrumented public wrappers.
+  Result<std::string> PutImpl(std::string_view bytes);
+  Result<std::string> GetImpl(const std::string& id) const;
+  Status VerifyImpl(const std::string& id) const;
 
   std::string PathFor(const std::string& id) const;
   /// Moves the blob at PathFor(id) into the quarantine area (best-effort)
@@ -138,9 +145,19 @@ class FileObjectStore : public ObjectStore {
   std::string root_;
   mutable std::mutex cache_mutex_;
   mutable std::map<std::string, VerifiedStat> verified_;
-  mutable std::atomic<uint64_t> cache_hits_{0};
-  mutable std::atomic<uint64_t> cache_misses_{0};
-  mutable std::atomic<uint64_t> cache_invalidations_{0};
+  // Registry handles resolved once at construction (stable for process
+  // life); the instruments themselves are owned by the global registry.
+  Counter* put_total_;
+  Counter* get_total_;
+  Counter* verify_total_;
+  Counter* put_bytes_total_;
+  Counter* get_bytes_total_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Counter* cache_invalidations_;
+  Counter* quarantines_;
+  Histogram* get_wall_ms_;
+  Histogram* put_wall_ms_;
 };
 
 }  // namespace daspos

@@ -3,11 +3,43 @@
 #include <filesystem>
 
 #include "support/io.h"
+#include "support/metrics_registry.h"
+#include "support/trace.h"
 
 namespace daspos {
 namespace lint {
 
+namespace {
+
+/// Publishes one linted artifact and its finding count to the registry.
+void RecordLintMetrics(const LintReport& report) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry
+      .GetCounter(metric_names::kLintArtifactsTotal, "artifacts linted")
+      .Increment();
+  registry
+      .GetCounter(metric_names::kLintFindingsTotal,
+                  "lint diagnostics emitted")
+      .Increment(static_cast<uint64_t>(report.diagnostics().size()));
+}
+
+LintReport LintPathImpl(const std::string& path);
+
+}  // namespace
+
 LintReport LintPath(const std::string& path) {
+  Span span("lint:path", "lint");
+  span.AddAttribute("path", path);
+  LintReport report = LintPathImpl(path);
+  span.AddAttribute("findings",
+                    static_cast<uint64_t>(report.diagnostics().size()));
+  RecordLintMetrics(report);
+  return report;
+}
+
+namespace {
+
+LintReport LintPathImpl(const std::string& path) {
   std::error_code ec;
   if (std::filesystem::is_directory(path, ec)) {
     FileObjectStore store(path);
@@ -52,6 +84,8 @@ LintReport LintPath(const std::string& path) {
   // failures into L000 findings.
   return CheckLhada(*bytes, path);
 }
+
+}  // namespace
 
 ConditionsSpec DumpConditions(const ConditionsDb& db,
                               const GlobalTagRegistry* registry) {

@@ -4,12 +4,19 @@
 #include <cmath>
 #include <vector>
 
+#include "support/metrics_registry.h"
 #include "support/parallel.h"
+#include "support/trace.h"
 
 namespace daspos {
 
 std::vector<RecoEvent> Reconstructor::ReconstructAll(
     const std::vector<RawEvent>& raw, ThreadPool* pool) const {
+  Span span("reco:reconstruct_all", "reco");
+  span.AddAttribute("events", static_cast<uint64_t>(raw.size()));
+  MetricsRegistry::Global()
+      .GetCounter(metric_names::kRecoEventsTotal, "events reconstructed")
+      .Increment(static_cast<uint64_t>(raw.size()));
   return ParallelMap<RecoEvent>(
       pool, raw.size(), [this, &raw](size_t i) { return Reconstruct(raw[i]); },
       /*grain=*/1);

@@ -1,6 +1,8 @@
 #include "rivet/analysis.h"
 
+#include "support/metrics_registry.h"
 #include "support/parallel.h"
+#include "support/trace.h"
 
 namespace daspos {
 namespace rivet {
@@ -32,6 +34,13 @@ void AnalysisHandler::Add(std::unique_ptr<Analysis> analysis) {
 
 void AnalysisHandler::Run(const std::vector<GenEvent>& events,
                           ThreadPool* pool) {
+  Span span("rivet:run", "rivet");
+  span.AddAttribute("events", static_cast<uint64_t>(events.size()));
+  span.AddAttribute("analyses", static_cast<uint64_t>(analyses_.size()));
+  MetricsRegistry::Global()
+      .GetCounter(metric_names::kRivetEventsTotal,
+                  "generator events run through rivet analyses")
+      .Increment(static_cast<uint64_t>(events.size()));
   if (!initialized_) {
     for (auto& analysis : analyses_) analysis->Init();
     initialized_ = true;

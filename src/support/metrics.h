@@ -1,8 +1,8 @@
 // Wall-clock step tracing shared by instrumented drivers: the workflow
 // engine records one StepMetrics per executed step, and the CLI / bench
-// harnesses render them as a timing table. Automated re-execution is only
-// trustworthy when it is observable (DPHEP validation-framework lesson), so
-// the trace lives in support/ where every layer can reach it.
+// harnesses render them as a timing table. Cumulative process-wide counters
+// live in metrics_registry.h; this header is only the per-run table
+// rendering.
 #ifndef DASPOS_SUPPORT_METRICS_H_
 #define DASPOS_SUPPORT_METRICS_H_
 
@@ -43,38 +43,6 @@ struct StepMetrics {
 /// wall time, output bytes, and item (event) count, plus a totals row.
 std::string RenderStepMetricsTable(const std::vector<StepMetrics>& steps,
                                    const std::string& title = "");
-
-/// Hit/miss/invalidation counters for a verified-result cache (e.g. the
-/// object store's digest cache). A hit means an expensive re-check was
-/// skipped; an invalidation means a cached verdict was discarded because the
-/// underlying state changed.
-struct CacheCounters {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t invalidations = 0;
-
-  double HitRate() const {
-    uint64_t lookups = hits + misses;
-    return lookups == 0 ? 0.0
-                        : static_cast<double>(hits) /
-                              static_cast<double>(lookups);
-  }
-};
-
-/// Worker-pool activity over one measured interval (e.g. a chain execution):
-/// busy_ms sums task wall time across all workers, so Utilization() is the
-/// fraction of thread-seconds actually spent in task bodies.
-struct PoolUtilization {
-  size_t threads = 0;
-  uint64_t tasks_executed = 0;
-  double busy_ms = 0.0;
-  double wall_ms = 0.0;
-
-  double Utilization() const {
-    if (threads == 0 || wall_ms <= 0.0) return 0.0;
-    return busy_ms / (static_cast<double>(threads) * wall_ms);
-  }
-};
 
 }  // namespace daspos
 

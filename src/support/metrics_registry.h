@@ -1,0 +1,231 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms behind one thread-safe API. The DPHEP validation framework
+// (arXiv:1310.7814) argues that automated re-execution is only trustworthy
+// when it leaves continuous, inspectable evidence of what ran; the registry
+// is that evidence for the whole stack — the workflow engine, the object
+// store, the thread pool, and the linter all publish here, and the CLI
+// exports the result as Prometheus text exposition or a JSON block in the
+// chain report.
+//
+// Handles returned by GetCounter/GetGauge/GetHistogram are stable for the
+// life of the process (instruments are never destroyed, ResetForTesting only
+// zeroes values), so hot paths resolve a name once and then touch a single
+// relaxed atomic per event. Operation counts are deterministic across thread
+// counts; time-derived values (histogram distributions, *_us totals) are
+// wall-clock — see docs/OBSERVABILITY.md for the full contract.
+#ifndef DASPOS_SUPPORT_METRICS_REGISTRY_H_
+#define DASPOS_SUPPORT_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace daspos {
+
+/// Monotonic event counter. Increment is one relaxed atomic add.
+class Counter {
+ public:
+  void Increment(uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, bytes resident). May go up and down.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram with Prometheus semantics: an observation lands in
+/// the first bucket whose upper bound is >= the value (`le` is inclusive),
+/// and anything past the last bound lands in the implicit +Inf bucket.
+/// Bucket bounds are fixed at registration so merged/exported series always
+/// line up.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  /// Ascending upper bounds; the +Inf bucket is implicit (bounds.size()
+  /// buckets plus one overflow).
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  /// Raw (non-cumulative) count of bucket `i`, i in [0, bounds().size()].
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  /// The default latency scale, in milliseconds: 0.25 ms .. 5 s.
+  static const std::vector<double>& DefaultLatencyBucketsMs();
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  void Reset();
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  /// Sum of observations; updated with a CAS loop (portable atomic double).
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name —
+/// the input to both exporters and to the chain report's metrics block.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::string help;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::string help;
+    int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::string help;
+    std::vector<double> bounds;
+    /// Raw per-bucket counts; bounds.size() + 1 entries (last = +Inf).
+    std::vector<uint64_t> bucket_counts;
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+/// Thread-safe name -> instrument registry. Use Global() for the process
+/// registry; local instances exist for tests. Getting a handle takes the
+/// registry mutex once; the returned reference is valid forever.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem publishes to.
+  static MetricsRegistry& Global();
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. `help` is recorded on creation (later calls may pass "").
+  /// Registering the same name as two different kinds keeps the first kind
+  /// and returns a detached dummy instrument for the mismatched request —
+  /// a programming error surfaced by the dummy's absence from exports.
+  Counter& GetCounter(std::string_view name, std::string_view help = "");
+  Gauge& GetGauge(std::string_view name, std::string_view help = "");
+  /// `bounds` must be ascending; they are fixed on first registration.
+  Histogram& GetHistogram(std::string_view name, std::vector<double> bounds,
+                          std::string_view help = "");
+
+  /// Current value of a counter/gauge by name; 0 when not registered.
+  /// (Tests use before/after deltas of these.)
+  uint64_t CounterValue(std::string_view name) const;
+  int64_t GaugeValue(std::string_view name) const;
+
+  /// Sorted-by-name copy of every instrument's current state.
+  MetricsSnapshot Snapshot() const;
+
+  /// Prometheus text exposition format (text/plain; version=0.0.4):
+  /// # HELP / # TYPE headers, cumulative histogram buckets with inclusive
+  /// `le` labels, series sorted by metric name.
+  std::string RenderPrometheus() const;
+
+  /// Zeroes every value. Handles stay valid; registrations stay in place.
+  void ResetForTesting();
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// Canonical metric names — the single source both the instrumented
+/// subsystems and RegisterStandardMetrics use, so exposition and
+/// documentation cannot drift from the code.
+namespace metric_names {
+// Workflow engine.
+inline constexpr char kWorkflowExecutionsTotal[] =
+    "daspos_workflow_executions_total";
+inline constexpr char kWorkflowStepsTotal[] = "daspos_workflow_steps_total";
+inline constexpr char kWorkflowStepFailuresTotal[] =
+    "daspos_workflow_step_failures_total";
+inline constexpr char kWorkflowStepRetriesTotal[] =
+    "daspos_workflow_step_retries_total";
+inline constexpr char kWorkflowCheckpointRestoresTotal[] =
+    "daspos_workflow_checkpoint_restores_total";
+inline constexpr char kWorkflowStepWallMs[] = "daspos_workflow_step_wall_ms";
+// Thread pool.
+inline constexpr char kPoolTasksTotal[] = "daspos_pool_tasks_total";
+inline constexpr char kPoolBusyUsTotal[] = "daspos_pool_busy_us_total";
+inline constexpr char kPoolQueueDepth[] = "daspos_pool_queue_depth";
+inline constexpr char kPoolTaskWallMs[] = "daspos_pool_task_wall_ms";
+// Object store (FileObjectStore).
+inline constexpr char kArchivePutTotal[] = "daspos_archive_put_total";
+inline constexpr char kArchiveGetTotal[] = "daspos_archive_get_total";
+inline constexpr char kArchiveVerifyTotal[] = "daspos_archive_verify_total";
+inline constexpr char kArchivePutBytesTotal[] =
+    "daspos_archive_put_bytes_total";
+inline constexpr char kArchiveGetBytesTotal[] =
+    "daspos_archive_get_bytes_total";
+inline constexpr char kArchiveCacheHitsTotal[] =
+    "daspos_archive_digest_cache_hits_total";
+inline constexpr char kArchiveCacheMissesTotal[] =
+    "daspos_archive_digest_cache_misses_total";
+inline constexpr char kArchiveCacheInvalidationsTotal[] =
+    "daspos_archive_digest_cache_invalidations_total";
+inline constexpr char kArchiveQuarantinesTotal[] =
+    "daspos_archive_quarantines_total";
+inline constexpr char kArchiveGetWallMs[] = "daspos_archive_get_wall_ms";
+inline constexpr char kArchivePutWallMs[] = "daspos_archive_put_wall_ms";
+// Linter.
+inline constexpr char kLintArtifactsTotal[] = "daspos_lint_artifacts_total";
+inline constexpr char kLintFindingsTotal[] = "daspos_lint_findings_total";
+// Step bodies.
+inline constexpr char kRecoEventsTotal[] = "daspos_reco_events_total";
+inline constexpr char kTiersInputEventsTotal[] =
+    "daspos_tiers_input_events_total";
+inline constexpr char kTiersOutputEventsTotal[] =
+    "daspos_tiers_output_events_total";
+inline constexpr char kRivetEventsTotal[] = "daspos_rivet_events_total";
+}  // namespace metric_names
+
+/// Registers every standard instrument (zero-valued until its subsystem
+/// runs), so `daspos metrics` exposes the full catalogue even for a process
+/// that has not touched a given path yet. Idempotent.
+void RegisterStandardMetrics(MetricsRegistry& registry =
+                                 MetricsRegistry::Global());
+
+}  // namespace daspos
+
+#endif  // DASPOS_SUPPORT_METRICS_REGISTRY_H_

@@ -3,9 +3,23 @@
 #include <chrono>
 #include <utility>
 
+#include "support/metrics_registry.h"
+
 namespace daspos {
 
 ThreadPool::ThreadPool(size_t thread_count) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  tasks_total_ = &registry.GetCounter(metric_names::kPoolTasksTotal,
+                                      "tasks executed by thread pools");
+  busy_us_total_ =
+      &registry.GetCounter(metric_names::kPoolBusyUsTotal,
+                           "microseconds spent inside pool task bodies");
+  queue_depth_ = &registry.GetGauge(metric_names::kPoolQueueDepth,
+                                    "tasks queued but not yet running");
+  task_wall_ms_ =
+      &registry.GetHistogram(metric_names::kPoolTaskWallMs,
+                             Histogram::DefaultLatencyBucketsMs(),
+                             "per-task wall time");
   if (thread_count == 0) thread_count = 1;
   workers_.reserve(thread_count);
   for (size_t i = 0; i < thread_count; ++i) {
@@ -28,17 +42,13 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
   }
+  queue_depth_->Add(1);
   work_available_.notify_one();
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
-}
-
-ThreadPoolStats ThreadPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
 }
 
 size_t ThreadPool::DefaultThreadCount() {
@@ -56,15 +66,17 @@ void ThreadPool::WorkerLoop() {
     queue_.pop_front();
     ++active_;
     lock.unlock();
+    queue_depth_->Add(-1);
     auto task_start = std::chrono::steady_clock::now();
     task();
-    double task_ms = std::chrono::duration<double, std::milli>(
+    double task_us = std::chrono::duration<double, std::micro>(
                          std::chrono::steady_clock::now() - task_start)
                          .count();
+    tasks_total_->Increment();
+    busy_us_total_->Increment(static_cast<uint64_t>(task_us));
+    task_wall_ms_->Observe(task_us / 1000.0);
     lock.lock();
     --active_;
-    ++stats_.tasks_executed;
-    stats_.busy_ms += task_ms;
     if (queue_.empty() && active_ == 0) idle_.notify_all();
   }
 }

@@ -1,12 +1,15 @@
 // A small fixed-size worker pool draining a FIFO task queue. Built for the
 // workflow engine's parallel DAG dispatch but generic: any subsystem that
 // needs "run these closures on N threads and wait" can use it.
+//
+// Activity is published to MetricsRegistry::Global() (task count, busy time,
+// queue depth, per-task latency) instead of per-pool counters — see
+// docs/OBSERVABILITY.md for the metric names.
 #ifndef DASPOS_SUPPORT_THREADPOOL_H_
 #define DASPOS_SUPPORT_THREADPOOL_H_
 
 #include <condition_variable>
 #include <cstddef>
-#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -15,13 +18,9 @@
 
 namespace daspos {
 
-/// Cumulative pool activity since construction. busy_ms sums wall time spent
-/// inside task bodies across all workers, so utilization over an interval is
-/// busy_ms / (thread_count * interval_ms).
-struct ThreadPoolStats {
-  uint64_t tasks_executed = 0;
-  double busy_ms = 0.0;
-};
+class Counter;
+class Gauge;
+class Histogram;
 
 /// Fixed-size pool of worker threads. Tasks submitted while the pool lives
 /// are executed in FIFO order across the workers; the destructor waits for
@@ -45,9 +44,6 @@ class ThreadPool {
 
   size_t thread_count() const { return workers_.size(); }
 
-  /// Snapshot of cumulative task counts and busy time.
-  ThreadPoolStats stats() const;
-
   /// One worker per hardware thread, and at least one.
   static size_t DefaultThreadCount();
 
@@ -60,8 +56,12 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t active_ = 0;
   bool stopping_ = false;
-  ThreadPoolStats stats_;
   std::vector<std::thread> workers_;
+  // Registry handles resolved once at construction (stable for process life).
+  Counter* tasks_total_;
+  Counter* busy_us_total_;
+  Gauge* queue_depth_;
+  Histogram* task_wall_ms_;
 };
 
 }  // namespace daspos

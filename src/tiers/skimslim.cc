@@ -2,8 +2,10 @@
 
 #include "serialize/binary.h"
 #include "serialize/container.h"
+#include "support/metrics_registry.h"
 #include "support/parallel.h"
 #include "support/strings.h"
+#include "support/trace.h"
 
 namespace daspos {
 
@@ -155,6 +157,8 @@ Result<std::string> DeriveDataset(std::string_view aod_blob,
                                   const std::string& output_name,
                                   const SkimSpec& skim, const SlimSpec& slim,
                                   DerivationStats* stats, ThreadPool* pool) {
+  Span span("tiers:derive", "tiers");
+  span.AddAttribute("output", output_name);
   DatasetInfo input_info;
   DASPOS_ASSIGN_OR_RETURN(std::vector<AodEvent> events,
                           ReadAodDataset(aod_blob, &input_info));
@@ -209,6 +213,17 @@ Result<std::string> DeriveDataset(std::string_view aod_blob,
     kept += part.kept;
   }
   std::string blob = writer.Finish();
+  span.AddAttribute("input_events", static_cast<uint64_t>(events.size()));
+  span.AddAttribute("output_events", kept);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry
+      .GetCounter(metric_names::kTiersInputEventsTotal,
+                  "AOD events read by derivation")
+      .Increment(static_cast<uint64_t>(events.size()));
+  registry
+      .GetCounter(metric_names::kTiersOutputEventsTotal,
+                  "derived events written by derivation")
+      .Increment(kept);
   if (stats != nullptr) {
     stats->input_events = events.size();
     stats->output_events = kept;

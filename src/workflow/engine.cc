@@ -8,13 +8,53 @@
 #include <utility>
 
 #include "support/fault.h"
+#include "support/metrics_registry.h"
 #include "support/retry.h"
 #include "support/sha256.h"
 #include "support/strings.h"
 #include "support/threadpool.h"
+#include "support/trace.h"
 #include "workflow/journal.h"
 
 namespace daspos {
+
+namespace {
+
+/// The registry snapshot as JSON for the chain report: counters and gauges
+/// as name -> value objects, histograms as name -> {buckets, count, sum}.
+/// Built here rather than in support/ because support sits below serialize
+/// in the layer order.
+Json MetricsSnapshotJson() {
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  Json json = Json::Object();
+  Json counters = Json::Object();
+  for (const auto& counter : snapshot.counters) {
+    counters[counter.name] = counter.value;
+  }
+  json["counters"] = std::move(counters);
+  Json gauges = Json::Object();
+  for (const auto& gauge : snapshot.gauges) {
+    gauges[gauge.name] = static_cast<double>(gauge.value);
+  }
+  json["gauges"] = std::move(gauges);
+  Json histograms = Json::Object();
+  for (const auto& histogram : snapshot.histograms) {
+    Json entry = Json::Object();
+    Json bounds = Json::Array();
+    for (double bound : histogram.bounds) bounds.push_back(bound);
+    entry["le"] = std::move(bounds);
+    Json buckets = Json::Array();
+    for (uint64_t count : histogram.bucket_counts) buckets.push_back(count);
+    entry["buckets"] = std::move(buckets);
+    entry["count"] = histogram.count;
+    entry["sum"] = histogram.sum;
+    histograms[histogram.name] = std::move(entry);
+  }
+  json["histograms"] = std::move(histograms);
+  return json;
+}
+
+}  // namespace
 
 Status WorkflowContext::PutDataset(const std::string& name,
                                    std::string blob) {
@@ -97,6 +137,7 @@ Json WorkflowReport::ToJson() const {
   Json skipped_list = Json::Array();
   for (const std::string& name : skipped_steps) skipped_list.push_back(name);
   json["skipped"] = std::move(skipped_list);
+  json["metrics"] = MetricsSnapshotJson();
   return json;
 }
 
@@ -184,6 +225,26 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
                                          const ExecuteOptions& options) const {
   WallTimer total_timer;
   const size_t step_count = bindings_.size();
+
+  using namespace metric_names;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter(kWorkflowExecutionsTotal, "Workflow::Execute invocations")
+      .Increment();
+  Counter& steps_total = registry.GetCounter(
+      kWorkflowStepsTotal, "workflow steps settled successfully");
+  Counter& step_failures = registry.GetCounter(
+      kWorkflowStepFailuresTotal,
+      "workflow steps that exhausted their attempts");
+  Counter& step_retries = registry.GetCounter(
+      kWorkflowStepRetriesTotal, "step attempts beyond each step's first");
+  Counter& checkpoint_restores = registry.GetCounter(
+      kWorkflowCheckpointRestoresTotal,
+      "steps restored from a run-journal checkpoint");
+  Histogram& step_wall_ms = registry.GetHistogram(
+      kWorkflowStepWallMs, Histogram::DefaultLatencyBucketsMs(),
+      "per-step wall time (gather + run + store)");
+  Span execute_span("workflow:execute", "workflow");
+  execute_span.AddAttribute("steps", static_cast<uint64_t>(step_count));
 
   // Dependency graph over bindings: an input either comes from another
   // step's output (an edge) or must pre-exist in the context (external).
@@ -303,6 +364,12 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
   size_t first_failed_rank = kNoRank;
   Status failure = Status::OK();
 
+  // The pool publishes cumulative counters to the global registry; deltas
+  // around this execution give the report its pool-activity block.
+  const uint64_t pool_tasks_before = registry.CounterValue(kPoolTasksTotal);
+  const uint64_t pool_busy_us_before =
+      registry.CounterValue(kPoolBusyUsTotal);
+
   {
     ThreadPool pool(threads);
     // Steps share this pool for their intra-step event loops. At one thread
@@ -320,6 +387,10 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
       }
       const Binding& binding = bindings_[index];
       StepSlot& slot = slots[index];
+      // The step span opens on the worker thread, so attempt spans and any
+      // archive/pool spans its body opens on that worker nest under it.
+      Span step_span("step:" + binding.step->name(), "workflow");
+      step_span.AddAttribute("output", binding.output);
       WallTimer timer;
       Status status = Status::OK();
       if (checkpointed[index]) {
@@ -329,6 +400,8 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
         slot.events = checkpoint_events[index];
         slot.attempts = 0;
         slot.from_checkpoint = true;
+        checkpoint_restores.Increment();
+        step_span.AddAttribute("from_checkpoint", "true");
         status = context->PutDataset(binding.output,
                                      std::move(checkpoint_blob[index]));
       } else {
@@ -356,6 +429,10 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
               policy,
               [&]() -> Status {
                 ++attempts_used;
+                Span attempt_span("attempt:" + binding.step->name(),
+                                  "workflow");
+                attempt_span.AddAttribute(
+                    "attempt", static_cast<uint64_t>(attempts_used));
                 WallTimer attempt_timer;
                 if (options.step_faults != nullptr) {
                   DASPOS_RETURN_IF_ERROR(options.step_faults->Next(
@@ -377,6 +454,9 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
               },
               "step " + binding.step->name());
           slot.attempts = attempts_used;
+          if (attempts_used > 1) {
+            step_retries.Increment(static_cast<uint64_t>(attempts_used - 1));
+          }
         }
         if (status.ok()) {
           slot.bytes = produced.size();
@@ -414,6 +494,16 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
       }
       slot.wall_ms = timer.ElapsedMillis();
       slot.ran = status.ok();
+      if (status.ok()) {
+        steps_total.Increment();
+        step_wall_ms.Observe(slot.wall_ms);
+        step_span.AddAttribute("bytes", slot.bytes);
+        step_span.AddAttribute("attempts",
+                               static_cast<uint64_t>(slot.attempts));
+      } else {
+        step_failures.Increment();
+        step_span.AddAttribute("error", status.message());
+      }
       slot.status = std::move(status);
 
       std::lock_guard lock(mutex);
@@ -458,13 +548,16 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
       settled_cv.wait(lock, [&] { return settled == scheduled; });
     }
     // All steps are settled, but the worker that ran the last one may not
-    // have re-acquired the pool mutex to record its stats yet; Wait() flushes
-    // that (stats update and active-count decrement share a locked section).
+    // have recorded its registry updates yet; Wait() flushes that (the
+    // counter updates happen before the active-count decrement Wait sees).
     pool.Wait();
-    ThreadPoolStats pool_stats = pool.stats();
     report.pool.threads = threads;
-    report.pool.tasks_executed = pool_stats.tasks_executed;
-    report.pool.busy_ms = pool_stats.busy_ms;
+    report.pool.tasks_executed =
+        registry.CounterValue(kPoolTasksTotal) - pool_tasks_before;
+    report.pool.busy_ms =
+        static_cast<double>(registry.CounterValue(kPoolBusyUsTotal) -
+                            pool_busy_us_before) /
+        1000.0;
     context->set_worker_pool(nullptr);
   }  // pool drains before slots are read below
 

@@ -115,15 +115,30 @@ struct WorkflowReport {
   double wall_ms = 0.0;
   size_t threads_used = 0;
   /// Worker-pool activity over this execution (tasks = dispatched steps
-  /// plus intra-step parallel chunks).
-  PoolUtilization pool;
+  /// plus intra-step parallel chunks), computed from registry counter
+  /// deltas around the pool's lifetime. busy_ms sums task wall time across
+  /// workers, so Utilization() is the fraction of thread-seconds spent in
+  /// task bodies.
+  struct PoolActivity {
+    size_t threads = 0;
+    uint64_t tasks_executed = 0;
+    double busy_ms = 0.0;
+    double wall_ms = 0.0;
+
+    double Utilization() const {
+      if (threads == 0 || wall_ms <= 0.0) return 0.0;
+      return busy_ms / (static_cast<double>(threads) * wall_ms);
+    }
+  };
+  PoolActivity pool;
 
   bool fully_succeeded() const {
     return failed_steps.empty() && skipped_steps.empty();
   }
 
   /// The report as JSON (for `daspos chain --json` and archival next to the
-  /// provenance chain).
+  /// provenance chain). Includes a `metrics` block — the current state of
+  /// every instrument in MetricsRegistry::Global().
   Json ToJson() const;
 
   /// Per-step timing table (support/metrics renderer).

@@ -11,12 +11,39 @@
 #include "archive/object_store.h"
 #include "archive/resilient_store.h"
 #include "support/fault.h"
+#include "support/metrics_registry.h"
 #include "support/retry.h"
 #include "support/sha256.h"
 #include "support/threadpool.h"
 
 namespace daspos {
 namespace {
+
+/// Digest-cache counters now live in the process-wide registry, so tests
+/// assert on before/after deltas instead of per-store absolute values.
+struct CacheCounterProbe {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
+
+  static CacheCounterProbe Read() {
+    const MetricsRegistry& registry = MetricsRegistry::Global();
+    CacheCounterProbe probe{};
+    probe.hits =
+        registry.CounterValue(metric_names::kArchiveCacheHitsTotal);
+    probe.misses =
+        registry.CounterValue(metric_names::kArchiveCacheMissesTotal);
+    probe.invalidations = registry.CounterValue(
+        metric_names::kArchiveCacheInvalidationsTotal);
+    return probe;
+  }
+
+  uint64_t HitsSince() const { return Read().hits - hits; }
+  uint64_t MissesSince() const { return Read().misses - misses; }
+  uint64_t InvalidationsSince() const {
+    return Read().invalidations - invalidations;
+  }
+};
 
 // ------------------------------------------------------------ ObjectStore
 
@@ -456,16 +483,14 @@ TEST_F(DigestCacheTest, WarmGetSkipsRehash) {
   auto id = store.Put("cached blob");
   ASSERT_TRUE(id.ok());
   // Cold read hashes and records the fingerprint; warm reads hit.
+  CacheCounterProbe probe = CacheCounterProbe::Read();
   EXPECT_EQ(*store.Get(*id), "cached blob");
-  CacheCounters cold = store.digest_cache_stats();
-  EXPECT_EQ(cold.misses, 1u);
-  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(probe.MissesSince(), 1u);
+  EXPECT_EQ(probe.HitsSince(), 0u);
   EXPECT_EQ(*store.Get(*id), "cached blob");
   EXPECT_EQ(*store.Get(*id), "cached blob");
-  CacheCounters warm = store.digest_cache_stats();
-  EXPECT_EQ(warm.misses, 1u);
-  EXPECT_EQ(warm.hits, 2u);
-  EXPECT_DOUBLE_EQ(warm.HitRate(), 2.0 / 3.0);
+  EXPECT_EQ(probe.MissesSince(), 1u);
+  EXPECT_EQ(probe.HitsSince(), 2u);
 }
 
 TEST_F(DigestCacheTest, VerifySuccessWarmsTheCache) {
@@ -473,9 +498,10 @@ TEST_F(DigestCacheTest, VerifySuccessWarmsTheCache) {
   auto id = store.Put("verified blob");
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(store.Verify(*id).ok());
+  CacheCounterProbe probe = CacheCounterProbe::Read();
   EXPECT_EQ(*store.Get(*id), "verified blob");
-  EXPECT_EQ(store.digest_cache_stats().hits, 1u);
-  EXPECT_EQ(store.digest_cache_stats().misses, 0u);
+  EXPECT_EQ(probe.HitsSince(), 1u);
+  EXPECT_EQ(probe.MissesSince(), 0u);
 }
 
 TEST_F(DigestCacheTest, RotAfterCachingForcesRehashAndQuarantine) {
@@ -486,14 +512,14 @@ TEST_F(DigestCacheTest, RotAfterCachingForcesRehashAndQuarantine) {
   auto id = store.Put("pristine bytes");
   ASSERT_TRUE(id.ok());
   EXPECT_EQ(*store.Get(*id), "pristine bytes");  // cache is now warm
+  CacheCounterProbe probe = CacheCounterProbe::Read();
   std::ofstream(BlobPath(*id), std::ios::binary) << "rotten payload!!";
   auto got = store.Get(*id);
   EXPECT_TRUE(got.status().IsCorruption());
   EXPECT_NE(got.status().message().find("quarantine"), std::string::npos);
   ASSERT_EQ(store.QuarantinedIds().size(), 1u);
   EXPECT_EQ(store.QuarantinedIds()[0], *id);
-  CacheCounters stats = store.digest_cache_stats();
-  EXPECT_GE(stats.invalidations, 1u);
+  EXPECT_GE(probe.InvalidationsSince(), 1u);
   // The stale entry is gone: a healed copy starts cold again.
   auto healed = store.Put("pristine bytes");
   ASSERT_TRUE(healed.ok());
@@ -526,13 +552,12 @@ TEST_F(DigestCacheTest, PutDropsStaleCacheEntry) {
   EXPECT_TRUE(store.Get(*id).status().IsNotFound());
   // Re-publishing the id must drop the stale entry so the fresh copy is
   // re-verified from scratch before it can hit.
-  uint64_t invalidations_before = store.digest_cache_stats().invalidations;
+  CacheCounterProbe before_put = CacheCounterProbe::Read();
   ASSERT_TRUE(store.Put("volatile blob").ok());
-  EXPECT_GE(store.digest_cache_stats().invalidations,
-            invalidations_before + 1);
-  uint64_t misses_before = store.digest_cache_stats().misses;
+  EXPECT_GE(before_put.InvalidationsSince(), 1u);
+  CacheCounterProbe before_get = CacheCounterProbe::Read();
   EXPECT_EQ(*store.Get(*id), "volatile blob");
-  EXPECT_EQ(store.digest_cache_stats().misses, misses_before + 1);
+  EXPECT_EQ(before_get.MissesSince(), 1u);
 }
 
 // ---------------------------------------------------- Batched ingest --

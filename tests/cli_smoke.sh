@@ -65,6 +65,24 @@ grep -q '"step"' "$WORK/run1/journal.jsonl"
 "$DASPOS" chain z_ll 10 7 2 --retries=50 --inject-faults=seed=3,rate=0.2 \
   | grep -q "fault injection:"
 
+# Observability: --trace-out writes a Chrome trace_event JSON with one span
+# per workflow step; the JSON report carries the registry snapshot; and the
+# metrics command emits Prometheus text exposition (with and without a
+# workload, including the archive cache counters at zero).
+"$DASPOS" chain z_ll 10 7 2 --trace-out="$WORK/trace.json" \
+  | grep -q "span(s) written to"
+grep -q '"displayTimeUnit":"ms"' "$WORK/trace.json"
+grep -qF '"name":"step:reconstruction[reco]"' "$WORK/trace.json"
+grep -q '"name":"workflow:execute"' "$WORK/trace.json"
+"$DASPOS" chain z_ll 10 7 2 --json | grep -q '"metrics"'
+if "$DASPOS" chain z_ll 10 7 2 --trace-out= 2>/dev/null; then
+  echo "chain accepted an empty --trace-out path" >&2
+  exit 1
+fi
+"$DASPOS" metrics | grep -q "daspos_archive_digest_cache_hits_total 0"
+"$DASPOS" metrics | grep -q "# TYPE daspos_workflow_step_wall_ms histogram"
+"$DASPOS" metrics z_ll 10 7 | grep -q "daspos_workflow_steps_total 5"
+
 "$DASPOS" export "$WORK/z_reco.dspc" Atlas "$WORK/z_atlas.xml"
 grep -q "JiveEvent" "$WORK/z_atlas.xml"
 "$DASPOS" convert "$WORK/z_atlas.xml" Atlas CMS "$WORK/z_cms.ig"

@@ -25,6 +25,7 @@
 #include "rivet/analysis.h"
 #include "rivet/registry.h"
 #include "support/io.h"
+#include "support/metrics_registry.h"
 #include "support/sha256.h"
 #include "support/threadpool.h"
 #include "tiers/dataset.h"
@@ -144,15 +145,21 @@ TEST(ParallelForTest, NestedRegionsOnOnePoolDoNotDeadlock) {
   EXPECT_EQ(total.load(), 8u * (99u * 100u / 2u));
 }
 
-TEST(ThreadPoolTest, StatsCountExecutedTasks) {
-  ThreadPool pool(2);
-  ParallelFor(&pool, 64, [](size_t) {}, /*grain=*/1);
-  pool.Wait();
-  ThreadPoolStats stats = pool.stats();
+TEST(ThreadPoolTest, RegistryCountsExecutedTasks) {
+  const MetricsRegistry& registry = MetricsRegistry::Global();
+  uint64_t tasks_before =
+      registry.CounterValue(metric_names::kPoolTasksTotal);
+  {
+    ThreadPool pool(2);
+    ParallelFor(&pool, 64, [](size_t) {}, /*grain=*/1);
+    pool.Wait();
+  }
   // Helpers (up to thread_count-1 per region) ran; the caller's own chunk
   // draining is not a pool task.
-  EXPECT_GE(stats.tasks_executed, 1u);
-  EXPECT_GE(stats.busy_ms, 0.0);
+  EXPECT_GE(registry.CounterValue(metric_names::kPoolTasksTotal),
+            tasks_before + 1);
+  // Nothing is left queued once the pool has drained and joined.
+  EXPECT_EQ(registry.GaugeValue(metric_names::kPoolQueueDepth), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -385,6 +392,11 @@ TEST(WorkflowReportTest, PoolUtilizationIsReported) {
   Json json = report->ToJson();
   ASSERT_TRUE(json.Has("pool"));
   EXPECT_EQ(json.Get("pool").Get("threads").as_int(), 4);
+  // The report also carries the global registry state as a metrics block.
+  ASSERT_TRUE(json.Has("metrics"));
+  const Json& counters = json.Get("metrics").Get("counters");
+  EXPECT_GE(counters.Get(metric_names::kWorkflowStepsTotal).as_number(),
+            1.0);
 }
 
 }  // namespace

@@ -50,11 +50,12 @@ fi
 [ "$RUN_UBSAN" = 1 ] && sanitizer_pass ubsan undefined
 
 if [ "$RUN_TSAN" = 1 ]; then
-  echo "==> TSan: DASPOS_SANITIZE=thread build of workflow_test + parallel_test"
+  echo "==> TSan: DASPOS_SANITIZE=thread build of workflow_test + parallel_test + trace_test"
   cmake -B build-tsan -S . -DDASPOS_SANITIZE=thread >/dev/null
-  cmake --build build-tsan --target workflow_test parallel_test -j"$JOBS"
+  cmake --build build-tsan --target workflow_test parallel_test trace_test -j"$JOBS"
   ./build-tsan/tests/workflow_test
   ./build-tsan/tests/parallel_test
+  ./build-tsan/tests/trace_test
 fi
 
 if [ "$RUN_CHAOS" = 1 ]; then
@@ -66,12 +67,15 @@ if [ "$RUN_CHAOS" = 1 ]; then
   echo "==> chaos: DASPOS_SANITIZE=thread build + fault-tolerance suite"
   cmake -B build-tsan -S . -DDASPOS_SANITIZE=thread >/dev/null
   cmake --build build-tsan --target workflow_test parallel_test archive_test \
-    -j"$JOBS"
+    trace_test -j"$JOBS"
   ./build-tsan/tests/workflow_test \
     --gtest_filter='ChaosTest.*:JournalTest.*:WorkflowRetryTest.*:WorkflowKeepGoingTest.*'
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/archive_test \
     --gtest_filter='DigestCacheTest.*:PutBatchTest.*:FileObjectStoreTest.*'
+  # The registry and tracer are lock-light shared state touched from every
+  # pool worker; the trace suite hammers them from concurrent threads.
+  ./build-tsan/tests/trace_test
 fi
 
 echo "check.sh: all green"

@@ -9,6 +9,8 @@
 //   daspos lhada-run <description> <aod>      run a cutflow
 //   daspos lhada-check <description>          validate + canonicalize
 //   daspos lint [flags] <artifact...>         static preservation checks
+//   daspos chain <process> <n> <seed>         run the standard chain
+//   daspos metrics [<process> <n> <seed>]     Prometheus metrics dump
 //
 // Exit code 0 on success, 1 on any error (errors go to stderr). `lint`
 // exits 1 when any finding reaches the --fail-on threshold (default:
@@ -39,9 +41,11 @@
 #include "mc/generator.h"
 #include "support/fault.h"
 #include "support/io.h"
+#include "support/metrics_registry.h"
 #include "support/parallel.h"
 #include "support/strings.h"
 #include "support/threadpool.h"
+#include "support/trace.h"
 #include "tiers/dataset.h"
 #include "tiers/skimslim.h"
 #include "workflow/journal.h"
@@ -105,9 +109,11 @@ int Usage() {
                "[--threads=N] [--json]\n"
                "               [--retries=N] [--step-timeout=SECONDS] "
                "[--keep-going]\n"
-               "               [--journal=DIR] [--resume=DIR]\n"
+               "               [--journal=DIR] [--resume=DIR] "
+               "[--trace-out=FILE]\n"
                "  daspos lint [--json] [--fail-on=info|warning|error] "
                "[--threads=N] <artifact...>\n"
+               "  daspos metrics [<process> <n-events> <seed>]\n"
                "processes: minbias z_ll w_lnu h_gammagamma qcd_dijet "
                "d_meson zprime_ll\n"
                "threads: --threads=N (or DASPOS_THREADS env) sizes the "
@@ -326,15 +332,20 @@ int CmdIngest(const std::string& root, const std::string& title,
   for (const PackageFile& file : package.files) {
     total_bytes += file.bytes.size();
   }
-  CacheCounters cache = store.digest_cache_stats();
+  // This process touched exactly one store, so the global registry totals
+  // are this ingest's digest-cache activity.
+  const MetricsRegistry& registry = MetricsRegistry::Global();
   std::printf("ingested %zu file(s), %s, as package %s\n",
               package.files.size(), FormatBytes(total_bytes).c_str(),
               archive_id->c_str());
-  std::printf("digest cache: %llu hit(s), %llu miss(es), "
-              "%llu invalidation(s)\n",
-              static_cast<unsigned long long>(cache.hits),
-              static_cast<unsigned long long>(cache.misses),
-              static_cast<unsigned long long>(cache.invalidations));
+  std::printf(
+      "digest cache: %llu hit(s), %llu miss(es), %llu invalidation(s)\n",
+      static_cast<unsigned long long>(
+          registry.CounterValue(metric_names::kArchiveCacheHitsTotal)),
+      static_cast<unsigned long long>(
+          registry.CounterValue(metric_names::kArchiveCacheMissesTotal)),
+      static_cast<unsigned long long>(registry.CounterValue(
+          metric_names::kArchiveCacheInvalidationsTotal)));
   return 0;
 }
 
@@ -463,41 +474,28 @@ struct ChainFlags {
   std::string journal_dir;  // checkpoint as the run progresses
   std::string resume_dir;   // checkpoint AND restore prior checkpoints
   std::string fault_spec;   // hidden: --inject-faults=<spec> (CI chaos runs)
+  std::string trace_out;    // Chrome trace_event JSON export path
 };
 
-// Runs the standard GEN->RAW->RECO->AOD->derived chain in memory on the
-// parallel workflow engine and prints the per-step timing table (or, with
-// --json, the full execution report as JSON). With a journal the run is
-// checkpointed step by step; --resume restores verified checkpoints instead
-// of re-executing their steps.
-int CmdChain(const std::string& process_name, const std::string& count,
-             const std::string& seed, const ChainFlags& flags) {
-  Process process = Process::kMinimumBias;
-  bool known = false;
+Result<Process> ParseProcessName(const std::string& process_name) {
   for (const ProcessInfo& info : AllProcesses()) {
-    if (info.name == process_name) {
-      process = info.id;
-      known = true;
-    }
+    if (info.name == process_name) return info.id;
   }
-  if (!known) return Fail("unknown process '" + process_name + "'");
-  auto n = ParseU64(count);
-  if (!n.ok()) return Fail("bad event count '" + count + "'");
-  auto seed_value = ParseU64(seed);
-  if (!seed_value.ok()) return Fail("bad seed '" + seed + "'");
-  auto threads = ResolveThreads(flags.threads, /*fallback=*/0);
-  if (!threads.ok()) return Fail(threads.status().ToString());
+  return Status::InvalidArgument("unknown process '" + process_name + "'");
+}
 
+// The standard GEN->RAW->RECO->AOD->derived chain, shared by `chain` and
+// the `metrics` workload option.
+Workflow BuildStandardChain(Process process, size_t n, uint64_t seed) {
   GeneratorConfig gen_config;
   gen_config.process = process;
-  gen_config.seed = *seed_value;
+  gen_config.seed = seed;
   SimulationConfig sim_config;
-  sim_config.seed = *seed_value + 1;
+  sim_config.seed = seed + 1;
 
   Workflow workflow;
-  (void)workflow.AddStep(std::make_shared<GenerationStep>(
-                             gen_config, static_cast<size_t>(*n), "gen"),
-                         {}, "gen");
+  (void)workflow.AddStep(
+      std::make_shared<GenerationStep>(gen_config, n, "gen"), {}, "gen");
   (void)workflow.AddStep(std::make_shared<SimulationStep>(sim_config, 1,
                                                           "raw"),
                          {"gen"}, "raw");
@@ -511,6 +509,27 @@ int CmdChain(const std::string& process_name, const std::string& count,
           SkimSpec::RequireObjects(ObjectType::kMuon, 2, 10.0),
           SlimSpec::LeptonsOnly(10.0), "derived"),
       {"aod"}, "derived");
+  return workflow;
+}
+
+// Runs the standard GEN->RAW->RECO->AOD->derived chain in memory on the
+// parallel workflow engine and prints the per-step timing table (or, with
+// --json, the full execution report as JSON). With a journal the run is
+// checkpointed step by step; --resume restores verified checkpoints instead
+// of re-executing their steps.
+int CmdChain(const std::string& process_name, const std::string& count,
+             const std::string& seed, const ChainFlags& flags) {
+  auto process = ParseProcessName(process_name);
+  if (!process.ok()) return Fail(process.status().ToString());
+  auto n = ParseU64(count);
+  if (!n.ok()) return Fail("bad event count '" + count + "'");
+  auto seed_value = ParseU64(seed);
+  if (!seed_value.ok()) return Fail("bad seed '" + seed + "'");
+  auto threads = ResolveThreads(flags.threads, /*fallback=*/0);
+  if (!threads.ok()) return Fail(threads.status().ToString());
+
+  Workflow workflow = BuildStandardChain(
+      *process, static_cast<size_t>(*n), *seed_value);
 
   ConditionsDb conditions;
   CalibrationSet calib;
@@ -558,7 +577,22 @@ int CmdChain(const std::string& process_name, const std::string& count,
     options.step_faults = faults.get();
   }
 
+  const bool tracing = !flags.trace_out.empty();
+  if (tracing) Tracer::Global().Enable();
   auto report = workflow.Execute(&context, &provenance, options);
+  size_t span_count = 0;
+  if (tracing) {
+    // Export even when the run failed — a trace of the failure is exactly
+    // what the operator wants to open.
+    Tracer::Global().Disable();
+    std::vector<SpanEvent> spans = Tracer::Global().Drain();
+    span_count = spans.size();
+    if (auto status =
+            WriteStringToFile(flags.trace_out, TraceEventJson(spans));
+        !status.ok()) {
+      return Fail(status.ToString());
+    }
+  }
   if (!report.ok()) return Fail(report.status().ToString());
 
   if (flags.as_json) {
@@ -579,6 +613,10 @@ int CmdChain(const std::string& process_name, const std::string& count,
     std::printf("fault injection: %llu fault(s) across %llu operation(s)\n",
                 static_cast<unsigned long long>(faults->injected()),
                 static_cast<unsigned long long>(faults->operations()));
+  }
+  if (tracing) {
+    std::printf("trace: %zu span(s) written to %s\n", span_count,
+                flags.trace_out.c_str());
   }
   std::printf("total: %s across %zu datasets in %s ms on %zu thread(s); "
               "%zu provenance record(s) captured\n",
@@ -619,6 +657,42 @@ int CmdLint(const std::vector<std::string>& paths, bool as_json,
     std::printf("%s", report.RenderText().c_str());
   }
   return report.CountAtLeast(fail_on) > 0 ? 1 : 0;
+}
+
+// Prometheus text exposition (version 0.0.4) of the full metric catalogue.
+// With the optional positional workload (process, events, seed) the standard
+// chain runs first so the dump shows real traffic; without it every
+// instrument is present but zero — useful for discovering metric names.
+int CmdMetrics(const std::vector<std::string>& args) {
+  RegisterStandardMetrics();
+  if (!args.empty()) {
+    auto process = ParseProcessName(args[0]);
+    if (!process.ok()) return Fail(process.status().ToString());
+    auto n = ParseU64(args[1]);
+    if (!n.ok()) return Fail("bad event count '" + args[1] + "'");
+    auto seed = ParseU64(args[2]);
+    if (!seed.ok()) return Fail("bad seed '" + args[2] + "'");
+    auto threads = ResolveThreads("", /*fallback=*/0);
+    if (!threads.ok()) return Fail(threads.status().ToString());
+
+    Workflow workflow =
+        BuildStandardChain(*process, static_cast<size_t>(*n), *seed);
+    ConditionsDb conditions;
+    CalibrationSet calib;
+    if (auto status =
+            conditions.Append(kCalibrationTag, 1, calib.ToPayload());
+        !status.ok()) {
+      return Fail(status.ToString());
+    }
+    WorkflowContext context;
+    context.set_conditions(&conditions);
+    ExecuteOptions options;
+    options.max_threads = *threads;
+    auto report = workflow.Execute(&context, nullptr, options);
+    if (!report.ok()) return Fail(report.status().ToString());
+  }
+  std::printf("%s", MetricsRegistry::Global().RenderPrometheus().c_str());
+  return 0;
 }
 
 }  // namespace
@@ -732,6 +806,11 @@ int main(int argc, char** argv) {
         flags.resume_dir = arg.substr(9);
       } else if (arg.rfind("--inject-faults=", 0) == 0) {
         flags.fault_spec = arg.substr(16);
+      } else if (arg.rfind("--trace-out=", 0) == 0) {
+        flags.trace_out = arg.substr(12);
+        if (flags.trace_out.empty()) {
+          return Fail("--trace-out needs a file path");
+        }
       } else if (!arg.empty() && arg[0] == '-') {
         return Fail("unknown chain flag '" + arg + "'");
       } else {
@@ -739,6 +818,11 @@ int main(int argc, char** argv) {
       }
     }
     return CmdChain(argv[2], argv[3], argv[4], flags);
+  }
+  if (command == "metrics" && (argc == 2 || argc == 5)) {
+    std::vector<std::string> args;
+    for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+    return CmdMetrics(args);
   }
   return Usage();
 }
