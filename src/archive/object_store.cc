@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "support/io.h"
+#include "support/logging.h"
 #include "support/metrics.h"
 #include "support/metrics_registry.h"
 #include "support/parallel.h"
@@ -146,6 +147,10 @@ FileObjectStore::FileObjectStore(std::string root) : root_(std::move(root)) {
   quarantines_ =
       &registry.GetCounter(kArchiveQuarantinesTotal,
                            "blobs moved aside after a fixity mismatch");
+  walk_errors_ = &registry.GetCounter(
+      kArchiveWalkErrorsTotal,
+      "store-walk iteration/stat failures (an unreadable store must not "
+      "report as empty)");
   get_wall_ms_ =
       &registry.GetHistogram(kArchiveGetWallMs, latency, "Get wall time");
   put_wall_ms_ =
@@ -343,14 +348,34 @@ Result<std::vector<std::string>> FileObjectStore::PutBatch(
   return ids;
 }
 
+void FileObjectStore::CountWalkError(const std::string& what,
+                                     const std::error_code& ec) const {
+  walk_errors_->Increment();
+  DASPOS_LOG(kError) << "object-store walk error at " << what << ": "
+                     << ec.message();
+}
+
 std::vector<std::string> FileObjectStore::Ids() const {
   std::vector<std::string> out;
   std::error_code ec;
-  for (const auto& shard : fs::directory_iterator(root_, ec)) {
+  // A root that does not exist yet is a legitimately empty store (nothing
+  // was ever Put); a root that exists but cannot be iterated is an error —
+  // reporting it as "empty" would let a fixity audit pass vacuously.
+  fs::directory_iterator root_it(root_, ec);
+  if (ec) {
+    if (fs::exists(root_)) CountWalkError(root_, ec);
+    return out;
+  }
+  for (const auto& shard : root_it) {
     if (!shard.is_directory()) continue;
     std::string prefix = shard.path().filename().string();
     if (!IsShardName(prefix)) continue;
-    for (const auto& entry : fs::directory_iterator(shard.path(), ec)) {
+    fs::directory_iterator shard_it(shard.path(), ec);
+    if (ec) {
+      CountWalkError(shard.path().string(), ec);
+      continue;
+    }
+    for (const auto& entry : shard_it) {
       if (!entry.is_regular_file()) continue;
       out.push_back(prefix + entry.path().filename().string());
     }
@@ -362,13 +387,30 @@ std::vector<std::string> FileObjectStore::Ids() const {
 uint64_t FileObjectStore::TotalBytes() const {
   uint64_t total = 0;
   std::error_code ec;
-  for (const auto& shard : fs::directory_iterator(root_, ec)) {
+  fs::directory_iterator root_it(root_, ec);
+  if (ec) {
+    if (fs::exists(root_)) CountWalkError(root_, ec);
+    return total;
+  }
+  for (const auto& shard : root_it) {
     if (!shard.is_directory()) continue;
     if (!IsShardName(shard.path().filename().string())) continue;
-    for (const auto& entry : fs::directory_iterator(shard.path(), ec)) {
-      if (entry.is_regular_file()) {
-        total += static_cast<uint64_t>(entry.file_size(ec));
+    fs::directory_iterator shard_it(shard.path(), ec);
+    if (ec) {
+      CountWalkError(shard.path().string(), ec);
+      continue;
+    }
+    for (const auto& entry : shard_it) {
+      if (!entry.is_regular_file()) continue;
+      uintmax_t size = entry.file_size(ec);
+      if (ec) {
+        // file_size's error value is uintmax_t(-1); adding it would turn an
+        // unstattable blob into a wildly wrong total instead of an error.
+        CountWalkError(entry.path().string(), ec);
+        ec.clear();
+        continue;
       }
+      total += static_cast<uint64_t>(size);
     }
   }
   return total;
@@ -377,8 +419,15 @@ uint64_t FileObjectStore::TotalBytes() const {
 std::vector<std::string> FileObjectStore::QuarantinedIds() const {
   std::vector<std::string> out;
   std::error_code ec;
-  for (const auto& entry :
-       fs::directory_iterator(fs::path(root_) / "quarantine", ec)) {
+  const fs::path quarantine = fs::path(root_) / "quarantine";
+  fs::directory_iterator it(quarantine, ec);
+  if (ec) {
+    // No quarantine directory means nothing was ever quarantined; an
+    // existing-but-unreadable one hides rotted blobs from the linter.
+    if (fs::exists(quarantine)) CountWalkError(quarantine.string(), ec);
+    return out;
+  }
+  for (const auto& entry : it) {
     if (!entry.is_regular_file()) continue;
     out.push_back(entry.path().filename().string());
   }

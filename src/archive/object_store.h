@@ -8,6 +8,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "support/result.h"
@@ -130,6 +131,12 @@ class FileObjectStore : public ObjectStore {
   Status VerifyImpl(const std::string& id) const;
 
   std::string PathFor(const std::string& id) const;
+  /// Records one store-walk failure (directory unreadable, stat failed)
+  /// during Ids()/TotalBytes(): logs it and bumps
+  /// daspos_archive_walk_errors_total so an unreadable store can never be
+  /// mistaken for an empty one by audits reading the walk results.
+  void CountWalkError(const std::string& what,
+                      const std::error_code& ec) const;
   /// Moves the blob at PathFor(id) into the quarantine area (best-effort)
   /// and drops its cache entry.
   void Quarantine(const std::string& id) const;
@@ -156,6 +163,7 @@ class FileObjectStore : public ObjectStore {
   Counter* cache_misses_;
   Counter* cache_invalidations_;
   Counter* quarantines_;
+  Counter* walk_errors_;
   Histogram* get_wall_ms_;
   Histogram* put_wall_ms_;
 };

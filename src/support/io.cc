@@ -147,14 +147,29 @@ Status AtomicWriteFile(const std::string& path, std::string_view data) {
     return Status::IOError("cannot rename " + tmp + " -> " + path + ": " +
                            ec.message());
   }
-  // Best-effort directory sync so the rename itself survives a crash.
+  // The rename is a directory-entry mutation, so it has its own durability
+  // point: until the directory is synced, a crash can roll the entry back
+  // even though the data fsync succeeded. Propagate failure — an atomic
+  // write that may vanish must not report OK.
   if (target.has_parent_path()) {
-    int dir_fd = ::open(target.parent_path().c_str(), O_RDONLY | O_DIRECTORY);
-    if (dir_fd >= 0) {
-      (void)::fsync(dir_fd);
-      ::close(dir_fd);
-    }
+    DASPOS_RETURN_IF_ERROR(FsyncDir(target.parent_path().string()));
   }
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory for fsync: " + dir + ": " +
+                           std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::IOError("directory fsync failed: " + dir + ": " +
+                           std::strerror(saved));
+  }
+  ::close(fd);
   return Status::OK();
 }
 

@@ -34,6 +34,13 @@ Status WriteStringToFile(const std::string& path, std::string_view data);
 /// `path`, never a partial file.
 Status AtomicWriteFile(const std::string& path, std::string_view data);
 
+/// Fsyncs the directory at `dir` so directory-entry mutations (a freshly
+/// created file, a rename) survive a crash. Creating a file and fsyncing its
+/// fd makes the *bytes* durable, but the *name* lives in the directory, which
+/// has its own durability point — without this, a crash can lose a file whose
+/// write already returned OK.
+Status FsyncDir(const std::string& dir);
+
 /// True if a regular file exists at `path`.
 bool FileExists(const std::string& path);
 

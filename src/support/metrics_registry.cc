@@ -281,6 +281,19 @@ void RegisterStandardMetrics(MetricsRegistry& registry) {
                       "blobs moved aside after a fixity mismatch");
   registry.GetHistogram(kArchiveGetWallMs, latency, "Get wall time");
   registry.GetHistogram(kArchivePutWallMs, latency, "Put wall time");
+  registry.GetCounter(kArchiveWalkErrorsTotal,
+                      "store-walk iteration/stat failures (an unreadable "
+                      "store must not report as empty)");
+  registry.GetCounter(kValidationRunsTotal, "validation farm runs");
+  registry.GetCounter(kValidationCellsTotal,
+                      "campaign x analysis cells validated");
+  registry.GetCounter(kValidationPassTotal, "validation cells that passed");
+  registry.GetCounter(kValidationWarnTotal, "validation cells that warned");
+  registry.GetCounter(kValidationFailTotal, "validation cells that failed");
+  registry.GetCounter(kValidationHistogramsTotal,
+                      "histograms compared against archived references");
+  registry.GetHistogram(kValidationCellWallMs, latency,
+                        "per-cell wall time (chain + analysis + compare)");
   registry.GetCounter(kLintArtifactsTotal, "artifacts linted");
   registry.GetCounter(kLintFindingsTotal, "lint diagnostics emitted");
   registry.GetCounter(kRecoEventsTotal, "events reconstructed");

@@ -208,6 +208,19 @@ inline constexpr char kArchiveQuarantinesTotal[] =
     "daspos_archive_quarantines_total";
 inline constexpr char kArchiveGetWallMs[] = "daspos_archive_get_wall_ms";
 inline constexpr char kArchivePutWallMs[] = "daspos_archive_put_wall_ms";
+inline constexpr char kArchiveWalkErrorsTotal[] =
+    "daspos_archive_walk_errors_total";
+// Continuous-validation farm (src/validate).
+inline constexpr char kValidationRunsTotal[] = "daspos_validation_runs_total";
+inline constexpr char kValidationCellsTotal[] =
+    "daspos_validation_cells_total";
+inline constexpr char kValidationPassTotal[] = "daspos_validation_pass_total";
+inline constexpr char kValidationWarnTotal[] = "daspos_validation_warn_total";
+inline constexpr char kValidationFailTotal[] = "daspos_validation_fail_total";
+inline constexpr char kValidationHistogramsTotal[] =
+    "daspos_validation_histograms_compared_total";
+inline constexpr char kValidationCellWallMs[] =
+    "daspos_validation_cell_wall_ms";
 // Linter.
 inline constexpr char kLintArtifactsTotal[] = "daspos_lint_artifacts_total";
 inline constexpr char kLintFindingsTotal[] = "daspos_lint_findings_total";

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 
@@ -28,6 +29,18 @@ Json RecordToJson(const RunJournal::Record& record) {
   return json;
 }
 
+/// Reads a non-negative integer field. A missing, non-numeric, negative, or
+/// fractional value is corruption, not zero: a crash-truncated or bit-rotted
+/// line must read as "not a record", never as a record with bytes=0.
+bool ReadU64Field(const Json& json, std::string_view key, uint64_t* out) {
+  const Json& field = json.Get(key);
+  if (!field.is_number()) return false;
+  double value = field.as_number();
+  if (value < 0.0 || value != std::floor(value)) return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
 bool RecordFromJson(const Json& json, RunJournal::Record* out) {
   if (!json.is_object()) return false;
   if (!json.Get("step").is_string() || !json.Get("output").is_string() ||
@@ -35,12 +48,14 @@ bool RecordFromJson(const Json& json, RunJournal::Record* out) {
       !json.Get("config_hash").is_string()) {
     return false;
   }
+  if (!ReadU64Field(json, "bytes", &out->bytes) ||
+      !ReadU64Field(json, "events", &out->events)) {
+    return false;
+  }
   out->step = json.Get("step").as_string();
   out->output = json.Get("output").as_string();
   out->digest = json.Get("digest").as_string();
   out->config_hash = json.Get("config_hash").as_string();
-  out->bytes = static_cast<uint64_t>(json.Get("bytes").as_int());
-  out->events = static_cast<uint64_t>(json.Get("events").as_int());
   return true;
 }
 
@@ -84,7 +99,13 @@ Status RunJournal::Append(Record record, std::string_view blob) {
   std::string line = RecordToJson(record).Dump() + "\n";
 
   std::lock_guard<std::mutex> lock(mu_);
-  int fd = ::open(LinesPath(dir_).c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  const std::string lines_path = LinesPath(dir_);
+  // O_CREAT on a fresh journal adds a directory entry, which has its own
+  // durability point: fsyncing the file makes the first record's bytes
+  // durable, but only a directory fsync makes the *name* durable. Without
+  // it a crash can lose the whole journal even though Append returned OK.
+  const bool created = !FileExists(lines_path);
+  int fd = ::open(lines_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd < 0) {
     return Status::IOError("cannot open journal for append: " + dir_ + ": " +
                            std::strerror(errno));
@@ -110,6 +131,12 @@ Status RunJournal::Append(Record record, std::string_view blob) {
                            std::strerror(saved));
   }
   ::close(fd);
+  if (created) {
+    // The record is not checkpointed until its file is reachable after a
+    // crash; surface the failure rather than remembering a record the disk
+    // may not have.
+    DASPOS_RETURN_IF_ERROR(FsyncDir(dir_));
+  }
   records_.push_back(std::move(record));
   return Status::OK();
 }

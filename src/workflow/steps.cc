@@ -398,4 +398,31 @@ Result<std::string> MergeStep::Run(
   return writer.Finish();
 }
 
+Workflow StandardChainWorkflow(Process process, size_t event_count,
+                               uint64_t seed) {
+  GeneratorConfig gen_config;
+  gen_config.process = process;
+  gen_config.seed = seed;
+  SimulationConfig sim_config;
+  sim_config.seed = seed + 1;
+
+  Workflow workflow;
+  (void)workflow.AddStep(
+      std::make_shared<GenerationStep>(gen_config, event_count, "gen"), {},
+      "gen");
+  (void)workflow.AddStep(
+      std::make_shared<SimulationStep>(sim_config, 1, "raw"), {"gen"}, "raw");
+  (void)workflow.AddStep(
+      std::make_shared<ReconstructionStep>(sim_config.geometry, "reco"),
+      {"raw"}, "reco");
+  (void)workflow.AddStep(std::make_shared<AodReductionStep>("aod"), {"reco"},
+                         "aod");
+  (void)workflow.AddStep(
+      std::make_shared<DerivationStep>(
+          SkimSpec::RequireObjects(ObjectType::kMuon, 2, 10.0),
+          SlimSpec::LeptonsOnly(10.0), "derived"),
+      {"aod"}, "derived");
+  return workflow;
+}
+
 }  // namespace daspos

@@ -134,6 +134,14 @@ class MergeStep : public WorkflowStep {
   mutable uint64_t last_events_ = 0;
 };
 
+/// The standard GEN->RAW->RECO->AOD->derived chain of §3.2 over dataset
+/// names "gen"/"raw"/"reco"/"aod"/"derived", shared by the CLI and the
+/// continuous-validation farm so a preserved campaign re-executes exactly
+/// the chain that produced it. Reconstruction reads kCalibrationTag from the
+/// context's conditions provider at run 1.
+Workflow StandardChainWorkflow(Process process, size_t event_count,
+                               uint64_t seed);
+
 /// JSON captures of the substrate configurations (shared with recast/ and
 /// the provenance-replay machinery in core/). All are lossless round trips.
 Json GeneratorConfigToJson(const GeneratorConfig& config);

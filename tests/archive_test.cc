@@ -358,6 +358,59 @@ TEST(ObjectIdValidationTest, RejectsMalformedIds) {
   EXPECT_TRUE(ValidateObjectId(slashed).IsInvalidArgument());
 }
 
+TEST_F(FileObjectStoreTest, MissingRootEnumeratesEmptyWithoutWalkErrors) {
+  const MetricsRegistry& registry = MetricsRegistry::Global();
+  const uint64_t before =
+      registry.CounterValue(metric_names::kArchiveWalkErrorsTotal);
+  FileObjectStore store(root_);  // nothing was ever Put: legitimately empty
+  EXPECT_TRUE(store.Ids().empty());
+  EXPECT_EQ(store.TotalBytes(), 0u);
+  EXPECT_TRUE(store.QuarantinedIds().empty());
+  EXPECT_EQ(registry.CounterValue(metric_names::kArchiveWalkErrorsTotal),
+            before);
+}
+
+TEST_F(FileObjectStoreTest, UnreadableRootCountsWalkErrors) {
+  // A root that exists but cannot be iterated (here: a regular file) must
+  // never enumerate as "empty, 0 bytes" silently — that would let a fixity
+  // audit of a damaged store pass vacuously.
+  {
+    std::ofstream out(root_);
+    out << "not a directory";
+  }
+  const MetricsRegistry& registry = MetricsRegistry::Global();
+  const uint64_t before =
+      registry.CounterValue(metric_names::kArchiveWalkErrorsTotal);
+  FileObjectStore store(root_);
+  EXPECT_TRUE(store.Ids().empty());
+  const uint64_t after_ids =
+      registry.CounterValue(metric_names::kArchiveWalkErrorsTotal);
+  EXPECT_GE(after_ids - before, 1u);
+  EXPECT_EQ(store.TotalBytes(), 0u);
+  EXPECT_GE(registry.CounterValue(metric_names::kArchiveWalkErrorsTotal) -
+                after_ids,
+            1u);
+}
+
+TEST_F(FileObjectStoreTest, RecoverCatalogOverUnreadableStoreIsNotVacuous) {
+  {
+    std::ofstream out(root_);
+    out << "not a directory";
+  }
+  const MetricsRegistry& registry = MetricsRegistry::Global();
+  const uint64_t before =
+      registry.CounterValue(metric_names::kArchiveWalkErrorsTotal);
+  FileObjectStore store(root_);
+  Archive archive(&store);
+  auto recovered = archive.RecoverCatalog();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, 0u);
+  // The caller can tell "found nothing" from "could not look".
+  EXPECT_GE(registry.CounterValue(metric_names::kArchiveWalkErrorsTotal) -
+                before,
+            1u);
+}
+
 TEST_F(FileObjectStoreTest, KeyedOpsRejectTraversalIds) {
   FileObjectStore store(root_);
   ASSERT_TRUE(store.Put("guarded").ok());

@@ -108,6 +108,33 @@ if "$DASPOS" lint --fail-on=warning "$WORK/unused.lhada" >/dev/null; then
   exit 1
 fi
 
+# Continuous-validation farm: capture a campaign into an archive, then
+# re-execute the matrix (clean, with a journal, and under fault injection).
+"$DASPOS" validate "$WORK/farm" --capture=smoke25 --process=z_ll \
+  --events=25 --seed=9 --analyses=DASPOS_2014_ZLL \
+  | grep -q "captured campaign 'smoke25'"
+"$DASPOS" validate "$WORK/farm" | grep -q "verdict: PASS (1 pass, 0 warn, 0 fail)"
+"$DASPOS" validate "$WORK/farm" --json --report="$WORK/vreport.json" \
+  | grep -q '"verdict": "pass"'
+grep -q '"chain_identical": true' "$WORK/vreport.json"
+"$DASPOS" validate "$WORK/farm" --journal="$WORK/vjournal" >/dev/null
+grep -q '"step"' "$WORK/vjournal/smoke25/journal.jsonl"
+"$DASPOS" validate "$WORK/farm" --retries=50 --inject-faults=seed=3,rate=0.2 \
+  | grep -q "fault injection:"
+# An injected fault with no retry budget must fail the matrix (exit 1).
+if "$DASPOS" validate "$WORK/farm" --inject-faults=nth=1 >/dev/null; then
+  echo "validate passed despite an unretried injected fault" >&2
+  exit 1
+fi
+"$DASPOS" validate "$WORK/farm" --prometheus="$WORK/vprom.txt" >/dev/null
+grep -q "daspos_validation_pass_total" "$WORK/vprom.txt"
+# An unreadable store must fail the audit, not pass vacuously.
+echo "not a store" > "$WORK/notastore"
+if "$DASPOS" audit "$WORK/notastore" >/dev/null 2>&1; then
+  echo "audit passed over an unreadable store" >&2
+  exit 1
+fi
+
 # Corrupt the dataset: inspect must refuse.
 head -c 1000 "$WORK/z_gen.dspc" > "$WORK/broken.dspc"
 if "$DASPOS" inspect "$WORK/broken.dspc" 2>/dev/null; then

@@ -423,6 +423,18 @@ TEST(IoTest, AtomicWriteRoundTripAndOverwrite) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(IoTest, FsyncDirSucceedsOnDirFailsOnMissingOrFile) {
+  auto dir = std::filesystem::temp_directory_path() / "daspos_io_fsyncdir";
+  std::filesystem::create_directories(dir);
+  EXPECT_TRUE(FsyncDir(dir.string()).ok());
+  EXPECT_TRUE(FsyncDir((dir / "absent").string()).IsIOError());
+  std::string file = (dir / "plain.txt").string();
+  ASSERT_TRUE(WriteStringToFile(file, "x").ok());
+  // O_DIRECTORY rejects non-directories instead of fsyncing the wrong node.
+  EXPECT_TRUE(FsyncDir(file).IsIOError());
+  std::filesystem::remove_all(dir);
+}
+
 // ----------------------------------------------------------------- Retry --
 
 RetryPolicy FastPolicy() {

@@ -957,6 +957,78 @@ TEST(JournalTest, TruncatedJournalLoadsIntactPrefix) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(JournalTest, FreshJournalFirstRecordSurvivesReopen) {
+  // Regression for the fresh-journal durability gap: the very first Append
+  // creates journal.jsonl (a directory-entry mutation), so the record is
+  // only checkpointed once the directory itself is synced. Behaviorally:
+  // the record and its blob must be fully readable after a cold reopen.
+  std::string dir = TempRunDir("fresh_append");
+  std::filesystem::remove_all(dir);
+  {
+    auto journal = RunJournal::Open(dir);
+    ASSERT_TRUE(journal.ok());
+    RunJournal::Record record;
+    record.step = "s1";
+    record.output = "o1";
+    record.config_hash = "h1";
+    record.bytes = 3;
+    record.events = 1;
+    ASSERT_TRUE((*journal)->Append(record, "abc").ok());
+  }
+  auto reopened = RunJournal::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ((*reopened)->records().size(), 1u);
+  auto found = (*reopened)->Find("s1");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->bytes, 3u);
+  EXPECT_EQ(found->events, 1u);
+  auto blob = (*reopened)->LoadBlob(found->digest);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(*blob, "abc");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JournalTest, CorruptedNumericFieldsReadAsTruncatedTail) {
+  // bytes/events must be non-negative integers. A bit-rotted line where
+  // they decode as a string, a fraction, or a negative number — or vanish —
+  // is corruption; treating it as bytes=0 would resume from a lie.
+  std::string dir = TempRunDir("bad_numeric");
+  std::filesystem::remove_all(dir);
+  std::string base;
+  {
+    auto journal = RunJournal::Open(dir);
+    ASSERT_TRUE(journal.ok());
+    RunJournal::Record record;
+    record.step = "s1";
+    record.output = "o1";
+    record.config_hash = "h1";
+    record.bytes = 3;
+    record.events = 1;
+    ASSERT_TRUE((*journal)->Append(record, "abc").ok());
+    std::ifstream in(RunJournal::LinesPath(dir));
+    std::getline(in, base);
+  }
+  const std::string prefix =
+      "{\"step\":\"s2\",\"output\":\"o2\",\"digest\":\"d\","
+      "\"config_hash\":\"h\",";
+  for (const std::string& tail :
+       {std::string("\"bytes\":\"12\",\"events\":1}"),   // string-typed
+        std::string("\"bytes\":1.5,\"events\":1}"),      // fractional
+        std::string("\"bytes\":-3,\"events\":1}"),       // negative
+        std::string("\"events\":1}"),                    // bytes missing
+        std::string("\"bytes\":2}")}) {                  // events missing
+    {
+      std::ofstream out(RunJournal::LinesPath(dir), std::ios::trunc);
+      out << base << "\n" << prefix << tail << "\n";
+    }
+    auto journal = RunJournal::Open(dir);
+    ASSERT_TRUE(journal.ok());
+    EXPECT_EQ((*journal)->records().size(), 1u) << tail;
+    EXPECT_FALSE((*journal)->Find("s2").has_value()) << tail;
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(JournalTest, ConfigChangeInvalidatesCheckpoint) {
   std::string dir = TempRunDir("config");
   std::filesystem::remove_all(dir);

@@ -67,7 +67,7 @@ if [ "$RUN_CHAOS" = 1 ]; then
   echo "==> chaos: DASPOS_SANITIZE=thread build + fault-tolerance suite"
   cmake -B build-tsan -S . -DDASPOS_SANITIZE=thread >/dev/null
   cmake --build build-tsan --target workflow_test parallel_test archive_test \
-    trace_test -j"$JOBS"
+    trace_test validate_test -j"$JOBS"
   ./build-tsan/tests/workflow_test \
     --gtest_filter='ChaosTest.*:JournalTest.*:WorkflowRetryTest.*:WorkflowKeepGoingTest.*'
   ./build-tsan/tests/parallel_test
@@ -76,6 +76,10 @@ if [ "$RUN_CHAOS" = 1 ]; then
   # The registry and tracer are lock-light shared state touched from every
   # pool worker; the trace suite hammers them from concurrent threads.
   ./build-tsan/tests/trace_test
+  # The validation farm fans campaigns and analyses out over the pool while
+  # injecting step faults — the same dispatcher/journal/registry surfaces
+  # under a second concurrency shape.
+  ./build-tsan/tests/validate_test
 fi
 
 echo "check.sh: all green"

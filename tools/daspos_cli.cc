@@ -48,6 +48,7 @@
 #include "support/trace.h"
 #include "tiers/dataset.h"
 #include "tiers/skimslim.h"
+#include "validate/validate.h"
 #include "workflow/journal.h"
 #include "workflow/steps.h"
 
@@ -114,6 +115,17 @@ int Usage() {
                "  daspos lint [--json] [--fail-on=info|warning|error] "
                "[--threads=N] <artifact...>\n"
                "  daspos metrics [<process> <n-events> <seed>]\n"
+               "  daspos validate <archive-dir> --capture=NAME "
+               "[--process=P] [--events=N]\n"
+               "               [--seed=N] [--analyses=A,B]\n"
+               "  daspos validate <archive-dir> [--json] [--threads=N] "
+               "[--retries=N]\n"
+               "               [--journal=DIR] [--report=FILE] "
+               "[--prometheus=FILE]\n"
+               "               [--campaign=NAME] [--analysis=NAME] "
+               "[--inject-faults=SPEC]\n"
+               "               [--fail-chi2=X] [--warn-chi2=X] "
+               "[--warn-ks=X]\n"
                "processes: minbias z_ll w_lnu h_gammagamma qcd_dijet "
                "d_meson zprime_ll\n"
                "threads: --threads=N (or DASPOS_THREADS env) sizes the "
@@ -283,12 +295,21 @@ int CmdHoldings(const std::string& root) {
 }
 
 int CmdAudit(const std::string& root, size_t threads) {
+  // Store-walk errors around catalog recovery + audit: an unreadable store
+  // enumerates as empty, so without this delta the audit of a damaged
+  // archive would pass vacuously.
+  const uint64_t walk_before = MetricsRegistry::Global().CounterValue(
+      metric_names::kArchiveWalkErrorsTotal);
   FileObjectStore store(root);
   Archive archive(&store);
   auto recovered = archive.RecoverCatalog();
   if (!recovered.ok()) return Fail(recovered.status().ToString());
   std::unique_ptr<ThreadPool> pool = MakePool(threads);
   FixityReport report = archive.AuditFixity(pool.get());
+  const uint64_t walk_errors =
+      MetricsRegistry::Global().CounterValue(
+          metric_names::kArchiveWalkErrorsTotal) -
+      walk_before;
   std::printf("packages: %zu, objects checked: %llu\n", *recovered,
               static_cast<unsigned long long>(report.objects_checked));
   for (const std::string& id : report.corrupted_objects) {
@@ -297,8 +318,14 @@ int CmdAudit(const std::string& root, size_t threads) {
   for (const std::string& id : report.missing_objects) {
     std::printf("MISSING  : %s\n", id.c_str());
   }
-  std::printf("verdict: %s\n", report.clean() ? "CLEAN" : "DAMAGED");
-  return report.clean() ? 0 : 1;
+  if (walk_errors > 0) {
+    std::printf("WALK ERRS: %llu (store partially unreadable; audit is "
+                "incomplete)\n",
+                static_cast<unsigned long long>(walk_errors));
+  }
+  const bool clean = report.clean() && walk_errors == 0;
+  std::printf("verdict: %s\n", clean ? "CLEAN" : "DAMAGED");
+  return clean ? 0 : 1;
 }
 
 // Deposits local files into the archive as one package. With more than one
@@ -484,34 +511,6 @@ Result<Process> ParseProcessName(const std::string& process_name) {
   return Status::InvalidArgument("unknown process '" + process_name + "'");
 }
 
-// The standard GEN->RAW->RECO->AOD->derived chain, shared by `chain` and
-// the `metrics` workload option.
-Workflow BuildStandardChain(Process process, size_t n, uint64_t seed) {
-  GeneratorConfig gen_config;
-  gen_config.process = process;
-  gen_config.seed = seed;
-  SimulationConfig sim_config;
-  sim_config.seed = seed + 1;
-
-  Workflow workflow;
-  (void)workflow.AddStep(
-      std::make_shared<GenerationStep>(gen_config, n, "gen"), {}, "gen");
-  (void)workflow.AddStep(std::make_shared<SimulationStep>(sim_config, 1,
-                                                          "raw"),
-                         {"gen"}, "raw");
-  (void)workflow.AddStep(
-      std::make_shared<ReconstructionStep>(sim_config.geometry, "reco"),
-      {"raw"}, "reco");
-  (void)workflow.AddStep(std::make_shared<AodReductionStep>("aod"), {"reco"},
-                         "aod");
-  (void)workflow.AddStep(
-      std::make_shared<DerivationStep>(
-          SkimSpec::RequireObjects(ObjectType::kMuon, 2, 10.0),
-          SlimSpec::LeptonsOnly(10.0), "derived"),
-      {"aod"}, "derived");
-  return workflow;
-}
-
 // Runs the standard GEN->RAW->RECO->AOD->derived chain in memory on the
 // parallel workflow engine and prints the per-step timing table (or, with
 // --json, the full execution report as JSON). With a journal the run is
@@ -528,7 +527,7 @@ int CmdChain(const std::string& process_name, const std::string& count,
   auto threads = ResolveThreads(flags.threads, /*fallback=*/0);
   if (!threads.ok()) return Fail(threads.status().ToString());
 
-  Workflow workflow = BuildStandardChain(
+  Workflow workflow = StandardChainWorkflow(
       *process, static_cast<size_t>(*n), *seed_value);
 
   ConditionsDb conditions;
@@ -633,6 +632,124 @@ int CmdChain(const std::string& process_name, const std::string& count,
   return 0;
 }
 
+struct ValidateFlags {
+  std::string capture;   // campaign name; non-empty selects capture mode
+  std::string process = "z_ll";
+  std::string events = "200";
+  std::string seed = "42";
+  std::string analyses;  // comma-separated; empty = every registered one
+  bool as_json = false;
+  std::string threads;
+  int retries = 0;
+  std::string fault_spec;       // --inject-faults=<spec> (chaos validation)
+  std::string journal_dir;      // per-campaign journals under this root
+  std::string report_path;      // JSON report file
+  std::string prometheus_path;  // metrics exposition file
+  std::string campaign_filter;
+  std::string analysis_filter;
+  validate::Thresholds thresholds;
+};
+
+// The continuous-validation farm. --capture freezes a campaign package
+// (chain config + per-analysis reference histograms + dataset digests) into
+// the archive; without it, every campaign x analysis cell is re-executed
+// through the workflow engine and compared against its archived references.
+// Exit: 0 all pass, 2 warnings only, 1 any failure (or unreadable store).
+int CmdValidate(const std::string& root, const ValidateFlags& flags) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  RegisterStandardMetrics(registry);
+  const uint64_t walk_before =
+      registry.CounterValue(metric_names::kArchiveWalkErrorsTotal);
+  FileObjectStore store(root);
+  Archive archive(&store);
+  auto recovered = archive.RecoverCatalog();
+  if (!recovered.ok()) return Fail(recovered.status().ToString());
+
+  if (!flags.capture.empty()) {
+    validate::CampaignSpec spec;
+    spec.name = flags.capture;
+    auto process = ParseProcessName(flags.process);
+    if (!process.ok()) return Fail(process.status().ToString());
+    spec.process = *process;
+    auto events = ParseU64(flags.events);
+    if (!events.ok()) return Fail("bad --events value '" + flags.events + "'");
+    spec.events = static_cast<size_t>(*events);
+    auto seed = ParseU64(flags.seed);
+    if (!seed.ok()) return Fail("bad --seed value '" + flags.seed + "'");
+    spec.seed = *seed;
+    for (const std::string& analysis : Split(flags.analyses, ',')) {
+      std::string trimmed(Trim(analysis));
+      if (!trimmed.empty()) spec.analyses.push_back(std::move(trimmed));
+    }
+    auto id = validate::CaptureCampaign(&archive, std::move(spec));
+    if (!id.ok()) return Fail(id.status().ToString());
+    std::printf("captured campaign '%s' as %s\n", flags.capture.c_str(),
+                id->c_str());
+    return 0;
+  }
+
+  auto threads = ResolveThreads(flags.threads, /*fallback=*/0);
+  if (!threads.ok()) return Fail(threads.status().ToString());
+  std::unique_ptr<ThreadPool> pool = MakePool(*threads);
+  std::unique_ptr<FaultPlan> faults;
+  if (!flags.fault_spec.empty()) {
+    auto spec = FaultSpec::Parse(flags.fault_spec);
+    if (!spec.ok()) return Fail(spec.status().ToString());
+    faults = std::make_unique<FaultPlan>(*spec);
+  }
+
+  validate::ValidateOptions options;
+  options.thresholds = flags.thresholds;
+  options.max_step_retries = flags.retries;
+  options.retry_backoff_ms = flags.retries > 0 ? 1.0 : 0.0;
+  options.step_faults = faults.get();
+  options.journal_root = flags.journal_dir;
+  options.pool = pool.get();
+  options.campaign_filter = flags.campaign_filter;
+  options.analysis_filter = flags.analysis_filter;
+
+  auto report = validate::ValidateArchive(archive, options);
+  if (!report.ok()) return Fail(report.status().ToString());
+
+  if (!flags.report_path.empty()) {
+    if (auto status =
+            WriteStringToFile(flags.report_path, report->ToJson().Dump(2));
+        !status.ok()) {
+      return Fail(status.ToString());
+    }
+  }
+  if (!flags.prometheus_path.empty()) {
+    if (auto status = WriteStringToFile(flags.prometheus_path,
+                                        registry.RenderPrometheus());
+        !status.ok()) {
+      return Fail(status.ToString());
+    }
+  }
+  if (flags.as_json) {
+    std::printf("%s\n", report->ToJson().Dump(2).c_str());
+  } else {
+    std::printf("%s", report->RenderText().c_str());
+    if (faults != nullptr) {
+      std::printf("fault injection: %llu fault(s) across %llu operation(s)\n",
+                  static_cast<unsigned long long>(faults->injected()),
+                  static_cast<unsigned long long>(faults->operations()));
+    }
+  }
+  const uint64_t walk_errors =
+      registry.CounterValue(metric_names::kArchiveWalkErrorsTotal) -
+      walk_before;
+  if (walk_errors > 0) {
+    return Fail(std::to_string(walk_errors) +
+                " store walk error(s); archive may be unreadable");
+  }
+  switch (report->Overall()) {
+    case validate::Verdict::kPass: return 0;
+    case validate::Verdict::kWarn: return 2;
+    case validate::Verdict::kFail: return 1;
+  }
+  return 1;
+}
+
 // Static preservation checks over one or more artifacts: workflow
 // provenance chains, LHADA descriptions, archive directories, and
 // conditions dumps. Artifact kind is detected from content; nothing is
@@ -676,7 +793,7 @@ int CmdMetrics(const std::vector<std::string>& args) {
     if (!threads.ok()) return Fail(threads.status().ToString());
 
     Workflow workflow =
-        BuildStandardChain(*process, static_cast<size_t>(*n), *seed);
+        StandardChainWorkflow(*process, static_cast<size_t>(*n), *seed);
     ConditionsDb conditions;
     CalibrationSet calib;
     if (auto status =
@@ -818,6 +935,66 @@ int main(int argc, char** argv) {
       }
     }
     return CmdChain(argv[2], argv[3], argv[4], flags);
+  }
+  if (command == "validate" && argc >= 3) {
+    ValidateFlags flags;
+    for (int i = 3; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json") {
+        flags.as_json = true;
+      } else if (arg.rfind("--capture=", 0) == 0) {
+        flags.capture = arg.substr(10);
+      } else if (arg.rfind("--process=", 0) == 0) {
+        flags.process = arg.substr(10);
+      } else if (arg.rfind("--events=", 0) == 0) {
+        flags.events = arg.substr(9);
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        flags.seed = arg.substr(7);
+      } else if (arg.rfind("--analyses=", 0) == 0) {
+        flags.analyses = arg.substr(11);
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        flags.threads = arg.substr(10);
+      } else if (arg.rfind("--retries=", 0) == 0) {
+        auto retries = ParseU64(arg.substr(10));
+        if (!retries.ok() || *retries > 1000) {
+          return Fail("bad --retries value '" + arg.substr(10) + "'");
+        }
+        flags.retries = static_cast<int>(*retries);
+      } else if (arg.rfind("--inject-faults=", 0) == 0) {
+        flags.fault_spec = arg.substr(16);
+      } else if (arg.rfind("--journal=", 0) == 0) {
+        flags.journal_dir = arg.substr(10);
+      } else if (arg.rfind("--report=", 0) == 0) {
+        flags.report_path = arg.substr(9);
+      } else if (arg.rfind("--prometheus=", 0) == 0) {
+        flags.prometheus_path = arg.substr(13);
+      } else if (arg.rfind("--campaign=", 0) == 0) {
+        flags.campaign_filter = arg.substr(11);
+      } else if (arg.rfind("--analysis=", 0) == 0) {
+        flags.analysis_filter = arg.substr(11);
+      } else if (arg.rfind("--fail-chi2=", 0) == 0) {
+        auto value = ParseDouble(arg.substr(12));
+        if (!value.ok() || *value < 0.0) {
+          return Fail("bad --fail-chi2 value '" + arg.substr(12) + "'");
+        }
+        flags.thresholds.fail_chi2 = *value;
+      } else if (arg.rfind("--warn-chi2=", 0) == 0) {
+        auto value = ParseDouble(arg.substr(12));
+        if (!value.ok() || *value < 0.0) {
+          return Fail("bad --warn-chi2 value '" + arg.substr(12) + "'");
+        }
+        flags.thresholds.warn_chi2 = *value;
+      } else if (arg.rfind("--warn-ks=", 0) == 0) {
+        auto value = ParseDouble(arg.substr(10));
+        if (!value.ok() || *value < 0.0) {
+          return Fail("bad --warn-ks value '" + arg.substr(10) + "'");
+        }
+        flags.thresholds.warn_ks = *value;
+      } else {
+        return Fail("unknown validate flag '" + arg + "'");
+      }
+    }
+    return CmdValidate(argv[2], flags);
   }
   if (command == "metrics" && (argc == 2 || argc == 5)) {
     std::vector<std::string> args;
