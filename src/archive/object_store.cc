@@ -188,7 +188,7 @@ Result<FileObjectStore::VerifiedStat> FileObjectStore::StatFingerprint(
 
 bool FileObjectStore::CacheMatches(const std::string& id,
                                    const VerifiedStat& current) const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   auto it = verified_.find(id);
   if (it == verified_.end()) return false;
   if (it->second == current) return true;
@@ -201,12 +201,12 @@ bool FileObjectStore::CacheMatches(const std::string& id,
 
 void FileObjectStore::CacheStore(const std::string& id,
                                  const VerifiedStat& fp) const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   verified_.insert_or_assign(id, fp);
 }
 
 void FileObjectStore::CacheDrop(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   if (verified_.erase(id) > 0) cache_invalidations_->Increment();
 }
 

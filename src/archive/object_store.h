@@ -6,12 +6,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <system_error>
 #include <vector>
 
 #include "support/result.h"
+#include "support/sync.h"
 
 namespace daspos {
 
@@ -56,7 +56,10 @@ class ObjectStore {
       const std::vector<std::string_view>& blobs, ThreadPool* pool = nullptr);
 };
 
-/// In-memory backend (tests, benches).
+/// In-memory backend (tests, benches). NOT thread-safe: unlike
+/// FileObjectStore there is no internal lock, so concurrent Put/Get require
+/// external synchronization (PutBatch's parallel override is therefore only
+/// on the file backend).
 class MemoryObjectStore : public ObjectStore {
  public:
   Result<std::string> Put(std::string_view bytes) override;
@@ -143,15 +146,18 @@ class FileObjectStore : public ObjectStore {
   /// Stat fingerprint of the file at `path`, or !ok if it cannot be statted.
   static Result<VerifiedStat> StatFingerprint(const std::string& path);
   /// True when the cache holds `id` with exactly `current`.
-  bool CacheMatches(const std::string& id, const VerifiedStat& current) const;
+  bool CacheMatches(const std::string& id, const VerifiedStat& current) const
+      DASPOS_EXCLUDES(cache_mutex_);
   /// Records `id` as verified at fingerprint `fp`.
-  void CacheStore(const std::string& id, const VerifiedStat& fp) const;
+  void CacheStore(const std::string& id, const VerifiedStat& fp) const
+      DASPOS_EXCLUDES(cache_mutex_);
   /// Drops `id` from the cache, counting an invalidation if it was present.
-  void CacheDrop(const std::string& id) const;
+  void CacheDrop(const std::string& id) const DASPOS_EXCLUDES(cache_mutex_);
 
   std::string root_;
-  mutable std::mutex cache_mutex_;
-  mutable std::map<std::string, VerifiedStat> verified_;
+  mutable Mutex cache_mutex_;
+  mutable std::map<std::string, VerifiedStat> verified_
+      DASPOS_GUARDED_BY(cache_mutex_);
   // Registry handles resolved once at construction (stable for process
   // life); the instruments themselves are owned by the global registry.
   Counter* put_total_;

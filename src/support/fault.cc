@@ -52,7 +52,7 @@ Result<FaultSpec> FaultSpec::Parse(std::string_view spec) {
 FaultPlan::FaultPlan(const FaultSpec& spec) : spec_(spec), rng_(spec.seed) {}
 
 Status FaultPlan::Next(const std::string& op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++operations_;
   bool fail = std::binary_search(spec_.nth.begin(), spec_.nth.end(), operations_);
   // Always consume a draw in rate mode so the decision sequence depends only
@@ -66,12 +66,12 @@ Status FaultPlan::Next(const std::string& op) {
 }
 
 uint64_t FaultPlan::operations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return operations_;
 }
 
 uint64_t FaultPlan::injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return injected_;
 }
 

@@ -7,13 +7,13 @@
 #define DASPOS_SUPPORT_FAULT_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "support/result.h"
 #include "support/rng.h"
 #include "support/status.h"
+#include "support/sync.h"
 
 namespace daspos {
 
@@ -45,20 +45,20 @@ class FaultPlan {
   /// Decides the fate of the next operation. `op` labels it ("put", "get",
   /// "step:reconstruction", ...) for the injected error message. Returns OK
   /// to let the operation proceed, or a transient IOError to inject a fault.
-  Status Next(const std::string& op);
+  Status Next(const std::string& op) DASPOS_EXCLUDES(mu_);
 
   /// Total operations consulted so far.
-  uint64_t operations() const;
+  uint64_t operations() const DASPOS_EXCLUDES(mu_);
 
   /// Faults injected so far.
-  uint64_t injected() const;
+  uint64_t injected() const DASPOS_EXCLUDES(mu_);
 
  private:
-  FaultSpec spec_;
-  mutable std::mutex mu_;
-  Rng rng_;
-  uint64_t operations_ = 0;
-  uint64_t injected_ = 0;
+  FaultSpec spec_;  // const after construction; read without the lock
+  mutable Mutex mu_;
+  Rng rng_ DASPOS_GUARDED_BY(mu_);
+  uint64_t operations_ DASPOS_GUARDED_BY(mu_) = 0;
+  uint64_t injected_ DASPOS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace daspos

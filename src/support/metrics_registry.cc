@@ -69,70 +69,68 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
-Counter& MetricsRegistry::GetCounter(std::string_view name,
-                                     std::string_view help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+MetricsRegistry::Entry& MetricsRegistry::EntryFor(std::string_view name,
+                                                  std::string_view help) {
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry entry;
     entry.help = help;
-    entry.counter.reset(new Counter());
     it = entries_.emplace(std::string(name), std::move(entry)).first;
   }
-  if (it->second.counter == nullptr) {
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  MutexLock lock(mutex_);
+  Entry& entry = EntryFor(name, help);
+  if (!entry.has_instrument()) entry.counter.reset(new Counter());
+  if (entry.counter == nullptr) {
     // Kind mismatch: keep the original registration, hand back a detached
     // instrument so the caller still has something safe to increment.
     static Counter* mismatch = new Counter();
     return *mismatch;
   }
-  return *it->second.counter;
+  return *entry.counter;
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name,
                                  std::string_view help) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    Entry entry;
-    entry.help = help;
-    entry.gauge.reset(new Gauge());
-    it = entries_.emplace(std::string(name), std::move(entry)).first;
-  }
-  if (it->second.gauge == nullptr) {
+  MutexLock lock(mutex_);
+  Entry& entry = EntryFor(name, help);
+  if (!entry.has_instrument()) entry.gauge.reset(new Gauge());
+  if (entry.gauge == nullptr) {
     static Gauge* mismatch = new Gauge();
     return *mismatch;
   }
-  return *it->second.gauge;
+  return *entry.gauge;
 }
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> bounds,
                                          std::string_view help) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    Entry entry;
-    entry.help = help;
+  MutexLock lock(mutex_);
+  Entry& entry = EntryFor(name, help);
+  if (!entry.has_instrument()) {
     entry.histogram.reset(new Histogram(std::move(bounds)));
-    it = entries_.emplace(std::string(name), std::move(entry)).first;
   }
-  if (it->second.histogram == nullptr) {
+  if (entry.histogram == nullptr) {
     static Histogram* mismatch =
         new Histogram(Histogram::DefaultLatencyBucketsMs());
     return *mismatch;
   }
-  return *it->second.histogram;
+  return *entry.histogram;
 }
 
 uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end() || it->second.counter == nullptr) return 0;
   return it->second.counter->value();
 }
 
 int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end() || it->second.gauge == nullptr) return 0;
   return it->second.gauge->value();
@@ -140,7 +138,7 @@ int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // entries_ is an ordered map, so every section comes out sorted by name —
   // the determinism the exporters promise.
   for (const auto& [name, entry] : entries_) {
@@ -237,7 +235,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
 }
 
 void MetricsRegistry::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, entry] : entries_) {
     (void)name;
     if (entry.counter != nullptr) entry.counter->Reset();

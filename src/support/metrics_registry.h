@@ -20,10 +20,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "support/sync.h"
 
 namespace daspos {
 
@@ -136,19 +137,22 @@ class MetricsRegistry {
   /// Registering the same name as two different kinds keeps the first kind
   /// and returns a detached dummy instrument for the mismatched request —
   /// a programming error surfaced by the dummy's absence from exports.
-  Counter& GetCounter(std::string_view name, std::string_view help = "");
-  Gauge& GetGauge(std::string_view name, std::string_view help = "");
+  Counter& GetCounter(std::string_view name, std::string_view help = "")
+      DASPOS_EXCLUDES(mutex_);
+  Gauge& GetGauge(std::string_view name, std::string_view help = "")
+      DASPOS_EXCLUDES(mutex_);
   /// `bounds` must be ascending; they are fixed on first registration.
   Histogram& GetHistogram(std::string_view name, std::vector<double> bounds,
-                          std::string_view help = "");
+                          std::string_view help = "")
+      DASPOS_EXCLUDES(mutex_);
 
   /// Current value of a counter/gauge by name; 0 when not registered.
   /// (Tests use before/after deltas of these.)
-  uint64_t CounterValue(std::string_view name) const;
-  int64_t GaugeValue(std::string_view name) const;
+  uint64_t CounterValue(std::string_view name) const DASPOS_EXCLUDES(mutex_);
+  int64_t GaugeValue(std::string_view name) const DASPOS_EXCLUDES(mutex_);
 
   /// Sorted-by-name copy of every instrument's current state.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const DASPOS_EXCLUDES(mutex_);
 
   /// Prometheus text exposition format (text/plain; version=0.0.4):
   /// # HELP / # TYPE headers, cumulative histogram buckets with inclusive
@@ -156,7 +160,7 @@ class MetricsRegistry {
   std::string RenderPrometheus() const;
 
   /// Zeroes every value. Handles stay valid; registrations stay in place.
-  void ResetForTesting();
+  void ResetForTesting() DASPOS_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -164,10 +168,20 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+
+    bool has_instrument() const {
+      return counter != nullptr || gauge != nullptr || histogram != nullptr;
+    }
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry, std::less<>> entries_;
+  /// Finds (creating a bare, instrument-less entry if absent) the entry for
+  /// `name`. The caller holds the registry mutex and attaches the right
+  /// instrument kind.
+  Entry& EntryFor(std::string_view name, std::string_view help)
+      DASPOS_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_ DASPOS_GUARDED_BY(mutex_);
 };
 
 /// Canonical metric names — the single source both the instrumented

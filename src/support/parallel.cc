@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 
+#include "support/sync.h"
 #include "support/threadpool.h"
 
 namespace daspos {
@@ -41,21 +40,24 @@ struct RegionState {
   const std::function<void(size_t, size_t, size_t)>& body;
   ChunkPlan plan;
   std::atomic<size_t> next_chunk{0};
-  std::mutex mutex;
-  std::condition_variable all_done;
-  size_t done = 0;
+  Mutex mutex;
+  CondVar all_done;
+  size_t done DASPOS_GUARDED_BY(mutex) = 0;
 };
 
 /// Claims and runs chunks until the cursor is exhausted. Runs on the calling
 /// thread and on pool helpers alike.
 void DrainChunks(const std::shared_ptr<RegionState>& state) {
+  // Dereference once: the analysis tracks capability expressions by base
+  // object, so `s.mutex` and `s.done` must share the same base.
+  RegionState& s = *state;
   for (;;) {
-    size_t chunk = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
-    if (chunk >= state->plan.chunk_count) return;
-    auto [begin, end] = state->plan.Bounds(chunk);
-    state->body(chunk, begin, end);
-    std::lock_guard<std::mutex> lock(state->mutex);
-    if (++state->done == state->plan.chunk_count) state->all_done.notify_all();
+    size_t chunk = s.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= s.plan.chunk_count) return;
+    auto [begin, end] = s.plan.Bounds(chunk);
+    s.body(chunk, begin, end);
+    MutexLock lock(s.mutex);
+    if (++s.done == s.plan.chunk_count) s.all_done.NotifyAll();
   }
 }
 
@@ -83,9 +85,12 @@ void ForEachChunk(ThreadPool* pool, size_t count, size_t grain,
     pool->Submit([state] { DrainChunks(state); });
   }
   DrainChunks(state);
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->all_done.wait(
-      lock, [&state] { return state->done == state->plan.chunk_count; });
+  RegionState& s = *state;
+  MutexLock lock(s.mutex);
+  // Explicit predicate loop (not cv.wait(lock, pred)): the analysis treats
+  // a predicate lambda as a separate function and cannot see that it runs
+  // under the lock.
+  while (s.done != s.plan.chunk_count) s.all_done.Wait(s.mutex);
 }
 
 }  // namespace daspos

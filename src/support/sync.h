@@ -1,0 +1,233 @@
+// Annotated synchronization layer: the one place the preservation stack
+// takes a lock. Every primitive here carries Clang Thread Safety Analysis
+// attributes, so on a Clang build with -DDASPOS_THREAD_SAFETY=ON the
+// compiler proves, on every build, that each DASPOS_GUARDED_BY field is
+// only touched with its mutex held, that no path returns while holding a
+// lock, and that no lock is acquired twice. On non-Clang toolchains every
+// macro expands to nothing and the wrappers cost exactly what the std
+// primitives underneath them cost.
+//
+// Why compile-time: the paper's promise is that a preserved analysis
+// re-executes identically years later, and lock-discipline drift is the
+// classic way that promise silently rots. TSan (tools/check.sh --tsan)
+// only samples the interleavings the test suite happens to produce; the
+// analysis checks every guarded access on every translation unit, every
+// time. See docs/STATIC_ANALYSIS.md for conventions and the lock
+// hierarchy.
+#ifndef DASPOS_SUPPORT_SYNC_H_
+#define DASPOS_SUPPORT_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// Thread-safety attributes are a Clang extension; GCC and MSVC see empty
+// macros (and must, or they would error on the unknown attributes).
+#if defined(__clang__) && !defined(SWIG)
+#define DASPOS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define DASPOS_THREAD_ANNOTATION__(x)
+#endif
+
+/// Marks a class as a capability (lockable). The string names the
+/// capability kind in diagnostics ("mutex", "shared_mutex").
+#define DASPOS_CAPABILITY(x) DASPOS_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define DASPOS_SCOPED_CAPABILITY DASPOS_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be read or written with the named mutex held.
+#define DASPOS_GUARDED_BY(x) DASPOS_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by the named mutex.
+#define DASPOS_PT_GUARDED_BY(x) DASPOS_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Documents (and checks, under -Wthread-safety-beta) lock ordering.
+#define DASPOS_ACQUIRED_BEFORE(...) \
+  DASPOS_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define DASPOS_ACQUIRED_AFTER(...) \
+  DASPOS_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held (exclusively / shared) on entry,
+/// and leaves it held on exit. The convention for private *Locked helpers.
+#define DASPOS_REQUIRES(...) \
+  DASPOS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define DASPOS_REQUIRES_SHARED(...) \
+  DASPOS_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (must not be held on entry).
+#define DASPOS_ACQUIRE(...) \
+  DASPOS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define DASPOS_ACQUIRE_SHARED(...) \
+  DASPOS_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define DASPOS_RELEASE(...) \
+  DASPOS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define DASPOS_RELEASE_SHARED(...) \
+  DASPOS_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define DASPOS_RELEASE_GENERIC(...) \
+  DASPOS_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define DASPOS_TRY_ACQUIRE(...) \
+  DASPOS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (re-entrancy guard on public
+/// methods of classes whose private methods take the same lock).
+#define DASPOS_EXCLUDES(...) \
+  DASPOS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define DASPOS_ASSERT_CAPABILITY(x) \
+  DASPOS_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define DASPOS_RETURN_CAPABILITY(x) \
+  DASPOS_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the function is excluded from analysis. Every use needs a
+/// comment explaining why the invariant holds anyway.
+#define DASPOS_NO_THREAD_SAFETY_ANALYSIS \
+  DASPOS_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace daspos {
+
+/// Annotated exclusive mutex. Lock/Unlock/TryLock are the DASPOS
+/// spellings; the lowercase BasicLockable aliases exist so CondVar (a
+/// condition_variable_any) can wait on a Mutex directly.
+class DASPOS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DASPOS_ACQUIRE() { mu_.lock(); }
+  void Unlock() DASPOS_RELEASE() { mu_.unlock(); }
+  bool TryLock() DASPOS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock() DASPOS_ACQUIRE() { mu_.lock(); }
+  void unlock() DASPOS_RELEASE() { mu_.unlock(); }
+  bool try_lock() DASPOS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated reader/writer mutex (WorkflowContext's dataset map: many
+/// concurrent step reads, rare write-once inserts).
+class DASPOS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() DASPOS_ACQUIRE() { mu_.lock(); }
+  void Unlock() DASPOS_RELEASE() { mu_.unlock(); }
+  void LockShared() DASPOS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() DASPOS_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex, held for the full scope.
+class DASPOS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DASPOS_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() DASPOS_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock that can be released before scope exit (publish
+/// under the lock, then notify or do I/O outside it). The destructor
+/// releases only if Release() was never called.
+class DASPOS_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex& mu) DASPOS_ACQUIRE(mu) : mu_(&mu) {
+    mu_->Lock();
+  }
+  ~ReleasableMutexLock() DASPOS_RELEASE() {
+    if (mu_ != nullptr) mu_->Unlock();
+  }
+
+  /// Releases the lock early. Calling twice is a checked (compile-time)
+  /// error under the analysis and undefined behaviour without it.
+  void Release() DASPOS_RELEASE() {
+    mu_->Unlock();
+    mu_ = nullptr;
+  }
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class DASPOS_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) DASPOS_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() DASPOS_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class DASPOS_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) DASPOS_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() DASPOS_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to an annotated Mutex. Wait requires the mutex
+/// held, which forces call sites into the analyzable shape:
+///
+///   MutexLock lock(mu_);
+///   while (!predicate_over_guarded_fields()) cv_.Wait(mu_);
+///
+/// (A lambda predicate passed into std::condition_variable::wait would be
+/// analyzed as a separate function that reads guarded fields without the
+/// lock — the explicit loop keeps the guarded reads inside the locked
+/// scope the analysis can see.)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  /// Spurious wakeups happen; always wait in a predicate loop.
+  void Wait(Mutex& mu) DASPOS_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace daspos
+
+#endif  // DASPOS_SUPPORT_SYNC_H_

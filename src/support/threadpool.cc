@@ -30,25 +30,25 @@ ThreadPool::ThreadPool(size_t thread_count) {
 ThreadPool::~ThreadPool() {
   Wait();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   queue_depth_->Add(1);
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!(queue_.empty() && active_ == 0)) idle_.Wait(mutex_);
 }
 
 size_t ThreadPool::DefaultThreadCount() {
@@ -57,15 +57,21 @@ size_t ThreadPool::DefaultThreadCount() {
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  // Manual Lock/Unlock rather than a scoped lock: the loop releases the
+  // mutex around each task body and reacquires it afterwards, and the
+  // analysis checks that the lockset is consistent on every path and at
+  // the loop back-edge.
+  mutex_.Lock();
   for (;;) {
-    work_available_.wait(lock,
-                         [this] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // stopping_ and drained
+    while (!stopping_ && queue_.empty()) work_available_.Wait(mutex_);
+    if (queue_.empty()) {  // stopping_ and drained
+      mutex_.Unlock();
+      return;
+    }
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
-    lock.unlock();
+    mutex_.Unlock();
     queue_depth_->Add(-1);
     auto task_start = std::chrono::steady_clock::now();
     task();
@@ -75,9 +81,9 @@ void ThreadPool::WorkerLoop() {
     tasks_total_->Increment();
     busy_us_total_->Increment(static_cast<uint64_t>(task_us));
     task_wall_ms_->Observe(task_us / 1000.0);
-    lock.lock();
+    mutex_.Lock();
     --active_;
-    if (queue_.empty() && active_ == 0) idle_.notify_all();
+    if (queue_.empty() && active_ == 0) idle_.NotifyAll();
   }
 }
 

@@ -8,13 +8,13 @@
 #ifndef DASPOS_SUPPORT_THREADPOOL_H_
 #define DASPOS_SUPPORT_THREADPOOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/sync.h"
 
 namespace daspos {
 
@@ -37,10 +37,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Safe from any thread, including pool workers.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DASPOS_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and no task is running.
-  void Wait();
+  void Wait() DASPOS_EXCLUDES(mutex_);
 
   size_t thread_count() const { return workers_.size(); }
 
@@ -48,14 +48,14 @@ class ThreadPool {
   static size_t DefaultThreadCount();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DASPOS_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ DASPOS_GUARDED_BY(mutex_);
+  size_t active_ DASPOS_GUARDED_BY(mutex_) = 0;
+  bool stopping_ DASPOS_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
   // Registry handles resolved once at construction (stable for process life).
   Counter* tasks_total_;

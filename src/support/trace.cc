@@ -58,10 +58,13 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::Enable() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
-    buffer->events.clear();
+    // Raw pointer local: the analysis tracks capability expressions by base
+    // object, and `raw->mutex` names the same lock as `raw->events`' guard.
+    ThreadBuffer* raw = buffer.get();
+    MutexLock buffer_lock(raw->mutex);
+    raw->events.clear();
   }
   g_epoch_ns.store(NowNs(), std::memory_order_relaxed);
   next_id_.store(1, std::memory_order_relaxed);
@@ -76,7 +79,7 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
   thread_local std::shared_ptr<ThreadBuffer> tls_buffer;
   if (tls_buffer == nullptr) {
     auto buffer = std::make_shared<ThreadBuffer>();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     buffer->thread_index = buffers_.size();
     buffers_.push_back(buffer);
     tls_buffer = std::move(buffer);
@@ -93,13 +96,14 @@ double Tracer::MicrosSinceEpoch() const {
 std::vector<SpanEvent> Tracer::Drain() {
   std::vector<SpanEvent> spans;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
-      for (SpanEvent& event : buffer->events) {
+      ThreadBuffer* raw = buffer.get();
+      MutexLock buffer_lock(raw->mutex);
+      for (SpanEvent& event : raw->events) {
         spans.push_back(std::move(event));
       }
-      buffer->events.clear();
+      raw->events.clear();
     }
   }
   std::sort(spans.begin(), spans.end(),
@@ -140,7 +144,7 @@ Span::~Span() {
   tls_current_span = prev_current_;
   Tracer::ThreadBuffer* buffer = Tracer::Global().BufferForThisThread();
   event_.thread_index = buffer->thread_index;
-  std::lock_guard<std::mutex> lock(buffer->mutex);
+  MutexLock lock(buffer->mutex);
   buffer->events.push_back(std::move(event_));
 }
 

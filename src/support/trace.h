@@ -24,11 +24,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "support/sync.h"
 
 namespace daspos {
 
@@ -59,20 +60,23 @@ class Tracer {
   /// Starts a fresh trace: clears previously collected spans and resets the
   /// time origin. Safe to call while other threads run (they start
   /// recording from their next span).
-  void Enable();
+  void Enable() DASPOS_EXCLUDES(mutex_);
   void Disable();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Collects every finished span from every thread buffer and clears them.
   /// Spans are returned sorted by (start_us, id) — chronological for a
   /// human reading the export.
-  std::vector<SpanEvent> Drain();
+  std::vector<SpanEvent> Drain() DASPOS_EXCLUDES(mutex_);
 
  private:
   friend class Span;
   struct ThreadBuffer {
-    std::mutex mutex;  // owner thread appends, Drain reads: uncontended
-    std::vector<SpanEvent> events;
+    // Owner thread appends, Drain reads: uncontended in the steady state.
+    Mutex mutex;
+    std::vector<SpanEvent> events DASPOS_GUARDED_BY(mutex);
+    /// Written once at registration (under the tracer mutex, before the
+    /// buffer is published) and read only by the owner thread afterwards.
     uint64_t thread_index = 0;
   };
 
@@ -80,7 +84,7 @@ class Tracer {
 
   /// The calling thread's buffer, registered on first use. The shared_ptr
   /// keeps recorded spans alive after the thread exits.
-  ThreadBuffer* BufferForThisThread();
+  ThreadBuffer* BufferForThisThread() DASPOS_EXCLUDES(mutex_);
   uint64_t NextSpanId() {
     return next_id_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -88,9 +92,10 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_id_{1};
-  mutable std::mutex mutex_;  // guards buffers_ and epoch_
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  std::chrono::steady_clock::time_point epoch_{};
+  /// Registration lock, ordered before each ThreadBuffer::mutex (Enable and
+  /// Drain hold it while visiting every buffer).
+  mutable Mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ DASPOS_GUARDED_BY(mutex_);
 };
 
 /// RAII trace region recording to Tracer::Global(). Construct on the stack;

@@ -1,9 +1,7 @@
 #include "workflow/engine.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <set>
 #include <utility>
 
@@ -12,6 +10,7 @@
 #include "support/retry.h"
 #include "support/sha256.h"
 #include "support/strings.h"
+#include "support/sync.h"
 #include "support/threadpool.h"
 #include "support/trace.h"
 #include "workflow/journal.h"
@@ -61,7 +60,7 @@ Status WorkflowContext::PutDataset(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("dataset name must not be empty");
   }
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(mutex_);
   auto [it, inserted] = datasets_.emplace(name, std::move(blob));
   (void)it;
   if (!inserted) {
@@ -72,7 +71,7 @@ Status WorkflowContext::PutDataset(const std::string& name,
 
 Result<std::string_view> WorkflowContext::GetDataset(
     const std::string& name) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   auto it = datasets_.find(name);
   if (it == datasets_.end()) {
     return Status::NotFound("dataset '" + name + "' not in context");
@@ -83,12 +82,12 @@ Result<std::string_view> WorkflowContext::GetDataset(
 }
 
 bool WorkflowContext::HasDataset(const std::string& name) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return datasets_.count(name) > 0;
 }
 
 std::vector<std::string> WorkflowContext::DatasetNames() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(datasets_.size());
   for (const auto& [name, blob] : datasets_) {
@@ -99,7 +98,7 @@ std::vector<std::string> WorkflowContext::DatasetNames() const {
 }
 
 uint64_t WorkflowContext::TotalBytes() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   uint64_t total = 0;
   for (const auto& [name, blob] : datasets_) {
     (void)name;
@@ -200,6 +199,24 @@ struct StepSlot {
   int attempts = 1;
   bool from_checkpoint = false;
   ProvenanceRecord record;
+};
+
+/// Scheduler state shared between Execute and the pool workers it
+/// dispatches. Function locals cannot carry thread-safety annotations, so
+/// the shared pieces live in a named struct whose fields declare their
+/// guard; `mutex` orders every scheduling decision.
+struct DispatchState {
+  Mutex mutex;
+  CondVar settled_cv;
+  /// Unsatisfied input count per step; a step is dispatched when it hits 0.
+  std::vector<size_t> remaining DASPOS_GUARDED_BY(mutex);
+  /// 1 when the step has been handed to the pool.
+  std::vector<char> submitted DASPOS_GUARDED_BY(mutex);
+  size_t scheduled DASPOS_GUARDED_BY(mutex) = 0;
+  size_t settled DASPOS_GUARDED_BY(mutex) = 0;
+  bool failed DASPOS_GUARDED_BY(mutex) = false;
+  size_t first_failed_rank DASPOS_GUARDED_BY(mutex) = kNoRank;
+  Status failure DASPOS_GUARDED_BY(mutex) = Status::OK();
 };
 
 }  // namespace
@@ -354,15 +371,12 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
   // each completion decrements its dependents and submits those that hit
   // zero. A failure stops further dispatch (in-flight steps drain).
   std::vector<StepSlot> slots(step_count);
-  std::mutex mutex;
-  std::condition_variable settled_cv;
-  std::vector<size_t> remaining = indegree;
-  std::vector<char> submitted(step_count, 0);
-  size_t scheduled = 0;
-  size_t settled = 0;
-  bool failed = false;
-  size_t first_failed_rank = kNoRank;
-  Status failure = Status::OK();
+  DispatchState sched;
+  {
+    MutexLock lock(sched.mutex);
+    sched.remaining = indegree;
+    sched.submitted.assign(step_count, 0);
+  }
 
   // The pool publishes cumulative counters to the global registry; deltas
   // around this execution give the report its pool-activity block.
@@ -378,10 +392,10 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
     context->set_worker_pool(threads > 1 ? &pool : nullptr);
     std::function<void(size_t)> run_step = [&](size_t index) {
       {
-        std::lock_guard lock(mutex);
-        if (failed) {
-          ++settled;
-          if (settled == scheduled) settled_cv.notify_all();
+        MutexLock lock(sched.mutex);
+        if (sched.failed) {
+          ++sched.settled;
+          if (sched.settled == sched.scheduled) sched.settled_cv.NotifyAll();
           return;
         }
       }
@@ -506,46 +520,50 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
       }
       slot.status = std::move(status);
 
-      std::lock_guard lock(mutex);
-      ++settled;
+      MutexLock lock(sched.mutex);
+      ++sched.settled;
       if (!slot.status.ok()) {
         if (options.keep_going) {
           // Graceful degradation: the failed step is quarantined (its
           // dependents never reach indegree zero, so they are never
           // dispatched) while independent branches keep running.
         } else {
-          if (!failed || rank[index] < first_failed_rank) {
-            first_failed_rank = rank[index];
-            failure = slot.status;
+          if (!sched.failed || rank[index] < sched.first_failed_rank) {
+            sched.first_failed_rank = rank[index];
+            sched.failure = slot.status;
           }
-          failed = true;
+          sched.failed = true;
         }
-      } else if (!failed) {
+      } else if (!sched.failed) {
         for (size_t dependent : dependents[index]) {
           if (rank[dependent] == kNoRank) continue;  // permanently blocked
-          if (--remaining[dependent] == 0) {
-            ++scheduled;
-            submitted[dependent] = 1;
+          if (--sched.remaining[dependent] == 0) {
+            ++sched.scheduled;
+            sched.submitted[dependent] = 1;
             pool.Submit([&run_step, dependent] { run_step(dependent); });
           }
         }
       }
-      if (settled == scheduled) settled_cv.notify_all();
+      if (sched.settled == sched.scheduled) sched.settled_cv.NotifyAll();
     };
 
     {
-      std::lock_guard lock(mutex);
+      MutexLock lock(sched.mutex);
       for (size_t i : topo) {
-        if (remaining[i] == 0) {
-          ++scheduled;
-          submitted[i] = 1;
+        if (sched.remaining[i] == 0) {
+          ++sched.scheduled;
+          sched.submitted[i] = 1;
           pool.Submit([&run_step, i] { run_step(i); });
         }
       }
     }
     {
-      std::unique_lock lock(mutex);
-      settled_cv.wait(lock, [&] { return settled == scheduled; });
+      MutexLock lock(sched.mutex);
+      // Explicit predicate loop: the analysis cannot see through a
+      // cv.wait(lock, pred) lambda.
+      while (sched.settled != sched.scheduled) {
+        sched.settled_cv.Wait(sched.mutex);
+      }
     }
     // All steps are settled, but the worker that ran the last one may not
     // have recorded its registry updates yet; Wait() flushes that (the
@@ -560,6 +578,18 @@ Result<WorkflowReport> Workflow::Execute(WorkflowContext* context,
         1000.0;
     context->set_worker_pool(nullptr);
   }  // pool drains before slots are read below
+
+  // The workers are gone, but the annotated fields still want their lock
+  // held for reads; copy the final verdict out under it.
+  bool failed;
+  Status failure = Status::OK();
+  std::vector<char> submitted;
+  {
+    MutexLock lock(sched.mutex);
+    failed = sched.failed;
+    failure = sched.failure;
+    submitted = std::move(sched.submitted);
+  }
 
   // Deterministic assembly: rank order, never completion order. Steps that
   // completed before a failure keep their provenance, as in serial runs.

@@ -13,7 +13,6 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +21,7 @@
 #include "serialize/json.h"
 #include "support/metrics.h"
 #include "support/result.h"
+#include "support/sync.h"
 #include "workflow/provenance.h"
 
 namespace daspos {
@@ -39,11 +39,13 @@ class ThreadPool;
 class WorkflowContext {
  public:
   /// Stores a dataset blob under a unique logical name.
-  Status PutDataset(const std::string& name, std::string blob);
-  Result<std::string_view> GetDataset(const std::string& name) const;
-  bool HasDataset(const std::string& name) const;
-  std::vector<std::string> DatasetNames() const;
-  uint64_t TotalBytes() const;
+  Status PutDataset(const std::string& name, std::string blob)
+      DASPOS_EXCLUDES(mutex_);
+  Result<std::string_view> GetDataset(const std::string& name) const
+      DASPOS_EXCLUDES(mutex_);
+  bool HasDataset(const std::string& name) const DASPOS_EXCLUDES(mutex_);
+  std::vector<std::string> DatasetNames() const DASPOS_EXCLUDES(mutex_);
+  uint64_t TotalBytes() const DASPOS_EXCLUDES(mutex_);
 
   /// Optional conditions service, not owned.
   void set_conditions(const ConditionsProvider* provider) {
@@ -60,8 +62,10 @@ class WorkflowContext {
   ThreadPool* worker_pool() const { return worker_pool_; }
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::map<std::string, std::string> datasets_;
+  mutable SharedMutex mutex_;
+  std::map<std::string, std::string> datasets_ DASPOS_GUARDED_BY(mutex_);
+  // Set before any step runs and cleared after the pool drains; steps only
+  // read these, so they stay outside the lock by design.
   const ConditionsProvider* conditions_ = nullptr;
   ThreadPool* worker_pool_ = nullptr;
 };

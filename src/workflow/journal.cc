@@ -79,6 +79,10 @@ Result<std::unique_ptr<RunJournal>> RunJournal::Open(const std::string& dir) {
   const std::string lines_path = LinesPath(dir);
   if (FileExists(lines_path)) {
     DASPOS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(lines_path));
+    // No other thread can hold the journal yet, but records_ is guarded and
+    // the analysis has no "not yet shared" notion — taking the lock here is
+    // free and keeps the invariant unconditional.
+    MutexLock lock(journal->mu_);
     for (const std::string& line : Split(text, '\n')) {
       if (Trim(line).empty()) continue;
       auto parsed = Json::Parse(line);
@@ -98,7 +102,9 @@ Status RunJournal::Append(Record record, std::string_view blob) {
   DASPOS_ASSIGN_OR_RETURN(record.digest, objects_.Put(blob));
   std::string line = RecordToJson(record).Dump() + "\n";
 
-  std::lock_guard<std::mutex> lock(mu_);
+  // Held across the file I/O on purpose: the lock also serializes appends,
+  // so journal lines never interleave and records_ mirrors file order.
+  MutexLock lock(mu_);
   const std::string lines_path = LinesPath(dir_);
   // O_CREAT on a fresh journal adds a directory entry, which has its own
   // durability point: fsyncing the file makes the first record's bytes
@@ -143,7 +149,7 @@ Status RunJournal::Append(Record record, std::string_view blob) {
 
 std::optional<RunJournal::Record> RunJournal::Find(
     const std::string& step) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
     if (it->step == step) return *it;
   }
@@ -155,7 +161,7 @@ Result<std::string> RunJournal::LoadBlob(const std::string& digest) const {
 }
 
 std::vector<RunJournal::Record> RunJournal::records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return records_;
 }
 

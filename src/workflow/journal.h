@@ -11,13 +11,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "archive/object_store.h"
 #include "support/result.h"
+#include "support/sync.h"
 
 namespace daspos {
 
@@ -48,19 +48,20 @@ class RunJournal {
   /// Checkpoints one completed step: stores `blob` in the object store
   /// (filling record.digest), then appends the record as one fsynced JSONL
   /// line. The blob is durable before the journal line that references it.
-  Status Append(Record record, std::string_view blob);
+  Status Append(Record record, std::string_view blob) DASPOS_EXCLUDES(mu_);
 
   /// Latest record for `step` (copied; safe to hold across Appends), or
   /// nullopt if none. Later records win, so a re-run that re-checkpoints a
   /// step supersedes the stale entry.
-  std::optional<Record> Find(const std::string& step) const;
+  std::optional<Record> Find(const std::string& step) const
+      DASPOS_EXCLUDES(mu_);
 
   /// Loads a checkpointed blob; the store re-hashes on read, so a rotted
   /// checkpoint comes back as Corruption, never as wrong bytes.
   Result<std::string> LoadBlob(const std::string& digest) const;
 
   /// Snapshot of all records (copied under the lock).
-  std::vector<Record> records() const;
+  std::vector<Record> records() const DASPOS_EXCLUDES(mu_);
   const std::string& dir() const { return dir_; }
 
   /// Path of the JSONL file inside a journal directory.
@@ -71,8 +72,10 @@ class RunJournal {
 
   std::string dir_;
   FileObjectStore objects_;
-  mutable std::mutex mu_;
-  std::vector<Record> records_;
+  /// Serializes appends (one fsynced JSONL line at a time) and guards the
+  /// in-memory mirror of the file.
+  mutable Mutex mu_;
+  std::vector<Record> records_ DASPOS_GUARDED_BY(mu_);
 };
 
 }  // namespace daspos

@@ -1,0 +1,20 @@
+// MUST NOT COMPILE under -Werror=thread-safety: acquires a mutex it
+// already holds (self-deadlock on a non-recursive lock). Verified by
+// compile_fail/run.sh (phase 1 proves it is otherwise valid C++).
+#include "support/sync.h"
+
+namespace {
+
+daspos::Mutex g_mu;
+int g_value DASPOS_GUARDED_BY(g_mu) = 0;
+
+}  // namespace
+
+void DoubleLock() {
+  g_mu.Lock();
+  // BUG: g_mu is already held; this second acquisition deadlocks.
+  g_mu.Lock();
+  ++g_value;
+  g_mu.Unlock();
+  g_mu.Unlock();
+}

@@ -1,0 +1,23 @@
+// MUST NOT COMPILE under -Werror=thread-safety: returns with a mutex
+// still held on one path (every later caller deadlocks). Verified by
+// compile_fail/run.sh (phase 1 proves it is otherwise valid C++).
+#include "support/sync.h"
+
+namespace {
+
+daspos::Mutex g_mu;
+int g_value DASPOS_GUARDED_BY(g_mu) = 0;
+
+}  // namespace
+
+int TakeIfPositive() {
+  g_mu.Lock();
+  int value = g_value;
+  if (value > 0) {
+    g_value = 0;
+    // BUG: early return leaks the lock; the function never unlocks here.
+    return value;
+  }
+  g_mu.Unlock();
+  return 0;
+}

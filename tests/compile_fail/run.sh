@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Negative compile test driver for the thread-safety annotations in
+# src/support/sync.h. Each fixture encodes one lock-discipline mistake that
+# Clang's analysis must reject:
+#
+#   phase 1: the fixture COMPILES CLEANLY without the analysis flags
+#            (proves the fixture is valid C++, not just broken code), then
+#   phase 2: the same fixture FAILS with -Wthread-safety promoted to an
+#            error, and the diagnostic names a thread-safety warning
+#            (proves the failure comes from the analysis, not a typo).
+#
+# Exit codes: 0 = fixture behaves as required, 1 = it does not,
+# 125 = no Clang available (ctest SKIP_RETURN_CODE; the analysis is a
+# Clang-only feature and the annotations are inert elsewhere).
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 <fixture.cc> <src-include-dir>" >&2
+  exit 1
+fi
+fixture="$1"
+include_dir="$2"
+
+# Honor an explicit compiler first (the build passes its own when it is
+# Clang), then fall back to whatever clang++ is on PATH.
+clangxx="${DASPOS_CLANGXX:-}"
+if [ -z "$clangxx" ] || ! "$clangxx" --version 2>/dev/null | grep -qi clang; then
+  clangxx="$(command -v clang++ || true)"
+fi
+if [ -z "$clangxx" ]; then
+  echo "SKIP: no clang++ available; thread-safety analysis is Clang-only" >&2
+  exit 125
+fi
+
+common=(-std=c++20 -fsyntax-only "-I$include_dir")
+
+# Unique stderr captures so fixtures can run in parallel under ctest.
+errdir="$(mktemp -d)"
+trap 'rm -rf "$errdir"' EXIT
+
+# Phase 1: valid C++ without the analysis.
+if ! "$clangxx" "${common[@]}" "$fixture" 2>"$errdir/phase1.err"; then
+  echo "FAIL: $fixture does not compile even without -Wthread-safety:" >&2
+  cat "$errdir/phase1.err" >&2
+  exit 1
+fi
+
+# Phase 2: the analysis must reject it, for a thread-safety reason.
+if "$clangxx" "${common[@]}" -Wthread-safety -Wthread-safety-beta \
+    -Werror=thread-safety -Werror=thread-safety-beta \
+    "$fixture" 2>"$errdir/phase2.err"; then
+  echo "FAIL: $fixture compiled despite its lock-discipline bug" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" "$errdir/phase2.err"; then
+  echo "FAIL: $fixture failed to compile, but not for a thread-safety" \
+       "reason:" >&2
+  cat "$errdir/phase2.err" >&2
+  exit 1
+fi
+
+echo "PASS: $fixture rejected by the thread-safety analysis"

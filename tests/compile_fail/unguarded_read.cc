@@ -1,0 +1,29 @@
+// MUST NOT COMPILE under -Werror=thread-safety: reads a guarded field
+// without holding its mutex. Verified by compile_fail/run.sh (phase 1
+// proves it is otherwise valid C++).
+#include "support/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    daspos::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG: value_ is guarded by mu_, but this read takes no lock.
+  int UnguardedRead() const { return value_; }
+
+ private:
+  mutable daspos::Mutex mu_;
+  int value_ DASPOS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int Use() {
+  Counter counter;
+  counter.Increment();
+  return counter.UnguardedRead();
+}

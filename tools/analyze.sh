@@ -1,0 +1,150 @@
+#!/bin/bash
+# Unified static-analysis driver: one command, one consolidated verdict.
+#
+#   tools/analyze.sh              # thread-safety build + compile-fail
+#                                 # fixtures + clang-tidy
+#   tools/analyze.sh --werror     # thread-safety build also under the full
+#                                 # DASPOS_WERROR strict-warning set
+#   tools/analyze.sh --log FILE   # duplicate all output into FILE (CI
+#                                 # uploads it as the diagnostics artifact)
+#
+# Sections (each PASSes, FAILs, or SKIPs):
+#   thread-safety  Clang build of the whole tree with DASPOS_THREAD_SAFETY=ON
+#                  (-Wthread-safety -Wthread-safety-beta); any thread-safety
+#                  diagnostic fails the section. Tree: build-tsa/.
+#   compile-fail   The negative fixtures in tests/compile_fail/ — each known
+#                  lock-discipline bug must be REJECTED by the analysis.
+#   clang-tidy     tools/tidy.sh over src/, tools/, and tests/ with the
+#                  profile in .clang-tidy (pattern checks + clang-analyzer
+#                  path-sensitive families).
+#
+# Clang-only sections SKIP (not fail) when no Clang is installed, so the
+# driver is safe to run on GCC-only machines; CI provides Clang and treats
+# SKIP-everything as misconfiguration. See docs/STATIC_ANALYSIS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+WERROR=0
+LOG_FILE=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --werror) WERROR=1 ;;
+    --log)
+      shift
+      [ $# -gt 0 ] || { echo "analyze.sh: --log needs a file" >&2; exit 2; }
+      LOG_FILE="$1"
+      ;;
+    *) echo "analyze.sh: unknown flag '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [ -n "$LOG_FILE" ]; then
+  mkdir -p "$(dirname "$LOG_FILE")"
+  exec > >(tee "$LOG_FILE") 2>&1
+fi
+
+# Section ledger: name -> PASS | FAIL | SKIP, reported together at the end.
+SECTIONS=()
+record() { SECTIONS+=("$1:$2"); }
+
+find_clangxx() {
+  if [ -n "${DASPOS_CLANGXX:-}" ]; then
+    echo "$DASPOS_CLANGXX"
+    return
+  fi
+  command -v clang++ || true
+}
+
+# ------------------------------------------------------------ thread-safety
+CLANGXX="$(find_clangxx)"
+if [ -z "$CLANGXX" ]; then
+  echo "==> thread-safety: SKIP (no clang++; the analysis is Clang-only)"
+  record thread-safety SKIP
+else
+  echo "==> thread-safety: Clang build with DASPOS_THREAD_SAFETY=ON"
+  CLANGC="${CLANGXX%++}"  # clang++ -> clang (best effort; cmake may ignore)
+  tsa_flags=(-DDASPOS_THREAD_SAFETY=ON)
+  if [ "$WERROR" = 1 ]; then
+    tsa_flags+=(-DDASPOS_WERROR=ON)
+  fi
+  build_log="$(mktemp)"
+  tsa_ok=1
+  cmake -B build-tsa -S . \
+    -DCMAKE_CXX_COMPILER="$CLANGXX" -DCMAKE_C_COMPILER="$CLANGC" \
+    "${tsa_flags[@]}" >/dev/null || tsa_ok=0
+  if [ "$tsa_ok" = 1 ]; then
+    cmake --build build-tsa -j"$JOBS" 2>&1 | tee "$build_log" || tsa_ok=0
+  fi
+  # Zero-diagnostic gate: even as plain warnings, any -Wthread-safety*
+  # output fails the section (CI need not rebuild with -Werror to enforce).
+  if [ "$tsa_ok" = 1 ] && grep -q "\[-Wthread-safety" "$build_log"; then
+    echo "analyze.sh: thread-safety diagnostics found:" >&2
+    grep "\[-Wthread-safety" "$build_log" >&2
+    tsa_ok=0
+  fi
+  rm -f "$build_log"
+  if [ "$tsa_ok" = 1 ]; then
+    record thread-safety PASS
+  else
+    record thread-safety FAIL
+  fi
+fi
+
+# ------------------------------------------------------------- compile-fail
+if [ -z "$CLANGXX" ]; then
+  echo "==> compile-fail: SKIP (no clang++)"
+  record compile-fail SKIP
+else
+  echo "==> compile-fail: negative fixtures must be rejected"
+  cf_ok=1
+  for fixture in tests/compile_fail/*.cc; do
+    if DASPOS_CLANGXX="$CLANGXX" bash tests/compile_fail/run.sh \
+        "$fixture" src; then
+      :
+    else
+      status=$?
+      if [ "$status" = 125 ]; then
+        echo "analyze.sh: $fixture skipped unexpectedly" >&2
+      fi
+      cf_ok=0
+    fi
+  done
+  if [ "$cf_ok" = 1 ]; then
+    record compile-fail PASS
+  else
+    record compile-fail FAIL
+  fi
+fi
+
+# --------------------------------------------------------------- clang-tidy
+if ! command -v "${CLANG_TIDY:-clang-tidy}" >/dev/null 2>&1; then
+  echo "==> clang-tidy: SKIP (not installed)"
+  record clang-tidy SKIP
+else
+  echo "==> clang-tidy: profile in .clang-tidy over src/ tools/ tests/"
+  if bash tools/tidy.sh; then
+    record clang-tidy PASS
+  else
+    record clang-tidy FAIL
+  fi
+fi
+
+# ------------------------------------------------------------------ verdict
+echo
+echo "analyze.sh summary:"
+failed=0
+for entry in "${SECTIONS[@]}"; do
+  name="${entry%%:*}"
+  verdict="${entry#*:}"
+  printf '  %-14s %s\n' "$name" "$verdict"
+  if [ "$verdict" = FAIL ]; then
+    failed=1
+  fi
+done
+if [ "$failed" = 1 ]; then
+  echo "analyze.sh: FAILED"
+  exit 1
+fi
+echo "analyze.sh: all runnable sections green"

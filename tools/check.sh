@@ -46,16 +46,26 @@ if [ "$RUN_TIER1" = 1 ]; then
   ctest --test-dir build --output-on-failure -j"$JOBS"
 fi
 
-[ "$RUN_ASAN" = 1 ] && sanitizer_pass asan address
-[ "$RUN_UBSAN" = 1 ] && sanitizer_pass ubsan undefined
+# if-blocks, not `[ ... ] && cmd`: under `set -e` a short-circuit && as the
+# script's last effective command would exit 1 when the guard is false.
+if [ "$RUN_ASAN" = 1 ]; then
+  sanitizer_pass asan address
+fi
+if [ "$RUN_UBSAN" = 1 ]; then
+  sanitizer_pass ubsan undefined
+fi
 
 if [ "$RUN_TSAN" = 1 ]; then
-  echo "==> TSan: DASPOS_SANITIZE=thread build of workflow_test + parallel_test + trace_test"
+  echo "==> TSan: DASPOS_SANITIZE=thread build of workflow_test + parallel_test + trace_test + sync_test"
   cmake -B build-tsan -S . -DDASPOS_SANITIZE=thread >/dev/null
-  cmake --build build-tsan --target workflow_test parallel_test trace_test -j"$JOBS"
+  cmake --build build-tsan --target workflow_test parallel_test trace_test \
+    sync_test -j"$JOBS"
   ./build-tsan/tests/workflow_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/trace_test
+  # The annotated sync layer itself: CondVar wakeups and scoped-lock
+  # semantics under the race detector.
+  ./build-tsan/tests/sync_test
 fi
 
 if [ "$RUN_CHAOS" = 1 ]; then
@@ -67,7 +77,7 @@ if [ "$RUN_CHAOS" = 1 ]; then
   echo "==> chaos: DASPOS_SANITIZE=thread build + fault-tolerance suite"
   cmake -B build-tsan -S . -DDASPOS_SANITIZE=thread >/dev/null
   cmake --build build-tsan --target workflow_test parallel_test archive_test \
-    trace_test validate_test -j"$JOBS"
+    trace_test validate_test sync_test -j"$JOBS"
   ./build-tsan/tests/workflow_test \
     --gtest_filter='ChaosTest.*:JournalTest.*:WorkflowRetryTest.*:WorkflowKeepGoingTest.*'
   ./build-tsan/tests/parallel_test
@@ -80,6 +90,9 @@ if [ "$RUN_CHAOS" = 1 ]; then
   # injecting step faults — the same dispatcher/journal/registry surfaces
   # under a second concurrency shape.
   ./build-tsan/tests/validate_test
+  # Sync-layer primitives under contention (the locks everything above
+  # depends on).
+  ./build-tsan/tests/sync_test
 fi
 
 echo "check.sh: all green"

@@ -1,7 +1,7 @@
 #!/bin/bash
 # clang-tidy over the library sources, using the profile in .clang-tidy.
 #
-#   tools/tidy.sh [paths...]   # default: every .cc under src/ and tools/
+#   tools/tidy.sh [paths...]   # default: every .cc under src/, tools/, tests/
 #
 # Needs a compile database: configure once with
 #   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
@@ -23,7 +23,9 @@ fi
 if [ "$#" -gt 0 ]; then
   FILES=("$@")
 else
-  mapfile -t FILES < <(find src tools -name '*.cc' | sort)
+  # tests/ is analyzed too: test helpers hold locks, move values, and spawn
+  # threads like production code, and a racy test hides real regressions.
+  mapfile -t FILES < <(find src tools tests -name '*.cc' | sort)
 fi
 
 "$TIDY" -p build --quiet "${FILES[@]}"
