@@ -1,0 +1,274 @@
+// E8 — bit-preservation economics: scrub throughput over replicated
+// file stores (with injected rot to exercise the repair path), the cost
+// of a read-repair relative to a healthy read, and copy-verify-swap
+// migration bandwidth. Each section self-checks (rot repaired, bytes
+// verified) so a correctness break fails the bench run.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "archive/migrate.h"
+#include "archive/object_store.h"
+#include "archive/replicated_store.h"
+#include "archive/scrub.h"
+#include "bench_json.h"
+#include "support/strings.h"
+#include "support/table.h"
+#include "support/threadpool.h"
+
+using namespace daspos;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Deterministic pseudo-random payload, unique per seed so objects do not
+/// deduplicate in the content store.
+std::string RandomBlob(size_t bytes, uint64_t seed) {
+  std::string out;
+  out.resize(bytes);
+  uint64_t x = seed * 2654435761u + 1;
+  for (size_t i = 0; i < bytes; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    out[i] = static_cast<char>(x & 0xff);
+  }
+  return out;
+}
+
+double TimeMs(const std::function<void()>& body) {
+  auto start = std::chrono::steady_clock::now();
+  body();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string BlobPath(const std::string& root, const std::string& id) {
+  return root + "/" + id.substr(0, 2) + "/" + id.substr(2);
+}
+
+/// Flips one byte of an object's on-disk copy in `root` (silent bit rot).
+void Rot(const std::string& root, const std::string& id) {
+  const std::string path = BlobPath(root, id);
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return;
+  int c = std::fgetc(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::fputc(c ^ 0x01, f);
+  std::fclose(f);
+}
+
+struct Fleet {
+  std::string base;
+  std::vector<std::string> roots;
+  std::vector<std::string> ids;
+};
+
+/// Builds three fresh replica roots under `tag` holding `objects` blobs of
+/// `object_bytes` each, then rots every eighth object on the middle
+/// replica — the position neither a Get-path read-repair nor the primary
+/// replica would heal for free.
+Fleet BuildFleet(const std::string& tag, int objects, size_t object_bytes) {
+  Fleet fleet;
+  fleet.base = (fs::temp_directory_path() / ("daspos_bench_bitpres_" + tag))
+                   .string();
+  fs::remove_all(fleet.base);
+  for (int r = 0; r < 3; ++r) {
+    fleet.roots.push_back(fleet.base + "/rep" + std::to_string(r));
+  }
+  FileObjectStore r0(fleet.roots[0]), r1(fleet.roots[1]),
+      r2(fleet.roots[2]);
+  ReplicatedObjectStore store({&r0, &r1, &r2});
+  for (int i = 0; i < objects; ++i) {
+    auto id = store.Put(
+        RandomBlob(object_bytes, 7000 + static_cast<uint64_t>(i)));
+    if (id.ok()) fleet.ids.push_back(*id);
+  }
+  for (size_t i = 0; i < fleet.ids.size(); i += 8) {
+    Rot(fleet.roots[1], fleet.ids[i]);
+  }
+  return fleet;
+}
+
+/// Scrub throughput: a full fixity pass over three replicas at several
+/// pool widths, repairing the injected rot each time. Returns false if a
+/// pass misses a repair or does not come back clean.
+bool ScrubSection(int objects, size_t object_bytes) {
+  const uint64_t expected_repairs =
+      (static_cast<uint64_t>(objects) + 7) / 8;
+  TextTable table;
+  table.SetTitle("\nScrub farm (" + std::to_string(objects) + " objects x " +
+                 FormatBytes(object_bytes) + " x 3 replicas, " +
+                 std::to_string(expected_repairs) + " rotted):");
+  table.SetHeader({"threads", "wall ms", "objects/s", "speedup"});
+  bool clean = true;
+  double serial_ms = 0.0;
+  for (size_t threads : {1u, 2u, 4u}) {
+    Fleet fleet = BuildFleet("scrub_t" + std::to_string(threads), objects,
+                             object_bytes);
+    FileObjectStore r0(fleet.roots[0]), r1(fleet.roots[1]),
+        r2(fleet.roots[2]);
+    ScrubOptions options;
+    options.cursor_dir = fleet.base + "/cursor";
+    ThreadPool pool(threads);
+    if (threads > 1) options.pool = &pool;
+    Result<ScrubReport> report(ScrubReport{});
+    double ms = TimeMs([&] {
+      report = ScrubReplicas({&r0, &r1, &r2}, options);
+      benchmark::DoNotOptimize(report);
+    });
+    if (!report.ok() || report->repaired != expected_repairs ||
+        report->Verdict() != ScrubVerdict::kPass) {
+      std::fprintf(stderr, "scrub t=%zu missed repairs: %s\n", threads,
+                   report.ok() ? report->RenderText().c_str()
+                               : report.status().ToString().c_str());
+      clean = false;
+    }
+    if (threads == 1) serial_ms = ms;
+    double per_s = static_cast<double>(objects) / (ms / 1000.0);
+    table.AddRow({std::to_string(threads), FormatDouble(ms, 2),
+                  FormatDouble(per_s, 1), FormatDouble(serial_ms / ms, 2)});
+    daspos_bench::AppendBenchJson("bench_bit_preservation", "scrub_ms", ms,
+                                  static_cast<int>(threads));
+    daspos_bench::AppendBenchJson("bench_bit_preservation",
+                                  "scrub_objects_per_s", per_s,
+                                  static_cast<int>(threads));
+    if (threads > 1) {
+      daspos_bench::AppendBenchJson("bench_bit_preservation",
+                                    "scrub_speedup", serial_ms / ms,
+                                    static_cast<int>(threads));
+    }
+    fs::remove_all(fleet.base);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return clean;
+}
+
+/// Read-repair latency: a Get that detects rot on the first replica, falls
+/// back, and heals in place, against a Get over healthy replicas. Returns
+/// false if the repaired copy does not verify afterwards.
+bool ReadRepairSection(size_t object_bytes) {
+  Fleet fleet = BuildFleet("readrepair", /*objects=*/16, object_bytes);
+  FileObjectStore r0(fleet.roots[0]), r1(fleet.roots[1]),
+      r2(fleet.roots[2]);
+  ReplicatedObjectStore store({&r0, &r1, &r2});
+  // ids[1] is not a multiple-of-8 index, so BuildFleet left its middle
+  // replica intact: the timed Get repairs exactly one rotted copy.
+  const std::string& id = fleet.ids[1];
+
+  double healthy_ms = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    double ms = TimeMs([&] {
+      auto got = store.Get(id);
+      benchmark::DoNotOptimize(got);
+    });
+    if (rep == 0 || ms < healthy_ms) healthy_ms = ms;
+  }
+  Rot(fleet.roots[0], id);
+  double repair_ms = TimeMs([&] {
+    auto got = store.Get(id);
+    benchmark::DoNotOptimize(got);
+  });
+  bool healed = r0.Verify(id).ok();
+
+  TextTable table;
+  table.SetTitle("\nRead-repair cost (" + FormatBytes(object_bytes) +
+                 " object):");
+  table.SetHeader({"path", "wall ms"});
+  table.AddRow({"healthy Get", FormatDouble(healthy_ms, 3)});
+  table.AddRow({"Get + read-repair", FormatDouble(repair_ms, 3)});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("rotted primary after repair: %s\n",
+              healed ? "verifies clean" : "STILL ROTTED");
+  daspos_bench::AppendBenchJson("bench_bit_preservation", "healthy_get_ms",
+                                healthy_ms, 1);
+  daspos_bench::AppendBenchJson("bench_bit_preservation",
+                                "read_repair_get_ms", repair_ms, 1);
+  fs::remove_all(fleet.base);
+  return healed;
+}
+
+/// Copy-verify-swap migration bandwidth: every object copied to a fresh
+/// generation and re-hashed on the target before the marker swaps.
+/// Returns false if the swap happens without full verification.
+bool MigrateSection(int objects, size_t object_bytes) {
+  TextTable table;
+  table.SetTitle("\nGeneration migration (" + std::to_string(objects) +
+                 " objects x " + FormatBytes(object_bytes) + "):");
+  table.SetHeader({"threads", "wall ms", "MiB/s", "speedup"});
+  bool clean = true;
+  double serial_ms = 0.0;
+  const double total_mib = static_cast<double>(objects) *
+                           static_cast<double>(object_bytes) /
+                           (1024.0 * 1024.0);
+  for (size_t threads : {1u, 4u}) {
+    std::string base = (fs::temp_directory_path() /
+                        ("daspos_bench_migrate_t" + std::to_string(threads)))
+                           .string();
+    fs::remove_all(base);
+    FileObjectStore source(base + "/source");
+    for (int i = 0; i < objects; ++i) {
+      (void)source.Put(
+          RandomBlob(object_bytes, 9000 + static_cast<uint64_t>(i)));
+    }
+    FileObjectStore target(base + "/target");
+    MigrateOptions options;
+    options.state_dir = base + "/state";
+    ThreadPool pool(threads);
+    if (threads > 1) options.pool = &pool;
+    Result<MigrateReport> report(MigrateReport{});
+    double ms = TimeMs([&] {
+      report = MigrateGeneration(source, target, options);
+      benchmark::DoNotOptimize(report);
+    });
+    if (!report.ok() ||
+        report->verified != static_cast<uint64_t>(objects) ||
+        ReadGeneration(options.state_dir) != 1u) {
+      std::fprintf(stderr, "migrate t=%zu failed: %s\n", threads,
+                   report.ok() ? report->RenderText().c_str()
+                               : report.status().ToString().c_str());
+      clean = false;
+    }
+    if (threads == 1) serial_ms = ms;
+    double mib_per_s = total_mib / (ms / 1000.0);
+    table.AddRow({std::to_string(threads), FormatDouble(ms, 2),
+                  FormatDouble(mib_per_s, 1), FormatDouble(serial_ms / ms, 2)});
+    daspos_bench::AppendBenchJson("bench_bit_preservation", "migrate_ms",
+                                  ms, static_cast<int>(threads));
+    daspos_bench::AppendBenchJson("bench_bit_preservation",
+                                  "migrate_mib_per_s", mib_per_s,
+                                  static_cast<int>(threads));
+    if (threads > 1) {
+      daspos_bench::AppendBenchJson("bench_bit_preservation",
+                                    "migrate_speedup", serial_ms / ms,
+                                    static_cast<int>(threads));
+    }
+    fs::remove_all(base);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return clean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== E8: bit-preservation operations ====\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  int objects = daspos_bench::EnvInt("DASPOS_BENCH_SCRUB_OBJECTS", 512);
+  int object_kb = daspos_bench::EnvInt("DASPOS_BENCH_OBJECT_KB", 256);
+  size_t object_bytes = static_cast<size_t>(object_kb) * 1024;
+  bool ok = ScrubSection(objects, object_bytes);
+  ok = ReadRepairSection(object_bytes * 16) && ok;
+  ok = MigrateSection(objects / 2, object_bytes) && ok;
+  return ok ? 0 : 1;
+}

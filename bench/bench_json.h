@@ -1,5 +1,5 @@
 // Shared helper for the machine-readable benchmark records behind
-// BENCH_4.json. Each bench appends {bench, metric, value, threads} lines to
+// BENCH_8.json. Each bench appends {bench, metric, value, threads} lines to
 // the JSONL file named by DASPOS_BENCH_JSON (tools/bench.sh assembles them
 // into the committed JSON array); without the variable the records are
 // silently skipped so interactive runs stay side-effect free.

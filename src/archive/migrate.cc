@@ -1,0 +1,240 @@
+#include "archive/migrate.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "archive/object_store.h"
+#include "support/fault.h"
+#include "support/io.h"
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/metrics_registry.h"
+#include "support/parallel.h"
+#include "support/sha256.h"
+#include "support/strings.h"
+#include "support/trace.h"
+
+namespace daspos {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kCursorFile[] = "migrate_cursor.jsonl";
+constexpr char kGenerationFile[] = "GENERATION";
+
+std::string CursorPath(const std::string& dir) {
+  return dir + "/" + kCursorFile;
+}
+
+/// Appends one progress line to the migration cursor (journal idiom:
+/// append + fsync; WriteStringToFile would not be append-safe, so this
+/// rewrites atomically via read-modify-write only for the *first* line).
+Status AppendCursorLine(const std::string& dir, const Json& record) {
+  const std::string path = CursorPath(dir);
+  std::string existing;
+  if (auto text = ReadFileToString(path); text.ok()) {
+    existing = std::move(*text);
+  }
+  existing += record.Dump() + "\n";
+  // AtomicWriteFile fsyncs bytes and directory entry: the cursor is never
+  // torn, and a crash keeps either the old or the new checkpoint.
+  return AtomicWriteFile(path, existing);
+}
+
+/// Per-object outcome inside a batch (folded serially in input order).
+struct CopySlot {
+  Status status;
+  bool copied = false;
+  uint64_t bytes = 0;
+};
+
+}  // namespace
+
+uint64_t ReadGeneration(const std::string& state_dir) {
+  auto text = ReadFileToString(state_dir + "/" + kGenerationFile);
+  if (!text.ok()) return 0;
+  auto parsed = Json::Parse(*text);
+  if (!parsed.ok() || !parsed->is_object()) return 0;
+  const Json& generation = parsed->Get("generation");
+  if (!generation.is_number() || generation.as_number() < 0.0) return 0;
+  return static_cast<uint64_t>(generation.as_number());
+}
+
+std::string MigrateReport::RenderText() const {
+  std::string out = "migration to generation " + std::to_string(generation) +
+                    (resumed ? " (resumed)" : "") + ": " +
+                    std::to_string(copied) + " copied, " +
+                    std::to_string(skipped) + " already present, " +
+                    std::to_string(verified) + "/" +
+                    std::to_string(objects_total) + " verified on target, " +
+                    FormatBytes(bytes_copied) + " moved\n";
+  out += "swap: generation marker now " + std::to_string(generation) + "\n";
+  return out;
+}
+
+Json MigrateReport::ToJson() const {
+  Json json = Json::Object();
+  json["generation"] = generation;
+  json["objects_total"] = objects_total;
+  json["copied"] = copied;
+  json["skipped"] = skipped;
+  json["bytes_copied"] = bytes_copied;
+  json["verified"] = verified;
+  json["resumed"] = resumed;
+  json["wall_ms"] = wall_ms;
+  return json;
+}
+
+Result<MigrateReport> MigrateGeneration(const ObjectStore& source,
+                                        ObjectStore& target,
+                                        const MigrateOptions& options) {
+  if (options.state_dir.empty()) {
+    return Status::InvalidArgument(
+        "migration needs a state_dir for its cursor and generation marker");
+  }
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument("migrate batch_size must be >= 1");
+  }
+  std::error_code ec;
+  fs::create_directories(options.state_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create migration state_dir " +
+                           options.state_dir + ": " + ec.message());
+  }
+  using namespace metric_names;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& objects_counter = registry.GetCounter(kMigrateObjectsTotal);
+  Counter& bytes_counter = registry.GetCounter(kMigrateBytesTotal);
+  Counter& resumed_counter = registry.GetCounter(kMigrateResumedTotal);
+  Counter& verify_failures = registry.GetCounter(kMigrateVerifyFailuresTotal);
+
+  Span span("migrate:run", "archive");
+  WallTimer timer;
+  MigrateReport report;
+  report.generation = ReadGeneration(options.state_dir) + 1;
+
+  // A surviving cursor means a previous invocation died mid-copy; the
+  // target-presence checks below skip whatever it completed.
+  if (FileExists(CursorPath(options.state_dir))) {
+    report.resumed = true;
+    resumed_counter.Increment();
+    DASPOS_LOG(kWarning) << "resuming interrupted migration to generation "
+                         << report.generation;
+  }
+
+  std::vector<std::string> ids = source.Ids();
+  report.objects_total = ids.size();
+  span.AddAttribute("objects", static_cast<uint64_t>(ids.size()));
+  span.AddAttribute("generation", report.generation);
+
+  // Phase 1 — copy: every object lands on the target and the *target's*
+  // bytes are re-hashed before the object counts as migrated.
+  for (size_t batch_begin = 0; batch_begin < ids.size();) {
+    const size_t batch_end =
+        std::min(ids.size(), batch_begin + options.batch_size);
+    const size_t batch_count = batch_end - batch_begin;
+    Span batch_span("migrate:batch", "archive");
+    batch_span.AddAttribute("objects", static_cast<uint64_t>(batch_count));
+    std::vector<CopySlot> slots = ParallelMap<CopySlot>(
+        options.pool, batch_count,
+        [&](size_t i) {
+          const std::string& id = ids[batch_begin + i];
+          CopySlot slot;
+          // Already verifying on the target: completed by a previous run
+          // (or deduplicated content). Nothing to move.
+          if (target.Verify(id).ok()) return slot;
+          if (options.faults != nullptr) {
+            slot.status = options.faults->Next("migrate:copy");
+            if (!slot.status.ok()) return slot;
+          }
+          auto bytes = source.Get(id);
+          if (!bytes.ok()) {
+            slot.status = bytes.status();
+            return slot;
+          }
+          auto put = target.Put(*bytes);
+          if (!put.ok()) {
+            slot.status = put.status();
+            return slot;
+          }
+          // Copy-verify: read the target's copy back and re-hash it; a
+          // torn or bit-flipped landing must never count as migrated.
+          auto landed = target.Get(id);
+          if (!landed.ok()) {
+            slot.status = landed.status();
+            return slot;
+          }
+          if (Sha256::HashHex(*landed) != id) {
+            slot.status = Status::Corruption(
+                "object " + id + " failed re-hash on migration target");
+            return slot;
+          }
+          slot.copied = true;
+          slot.bytes = bytes->size();
+          return slot;
+        },
+        /*grain=*/1);
+    for (const CopySlot& slot : slots) {
+      if (!slot.status.ok()) {
+        if (slot.status.IsCorruption()) verify_failures.Increment();
+        // No cursor append for a failed batch: the resume path re-checks
+        // target presence, so no completed copy is lost.
+        return slot.status;
+      }
+      if (slot.copied) {
+        ++report.copied;
+        report.bytes_copied += slot.bytes;
+      } else {
+        ++report.skipped;
+      }
+    }
+    objects_counter.Increment(batch_count);
+    Json record = Json::Object();
+    record["generation"] = report.generation;
+    record["last_id"] = ids[batch_end - 1];
+    record["copied"] = report.copied;
+    record["skipped"] = report.skipped;
+    DASPOS_RETURN_IF_ERROR(AppendCursorLine(options.state_dir, record));
+    batch_begin = batch_end;
+  }
+  bytes_counter.Increment(report.bytes_copied);
+
+  // Phase 2 — verify: a full serial sweep re-hashes every object on the
+  // target, including ones skipped as already-present. The swap certifies
+  // the *current* holdings, not this run's memory of them.
+  {
+    Span verify_span("migrate:verify", "archive");
+    for (const std::string& id : ids) {
+      if (options.faults != nullptr) {
+        DASPOS_RETURN_IF_ERROR(options.faults->Next("migrate:verify"));
+      }
+      auto landed = target.Get(id);
+      if (!landed.ok() || Sha256::HashHex(*landed) != id) {
+        verify_failures.Increment();
+        return Status::Corruption(
+            "final sweep: object " + id + " does not verify on target (" +
+            (landed.ok() ? "hash mismatch" : landed.status().ToString()) +
+            "); generation swap refused");
+      }
+      ++report.verified;
+    }
+  }
+
+  // Phase 3 — swap: atomically install the new generation marker. The
+  // source store is untouched; rollback is "keep reading generation N".
+  Json marker = Json::Object();
+  marker["generation"] = report.generation;
+  marker["objects"] = report.objects_total;
+  marker["bytes"] = target.TotalBytes();
+  DASPOS_RETURN_IF_ERROR(AtomicWriteFile(
+      options.state_dir + "/" + kGenerationFile, marker.Dump(2) + "\n"));
+  // The migration is complete: drop the cursor so the next generation's
+  // migration starts fresh instead of reporting a spurious resume.
+  DASPOS_RETURN_IF_ERROR(RemoveFile(CursorPath(options.state_dir)));
+
+  report.wall_ms = timer.ElapsedMillis();
+  return report;
+}
+
+}  // namespace daspos

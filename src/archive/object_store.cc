@@ -64,11 +64,13 @@ Result<std::string> MemoryObjectStore::Put(std::string_view bytes) {
   std::string id = Sha256::HashHex(bytes);
   // Overwrite unconditionally: Put must guarantee Get(id) == bytes even if
   // a previously stored copy has rotted (re-putting good bytes heals).
+  MutexLock lock(mutex_);
   objects_.insert_or_assign(id, std::string(bytes));
   return id;
 }
 
 Result<std::string> MemoryObjectStore::Get(const std::string& id) const {
+  MutexLock lock(mutex_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return Status::NotFound("object " + id + " not in store");
@@ -77,10 +79,12 @@ Result<std::string> MemoryObjectStore::Get(const std::string& id) const {
 }
 
 bool MemoryObjectStore::Has(const std::string& id) const {
+  MutexLock lock(mutex_);
   return objects_.count(id) > 0;
 }
 
 Status MemoryObjectStore::Verify(const std::string& id) const {
+  MutexLock lock(mutex_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return Status::NotFound("object " + id + " not in store");
@@ -92,6 +96,7 @@ Status MemoryObjectStore::Verify(const std::string& id) const {
 }
 
 std::vector<std::string> MemoryObjectStore::Ids() const {
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(objects_.size());
   for (const auto& [id, bytes] : objects_) {
@@ -102,6 +107,7 @@ std::vector<std::string> MemoryObjectStore::Ids() const {
 }
 
 uint64_t MemoryObjectStore::TotalBytes() const {
+  MutexLock lock(mutex_);
   uint64_t total = 0;
   for (const auto& [id, bytes] : objects_) {
     (void)id;
@@ -112,6 +118,7 @@ uint64_t MemoryObjectStore::TotalBytes() const {
 
 Status MemoryObjectStore::CorruptForTesting(const std::string& id,
                                             size_t byte_index) {
+  MutexLock lock(mutex_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return Status::NotFound("object " + id + " not in store");
@@ -147,6 +154,9 @@ FileObjectStore::FileObjectStore(std::string root) : root_(std::move(root)) {
   quarantines_ =
       &registry.GetCounter(kArchiveQuarantinesTotal,
                            "blobs moved aside after a fixity mismatch");
+  quarantine_errors_ = &registry.GetCounter(
+      kArchiveQuarantineErrorsTotal,
+      "quarantine moves that failed (mkdir or rename error)");
   walk_errors_ = &registry.GetCounter(
       kArchiveWalkErrorsTotal,
       "store-walk iteration/stat failures (an unreadable store must not "
@@ -165,9 +175,28 @@ void FileObjectStore::Quarantine(const std::string& id) const {
   quarantines_->Increment();
   CacheDrop(id);
   std::error_code ec;
-  fs::create_directories(fs::path(root_) / "quarantine", ec);
-  if (ec) return;
-  fs::rename(PathFor(id), fs::path(root_) / "quarantine" / id, ec);
+  const fs::path quarantine = fs::path(root_) / "quarantine";
+  fs::create_directories(quarantine, ec);
+  if (ec) {
+    quarantine_errors_->Increment();
+    DASPOS_LOG(kError) << "quarantine of " << id
+                       << " failed: cannot create " << quarantine.string()
+                       << ": " << ec.message();
+    return;
+  }
+  // Never clobber an earlier forensic copy: a second rot event for the same
+  // id (e.g. after a read-repair healed the primary and it rotted again) is
+  // independent evidence. Number the extras <id>.1, <id>.2, ...
+  fs::path dest = quarantine / id;
+  for (int suffix = 1; fs::exists(dest, ec); ++suffix) {
+    dest = quarantine / (id + "." + std::to_string(suffix));
+  }
+  fs::rename(PathFor(id), dest, ec);
+  if (ec) {
+    quarantine_errors_->Increment();
+    DASPOS_LOG(kError) << "quarantine of " << id << " failed: rename to "
+                       << dest.string() << ": " << ec.message();
+  }
 }
 
 Result<FileObjectStore::VerifiedStat> FileObjectStore::StatFingerprint(
@@ -429,9 +458,15 @@ std::vector<std::string> FileObjectStore::QuarantinedIds() const {
   }
   for (const auto& entry : it) {
     if (!entry.is_regular_file()) continue;
-    out.push_back(entry.path().filename().string());
+    // Numbered forensic copies (`<id>.1`, `<id>.2`, ...) report as their
+    // base id: callers care which objects rotted, not how many times.
+    std::string name = entry.path().filename().string();
+    size_t dot = name.find('.');
+    if (dot != std::string::npos) name.resize(dot);
+    out.push_back(std::move(name));
   }
   std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

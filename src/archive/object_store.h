@@ -73,7 +73,11 @@ class MemoryObjectStore : public ObjectStore {
   Status CorruptForTesting(const std::string& id, size_t byte_index);
 
  private:
-  std::map<std::string, std::string> objects_;
+  // Decorated stores fan per-object Puts over a pool (RetryingObjectStore::
+  // PutBatch), so the map must tolerate concurrent mutation like
+  // FileObjectStore does.
+  mutable Mutex mutex_;
+  std::map<std::string, std::string> objects_ DASPOS_GUARDED_BY(mutex_);
 };
 
 /// Filesystem backend: objects live at <root>/<id[0:2]>/<id[2:]>. Writes are
@@ -140,8 +144,12 @@ class FileObjectStore : public ObjectStore {
   /// mistaken for an empty one by audits reading the walk results.
   void CountWalkError(const std::string& what,
                       const std::error_code& ec) const;
-  /// Moves the blob at PathFor(id) into the quarantine area (best-effort)
-  /// and drops its cache entry.
+  /// Moves the blob at PathFor(id) into the quarantine area and drops its
+  /// cache entry. A prior forensic copy of the same id is never clobbered:
+  /// repeat quarantines land at `<id>.1`, `<id>.2`, ... . Failures (mkdir,
+  /// rename) are logged and counted in
+  /// daspos_archive_quarantine_errors_total — a rotted blob that could not
+  /// be moved aside must not vanish silently.
   void Quarantine(const std::string& id) const;
   /// Stat fingerprint of the file at `path`, or !ok if it cannot be statted.
   static Result<VerifiedStat> StatFingerprint(const std::string& path);
@@ -169,6 +177,7 @@ class FileObjectStore : public ObjectStore {
   Counter* cache_misses_;
   Counter* cache_invalidations_;
   Counter* quarantines_;
+  Counter* quarantine_errors_;
   Counter* walk_errors_;
   Histogram* get_wall_ms_;
   Histogram* put_wall_ms_;

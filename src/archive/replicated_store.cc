@@ -1,0 +1,195 @@
+#include "archive/replicated_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/logging.h"
+#include "support/metrics_registry.h"
+#include "support/parallel.h"
+#include "support/sha256.h"
+#include "support/trace.h"
+
+namespace daspos {
+
+ReplicatedObjectStore::ReplicatedObjectStore(std::vector<ObjectStore*> replicas)
+    : replicas_(std::move(replicas)) {
+  assert(!replicas_.empty() && "a replicated store needs >= 1 replica");
+  using namespace metric_names;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  read_repairs_ =
+      &registry.GetCounter(kArchiveReadRepairsTotal,
+                           "rotted/missing replica copies healed during Get");
+  degraded_reads_ = &registry.GetCounter(
+      kArchiveDegradedReadsTotal,
+      "reads served while only a minority of replicas was healthy");
+  put_failures_ =
+      &registry.GetCounter(kArchiveReplicaPutFailuresTotal,
+                           "per-replica Put failures inside quorum writes");
+  fallbacks_ = &registry.GetCounter(
+      kArchiveReplicaFallbacksTotal, "reads that fell past an unhealthy replica");
+}
+
+Result<std::string> ReplicatedObjectStore::Put(std::string_view bytes) {
+  Span span("replica:put", "archive");
+  span.AddAttribute("replicas", static_cast<uint64_t>(replicas_.size()));
+  size_t accepted = 0;
+  Status first_failure = Status::OK();
+  std::string id;
+  for (ObjectStore* replica : replicas_) {
+    auto put = replica->Put(bytes);
+    if (put.ok()) {
+      ++accepted;
+      id = std::move(put).value();
+    } else {
+      put_failures_->Increment();
+      if (first_failure.ok()) first_failure = put.status();
+    }
+  }
+  if (accepted >= quorum()) return id;
+  // The write is not durable enough to acknowledge: fewer than a majority
+  // of replicas hold it. Surface the first underlying error.
+  return Status::IOError("quorum write failed (" + std::to_string(accepted) +
+                         "/" + std::to_string(replicas_.size()) +
+                         " replicas accepted, need " +
+                         std::to_string(quorum()) + "): " +
+                         first_failure.ToString());
+}
+
+Result<std::string> ReplicatedObjectStore::Get(const std::string& id) const {
+  DASPOS_RETURN_IF_ERROR(ValidateObjectId(id));
+  Span span("replica:get", "archive");
+  // Walk replicas in order; remember every replica that failed so the
+  // healthy bytes can heal them before the read returns.
+  std::vector<size_t> unhealthy;
+  Status last_error = Status::NotFound("object " + id + " not in any replica");
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    auto got = replicas_[i]->Get(id);
+    if (got.ok()) {
+      // The replication layer's own fixity gate: a backend that does not
+      // hash on read (MemoryObjectStore) must still never leak rot.
+      if (Sha256::HashHex(*got) != id) {
+        unhealthy.push_back(i);
+        fallbacks_->Increment();
+        last_error =
+            Status::Corruption("fixity mismatch for object " + id +
+                               " on replica " + std::to_string(i));
+        continue;
+      }
+      // Read-repair: re-Put the verified bytes into every replica the read
+      // fell past (missing the object or holding rot). Re-Put heals in
+      // place; a FileObjectStore keeps its quarantined forensic copy.
+      for (size_t bad : unhealthy) {
+        auto healed = replicas_[bad]->Put(*got);
+        if (healed.ok()) {
+          read_repairs_->Increment();
+        } else {
+          DASPOS_LOG(kWarning)
+              << "read-repair of object " << id << " on replica " << bad
+              << " failed: " << healed.status().ToString();
+        }
+      }
+      // Degraded mode: the serving replica is in the minority once the
+      // read fell past >= quorum replicas. Serve, but warn loudly — the
+      // archive is one failure away from data loss.
+      if (unhealthy.size() >= quorum()) {
+        degraded_reads_->Increment();
+        DASPOS_LOG(kWarning)
+            << "degraded read of object " << id << ": only "
+            << replicas_.size() - unhealthy.size() << "/" << replicas_.size()
+            << " replicas healthy";
+      }
+      return got;
+    }
+    unhealthy.push_back(i);
+    fallbacks_->Increment();
+    last_error = got.status();
+  }
+  return last_error;
+}
+
+bool ReplicatedObjectStore::Has(const std::string& id) const {
+  for (ObjectStore* replica : replicas_) {
+    if (replica->Has(id)) return true;
+  }
+  return false;
+}
+
+Status ReplicatedObjectStore::Verify(const std::string& id) const {
+  DASPOS_RETURN_IF_ERROR(ValidateObjectId(id));
+  // An audit, not a repair: the object survives if at least one replica
+  // holds verifying bytes. (FileObjectStore replicas quarantine their own
+  // rotted copies as a side effect; the scrubber is the healer.)
+  size_t present = 0;
+  Status last_error = Status::NotFound("object " + id + " not in any replica");
+  for (ObjectStore* replica : replicas_) {
+    Status status = replica->Verify(id);
+    if (status.ok()) ++present;
+    if (!status.ok()) last_error = status;
+  }
+  if (present > 0) return Status::OK();
+  return last_error;
+}
+
+std::vector<std::string> ReplicatedObjectStore::Ids() const {
+  std::vector<std::string> out;
+  for (ObjectStore* replica : replicas_) {
+    std::vector<std::string> ids = replica->Ids();
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+uint64_t ReplicatedObjectStore::TotalBytes() const {
+  uint64_t max_bytes = 0;
+  for (ObjectStore* replica : replicas_) {
+    max_bytes = std::max(max_bytes, replica->TotalBytes());
+  }
+  return max_bytes;
+}
+
+std::vector<std::string> ReplicatedObjectStore::QuarantinedIds() const {
+  std::vector<std::string> out;
+  for (ObjectStore* replica : replicas_) {
+    std::vector<std::string> ids = replica->QuarantinedIds();
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<std::vector<std::string>> ReplicatedObjectStore::PutBatch(
+    const std::vector<std::string_view>& blobs, ThreadPool* pool) {
+  Span span("replica:putbatch", "archive");
+  span.AddAttribute("blobs", static_cast<uint64_t>(blobs.size()));
+  // Each object independently gets the full quorum treatment; slots keep
+  // the deterministic first-failure-wins contract of the base class.
+  struct Slot {
+    Status status;
+    std::string id;
+  };
+  std::vector<Slot> slots = ParallelMap<Slot>(
+      pool, blobs.size(),
+      [this, &blobs](size_t i) {
+        Slot slot;
+        auto put = Put(blobs[i]);
+        if (put.ok()) {
+          slot.id = std::move(put).value();
+        } else {
+          slot.status = put.status();
+        }
+        return slot;
+      },
+      /*grain=*/1);
+  std::vector<std::string> ids;
+  ids.reserve(slots.size());
+  for (Slot& slot : slots) {
+    DASPOS_RETURN_IF_ERROR(slot.status);
+    ids.push_back(std::move(slot.id));
+  }
+  return ids;
+}
+
+}  // namespace daspos

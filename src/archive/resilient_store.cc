@@ -1,5 +1,7 @@
 #include "archive/resilient_store.h"
 
+#include "support/parallel.h"
+
 namespace daspos {
 
 // ---------------------------------------------------------- FaultyObjectStore
@@ -26,6 +28,19 @@ Status FaultyObjectStore::Verify(const std::string& id) const {
   return backend_->Verify(id);
 }
 
+Result<std::vector<std::string>> FaultyObjectStore::PutBatch(
+    const std::vector<std::string_view>& blobs, ThreadPool* pool) {
+  (void)pool;  // Serial: keeps plan ordinals deterministic per blob.
+  std::vector<std::string> ids;
+  ids.reserve(blobs.size());
+  for (std::string_view blob : blobs) {
+    DASPOS_RETURN_IF_ERROR(plan_->Next("put"));
+    DASPOS_ASSIGN_OR_RETURN(std::string id, backend_->Put(blob));
+    ids.push_back(std::move(id));
+  }
+  return ids;
+}
+
 // -------------------------------------------------------- RetryingObjectStore
 
 Result<std::string> RetryingObjectStore::Put(std::string_view bytes) {
@@ -42,6 +57,36 @@ Status RetryingObjectStore::Verify(const std::string& id) const {
   return RetryCall(
       policy_, [&]() { return backend_->Verify(id); },
       "object-store verify " + id);
+}
+
+Result<std::vector<std::string>> RetryingObjectStore::PutBatch(
+    const std::vector<std::string_view>& blobs, ThreadPool* pool) {
+  struct Slot {
+    Status status;
+    std::string id;
+  };
+  std::vector<Slot> slots = ParallelMap<Slot>(
+      pool, blobs.size(),
+      [this, &blobs](size_t i) {
+        Slot slot;
+        auto put = RetryResult<std::string>(
+            policy_, [&]() { return backend_->Put(blobs[i]); },
+            "object-store put (batch slot " + std::to_string(i) + ")");
+        if (put.ok()) {
+          slot.id = std::move(put).value();
+        } else {
+          slot.status = put.status();
+        }
+        return slot;
+      },
+      /*grain=*/1);
+  std::vector<std::string> ids;
+  ids.reserve(slots.size());
+  for (Slot& slot : slots) {
+    DASPOS_RETURN_IF_ERROR(slot.status);
+    ids.push_back(std::move(slot.id));
+  }
+  return ids;
 }
 
 }  // namespace daspos

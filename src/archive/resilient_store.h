@@ -35,6 +35,14 @@ class FaultyObjectStore : public ObjectStore {
     return backend_->QuarantinedIds();
   }
 
+  /// Per-blob injection with deterministic plan ordinals: blob i consumes
+  /// the i-th "put" slot regardless of pool size, so scripted "nth=K" specs
+  /// hit the same blob on every run. Serial by design — a parallel fan-out
+  /// would randomize which blob draws which ordinal.
+  Result<std::vector<std::string>> PutBatch(
+      const std::vector<std::string_view>& blobs,
+      ThreadPool* pool = nullptr) override;
+
  private:
   ObjectStore* backend_;
   FaultPlan* plan_;
@@ -57,6 +65,13 @@ class RetryingObjectStore : public ObjectStore {
   std::vector<std::string> QuarantinedIds() const override {
     return backend_->QuarantinedIds();
   }
+
+  /// Per-object retry fanned out on `pool`: each blob independently runs
+  /// the full retry loop, so one slow/flaky object never burns the retry
+  /// budget of its batchmates. Deterministic first-failure-wins reporting.
+  Result<std::vector<std::string>> PutBatch(
+      const std::vector<std::string_view>& blobs,
+      ThreadPool* pool = nullptr) override;
 
  private:
   ObjectStore* backend_;

@@ -1,0 +1,376 @@
+#include "archive/scrub.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "archive/object_store.h"
+#include "archive/replicated_store.h"
+#include "support/io.h"
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/metrics_registry.h"
+#include "support/parallel.h"
+#include "support/sha256.h"
+#include "support/strings.h"
+#include "support/trace.h"
+
+namespace daspos {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kCursorFile[] = "scrub_cursor.jsonl";
+
+/// One checkpoint line of the persistent cursor. `last_id` is the highest
+/// id whose batch fully settled; `complete` marks the end of a pass.
+struct CursorRecord {
+  uint64_t pass = 1;
+  std::string last_id;
+  uint64_t checked = 0;
+  uint64_t repaired = 0;
+  bool complete = false;
+};
+
+Json CursorToJson(const CursorRecord& record) {
+  Json json = Json::Object();
+  json["pass"] = record.pass;
+  json["last_id"] = record.last_id;
+  json["checked"] = record.checked;
+  json["repaired"] = record.repaired;
+  json["complete"] = record.complete;
+  return json;
+}
+
+bool CursorFromJson(const Json& json, CursorRecord* out) {
+  if (!json.is_object()) return false;
+  const Json& pass = json.Get("pass");
+  if (!pass.is_number() || pass.as_number() < 1.0 ||
+      pass.as_number() != std::floor(pass.as_number())) {
+    return false;
+  }
+  if (!json.Get("last_id").is_string() || !json.Get("complete").is_bool()) {
+    return false;
+  }
+  out->pass = static_cast<uint64_t>(pass.as_number());
+  out->last_id = json.Get("last_id").as_string();
+  out->complete = json.Get("complete").as_bool();
+  const Json& checked = json.Get("checked");
+  if (checked.is_number()) {
+    out->checked = static_cast<uint64_t>(checked.as_number());
+  }
+  const Json& repaired = json.Get("repaired");
+  if (repaired.is_number()) {
+    out->repaired = static_cast<uint64_t>(repaired.as_number());
+  }
+  return true;
+}
+
+/// Latest valid cursor record, or a fresh pass-1 state. Parsing stops at
+/// the first malformed line (journal idiom): everything before a
+/// crash-truncated tail is still usable.
+CursorRecord LoadCursor(const std::string& dir, bool* found) {
+  *found = false;
+  CursorRecord state;
+  auto text = ReadFileToString(dir + "/" + kCursorFile);
+  if (!text.ok()) return state;
+  for (const std::string& line : Split(*text, '\n')) {
+    if (Trim(line).empty()) continue;
+    auto parsed = Json::Parse(line);
+    CursorRecord record;
+    if (!parsed.ok() || !CursorFromJson(*parsed, &record)) break;
+    state = record;
+    *found = true;
+  }
+  return state;
+}
+
+/// Appends one fsynced cursor line; the first append also fsyncs the
+/// directory so a freshly created cursor survives a crash (PR-6 lesson).
+Status AppendCursor(const std::string& dir, const CursorRecord& record) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create scrub cursor directory " + dir +
+                           ": " + ec.message());
+  }
+  const std::string path = dir + "/" + kCursorFile;
+  const bool created = !FileExists(path);
+  std::string line = CursorToJson(record).Dump() + "\n";
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open scrub cursor for append: " + path +
+                           ": " + std::strerror(errno));
+  }
+  const char* cursor = line.data();
+  size_t remaining = line.size();
+  while (remaining > 0) {
+    ssize_t written = ::write(fd, cursor, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      return Status::IOError("scrub cursor append failed: " + path + ": " +
+                             std::strerror(saved));
+    }
+    cursor += written;
+    remaining -= static_cast<size_t>(written);
+  }
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::IOError("scrub cursor fsync failed: " + path + ": " +
+                           std::strerror(saved));
+  }
+  ::close(fd);
+  if (created) DASPOS_RETURN_IF_ERROR(FsyncDir(dir));
+  return Status::OK();
+}
+
+/// Outcome of scrubbing one object across all replicas.
+struct ObjectOutcome {
+  uint64_t replicas_checked = 0;
+  uint64_t repaired = 0;
+  bool unrepairable = false;
+  std::string detail;
+};
+
+/// Verifies `id` on every replica and heals unhealthy copies from a
+/// healthy one. Thread-safe across distinct ids (FileObjectStore ops are
+/// concurrent-safe; the batch shards over distinct ids only).
+ObjectOutcome ScrubObject(const std::vector<ObjectStore*>& replicas,
+                          const std::string& id) {
+  ObjectOutcome outcome;
+  std::vector<size_t> healthy;
+  std::vector<size_t> unhealthy;
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    ++outcome.replicas_checked;
+    // Verify always hashes the real bytes (the digest cache is never
+    // consulted); a rotted FileObjectStore copy is quarantined here.
+    if (replicas[i]->Verify(id).ok()) {
+      healthy.push_back(i);
+    } else {
+      unhealthy.push_back(i);
+    }
+  }
+  if (unhealthy.empty()) return outcome;
+  // Repair from a replica: fetch healthy bytes and re-Put them into every
+  // replica whose copy rotted or is missing. Only when no replica holds
+  // verifying bytes is the object left quarantined (unrepairable).
+  std::string bytes;
+  bool have_bytes = false;
+  for (size_t i : healthy) {
+    auto got = replicas[i]->Get(id);
+    if (got.ok() && Sha256::HashHex(*got) == id) {
+      bytes = std::move(*got);
+      have_bytes = true;
+      break;
+    }
+  }
+  if (!have_bytes) {
+    outcome.unrepairable = true;
+    outcome.detail = "no healthy copy on any replica";
+    return outcome;
+  }
+  for (size_t i : unhealthy) {
+    auto healed = replicas[i]->Put(bytes);
+    if (healed.ok() && replicas[i]->Verify(id).ok()) {
+      ++outcome.repaired;
+    } else {
+      // A copy that cannot be healed leaves the object under-replicated;
+      // the pass must not certify it.
+      outcome.unrepairable = true;
+      outcome.detail = "repair of replica " + std::to_string(i) + " failed";
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+std::string_view ScrubVerdictName(ScrubVerdict verdict) {
+  switch (verdict) {
+    case ScrubVerdict::kPass: return "PASS";
+    case ScrubVerdict::kWarn: return "WARN";
+    case ScrubVerdict::kFail: return "FAIL";
+  }
+  return "FAIL";
+}
+
+ScrubVerdict ScrubReport::Verdict() const {
+  if (!unrepairable.empty()) return ScrubVerdict::kFail;
+  if (!complete) return ScrubVerdict::kWarn;
+  return ScrubVerdict::kPass;
+}
+
+std::string ScrubReport::RenderText() const {
+  std::string out = "scrub pass " + std::to_string(pass_number) + ": " +
+                    std::to_string(objects_checked) + "/" +
+                    std::to_string(objects_total) + " object(s), " +
+                    std::to_string(replicas_checked) +
+                    " replica copies checked, " + std::to_string(repaired) +
+                    " repaired\n";
+  for (const UnrepairableObject& object : unrepairable) {
+    out += "UNREPAIRABLE: " + object.id + " (" + object.detail + ")\n";
+  }
+  if (!complete) {
+    out += "incomplete: pass truncated by --max-objects; rerun to continue\n";
+  }
+  out += "verdict: " + std::string(ScrubVerdictName(Verdict())) + "\n";
+  return out;
+}
+
+Json ScrubReport::ToJson() const {
+  Json json = Json::Object();
+  json["pass"] = pass_number;
+  json["objects_checked"] = objects_checked;
+  json["objects_total"] = objects_total;
+  json["replicas_checked"] = replicas_checked;
+  json["repaired"] = repaired;
+  Json bad = Json::Array();
+  for (const UnrepairableObject& object : unrepairable) {
+    Json entry = Json::Object();
+    entry["id"] = object.id;
+    entry["detail"] = object.detail;
+    bad.push_back(std::move(entry));
+  }
+  json["unrepairable"] = std::move(bad);
+  json["complete"] = complete;
+  json["wall_ms"] = wall_ms;
+  json["verdict"] = ToLower(ScrubVerdictName(Verdict()));
+  return json;
+}
+
+Result<ScrubReport> ScrubReplicas(const std::vector<ObjectStore*>& replicas,
+                                  const ScrubOptions& options) {
+  if (replicas.empty()) {
+    return Status::InvalidArgument("scrub needs at least one replica");
+  }
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument("scrub batch_size must be >= 1");
+  }
+  using namespace metric_names;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& passes = registry.GetCounter(kScrubPassesTotal);
+  Counter& objects = registry.GetCounter(kScrubObjectsTotal);
+  Counter& repairs = registry.GetCounter(kScrubRepairsTotal);
+  Counter& unrepairable_total = registry.GetCounter(kScrubUnrepairableTotal);
+  Histogram& batch_wall = registry.GetHistogram(
+      kScrubBatchWallMs, Histogram::DefaultLatencyBucketsMs());
+
+  Span span("scrub:pass", "scrub");
+  WallTimer pass_timer;
+  std::function<void(double)> sleeper = options.sleeper;
+  if (!sleeper) {
+    sleeper = [](double ms) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    };
+  }
+
+  ScrubReport report;
+  // Union of holdings across replicas, sorted: a hole on one replica is a
+  // scrub finding (backfill), not an enumeration gap.
+  std::vector<std::string> ids;
+  {
+    ReplicatedObjectStore union_view(
+        std::vector<ObjectStore*>(replicas.begin(), replicas.end()));
+    ids = union_view.Ids();
+  }
+  report.objects_total = ids.size();
+
+  // Resume position from the persistent cursor: an interrupted pass picks
+  // up after the last checkpointed id; a completed pass starts the next.
+  size_t begin = 0;
+  CursorRecord cursor;
+  if (!options.cursor_dir.empty()) {
+    bool found = false;
+    cursor = LoadCursor(options.cursor_dir, &found);
+    if (found && !cursor.complete) {
+      auto it = std::upper_bound(ids.begin(), ids.end(), cursor.last_id);
+      begin = static_cast<size_t>(it - ids.begin());
+    } else if (found && cursor.complete) {
+      cursor.pass += 1;
+      cursor.checked = 0;
+      cursor.repaired = 0;
+    }
+  }
+  report.pass_number = cursor.pass;
+  span.AddAttribute("pass", cursor.pass);
+  span.AddAttribute("objects", static_cast<uint64_t>(ids.size()));
+
+  const size_t budget =
+      options.max_objects == 0
+          ? ids.size() - begin
+          : std::min(ids.size() - begin, options.max_objects);
+  const size_t end = begin + budget;
+
+  for (size_t batch_begin = begin; batch_begin < end;) {
+    const size_t batch_end =
+        std::min(end, batch_begin + options.batch_size);
+    const size_t batch_count = batch_end - batch_begin;
+    Span batch_span("scrub:batch", "scrub");
+    batch_span.AddAttribute("objects", static_cast<uint64_t>(batch_count));
+    WallTimer batch_timer;
+    // Shard the batch over the pool: each worker owns distinct ids, so the
+    // per-replica stores only see concurrent ops on different objects.
+    std::vector<ObjectOutcome> outcomes = ParallelMap<ObjectOutcome>(
+        options.pool, batch_count,
+        [&replicas, &ids, batch_begin](size_t i) {
+          return ScrubObject(replicas, ids[batch_begin + i]);
+        },
+        /*grain=*/1);
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      const ObjectOutcome& outcome = outcomes[i];
+      ++report.objects_checked;
+      report.replicas_checked += outcome.replicas_checked;
+      report.repaired += outcome.repaired;
+      if (outcome.unrepairable) {
+        report.unrepairable.push_back(
+            {ids[batch_begin + i], outcome.detail});
+      }
+    }
+    objects.Increment(batch_count);
+    const double batch_ms = batch_timer.ElapsedMillis();
+    batch_wall.Observe(batch_ms);
+
+    // Checkpoint after the batch settles: the cursor only ever names ids
+    // whose scrub (including repairs) is fully done.
+    cursor.last_id = ids[batch_end - 1];
+    cursor.checked += batch_count;
+    cursor.complete = batch_end == ids.size();
+    if (!options.cursor_dir.empty()) {
+      DASPOS_RETURN_IF_ERROR(AppendCursor(options.cursor_dir, cursor));
+    }
+    batch_begin = batch_end;
+
+    // Rate limit: hold the pass to rate_limit_per_s objects/second by
+    // sleeping off whatever the batch finished early.
+    if (options.rate_limit_per_s > 0.0 && batch_begin < end) {
+      const double target_ms =
+          1000.0 * static_cast<double>(batch_count) / options.rate_limit_per_s;
+      if (target_ms > batch_ms) sleeper(target_ms - batch_ms);
+    }
+  }
+
+  report.complete = end == ids.size();
+  report.wall_ms = pass_timer.ElapsedMillis();
+  repairs.Increment(report.repaired);
+  unrepairable_total.Increment(report.unrepairable.size());
+  if (report.complete) passes.Increment();
+  if (report.repaired > 0) {
+    DASPOS_LOG(kWarning) << "scrub pass " << report.pass_number
+                         << " repaired " << report.repaired
+                         << " replica cop(ies); media may be rotting";
+  }
+  return report;
+}
+
+}  // namespace daspos

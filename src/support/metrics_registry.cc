@@ -282,6 +282,33 @@ void RegisterStandardMetrics(MetricsRegistry& registry) {
   registry.GetCounter(kArchiveWalkErrorsTotal,
                       "store-walk iteration/stat failures (an unreadable "
                       "store must not report as empty)");
+  registry.GetCounter(kArchiveQuarantineErrorsTotal,
+                      "quarantine moves that failed (forensic copy may be "
+                      "lost)");
+  registry.GetCounter(kArchiveReadRepairsTotal,
+                      "rotted/missing replica copies healed during Get");
+  registry.GetCounter(kArchiveDegradedReadsTotal,
+                      "reads served while only a minority of replicas was "
+                      "healthy");
+  registry.GetCounter(kArchiveReplicaPutFailuresTotal,
+                      "per-replica Put failures inside quorum writes");
+  registry.GetCounter(kArchiveReplicaFallbacksTotal,
+                      "reads that fell past an unhealthy replica");
+  registry.GetCounter(kScrubPassesTotal, "scrub passes completed");
+  registry.GetCounter(kScrubObjectsTotal, "objects fixity-scrubbed");
+  registry.GetCounter(kScrubRepairsTotal,
+                      "replica copies repaired by the scrubber");
+  registry.GetCounter(kScrubUnrepairableTotal,
+                      "objects with no healthy copy on any replica");
+  registry.GetHistogram(kScrubBatchWallMs, latency,
+                        "per-batch scrub wall time");
+  registry.GetCounter(kMigrateObjectsTotal,
+                      "objects processed by store-generation migration");
+  registry.GetCounter(kMigrateBytesTotal, "bytes copied by migration");
+  registry.GetCounter(kMigrateResumedTotal,
+                      "migration runs resumed from an interrupted cursor");
+  registry.GetCounter(kMigrateVerifyFailuresTotal,
+                      "target copies that failed the post-copy re-hash");
   registry.GetCounter(kValidationRunsTotal, "validation farm runs");
   registry.GetCounter(kValidationCellsTotal,
                       "campaign x analysis cells validated");

@@ -224,6 +224,30 @@ inline constexpr char kArchiveGetWallMs[] = "daspos_archive_get_wall_ms";
 inline constexpr char kArchivePutWallMs[] = "daspos_archive_put_wall_ms";
 inline constexpr char kArchiveWalkErrorsTotal[] =
     "daspos_archive_walk_errors_total";
+inline constexpr char kArchiveQuarantineErrorsTotal[] =
+    "daspos_archive_quarantine_errors_total";
+// Replicated store (src/archive/replicated_store.cc).
+inline constexpr char kArchiveReadRepairsTotal[] =
+    "daspos_archive_read_repairs_total";
+inline constexpr char kArchiveDegradedReadsTotal[] =
+    "daspos_archive_degraded_reads_total";
+inline constexpr char kArchiveReplicaPutFailuresTotal[] =
+    "daspos_archive_replica_put_failures_total";
+inline constexpr char kArchiveReplicaFallbacksTotal[] =
+    "daspos_archive_replica_fallbacks_total";
+// Bit-preservation scrubber (src/archive/scrub.cc).
+inline constexpr char kScrubPassesTotal[] = "daspos_scrub_passes_total";
+inline constexpr char kScrubObjectsTotal[] = "daspos_scrub_objects_total";
+inline constexpr char kScrubRepairsTotal[] = "daspos_scrub_repairs_total";
+inline constexpr char kScrubUnrepairableTotal[] =
+    "daspos_scrub_unrepairable_total";
+inline constexpr char kScrubBatchWallMs[] = "daspos_scrub_batch_wall_ms";
+// Store-generation migration (src/archive/migrate.cc).
+inline constexpr char kMigrateObjectsTotal[] = "daspos_migrate_objects_total";
+inline constexpr char kMigrateBytesTotal[] = "daspos_migrate_bytes_total";
+inline constexpr char kMigrateResumedTotal[] = "daspos_migrate_resumed_total";
+inline constexpr char kMigrateVerifyFailuresTotal[] =
+    "daspos_migrate_verify_failures_total";
 // Continuous-validation farm (src/validate).
 inline constexpr char kValidationRunsTotal[] = "daspos_validation_runs_total";
 inline constexpr char kValidationCellsTotal[] =

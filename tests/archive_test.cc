@@ -722,5 +722,97 @@ TEST_F(FileObjectStoreTest, ParallelDepositAndAuditMatchSerial) {
   std::filesystem::remove_all(root_ + "_p");
 }
 
+// ------------------------------------ Decorator PutBatch overrides (PR 8) --
+
+TEST(PutBatchTest, FaultyStoreInjectsPerBlobWithDeterministicOrdinals) {
+  // The override consumes one "put" slot per blob in input order, so a
+  // scripted nth=2 always hits the second blob — at any pool size.
+  MemoryObjectStore backend;
+  auto spec = FaultSpec::Parse("nth=2");
+  ASSERT_TRUE(spec.ok());
+  FaultPlan plan(*spec);
+  FaultyObjectStore store(&backend, &plan);
+  ThreadPool pool(4);
+  std::vector<std::string_view> blobs = {"one", "two", "three"};
+  auto ids = store.PutBatch(blobs, &pool);
+  EXPECT_TRUE(ids.status().IsIOError());
+  // Blob 1 landed before the injected failure on blob 2 stopped the batch.
+  EXPECT_TRUE(backend.Has(Sha256::HashHex("one")));
+  EXPECT_FALSE(backend.Has(Sha256::HashHex("two")));
+  EXPECT_EQ(plan.injected(), 1u);
+}
+
+TEST(PutBatchTest, RetryingStoreRetriesEachBatchSlotIndependently) {
+  // Each blob runs its own retry loop: a batch with more blobs than one
+  // retry budget still converges because failures are per-object.
+  MemoryObjectStore backend;
+  auto spec = FaultSpec::Parse("seed=11,rate=0.5");
+  ASSERT_TRUE(spec.ok());
+  FaultPlan plan(*spec);
+  FaultyObjectStore faulty(&backend, &plan);
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.backoff_ms = 0.0;
+  policy.sleeper = [](double) {};
+  RetryingObjectStore store(&faulty, policy);
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 24; ++i) {
+    payloads.push_back("retry batch blob " + std::to_string(i));
+  }
+  std::vector<std::string_view> blobs(payloads.begin(), payloads.end());
+  ThreadPool pool(4);
+  auto ids = store.PutBatch(blobs, &pool);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ((*ids)[i], Sha256::HashHex(payloads[i]));
+    EXPECT_EQ(*backend.Get((*ids)[i]), payloads[i]);
+  }
+  EXPECT_GT(plan.injected(), 0u);
+}
+
+// ------------------------------------- Quarantine hardening (PR 8) --
+
+TEST_F(FileObjectStoreTest, RepeatQuarantinePreservesForensicCopies) {
+  FileObjectStore store(root_);
+  auto id = store.Put("twice rotted");
+  ASSERT_TRUE(id.ok());
+  std::string path = root_ + "/" + id->substr(0, 2) + "/" + id->substr(2);
+
+  std::ofstream(path, std::ios::binary) << "rot A";
+  EXPECT_TRUE(store.Get(*id).status().IsCorruption());
+  ASSERT_TRUE(store.Put("twice rotted").ok());  // heal
+  std::ofstream(path, std::ios::binary) << "rot B";
+  EXPECT_TRUE(store.Get(*id).status().IsCorruption());
+
+  // Both rot events kept their evidence: <id> and <id>.1.
+  namespace fs = std::filesystem;
+  EXPECT_TRUE(fs::exists(fs::path(root_) / "quarantine" / *id));
+  EXPECT_TRUE(fs::exists(fs::path(root_) / "quarantine" / (*id + ".1")));
+  // QuarantinedIds reports the object once, under its base id.
+  ASSERT_EQ(store.QuarantinedIds().size(), 1u);
+  EXPECT_EQ(store.QuarantinedIds()[0], *id);
+}
+
+TEST_F(FileObjectStoreTest, FailedQuarantineMoveCountsErrors) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const uint64_t errors_before =
+      registry.CounterValue(metric_names::kArchiveQuarantineErrorsTotal);
+  FileObjectStore store(root_);
+  auto id = store.Put("blob that cannot be moved aside");
+  ASSERT_TRUE(id.ok());
+  std::string path = root_ + "/" + id->substr(0, 2) + "/" + id->substr(2);
+  std::ofstream(path, std::ios::binary) << "rot";
+  // A regular file where the quarantine directory should be makes both
+  // create_directories and the rename fail.
+  std::ofstream(root_ + "/quarantine", std::ios::binary) << "in the way";
+  EXPECT_TRUE(store.Get(*id).status().IsCorruption());
+  EXPECT_GT(registry.CounterValue(metric_names::kArchiveQuarantineErrorsTotal),
+            errors_before);
+  // The rotted blob stayed in place (the move failed) — it must still be
+  // invisible to Get, which keeps failing fixity.
+  EXPECT_TRUE(store.Get(*id).status().IsCorruption());
+}
+
 }  // namespace
 }  // namespace daspos

@@ -135,6 +135,39 @@ if "$DASPOS" audit "$WORK/notastore" >/dev/null 2>&1; then
   exit 1
 fi
 
+# Bit preservation: replicate an archive store across three roots, rot one
+# replica on disk, and scrub — the pass must repair the rot and exit 0.
+"$DASPOS" ingest "$WORK/rep0" "bit preservation" "$WORK/z_gen.dspc" >/dev/null
+cp -r "$WORK/rep0" "$WORK/rep1"
+cp -r "$WORK/rep0" "$WORK/rep2"
+ROTTED=$(find "$WORK/rep1" -type f | head -1)
+echo "bit rot" > "$ROTTED"
+"$DASPOS" scrub "$WORK/rep0" "$WORK/rep1" "$WORK/rep2" \
+  --cursor="$WORK/scrub-cursor" --report="$WORK/scrub.json" \
+  | grep -q "1 repaired"
+grep -q '"verdict": "pass"' "$WORK/scrub.json"
+# A second pass over the healed replicas is clean and advances the pass
+# counter (the cursor survived the first invocation).
+"$DASPOS" scrub "$WORK/rep0" "$WORK/rep1" "$WORK/rep2" \
+  --cursor="$WORK/scrub-cursor" | grep -q "scrub pass 2"
+# A truncated pass exits 2 (warn) per the validate exit-code contract.
+if "$DASPOS" scrub "$WORK/rep0" --max-objects=1 >/dev/null; then
+  echo "truncated scrub exited 0 instead of warning" >&2
+  exit 1
+fi
+
+# Generation migration: a fault-injected run dies mid-copy and preserves its
+# state; the resumed run completes with every object verified and swaps the
+# generation marker.
+if "$DASPOS" migrate "$WORK/rep0" "$WORK/gen2" --batch=1 \
+  --inject-faults=nth=2 >/dev/null 2>&1; then
+  echo "fault-injected migrate claimed success" >&2
+  exit 1
+fi
+"$DASPOS" migrate "$WORK/rep0" "$WORK/gen2" | grep -q "(resumed)"
+grep -q '"generation": 1' "$WORK/gen2/migrate-state/GENERATION"
+"$DASPOS" audit "$WORK/gen2" | grep -q "verdict: CLEAN"
+
 # Corrupt the dataset: inspect must refuse.
 head -c 1000 "$WORK/z_gen.dspc" > "$WORK/broken.dspc"
 if "$DASPOS" inspect "$WORK/broken.dspc" 2>/dev/null; then

@@ -1,15 +1,17 @@
 #!/bin/bash
-# Benchmark driver for the committed BENCH_4.json performance record.
+# Benchmark driver for the committed BENCH_8.json performance record.
 #
 #   tools/bench.sh           # Release build, full-size measured sections
 #   tools/bench.sh --smoke   # tiny-N sizes for CI (perf-smoke job)
 #
 # Runs the Release-mode benches that carry measured parallel sections
-# (bench_reco, bench_tier_reduction, bench_archive) with fixed seeds, skips
-# the google-benchmark micro-benches (--benchmark_filter='^$' matches no
-# name), and assembles the JSONL records the sections append into a JSON
-# array at BENCH_4.json. Every section digest-checks its parallel output
-# against serial, so a determinism break fails the run.
+# (bench_reco, bench_tier_reduction, bench_archive,
+# bench_bit_preservation) with fixed seeds, skips the google-benchmark
+# micro-benches (--benchmark_filter='^$' matches no name), and assembles
+# the JSONL records the sections append into a JSON array at
+# BENCH_8.json. Every section self-checks its output (serial/parallel
+# digests, rot repaired, migrated bytes re-hashed), so a correctness
+# break fails the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,7 +26,8 @@ esac
 echo "==> bench: Release build"
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-bench -j"$JOBS" \
-  --target bench_reco bench_tier_reduction bench_archive
+  --target bench_reco bench_tier_reduction bench_archive \
+  bench_bit_preservation
 
 JSONL=$(mktemp)
 trap 'rm -f "$JSONL"' EXIT
@@ -33,6 +36,8 @@ if [ "$SMOKE" = 1 ]; then
   export DASPOS_BENCH_EVENTS=100
   export DASPOS_BENCH_BLOB_MB=4
   export DASPOS_BENCH_BATCH_BLOBS=8
+  export DASPOS_BENCH_SCRUB_OBJECTS=48
+  export DASPOS_BENCH_OBJECT_KB=16
 fi
 
 # Record the host's core count alongside the measurements: parallel
@@ -40,12 +45,13 @@ fi
 # interpretable next to the hardware they were taken on.
 echo "{\"bench\": \"host\", \"metric\": \"hardware_concurrency\", \"value\": $(nproc).0, \"threads\": 1}" >> "$JSONL"
 
-for bench in bench_reco bench_tier_reduction bench_archive; do
+for bench in bench_reco bench_tier_reduction bench_archive \
+  bench_bit_preservation; do
   echo "==> $bench"
   "./build-bench/bench/$bench" --benchmark_filter='^$'
 done
 
-OUT=BENCH_4.json
+OUT=BENCH_8.json
 {
   echo '['
   sed '$!s/$/,/; s/^/  /' "$JSONL"

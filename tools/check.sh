@@ -77,12 +77,20 @@ if [ "$RUN_CHAOS" = 1 ]; then
   echo "==> chaos: DASPOS_SANITIZE=thread build + fault-tolerance suite"
   cmake -B build-tsan -S . -DDASPOS_SANITIZE=thread >/dev/null
   cmake --build build-tsan --target workflow_test parallel_test archive_test \
-    trace_test validate_test sync_test -j"$JOBS"
+    bit_preservation_test torture_test trace_test validate_test sync_test \
+    -j"$JOBS"
   ./build-tsan/tests/workflow_test \
     --gtest_filter='ChaosTest.*:JournalTest.*:WorkflowRetryTest.*:WorkflowKeepGoingTest.*'
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/archive_test \
     --gtest_filter='DigestCacheTest.*:PutBatchTest.*:FileObjectStoreTest.*'
+  # The bit-preservation layer under the race detector: quorum writes,
+  # read-repair, pool-sharded scrub batches, and parallel copy-verify all
+  # mutate replica stores from pool workers.
+  ./build-tsan/tests/bit_preservation_test
+  # Crash-consistency torture: truncated cursors/journals and migrations
+  # aborted at every fault ordinal, rerun to convergence.
+  ./build-tsan/tests/torture_test
   # The registry and tracer are lock-light shared state touched from every
   # pool worker; the trace suite hammers them from concurrent threads.
   ./build-tsan/tests/trace_test

@@ -11,6 +11,8 @@
 //   daspos lint [flags] <artifact...>         static preservation checks
 //   daspos chain <process> <n> <seed>         run the standard chain
 //   daspos metrics [<process> <n> <seed>]     Prometheus metrics dump
+//   daspos scrub <replica-dir...>             incremental fixity scrub+repair
+//   daspos migrate <src-dir> <dst-dir>        copy-verify-swap migration
 //
 // Exit code 0 on success, 1 on any error (errors go to stderr). `lint`
 // exits 1 when any finding reaches the --fail-on threshold (default:
@@ -25,7 +27,9 @@
 #include <vector>
 
 #include "archive/archive.h"
+#include "archive/migrate.h"
 #include "archive/object_store.h"
+#include "archive/scrub.h"
 #include "conditions/snapshot.h"
 #include "conditions/store.h"
 #include "detsim/simulation.h"
@@ -115,6 +119,14 @@ int Usage() {
                "  daspos lint [--json] [--fail-on=info|warning|error] "
                "[--threads=N] <artifact...>\n"
                "  daspos metrics [<process> <n-events> <seed>]\n"
+               "  daspos scrub <replica-dir...> [--cursor=DIR] "
+               "[--max-objects=N] [--rate=N]\n"
+               "               [--batch=N] [--threads=N] [--json] "
+               "[--report=FILE]\n"
+               "  daspos migrate <source-dir> <target-dir> [--state=DIR] "
+               "[--batch=N]\n"
+               "               [--threads=N] [--inject-faults=SPEC] "
+               "[--json]\n"
                "  daspos validate <archive-dir> --capture=NAME "
                "[--process=P] [--events=N]\n"
                "               [--seed=N] [--analyses=A,B]\n"
@@ -812,6 +824,139 @@ int CmdMetrics(const std::vector<std::string>& args) {
   return 0;
 }
 
+struct ScrubFlags {
+  std::string cursor_dir;
+  std::string max_objects;
+  std::string rate;
+  std::string batch;
+  std::string threads;
+  std::string report_path;
+  bool as_json = false;
+};
+
+// Incremental bit-preservation scrub over N replica stores: verify every
+// object on every replica, heal rot/holes from a healthy replica, resume an
+// interrupted pass from the --cursor directory. Exit mirrors validate:
+// 0 pass, 2 warn (truncated pass), 1 fail (unrepairable object or error).
+int CmdScrub(const std::vector<std::string>& roots, const ScrubFlags& flags) {
+  RegisterStandardMetrics();
+  std::vector<std::unique_ptr<FileObjectStore>> stores;
+  std::vector<ObjectStore*> replicas;
+  stores.reserve(roots.size());
+  for (const std::string& root : roots) {
+    stores.push_back(std::make_unique<FileObjectStore>(root));
+    replicas.push_back(stores.back().get());
+  }
+  ScrubOptions options;
+  options.cursor_dir = flags.cursor_dir;
+  if (!flags.max_objects.empty()) {
+    auto value = ParseU64(flags.max_objects);
+    if (!value.ok()) {
+      return Fail("bad --max-objects value '" + flags.max_objects + "'");
+    }
+    options.max_objects = static_cast<size_t>(*value);
+  }
+  if (!flags.rate.empty()) {
+    auto value = ParseDouble(flags.rate);
+    if (!value.ok() || *value < 0.0) {
+      return Fail("bad --rate value '" + flags.rate + "'");
+    }
+    options.rate_limit_per_s = *value;
+  }
+  if (!flags.batch.empty()) {
+    auto value = ParseU64(flags.batch);
+    if (!value.ok() || *value == 0) {
+      return Fail("bad --batch value '" + flags.batch + "'");
+    }
+    options.batch_size = static_cast<size_t>(*value);
+  }
+  auto threads = ResolveThreads(flags.threads, /*fallback=*/0);
+  if (!threads.ok()) return Fail(threads.status().ToString());
+  std::unique_ptr<ThreadPool> pool = MakePool(*threads);
+  options.pool = pool.get();
+
+  auto report = ScrubReplicas(replicas, options);
+  if (!report.ok()) return Fail(report.status().ToString());
+  if (!flags.report_path.empty()) {
+    if (auto status =
+            WriteStringToFile(flags.report_path, report->ToJson().Dump(2));
+        !status.ok()) {
+      return Fail(status.ToString());
+    }
+  }
+  if (flags.as_json) {
+    std::printf("%s\n", report->ToJson().Dump(2).c_str());
+  } else {
+    std::printf("%s", report->RenderText().c_str());
+  }
+  switch (report->Verdict()) {
+    case ScrubVerdict::kPass: return 0;
+    case ScrubVerdict::kWarn: return 2;
+    case ScrubVerdict::kFail: return 1;
+  }
+  return 1;
+}
+
+struct MigrateFlags {
+  std::string state_dir;
+  std::string batch;
+  std::string threads;
+  std::string fault_spec;
+  bool as_json = false;
+};
+
+// Copy-verify-swap generation migration from one store root to another.
+// Durable state (cursor + generation marker) defaults to
+// <target>/migrate-state; a crashed or fault-aborted run resumes from it.
+// Exit 0 only after every object re-verified on the target and the
+// generation marker swapped.
+int CmdMigrate(const std::string& source_root, const std::string& target_root,
+               const MigrateFlags& flags) {
+  RegisterStandardMetrics();
+  FileObjectStore source(source_root);
+  FileObjectStore target(target_root);
+  MigrateOptions options;
+  options.state_dir = flags.state_dir.empty()
+                          ? target_root + "/migrate-state"
+                          : flags.state_dir;
+  if (!flags.batch.empty()) {
+    auto value = ParseU64(flags.batch);
+    if (!value.ok() || *value == 0) {
+      return Fail("bad --batch value '" + flags.batch + "'");
+    }
+    options.batch_size = static_cast<size_t>(*value);
+  }
+  auto threads = ResolveThreads(flags.threads, /*fallback=*/0);
+  if (!threads.ok()) return Fail(threads.status().ToString());
+  std::unique_ptr<ThreadPool> pool = MakePool(*threads);
+  options.pool = pool.get();
+  std::unique_ptr<FaultPlan> faults;
+  if (!flags.fault_spec.empty()) {
+    auto spec = FaultSpec::Parse(flags.fault_spec);
+    if (!spec.ok()) return Fail(spec.status().ToString());
+    faults = std::make_unique<FaultPlan>(*spec);
+    options.faults = faults.get();
+  }
+
+  auto report = MigrateGeneration(source, target, options);
+  if (!report.ok()) {
+    // Progress survives in the state dir; rerunning resumes the copy.
+    return Fail(report.status().ToString() +
+                " (state preserved; rerun to resume)");
+  }
+  if (flags.as_json) {
+    std::printf("%s\n", report->ToJson().Dump(2).c_str());
+  } else {
+    std::printf("%s", report->RenderText().c_str());
+    if (faults != nullptr) {
+      std::printf("fault injection: %llu fault(s) across %llu operation(s)\n",
+                  static_cast<unsigned long long>(faults->injected()),
+                  static_cast<unsigned long long>(faults->operations()));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -995,6 +1140,58 @@ int main(int argc, char** argv) {
       }
     }
     return CmdValidate(argv[2], flags);
+  }
+  if (command == "scrub" && argc >= 3) {
+    ScrubFlags flags;
+    std::vector<std::string> roots;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json") {
+        flags.as_json = true;
+      } else if (arg.rfind("--cursor=", 0) == 0) {
+        flags.cursor_dir = arg.substr(9);
+      } else if (arg.rfind("--max-objects=", 0) == 0) {
+        flags.max_objects = arg.substr(14);
+      } else if (arg.rfind("--rate=", 0) == 0) {
+        flags.rate = arg.substr(7);
+      } else if (arg.rfind("--batch=", 0) == 0) {
+        flags.batch = arg.substr(8);
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        flags.threads = arg.substr(10);
+      } else if (arg.rfind("--report=", 0) == 0) {
+        flags.report_path = arg.substr(9);
+      } else if (!arg.empty() && arg[0] == '-') {
+        return Fail("unknown scrub flag '" + arg + "'");
+      } else {
+        roots.push_back(std::move(arg));
+      }
+    }
+    if (roots.empty()) return Usage();
+    return CmdScrub(roots, flags);
+  }
+  if (command == "migrate" && argc >= 4) {
+    MigrateFlags flags;
+    std::vector<std::string> dirs;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json") {
+        flags.as_json = true;
+      } else if (arg.rfind("--state=", 0) == 0) {
+        flags.state_dir = arg.substr(8);
+      } else if (arg.rfind("--batch=", 0) == 0) {
+        flags.batch = arg.substr(8);
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        flags.threads = arg.substr(10);
+      } else if (arg.rfind("--inject-faults=", 0) == 0) {
+        flags.fault_spec = arg.substr(16);
+      } else if (!arg.empty() && arg[0] == '-') {
+        return Fail("unknown migrate flag '" + arg + "'");
+      } else {
+        dirs.push_back(std::move(arg));
+      }
+    }
+    if (dirs.size() != 2) return Usage();
+    return CmdMigrate(dirs[0], dirs[1], flags);
   }
   if (command == "metrics" && (argc == 2 || argc == 5)) {
     std::vector<std::string> args;
