@@ -63,18 +63,23 @@ Result<std::string> Archive::Deposit(const SubmissionPackage& submission,
 
 Result<size_t> Archive::RecoverCatalog() {
   size_t found = 0;
-  for (const std::string& id : store_->Ids()) {
+  // Stream the store's ids (ascending) instead of materializing the full
+  // listing. A store whose walk failed now fails recovery outright —
+  // rebuilding a partial catalog that a later audit would certify is worse
+  // than refusing.
+  DASPOS_RETURN_IF_ERROR(store_->ForEachId([&](const std::string& id) {
     DASPOS_ASSIGN_OR_RETURN(std::string bytes, store_->Get(id));
     // AIP manifests are recognized by shape; anything else in the store is
     // package payload.
     auto json = Json::Parse(bytes);
-    if (!json.ok() || !IsAipManifest(*json)) continue;
+    if (!json.ok() || !IsAipManifest(*json)) return Status::OK();
     ++found;
     if (sequences_.count(id) == 0) {
       sequences_[id] = next_sequence_++;
       catalog_.push_back(id);
     }
-  }
+    return Status::OK();
+  }));
   return found;
 }
 

@@ -1,0 +1,79 @@
+#include "archive/backend.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "archive/pack_store.h"
+
+namespace daspos {
+
+namespace fs = std::filesystem;
+
+std::string BackendName(const StoreSpec& spec) {
+  if (spec.backend == StoreSpec::Backend::kPack) {
+    return spec.compress ? "pack+z" : "pack";
+  }
+  return "file";
+}
+
+Result<StoreSpec> ParseStoreSpec(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty store spec");
+  StoreSpec spec;
+  auto strip_prefix = [&text](std::string_view prefix,
+                              std::string* rest) -> bool {
+    if (text.size() <= prefix.size()) return false;
+    if (text.compare(0, prefix.size(), prefix) != 0) return false;
+    *rest = text.substr(prefix.size());
+    return true;
+  };
+  if (strip_prefix("file:", &spec.root)) {
+    spec.backend = StoreSpec::Backend::kFile;
+    return spec;
+  }
+  if (strip_prefix("pack+z:", &spec.root)) {
+    spec.backend = StoreSpec::Backend::kPack;
+    spec.compress = true;
+    return spec;
+  }
+  if (strip_prefix("pack:", &spec.root)) {
+    spec.backend = StoreSpec::Backend::kPack;
+    return spec;
+  }
+  // Reject unknown "name:" prefixes so a typo ("pak:dir") fails loudly
+  // instead of creating a loose store in a directory literally named
+  // "pak:dir". Windows-style drive letters are not a concern here; specs
+  // are single-word schemes followed by a path.
+  size_t colon = text.find(':');
+  size_t slash = text.find('/');
+  if (colon != std::string::npos && (slash == std::string::npos ||
+                                     colon < slash)) {
+    return Status::InvalidArgument(
+        "unknown store backend in spec \"" + text +
+        "\" (want file:DIR, pack:DIR, pack+z:DIR, or a bare path)");
+  }
+  // Bare path: sniff the layout so existing command lines keep working on
+  // either backend.
+  spec.root = text;
+  std::error_code ec;
+  spec.backend = fs::is_directory(fs::path(text) / "segments", ec)
+                     ? StoreSpec::Backend::kPack
+                     : StoreSpec::Backend::kFile;
+  return spec;
+}
+
+std::unique_ptr<ObjectStore> OpenObjectStore(const StoreSpec& spec) {
+  if (spec.backend == StoreSpec::Backend::kPack) {
+    PackOptions options;
+    options.compress = spec.compress;
+    return std::unique_ptr<ObjectStore>(
+        new PackObjectStore(spec.root, options));
+  }
+  return std::unique_ptr<ObjectStore>(new FileObjectStore(spec.root));
+}
+
+Result<std::unique_ptr<ObjectStore>> OpenObjectStore(const std::string& text) {
+  DASPOS_ASSIGN_OR_RETURN(StoreSpec spec, ParseStoreSpec(text));
+  return OpenObjectStore(spec);
+}
+
+}  // namespace daspos

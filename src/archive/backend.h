@@ -1,0 +1,47 @@
+// Pluggable storage-backend selection (the rct DB.h pattern): every CLI
+// command and service that opens an object store does it through a backend
+// spec string, so new backends slot in without touching call sites.
+//
+// Spec grammar:
+//   file:DIR    loose-file backend, sharded by digest prefix (FileObjectStore)
+//   pack:DIR    packfile backend (PackObjectStore)
+//   pack+z:DIR  packfile backend with block compression enabled for writes
+//   DIR         bare path: sniffed — pack if DIR/segments/ exists, else file
+//               (keeps every pre-backend command line working unchanged)
+#ifndef DASPOS_ARCHIVE_BACKEND_H_
+#define DASPOS_ARCHIVE_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "archive/object_store.h"
+#include "support/result.h"
+
+namespace daspos {
+
+struct StoreSpec {
+  enum class Backend { kFile, kPack };
+
+  Backend backend = Backend::kFile;
+  std::string root;
+  /// Only meaningful for kPack: compress new writes (reads always handle
+  /// both raw and compressed records).
+  bool compress = false;
+};
+
+/// Human-readable backend name ("file", "pack", "pack+z") for reports.
+std::string BackendName(const StoreSpec& spec);
+
+/// Parses `text` per the grammar above. A bare path sniffs the on-disk
+/// layout; a path that does not exist yet defaults to the loose backend.
+Result<StoreSpec> ParseStoreSpec(const std::string& text);
+
+/// Parses `text` and opens the store it names.
+Result<std::unique_ptr<ObjectStore>> OpenObjectStore(const std::string& text);
+
+/// Opens the store a parsed spec names.
+std::unique_ptr<ObjectStore> OpenObjectStore(const StoreSpec& spec);
+
+}  // namespace daspos
+
+#endif  // DASPOS_ARCHIVE_BACKEND_H_

@@ -123,23 +123,26 @@ Result<MigrateReport> MigrateGeneration(const ObjectStore& source,
                          << report.generation;
   }
 
-  std::vector<std::string> ids = source.Ids();
-  report.objects_total = ids.size();
-  span.AddAttribute("objects", static_cast<uint64_t>(ids.size()));
   span.AddAttribute("generation", report.generation);
 
   // Phase 1 — copy: every object lands on the target and the *target's*
-  // bytes are re-hashed before the object counts as migrated.
-  for (size_t batch_begin = 0; batch_begin < ids.size();) {
-    const size_t batch_end =
-        std::min(ids.size(), batch_begin + options.batch_size);
-    const size_t batch_count = batch_end - batch_begin;
+  // bytes are re-hashed before the object counts as migrated. Ids stream
+  // from the source in ascending order (ForEachId), so only one batch of
+  // ids is ever resident — constant memory however large the store — while
+  // fault-plan ordinals stay deterministic (same order as the old sorted
+  // vector). A partially unreadable source fails the run: migrating "what
+  // we could see" and then swapping generations would silently shrink the
+  // archive.
+  std::vector<std::string> batch;
+  batch.reserve(options.batch_size);
+  auto process_batch = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
     Span batch_span("migrate:batch", "archive");
-    batch_span.AddAttribute("objects", static_cast<uint64_t>(batch_count));
+    batch_span.AddAttribute("objects", static_cast<uint64_t>(batch.size()));
     std::vector<CopySlot> slots = ParallelMap<CopySlot>(
-        options.pool, batch_count,
+        options.pool, batch.size(),
         [&](size_t i) {
-          const std::string& id = ids[batch_begin + i];
+          const std::string& id = batch[i];
           CopySlot slot;
           // Already verifying on the target: completed by a previous run
           // (or deduplicated content). Nothing to move.
@@ -189,23 +192,34 @@ Result<MigrateReport> MigrateGeneration(const ObjectStore& source,
         ++report.skipped;
       }
     }
-    objects_counter.Increment(batch_count);
+    objects_counter.Increment(batch.size());
+    report.objects_total += batch.size();
     Json record = Json::Object();
     record["generation"] = report.generation;
-    record["last_id"] = ids[batch_end - 1];
+    record["last_id"] = batch.back();
     record["copied"] = report.copied;
     record["skipped"] = report.skipped;
     DASPOS_RETURN_IF_ERROR(AppendCursorLine(options.state_dir, record));
-    batch_begin = batch_end;
-  }
+    batch.clear();
+    return Status::OK();
+  };
+  DASPOS_RETURN_IF_ERROR(source.ForEachId([&](const std::string& id) {
+    batch.push_back(id);
+    if (batch.size() >= options.batch_size) return process_batch();
+    return Status::OK();
+  }));
+  DASPOS_RETURN_IF_ERROR(process_batch());
+  span.AddAttribute("objects", report.objects_total);
   bytes_counter.Increment(report.bytes_copied);
 
   // Phase 2 — verify: a full serial sweep re-hashes every object on the
   // target, including ones skipped as already-present. The swap certifies
-  // the *current* holdings, not this run's memory of them.
+  // the *current* holdings, not this run's memory of them. The sweep
+  // streams the source's ids again rather than caching phase 1's list —
+  // same constant-memory bound, same ascending order.
   {
     Span verify_span("migrate:verify", "archive");
-    for (const std::string& id : ids) {
+    DASPOS_RETURN_IF_ERROR(source.ForEachId([&](const std::string& id) {
       if (options.faults != nullptr) {
         DASPOS_RETURN_IF_ERROR(options.faults->Next("migrate:verify"));
       }
@@ -218,7 +232,8 @@ Result<MigrateReport> MigrateGeneration(const ObjectStore& source,
             "); generation swap refused");
       }
       ++report.verified;
-    }
+      return Status::OK();
+    }));
   }
 
   // Phase 3 — swap: atomically install the new generation marker. The

@@ -5,6 +5,7 @@
 #define DASPOS_ARCHIVE_OBJECT_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <system_error>
@@ -41,6 +42,19 @@ class ObjectStore {
 
   /// All stored ids (sorted).
   virtual std::vector<std::string> Ids() const = 0;
+
+  /// Streams every stored id in ascending order WITHOUT materializing the
+  /// full list — on large stores this is the O(1)-memory alternative to
+  /// Ids() for scrubs, audits, and migrations. `fn` returning non-OK aborts
+  /// the walk immediately and that status is returned. A store whose walk
+  /// partially failed keeps going, then returns the first walk error after
+  /// visiting everything reachable: callers can heal what they can, but an
+  /// unreadable store is never mistaken for an empty one. Callbacks may call
+  /// back into the store (Get/Verify/Has) — implementations must not hold
+  /// internal locks while invoking `fn`. The base implementation adapts
+  /// Ids().
+  virtual Status ForEachId(
+      const std::function<Status(const std::string&)>& fn) const;
 
   virtual uint64_t TotalBytes() const = 0;
 
@@ -111,6 +125,11 @@ class FileObjectStore : public ObjectStore {
   bool Has(const std::string& id) const override;
   Status Verify(const std::string& id) const override;
   std::vector<std::string> Ids() const override;
+  /// Streams shard directories one at a time ("00".."ff" in order, ids
+  /// sorted within each shard), so peak memory is one shard's worth of
+  /// names — ~1/256th of the store — instead of the whole id list.
+  Status ForEachId(const std::function<Status(const std::string&)>& fn)
+      const override;
   uint64_t TotalBytes() const override;
   std::vector<std::string> QuarantinedIds() const override;
 

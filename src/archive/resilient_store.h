@@ -30,6 +30,12 @@ class FaultyObjectStore : public ObjectStore {
   bool Has(const std::string& id) const override;
   Status Verify(const std::string& id) const override;
   std::vector<std::string> Ids() const override { return backend_->Ids(); }
+  // Enumeration is bookkeeping, not a keyed operation: like Ids(), it passes
+  // through without drawing fault-plan ordinals.
+  Status ForEachId(const std::function<Status(const std::string&)>& fn)
+      const override {
+    return backend_->ForEachId(fn);
+  }
   uint64_t TotalBytes() const override { return backend_->TotalBytes(); }
   std::vector<std::string> QuarantinedIds() const override {
     return backend_->QuarantinedIds();
@@ -61,6 +67,10 @@ class RetryingObjectStore : public ObjectStore {
   bool Has(const std::string& id) const override { return backend_->Has(id); }
   Status Verify(const std::string& id) const override;
   std::vector<std::string> Ids() const override { return backend_->Ids(); }
+  Status ForEachId(const std::function<Status(const std::string&)>& fn)
+      const override {
+    return backend_->ForEachId(fn);
+  }
   uint64_t TotalBytes() const override { return backend_->TotalBytes(); }
   std::vector<std::string> QuarantinedIds() const override {
     return backend_->QuarantinedIds();

@@ -12,7 +12,6 @@
 #include <thread>
 
 #include "archive/object_store.h"
-#include "archive/replicated_store.h"
 #include "support/io.h"
 #include "support/logging.h"
 #include "support/metrics.h"
@@ -277,13 +276,25 @@ Result<ScrubReport> ScrubReplicas(const std::vector<ObjectStore*>& replicas,
 
   ScrubReport report;
   // Union of holdings across replicas, sorted: a hole on one replica is a
-  // scrub finding (backfill), not an enumeration gap.
+  // scrub finding (backfill), not an enumeration gap. Each replica streams
+  // its ids in order (ForEachId), so the union is a sequence of in-place
+  // merges — no per-replica full copies alongside the union. A replica
+  // whose walk partially failed still contributes everything reachable;
+  // its missing objects surface through the other replicas' listings.
   std::vector<std::string> ids;
-  {
-    ReplicatedObjectStore union_view(
-        std::vector<ObjectStore*>(replicas.begin(), replicas.end()));
-    ids = union_view.Ids();
+  for (ObjectStore* replica : replicas) {
+    const auto before = static_cast<std::ptrdiff_t>(ids.size());
+    Status walk = replica->ForEachId([&ids](const std::string& id) {
+      ids.push_back(id);
+      return Status::OK();
+    });
+    if (!walk.ok()) {
+      DASPOS_LOG(kWarning) << "scrub: replica enumeration incomplete: "
+                           << walk.ToString();
+    }
+    std::inplace_merge(ids.begin(), ids.begin() + before, ids.end());
   }
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   report.objects_total = ids.size();
 
   // Resume position from the persistent cursor: an interrupted pass picks

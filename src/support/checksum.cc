@@ -1,0 +1,102 @@
+#include "support/checksum.h"
+
+#include <cstring>
+
+namespace daspos {
+
+namespace {
+
+constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline uint64_t RotL(uint64_t value, int bits) {
+  return (value << bits) | (value >> (64 - bits));
+}
+
+// Unaligned little-endian loads via memcpy: the compiler lowers these to a
+// single mov on x86/arm64, and they stay defined behavior everywhere else.
+inline uint64_t Load64(const unsigned char* p) {
+  uint64_t value;
+  std::memcpy(&value, p, sizeof(value));
+  return value;
+}
+
+inline uint32_t Load32(const unsigned char* p) {
+  uint32_t value;
+  std::memcpy(&value, p, sizeof(value));
+  return value;
+}
+
+inline uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = RotL(acc, 31);
+  return acc * kPrime1;
+}
+
+inline uint64_t MergeRound(uint64_t hash, uint64_t acc) {
+  hash ^= Round(0, acc);
+  return hash * kPrime1 + kPrime4;
+}
+
+}  // namespace
+
+uint64_t Checksum64(std::string_view data, uint64_t seed) {
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data.data());
+  const unsigned char* const end = p + data.size();
+  uint64_t hash;
+
+  if (data.size() >= 32) {
+    // Four independent 8-byte lanes per 32-byte stripe keep the multiplier
+    // pipelines busy — this is what makes XXH64 run at memory bandwidth.
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    const unsigned char* const stripe_end = end - 32;
+    do {
+      v1 = Round(v1, Load64(p));
+      v2 = Round(v2, Load64(p + 8));
+      v3 = Round(v3, Load64(p + 16));
+      v4 = Round(v4, Load64(p + 24));
+      p += 32;
+    } while (p <= stripe_end);
+    hash = RotL(v1, 1) + RotL(v2, 7) + RotL(v3, 12) + RotL(v4, 18);
+    hash = MergeRound(hash, v1);
+    hash = MergeRound(hash, v2);
+    hash = MergeRound(hash, v3);
+    hash = MergeRound(hash, v4);
+  } else {
+    hash = seed + kPrime5;
+  }
+
+  hash += static_cast<uint64_t>(data.size());
+
+  while (p + 8 <= end) {
+    hash ^= Round(0, Load64(p));
+    hash = RotL(hash, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    hash ^= static_cast<uint64_t>(Load32(p)) * kPrime1;
+    hash = RotL(hash, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    hash ^= static_cast<uint64_t>(*p) * kPrime5;
+    hash = RotL(hash, 11) * kPrime1;
+    ++p;
+  }
+
+  hash ^= hash >> 33;
+  hash *= kPrime2;
+  hash ^= hash >> 29;
+  hash *= kPrime3;
+  hash ^= hash >> 32;
+  return hash;
+}
+
+}  // namespace daspos

@@ -1,0 +1,27 @@
+// Fast non-cryptographic 64-bit checksum (XXH64 algorithm) for storage
+// integrity gates where SHA-256 would dominate the cost of the operation.
+//
+// Role in the archive's integrity model: the SHA-256 object id <-> bytes
+// binding is established once, at Put/repack time, and re-audited by
+// Verify/scrub (which ALWAYS hash the full payload). Checksum64 is the
+// cheap per-read gate that detects media rot and torn writes on the hot
+// Get path at memory bandwidth instead of hash bandwidth — the same
+// layering git uses (SHA-1 ids, CRC32 pack records) and ZFS uses
+// (fletcher per block, sha256 on demand). It is NOT collision-resistant
+// and must never be used to derive object identity.
+#ifndef DASPOS_SUPPORT_CHECKSUM_H_
+#define DASPOS_SUPPORT_CHECKSUM_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace daspos {
+
+/// XXH64 of `data` with the given seed. Byte-exact with the reference
+/// xxHash implementation, so checksums embedded in on-disk formats stay
+/// stable across compilers and releases.
+uint64_t Checksum64(std::string_view data, uint64_t seed = 0);
+
+}  // namespace daspos
+
+#endif  // DASPOS_SUPPORT_CHECKSUM_H_

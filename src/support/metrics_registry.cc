@@ -309,6 +309,32 @@ void RegisterStandardMetrics(MetricsRegistry& registry) {
                       "migration runs resumed from an interrupted cursor");
   registry.GetCounter(kMigrateVerifyFailuresTotal,
                       "target copies that failed the post-copy re-hash");
+  registry.GetCounter(kPackAppendsTotal,
+                      "records appended to packfile segments");
+  registry.GetCounter(kPackAppendBytesTotal,
+                      "stored payload bytes appended to segments");
+  registry.GetCounter(kPackReadsTotal, "packfile record reads");
+  registry.GetCounter(kPackReadBytesTotal,
+                      "raw (uncompressed) bytes served by packfile reads");
+  registry.GetCounter(kPackMmapReadsTotal,
+                      "packfile reads served zero-copy from a sealed-segment "
+                      "mapping");
+  registry.GetCounter(kPackCompressedBlobsTotal,
+                      "blobs stored block-compressed in packfiles");
+  registry.GetCounter(kPackCompressionSavedBytesTotal,
+                      "raw-minus-stored bytes saved by block compression");
+  registry.GetCounter(kPackChecksumFailuresTotal,
+                      "packfile records whose stored checksum no longer "
+                      "matches (rot or torn write)");
+  registry.GetCounter(kPackIndexRebuildsTotal,
+                      "segment indexes rebuilt by scanning the segment");
+  registry.GetCounter(kPackTornRecordsTotal,
+                      "trailing torn records dropped during tail recovery");
+  registry.GetCounter(kPackSegmentsCreatedTotal,
+                      "packfile segments created");
+  registry.GetCounter(kPackQuarantinesTotal,
+                      "packfile records quarantined after a fixity or "
+                      "checksum mismatch");
   registry.GetCounter(kValidationRunsTotal, "validation farm runs");
   registry.GetCounter(kValidationCellsTotal,
                       "campaign x analysis cells validated");

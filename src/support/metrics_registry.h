@@ -248,6 +248,27 @@ inline constexpr char kMigrateBytesTotal[] = "daspos_migrate_bytes_total";
 inline constexpr char kMigrateResumedTotal[] = "daspos_migrate_resumed_total";
 inline constexpr char kMigrateVerifyFailuresTotal[] =
     "daspos_migrate_verify_failures_total";
+// Packfile backend (src/archive/pack_store.cc).
+inline constexpr char kPackAppendsTotal[] = "daspos_pack_appends_total";
+inline constexpr char kPackAppendBytesTotal[] =
+    "daspos_pack_append_bytes_total";
+inline constexpr char kPackReadsTotal[] = "daspos_pack_reads_total";
+inline constexpr char kPackReadBytesTotal[] = "daspos_pack_read_bytes_total";
+inline constexpr char kPackMmapReadsTotal[] = "daspos_pack_mmap_reads_total";
+inline constexpr char kPackCompressedBlobsTotal[] =
+    "daspos_pack_compressed_blobs_total";
+inline constexpr char kPackCompressionSavedBytesTotal[] =
+    "daspos_pack_compression_saved_bytes_total";
+inline constexpr char kPackChecksumFailuresTotal[] =
+    "daspos_pack_checksum_failures_total";
+inline constexpr char kPackIndexRebuildsTotal[] =
+    "daspos_pack_index_rebuilds_total";
+inline constexpr char kPackTornRecordsTotal[] =
+    "daspos_pack_torn_records_total";
+inline constexpr char kPackSegmentsCreatedTotal[] =
+    "daspos_pack_segments_created_total";
+inline constexpr char kPackQuarantinesTotal[] =
+    "daspos_pack_quarantines_total";
 // Continuous-validation farm (src/validate).
 inline constexpr char kValidationRunsTotal[] = "daspos_validation_runs_total";
 inline constexpr char kValidationCellsTotal[] =

@@ -1,0 +1,88 @@
+#include "support/mmap.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace daspos {
+
+Result<MemoryMappedFile> MemoryMappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("mmap open failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::IOError("mmap fstat failed for " + path + ": " +
+                           std::strerror(saved));
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    // mmap(len=0) is EINVAL; an empty file is a valid (empty) mapping.
+    ::close(fd);
+    return MemoryMappedFile(nullptr, 0);
+  }
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  int saved = errno;
+  // The mapping keeps its own reference to the file; the fd is not needed
+  // after mmap returns.
+  ::close(fd);
+  if (data == MAP_FAILED) {
+    return Status::IOError("mmap failed for " + path + ": " +
+                           std::strerror(saved));
+  }
+  MemoryMappedFile file(data, size);
+  file.mapped_ = true;
+  return file;
+}
+
+MemoryMappedFile::~MemoryMappedFile() {
+  if (mapped_ && data_ != nullptr) ::munmap(data_, size_);
+}
+
+MemoryMappedFile::MemoryMappedFile(MemoryMappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), mapped_(other.mapped_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MemoryMappedFile& MemoryMappedFile::operator=(
+    MemoryMappedFile&& other) noexcept {
+  if (this != &other) {
+    if (mapped_ && data_ != nullptr) ::munmap(data_, size_);
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+Status DropFileCache(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("drop-cache open failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+#if defined(POSIX_FADV_DONTNEED)
+  // Dirty pages cannot be evicted, so flush them first; both calls are
+  // advisory and their failure only means the next read may be warm.
+  (void)::fdatasync(fd);
+  (void)::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+#endif
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace daspos

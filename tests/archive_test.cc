@@ -9,6 +9,7 @@
 #include "archive/archive.h"
 #include "support/compress.h"
 #include "archive/object_store.h"
+#include "archive/pack_store.h"
 #include "archive/resilient_store.h"
 #include "support/fault.h"
 #include "support/metrics_registry.h"
@@ -340,6 +341,47 @@ TEST(ArchiveTest, RetrieveUnknownIdFails) {
   EXPECT_TRUE(archive.Retrieve("0123abcd").status().IsNotFound());
 }
 
+TEST(ArchiveTest, FullLifecycleOverPackBackend) {
+  // The archive layer is backend-agnostic: deposit, retrieve, catalog
+  // recovery across a process restart, and a fixity audit all behave
+  // identically when the store is packfiles instead of loose files.
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("daspos_archive_pack_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(root);
+  std::string archive_id;
+  {
+    PackObjectStore store(root);
+    Archive archive(&store);
+    auto id = archive.Deposit(MakeSubmission());
+    ASSERT_TRUE(id.ok());
+    archive_id = *id;
+    auto package = archive.Retrieve(archive_id);
+    ASSERT_TRUE(package.ok());
+    EXPECT_EQ(package->content.files.size(), MakeSubmission().files.size());
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  // Restart: a fresh Archive over the reopened (sealed, mmap-served) pack.
+  PackObjectStore store(root);
+  Archive fresh(&store);
+  auto found = fresh.RecoverCatalog();
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 1u);
+  auto package = fresh.Retrieve(archive_id);
+  ASSERT_TRUE(package.ok());
+  for (const PackageFile& file : package->content.files) {
+    EXPECT_EQ(Sha256::HashHex(file.bytes),
+              Sha256::HashHex(MakeSubmission()
+                                  .files[&file - package->content.files.data()]
+                                  .bytes));
+  }
+  FixityReport audit = fresh.AuditFixity();
+  EXPECT_TRUE(audit.clean());
+  EXPECT_GT(audit.objects_checked, 0u);
+  std::filesystem::remove_all(root);
+}
+
 // ------------------------------------------------- Key validation (PR 3) --
 
 TEST(ObjectIdValidationTest, AcceptsCanonicalIds) {
@@ -402,10 +444,12 @@ TEST_F(FileObjectStoreTest, RecoverCatalogOverUnreadableStoreIsNotVacuous) {
       registry.CounterValue(metric_names::kArchiveWalkErrorsTotal);
   FileObjectStore store(root_);
   Archive archive(&store);
+  // Since the streaming-walk rework, recovery REFUSES over an unreadable
+  // store instead of certifying an empty catalog: "found nothing" and
+  // "could not look" are now different outcomes by construction.
   auto recovered = archive.RecoverCatalog();
-  ASSERT_TRUE(recovered.ok());
-  EXPECT_EQ(*recovered, 0u);
-  // The caller can tell "found nothing" from "could not look".
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_TRUE(recovered.status().IsIOError());
   EXPECT_GE(registry.CounterValue(metric_names::kArchiveWalkErrorsTotal) -
                 before,
             1u);

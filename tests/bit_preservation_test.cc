@@ -10,6 +10,7 @@
 
 #include "archive/migrate.h"
 #include "archive/object_store.h"
+#include "archive/pack_store.h"
 #include "archive/replicated_store.h"
 #include "archive/resilient_store.h"
 #include "archive/scrub.h"
@@ -456,6 +457,134 @@ TEST_F(BitPreservationTest, MigrateFromReplicatedSourceHealsWhileMoving) {
   EXPECT_EQ(report->copied, 1u);
   EXPECT_TRUE(target.Verify(*id).ok());
   EXPECT_TRUE(r0.Verify(*id).ok());  // read-repair healed the source too
+}
+
+// ------------------------------------------- Pack backend in the fleet --
+
+/// Flips a payload byte of the first record in a pack store's first
+/// segment (simulated media rot on the packed copy).
+void RotPack(const std::string& root) {
+  const std::string path = root + "/segments/000000.seg";
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good()) << path;
+  const std::streamoff payload =
+      static_cast<std::streamoff>(kPackSegmentHeaderSize) +
+      static_cast<std::streamoff>(kPackRecordHeaderSize);
+  file.seekg(payload);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5a);
+  file.seekp(payload);
+  file.write(&byte, 1);
+}
+
+TEST_F(BitPreservationTest, ReadRepairHealsRottedPackReplica) {
+  // Mixed-backend replica set: the packfile replica rots, the loose
+  // replicas stay healthy, and the falling-back Get heals the packed copy
+  // by re-putting (a superseding record in the pack).
+  PackObjectStore r0(Dir("pack0"));
+  FileObjectStore r1(Dir("r1")), r2(Dir("r2"));
+  ReplicatedObjectStore store({&r0, &r1, &r2});
+  auto id = store.Put("packed custody");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(r0.Flush().ok());  // seal: the rot is read through the mmap
+  RotPack(Dir("pack0"));
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const uint64_t repairs_before =
+      registry.CounterValue(metric_names::kArchiveReadRepairsTotal);
+  auto got = store.Get(*id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "packed custody");
+  EXPECT_EQ(registry.CounterValue(metric_names::kArchiveReadRepairsTotal),
+            repairs_before + 1);
+  EXPECT_TRUE(r0.Verify(*id).ok());
+  EXPECT_EQ(r0.QuarantinedIds(), std::vector<std::string>{*id});
+}
+
+TEST_F(BitPreservationTest, ScrubHealsRotOnPackReplica) {
+  FileObjectStore r0(Dir("r0")), r1(Dir("r1"));
+  PackObjectStore r2(Dir("pack2"));
+  ReplicatedObjectStore store({&r0, &r1, &r2});
+  std::vector<std::string> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto id = store.Put("mixed fleet object " + std::to_string(i));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(r2.Flush().ok());
+  RotPack(Dir("pack2"));  // rots whichever object sits first in segment 0
+
+  auto report = ScrubReplicas({&r0, &r1, &r2}, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->objects_checked, 4u);
+  EXPECT_EQ(report->repaired, 1u);
+  EXPECT_TRUE(report->unrepairable.empty());
+  EXPECT_EQ(report->Verdict(), ScrubVerdict::kPass);
+  for (const std::string& id : ids) {
+    EXPECT_TRUE(r2.Verify(id).ok());
+  }
+}
+
+TEST_F(BitPreservationTest, ScrubBackfillsEmptyPackReplica) {
+  // Promote a loose replica set to include a brand-new pack replica: the
+  // scrubber backfills every object into the packfiles.
+  FileObjectStore r0(Dir("r0")), r1(Dir("r1"));
+  ReplicatedObjectStore loose({&r0, &r1});
+  std::vector<std::string> ids;
+  for (int i = 0; i < 5; ++i) {
+    auto id = loose.Put("backfill object " + std::to_string(i));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  PackObjectStore pack(Dir("pack"));
+  auto report = ScrubReplicas({&r0, &r1, &pack}, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->repaired, 5u);
+  EXPECT_EQ(report->Verdict(), ScrubVerdict::kPass);
+  for (const std::string& id : ids) {
+    EXPECT_TRUE(pack.Verify(id).ok());
+  }
+}
+
+TEST_F(BitPreservationTest, RepackMigrationResumesAfterFaultAbort) {
+  // The `daspos repack` path: loose source, pack target, fault-aborted
+  // mid-copy, resumed from durable state — every digest byte-identical.
+  FileObjectStore source(Dir("loose"));
+  std::vector<std::string> ids;
+  for (int i = 0; i < 6; ++i) {
+    auto id = source.Put("repacked object " + std::to_string(i));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+
+  PackObjectStore target(Dir("pack"));
+  MigrateOptions options;
+  options.state_dir = Dir("state");
+  options.batch_size = 2;
+  auto spec = FaultSpec::Parse("nth=4");
+  ASSERT_TRUE(spec.ok());
+  FaultPlan plan(*spec);
+  options.faults = &plan;
+  auto crashed = MigrateGeneration(source, target, options);
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_EQ(ReadGeneration(Dir("state")), 0u);
+
+  options.faults = nullptr;
+  auto resumed = MigrateGeneration(source, target, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->verified, 6u);
+  EXPECT_GT(resumed->skipped, 0u);  // the pre-crash copies were reused
+  EXPECT_EQ(ReadGeneration(Dir("state")), 1u);
+  ASSERT_TRUE(target.Flush().ok());
+
+  PackObjectStore reopened(Dir("pack"));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto bytes = reopened.Get(ids[i]);
+    ASSERT_TRUE(bytes.ok()) << ids[i];
+    EXPECT_EQ(*bytes, "repacked object " + std::to_string(i));
+    EXPECT_EQ(Sha256::HashHex(*bytes), ids[i]);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,596 @@
+// Tests for the packfile object-store backend: roundtrips, sealing + mmap
+// reads, block compression, the two-tier integrity model (fast checksum
+// gate on Get, SHA-256 authority on Verify), quarantine + heal semantics,
+// torn-tail and torn-index recovery, segment rollover, and the backend
+// spec grammar.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "archive/backend.h"
+#include "archive/object_store.h"
+#include "archive/pack_store.h"
+#include "support/checksum.h"
+#include "support/io.h"
+#include "support/metrics_registry.h"
+#include "support/sha256.h"
+#include "support/threadpool.h"
+
+namespace daspos {
+namespace {
+
+namespace fs = std::filesystem;
+
+uint64_t CounterNow(const char* name) {
+  return MetricsRegistry::Global().CounterValue(name);
+}
+
+class PackStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = (fs::temp_directory_path() /
+             ("daspos_pack_" + std::string(::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name()) +
+              "_" + std::to_string(::getpid())))
+                .string();
+    fs::remove_all(base_);
+  }
+  void TearDown() override { fs::remove_all(base_); }
+
+  std::string Dir(const std::string& name) const { return base_ + "/" + name; }
+
+  static std::string SegPath(const std::string& root, unsigned segment = 0) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "%06u.seg", segment);
+    return root + "/segments/" + name;
+  }
+  static std::string IdxPath(const std::string& root, unsigned segment = 0) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "%06u.idx", segment);
+    return root + "/segments/" + name;
+  }
+
+  /// XORs one byte of a file in place (simulated media rot).
+  static void FlipByte(const std::string& path, uint64_t offset) {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good()) << path;
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.write(&byte, 1);
+  }
+
+  static void WriteAt(const std::string& path, uint64_t offset,
+                      const std::string& bytes) {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good()) << path;
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  static std::string EncodeU64(uint64_t value) {
+    std::string out(8, '\0');
+    for (int i = 0; i < 8; ++i) {
+      out[static_cast<size_t>(i)] =
+          static_cast<char>((value >> (8 * i)) & 0xff);
+    }
+    return out;
+  }
+
+  std::string base_;
+};
+
+// Payload of the first record: 16-byte segment header + 64-byte record
+// header.
+constexpr uint64_t kFirstPayload =
+    kPackSegmentHeaderSize + kPackRecordHeaderSize;
+
+// ---------------------------------------------------------- Roundtrips --
+
+TEST_F(PackStoreTest, PutGetRoundtripContentAddressed) {
+  PackObjectStore store(Dir("pack"));
+  auto id = store.Put("packed preservation payload");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, Sha256::HashHex("packed preservation payload"));
+  EXPECT_TRUE(store.Has(*id));
+  EXPECT_EQ(*store.Get(*id), "packed preservation payload");
+  EXPECT_TRUE(store.Verify(*id).ok());
+  EXPECT_TRUE(store.Get(std::string(64, 'f')).status().IsNotFound());
+  EXPECT_FALSE(store.Get("not-an-id").ok());
+}
+
+TEST_F(PackStoreTest, DeduplicatesIdenticalContent) {
+  PackObjectStore store(Dir("pack"));
+  const uint64_t appends_before = CounterNow("daspos_pack_appends_total");
+  auto first = store.Put("same bytes");
+  auto second = store.Put("same bytes");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(CounterNow("daspos_pack_appends_total"), appends_before + 1);
+  EXPECT_EQ(store.Ids().size(), 1u);
+}
+
+TEST_F(PackStoreTest, ReopenServesSealedSegmentsViaMmap) {
+  std::vector<std::string> ids;
+  {
+    PackObjectStore store(Dir("pack"));
+    for (int i = 0; i < 5; ++i) {
+      auto id = store.Put("blob number " + std::to_string(i));
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  ASSERT_TRUE(FileExists(IdxPath(Dir("pack"))));
+
+  PackObjectStore reopened(Dir("pack"));
+  const uint64_t mmap_before = CounterNow("daspos_pack_mmap_reads_total");
+  const uint64_t rebuilds_before =
+      CounterNow("daspos_pack_index_rebuilds_total");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(*reopened.Get(ids[static_cast<size_t>(i)]),
+              "blob number " + std::to_string(i));
+  }
+  // A sealed store reopens off its sidecar (no rebuild scan) and serves
+  // every cold read zero-copy from the mapping.
+  EXPECT_EQ(CounterNow("daspos_pack_mmap_reads_total"), mmap_before + 5);
+  EXPECT_EQ(CounterNow("daspos_pack_index_rebuilds_total"), rebuilds_before);
+  EXPECT_EQ(reopened.TotalBytes(), 5u * std::string("blob number 0").size());
+}
+
+TEST_F(PackStoreTest, MissingSidecarTriggersRebuildScan) {
+  std::string id;
+  {
+    PackObjectStore store(Dir("pack"));
+    auto put = store.Put("survives without its index");
+    ASSERT_TRUE(put.ok());
+    id = *put;
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  ASSERT_TRUE(RemoveFile(IdxPath(Dir("pack"))).ok());
+
+  const uint64_t rebuilds_before =
+      CounterNow("daspos_pack_index_rebuilds_total");
+  PackObjectStore reopened(Dir("pack"));
+  EXPECT_EQ(CounterNow("daspos_pack_index_rebuilds_total"),
+            rebuilds_before + 1);
+  EXPECT_EQ(*reopened.Get(id), "survives without its index");
+}
+
+TEST_F(PackStoreTest, GarbageSidecarTriggersRebuildScan) {
+  std::string id;
+  {
+    PackObjectStore store(Dir("pack"));
+    auto put = store.Put("index is only an optimization");
+    ASSERT_TRUE(put.ok());
+    id = *put;
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  std::ofstream(IdxPath(Dir("pack")), std::ios::binary)
+      << "not a pack index at all";
+
+  PackObjectStore reopened(Dir("pack"));
+  EXPECT_EQ(*reopened.Get(id), "index is only an optimization");
+  EXPECT_TRUE(reopened.Verify(id).ok());
+}
+
+// --------------------------------------------------------- Compression --
+
+TEST_F(PackStoreTest, CompressionRoundtripsAndSavesSpace) {
+  PackOptions options;
+  options.compress = true;
+  std::string compressible(16 * 1024, 'r');
+  // Deterministic incompressible bytes: the codec must store them raw.
+  std::string incompressible(4096, '\0');
+  std::mt19937 rng(1234567u);
+  for (char& byte : incompressible) {
+    byte = static_cast<char>(rng() & 0xff);
+  }
+
+  std::string id_text, id_noise;
+  {
+    PackObjectStore store(Dir("packz"), options);
+    auto text = store.Put(compressible);
+    auto noise = store.Put(incompressible);
+    ASSERT_TRUE(text.ok());
+    ASSERT_TRUE(noise.ok());
+    id_text = *text;
+    id_noise = *noise;
+    // Identity is over the raw bytes: compression never changes ids.
+    EXPECT_EQ(id_text, Sha256::HashHex(compressible));
+    EXPECT_LT(store.StoredBytes(), store.TotalBytes());
+    ASSERT_TRUE(store.Flush().ok());
+  }
+
+  PackObjectStore reopened(Dir("packz"), options);
+  EXPECT_EQ(*reopened.Get(id_text), compressible);
+  EXPECT_EQ(*reopened.Get(id_noise), incompressible);
+  EXPECT_TRUE(reopened.Verify(id_text).ok());
+  EXPECT_TRUE(reopened.Verify(id_noise).ok());
+  EXPECT_EQ(reopened.TotalBytes(),
+            compressible.size() + incompressible.size());
+}
+
+TEST_F(PackStoreTest, CompressedStoreReadableWithoutCompressionOption) {
+  // `compress` is a write-side policy; record flags make every store
+  // readable by every configuration.
+  PackOptions compressing;
+  compressing.compress = true;
+  std::string id;
+  {
+    PackObjectStore store(Dir("pack"), compressing);
+    auto put = store.Put(std::string(8192, 'z'));
+    ASSERT_TRUE(put.ok());
+    id = *put;
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  PackObjectStore plain(Dir("pack"));
+  EXPECT_EQ(*plain.Get(id), std::string(8192, 'z'));
+}
+
+// --------------------------------------------- Integrity gates + heal --
+
+TEST_F(PackStoreTest, ChecksumGateQuarantinesRotThenRePutHeals) {
+  const std::string payload = "bytes that will rot on disk";
+  std::string id;
+  {
+    PackObjectStore store(Dir("pack"));
+    auto put = store.Put(payload);
+    ASSERT_TRUE(put.ok());
+    id = *put;
+    ASSERT_TRUE(store.Flush().ok());
+  }
+
+  // Rot one payload byte behind the store's back, then reopen (the sealed
+  // sidecar still indexes the record — rot is found at read time, exactly
+  // like the loose backend).
+  FlipByte(SegPath(Dir("pack")), kFirstPayload + 3);
+  PackObjectStore store(Dir("pack"));
+  const uint64_t failures_before =
+      CounterNow("daspos_pack_checksum_failures_total");
+  auto rotted = store.Get(id);
+  EXPECT_TRUE(rotted.status().IsCorruption());
+  EXPECT_EQ(CounterNow("daspos_pack_checksum_failures_total"),
+            failures_before + 1);
+  // The condemned record is dropped from the index; the quarantine log
+  // remembers it.
+  EXPECT_TRUE(store.Get(id).status().IsNotFound());
+  EXPECT_FALSE(store.Has(id));
+  EXPECT_EQ(store.QuarantinedIds(), std::vector<std::string>{id});
+  EXPECT_TRUE(FileExists(Dir("pack") + "/quarantine.jsonl"));
+
+  // Re-putting the good bytes appends a superseding record: that IS the
+  // heal (read-repair and scrub rely on it).
+  auto healed = store.Put(payload);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(*healed, id);
+  EXPECT_EQ(*store.Get(id), payload);
+  EXPECT_TRUE(store.Verify(id).ok());
+  // History survives the heal — the rotted bytes are still on disk as
+  // evidence, and QuarantinedIds reports everything ever condemned.
+  EXPECT_EQ(store.QuarantinedIds(), std::vector<std::string>{id});
+}
+
+TEST_F(PackStoreTest, QuarantineStandsAcrossReopen) {
+  std::string id;
+  {
+    PackObjectStore store(Dir("pack"));
+    auto put = store.Put("rot me");
+    ASSERT_TRUE(put.ok());
+    id = *put;
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  FlipByte(SegPath(Dir("pack")), kFirstPayload);
+  {
+    PackObjectStore store(Dir("pack"));
+    EXPECT_TRUE(store.Get(id).status().IsCorruption());
+  }
+  // The quarantine log replays on open: the condemned record must not be
+  // resurrected by the (still valid-looking) sidecar.
+  PackObjectStore reopened(Dir("pack"));
+  EXPECT_TRUE(reopened.Get(id).status().IsNotFound());
+  EXPECT_EQ(reopened.QuarantinedIds(), std::vector<std::string>{id});
+
+  // And a heal survives ITS reopen: the superseding record wins over the
+  // replayed quarantine.
+  ASSERT_TRUE(reopened.Put("rot me").ok());
+  ASSERT_TRUE(reopened.Flush().ok());
+  PackObjectStore healed(Dir("pack"));
+  EXPECT_EQ(*healed.Get(id), "rot me");
+}
+
+// The two-tier model's deliberate gap, pinned down: an adversarial (or
+// astronomically unlucky) corruption that rewrites payload AND matching
+// checksum slips past the fast Get gate — and Verify, which always
+// re-hashes with SHA-256, still catches it. This is why scrub and audit
+// run Verify, never bare Get.
+TEST_F(PackStoreTest, VerifyCatchesForgedChecksumThatGetMisses) {
+  const std::string payload = "authority is sha-256, not the fast gate";
+  std::string id;
+  {
+    PackObjectStore store(Dir("pack"));
+    auto put = store.Put(payload);
+    ASSERT_TRUE(put.ok());
+    id = *put;
+    ASSERT_TRUE(store.Flush().ok());
+  }
+
+  // Forge: flip a payload byte, recompute the 64-bit checksum over the
+  // forged payload, and patch it into the record header; drop the sidecar
+  // so the rebuild scan (which trusts the header checksum) re-indexes it.
+  std::string forged = payload;
+  forged[5] = static_cast<char>(forged[5] ^ 0x5a);
+  WriteAt(SegPath(Dir("pack")), kFirstPayload, forged);
+  WriteAt(SegPath(Dir("pack")),
+          kPackSegmentHeaderSize + kPackRecordChecksumOffset,
+          EncodeU64(Checksum64(forged)));
+  ASSERT_TRUE(RemoveFile(IdxPath(Dir("pack"))).ok());
+
+  PackObjectStore store(Dir("pack"));
+  auto got = store.Get(id);
+  ASSERT_TRUE(got.ok());      // the gate passes...
+  EXPECT_EQ(*got, forged);    // ...serving the forged bytes
+  auto verified = store.Verify(id);
+  EXPECT_TRUE(verified.IsCorruption());  // the authority does not
+  EXPECT_TRUE(store.Get(id).status().IsNotFound());
+  EXPECT_EQ(store.QuarantinedIds(), std::vector<std::string>{id});
+}
+
+// ------------------------------------------------------ Crash recovery --
+
+TEST_F(PackStoreTest, TornTailTruncatedAndAppendsResume) {
+  std::vector<std::string> ids;
+  {
+    PackObjectStore store(Dir("pack"));
+    for (int i = 0; i < 3; ++i) {
+      auto id = store.Put("record " + std::to_string(i));
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    // No Flush: simulate a crash mid-append by truncating the last record's
+    // payload and leaving no sidecar behind.
+  }
+  ASSERT_TRUE(RemoveFile(IdxPath(Dir("pack"))).ok());
+  const uint64_t full_size = fs::file_size(SegPath(Dir("pack")));
+  fs::resize_file(SegPath(Dir("pack")), full_size - 3);
+
+  const uint64_t torn_before = CounterNow("daspos_pack_torn_records_total");
+  PackObjectStore store(Dir("pack"));
+  EXPECT_EQ(CounterNow("daspos_pack_torn_records_total"), torn_before + 1);
+  // Everything before the torn record survives; the torn one is gone.
+  EXPECT_EQ(*store.Get(ids[0]), "record 0");
+  EXPECT_EQ(*store.Get(ids[1]), "record 1");
+  EXPECT_TRUE(store.Get(ids[2]).status().IsNotFound());
+  // The torn bytes were truncated away, so the segment appends cleanly.
+  auto again = store.Put("record 2");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, ids[2]);
+  EXPECT_EQ(*store.Get(ids[2]), "record 2");
+  EXPECT_EQ(store.SegmentCount(), 1u);
+}
+
+TEST_F(PackStoreTest, SealedSegmentDamageIsLeftInPlaceAsEvidence) {
+  PackOptions options;
+  // 100-byte payloads + 64-byte headers against a 200-byte cap: exactly one
+  // record per segment.
+  options.max_segment_bytes = 200;
+  auto payload = [](int i) { return std::string(100, static_cast<char>('a' + i)); };
+  std::vector<std::string> ids;
+  {
+    PackObjectStore store(Dir("pack"), options);
+    for (int i = 0; i < 3; ++i) {
+      auto id = store.Put(payload(i));
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  ASSERT_EQ(fs::file_size(SegPath(Dir("pack"), 1)),
+            fs::file_size(SegPath(Dir("pack"), 0)));
+
+  // Smash the record header magic inside sealed (non-tail) segment 1 and
+  // force rebuild scans everywhere.
+  WriteAt(SegPath(Dir("pack"), 1), kPackSegmentHeaderSize, "XXXX");
+  const uint64_t damaged_size = fs::file_size(SegPath(Dir("pack"), 1));
+  for (unsigned segment = 0; segment < 3; ++segment) {
+    ASSERT_TRUE(RemoveFile(IdxPath(Dir("pack"), segment)).ok());
+  }
+
+  PackObjectStore store(Dir("pack"), options);
+  // Only the tail segment may be truncated; the damaged sealed segment
+  // keeps its bytes on disk for forensics.
+  EXPECT_EQ(fs::file_size(SegPath(Dir("pack"), 1)), damaged_size);
+  EXPECT_EQ(*store.Get(ids[0]), payload(0));
+  EXPECT_TRUE(store.Get(ids[1]).status().IsNotFound());
+  EXPECT_EQ(*store.Get(ids[2]), payload(2));
+}
+
+// ------------------------------------------------------------ Rollover --
+
+TEST_F(PackStoreTest, SegmentsRollOverAtSizeCap) {
+  PackOptions options;
+  options.max_segment_bytes = 256;
+  PackObjectStore store(Dir("pack"), options);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto id = store.Put(std::string(100, static_cast<char>('a' + i)));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  // 100-byte payloads + 64-byte headers against a 256-byte cap: one record
+  // per segment.
+  EXPECT_EQ(store.SegmentCount(), 4u);
+  // An oversized blob is stored anyway, alone in its own segment.
+  auto big = store.Put(std::string(1000, 'Z'));
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(store.Flush().ok());
+
+  PackObjectStore reopened(Dir("pack"), options);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(*reopened.Get(ids[static_cast<size_t>(i)]),
+              std::string(100, static_cast<char>('a' + i)));
+  }
+  EXPECT_EQ(*reopened.Get(*big), std::string(1000, 'Z'));
+  // Every sealed segment has its sidecar.
+  for (size_t segment = 0; segment < reopened.SegmentCount(); ++segment) {
+    EXPECT_TRUE(FileExists(IdxPath(Dir("pack"),
+                                   static_cast<unsigned>(segment))))
+        << segment;
+  }
+}
+
+// ------------------------------------------------------------ PutBatch --
+
+TEST_F(PackStoreTest, PutBatchMatchesSerialIdsAtAnyThreadCount) {
+  std::vector<std::string> blobs;
+  for (int i = 0; i < 24; ++i) {
+    blobs.push_back("batched blob " + std::to_string(i * i));
+  }
+  std::vector<std::string_view> views(blobs.begin(), blobs.end());
+
+  PackObjectStore store(Dir("pack"));
+  ThreadPool pool(4);
+  auto ids = store.PutBatch(views, &pool);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), blobs.size());
+  for (size_t i = 0; i < blobs.size(); ++i) {
+    EXPECT_EQ((*ids)[i], Sha256::HashHex(blobs[i]));
+    EXPECT_EQ(*store.Get((*ids)[i]), blobs[i]);
+  }
+  // Re-batching identical content appends nothing.
+  const uint64_t appends_before = CounterNow("daspos_pack_appends_total");
+  auto again = store.PutBatch(views, &pool);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *ids);
+  EXPECT_EQ(CounterNow("daspos_pack_appends_total"), appends_before);
+}
+
+// ----------------------------------------------------------- ForEachId --
+
+TEST_F(PackStoreTest, ForEachIdAscendingAndAbortable) {
+  PackObjectStore store(Dir("pack"));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(store.Put("enumerate " + std::to_string(i)).ok());
+  }
+  std::vector<std::string> walked;
+  ASSERT_TRUE(store
+                  .ForEachId([&walked](const std::string& id) {
+                    walked.push_back(id);
+                    return Status::OK();
+                  })
+                  .ok());
+  std::vector<std::string> ids = store.Ids();
+  EXPECT_EQ(walked, ids);
+  EXPECT_TRUE(std::is_sorted(walked.begin(), walked.end()));
+
+  // A non-OK callback aborts the walk immediately and surfaces verbatim.
+  size_t visited = 0;
+  Status aborted = store.ForEachId([&visited](const std::string&) {
+    if (++visited == 3) return Status::Corruption("stop here");
+    return Status::OK();
+  });
+  EXPECT_TRUE(aborted.IsCorruption());
+  EXPECT_EQ(visited, 3u);
+}
+
+// -------------------------------------------------------- Backend spec --
+
+TEST_F(PackStoreTest, ParseStoreSpecGrammar) {
+  auto file_spec = ParseStoreSpec("file:/x/loose");
+  ASSERT_TRUE(file_spec.ok());
+  EXPECT_EQ(file_spec->backend, StoreSpec::Backend::kFile);
+  EXPECT_EQ(file_spec->root, "/x/loose");
+  EXPECT_FALSE(file_spec->compress);
+
+  auto pack_spec = ParseStoreSpec("pack:relative/dir");
+  ASSERT_TRUE(pack_spec.ok());
+  EXPECT_EQ(pack_spec->backend, StoreSpec::Backend::kPack);
+  EXPECT_EQ(pack_spec->root, "relative/dir");
+  EXPECT_FALSE(pack_spec->compress);
+  EXPECT_EQ(BackendName(*pack_spec), "pack");
+
+  auto packz_spec = ParseStoreSpec("pack+z:/x/z");
+  ASSERT_TRUE(packz_spec.ok());
+  EXPECT_EQ(packz_spec->backend, StoreSpec::Backend::kPack);
+  EXPECT_TRUE(packz_spec->compress);
+  EXPECT_EQ(BackendName(*packz_spec), "pack+z");
+
+  // Typo'd schemes fail loudly instead of creating a literal "pak:x" dir.
+  EXPECT_TRUE(ParseStoreSpec("pak:x").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseStoreSpec("").status().IsInvalidArgument());
+  // A colon after the first slash is path punctuation, not a scheme.
+  auto colon_path = ParseStoreSpec("/data/odd:name");
+  ASSERT_TRUE(colon_path.ok());
+  EXPECT_EQ(colon_path->root, "/data/odd:name");
+}
+
+TEST_F(PackStoreTest, BareDirSniffsLayout) {
+  // A pack store's segments/ directory is the layout fingerprint.
+  std::string id;
+  {
+    PackObjectStore pack(Dir("pack"));
+    auto put = pack.Put("sniff me");
+    ASSERT_TRUE(put.ok());
+    id = *put;
+    ASSERT_TRUE(pack.Flush().ok());
+  }
+  auto sniffed = ParseStoreSpec(Dir("pack"));
+  ASSERT_TRUE(sniffed.ok());
+  EXPECT_EQ(sniffed->backend, StoreSpec::Backend::kPack);
+
+  auto opened = OpenObjectStore(Dir("pack"));
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*(*opened)->Get(id), "sniff me");
+
+  // A loose (or not-yet-existing) directory sniffs to the file backend.
+  FileObjectStore loose(Dir("loose"));
+  ASSERT_TRUE(loose.Put("loose bytes").ok());
+  auto loose_spec = ParseStoreSpec(Dir("loose"));
+  ASSERT_TRUE(loose_spec.ok());
+  EXPECT_EQ(loose_spec->backend, StoreSpec::Backend::kFile);
+  auto fresh = ParseStoreSpec(Dir("does-not-exist"));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->backend, StoreSpec::Backend::kFile);
+}
+
+TEST_F(PackStoreTest, OpenObjectStoreRoundtripsAcrossBackends) {
+  // The same bytes land under the same id on every backend — the digest is
+  // the contract that makes migration and replication backend-agnostic.
+  const std::string payload = "identical digests everywhere";
+  std::string file_id, pack_id, packz_id;
+  {
+    auto file_store = OpenObjectStore("file:" + Dir("f"));
+    ASSERT_TRUE(file_store.ok());
+    auto id = (*file_store)->Put(payload);
+    ASSERT_TRUE(id.ok());
+    file_id = *id;
+  }
+  {
+    auto pack_store = OpenObjectStore("pack:" + Dir("p"));
+    ASSERT_TRUE(pack_store.ok());
+    auto id = (*pack_store)->Put(payload);
+    ASSERT_TRUE(id.ok());
+    pack_id = *id;
+  }
+  {
+    auto packz_store = OpenObjectStore("pack+z:" + Dir("z"));
+    ASSERT_TRUE(packz_store.ok());
+    auto id = (*packz_store)->Put(payload);
+    ASSERT_TRUE(id.ok());
+    packz_id = *id;
+  }
+  EXPECT_EQ(file_id, pack_id);
+  EXPECT_EQ(pack_id, packz_id);
+  EXPECT_EQ(file_id, Sha256::HashHex(payload));
+}
+
+}  // namespace
+}  // namespace daspos

@@ -1,5 +1,5 @@
 #!/bin/bash
-# Benchmark driver for the committed BENCH_8.json performance record.
+# Benchmark driver for the committed BENCH_9.json performance record.
 #
 #   tools/bench.sh           # Release build, full-size measured sections
 #   tools/bench.sh --smoke   # tiny-N sizes for CI (perf-smoke job)
@@ -9,9 +9,9 @@
 # bench_bit_preservation) with fixed seeds, skips the google-benchmark
 # micro-benches (--benchmark_filter='^$' matches no name), and assembles
 # the JSONL records the sections append into a JSON array at
-# BENCH_8.json. Every section self-checks its output (serial/parallel
-# digests, rot repaired, migrated bytes re-hashed), so a correctness
-# break fails the run.
+# BENCH_9.json. Every section self-checks its output (serial/parallel
+# digests, rot repaired, migrated bytes re-hashed, cross-backend id
+# identity), so a correctness break fails the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,7 +51,7 @@ for bench in bench_reco bench_tier_reduction bench_archive \
   "./build-bench/bench/$bench" --benchmark_filter='^$'
 done
 
-OUT=BENCH_8.json
+OUT=BENCH_9.json
 {
   echo '['
   sed '$!s/$/,/; s/^/  /' "$JSONL"

@@ -77,13 +77,17 @@ if [ "$RUN_CHAOS" = 1 ]; then
   echo "==> chaos: DASPOS_SANITIZE=thread build + fault-tolerance suite"
   cmake -B build-tsan -S . -DDASPOS_SANITIZE=thread >/dev/null
   cmake --build build-tsan --target workflow_test parallel_test archive_test \
-    bit_preservation_test torture_test trace_test validate_test sync_test \
-    -j"$JOBS"
+    pack_store_test bit_preservation_test torture_test trace_test \
+    validate_test sync_test -j"$JOBS"
   ./build-tsan/tests/workflow_test \
     --gtest_filter='ChaosTest.*:JournalTest.*:WorkflowRetryTest.*:WorkflowKeepGoingTest.*'
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/archive_test \
     --gtest_filter='DigestCacheTest.*:PutBatchTest.*:FileObjectStoreTest.*'
+  # The packfile backend under the race detector: concurrent PutBatch
+  # preparation on pool workers, lock-free mmap reads of sealed segments,
+  # and the const quarantine path all share the store mutex.
+  ./build-tsan/tests/pack_store_test
   # The bit-preservation layer under the race detector: quorum writes,
   # read-repair, pool-sharded scrub batches, and parallel copy-verify all
   # mutate replica stores from pool workers.

@@ -11,8 +11,13 @@
 //   daspos lint [flags] <artifact...>         static preservation checks
 //   daspos chain <process> <n> <seed>         run the standard chain
 //   daspos metrics [<process> <n> <seed>]     Prometheus metrics dump
-//   daspos scrub <replica-dir...>             incremental fixity scrub+repair
-//   daspos migrate <src-dir> <dst-dir>        copy-verify-swap migration
+//   daspos scrub <replica-store...>           incremental fixity scrub+repair
+//   daspos migrate <src-store> <dst-store>    copy-verify-swap migration
+//   daspos repack <src-store> <dst-dir>       repack a store into packfiles
+//
+// Every <archive-store> argument is a backend spec: `file:DIR` (loose
+// sharded files), `pack:DIR` (packfiles), `pack+z:DIR` (packfiles with
+// block compression), or a bare DIR whose on-disk layout is sniffed.
 //
 // Exit code 0 on success, 1 on any error (errors go to stderr). `lint`
 // exits 1 when any finding reaches the --fail-on threshold (default:
@@ -27,8 +32,10 @@
 #include <vector>
 
 #include "archive/archive.h"
+#include "archive/backend.h"
 #include "archive/migrate.h"
 #include "archive/object_store.h"
+#include "archive/pack_store.h"
 #include "archive/scrub.h"
 #include "conditions/snapshot.h"
 #include "conditions/store.h"
@@ -100,11 +107,11 @@ int Usage() {
                "  daspos inspect <file>\n"
                "  daspos generate <process> <n-events> <seed> <out-file> "
                "[gen|raw|reco|aod]\n"
-               "  daspos holdings <archive-dir>\n"
-               "  daspos audit <archive-dir> [--threads=N]\n"
-               "  daspos ingest <archive-dir> <title> <file...> "
+               "  daspos holdings <archive-store>\n"
+               "  daspos audit <archive-store> [--threads=N]\n"
+               "  daspos ingest <archive-store> <title> <file...> "
                "[--threads=N]\n"
-               "  daspos retrieve <archive-dir> <archive-id> <out-dir>\n"
+               "  daspos retrieve <archive-store> <archive-id> <out-dir>\n"
                "  daspos lhada-run <description-file> <aod-file>\n"
                "  daspos lhada-check <description-file>\n"
                "  daspos display <reco-or-aod-file> <event-index>\n"
@@ -119,18 +126,22 @@ int Usage() {
                "  daspos lint [--json] [--fail-on=info|warning|error] "
                "[--threads=N] <artifact...>\n"
                "  daspos metrics [<process> <n-events> <seed>]\n"
-               "  daspos scrub <replica-dir...> [--cursor=DIR] "
+               "  daspos scrub <replica-store...> [--cursor=DIR] "
                "[--max-objects=N] [--rate=N]\n"
                "               [--batch=N] [--threads=N] [--json] "
                "[--report=FILE]\n"
-               "  daspos migrate <source-dir> <target-dir> [--state=DIR] "
-               "[--batch=N]\n"
+               "  daspos migrate <source-store> <target-store> "
+               "[--state=DIR] [--batch=N]\n"
                "               [--threads=N] [--inject-faults=SPEC] "
                "[--json]\n"
-               "  daspos validate <archive-dir> --capture=NAME "
+               "  daspos repack <source-store> <target-dir> [--compress] "
+               "[--state=DIR]\n"
+               "               [--batch=N] [--threads=N] "
+               "[--inject-faults=SPEC] [--json]\n"
+               "  daspos validate <archive-store> --capture=NAME "
                "[--process=P] [--events=N]\n"
                "               [--seed=N] [--analyses=A,B]\n"
-               "  daspos validate <archive-dir> [--json] [--threads=N] "
+               "  daspos validate <archive-store> [--json] [--threads=N] "
                "[--retries=N]\n"
                "               [--journal=DIR] [--report=FILE] "
                "[--prometheus=FILE]\n"
@@ -142,7 +153,10 @@ int Usage() {
                "d_meson zprime_ll\n"
                "threads: --threads=N (or DASPOS_THREADS env) sizes the "
                "worker pool;\n"
-               "         0 = one per hardware thread, 1 = strictly serial\n");
+               "         0 = one per hardware thread, 1 = strictly serial\n"
+               "stores : file:DIR (loose sharded), pack:DIR (packfiles),\n"
+               "         pack+z:DIR (compressed packfiles); a bare DIR "
+               "sniffs the layout\n");
   return 1;
 }
 
@@ -290,12 +304,13 @@ int CmdGenerate(const std::string& process_name, const std::string& count,
   return 0;
 }
 
-int CmdHoldings(const std::string& root) {
-  FileObjectStore store(root);
-  Archive archive(&store);
+int CmdHoldings(const std::string& spec) {
+  auto store = OpenObjectStore(spec);
+  if (!store.ok()) return Fail(store.status().ToString());
+  Archive archive(store->get());
   auto recovered = archive.RecoverCatalog();
   if (!recovered.ok()) return Fail(recovered.status().ToString());
-  std::printf("%zu package(s) in %s:\n", *recovered, root.c_str());
+  std::printf("%zu package(s) in %s:\n", *recovered, spec.c_str());
   for (const HoldingSummary& holding : archive.Holdings()) {
     std::printf("  %s  %-40s %2zu files %10s%s\n",
                 holding.archive_id.substr(0, 12).c_str(),
@@ -306,14 +321,15 @@ int CmdHoldings(const std::string& root) {
   return 0;
 }
 
-int CmdAudit(const std::string& root, size_t threads) {
+int CmdAudit(const std::string& spec, size_t threads) {
   // Store-walk errors around catalog recovery + audit: an unreadable store
   // enumerates as empty, so without this delta the audit of a damaged
   // archive would pass vacuously.
   const uint64_t walk_before = MetricsRegistry::Global().CounterValue(
       metric_names::kArchiveWalkErrorsTotal);
-  FileObjectStore store(root);
-  Archive archive(&store);
+  auto store = OpenObjectStore(spec);
+  if (!store.ok()) return Fail(store.status().ToString());
+  Archive archive(store->get());
   auto recovered = archive.RecoverCatalog();
   if (!recovered.ok()) return Fail(recovered.status().ToString());
   std::unique_ptr<ThreadPool> pool = MakePool(threads);
@@ -343,10 +359,11 @@ int CmdAudit(const std::string& root, size_t threads) {
 // Deposits local files into the archive as one package. With more than one
 // worker the blobs are hashed and stored concurrently (Archive::Deposit's
 // batched ingest); the resulting archive id is identical either way.
-int CmdIngest(const std::string& root, const std::string& title,
+int CmdIngest(const std::string& spec, const std::string& title,
               const std::vector<std::string>& files, size_t threads) {
-  FileObjectStore store(root);
-  Archive archive(&store);
+  auto store = OpenObjectStore(spec);
+  if (!store.ok()) return Fail(store.status().ToString());
+  Archive archive(store->get());
   auto recovered = archive.RecoverCatalog();
   if (!recovered.ok()) return Fail(recovered.status().ToString());
 
@@ -388,10 +405,11 @@ int CmdIngest(const std::string& root, const std::string& title,
   return 0;
 }
 
-int CmdRetrieve(const std::string& root, const std::string& id,
+int CmdRetrieve(const std::string& spec, const std::string& id,
                 const std::string& out_dir) {
-  FileObjectStore store(root);
-  Archive archive(&store);
+  auto store = OpenObjectStore(spec);
+  if (!store.ok()) return Fail(store.status().ToString());
+  Archive archive(store->get());
   auto package = archive.Retrieve(id);
   if (!package.ok()) return Fail(package.status().ToString());
   std::printf("package: %s\n", package->content.title.c_str());
@@ -667,13 +685,14 @@ struct ValidateFlags {
 // the archive; without it, every campaign x analysis cell is re-executed
 // through the workflow engine and compared against its archived references.
 // Exit: 0 all pass, 2 warnings only, 1 any failure (or unreadable store).
-int CmdValidate(const std::string& root, const ValidateFlags& flags) {
+int CmdValidate(const std::string& spec, const ValidateFlags& flags) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   RegisterStandardMetrics(registry);
   const uint64_t walk_before =
       registry.CounterValue(metric_names::kArchiveWalkErrorsTotal);
-  FileObjectStore store(root);
-  Archive archive(&store);
+  auto store = OpenObjectStore(spec);
+  if (!store.ok()) return Fail(store.status().ToString());
+  Archive archive(store->get());
   auto recovered = archive.RecoverCatalog();
   if (!recovered.ok()) return Fail(recovered.status().ToString());
 
@@ -840,11 +859,13 @@ struct ScrubFlags {
 // 0 pass, 2 warn (truncated pass), 1 fail (unrepairable object or error).
 int CmdScrub(const std::vector<std::string>& roots, const ScrubFlags& flags) {
   RegisterStandardMetrics();
-  std::vector<std::unique_ptr<FileObjectStore>> stores;
+  std::vector<std::unique_ptr<ObjectStore>> stores;
   std::vector<ObjectStore*> replicas;
   stores.reserve(roots.size());
   for (const std::string& root : roots) {
-    stores.push_back(std::make_unique<FileObjectStore>(root));
+    auto store = OpenObjectStore(root);
+    if (!store.ok()) return Fail(store.status().ToString());
+    stores.push_back(std::move(*store));
     replicas.push_back(stores.back().get());
   }
   ScrubOptions options;
@@ -910,14 +931,19 @@ struct MigrateFlags {
 // <target>/migrate-state; a crashed or fault-aborted run resumes from it.
 // Exit 0 only after every object re-verified on the target and the
 // generation marker swapped.
-int CmdMigrate(const std::string& source_root, const std::string& target_root,
+int CmdMigrate(const std::string& source_spec, const std::string& target_spec,
                const MigrateFlags& flags) {
   RegisterStandardMetrics();
-  FileObjectStore source(source_root);
-  FileObjectStore target(target_root);
+  auto source = OpenObjectStore(source_spec);
+  if (!source.ok()) return Fail(source.status().ToString());
+  auto parsed_target = ParseStoreSpec(target_spec);
+  if (!parsed_target.ok()) return Fail(parsed_target.status().ToString());
+  std::unique_ptr<ObjectStore> target = OpenObjectStore(*parsed_target);
   MigrateOptions options;
+  // Durable state lands inside the target's root directory (both backends
+  // ignore unknown subdirectories), so `migrate pack:dst` needs no --state.
   options.state_dir = flags.state_dir.empty()
-                          ? target_root + "/migrate-state"
+                          ? parsed_target->root + "/migrate-state"
                           : flags.state_dir;
   if (!flags.batch.empty()) {
     auto value = ParseU64(flags.batch);
@@ -938,11 +964,17 @@ int CmdMigrate(const std::string& source_root, const std::string& target_root,
     options.faults = faults.get();
   }
 
-  auto report = MigrateGeneration(source, target, options);
+  auto report = MigrateGeneration(*source->get(), *target, options);
   if (!report.ok()) {
     // Progress survives in the state dir; rerunning resumes the copy.
     return Fail(report.status().ToString() +
                 " (state preserved; rerun to resume)");
+  }
+  if (auto* pack = dynamic_cast<PackObjectStore*>(target.get())) {
+    // Seal the final segment so the next open skips the rebuild scan.
+    if (auto status = pack->Flush(); !status.ok()) {
+      return Fail(status.ToString());
+    }
   }
   if (flags.as_json) {
     std::printf("%s\n", report->ToJson().Dump(2).c_str());
@@ -954,6 +986,82 @@ int CmdMigrate(const std::string& source_root, const std::string& target_root,
                   static_cast<unsigned long long>(faults->operations()));
     }
   }
+  return 0;
+}
+
+struct RepackFlags {
+  std::string state_dir;
+  std::string batch;
+  std::string threads;
+  std::string fault_spec;
+  bool compress = false;
+  bool as_json = false;
+};
+
+// Repacks any store into the packfile backend: the copy-verify-swap
+// migrator drives the copy (so an interrupted repack resumes from its
+// cursor), then the final segment is sealed and the space accounting
+// printed. `daspos repack file:src dst` is the upgrade path for stores
+// created before the packfile backend existed.
+int CmdRepack(const std::string& source_spec, const std::string& target_dir,
+              const RepackFlags& flags) {
+  RegisterStandardMetrics();
+  auto source = OpenObjectStore(source_spec);
+  if (!source.ok()) return Fail(source.status().ToString());
+  PackOptions pack_options;
+  pack_options.compress = flags.compress;
+  PackObjectStore target(target_dir, pack_options);
+  MigrateOptions options;
+  options.state_dir = flags.state_dir.empty() ? target_dir + "/migrate-state"
+                                              : flags.state_dir;
+  if (!flags.batch.empty()) {
+    auto value = ParseU64(flags.batch);
+    if (!value.ok() || *value == 0) {
+      return Fail("bad --batch value '" + flags.batch + "'");
+    }
+    options.batch_size = static_cast<size_t>(*value);
+  }
+  auto threads = ResolveThreads(flags.threads, /*fallback=*/0);
+  if (!threads.ok()) return Fail(threads.status().ToString());
+  std::unique_ptr<ThreadPool> pool = MakePool(*threads);
+  options.pool = pool.get();
+  std::unique_ptr<FaultPlan> faults;
+  if (!flags.fault_spec.empty()) {
+    auto spec = FaultSpec::Parse(flags.fault_spec);
+    if (!spec.ok()) return Fail(spec.status().ToString());
+    faults = std::make_unique<FaultPlan>(*spec);
+    options.faults = faults.get();
+  }
+
+  auto report = MigrateGeneration(*source->get(), target, options);
+  if (!report.ok()) {
+    return Fail(report.status().ToString() +
+                " (state preserved; rerun to resume)");
+  }
+  if (auto status = target.Flush(); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  const uint64_t raw = target.TotalBytes();
+  const uint64_t stored = target.StoredBytes();
+  if (flags.as_json) {
+    std::printf("%s\n", report->ToJson().Dump(2).c_str());
+  } else {
+    std::printf("%s", report->RenderText().c_str());
+    if (faults != nullptr) {
+      std::printf("fault injection: %llu fault(s) across %llu operation(s)\n",
+                  static_cast<unsigned long long>(faults->injected()),
+                  static_cast<unsigned long long>(faults->operations()));
+    }
+  }
+  std::printf("packed %zu object(s) into %zu segment(s): %s raw",
+              target.Ids().size(), target.SegmentCount(),
+              FormatBytes(raw).c_str());
+  if (flags.compress && raw > 0) {
+    std::printf(", %s stored (%.1f%% saved)", FormatBytes(stored).c_str(),
+                100.0 * (1.0 - static_cast<double>(stored) /
+                                   static_cast<double>(raw)));
+  }
+  std::printf("\n");
   return 0;
 }
 
@@ -1192,6 +1300,32 @@ int main(int argc, char** argv) {
     }
     if (dirs.size() != 2) return Usage();
     return CmdMigrate(dirs[0], dirs[1], flags);
+  }
+  if (command == "repack" && argc >= 4) {
+    RepackFlags flags;
+    std::vector<std::string> dirs;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json") {
+        flags.as_json = true;
+      } else if (arg == "--compress") {
+        flags.compress = true;
+      } else if (arg.rfind("--state=", 0) == 0) {
+        flags.state_dir = arg.substr(8);
+      } else if (arg.rfind("--batch=", 0) == 0) {
+        flags.batch = arg.substr(8);
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        flags.threads = arg.substr(10);
+      } else if (arg.rfind("--inject-faults=", 0) == 0) {
+        flags.fault_spec = arg.substr(16);
+      } else if (!arg.empty() && arg[0] == '-') {
+        return Fail("unknown repack flag '" + arg + "'");
+      } else {
+        dirs.push_back(std::move(arg));
+      }
+    }
+    if (dirs.size() != 2) return Usage();
+    return CmdRepack(dirs[0], dirs[1], flags);
   }
   if (command == "metrics" && (argc == 2 || argc == 5)) {
     std::vector<std::string> args;
