@@ -238,6 +238,7 @@ void PackObjectStore::Open() {
     }
   }
   next_segment_ = segments.empty() ? 0 : segments.back() + 1;
+  segment_count_ = segments.size();
   ReplayQuarantineLog();
 }
 
@@ -415,7 +416,8 @@ Status PackObjectStore::EnsureActiveSegmentLocked(bool force_new) {
   if (has_active_) return Status::OK();
   DASPOS_RETURN_IF_ERROR(open_status_);
   const std::string segments_dir = root_ + "/segments";
-  if (!force_new && next_segment_ > 0) {
+  if (!force_new && next_segment_ > 0 &&
+      retired_segments_.count(next_segment_ - 1) == 0) {
     const uint32_t tail = next_segment_ - 1;
     std::error_code ec;
     uint64_t size =
@@ -425,6 +427,11 @@ Status PackObjectStore::EnsureActiveSegmentLocked(bool force_new) {
       // that only segments without a .idx ever grow — a crash after the
       // unlink just means a rebuild scan on next open.
       DASPOS_RETURN_IF_ERROR(RemoveFile(IndexPath(tail)));
+      // Any cached mapping of the tail was made at its sealed size and
+      // goes stale the moment the segment grows: retire it now so reads
+      // of records appended past the old size remap instead of mistaking
+      // the short view for a truncated record.
+      RetireMappingLocked(tail);
       auto it = segment_fds_.find(tail);
       if (it == segment_fds_.end()) {
         int fd = ::open(SegmentPath(tail).c_str(),
@@ -436,19 +443,27 @@ Status PackObjectStore::EnsureActiveSegmentLocked(bool force_new) {
         }
         it = segment_fds_.emplace(tail, fd).first;
       }
-      active_segment_ = tail;
-      active_size_ = size;
-      has_active_ = true;
-      if (active_size_ < kPackSegmentHeaderSize) {
+      if (size < kPackSegmentHeaderSize) {
         // Tail recovery truncated the segment to zero (torn header): stamp
         // a fresh header before the first record.
         char header[kPackSegmentHeaderSize] = {};
         std::memcpy(header, kPackSegmentMagic, sizeof(kPackSegmentMagic));
         PutU32(header + 8, kPackFormatVersion);
-        DASPOS_RETURN_IF_ERROR(WriteAll(it->second, header, sizeof(header),
-                                        SegmentPath(tail)));
-        active_size_ = kPackSegmentHeaderSize;
+        Status stamped = WriteAll(it->second, header, sizeof(header),
+                                  SegmentPath(tail));
+        if (!stamped.ok()) {
+          // Cut a partial header away so the next attempt (or a rebuild
+          // scan) starts from a clean prefix; the segment stays inactive.
+          if (::ftruncate(it->second, static_cast<off_t>(size)) != 0) {
+            retired_segments_.insert(tail);
+          }
+          return stamped;
+        }
+        size = kPackSegmentHeaderSize;
       }
+      active_segment_ = tail;
+      active_size_ = size;
+      has_active_ = true;
       return Status::OK();
     }
   }
@@ -468,7 +483,10 @@ Status PackObjectStore::EnsureActiveSegmentLocked(bool force_new) {
   // The file NAME must survive a crash too, not just its bytes.
   if (written.ok()) written = FsyncDir(segments_dir);
   if (!written.ok()) {
+    // Remove the stillborn (at most header-only, record-free) file: it
+    // would otherwise block the O_EXCL create of the same number forever.
     ::close(fd);
+    (void)::unlink(path.c_str());
     return written;
   }
   segment_fds_.emplace(segment, fd);
@@ -476,8 +494,25 @@ Status PackObjectStore::EnsureActiveSegmentLocked(bool force_new) {
   active_segment_ = segment;
   active_size_ = kPackSegmentHeaderSize;
   has_active_ = true;
+  ++segment_count_;
   segments_created_->Increment();
   return Status::OK();
+}
+
+void PackObjectStore::RepairActiveTailLocked() {
+  auto it = segment_fds_.find(active_segment_);
+  if (it != segment_fds_.end() &&
+      ::ftruncate(it->second, static_cast<off_t>(active_size_)) == 0) {
+    // Back at the last known-good offset: the segment keeps accepting
+    // appends and every index entry still points where it should.
+    return;
+  }
+  DASPOS_LOG(kError) << "pack segment " << SegmentPath(active_segment_)
+                     << ": cannot cut tail back to " << active_size_
+                     << " after failed append; retiring segment from "
+                        "appending";
+  retired_segments_.insert(active_segment_);
+  has_active_ = false;
 }
 
 Status PackObjectStore::AppendLocked(const Prepared& blob) {
@@ -505,9 +540,19 @@ Status PackObjectStore::AppendLocked(const Prepared& blob) {
   PutU64(header + kPackRecordChecksumOffset, blob.checksum);
   // Header and payload in one logical append; O_APPEND + the store mutex
   // keep records contiguous.
-  DASPOS_RETURN_IF_ERROR(WriteAll(fd_it->second, header, sizeof(header), path));
-  DASPOS_RETURN_IF_ERROR(
-      WriteAll(fd_it->second, blob.stored.data(), blob.stored.size(), path));
+  Status appended = WriteAll(fd_it->second, header, sizeof(header), path);
+  if (appended.ok()) {
+    appended =
+        WriteAll(fd_it->second, blob.stored.data(), blob.stored.size(), path);
+  }
+  if (!appended.ok()) {
+    // Partial record bytes may have landed at the true EOF while
+    // active_size_ stayed put — without repair, every later append would
+    // be indexed at the wrong offset (O_APPEND writes at the kernel's
+    // EOF, not ours) and freshly written data would read back corrupt.
+    RepairActiveTailLocked();
+    return appended;
+  }
   Entry entry;
   entry.segment = active_segment_;
   entry.flags = blob.flags;
@@ -620,14 +665,46 @@ Result<std::vector<std::string>> PackObjectStore::PutBatch(
       pool, blobs.size(),
       [this, &blobs](size_t i) { return PrepareBlob(blobs[i]); },
       /*grain=*/1);
+  // Dedupe with the same read-back gate as Put: an index hit only stands
+  // while the existing record still verifies, so a batched re-put of
+  // rotted bytes appends a superseding record — scrub backfill and
+  // heal paths go through PutBatch and rely on this.
+  std::vector<std::pair<bool, Entry>> existing(prepared.size());
+  {
+    MutexLock lock(mutex_);
+    DASPOS_RETURN_IF_ERROR(open_status_);
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      auto it = index_.find(prepared[i].id);
+      if (it != index_.end()) existing[i] = {true, it->second};
+    }
+  }
+  std::vector<uint8_t> rotted = ParallelMap<uint8_t>(
+      pool, prepared.size(),
+      [this, &prepared, &existing](size_t i) -> uint8_t {
+        if (!existing[i].first) return 0;
+        bool via_mmap = false;
+        return ReadRecord(prepared[i].id, existing[i].second, &via_mmap).ok()
+                   ? 0
+                   : 1;
+      },
+      /*grain=*/1);
   std::vector<std::string> ids;
   ids.reserve(prepared.size());
   {
     MutexLock lock(mutex_);
     DASPOS_RETURN_IF_ERROR(open_status_);
-    for (const Prepared& blob : prepared) {
-      if (index_.find(blob.id) == index_.end()) {
+    // A failed gate usually self-erased the condemned entry (quarantine),
+    // making the id a plain index miss; `rotted` additionally covers gate
+    // failures that leave the entry behind (I/O errors). The batch-local
+    // set keeps a duplicate of an already-superseded id from appending
+    // twice.
+    std::set<std::string> appended_now;
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      const Prepared& blob = prepared[i];
+      if (index_.find(blob.id) == index_.end() ||
+          (rotted[i] != 0 && appended_now.count(blob.id) == 0)) {
         DASPOS_RETURN_IF_ERROR(AppendLocked(blob));
+        appended_now.insert(blob.id);
       }
       ids.push_back(blob.id);
     }
@@ -635,6 +712,31 @@ Result<std::vector<std::string>> PackObjectStore::PutBatch(
   }
   put_wall_ms_->Observe(timer.ElapsedMillis());
   return ids;
+}
+
+void PackObjectStore::RetireMappingLocked(uint32_t segment) const {
+  auto it = mmaps_.find(segment);
+  if (it == mmaps_.end()) return;
+  // Not destroyed: readers that took a view from this mapping may still be
+  // copying out of it without holding the lock.
+  retired_mmaps_.push_back(std::move(it->second));
+  mmaps_.erase(it);
+}
+
+Result<const MemoryMappedFile*> PackObjectStore::SealedMappingLocked(
+    uint32_t segment) const {
+  auto it = mmaps_.find(segment);
+  if (it == mmaps_.end()) {
+    auto opened = MemoryMappedFile::Open(SegmentPath(segment));
+    if (!opened.ok()) return opened.status();
+    it = mmaps_
+             .emplace(segment, std::unique_ptr<MemoryMappedFile>(
+                                   new MemoryMappedFile(std::move(*opened))))
+             .first;
+  }
+  // Mappings live as long as the store, so the view stays valid after the
+  // lock is released.
+  return it->second.get();
 }
 
 Result<std::string> PackObjectStore::ReadRecord(const std::string& id,
@@ -654,27 +756,33 @@ Result<std::string> PackObjectStore::ReadRecord(const std::string& id,
       }
       fd = it->second;
     } else {
-      auto it = mmaps_.find(entry.segment);
-      if (it == mmaps_.end()) {
-        auto opened = MemoryMappedFile::Open(SegmentPath(entry.segment));
-        if (!opened.ok()) return opened.status();
-        it = mmaps_
-                 .emplace(entry.segment, std::unique_ptr<MemoryMappedFile>(
-                                             new MemoryMappedFile(
-                                                 std::move(*opened))))
-                 .first;
-      }
-      // Mappings live as long as the store, so the view stays valid after
-      // the lock is released.
-      mapped = it->second.get();
+      DASPOS_ASSIGN_OR_RETURN(mapped, SealedMappingLocked(entry.segment));
     }
   }
   std::string buffer;
   std::string_view stored;
   if (mapped != nullptr) {
     std::string_view view = mapped->view();
-    if (entry.offset > view.size() ||
-        entry.stored_len > view.size() - entry.offset) {
+    bool in_bounds = entry.offset <= view.size() &&
+                     entry.stored_len <= view.size() - entry.offset;
+    if (!in_bounds) {
+      // A mapping cached before this segment was unsealed and grown is
+      // shorter than the file; remap at the current size before concluding
+      // the record itself is truncated — quarantining on a stale view
+      // would condemn (and persistently log) perfectly healthy data.
+      {
+        MutexLock lock(mutex_);
+        auto it = mmaps_.find(entry.segment);
+        if (it != mmaps_.end() && it->second->view().size() <= view.size()) {
+          RetireMappingLocked(entry.segment);
+        }
+        DASPOS_ASSIGN_OR_RETURN(mapped, SealedMappingLocked(entry.segment));
+      }
+      view = mapped->view();
+      in_bounds = entry.offset <= view.size() &&
+                  entry.stored_len <= view.size() - entry.offset;
+    }
+    if (!in_bounds) {
       QuarantineRecord(id, entry, "index points past segment end");
       return Status::Corruption("fixity mismatch for object " + id +
                                 " (record truncated; quarantined)");
@@ -873,7 +981,9 @@ uint64_t PackObjectStore::StoredBytes() const {
 
 size_t PackObjectStore::SegmentCount() const {
   MutexLock lock(mutex_);
-  return next_segment_;
+  // Not next_segment_: numbering can be sparse (externally compacted /
+  // deleted segments), and repack reporting counts real files.
+  return segment_count_;
 }
 
 std::vector<std::string> PackObjectStore::QuarantinedIds() const {

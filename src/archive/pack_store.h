@@ -191,6 +191,23 @@ class PackObjectStore : public ObjectStore {
       DASPOS_REQUIRES(mutex_);
   Status SyncActiveLocked() DASPOS_REQUIRES(mutex_);
   Status FlushLocked() DASPOS_REQUIRES(mutex_);
+  /// After a failed record append: cuts the segment back to the last
+  /// known-good offset (partial bytes landed at the true EOF while
+  /// active_size_ did not advance, so every later offset would be wrong).
+  /// If even the truncate fails, the segment is retired from appending —
+  /// its committed records stay readable, the garbage tail stays as
+  /// evidence — and the next append starts a fresh segment.
+  void RepairActiveTailLocked() DASPOS_REQUIRES(mutex_);
+  /// Returns the long-lived mapping for a sealed segment, creating it on
+  /// first use.
+  Result<const MemoryMappedFile*> SealedMappingLocked(uint32_t segment) const
+      DASPOS_REQUIRES(mutex_);
+  /// Moves any cached mapping of `segment` to the retired list (kept alive
+  /// so views already handed to readers stay valid) so the next read
+  /// remaps at the segment's current size. Called when a tail segment is
+  /// unsealed for appending and when a read finds its cached view too
+  /// short.
+  void RetireMappingLocked(uint32_t segment) const DASPOS_REQUIRES(mutex_);
 
   /// Reads the stored payload of `entry` and returns the raw bytes
   /// (decompressing if flagged), checksum-gated. `via_mmap` reports whether
@@ -222,6 +239,11 @@ class PackObjectStore : public ObjectStore {
   /// holding the lock.
   mutable std::map<uint32_t, std::unique_ptr<MemoryMappedFile>> mmaps_
       DASPOS_GUARDED_BY(mutex_);
+  /// Mappings that went stale (their segment was unsealed and grew) but
+  /// must outlive any reader still holding a view into them. Bounded by
+  /// the number of unseal events, not by reads.
+  mutable std::vector<std::unique_ptr<MemoryMappedFile>> retired_mmaps_
+      DASPOS_GUARDED_BY(mutex_);
   /// Read/write fds for segments opened this process (append target plus
   /// any segment read before it was mapped); closed only on destruction.
   std::map<uint32_t, int> segment_fds_ DASPOS_GUARDED_BY(mutex_);
@@ -229,6 +251,13 @@ class PackObjectStore : public ObjectStore {
   bool has_active_ DASPOS_GUARDED_BY(mutex_) = false;
   uint64_t active_size_ DASPOS_GUARDED_BY(mutex_) = 0;
   uint64_t next_segment_ DASPOS_GUARDED_BY(mutex_) = 0;
+  /// Segments present on disk (enumerated at Open, plus ones created
+  /// since). Numbering can be sparse after external compaction, so this is
+  /// what SegmentCount() reports — not next_segment_.
+  uint64_t segment_count_ DASPOS_GUARDED_BY(mutex_) = 0;
+  /// Segments whose tail could not be repaired after a failed append:
+  /// never reused as the append target.
+  std::set<uint32_t> retired_segments_ DASPOS_GUARDED_BY(mutex_);
   Status open_status_ DASPOS_GUARDED_BY(mutex_);
 
   Counter* appends_total_;

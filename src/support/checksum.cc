@@ -16,18 +16,44 @@ inline uint64_t RotL(uint64_t value, int bits) {
   return (value << bits) | (value >> (64 - bits));
 }
 
-// Unaligned little-endian loads via memcpy: the compiler lowers these to a
-// single mov on x86/arm64, and they stay defined behavior everywhere else.
+// Unaligned LITTLE-ENDIAN loads. The digest is persisted in pack record
+// headers and sidecar indexes, so it must match the XXH64 LE definition on
+// every host: memcpy-of-native-integers is only correct when the host is
+// little-endian; everywhere else the words are assembled byte by byte
+// (compilers lower the shift form to a single mov on LE targets anyway).
+#if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__) && \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+#define DASPOS_CHECKSUM_NATIVE_LE 1
+#else
+#define DASPOS_CHECKSUM_NATIVE_LE 0
+#endif
+
 inline uint64_t Load64(const unsigned char* p) {
+#if DASPOS_CHECKSUM_NATIVE_LE
   uint64_t value;
   std::memcpy(&value, p, sizeof(value));
   return value;
+#else
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return value;
+#endif
 }
 
 inline uint32_t Load32(const unsigned char* p) {
+#if DASPOS_CHECKSUM_NATIVE_LE
   uint32_t value;
   std::memcpy(&value, p, sizeof(value));
   return value;
+#else
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return value;
+#endif
 }
 
 inline uint64_t Round(uint64_t acc, uint64_t input) {

@@ -30,7 +30,11 @@ Result<MemoryMappedFile> MemoryMappedFile::Open(const std::string& path) {
     ::close(fd);
     return MemoryMappedFile(nullptr, 0);
   }
-  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // MAP_SHARED, not MAP_PRIVATE: for a read-only mapping of a file that may
+  // still be appended to, MAP_PRIVATE leaves visibility of post-map writes
+  // unspecified; MAP_SHARED reads the page cache coherently. (The mapping's
+  // length is still fixed at map time — growth needs a remap either way.)
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
   int saved = errno;
   // The mapping keeps its own reference to the file; the fd is not needed
   // after mmap returns.

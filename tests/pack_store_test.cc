@@ -5,7 +5,10 @@
 // spec grammar.
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
 #include <unistd.h>
+
+#include <csignal>
 
 #include <filesystem>
 #include <fstream>
@@ -344,6 +347,61 @@ TEST_F(PackStoreTest, VerifyCatchesForgedChecksumThatGetMisses) {
   EXPECT_EQ(store.QuarantinedIds(), std::vector<std::string>{id});
 }
 
+// A cached mapping of a sealed tail segment goes stale when the segment is
+// unsealed and grown by later Puts. Reads of the new records must remap at
+// the current size — quarantining off the short stale view would condemn
+// healthy data with a PERSISTENT quarantine line (replayed on every
+// reopen), leaving the object Corruption until an external re-Put.
+TEST_F(PackStoreTest, StaleTailMappingRemapsInsteadOfQuarantining) {
+  PackObjectStore store(Dir("pack"));
+  auto first = store.Put("first sealed record");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(store.Flush().ok());
+  // Cache a mapping of the sealed tail at its current (short) size.
+  const uint64_t mmap_before = CounterNow("daspos_pack_mmap_reads_total");
+  EXPECT_EQ(*store.Get(*first), "first sealed record");
+  ASSERT_EQ(CounterNow("daspos_pack_mmap_reads_total"), mmap_before + 1);
+  // Unseal + grow the tail, then re-seal so reads leave the pread path.
+  auto second = store.Put("appended after the mapping was cached");
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(store.Flush().ok());
+
+  const uint64_t quarantines_before =
+      CounterNow("daspos_pack_quarantines_total");
+  EXPECT_EQ(*store.Get(*second), "appended after the mapping was cached");
+  EXPECT_EQ(*store.Get(*first), "first sealed record");
+  EXPECT_EQ(CounterNow("daspos_pack_quarantines_total"), quarantines_before);
+  EXPECT_TRUE(store.QuarantinedIds().empty());
+  EXPECT_FALSE(FileExists(Dir("pack") + "/quarantine.jsonl"));
+}
+
+// Batched re-puts must heal rot exactly like Put does: scrub backfill and
+// bulk re-ingest go through PutBatch, and a pure presence check would skip
+// the rotted id without appending the superseding record.
+TEST_F(PackStoreTest, PutBatchRePutHealsRottedRecord) {
+  const std::string payload = "batched bytes that rot on disk";
+  std::string id;
+  {
+    PackObjectStore store(Dir("pack"));
+    auto put = store.Put(payload);
+    ASSERT_TRUE(put.ok());
+    id = *put;
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  FlipByte(SegPath(Dir("pack")), kFirstPayload + 1);
+
+  PackObjectStore store(Dir("pack"));
+  std::vector<std::string_view> batch{payload};
+  auto ids = store.PutBatch(batch);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 1u);
+  EXPECT_EQ((*ids)[0], id);
+  EXPECT_EQ(*store.Get(id), payload);
+  EXPECT_TRUE(store.Verify(id).ok());
+  // The condemned record went through quarantine on its way out.
+  EXPECT_EQ(store.QuarantinedIds(), std::vector<std::string>{id});
+}
+
 // ------------------------------------------------------ Crash recovery --
 
 TEST_F(PackStoreTest, TornTailTruncatedAndAppendsResume) {
@@ -375,6 +433,57 @@ TEST_F(PackStoreTest, TornTailTruncatedAndAppendsResume) {
   EXPECT_EQ(*again, ids[2]);
   EXPECT_EQ(*store.Get(ids[2]), "record 2");
   EXPECT_EQ(store.SegmentCount(), 1u);
+}
+
+// A record append that fails partway (here: the payload write hits
+// RLIMIT_FSIZE after the header landed) leaves partial bytes at the true
+// EOF. The store must cut the file back to the last known-good offset —
+// otherwise every later append would be indexed at a stale offset
+// (O_APPEND writes at the kernel's EOF, not the store's counter) and
+// freshly written, healthy data would read back as corrupt.
+TEST_F(PackStoreTest, FailedAppendDoesNotDesyncLaterOffsets) {
+  PackObjectStore store(Dir("pack"));
+  auto committed = store.Put("committed before the failure");
+  ASSERT_TRUE(committed.ok());
+  const uint64_t good_size = fs::file_size(SegPath(Dir("pack")));
+
+  // Cap the file size so the 64-byte record header fits but the payload
+  // write fails after a few bytes. SIGXFSZ must be ignored for write() to
+  // report EFBIG instead of killing the process.
+  (void)std::signal(SIGXFSZ, SIG_IGN);
+  struct rlimit old_limit;
+  ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  struct rlimit tight = old_limit;
+  tight.rlim_cur = good_size + kPackRecordHeaderSize + 10;
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &tight), 0);
+  auto failed = store.Put(std::string(4096, 'x'));
+  EXPECT_FALSE(failed.ok());
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  (void)std::signal(SIGXFSZ, SIG_DFL);
+
+  // The partial record was cut away: the segment is byte-identical to its
+  // last good state and every subsequent append lands where its index
+  // entry says.
+  EXPECT_EQ(fs::file_size(SegPath(Dir("pack"))), good_size);
+  auto a = store.Put("appended after the failure");
+  auto b = store.Put(std::string(2000, 'y'));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*store.Get(*a), "appended after the failure");
+  EXPECT_EQ(*store.Get(*b), std::string(2000, 'y'));
+  EXPECT_EQ(*store.Get(*committed), "committed before the failure");
+  EXPECT_TRUE(store.Verify(*a).ok());
+  EXPECT_TRUE(store.Verify(*b).ok());
+  EXPECT_TRUE(store.QuarantinedIds().empty());
+
+  // And the segment log is still internally consistent: a rebuild scan
+  // (sidecar dropped) re-indexes everything.
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_TRUE(RemoveFile(IdxPath(Dir("pack"))).ok());
+  PackObjectStore reopened(Dir("pack"));
+  EXPECT_EQ(*reopened.Get(*a), "appended after the failure");
+  EXPECT_EQ(*reopened.Get(*b), std::string(2000, 'y'));
+  EXPECT_EQ(*reopened.Get(*committed), "committed before the failure");
 }
 
 TEST_F(PackStoreTest, SealedSegmentDamageIsLeftInPlaceAsEvidence) {
@@ -445,6 +554,38 @@ TEST_F(PackStoreTest, SegmentsRollOverAtSizeCap) {
                                    static_cast<unsigned>(segment))))
         << segment;
   }
+}
+
+// SegmentCount reports .seg files actually present, not the highest
+// segment number: numbering goes sparse once compaction (or an operator)
+// removes a middle segment, and repack reporting counts real files.
+TEST_F(PackStoreTest, SegmentCountTracksActualFilesNotNumbering) {
+  PackOptions options;
+  options.max_segment_bytes = 200;  // one 100-byte record per segment
+  std::vector<std::string> ids;
+  {
+    PackObjectStore store(Dir("pack"), options);
+    for (int i = 0; i < 3; ++i) {
+      auto id = store.Put(std::string(100, static_cast<char>('a' + i)));
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    ASSERT_TRUE(store.Flush().ok());
+    EXPECT_EQ(store.SegmentCount(), 3u);
+  }
+  // Simulate external compaction deleting the middle segment.
+  fs::remove(SegPath(Dir("pack"), 1));
+  fs::remove(IdxPath(Dir("pack"), 1));
+
+  PackObjectStore reopened(Dir("pack"), options);
+  EXPECT_EQ(reopened.SegmentCount(), 2u);
+  EXPECT_EQ(*reopened.Get(ids[0]), std::string(100, 'a'));
+  EXPECT_EQ(*reopened.Get(ids[2]), std::string(100, 'c'));
+  // Numbering keeps advancing past the gap; the count follows real files.
+  auto more = reopened.Put(std::string(150, 'q'));
+  ASSERT_TRUE(more.ok());
+  EXPECT_EQ(reopened.SegmentCount(), 3u);
+  EXPECT_EQ(*reopened.Get(*more), std::string(150, 'q'));
 }
 
 // ------------------------------------------------------------ PutBatch --

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "support/checksum.h"
 #include "support/fault.h"
 #include "support/io.h"
 #include "support/result.h"
@@ -151,6 +152,31 @@ TEST(Sha256Test, ResetReusesHasher) {
   h.Update("abc");
   EXPECT_EQ(h.HexDigest(),
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// ------------------------------------------------------------- Checksum --
+
+// Golden XXH64 vectors. These digests are persisted in pack record headers
+// and sidecar indexes, so Checksum64 must produce the canonical
+// little-endian XXH64 value on EVERY host — a byte-order drift here would
+// mass-quarantine a pack written on the other endianness. The first three
+// are the published reference values; the rest pin the stripe loop, the
+// 8/4/1-byte tails, and seeding.
+TEST(ChecksumTest, MatchesXxh64ReferenceVectorsOnAnyHost) {
+  EXPECT_EQ(Checksum64(""), 0xEF46DB3751D8E999ull);
+  EXPECT_EQ(Checksum64("a"), 0xD24EC4F1A98C6E5Bull);
+  EXPECT_EQ(Checksum64("abc"), 0x44BC2CF5AD770999ull);
+  EXPECT_EQ(Checksum64("abc", 1), 0xBEA9CA8199328908ull);
+  std::string forty(40, '\0');
+  for (size_t i = 0; i < forty.size(); ++i) {
+    forty[i] = static_cast<char>('A' + i % 26);
+  }
+  EXPECT_EQ(Checksum64(forty), 0x37523D26107DD78Dull);
+  std::string big(1031, '\0');
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>(i * 131 % 251);
+  }
+  EXPECT_EQ(Checksum64(big), 0x54C585C45BC60226ull);
 }
 
 // ------------------------------------------------------------------- RNG --
