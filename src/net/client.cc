@@ -1,0 +1,221 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace daspos {
+namespace net {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), next_request_id_(other.next_request_id_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Client> Client::Connect(const std::string& host_port) {
+  const size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon + 1 == host_port.size()) {
+    return Status::InvalidArgument("expected host:port, got '" + host_port +
+                                   "'");
+  }
+  std::string host = host_port.substr(0, colon);
+  if (host == "localhost") host = "127.0.0.1";
+  int port = 0;
+  for (size_t i = colon + 1; i < host_port.size(); ++i) {
+    const char c = host_port[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad port in '" + host_port + "'");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("port out of range in '" + host_port +
+                                     "'");
+    }
+  }
+  if (port == 0) {
+    return Status::InvalidArgument("port 0 is not connectable");
+  }
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host '" + host +
+                                   "' (IPv4 dotted quad or 'localhost')");
+  }
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::IOError("connect " + host_port + ": " +
+                                    std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+Status Client::WriteAll(std::string_view bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = write(fd_, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status =
+          Status::IOError(std::string("write: ") + std::strerror(errno));
+      Close();
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::ReadExactly(size_t n, std::string* out) {
+  out->clear();
+  out->reserve(n);
+  char buffer[64 * 1024];
+  while (out->size() < n) {
+    const size_t want = std::min(n - out->size(), sizeof(buffer));
+    ssize_t got = read(fd_, buffer, want);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      Status status =
+          Status::IOError(std::string("read: ") + std::strerror(errno));
+      Close();
+      return status;
+    }
+    if (got == 0) {
+      Close();
+      return Status::Corruption("torn frame: connection closed after " +
+                                std::to_string(out->size()) + " of " +
+                                std::to_string(n) + " expected bytes");
+    }
+    out->append(buffer, static_cast<size_t>(got));
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::RoundTrip(MessageType type,
+                                      std::string_view payload) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  const uint64_t request_id = next_request_id_++;
+  DASPOS_RETURN_IF_ERROR(WriteAll(EncodeFrame(type, request_id, payload)));
+
+  std::string header_bytes;
+  DASPOS_RETURN_IF_ERROR(ReadExactly(kFrameHeaderSize, &header_bytes));
+  DASPOS_ASSIGN_OR_RETURN(FrameHeader header,
+                          DecodeFrameHeader(header_bytes));
+  std::string response;
+  DASPOS_RETURN_IF_ERROR(ReadExactly(header.payload_len, &response));
+
+  if (header.request_id != request_id) {
+    Close();  // the stream is desynchronized; nothing after it is trustable
+    return Status::Corruption(
+        "response correlates to request " + std::to_string(header.request_id) +
+        ", expected " + std::to_string(request_id));
+  }
+  if (header.type == static_cast<uint8_t>(MessageType::kError)) {
+    return DecodeErrorPayload(response);
+  }
+  if (header.type != static_cast<uint8_t>(ResponseTypeFor(type))) {
+    Close();
+    return Status::Corruption(
+        "unexpected response type 0x" + std::to_string(header.type) + " to " +
+        std::string(MessageTypeName(type)));
+  }
+  return response;
+}
+
+Status Client::Ping(std::string_view payload) {
+  DASPOS_ASSIGN_OR_RETURN(std::string echo,
+                          RoundTrip(MessageType::kPing, payload));
+  if (echo != payload) {
+    return Status::Corruption("ping echo mismatch: sent " +
+                              std::to_string(payload.size()) +
+                              " bytes, got " + std::to_string(echo.size()));
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::Get(const std::string& id) {
+  return RoundTrip(MessageType::kGet, id);
+}
+
+Result<std::string> Client::Put(std::string_view bytes) {
+  return RoundTrip(MessageType::kPut, bytes);
+}
+
+Status Client::Verify(const std::string& id) {
+  DASPOS_ASSIGN_OR_RETURN(std::string empty,
+                          RoundTrip(MessageType::kVerify, id));
+  (void)empty;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> Client::PutBatch(
+    const std::vector<std::string>& blobs) {
+  DASPOS_ASSIGN_OR_RETURN(
+      std::string response,
+      RoundTrip(MessageType::kPutBatch, EncodePutBatchRequest(blobs)));
+  DASPOS_ASSIGN_OR_RETURN(std::vector<std::string> ids,
+                          DecodePutBatchResponse(response));
+  if (ids.size() != blobs.size()) {
+    return Status::Corruption("put-batch returned " +
+                              std::to_string(ids.size()) + " ids for " +
+                              std::to_string(blobs.size()) + " blobs");
+  }
+  return ids;
+}
+
+Result<std::string> Client::Lint(const std::vector<LintArtifact>& artifacts) {
+  return RoundTrip(MessageType::kLint, EncodeLintRequest(artifacts));
+}
+
+Result<std::string> Client::Chain(const std::string& process, uint64_t events,
+                                  uint64_t seed) {
+  ChainRequest request;
+  request.process = process;
+  request.events = events;
+  request.seed = seed;
+  return RoundTrip(MessageType::kChain, EncodeChainRequest(request));
+}
+
+Result<std::string> Client::Stat() {
+  return RoundTrip(MessageType::kStat, "");
+}
+
+}  // namespace net
+}  // namespace daspos

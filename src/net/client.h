@@ -1,0 +1,74 @@
+// Thin blocking client for the dasposd wire protocol (docs/PROTOCOL.md).
+// One Client owns one TCP connection; every call sends one request frame
+// and blocks until the matching response frame arrives (requests are
+// correlated by id, so a future pipelined client can share the codec).
+// Not thread-safe: callers wanting concurrency open one Client per thread —
+// that is also how the bench drives the server at N clients.
+#ifndef DASPOS_NET_CLIENT_H_
+#define DASPOS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/protocol.h"
+#include "support/result.h"
+
+namespace daspos {
+namespace net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to "host:port" (IPv4 dotted quad or "localhost").
+  static Result<Client> Connect(const std::string& host_port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Round-trips the payload through the server; the echo must match.
+  Status Ping(std::string_view payload = "daspos");
+
+  Result<std::string> Get(const std::string& id);
+  Result<std::string> Put(std::string_view bytes);
+  Status Verify(const std::string& id);
+  Result<std::vector<std::string>> PutBatch(
+      const std::vector<std::string>& blobs);
+  /// Submits named artifacts for remote linting; returns the report JSON.
+  Result<std::string> Lint(const std::vector<LintArtifact>& artifacts);
+  /// Submits a chain run; returns the workflow report JSON.
+  Result<std::string> Chain(const std::string& process, uint64_t events,
+                            uint64_t seed);
+  /// Server/store status JSON.
+  Result<std::string> Stat();
+
+  /// One full round trip at the frame level: sends `payload` under `type`,
+  /// reads exactly one response frame, unwraps ERROR frames into their
+  /// Status. Exposed for tests that need to speak raw frames.
+  Result<std::string> RoundTrip(MessageType type, std::string_view payload);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Writes all of `bytes`, looping over partial writes.
+  Status WriteAll(std::string_view bytes);
+  /// Reads exactly `n` bytes into `out`. A connection that closes mid-read
+  /// fails with Corruption("torn frame ...") — a half-delivered response is
+  /// indistinguishable from a truncated one and must never be trusted.
+  Status ReadExactly(size_t n, std::string* out);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace net
+}  // namespace daspos
+
+#endif  // DASPOS_NET_CLIENT_H_

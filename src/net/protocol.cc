@@ -1,0 +1,271 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "serialize/binary.h"
+
+namespace daspos {
+namespace net {
+
+bool IsRequestType(uint8_t type) {
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kPing:
+    case MessageType::kGet:
+    case MessageType::kPut:
+    case MessageType::kVerify:
+    case MessageType::kPutBatch:
+    case MessageType::kLint:
+    case MessageType::kChain:
+    case MessageType::kStat:
+      return true;
+    default:
+      return false;
+  }
+}
+
+MessageType ResponseTypeFor(MessageType request) {
+  return static_cast<MessageType>(static_cast<uint8_t>(request) | 0x80u);
+}
+
+std::string_view MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kPing: return "PING";
+    case MessageType::kGet: return "GET";
+    case MessageType::kPut: return "PUT";
+    case MessageType::kVerify: return "VERIFY";
+    case MessageType::kPutBatch: return "PUT_BATCH";
+    case MessageType::kLint: return "LINT";
+    case MessageType::kChain: return "CHAIN";
+    case MessageType::kStat: return "STAT";
+    case MessageType::kPingOk: return "PING_OK";
+    case MessageType::kGetOk: return "GET_OK";
+    case MessageType::kPutOk: return "PUT_OK";
+    case MessageType::kVerifyOk: return "VERIFY_OK";
+    case MessageType::kPutBatchOk: return "PUT_BATCH_OK";
+    case MessageType::kLintOk: return "LINT_OK";
+    case MessageType::kChainOk: return "CHAIN_OK";
+    case MessageType::kStatOk: return "STAT_OK";
+    case MessageType::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+uint8_t WireCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound: return kWireNotFound;
+    case StatusCode::kAlreadyExists: return kWireAlreadyExists;
+    case StatusCode::kInvalidArgument: return kWireInvalidArgument;
+    case StatusCode::kCorruption: return kWireCorruption;
+    case StatusCode::kIOError: return kWireIOError;
+    case StatusCode::kFailedPrecondition: return kWireFailedPrecondition;
+    case StatusCode::kPermissionDenied: return kWirePermissionDenied;
+    case StatusCode::kUnimplemented: return kWireUnimplemented;
+    case StatusCode::kOutOfRange: return kWireOutOfRange;
+    case StatusCode::kDeadlineExceeded: return kWireDeadlineExceeded;
+    case StatusCode::kOk: break;  // callers never encode OK
+  }
+  return kWireIOError;
+}
+
+Status StatusFromWire(uint8_t code, std::string message) {
+  switch (code) {
+    case kWireNotFound: return Status::NotFound(std::move(message));
+    case kWireAlreadyExists: return Status::AlreadyExists(std::move(message));
+    case kWireInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case kWireCorruption: return Status::Corruption(std::move(message));
+    case kWireIOError: return Status::IOError(std::move(message));
+    case kWireFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case kWirePermissionDenied:
+      return Status::PermissionDenied(std::move(message));
+    case kWireUnimplemented: return Status::Unimplemented(std::move(message));
+    case kWireOutOfRange: return Status::OutOfRange(std::move(message));
+    case kWireDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case kWireUnavailable:
+      return Status::FailedPrecondition("server unavailable: " +
+                                        std::move(message));
+    case kWireProtocolError:
+      return Status::Corruption("protocol error: " + std::move(message));
+    default:
+      return Status::IOError("unknown wire error code " +
+                             std::to_string(code) + ": " + std::move(message));
+  }
+}
+
+std::string EncodeFrame(MessageType type, uint64_t request_id,
+                        std::string_view payload) {
+  BinaryWriter writer;
+  writer.Reserve(kFrameHeaderSize + payload.size());
+  writer.PutRaw(std::string_view(kFrameMagic, sizeof(kFrameMagic)));
+  writer.PutU8(kProtocolVersion);
+  writer.PutU8(static_cast<uint8_t>(type));
+  writer.PutU8(0);  // reserved
+  writer.PutU8(0);  // reserved
+  writer.PutU64(request_id);
+  writer.PutU32(static_cast<uint32_t>(payload.size()));
+  writer.PutRaw(payload);
+  return writer.TakeBuffer();
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::string_view bytes) {
+  if (bytes.size() < kFrameHeaderSize) {
+    return Status::Corruption("frame header truncated: " +
+                              std::to_string(bytes.size()) + " of " +
+                              std::to_string(kFrameHeaderSize) + " bytes");
+  }
+  if (std::memcmp(bytes.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Status::Corruption("bad frame magic");
+  }
+  BinaryReader reader(bytes.substr(sizeof(kFrameMagic)));
+  FrameHeader header;
+  DASPOS_ASSIGN_OR_RETURN(header.version, reader.GetU8());
+  DASPOS_ASSIGN_OR_RETURN(header.type, reader.GetU8());
+  DASPOS_ASSIGN_OR_RETURN(uint8_t reserved0, reader.GetU8());
+  DASPOS_ASSIGN_OR_RETURN(uint8_t reserved1, reader.GetU8());
+  if (reserved0 != 0 || reserved1 != 0) {
+    return Status::Corruption("nonzero reserved bytes in frame header");
+  }
+  DASPOS_ASSIGN_OR_RETURN(header.request_id, reader.GetU64());
+  DASPOS_ASSIGN_OR_RETURN(header.payload_len, reader.GetU32());
+  if (header.version != kProtocolVersion) {
+    return Status::Corruption("unsupported protocol version " +
+                              std::to_string(header.version));
+  }
+  return header;
+}
+
+std::string EncodeErrorPayload(const Status& status) {
+  return EncodeErrorPayloadWithCode(WireCodeForStatus(status),
+                                    status.message());
+}
+
+std::string EncodeErrorPayloadWithCode(uint8_t code,
+                                       std::string_view message) {
+  BinaryWriter writer;
+  writer.PutU8(code);
+  writer.PutString(message);
+  return writer.TakeBuffer();
+}
+
+Status DecodeErrorPayload(std::string_view payload) {
+  BinaryReader reader(payload);
+  auto code = reader.GetU8();
+  if (!code.ok()) {
+    return Status::Corruption("malformed error payload: " +
+                              code.status().message());
+  }
+  auto message = reader.GetString();
+  if (!message.ok()) {
+    return Status::Corruption("malformed error payload: " +
+                              message.status().message());
+  }
+  return StatusFromWire(*code, std::move(*message));
+}
+
+namespace {
+
+std::string EncodeStringList(const std::vector<std::string>& items) {
+  BinaryWriter writer;
+  size_t total = 0;
+  for (const std::string& item : items) total += item.size() + 5;
+  writer.Reserve(total + 10);
+  writer.PutVarint(items.size());
+  for (const std::string& item : items) writer.PutString(item);
+  return writer.TakeBuffer();
+}
+
+Result<std::vector<std::string>> DecodeStringList(std::string_view payload) {
+  BinaryReader reader(payload);
+  DASPOS_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
+  // A count that cannot fit in the remaining bytes is malformed even before
+  // the first element is read (each element costs >= 1 length byte).
+  if (count > reader.remaining()) {
+    return Status::Corruption("string list declares " + std::to_string(count) +
+                              " items in " +
+                              std::to_string(reader.remaining()) + " bytes");
+  }
+  std::vector<std::string> items;
+  items.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    DASPOS_ASSIGN_OR_RETURN(std::string item, reader.GetString());
+    items.push_back(std::move(item));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after string list");
+  }
+  return items;
+}
+
+}  // namespace
+
+std::string EncodePutBatchRequest(const std::vector<std::string>& blobs) {
+  return EncodeStringList(blobs);
+}
+Result<std::vector<std::string>> DecodePutBatchRequest(
+    std::string_view payload) {
+  return DecodeStringList(payload);
+}
+std::string EncodePutBatchResponse(const std::vector<std::string>& ids) {
+  return EncodeStringList(ids);
+}
+Result<std::vector<std::string>> DecodePutBatchResponse(
+    std::string_view payload) {
+  return DecodeStringList(payload);
+}
+
+std::string EncodeLintRequest(const std::vector<LintArtifact>& artifacts) {
+  BinaryWriter writer;
+  writer.PutVarint(artifacts.size());
+  for (const LintArtifact& artifact : artifacts) {
+    writer.PutString(artifact.name);
+    writer.PutString(artifact.bytes);
+  }
+  return writer.TakeBuffer();
+}
+
+Result<std::vector<LintArtifact>> DecodeLintRequest(std::string_view payload) {
+  BinaryReader reader(payload);
+  DASPOS_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
+  if (count > reader.remaining()) {
+    return Status::Corruption("lint request declares " +
+                              std::to_string(count) + " artifacts in " +
+                              std::to_string(reader.remaining()) + " bytes");
+  }
+  std::vector<LintArtifact> artifacts;
+  artifacts.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    LintArtifact artifact;
+    DASPOS_ASSIGN_OR_RETURN(artifact.name, reader.GetString());
+    DASPOS_ASSIGN_OR_RETURN(artifact.bytes, reader.GetString());
+    artifacts.push_back(std::move(artifact));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after lint request");
+  }
+  return artifacts;
+}
+
+std::string EncodeChainRequest(const ChainRequest& request) {
+  BinaryWriter writer;
+  writer.PutString(request.process);
+  writer.PutVarint(request.events);
+  writer.PutVarint(request.seed);
+  return writer.TakeBuffer();
+}
+
+Result<ChainRequest> DecodeChainRequest(std::string_view payload) {
+  BinaryReader reader(payload);
+  ChainRequest request;
+  DASPOS_ASSIGN_OR_RETURN(request.process, reader.GetString());
+  DASPOS_ASSIGN_OR_RETURN(request.events, reader.GetVarint());
+  DASPOS_ASSIGN_OR_RETURN(request.seed, reader.GetVarint());
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after chain request");
+  }
+  return request;
+}
+
+}  // namespace net
+}  // namespace daspos

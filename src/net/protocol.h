@@ -1,0 +1,144 @@
+// Wire protocol for `dasposd`: a length-prefixed binary framing over TCP,
+// built on the serialize library's little-endian primitives. One frame is
+// one message; a request frame carries a client-chosen id that the matching
+// response echoes, so a client may pipeline requests and still correlate
+// answers. The full byte-level spec (with a worked hexdump) lives in
+// docs/PROTOCOL.md — the constants here are its single source of truth and
+// CI greps the two against each other.
+#ifndef DASPOS_NET_PROTOCOL_H_
+#define DASPOS_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/result.h"
+
+namespace daspos {
+namespace net {
+
+/// Frame header magic: the ASCII bytes "DPN1" in file order.
+inline constexpr char kFrameMagic[4] = {'D', 'P', 'N', '1'};
+/// Protocol version carried in every frame. A server rejects frames whose
+/// version it does not speak with kWireInvalidArgument (it never guesses).
+inline constexpr uint8_t kProtocolVersion = 1;
+/// Fixed frame header size: magic(4) + version(1) + type(1) + reserved(2) +
+/// request_id(8) + payload_len(4).
+inline constexpr size_t kFrameHeaderSize = 20;
+/// Default cap on a single frame's payload. A declared length above the
+/// server's cap is a protocol error — the connection is closed before any
+/// allocation happens, so a hostile 4 GiB declaration costs nothing.
+inline constexpr size_t kDefaultMaxFrameBytes = 64ull << 20;
+
+/// Message type registry. Requests are < 0x80; a response type is its
+/// request's type | 0x80. kError (0xFF) answers any request that failed.
+enum class MessageType : uint8_t {
+  kPing = 0x01,      ///< health probe; payload echoed back verbatim
+  kGet = 0x02,       ///< payload: object id -> response payload: bytes
+  kPut = 0x03,       ///< payload: bytes -> response payload: object id
+  kVerify = 0x04,    ///< payload: object id -> empty response
+  kPutBatch = 0x05,  ///< payload: count + blobs -> count + ids
+  kLint = 0x06,      ///< payload: named artifacts -> lint report JSON
+  kChain = 0x07,     ///< payload: process/events/seed -> chain report JSON
+  kStat = 0x08,      ///< empty payload -> server/store status JSON
+
+  kPingOk = 0x81,
+  kGetOk = 0x82,
+  kPutOk = 0x83,
+  kVerifyOk = 0x84,
+  kPutBatchOk = 0x85,
+  kLintOk = 0x86,
+  kChainOk = 0x87,
+  kStatOk = 0x88,
+
+  kError = 0xFF,  ///< payload: wire status code (u8) + message string
+};
+
+/// True for the request half of the registry (valid things a client sends).
+bool IsRequestType(uint8_t type);
+/// The response type matching a request type (kGet -> kGetOk).
+MessageType ResponseTypeFor(MessageType request);
+/// Human-readable name ("GET", "PUT_BATCH_OK", ...) for logs and errors.
+std::string_view MessageTypeName(MessageType type);
+
+/// Error-code table: the u8 a kError payload leads with. Pinned values —
+/// the wire contract must not move when StatusCode gains members.
+inline constexpr uint8_t kWireNotFound = 1;
+inline constexpr uint8_t kWireAlreadyExists = 2;
+inline constexpr uint8_t kWireInvalidArgument = 3;
+inline constexpr uint8_t kWireCorruption = 4;
+inline constexpr uint8_t kWireIOError = 5;
+inline constexpr uint8_t kWireFailedPrecondition = 6;
+inline constexpr uint8_t kWirePermissionDenied = 7;
+inline constexpr uint8_t kWireUnimplemented = 8;
+inline constexpr uint8_t kWireOutOfRange = 9;
+inline constexpr uint8_t kWireDeadlineExceeded = 10;
+inline constexpr uint8_t kWireUnavailable = 11;  ///< server draining/overloaded
+inline constexpr uint8_t kWireProtocolError = 12;  ///< malformed frame
+
+/// Maps a non-OK Status onto its wire code (unknown codes fall back to
+/// kWireIOError so every failure is representable).
+uint8_t WireCodeForStatus(const Status& status);
+/// Reconstructs a Status from a wire code + message; unknown codes come
+/// back as IOError carrying the code in the message.
+Status StatusFromWire(uint8_t code, std::string message);
+
+/// Decoded frame header.
+struct FrameHeader {
+  uint8_t version = 0;
+  uint8_t type = 0;
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+};
+
+/// Encodes header + payload into one contiguous wire frame.
+std::string EncodeFrame(MessageType type, uint64_t request_id,
+                        std::string_view payload);
+
+/// Parses the first kFrameHeaderSize bytes of `bytes`. Fails with
+/// Corruption on short input, bad magic, or unsupported version; the
+/// declared payload length is NOT bounds-checked here (the caller owns the
+/// cap, because the cap is policy, not format).
+Result<FrameHeader> DecodeFrameHeader(std::string_view bytes);
+
+/// Builds / parses a kError payload.
+std::string EncodeErrorPayload(const Status& status);
+/// Same, with an explicit wire code — for the codes no Status maps to
+/// (kWireProtocolError, kWireUnavailable).
+std::string EncodeErrorPayloadWithCode(uint8_t code, std::string_view message);
+/// Decodes a kError payload into the Status it carries. A malformed error
+/// payload is itself a wire corruption, so that too comes back as a non-OK
+/// Status — this function never returns OK.
+Status DecodeErrorPayload(std::string_view payload);
+
+/// One artifact submitted to the remote linter.
+struct LintArtifact {
+  std::string name;  ///< logical file name; no '/' or ".." allowed
+  std::string bytes;
+};
+
+/// Chain-submission request body.
+struct ChainRequest {
+  std::string process;
+  uint64_t events = 0;
+  uint64_t seed = 0;
+};
+
+/// Payload codecs for the structured request bodies (Get/Put/Verify carry
+/// their string argument raw, so they need no codec).
+std::string EncodePutBatchRequest(const std::vector<std::string>& blobs);
+Result<std::vector<std::string>> DecodePutBatchRequest(
+    std::string_view payload);
+std::string EncodePutBatchResponse(const std::vector<std::string>& ids);
+Result<std::vector<std::string>> DecodePutBatchResponse(
+    std::string_view payload);
+std::string EncodeLintRequest(const std::vector<LintArtifact>& artifacts);
+Result<std::vector<LintArtifact>> DecodeLintRequest(std::string_view payload);
+std::string EncodeChainRequest(const ChainRequest& request);
+Result<ChainRequest> DecodeChainRequest(std::string_view payload);
+
+}  // namespace net
+}  // namespace daspos
+
+#endif  // DASPOS_NET_PROTOCOL_H_

@@ -1,0 +1,106 @@
+#include "net/reactor.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+namespace daspos {
+namespace net {
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl(O_NONBLOCK): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+EventLoop::EventLoop() {
+  int fds[2] = {-1, -1};
+  if (pipe(fds) == 0) {
+    wakeup_read_fd_ = fds[0];
+    wakeup_write_fd_ = fds[1];
+    (void)SetNonBlocking(wakeup_read_fd_);
+    (void)SetNonBlocking(wakeup_write_fd_);
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wakeup_read_fd_ >= 0) close(wakeup_read_fd_);
+  if (wakeup_write_fd_ >= 0) close(wakeup_write_fd_);
+}
+
+Status EventLoop::Add(int fd, uint32_t events, FdHandler handler) {
+  if (fd < 0) return Status::InvalidArgument("EventLoop::Add: bad fd");
+  if (handlers_.count(fd) != 0) {
+    return Status::AlreadyExists("fd " + std::to_string(fd) +
+                                 " already registered");
+  }
+  handlers_[fd] = Registration{events, std::move(handler)};
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  auto it = handlers_.find(fd);
+  if (it == handlers_.end()) {
+    return Status::NotFound("fd " + std::to_string(fd) + " not registered");
+  }
+  it->second.events = events;
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) { handlers_.erase(fd); }
+
+Status EventLoop::Run(int tick_ms) {
+  running_ = true;
+  std::vector<pollfd> pollset;
+  while (running_) {
+    pollset.clear();
+    if (wakeup_read_fd_ >= 0) {
+      pollset.push_back(pollfd{wakeup_read_fd_, POLLIN, 0});
+    }
+    for (const auto& [fd, reg] : handlers_) {
+      short events = 0;
+      if (reg.events & kEventRead) events |= POLLIN;
+      if (reg.events & kEventWrite) events |= POLLOUT;
+      pollset.push_back(pollfd{fd, events, 0});
+    }
+    int ready = poll(pollset.data(), pollset.size(), tick_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal delivery; the pipe carries it
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    for (const pollfd& entry : pollset) {
+      if (entry.revents == 0) continue;
+      if (entry.fd == wakeup_read_fd_) {
+        char buf[64];
+        while (read(wakeup_read_fd_, buf, sizeof(buf)) > 0) {
+        }
+        if (wakeup_handler_) wakeup_handler_();
+        continue;
+      }
+      // A handler earlier in this round may have removed this fd.
+      auto it = handlers_.find(entry.fd);
+      if (it == handlers_.end()) continue;
+      uint32_t revents = 0;
+      if (entry.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) {
+        revents |= kEventRead;
+      }
+      if (entry.revents & POLLOUT) revents |= kEventWrite;
+      // Copying the handler keeps the call valid even if it removes itself.
+      FdHandler handler = it->second.handler;
+      handler(revents);
+      if (!running_) break;
+    }
+    if (tick_handler_) tick_handler_();
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace daspos

@@ -1,0 +1,92 @@
+// Poll-based reactor: the single-threaded event loop under `dasposd`,
+// modeled on the rct EventLoop/SocketServer idiom (ROADMAP item 1). Every
+// registered fd is non-blocking; the loop polls, then dispatches each
+// ready fd's callback with the ready events. Handlers run to completion on
+// the loop thread — there is no cross-thread state inside the loop, which
+// is what keeps the reactor TSan-clean under any number of clients.
+//
+// The one cross-thread door is the wakeup pipe: writing a byte to
+// wakeup_fd() from any thread (or from a signal handler — write(2) is
+// async-signal-safe) makes the loop call the wakeup handler on its own
+// thread. Graceful drain rides on this: SIGTERM's handler writes a byte,
+// the loop wakes, and the server starts draining without a single shared
+// mutable variable beyond the pipe itself.
+#ifndef DASPOS_NET_REACTOR_H_
+#define DASPOS_NET_REACTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "support/status.h"
+
+namespace daspos {
+namespace net {
+
+/// Event bits for Add/Modify (mirrors POLLIN/POLLOUT without leaking
+/// <poll.h> into every include site).
+inline constexpr uint32_t kEventRead = 1u << 0;
+inline constexpr uint32_t kEventWrite = 1u << 1;
+
+class EventLoop {
+ public:
+  /// `revents` is a kEvent* mask; error/hangup conditions are reported as
+  /// kEventRead so handlers observe them via read() returning 0/-1.
+  using FdHandler = std::function<void(uint32_t revents)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` (already non-blocking) for `events`. The handler may
+  /// call Add/Modify/Remove freely, including removing its own fd.
+  Status Add(int fd, uint32_t events, FdHandler handler);
+  Status Modify(int fd, uint32_t events);
+  void Remove(int fd);
+  bool Has(int fd) const { return handlers_.count(fd) != 0; }
+
+  /// Runs until Stop(). Each iteration polls every registered fd plus the
+  /// wakeup pipe (with `tick_ms` as the poll timeout so periodic work —
+  /// drain re-checks — happens even on an idle socket set), then
+  /// dispatches. Returns the first poll-level failure, or OK after Stop.
+  Status Run(int tick_ms = 500);
+
+  /// Stops the loop after the current dispatch round. Loop-thread only;
+  /// other threads must write to wakeup_fd() and stop from the handler.
+  void Stop() { running_ = false; }
+
+  /// Write end of the self-pipe: one byte written here (from any thread or
+  /// signal handler) drains the pipe and invokes the wakeup handler.
+  int wakeup_fd() const { return wakeup_write_fd_; }
+  void set_wakeup_handler(std::function<void()> handler) {
+    wakeup_handler_ = std::move(handler);
+  }
+
+  /// Invoked once per loop iteration after dispatch (drain progress
+  /// checks, timeouts). Optional.
+  void set_tick_handler(std::function<void()> handler) {
+    tick_handler_ = std::move(handler);
+  }
+
+ private:
+  struct Registration {
+    uint32_t events = 0;
+    FdHandler handler;
+  };
+
+  std::map<int, Registration> handlers_;
+  bool running_ = false;
+  int wakeup_read_fd_ = -1;
+  int wakeup_write_fd_ = -1;
+  std::function<void()> wakeup_handler_;
+  std::function<void()> tick_handler_;
+};
+
+/// Sets O_NONBLOCK on `fd`.
+Status SetNonBlocking(int fd);
+
+}  // namespace net
+}  // namespace daspos
+
+#endif  // DASPOS_NET_REACTOR_H_

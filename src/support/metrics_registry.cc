@@ -345,6 +345,23 @@ void RegisterStandardMetrics(MetricsRegistry& registry) {
                       "histograms compared against archived references");
   registry.GetHistogram(kValidationCellWallMs, latency,
                         "per-cell wall time (chain + analysis + compare)");
+  registry.GetCounter(kNetConnectionsTotal, "client connections accepted");
+  registry.GetGauge(kNetActiveConnections, "client connections open now");
+  registry.GetCounter(kNetRequestsTotal, "request frames dispatched");
+  registry.GetCounter(kNetRequestErrorsTotal,
+                      "requests answered with an ERROR frame");
+  registry.GetCounter(kNetProtocolErrorsTotal,
+                      "malformed frames (bad magic/version, oversized "
+                      "declared length, unknown type, mid-frame disconnect)");
+  registry.GetCounter(kNetBytesReadTotal, "bytes read from client sockets");
+  registry.GetCounter(kNetBytesWrittenTotal,
+                      "bytes written to client sockets");
+  registry.GetCounter(kNetBackpressureStallsTotal,
+                      "times a connection's reads were paused because its "
+                      "outbox hit the backpressure cap");
+  registry.GetCounter(kNetDrainsTotal, "graceful drains begun (SIGTERM)");
+  registry.GetHistogram(kNetRequestWallMs, latency,
+                        "per-request wall time (decode + handle + encode)");
   registry.GetCounter(kLintArtifactsTotal, "artifacts linted");
   registry.GetCounter(kLintFindingsTotal, "lint diagnostics emitted");
   registry.GetCounter(kRecoEventsTotal, "events reconstructed");

@@ -280,6 +280,22 @@ inline constexpr char kValidationHistogramsTotal[] =
     "daspos_validation_histograms_compared_total";
 inline constexpr char kValidationCellWallMs[] =
     "daspos_validation_cell_wall_ms";
+// Network service (src/net/server.cc, dasposd).
+inline constexpr char kNetConnectionsTotal[] = "daspos_net_connections_total";
+inline constexpr char kNetActiveConnections[] =
+    "daspos_net_active_connections";
+inline constexpr char kNetRequestsTotal[] = "daspos_net_requests_total";
+inline constexpr char kNetRequestErrorsTotal[] =
+    "daspos_net_request_errors_total";
+inline constexpr char kNetProtocolErrorsTotal[] =
+    "daspos_net_protocol_errors_total";
+inline constexpr char kNetBytesReadTotal[] = "daspos_net_bytes_read_total";
+inline constexpr char kNetBytesWrittenTotal[] =
+    "daspos_net_bytes_written_total";
+inline constexpr char kNetBackpressureStallsTotal[] =
+    "daspos_net_backpressure_stalls_total";
+inline constexpr char kNetDrainsTotal[] = "daspos_net_drains_total";
+inline constexpr char kNetRequestWallMs[] = "daspos_net_request_wall_ms";
 // Linter.
 inline constexpr char kLintArtifactsTotal[] = "daspos_lint_artifacts_total";
 inline constexpr char kLintFindingsTotal[] = "daspos_lint_findings_total";

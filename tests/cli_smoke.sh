@@ -1,9 +1,12 @@
 #!/bin/sh
 # End-to-end smoke test of the daspos CLI. First argument: path to the
-# binary. Exercises generate (gen + aod tiers), inspect, lhada-check,
-# lhada-run, and display; any non-zero exit fails the test.
+# binary; optional second argument: path to the dasposd daemon (enables the
+# network-service lifecycle section). Exercises generate (gen + aod tiers),
+# inspect, lhada-check, lhada-run, and display; any non-zero exit fails the
+# test.
 set -e
 DASPOS="$1"
+DASPOSD="$2"
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
@@ -206,6 +209,44 @@ head -c 1000 "$WORK/z_gen.dspc" > "$WORK/broken.dspc"
 if "$DASPOS" inspect "$WORK/broken.dspc" 2>/dev/null; then
   echo "inspect accepted a truncated container" >&2
   exit 1
+fi
+
+# Network service lifecycle (docs/OPERATIONS.md): start dasposd on an
+# ephemeral port against a pack backend, round-trip put/get/verify
+# byte-identically through `daspos connect`, then SIGTERM and assert a
+# clean drain — exit 0 and no orphaned temp files left behind.
+if [ -n "$DASPOSD" ]; then
+  "$DASPOSD" "pack:$WORK/netstore" --port-file="$WORK/port.txt" \
+    > "$WORK/dasposd.log" 2>&1 &
+  DPID=$!
+  i=0
+  while [ ! -s "$WORK/port.txt" ] && [ $i -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+  done
+  PORT=$(cat "$WORK/port.txt")
+  ADDR="127.0.0.1:$PORT"
+  grep -q "listening on $ADDR" "$WORK/dasposd.log"
+  "$DASPOS" connect "$ADDR" ping | grep -q "pong"
+  NETID=$("$DASPOS" connect "$ADDR" put "$WORK/z_gen.dspc" \
+    | sed -n 's/^\([0-9a-f]\{64\}\).*/\1/p')
+  test -n "$NETID"
+  "$DASPOS" connect "$ADDR" get "$NETID" "$WORK/z_gen_back.dspc" >/dev/null
+  cmp "$WORK/z_gen.dspc" "$WORK/z_gen_back.dspc"
+  "$DASPOS" connect "$ADDR" verify "$NETID" | grep -q "verified"
+  "$DASPOS" connect "$ADDR" stat | grep -q '"backend": "pack"'
+  kill -TERM "$DPID"
+  DRAIN_RC=0
+  wait "$DPID" || DRAIN_RC=$?
+  if [ "$DRAIN_RC" -ne 0 ]; then
+    echo "dasposd did not drain cleanly (exit $DRAIN_RC)" >&2
+    cat "$WORK/dasposd.log" >&2
+    exit 1
+  fi
+  grep -q "drained after" "$WORK/dasposd.log"
+  if find "$WORK/netstore" -name '*.tmp' | grep -q .; then
+    echo "dasposd drain left orphaned temp files in the store" >&2
+    exit 1
+  fi
 fi
 
 echo "cli smoke: OK"

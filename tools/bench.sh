@@ -1,15 +1,15 @@
 #!/bin/bash
-# Benchmark driver for the committed BENCH_9.json performance record.
+# Benchmark driver for the committed BENCH_10.json performance record.
 #
 #   tools/bench.sh           # Release build, full-size measured sections
 #   tools/bench.sh --smoke   # tiny-N sizes for CI (perf-smoke job)
 #
 # Runs the Release-mode benches that carry measured parallel sections
 # (bench_reco, bench_tier_reduction, bench_archive,
-# bench_bit_preservation) with fixed seeds, skips the google-benchmark
-# micro-benches (--benchmark_filter='^$' matches no name), and assembles
-# the JSONL records the sections append into a JSON array at
-# BENCH_9.json. Every section self-checks its output (serial/parallel
+# bench_bit_preservation, bench_net) with fixed seeds, skips the
+# google-benchmark micro-benches (--benchmark_filter='^$' matches no
+# name), and assembles the JSONL records the sections append into a JSON
+# array at BENCH_10.json. Every section self-checks its output (serial/parallel
 # digests, rot repaired, migrated bytes re-hashed, cross-backend id
 # identity), so a correctness break fails the run.
 set -euo pipefail
@@ -27,7 +27,7 @@ echo "==> bench: Release build"
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-bench -j"$JOBS" \
   --target bench_reco bench_tier_reduction bench_archive \
-  bench_bit_preservation
+  bench_bit_preservation bench_net
 
 JSONL=$(mktemp)
 trap 'rm -f "$JSONL"' EXIT
@@ -38,6 +38,8 @@ if [ "$SMOKE" = 1 ]; then
   export DASPOS_BENCH_BATCH_BLOBS=8
   export DASPOS_BENCH_SCRUB_OBJECTS=48
   export DASPOS_BENCH_OBJECT_KB=16
+  export DASPOS_BENCH_NET_REQUESTS=200
+  export DASPOS_BENCH_NET_BATCHES=4
 fi
 
 # Record the host's core count alongside the measurements: parallel
@@ -46,12 +48,12 @@ fi
 echo "{\"bench\": \"host\", \"metric\": \"hardware_concurrency\", \"value\": $(nproc).0, \"threads\": 1}" >> "$JSONL"
 
 for bench in bench_reco bench_tier_reduction bench_archive \
-  bench_bit_preservation; do
+  bench_bit_preservation bench_net; do
   echo "==> $bench"
   "./build-bench/bench/$bench" --benchmark_filter='^$'
 done
 
-OUT=BENCH_9.json
+OUT=BENCH_10.json
 {
   echo '['
   sed '$!s/$/,/; s/^/  /' "$JSONL"

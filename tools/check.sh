@@ -56,16 +56,20 @@ if [ "$RUN_UBSAN" = 1 ]; then
 fi
 
 if [ "$RUN_TSAN" = 1 ]; then
-  echo "==> TSan: DASPOS_SANITIZE=thread build of workflow_test + parallel_test + trace_test + sync_test"
+  echo "==> TSan: DASPOS_SANITIZE=thread build of workflow_test + parallel_test + trace_test + sync_test + net_test"
   cmake -B build-tsan -S . -DDASPOS_SANITIZE=thread >/dev/null
   cmake --build build-tsan --target workflow_test parallel_test trace_test \
-    sync_test -j"$JOBS"
+    sync_test net_test -j"$JOBS"
   ./build-tsan/tests/workflow_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/trace_test
   # The annotated sync layer itself: CondVar wakeups and scoped-lock
   # semantics under the race detector.
   ./build-tsan/tests/sync_test
+  # The dasposd reactor: 16 concurrent clients against the run-to-completion
+  # loop — single-threaded by design, and TSan proves no state leaked across
+  # the loop/client boundary.
+  ./build-tsan/tests/net_test
 fi
 
 if [ "$RUN_CHAOS" = 1 ]; then
@@ -78,7 +82,7 @@ if [ "$RUN_CHAOS" = 1 ]; then
   cmake -B build-tsan -S . -DDASPOS_SANITIZE=thread >/dev/null
   cmake --build build-tsan --target workflow_test parallel_test archive_test \
     pack_store_test bit_preservation_test torture_test trace_test \
-    validate_test sync_test -j"$JOBS"
+    validate_test sync_test net_test -j"$JOBS"
   ./build-tsan/tests/workflow_test \
     --gtest_filter='ChaosTest.*:JournalTest.*:WorkflowRetryTest.*:WorkflowKeepGoingTest.*'
   ./build-tsan/tests/parallel_test
@@ -105,6 +109,9 @@ if [ "$RUN_CHAOS" = 1 ]; then
   # Sync-layer primitives under contention (the locks everything above
   # depends on).
   ./build-tsan/tests/sync_test
+  # The network reactor under hostile input: malformed-frame fuzzing,
+  # mid-frame disconnects, and backpressure stalls with 16 live clients.
+  ./build-tsan/tests/net_test
 fi
 
 echo "check.sh: all green"

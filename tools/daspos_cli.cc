@@ -14,6 +14,7 @@
 //   daspos scrub <replica-store...>           incremental fixity scrub+repair
 //   daspos migrate <src-store> <dst-store>    copy-verify-swap migration
 //   daspos repack <src-store> <dst-dir>       repack a store into packfiles
+//   daspos connect <host:port> <verb> [...]   talk to a running dasposd
 //
 // Every <archive-store> argument is a backend spec: `file:DIR` (loose
 // sharded files), `pack:DIR` (packfiles), `pack+z:DIR` (packfiles with
@@ -50,6 +51,7 @@
 #include "lint/diagnostics.h"
 #include "lint/linter.h"
 #include "mc/generator.h"
+#include "net/client.h"
 #include "support/fault.h"
 #include "support/io.h"
 #include "support/metrics_registry.h"
@@ -126,6 +128,15 @@ int Usage() {
                "  daspos lint [--json] [--fail-on=info|warning|error] "
                "[--threads=N] <artifact...>\n"
                "  daspos metrics [<process> <n-events> <seed>]\n"
+               "  daspos connect <host:port> ping\n"
+               "  daspos connect <host:port> put <file>\n"
+               "  daspos connect <host:port> get <object-id> <out-file>\n"
+               "  daspos connect <host:port> verify <object-id>\n"
+               "  daspos connect <host:port> put-batch <file...>\n"
+               "  daspos connect <host:port> lint <file...>\n"
+               "  daspos connect <host:port> chain <process> <n-events> "
+               "<seed>\n"
+               "  daspos connect <host:port> stat\n"
                "  daspos scrub <replica-store...> [--cursor=DIR] "
                "[--max-objects=N] [--rate=N]\n"
                "               [--batch=N] [--threads=N] [--json] "
@@ -1065,6 +1076,99 @@ int CmdRepack(const std::string& source_spec, const std::string& target_dir,
   return 0;
 }
 
+/// `daspos connect <host:port> <verb> [...]` — the network client face of
+/// the archive verbs, speaking docs/PROTOCOL.md to a running dasposd.
+int CmdConnect(const std::string& host_port,
+               const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  auto client = net::Client::Connect(host_port);
+  if (!client.ok()) return Fail(client.status().ToString());
+  const std::string& verb = args[0];
+
+  if (verb == "ping" && args.size() == 1) {
+    if (auto status = client->Ping(); !status.ok()) {
+      return Fail(status.ToString());
+    }
+    std::printf("pong from %s\n", host_port.c_str());
+    return 0;
+  }
+  if (verb == "put" && args.size() == 2) {
+    auto bytes = ReadFileToString(args[1]);
+    if (!bytes.ok()) return Fail(bytes.status().ToString());
+    auto id = client->Put(*bytes);
+    if (!id.ok()) return Fail(id.status().ToString());
+    std::printf("%s  %s (%s)\n", id->c_str(), args[1].c_str(),
+                FormatBytes(bytes->size()).c_str());
+    return 0;
+  }
+  if (verb == "get" && args.size() == 3) {
+    auto bytes = client->Get(args[1]);
+    if (!bytes.ok()) return Fail(bytes.status().ToString());
+    if (auto status = WriteStringToFile(args[2], *bytes); !status.ok()) {
+      return Fail(status.ToString());
+    }
+    std::printf("wrote %s (%s)\n", args[2].c_str(),
+                FormatBytes(bytes->size()).c_str());
+    return 0;
+  }
+  if (verb == "verify" && args.size() == 2) {
+    if (auto status = client->Verify(args[1]); !status.ok()) {
+      return Fail(status.ToString());
+    }
+    std::printf("verified %s\n", args[1].c_str());
+    return 0;
+  }
+  if (verb == "put-batch" && args.size() >= 2) {
+    std::vector<std::string> blobs;
+    for (size_t i = 1; i < args.size(); ++i) {
+      auto bytes = ReadFileToString(args[i]);
+      if (!bytes.ok()) return Fail(bytes.status().ToString());
+      blobs.push_back(std::move(*bytes));
+    }
+    auto ids = client->PutBatch(blobs);
+    if (!ids.ok()) return Fail(ids.status().ToString());
+    for (size_t i = 0; i < ids->size(); ++i) {
+      std::printf("%s  %s\n", (*ids)[i].c_str(), args[i + 1].c_str());
+    }
+    return 0;
+  }
+  if (verb == "lint" && args.size() >= 2) {
+    std::vector<net::LintArtifact> artifacts;
+    for (size_t i = 1; i < args.size(); ++i) {
+      net::LintArtifact artifact;
+      // Submit under the base name: the server lints bytes, not paths.
+      const size_t slash = args[i].find_last_of('/');
+      artifact.name =
+          slash == std::string::npos ? args[i] : args[i].substr(slash + 1);
+      auto bytes = ReadFileToString(args[i]);
+      if (!bytes.ok()) return Fail(bytes.status().ToString());
+      artifact.bytes = std::move(*bytes);
+      artifacts.push_back(std::move(artifact));
+    }
+    auto report = client->Lint(artifacts);
+    if (!report.ok()) return Fail(report.status().ToString());
+    std::printf("%s\n", report->c_str());
+    return 0;
+  }
+  if (verb == "chain" && args.size() == 4) {
+    auto events = ParseU64(args[2]);
+    if (!events.ok()) return Fail("bad event count '" + args[2] + "'");
+    auto seed = ParseU64(args[3]);
+    if (!seed.ok()) return Fail("bad seed '" + args[3] + "'");
+    auto report = client->Chain(args[1], *events, *seed);
+    if (!report.ok()) return Fail(report.status().ToString());
+    std::printf("%s\n", report->c_str());
+    return 0;
+  }
+  if (verb == "stat" && args.size() == 1) {
+    auto stat = client->Stat();
+    if (!stat.ok()) return Fail(stat.status().ToString());
+    std::printf("%s\n", stat->c_str());
+    return 0;
+  }
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1326,6 +1430,11 @@ int main(int argc, char** argv) {
     }
     if (dirs.size() != 2) return Usage();
     return CmdRepack(dirs[0], dirs[1], flags);
+  }
+  if (command == "connect" && argc >= 4) {
+    std::vector<std::string> args;
+    for (int i = 3; i < argc; ++i) args.emplace_back(argv[i]);
+    return CmdConnect(argv[2], args);
   }
   if (command == "metrics" && (argc == 2 || argc == 5)) {
     std::vector<std::string> args;
